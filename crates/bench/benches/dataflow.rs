@@ -1,0 +1,39 @@
+//! Dataflow timing model: per-layer and whole-network simulation cost,
+//! plus the double-buffering ablation (paper Fig. 8 / DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwsim::dataflow::{resnet18_layers, DataflowConfig, LayerShape};
+use std::hint::black_box;
+
+fn bench_layer_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_simulate_layer");
+    group.sample_size(50);
+    let cfg = DataflowConfig::pynq_z2();
+    let layer = LayerShape::conv(128, 128, 28, 28, 3, 8);
+    for &alpha in &[0.0f64, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter(|| black_box(cfg.simulate(black_box(&layer), a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_simulate_resnet18");
+    group.sample_size(30);
+    let layers = resnet18_layers(8);
+    let mut with_db = DataflowConfig::pynq_z2();
+    with_db.double_buffering = true;
+    let mut without_db = with_db;
+    without_db.double_buffering = false;
+    group.bench_function("double_buffered", |b| {
+        b.iter(|| black_box(with_db.simulate_network(black_box(&layers), 0.5)))
+    });
+    group.bench_function("no_double_buffer", |b| {
+        b.iter(|| black_box(without_db.simulate_network(black_box(&layers), 0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layer_simulation, bench_network_simulation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! FFT vs naive circulant product: the O(n log n) vs O(n²) crossover that
+//! justifies the "FFT → eMAC → IFFT" substitution (paper §II-A).
+
+use circulant::CirculantMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::{Complex, Fft};
+use std::hint::black_box;
+
+fn bench_circulant_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulant_matvec");
+    group.sample_size(30);
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let cm = CirculantMatrix::new(w);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(cm.matvec_naive(black_box(&x))))
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| black_box(cm.matvec(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    group.sample_size(30);
+    for &n in &[8usize, 64, 512] {
+        let plan = Fft::<f64>::new(n);
+        let x: Vec<Complex<f64>> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                plan.forward(&mut buf);
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circulant_matvec, bench_fft_plan);
+criterion_main!(benches);

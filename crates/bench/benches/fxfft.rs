@@ -1,0 +1,60 @@
+//! Fixed-point FFT PE vs the float FFT, and the full fixed-point BCM conv
+//! datapath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwsim::fixed::{ComplexFx, QFormat};
+use hwsim::fxfft::FxFftPe;
+use std::hint::black_box;
+
+fn bench_fxfft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fxfft_forward");
+    group.sample_size(50);
+    let q = QFormat::q8();
+    for &bs in &[8usize, 16, 32] {
+        let pe = FxFftPe::new(bs, q);
+        let x: Vec<ComplexFx> = (0..bs)
+            .map(|i| ComplexFx::from_f64(q, (i as f64 * 0.4).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                pe.forward(black_box(&mut buf));
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fx_conv(c: &mut Criterion) {
+    use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+    use hwsim::inference::{conv_forward_fx, FxWeights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let bs = 8;
+    let grids = (0..9)
+        .map(|_| {
+            let blocks = (0..4)
+                .map(|_| {
+                    CirculantMatrix::new(
+                        init::gaussian::<f32>(&mut rng, &[bs], 0.0, 0.2).into_vec(),
+                    )
+                })
+                .collect();
+            BlockCirculant::from_blocks(bs, 2, 2, blocks)
+        })
+        .collect();
+    let conv = ConvBlockCirculant::from_grids(3, 3, grids);
+    let q = QFormat::q8();
+    let weights = FxWeights::from_folded(q, &conv);
+    let x = vec![64i16; 16 * 8 * 8];
+    c.bench_function("fx_conv_16ch_8x8_k3_bs8", |b| {
+        b.iter(|| black_box(conv_forward_fx(q, black_box(&weights), black_box(&x), 8, 8)))
+    });
+}
+
+criterion_group!(benches, bench_fxfft, bench_fx_conv);
+criterion_main!(benches);

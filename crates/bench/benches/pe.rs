@@ -1,0 +1,55 @@
+//! PE-bank models: the skip-aware cycle walk vs the conventional bank,
+//! and the functional fixed-point eMAC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwsim::fixed::{ComplexAcc, ComplexFx, QFormat};
+use hwsim::pe::{emac_block, PeBankConfig};
+use rpbcm::SkipIndexBuffer;
+use std::hint::black_box;
+
+fn bench_tile_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pe_tile_cycles_2304_blocks");
+    group.sample_size(30);
+    let cfg = PeBankConfig::new(8, 32);
+    let blocks = 2304;
+    for &alpha in &[0.0f64, 0.5, 0.9] {
+        let pruned = (blocks as f64 * alpha) as usize;
+        let bits: Vec<bool> = (0..blocks).map(|i| i >= pruned).collect();
+        let skip = SkipIndexBuffer::from_bools(&bits);
+        group.bench_with_input(
+            BenchmarkId::new("skip", format!("a{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| black_box(cfg.tile_cycles_skip(black_box(&skip), 784))),
+        );
+    }
+    group.bench_function("conventional", |b| {
+        b.iter(|| black_box(cfg.tile_cycles_conventional(black_box(blocks), 784)))
+    });
+    group.finish();
+}
+
+fn bench_functional_emac(c: &mut Criterion) {
+    let q = QFormat::q8();
+    let bs = 8;
+    let bins = bs / 2 + 1;
+    let w: Vec<ComplexFx> = (0..bins)
+        .map(|i| ComplexFx::from_f64(q, 0.1 * i as f64, -0.05 * i as f64))
+        .collect();
+    let inputs: Vec<Vec<ComplexFx>> = (0..32)
+        .map(|p| {
+            (0..bins)
+                .map(|i| ComplexFx::from_f64(q, 0.2 * (p + i) as f64 % 1.0, 0.3))
+                .collect()
+        })
+        .collect();
+    c.bench_function("emac_block_32_lanes_bs8", |b| {
+        b.iter(|| {
+            let mut acc = vec![vec![ComplexAcc::zero(); bins]; 32];
+            emac_block(q, bs, black_box(&w), black_box(&inputs), &mut acc);
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tile_cycles, bench_functional_emac);
+criterion_main!(benches);

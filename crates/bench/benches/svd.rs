@@ -1,0 +1,53 @@
+//! Singular-value machinery: one-sided Jacobi on dense blocks vs the
+//! O(n log n) circulant fast path (|FFT(w)|), the workhorse of the
+//! Figs. 2/9a analyses.
+
+use circulant::CirculantMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::{init, svd, Tensor};
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_jacobi");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[8usize, 16, 32] {
+        let m: Tensor<f64> = init::gaussian(&mut rng, &[n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(svd::singular_values(black_box(&m))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_circulant_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_circulant_fast");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[8usize, 16, 32] {
+        let w: Tensor<f64> = init::gaussian(&mut rng, &[n], 0.0, 1.0);
+        let cm = CirculantMatrix::new(w.into_vec());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(cm.singular_values()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_effective_rank(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let m: Tensor<f64> = init::gaussian(&mut rng, &[16, 16], 0.0, 1.0);
+    c.bench_function("effective_rank_16", |b| {
+        b.iter(|| black_box(svd::effective_rank(black_box(&m))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_jacobi,
+    bench_circulant_spectrum,
+    bench_effective_rank
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (DESIGN.md §5).
+//! Run: `cargo run -p bench --release --bin exp_ablation`.
+fn main() {
+    let result = bench::experiments::ablation::run();
+    bench::experiments::ablation::print(&result);
+}

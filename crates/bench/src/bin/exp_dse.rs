@@ -1,0 +1,6 @@
+//! Design-space exploration: BS × p under the XC7Z020 envelope.
+//! Run: `cargo run -p bench --release --bin exp_dse`.
+fn main() {
+    let result = bench::experiments::dse::run();
+    bench::experiments::dse::print(&result);
+}

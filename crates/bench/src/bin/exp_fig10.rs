@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig10 data. Run: `cargo run -p bench --release --bin exp_fig10`.
+fn main() {
+    let result = bench::experiments::fig10::run();
+    bench::experiments::fig10::print(&result);
+}

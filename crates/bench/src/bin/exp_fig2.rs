@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig2 data. Run: `cargo run -p bench --release --bin exp_fig2`.
+fn main() {
+    let result = bench::experiments::fig2::run();
+    bench::experiments::fig2::print(&result);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig5 data. Run: `cargo run -p bench --release --bin exp_fig5`.
+fn main() {
+    let result = bench::experiments::fig5::run();
+    bench::experiments::fig5::print(&result);
+}

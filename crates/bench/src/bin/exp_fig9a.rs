@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig9a data. Run: `cargo run -p bench --release --bin exp_fig9a`.
+fn main() {
+    let result = bench::experiments::fig9a::run();
+    bench::experiments::fig9a::print(&result);
+}

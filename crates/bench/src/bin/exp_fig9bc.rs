@@ -1,0 +1,37 @@
+//! Regenerates the paper's Figs. 9b and 9c.
+//! Run: `cargo run -p bench --release --bin exp_fig9bc [-- vgg16|vgg19] [--seeds N]`.
+use bench::experiments::fig9bc::{self, Panel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panels: Vec<Panel> = if args.iter().any(|a| a == "vgg16") {
+        vec![Panel::Vgg16Cifar10]
+    } else if args.iter().any(|a| a == "vgg19") {
+        vec![Panel::Vgg19Cifar100]
+    } else {
+        vec![Panel::Vgg16Cifar10, Panel::Vgg19Cifar100]
+    };
+    let seeds = match args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => 1usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --seeds requires an integer >= 1, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    for panel in panels {
+        let result = if seeds > 1 {
+            fig9bc::run_averaged(panel, seeds)
+        } else {
+            fig9bc::run(panel)
+        };
+        fig9bc::print(&result);
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Runs the 16-bit fixed-point inference sweep (paper §V-C2).
+//! Run: `cargo run -p bench --release --bin exp_quant`.
+fn main() {
+    let result = bench::experiments::quant::run();
+    bench::experiments::quant::print(&result);
+}

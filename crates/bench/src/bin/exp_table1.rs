@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table1. Run: `cargo run -p bench --release --bin exp_table1`.
+fn main() {
+    let result = bench::experiments::table1::run();
+    bench::experiments::table1::print(&result);
+    let rows = bench::experiments::table1::run_synthetic_baselines();
+    bench::experiments::table1::print_synthetic(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table2. Run: `cargo run -p bench --release --bin exp_table2`.
+fn main() {
+    let result = bench::experiments::table2::run();
+    bench::experiments::table2::print(&result);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table3. Run: `cargo run -p bench --release --bin exp_table3`.
+fn main() {
+    let result = bench::experiments::table3::run();
+    bench::experiments::table3::print(&result);
+}

@@ -1,0 +1,111 @@
+//! Fig. 10: execution-cycle estimation vs pruning ratio α for one
+//! ResNet-18 layer (feature map 128×28×28, 3×3 kernel), proposed
+//! Pruned-BCM PE vs the conventional PE, plus the §V-C1 skip-overhead
+//! measurement at α = 0 (paper: +3.1 %).
+
+use crate::table::Table;
+use hwsim::dataflow::{DataflowConfig, LayerShape};
+use hwsim::pe::PeBankConfig;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Pruning ratio α.
+    pub alpha: f64,
+    /// Total layer cycles with the proposed (skip) PE.
+    pub proposed_cycles: u64,
+    /// Total layer cycles with the conventional PE (computes everything).
+    pub conventional_cycles: u64,
+}
+
+/// Results of the Fig. 10 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// The α sweep.
+    pub points: Vec<SweepPoint>,
+    /// Relative cycle overhead of the proposed PE at α = 0.
+    pub skip_overhead_at_zero: f64,
+}
+
+/// The paper's workload: one ResNet-18 layer, 128×28×28, 3×3.
+pub fn fig10_layer() -> LayerShape {
+    LayerShape::conv(128, 128, 28, 28, 3, 8)
+}
+
+/// Sweeps α over the Fig. 10 grid.
+pub fn run() -> Fig10Result {
+    let cfg = DataflowConfig::pynq_z2();
+    let layer = fig10_layer();
+    let mut conventional_cfg = cfg;
+    conventional_cfg.pe = PeBankConfig {
+        costs: hwsim::pe::PeCosts {
+            skip_overhead_cycles: 0,
+            ..cfg.pe.costs
+        },
+        ..cfg.pe
+    };
+    let mut points = Vec::new();
+    for i in 0..=9 {
+        let alpha = i as f64 / 10.0;
+        let proposed = cfg.simulate(&layer, alpha).total_cycles;
+        // The conventional PE has no skip controller: it computes every
+        // block regardless of α (no cycle benefit from sparsity).
+        let conventional = conventional_cfg.simulate(&layer, 0.0).total_cycles;
+        points.push(SweepPoint {
+            alpha,
+            proposed_cycles: proposed,
+            conventional_cycles: conventional,
+        });
+    }
+    let p0 = points[0];
+    Fig10Result {
+        skip_overhead_at_zero: p0.proposed_cycles as f64 / p0.conventional_cycles as f64 - 1.0,
+        points,
+    }
+}
+
+/// Prints the sweep.
+pub fn print(r: &Fig10Result) {
+    println!("== Fig. 10: execution cycles vs pruning ratio (128x28x28, 3x3, BS=8) ==");
+    let mut t = Table::new(&["alpha", "proposed cycles", "conventional cycles", "ratio"]);
+    for p in &r.points {
+        t.row_owned(vec![
+            format!("{:.1}", p.alpha),
+            p.proposed_cycles.to_string(),
+            p.conventional_cycles.to_string(),
+            format!("{:.3}", p.proposed_cycles as f64 / r.points[0].proposed_cycles as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "skip overhead at α=0: +{:.2}% (paper: +3.1%)",
+        r.skip_overhead_at_zero * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_near_paper_and_decay_near_linear() {
+        let r = run();
+        assert!(
+            (0.0..=0.06).contains(&r.skip_overhead_at_zero),
+            "overhead = {}",
+            r.skip_overhead_at_zero
+        );
+        // Monotone decreasing proposed cycles.
+        for w in r.points.windows(2) {
+            assert!(w[1].proposed_cycles < w[0].proposed_cycles);
+        }
+        // Conventional flat.
+        assert!(r
+            .points
+            .iter()
+            .all(|p| p.conventional_cycles == r.points[0].conventional_cycles));
+        // Near-linear: midpoint ratio ≈ 0.5 within the compute-bound regime.
+        let ratio = r.points[5].proposed_cycles as f64 / r.points[0].proposed_cycles as f64;
+        assert!((0.38..=0.62).contains(&ratio), "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 5: norm distribution of pruning units — conventional CNN units
+//! (`U_cnn`, BS² values each) vs BCM units (`U_bcm`, BS values each) —
+//! from the first and last compressible conv layer of trained networks,
+//! with the KDE curves and the min/max markers of the paper's figure.
+
+use crate::experiments::{cifar10_data, standard_train_config};
+use crate::table::Table;
+use nn::models::{vgg_tiny, ConvMode};
+use nn::train::Trainer;
+use nn::Network;
+use rpbcm::normstats::{
+    bcm_unit_norms_conv, dense_unit_norms_conv, norm_kde_series, NormComparison,
+};
+
+/// One layer's comparison.
+#[derive(Debug, Clone)]
+pub struct LayerNorms {
+    /// Layer label ("first" / "last").
+    pub label: String,
+    /// Side-by-side summary statistics.
+    pub comparison: NormComparison,
+    /// KDE series of the CNN unit norms.
+    pub cnn_kde: Vec<(f64, f64)>,
+    /// KDE series of the BCM unit norms.
+    pub bcm_kde: Vec<(f64, f64)>,
+}
+
+/// Results of the Fig. 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Block size used for the unit partitioning.
+    pub block_size: usize,
+    /// First- and last-layer comparisons.
+    pub layers: Vec<LayerNorms>,
+}
+
+fn dense_conv_weights(net: &Network) -> Vec<tensor::Tensor<f32>> {
+    net.layers()
+        .iter()
+        .filter_map(|l| l.conv_weight())
+        .collect()
+}
+
+/// Trains dense and BCM networks and compares pruning-unit norms.
+pub fn run() -> Fig5Result {
+    let bs = 8usize;
+    let data = cifar10_data(55);
+    let cfg = standard_train_config();
+    let mut dense = vgg_tiny(ConvMode::Dense, data.num_classes(), 55);
+    Trainer::new(cfg).fit(&mut dense, &data);
+    let mut bcm = vgg_tiny(ConvMode::Bcm { block_size: bs }, data.num_classes(), 55);
+    Trainer::new(cfg).fit(&mut bcm, &data);
+
+    // Compressible dense conv weights (channels divisible by BS), first
+    // and last; BCM layers aligned by position.
+    let dense_ws: Vec<_> = dense_conv_weights(&dense)
+        .into_iter()
+        .filter(|w| w.dims()[0] % bs == 0 && w.dims()[1] % bs == 0)
+        .collect();
+    let bcm_layers = bcm.bcm_layers();
+    assert_eq!(
+        dense_ws.len(),
+        bcm_layers.len(),
+        "dense and BCM nets must expose matching compressible layers"
+    );
+
+    let mut layers = Vec::new();
+    for (label, idx) in [("first", 0usize), ("last", dense_ws.len() - 1)] {
+        let cnn_norms = dense_unit_norms_conv(&dense_ws[idx], bs);
+        let bcm_norms = bcm_unit_norms_conv(&bcm_layers[idx].folded());
+        layers.push(LayerNorms {
+            label: label.to_string(),
+            comparison: NormComparison::new(&cnn_norms, &bcm_norms),
+            cnn_kde: norm_kde_series(&cnn_norms, 64),
+            bcm_kde: norm_kde_series(&bcm_norms, 64),
+        });
+    }
+    Fig5Result {
+        block_size: bs,
+        layers,
+    }
+}
+
+/// Prints the Fig. 5 statistics and KDE series.
+pub fn print(r: &Fig5Result) {
+    println!("== Fig. 5: pruning-unit norm distributions (BS={}) ==", r.block_size);
+    let mut t = Table::new(&[
+        "layer", "units", "cnn cv", "bcm cv", "cnn min/mean", "bcm min/mean", "bcm wider?",
+    ]);
+    for l in &r.layers {
+        t.row_owned(vec![
+            l.label.clone(),
+            format!("{}/{}", l.comparison.cnn.count, l.comparison.bcm.count),
+            format!("{:.3}", l.comparison.cnn.coeff_of_variation()),
+            format!("{:.3}", l.comparison.bcm.coeff_of_variation()),
+            format!("{:.3}", l.comparison.cnn.min_over_mean()),
+            format!("{:.3}", l.comparison.bcm.min_over_mean()),
+            format!("{}", l.comparison.favors_bcm_pruning()),
+        ]);
+    }
+    t.print();
+    for l in &r.layers {
+        println!("\nKDE ({}) — the two series have their own norm axes:", l.label);
+        for (&(x1, d1), &(x2, d2)) in l.cnn_kde.iter().zip(&l.bcm_kde).step_by(8) {
+            println!("  cnn({x1:.4}) = {d1:.4}    bcm({x2:.4}) = {d2:.4}");
+        }
+    }
+}

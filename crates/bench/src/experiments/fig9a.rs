@@ -1,0 +1,179 @@
+//! Fig. 9a: hadaBCM repairs the rank-condition — singular values of a
+//! trained traditional-BCM block vs the folded hadaBCM block, plus the
+//! §V-B1 network-wide poor-rank percentages (paper: 72.2 % of plain BCM
+//! blocks poor vs 2.1 % after hadaBCM).
+
+use crate::experiments::{cifar10_data, standard_train_config};
+use crate::table::Table;
+use circulant::rank::{poor_rank_fraction_conv, DecayFit};
+use nn::models::{vgg_tiny, ConvMode};
+use nn::train::Trainer;
+use nn::Network;
+use tensor::svd::PoorRankCriterion;
+
+/// Results of the Fig. 9a reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig9aResult {
+    /// Block size.
+    pub block_size: usize,
+    /// Mean normalized spectrum across trained plain-BCM blocks.
+    pub bcm_spectrum: Vec<f64>,
+    /// Mean normalized spectrum across trained hadaBCM folded blocks.
+    pub hada_spectrum: Vec<f64>,
+    /// Log-linear decay fits (more negative slope = worse rank-condition).
+    pub bcm_decay: DecayFit,
+    /// Decay fit of the hadaBCM spectrum.
+    pub hada_decay: DecayFit,
+    /// Network-wide poor-rank fraction, plain BCM.
+    pub bcm_poor_fraction: f64,
+    /// Network-wide poor-rank fraction, hadaBCM.
+    pub hada_poor_fraction: f64,
+    /// Converged-regime surrogate (see [`crate::experiments::fig2`]):
+    /// poor-rank fraction of spectrally-concentrated single blocks — the
+    /// paper's 72.2 % regime.
+    pub surrogate_bcm_poor: f64,
+    /// Mean exact rank (spectrum support) of single surrogate blocks.
+    pub surrogate_mean_rank: f64,
+    /// Mean exact rank of Hadamard products of two independent surrogate
+    /// blocks — the `rank(A⊙B) ≤ rank(A)·rank(B)` widening that hadaBCM
+    /// training exploits.
+    pub surrogate_hada_mean_rank: f64,
+}
+
+fn mean_normalized_spectrum(net: &Network) -> Vec<f64> {
+    let mut acc: Option<Vec<f64>> = None;
+    let mut count = 0usize;
+    for bcm in net.bcm_layers() {
+        for grid in bcm.folded().iter() {
+            for block in grid.iter() {
+                if block.is_zero() {
+                    continue;
+                }
+                let sv = tensor::svd::normalized_spectrum(&block.singular_values());
+                if sv.is_empty() {
+                    continue;
+                }
+                match &mut acc {
+                    None => acc = Some(sv),
+                    Some(a) => {
+                        for (x, v) in a.iter_mut().zip(&sv) {
+                            *x += v;
+                        }
+                    }
+                }
+                count += 1;
+            }
+        }
+    }
+    let mut mean = acc.expect("network has BCM blocks");
+    for v in &mut mean {
+        *v /= count as f64;
+    }
+    mean
+}
+
+fn poor_fraction(net: &Network) -> f64 {
+    let crit = PoorRankCriterion::paper();
+    let mut total = 0usize;
+    let mut poor = 0usize;
+    for bcm in net.bcm_layers() {
+        let folded = bcm.folded();
+        let count = folded.block_count();
+        poor += (poor_rank_fraction_conv(&folded, crit) * count as f64).round() as usize;
+        total += count;
+    }
+    poor as f64 / total as f64
+}
+
+/// Trains plain-BCM and hadaBCM networks at BS = 16 (the size of the
+/// Fig. 2 left panel the figure revisits) and compares spectra.
+pub fn run() -> Fig9aResult {
+    let bs = 16usize;
+    let data = cifar10_data(77);
+    let cfg = standard_train_config();
+    let mut bcm = vgg_tiny(ConvMode::Bcm { block_size: bs }, data.num_classes(), 77);
+    Trainer::new(cfg).fit(&mut bcm, &data);
+    let mut hada = vgg_tiny(ConvMode::HadaBcm { block_size: bs }, data.num_classes(), 77);
+    Trainer::new(cfg).fit(&mut hada, &data);
+
+    let bcm_spectrum = mean_normalized_spectrum(&bcm);
+    let hada_spectrum = mean_normalized_spectrum(&hada);
+
+    // Converged-regime surrogate: single spectrally-concentrated blocks
+    // vs Hadamard products of two independent ones (rank multiplies).
+    use circulant::CirculantMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9_2023);
+    let singles = crate::experiments::fig2::converged_surrogate_blocks(&mut rng, bs, 64);
+    let partners = crate::experiments::fig2::converged_surrogate_blocks(&mut rng, bs, 64);
+    let crit = PoorRankCriterion::paper();
+    let surrogate_bcm_poor = singles
+        .iter()
+        .filter(|w| crit.is_poor_spectrum(&CirculantMatrix::new((*w).clone()).singular_values()))
+        .count() as f64
+        / singles.len() as f64;
+    let surrogate_mean_rank = singles
+        .iter()
+        .map(|w| CirculantMatrix::new(w.clone()).rank(0.01) as f64)
+        .sum::<f64>()
+        / singles.len() as f64;
+    let surrogate_hada_mean_rank = singles
+        .iter()
+        .zip(&partners)
+        .map(|(a, b)| {
+            CirculantMatrix::new(a.clone())
+                .hadamard(&CirculantMatrix::new(b.clone()))
+                .rank(0.01) as f64
+        })
+        .sum::<f64>()
+        / singles.len() as f64;
+
+    Fig9aResult {
+        block_size: bs,
+        bcm_decay: DecayFit::of_spectrum(&bcm_spectrum),
+        hada_decay: DecayFit::of_spectrum(&hada_spectrum),
+        bcm_poor_fraction: poor_fraction(&bcm),
+        hada_poor_fraction: poor_fraction(&hada),
+        surrogate_bcm_poor,
+        surrogate_mean_rank,
+        surrogate_hada_mean_rank,
+        bcm_spectrum,
+        hada_spectrum,
+    }
+}
+
+/// Prints the spectra and the poor-rank percentages.
+pub fn print(r: &Fig9aResult) {
+    println!("== Fig. 9a: singular values, BCM vs hadaBCM (BS={}) ==", r.block_size);
+    let mut t = Table::new(&["index", "bcm", "hadaBCM"]);
+    for k in 0..r.block_size {
+        t.row_owned(vec![
+            k.to_string(),
+            format!("{:.4}", r.bcm_spectrum[k]),
+            format!("{:.4}", r.hada_spectrum[k]),
+        ]);
+    }
+    t.print();
+    println!(
+        "log-spectrum slope: bcm {:.3}, hadaBCM {:.3} (closer to 0 = more linear decay)",
+        r.bcm_decay.log_slope, r.hada_decay.log_slope
+    );
+    println!(
+        "poor rank-condition of trained networks: plain BCM {:.1}%, hadaBCM {:.1}% \
+         (paper: 72.2% → 2.1%; our short-budget plain-BCM runs stay healthy — \
+         the collapse needs converged large-scale training, see EXPERIMENTS.md)",
+        r.bcm_poor_fraction * 100.0,
+        r.hada_poor_fraction * 100.0
+    );
+    println!(
+        "converged-regime surrogate*: {:.0}% of plain-BCM blocks poor; mean rank {:.1} \
+         of {} — Hadamard products of two such blocks reach mean rank {:.1} \
+         (rank(A⊙B) ≤ rank(A)·rank(B) widening)",
+        r.surrogate_bcm_poor * 100.0,
+        r.surrogate_mean_rank,
+        r.block_size,
+        r.surrogate_hada_mean_rank
+    );
+    println!("* see exp_fig2 / EXPERIMENTS.md for the surrogate definition.");
+}

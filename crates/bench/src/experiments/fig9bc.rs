@@ -1,0 +1,220 @@
+//! Figs. 9b/9c: accuracy vs parameter reduction — traditional BCM at
+//! BS ∈ {8, 16, 32}, hadaBCM (the paper's "Ours*1"), and hadaBCM +
+//! BCM-wise pruning with Algorithm 1 (the paper's "Ours*2", triangle =
+//! break-down point at target accuracy β).
+//!
+//! Fig. 9b pairs the VGG-16-style net with the CIFAR-10 stand-in; Fig. 9c
+//! the VGG-19-style net with the CIFAR-100 stand-in.
+
+use crate::experiments::{cifar10_data, cifar100_data, finetune_config, standard_train_config};
+use crate::table::Table;
+use nn::data::SyntheticVision;
+use nn::models::{vgg19_tiny, vgg_tiny, ConvMode};
+use nn::train::{PrunableTrainedNetwork, Trainer};
+use nn::Network;
+use rpbcm::BcmWisePruner;
+use std::sync::Arc;
+
+/// Which of the two panels to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Fig. 9b: VGG-16-style on the CIFAR-10 stand-in.
+    Vgg16Cifar10,
+    /// Fig. 9c: VGG-19-style on the CIFAR-100 stand-in.
+    Vgg19Cifar100,
+}
+
+/// One point of the accuracy-vs-compression plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Series label as in the paper's legend.
+    pub series: String,
+    /// Parameter reduction vs the dense baseline, in percent
+    /// (folded/inference parameters).
+    pub param_reduction_pct: f64,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// `true` for the Algorithm 1 break-down point (the triangle marker).
+    pub breakdown: bool,
+}
+
+/// Results of one panel.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// The panel.
+    pub panel: Panel,
+    /// Dense baseline accuracy.
+    pub baseline_accuracy: f64,
+    /// Target accuracy β used for Algorithm 1.
+    pub beta: f64,
+    /// All curve points.
+    pub points: Vec<CurvePoint>,
+}
+
+fn build(panel: Panel, mode: ConvMode, seed: u64, classes: usize) -> Network {
+    match panel {
+        Panel::Vgg16Cifar10 => vgg_tiny(mode, classes, seed),
+        Panel::Vgg19Cifar100 => vgg19_tiny(mode, classes, seed),
+    }
+}
+
+fn dataset(panel: Panel, seed: u64) -> SyntheticVision {
+    match panel {
+        Panel::Vgg16Cifar10 => cifar10_data(seed),
+        Panel::Vgg19Cifar100 => cifar100_data(seed),
+    }
+}
+
+fn reduction_pct(net: &Network) -> f64 {
+    let dense = net.dense_equiv_param_count() as f64;
+    100.0 * (1.0 - net.folded_param_count() as f64 / dense)
+}
+
+/// Runs one panel: trains the baseline, the three plain-BCM sizes, the
+/// hadaBCM net, then Algorithm 1 on the hadaBCM net.
+pub fn run(panel: Panel) -> Fig9Result {
+    run_seeded(panel, 0)
+}
+
+/// Averages the per-series accuracies over `seeds` independent runs
+/// (training + data seeds both vary). The pruning trajectory is taken from
+/// the first run; only series accuracies are averaged — enough to smooth
+/// the single-seed variance visible in the BCM BS-sweep.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0`.
+pub fn run_averaged(panel: Panel, seeds: usize) -> Fig9Result {
+    assert!(seeds > 0, "need at least one seed");
+    let mut runs: Vec<Fig9Result> = (0..seeds as u64).map(|s| run_seeded(panel, s)).collect();
+    let mut base = runs.remove(0);
+    for p in &mut base.points {
+        // Average by series label over the runs that produced the same
+        // series (pruning trajectories may differ in length across seeds).
+        let mut sum = p.accuracy;
+        let mut count = 1usize;
+        for r in &runs {
+            if let Some(q) = r.points.iter().find(|q| q.series == p.series) {
+                sum += q.accuracy;
+                count += 1;
+            }
+        }
+        p.accuracy = sum / count as f64;
+    }
+    base
+}
+
+fn run_seeded(panel: Panel, seed_offset: u64) -> Fig9Result {
+    let seed = seed_offset * 1000
+        + match panel {
+            Panel::Vgg16Cifar10 => 9,
+            Panel::Vgg19Cifar100 => 19,
+        };
+    let data = dataset(panel, seed);
+    let cfg = standard_train_config();
+    let classes = data.num_classes();
+
+    // Dense baseline.
+    let mut baseline = build(panel, ConvMode::Dense, seed, classes);
+    let base_acc = f64::from(Trainer::new(cfg).fit(&mut baseline, &data));
+    let mut points = Vec::new();
+    points.push(CurvePoint {
+        series: "baseline".into(),
+        param_reduction_pct: 0.0,
+        accuracy: base_acc,
+        breakdown: false,
+    });
+
+    // Traditional BCM, BS ∈ {8, 16, 32} (the paper's x-axis sweep).
+    for bs in [8usize, 16, 32] {
+        let mut net = build(panel, ConvMode::Bcm { block_size: bs }, seed, classes);
+        let acc = f64::from(Trainer::new(cfg).fit(&mut net, &data));
+        points.push(CurvePoint {
+            series: format!("BCM BS={bs}"),
+            param_reduction_pct: reduction_pct(&net),
+            accuracy: acc,
+            breakdown: false,
+        });
+    }
+
+    // hadaBCM without pruning — "Ours*1".
+    const BS: usize = 8;
+    let mut hada = build(panel, ConvMode::HadaBcm { block_size: BS }, seed, classes);
+    let hada_acc = f64::from(Trainer::new(cfg).fit(&mut hada, &data));
+    points.push(CurvePoint {
+        series: "Ours*1 hadaBCM BS=8".into(),
+        param_reduction_pct: reduction_pct(&hada),
+        accuracy: hada_acc,
+        breakdown: false,
+    });
+
+    // hadaBCM + BCM-wise pruning — "Ours*2": Algorithm 1 with β a small
+    // margin under the hadaBCM accuracy (the paper fixes absolute βs of
+    // 92 % / 71 %; on the synthetic task the analogous floor is relative).
+    let beta = (hada_acc - 0.05).max(0.0);
+    let adapter = PrunableTrainedNetwork {
+        net: hada,
+        data: Arc::new(data),
+        finetune: finetune_config(),
+    };
+    let pruner = BcmWisePruner {
+        alpha_init: 0.25,
+        alpha_step: 0.25,
+        target_accuracy: beta,
+        max_rounds: 4,
+    };
+    let (best, report) = pruner.run(adapter);
+    // Param reduction per step, derived from the pruned-block count: each
+    // pruned block removes BS = 8 folded parameters from the unpruned
+    // folded count.
+    let dense = best.net.dense_equiv_param_count() as f64;
+    let folded_unpruned =
+        (best.net.folded_param_count() + report.final_pruned_count * BS) as f64;
+    for step in &report.steps {
+        let folded = folded_unpruned - (step.pruned_count * BS) as f64;
+        points.push(CurvePoint {
+            series: format!("Ours*2 α={:.2}", step.alpha),
+            param_reduction_pct: 100.0 * (1.0 - folded / dense),
+            accuracy: step.accuracy,
+            breakdown: false,
+        });
+    }
+    points.push(CurvePoint {
+        series: format!(
+            "Ours*2 break-down (α={})",
+            report
+                .final_alpha
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "none".into())
+        ),
+        param_reduction_pct: reduction_pct(&best.net),
+        accuracy: report.final_accuracy,
+        breakdown: true,
+    });
+
+    Fig9Result {
+        panel,
+        baseline_accuracy: base_acc,
+        beta,
+        points,
+    }
+}
+
+/// Prints the panel as a table of curve points.
+pub fn print(r: &Fig9Result) {
+    let name = match r.panel {
+        Panel::Vgg16Cifar10 => "Fig. 9b: VGG-16-style / CIFAR-10-like",
+        Panel::Vgg19Cifar100 => "Fig. 9c: VGG-19-style / CIFAR-100-like",
+    };
+    println!("== {name} (β = {:.3}) ==", r.beta);
+    let mut t = Table::new(&["series", "param reduction %", "accuracy", "breakdown"]);
+    for p in &r.points {
+        t.row_owned(vec![
+            p.series.clone(),
+            format!("{:.2}", p.param_reduction_pct),
+            format!("{:.4}", p.accuracy),
+            if p.breakdown { "▲".into() } else { "".into() },
+        ]);
+    }
+    t.print();
+}

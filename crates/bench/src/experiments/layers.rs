@@ -1,0 +1,123 @@
+//! Per-layer accelerator analysis: where ResNet-18's cycles go, which
+//! pipeline station bottlenecks each layer, and how α = 0.5 pruning shifts
+//! the bottlenecks — the layer-level story behind Table III's single FPS
+//! number, produced by the discrete-event pipeline simulation.
+
+use crate::table::Table;
+use hwsim::dataflow::{resnet18_layers, DataflowConfig, LayerShape};
+use hwsim::timeline::simulate_pipeline;
+use rpbcm::SkipIndexBuffer;
+
+/// One layer's analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Layer shape description.
+    pub shape: String,
+    /// Tile count.
+    pub tiles: u64,
+    /// Event-simulated makespan in cycles.
+    pub cycles: u64,
+    /// Bottleneck station name.
+    pub bottleneck: &'static str,
+    /// Bottleneck station utilization.
+    pub utilization: f64,
+}
+
+/// Results of the per-layer analysis.
+#[derive(Debug, Clone)]
+pub struct LayersResult {
+    /// Pruning ratio applied.
+    pub alpha: f64,
+    /// Per-layer rows (BCM layers only; the dense stem is reported in
+    /// total only).
+    pub rows: Vec<LayerRow>,
+    /// Whole-network cycles (all layers, analytic model).
+    pub total_cycles: u64,
+}
+
+const STATIONS: [&str; 4] = ["dram", "fft", "emac", "ifft"];
+
+fn analyse(cfg: &DataflowConfig, layer: &LayerShape, alpha: f64) -> Option<LayerRow> {
+    if !layer.bcm_compatible() {
+        return None;
+    }
+    let blocks = layer.k
+        * layer.k
+        * (cfg.tile_c_in.min(layer.c_in) / layer.bs)
+        * (cfg.tile_c_out.min(layer.c_out) / layer.bs);
+    let pruned = ((blocks as f64) * alpha).floor() as usize;
+    let bits: Vec<bool> = (0..blocks).map(|i| i >= pruned).collect();
+    let skip = SkipIndexBuffer::from_bools(&bits);
+    let (tile, n) = cfg.tile_costs(layer, &skip);
+    let run = simulate_pipeline(&vec![tile; n as usize], cfg.double_buffering);
+    let station = run.bottleneck_station();
+    Some(LayerRow {
+        shape: format!(
+            "{}x{} {}x{}x{}",
+            layer.k, layer.k, layer.c_in, layer.h_out, layer.w_out
+        ),
+        tiles: n,
+        cycles: run.makespan,
+        bottleneck: STATIONS[station],
+        utilization: run.utilization()[station],
+    })
+}
+
+/// Analyses every ResNet-18 layer at the given pruning ratio.
+pub fn run(alpha: f64) -> LayersResult {
+    let cfg = DataflowConfig::pynq_z2();
+    let layers = resnet18_layers(8);
+    let rows = layers.iter().filter_map(|l| analyse(&cfg, l, alpha)).collect();
+    LayersResult {
+        alpha,
+        rows,
+        total_cycles: cfg.simulate_network(&layers, alpha).total_cycles,
+    }
+}
+
+/// Prints the per-layer table.
+pub fn print(r: &LayersResult) {
+    println!("== ResNet-18 per-layer pipeline analysis (α = {}) ==", r.alpha);
+    let mut t = Table::new(&["layer (k c_in h w)", "tiles", "cycles", "bottleneck", "util"]);
+    for row in &r.rows {
+        t.row_owned(vec![
+            row.shape.clone(),
+            row.tiles.to_string(),
+            row.cycles.to_string(),
+            row.bottleneck.to_string(),
+            format!("{:.2}", row.utilization),
+        ]);
+    }
+    t.print();
+    println!("whole network (incl. dense stem): {} cycles/frame", r.total_cycles);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_shifts_some_bottlenecks_off_emac() {
+        let dense = run(0.0);
+        let pruned = run(0.9);
+        let emac_bound = |r: &LayersResult| {
+            r.rows.iter().filter(|x| x.bottleneck == "emac").count()
+        };
+        assert!(emac_bound(&dense) > 0);
+        assert!(
+            emac_bound(&pruned) < emac_bound(&dense),
+            "pruning should relieve eMAC-bound layers"
+        );
+        assert!(pruned.total_cycles < dense.total_cycles);
+    }
+
+    #[test]
+    fn rows_cover_all_bcm_layers() {
+        let r = run(0.5);
+        // ResNet-18 shapes: 16 3x3 convs + 3 1x1 downsamples are BCM; the
+        // 7x7 stem is dense.
+        assert_eq!(r.rows.len(), 19);
+        assert!(r.rows.iter().all(|row| row.cycles > 0));
+        assert!(r.rows.iter().all(|row| (0.0..=1.0).contains(&row.utilization)));
+    }
+}

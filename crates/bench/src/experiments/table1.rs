@@ -1,0 +1,232 @@
+//! Table I: comparison with other compression methods on ImageNet
+//! ResNet-50.
+//!
+//! The baseline rows (BPPS, GAL, HRank, ThiNet, TRP, CHIP, FPGM) are cited
+//! measurements carried as constants — exactly as the paper carries them.
+//! The "Ours" rows' FLOPs/parameter reductions are *recomputed* from this
+//! repo's analytic accounting model (`rpbcm::accounting`); the accuracies
+//! are the paper's reported values (training full ImageNet ResNet-50 is
+//! out of scope for a CPU reproduction — see DESIGN.md §2).
+
+use crate::experiments::{cifar10_data, finetune_config, standard_train_config};
+use crate::table::Table;
+use nn::baselines::{filter_prune, low_rank_truncate};
+use nn::models::{vgg_tiny, ConvMode};
+use nn::train::{PrunableTrainedNetwork, Trainer};
+use rpbcm::accounting::{resnet50_imagenet, CompressionParams};
+use rpbcm::BcmWisePruner;
+use std::sync::Arc;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Method name.
+    pub method: String,
+    /// Top-1 accuracy (%).
+    pub top1: f64,
+    /// Top-5 accuracy (%).
+    pub top5: f64,
+    /// FLOPs reduction (%) — `None` when the source reports N/A.
+    pub flops_reduction: Option<f64>,
+    /// Parameter reduction (%).
+    pub params_reduction: Option<f64>,
+    /// `true` for the rows recomputed by this repo.
+    pub ours: bool,
+}
+
+/// Results of the Table I reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// All rows, paper order.
+    pub rows: Vec<Row>,
+}
+
+fn cited(method: &str, top1: f64, top5: f64, fl: Option<f64>, pa: Option<f64>) -> Row {
+    Row {
+        method: method.to_string(),
+        top1,
+        top5,
+        flops_reduction: fl,
+        params_reduction: pa,
+        ours: false,
+    }
+}
+
+/// Builds the table: cited rows plus our recomputed reductions.
+pub fn run() -> Table1Result {
+    let net = resnet50_imagenet();
+    let r1 = net.reduction(CompressionParams::new(8, 0.5));
+    let r2 = net.reduction(CompressionParams::new(4, 0.7));
+    let rows = vec![
+        cited("Baseline", 76.15, 92.87, None, None),
+        cited("BPPS", 70.58, 90.00, Some(75.80), Some(68.55)),
+        cited("GAL", 71.80, 90.82, Some(55.01), Some(24.27)),
+        cited("HRank", 71.98, 91.01, Some(62.10), Some(46.00)),
+        cited("ThiNet", 72.04, 90.67, Some(36.79), Some(33.72)),
+        Row {
+            method: "Ours (BS=8, α=0.5)".into(),
+            top1: 71.99,
+            top5: 90.25,
+            flops_reduction: Some(r1.flops_reduction_pct),
+            params_reduction: Some(r1.param_reduction_pct),
+            ours: true,
+        },
+        cited("TRP", 72.69, 91.41, Some(56.50), None),
+        cited("BPPS (β=93%)", 73.06, 91.30, Some(67.97), Some(57.49)),
+        cited("CHIP", 73.30, 91.48, Some(76.70), Some(68.60)),
+        cited("FPGM", 74.83, 92.32, Some(53.50), None),
+        Row {
+            method: "Ours (BS=4, α=0.7)".into(),
+            top1: 73.12,
+            top5: 91.42,
+            flops_reduction: Some(r2.flops_reduction_pct),
+            params_reduction: Some(r2.param_reduction_pct),
+            ours: true,
+        },
+    ];
+    Table1Result { rows }
+}
+
+/// Prints the table in the paper's layout.
+pub fn print(r: &Table1Result) {
+    println!("== Table I: compression comparison, ResNet-50 / ImageNet ==");
+    println!("(cited rows = literature constants; Ours reductions recomputed,");
+    println!(" Ours accuracies = paper-reported; see EXPERIMENTS.md)");
+    let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "N/A".into());
+    let mut t = Table::new(&["method", "top-1 %", "top-5 %", "FLOPs ↓ %", "params ↓ %"]);
+    for row in &r.rows {
+        t.row_owned(vec![
+            row.method.clone(),
+            format!("{:.2}", row.top1),
+            format!("{:.2}", row.top5),
+            fmt(row.flops_reduction),
+            fmt(row.params_reduction),
+        ]);
+    }
+    t.print();
+}
+
+/// One row of the in-repo baseline shoot-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticRow {
+    /// Method name.
+    pub method: String,
+    /// Test accuracy on the synthetic task after fine-tuning.
+    pub accuracy: f64,
+    /// Parameter reduction (%).
+    pub params_reduction: f64,
+}
+
+/// The Table I *ordering* reproduced empirically: the same training stack
+/// runs norm-based filter pruning, low-rank truncation, and RP-BCM on the
+/// synthetic CIFAR-10 stand-in, all fine-tuned with the same budget.
+pub fn run_synthetic_baselines() -> Vec<SyntheticRow> {
+    let data = cifar10_data(41);
+    let cfg = standard_train_config();
+    let ft = finetune_config();
+    let mut rows = Vec::new();
+
+    // Dense baseline.
+    let mut dense = vgg_tiny(ConvMode::Dense, data.num_classes(), 41);
+    let dense_acc = f64::from(Trainer::new(cfg).fit(&mut dense, &data));
+    rows.push(SyntheticRow {
+        method: "Baseline (dense)".into(),
+        accuracy: dense_acc,
+        params_reduction: 0.0,
+    });
+
+    // Norm-based filter pruning at 50 %, fine-tuned.
+    let mut fp = dense.clone();
+    let fp_report = filter_prune(&mut fp, 0.5);
+    let fp_acc = f64::from(Trainer::new(ft).fit(&mut fp, &data));
+    rows.push(SyntheticRow {
+        method: "Filter pruning (norm, 50%)".into(),
+        accuracy: fp_acc,
+        params_reduction: fp_report.reduction_pct(),
+    });
+
+    // Low-rank truncation to rank 8, fine-tuned.
+    let mut lr = dense.clone();
+    let lr_report = low_rank_truncate(&mut lr, 8);
+    let lr_acc = f64::from(Trainer::new(ft).fit(&mut lr, &data));
+    rows.push(SyntheticRow {
+        method: "Low-rank (r=8, TRP-style)".into(),
+        accuracy: lr_acc,
+        params_reduction: lr_report.reduction_pct(),
+    });
+
+    // RP-BCM: hadaBCM training + Algorithm 1.
+    let mut hada = vgg_tiny(ConvMode::HadaBcm { block_size: 8 }, data.num_classes(), 41);
+    let hada_acc = f64::from(Trainer::new(cfg).fit(&mut hada, &data));
+    let adapter = PrunableTrainedNetwork {
+        net: hada,
+        data: Arc::new(data),
+        finetune: ft,
+    };
+    let pruner = BcmWisePruner {
+        alpha_init: 0.25,
+        alpha_step: 0.25,
+        target_accuracy: (hada_acc - 0.05).max(0.0),
+        max_rounds: 4,
+    };
+    let (best, report) = pruner.run(adapter);
+    rows.push(SyntheticRow {
+        method: format!(
+            "RP-BCM (BS=8, α={})",
+            report
+                .final_alpha
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "0".into())
+        ),
+        accuracy: if report.final_alpha.is_some() {
+            report.final_accuracy
+        } else {
+            hada_acc // no round met β: the unpruned hadaBCM net is kept
+        },
+        params_reduction: 100.0
+            * (1.0
+                - best.net.folded_param_count() as f64
+                    / best.net.dense_equiv_param_count() as f64),
+    });
+    rows
+}
+
+/// Prints the synthetic shoot-out.
+pub fn print_synthetic(rows: &[SyntheticRow]) {
+    println!("\n== Table I (empirical ordering on the synthetic task) ==");
+    let mut t = Table::new(&["method", "accuracy", "params ↓ %"]);
+    for r in rows {
+        t.row_owned(vec![
+            r.method.clone(),
+            format!("{:.3}", r.accuracy),
+            format!("{:.2}", r.params_reduction),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_rows_have_highest_param_reduction() {
+        // The paper's headline: RP-BCM reaches by far the largest
+        // parameter reduction at comparable accuracy.
+        let t = run();
+        let best_ours = t
+            .rows
+            .iter()
+            .filter(|r| r.ours)
+            .filter_map(|r| r.params_reduction)
+            .fold(0.0, f64::max);
+        let best_cited = t
+            .rows
+            .iter()
+            .filter(|r| !r.ours)
+            .filter_map(|r| r.params_reduction)
+            .fold(0.0, f64::max);
+        assert!(best_ours > best_cited + 10.0, "{best_ours} vs {best_cited}");
+        assert!(best_ours > 90.0);
+    }
+}

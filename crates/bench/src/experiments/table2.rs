@@ -1,0 +1,80 @@
+//! Table II: resource estimation with and without the proposed skip
+//! scheme, at identical PE parallelism and dataflow.
+
+use crate::table::Table;
+use hwsim::device::Xc7z020;
+use hwsim::resources::{AcceleratorConfig, ResourceEstimate};
+
+/// Results of the Table II reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Result {
+    /// Estimate with the skip scheme (the proposed design).
+    pub with_skip: ResourceEstimate,
+    /// Estimate without it (conventional PE bank).
+    pub without_skip: ResourceEstimate,
+}
+
+impl Table2Result {
+    /// Relative LUT overhead of the skip scheme.
+    pub fn lut_overhead(&self) -> f64 {
+        (self.with_skip.lut as f64 - self.without_skip.lut as f64)
+            / self.without_skip.lut as f64
+    }
+
+    /// Relative BRAM overhead of the skip scheme (skip-index buffer).
+    pub fn bram_overhead(&self) -> f64 {
+        (self.with_skip.bram_36k - self.without_skip.bram_36k) / self.without_skip.bram_36k
+    }
+}
+
+/// Computes both design points.
+pub fn run() -> Table2Result {
+    let base = AcceleratorConfig::pynq_z2();
+    Table2Result {
+        with_skip: base.estimate(),
+        without_skip: AcceleratorConfig {
+            with_skip: false,
+            ..base
+        }
+        .estimate(),
+    }
+}
+
+/// Prints the table in the paper's with/without layout.
+pub fn print(r: &Table2Result) {
+    println!("== Table II: resource estimation, skip scheme on/off ==");
+    let mut t = Table::new(&["design", "LUT", "FF", "DSP", "BRAM36", "fits XC7Z020"]);
+    for (name, est) in [
+        ("proposed (with skip)", &r.with_skip),
+        ("conventional (no skip)", &r.without_skip),
+    ] {
+        t.row_owned(vec![
+            name.to_string(),
+            est.lut.to_string(),
+            est.ff.to_string(),
+            est.dsp.to_string(),
+            format!("{:.1}", est.bram_36k),
+            Xc7z020::fits(est).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "skip-scheme overhead: LUT +{:.2}%, BRAM +{:.2}%, DSP +0",
+        r.lut_overhead() * 100.0,
+        r.bram_overhead() * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_low_and_nonzero() {
+        let r = run();
+        assert!(r.lut_overhead() > 0.0 && r.lut_overhead() < 0.05);
+        assert!(r.bram_overhead() >= 0.0 && r.bram_overhead() < 0.05);
+        assert_eq!(r.with_skip.dsp, r.without_skip.dsp);
+        assert!(Xc7z020::fits(&r.with_skip));
+    }
+}

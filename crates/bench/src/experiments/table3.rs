@@ -1,0 +1,198 @@
+//! Table III: ResNet-18 implementation comparison on XC7Z020 — GPU
+//! reference, three cited FPGA implementations, and our simulated RP-BCM
+//! accelerator (BS = 8, α = 0.5, 100 MHz, 16-bit fixed point).
+//!
+//! Cited rows are the paper's literature constants; the "Ours" row is
+//! computed end-to-end from this repo's resource, power and dataflow
+//! models.
+
+use crate::table::Table;
+use hwsim::dataflow::{resnet18_layers, DataflowConfig};
+use hwsim::device::Xc7z020;
+use hwsim::power::{power_w, Efficiency, GpuReference};
+use hwsim::resources::AcceleratorConfig;
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Implementation label.
+    pub implementation: String,
+    /// Method description.
+    pub method: String,
+    /// Clock (MHz); `None` for the GPU row.
+    pub freq_mhz: Option<f64>,
+    /// kLUT used (and share of device).
+    pub klut: Option<f64>,
+    /// DSPs used.
+    pub dsp: Option<u64>,
+    /// BRAM36 used.
+    pub bram: Option<f64>,
+    /// Power (W).
+    pub power_w: f64,
+    /// Throughput (FPS).
+    pub fps: f64,
+    /// `true` for our simulated row.
+    pub ours: bool,
+}
+
+impl Row {
+    /// FPS/kLUT (None for the GPU row).
+    pub fn fps_per_klut(&self) -> Option<f64> {
+        self.klut.map(|k| self.fps / k)
+    }
+
+    /// FPS/DSP.
+    pub fn fps_per_dsp(&self) -> Option<f64> {
+        self.dsp.map(|d| self.fps / d as f64)
+    }
+
+    /// FPS/W.
+    pub fn fps_per_w(&self) -> f64 {
+        self.fps / self.power_w
+    }
+}
+
+/// Results of the Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// All rows, paper order (GPU, cited FPGA works, ours).
+    pub rows: Vec<Row>,
+    /// Our FPS/W advantage over the GPU (paper: 3.1×).
+    pub gpu_energy_ratio: f64,
+}
+
+/// Builds the table, simulating our row.
+pub fn run() -> Table3Result {
+    let est = AcceleratorConfig::pynq_z2().estimate();
+    let cfg = DataflowConfig::pynq_z2();
+    let frame = cfg.simulate_network(&resnet18_layers(8), 0.5);
+    let fps = cfg.fps(&frame);
+    let p = power_w(&est, cfg.freq_mhz);
+    let eff = Efficiency::new(fps, &est, p);
+    let _util = Xc7z020::utilization(&est);
+
+    let rows = vec![
+        Row {
+            implementation: "ResNet-18 (GTX 1080Ti)".into(),
+            method: "-".into(),
+            freq_mhz: None,
+            klut: None,
+            dsp: None,
+            bram: None,
+            power_w: GpuReference::POWER_W,
+            fps: GpuReference::FPS,
+            ours: false,
+        },
+        Row {
+            implementation: "VGG [Angel-Eye]".into(),
+            method: "Quantization (W8A8)".into(),
+            freq_mhz: Some(214.0),
+            klut: Some(29.9),
+            dsp: Some(190),
+            bram: Some(85.5),
+            power_w: 3.5,
+            fps: 2.72,
+            ours: false,
+        },
+        Row {
+            implementation: "ResNet-18 [FILM-QNN a]".into(),
+            method: "Mixed-precision W4A5 + first/last W8A5".into(),
+            freq_mhz: Some(100.0),
+            klut: Some(39.1),
+            dsp: Some(214),
+            bram: Some(126.5),
+            power_w: 3.0,
+            fps: 12.9,
+            ours: false,
+        },
+        Row {
+            implementation: "ResNet-18 [FILM-QNN b]".into(),
+            method: "Mixed-precision 95% W4A5 + 5% W8A5".into(),
+            freq_mhz: Some(100.0),
+            klut: Some(41.3),
+            dsp: Some(208),
+            bram: Some(123.0),
+            power_w: 3.5,
+            fps: 27.8,
+            ours: false,
+        },
+        Row {
+            implementation: "ResNet-18 (Ours, simulated)".into(),
+            method: "RP-BCM (hadaBCM + pruning), 16-bit fixed".into(),
+            freq_mhz: Some(cfg.freq_mhz),
+            klut: Some(est.lut as f64 / 1000.0),
+            dsp: Some(est.dsp),
+            bram: Some(est.bram_36k),
+            power_w: p,
+            fps,
+            ours: true,
+        },
+    ];
+    Table3Result {
+        gpu_energy_ratio: eff.fps_per_w / GpuReference::fps_per_w(),
+        rows,
+    }
+}
+
+/// Prints the table in the paper's layout.
+pub fn print(r: &Table3Result) {
+    println!("== Table III: ResNet-18 implementations on XC7Z020 ==");
+    let opt = |v: Option<f64>, prec: usize| {
+        v.map(|x| format!("{x:.prec$}")).unwrap_or_else(|| "-".into())
+    };
+    let mut t = Table::new(&[
+        "implementation",
+        "freq MHz",
+        "kLUT",
+        "DSP",
+        "BRAM",
+        "power W",
+        "FPS",
+        "FPS/kLUT",
+        "FPS/DSP",
+        "FPS/W",
+    ]);
+    for row in &r.rows {
+        t.row_owned(vec![
+            row.implementation.clone(),
+            opt(row.freq_mhz, 0),
+            opt(row.klut, 1),
+            row.dsp.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            opt(row.bram, 1),
+            format!("{:.2}", row.power_w),
+            format!("{:.2}", row.fps),
+            opt(row.fps_per_klut(), 2),
+            opt(row.fps_per_dsp(), 3),
+            format!("{:.2}", row.fps_per_w()),
+        ]);
+    }
+    t.print();
+    println!(
+        "energy efficiency vs GPU: {:.2}x (paper: 3.1x)",
+        r.gpu_energy_ratio
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_row_matches_paper_shape() {
+        let r = run();
+        let ours = r.rows.iter().find(|x| x.ours).expect("ours row");
+        // Table III envelope: modest resources, ~1.8 W, ~12.5 FPS.
+        assert!(ours.power_w < 2.5);
+        assert!((4.0..=40.0).contains(&ours.fps), "fps = {}", ours.fps);
+        // Lower resource usage than both FILM-QNN rows.
+        let film = &r.rows[2];
+        assert!(ours.klut.expect("klut") < film.klut.expect("klut"));
+        assert!(ours.dsp.expect("dsp") < film.dsp.expect("dsp"));
+        // Energy-efficiency win over the GPU in the paper's ballpark.
+        assert!(
+            (1.5..=6.0).contains(&r.gpu_energy_ratio),
+            "ratio = {}",
+            r.gpu_energy_ratio
+        );
+    }
+}

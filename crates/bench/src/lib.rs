@@ -1,0 +1,19 @@
+//! Benchmark harness: one module (and one `exp_*` binary) per table and
+//! figure of the paper's evaluation (§V). Every module exposes a `run()`
+//! returning structured results plus a `print()` that emits the same
+//! rows/series the paper reports, so `cargo run -p bench --bin exp_table3`
+//! regenerates Table III and so on.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 2 (singular-value decay, BCM vs conv vs Gaussian) | [`experiments::fig2`] | `exp_fig2` |
+//! | Fig. 5 (pruning-unit norm KDE) | [`experiments::fig5`] | `exp_fig5` |
+//! | Fig. 9a (hadaBCM rank repair) | [`experiments::fig9a`] | `exp_fig9a` |
+//! | Figs. 9b/9c (accuracy vs compression) | [`experiments::fig9bc`] | `exp_fig9bc` |
+//! | Table I (ResNet-50 compression comparison) | [`experiments::table1`] | `exp_table1` |
+//! | Table II (skip-scheme resource overhead) | [`experiments::table2`] | `exp_table2` |
+//! | Fig. 10 (cycles vs pruning ratio) | [`experiments::fig10`] | `exp_fig10` |
+//! | Table III (efficiency vs GPU and prior FPGA work) | [`experiments::table3`] | `exp_table3` |
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,112 @@
+//! Minimal aligned-column table printer for experiment output.
+
+/// A simple text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use bench::table::Table;
+///
+/// let mut t = Table::new(&["method", "accuracy"]);
+/// t.row(&["baseline", "0.93"]);
+/// t.row(&["ours", "0.92"]);
+/// let s = t.render();
+/// assert!(s.contains("baseline"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}", c, width = widths[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+        // Second column aligned under its header.
+        let hpos = lines[0].find("long-header").expect("header");
+        let cpos = lines[2].find('1').expect("cell");
+        assert_eq!(hpos, cpos);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        Table::new(&["a"]).row(&["1", "2"]);
+    }
+}

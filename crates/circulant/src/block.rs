@@ -1,0 +1,543 @@
+//! Block-circulant partitioning of weight matrices and convolution kernels.
+
+use crate::CirculantMatrix;
+use fft::real::HalfSpectrum;
+use tensor::{Scalar, Tensor};
+
+/// A weight matrix partitioned into a grid of circulant blocks
+/// (paper Fig. 1b for the convolution case; this type is the 2-d
+/// fully-connected / per-spatial-position core).
+///
+/// The dense matrix is `[rows, cols] = [rb·BS, cb·BS]`; block `(bi, bj)`
+/// multiplies input chunk `bj` and accumulates into output chunk `bi`.
+///
+/// # Example
+///
+/// ```
+/// use circulant::BlockCirculant;
+/// use tensor::Tensor;
+///
+/// let dense = Tensor::from_fn(&[4, 8], |i| (i % 7) as f64);
+/// let bc = BlockCirculant::project_from_dense(&dense, 4);
+/// assert_eq!(bc.grid_dims(), (1, 2));
+/// assert_eq!(bc.param_count(), 8); // two blocks x BS params
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCirculant<T: Scalar> {
+    block_size: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    /// Row-major grid of blocks, length `row_blocks * col_blocks`.
+    blocks: Vec<CirculantMatrix<T>>,
+}
+
+impl<T: Scalar> BlockCirculant<T> {
+    /// Builds a grid from blocks in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is wrong, any block size differs from
+    /// `block_size`, or any dimension is zero.
+    pub fn from_blocks(
+        block_size: usize,
+        row_blocks: usize,
+        col_blocks: usize,
+        blocks: Vec<CirculantMatrix<T>>,
+    ) -> Self {
+        assert!(block_size > 0 && row_blocks > 0 && col_blocks > 0);
+        assert_eq!(
+            blocks.len(),
+            row_blocks * col_blocks,
+            "expected {} blocks, got {}",
+            row_blocks * col_blocks,
+            blocks.len()
+        );
+        assert!(
+            blocks.iter().all(|b| b.block_size() == block_size),
+            "all blocks must have size {block_size}"
+        );
+        BlockCirculant {
+            block_size,
+            row_blocks,
+            col_blocks,
+            blocks,
+        }
+    }
+
+    /// Builds an all-zero grid.
+    pub fn zeros(block_size: usize, row_blocks: usize, col_blocks: usize) -> Self {
+        let blocks = (0..row_blocks * col_blocks)
+            .map(|_| CirculantMatrix::zeros(block_size))
+            .collect();
+        Self::from_blocks(block_size, row_blocks, col_blocks, blocks)
+    }
+
+    /// Least-squares projection of a dense `[rows, cols]` matrix onto the
+    /// block-circulant subspace with block size `bs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not 2-d or its dimensions are not divisible by
+    /// `bs`.
+    pub fn project_from_dense(dense: &Tensor<T>, bs: usize) -> Self {
+        assert_eq!(dense.shape().ndim(), 2, "projection needs a 2-d tensor");
+        let (rows, cols) = (dense.shape().dim(0), dense.shape().dim(1));
+        assert_eq!(rows % bs, 0, "rows {rows} not divisible by BS {bs}");
+        assert_eq!(cols % bs, 0, "cols {cols} not divisible by BS {bs}");
+        let (rb, cb) = (rows / bs, cols / bs);
+        let mut blocks = Vec::with_capacity(rb * cb);
+        for bi in 0..rb {
+            for bj in 0..cb {
+                let sub = Tensor::from_fn(&[bs, bs], |idx| {
+                    let (i, j) = (idx / bs, idx % bs);
+                    dense.at(&[bi * bs + i, bj * bs + j])
+                });
+                blocks.push(CirculantMatrix::project_from_dense(&sub));
+            }
+        }
+        Self::from_blocks(bs, rb, cb, blocks)
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `(row_blocks, col_blocks)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.row_blocks, self.col_blocks)
+    }
+
+    /// Dense dimensions `(rows, cols)`.
+    pub fn dense_dims(&self) -> (usize, usize) {
+        (
+            self.row_blocks * self.block_size,
+            self.col_blocks * self.block_size,
+        )
+    }
+
+    /// The block at grid position `(bi, bj)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn block(&self, bi: usize, bj: usize) -> &CirculantMatrix<T> {
+        assert!(bi < self.row_blocks && bj < self.col_blocks, "block index out of bounds");
+        &self.blocks[bi * self.col_blocks + bj]
+    }
+
+    /// Mutable block access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn block_mut(&mut self, bi: usize, bj: usize) -> &mut CirculantMatrix<T> {
+        assert!(bi < self.row_blocks && bj < self.col_blocks, "block index out of bounds");
+        &mut self.blocks[bi * self.col_blocks + bj]
+    }
+
+    /// Iterates over blocks in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &CirculantMatrix<T>> {
+        self.blocks.iter()
+    }
+
+    /// Iterates mutably over blocks in row-major order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CirculantMatrix<T>> {
+        self.blocks.iter_mut()
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of *stored* parameters: `BS` per block (pruned blocks counted
+    /// as zero — they are dropped from storage entirely).
+    pub fn param_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| !b.is_zero())
+            .map(|b| b.param_count())
+            .sum()
+    }
+
+    /// Parameters of the dense equivalent.
+    pub fn dense_param_count(&self) -> usize {
+        let (r, c) = self.dense_dims();
+        r * c
+    }
+
+    /// Expands to the dense matrix.
+    pub fn to_dense(&self) -> Tensor<T> {
+        let (rows, cols) = self.dense_dims();
+        let bs = self.block_size;
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for bi in 0..self.row_blocks {
+            for bj in 0..self.col_blocks {
+                let d = self.block(bi, bj).to_dense();
+                for i in 0..bs {
+                    for j in 0..bs {
+                        out.set(&[bi * bs + i, bj * bs + j], d.at(&[i, j]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product via the naive per-block dense path, O(rows·cols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the dense column count.
+    pub fn matvec_naive(&self, x: &[T]) -> Vec<T> {
+        let (rows, cols) = self.dense_dims();
+        assert_eq!(x.len(), cols, "matvec dimension mismatch");
+        let bs = self.block_size;
+        let mut y = vec![T::ZERO; rows];
+        for bi in 0..self.row_blocks {
+            for bj in 0..self.col_blocks {
+                let blk = self.block(bi, bj);
+                if blk.is_zero() {
+                    continue;
+                }
+                let part = blk.matvec_naive(&x[bj * bs..(bj + 1) * bs]);
+                for (yi, p) in y[bi * bs..(bi + 1) * bs].iter_mut().zip(part) {
+                    *yi += p;
+                }
+            }
+        }
+        y
+    }
+
+    /// Matrix–vector product via "FFT → eMAC → IFFT" with spectrum-domain
+    /// accumulation: each input chunk is transformed once, partial products
+    /// are accumulated per output chunk in the frequency domain, and one
+    /// IFFT per output chunk recovers the result — the computation order the
+    /// accelerator implements.
+    ///
+    /// Pruned (all-zero) blocks are skipped, exactly like the PE
+    /// controller's skip-index scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the dense column count or `BS` is
+    /// not a power of two.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        let (rows, cols) = self.dense_dims();
+        assert_eq!(x.len(), cols, "matvec dimension mismatch");
+        let bs = self.block_size;
+        // FFT each input chunk once (input reuse — §II-B3's motivation).
+        let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
+            .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
+            .collect();
+        let mut y = Vec::with_capacity(rows);
+        for bi in 0..self.row_blocks {
+            let mut acc = HalfSpectrum::zeros(bs);
+            for bj in 0..self.col_blocks {
+                let blk = self.block(bi, bj);
+                if blk.is_zero() {
+                    continue; // skip-index hit
+                }
+                let w_spec = HalfSpectrum::forward(blk.defining_vector());
+                acc.emac_accumulate(&w_spec, &x_spectra[bj]);
+            }
+            y.extend(acc.inverse());
+        }
+        y
+    }
+
+    /// Per-block skip-index bitmap: `true` = compute, `false` = pruned
+    /// (paper §IV-B: one bit per BCM).
+    pub fn skip_index(&self) -> Vec<bool> {
+        self.blocks.iter().map(|b| !b.is_zero()).collect()
+    }
+
+    /// Fraction of blocks that are pruned.
+    pub fn sparsity(&self) -> f64 {
+        let zero = self.blocks.iter().filter(|b| b.is_zero()).count();
+        zero as f64 / self.blocks.len() as f64
+    }
+}
+
+/// A convolution weight `[c_out, c_in, kh, kw]` in block-circulant form:
+/// for each spatial tap `(kh, kw)` the `[c_out, c_in]` slice is a
+/// [`BlockCirculant`] grid (paper Fig. 1b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvBlockCirculant<T: Scalar> {
+    kh: usize,
+    kw: usize,
+    /// One grid per spatial tap, row-major over `(kh, kw)`.
+    grids: Vec<BlockCirculant<T>>,
+}
+
+impl<T: Scalar> ConvBlockCirculant<T> {
+    /// Builds from per-tap grids (row-major over the `kh × kw` taps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid count differs from `kh*kw`, or grids disagree on
+    /// shape.
+    pub fn from_grids(kh: usize, kw: usize, grids: Vec<BlockCirculant<T>>) -> Self {
+        assert_eq!(grids.len(), kh * kw, "need one grid per spatial tap");
+        assert!(!grids.is_empty(), "convolution needs at least one tap");
+        let dims = grids[0].grid_dims();
+        let bs = grids[0].block_size();
+        assert!(
+            grids.iter().all(|g| g.grid_dims() == dims && g.block_size() == bs),
+            "all taps must share grid shape"
+        );
+        ConvBlockCirculant { kh, kw, grids }
+    }
+
+    /// Projects a dense conv weight `[c_out, c_in, kh, kw]` onto
+    /// block-circulant form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 4-d or channels are not divisible by `bs`.
+    pub fn project_from_dense(w: &Tensor<T>, bs: usize) -> Self {
+        assert_eq!(w.shape().ndim(), 4, "conv weight must be 4-d");
+        let (co, ci, kh, kw) = (
+            w.shape().dim(0),
+            w.shape().dim(1),
+            w.shape().dim(2),
+            w.shape().dim(3),
+        );
+        let grids = (0..kh * kw)
+            .map(|tap| {
+                let (p, q) = (tap / kw, tap % kw);
+                let slice = Tensor::from_fn(&[co, ci], |idx| {
+                    let (o, i) = (idx / ci, idx % ci);
+                    w.at(&[o, i, p, q])
+                });
+                BlockCirculant::project_from_dense(&slice, bs)
+            })
+            .collect();
+        ConvBlockCirculant { kh, kw, grids }
+    }
+
+    /// Kernel height and width.
+    pub fn kernel_dims(&self) -> (usize, usize) {
+        (self.kh, self.kw)
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.grids[0].block_size()
+    }
+
+    /// Channel-block grid dims `(c_out/BS, c_in/BS)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        self.grids[0].grid_dims()
+    }
+
+    /// `(c_out, c_in)`.
+    pub fn channel_dims(&self) -> (usize, usize) {
+        self.grids[0].dense_dims()
+    }
+
+    /// The grid at spatial tap `(p, q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn grid(&self, p: usize, q: usize) -> &BlockCirculant<T> {
+        assert!(p < self.kh && q < self.kw, "tap index out of bounds");
+        &self.grids[p * self.kw + q]
+    }
+
+    /// Mutable tap access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn grid_mut(&mut self, p: usize, q: usize) -> &mut BlockCirculant<T> {
+        assert!(p < self.kh && q < self.kw, "tap index out of bounds");
+        &mut self.grids[p * self.kw + q]
+    }
+
+    /// Iterates over all taps' grids.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockCirculant<T>> {
+        self.grids.iter()
+    }
+
+    /// Iterates mutably over all taps' grids.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut BlockCirculant<T>> {
+        self.grids.iter_mut()
+    }
+
+    /// Total BCM count: `kh · kw · (c_out/BS) · (c_in/BS)`.
+    pub fn block_count(&self) -> usize {
+        self.grids.iter().map(|g| g.block_count()).sum()
+    }
+
+    /// Stored parameter count (pruned blocks excluded).
+    pub fn param_count(&self) -> usize {
+        self.grids.iter().map(|g| g.param_count()).sum()
+    }
+
+    /// Parameters of the dense equivalent.
+    pub fn dense_param_count(&self) -> usize {
+        let (co, ci) = self.channel_dims();
+        co * ci * self.kh * self.kw
+    }
+
+    /// Expands to the dense `[c_out, c_in, kh, kw]` weight.
+    pub fn to_dense(&self) -> Tensor<T> {
+        let (co, ci) = self.channel_dims();
+        let mut out = Tensor::zeros(&[co, ci, self.kh, self.kw]);
+        for p in 0..self.kh {
+            for q in 0..self.kw {
+                let d = self.grid(p, q).to_dense();
+                for o in 0..co {
+                    for i in 0..ci {
+                        out.set(&[o, i, p, q], d.at(&[o, i]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Skip-index bitmap over all taps (size = [`Self::block_count`], one
+    /// bit per BCM as in §IV-B).
+    pub fn skip_index(&self) -> Vec<bool> {
+        self.grids.iter().flat_map(|g| g.skip_index()).collect()
+    }
+
+    /// Fraction of pruned blocks across all taps.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.block_count();
+        let kept: usize = self
+            .grids
+            .iter()
+            .map(|g| g.skip_index().iter().filter(|&&k| k).count())
+            .sum();
+        1.0 - kept as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    fn random_bc(seed: u64, bs: usize, rb: usize, cb: usize) -> BlockCirculant<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..rb * cb)
+            .map(|_| {
+                CirculantMatrix::new(
+                    init::gaussian::<f64>(&mut rng, &[bs], 0.0, 1.0).into_vec(),
+                )
+            })
+            .collect();
+        BlockCirculant::from_blocks(bs, rb, cb, blocks)
+    }
+
+    #[test]
+    fn matvec_fft_matches_naive_and_dense() {
+        let bc = random_bc(3, 4, 3, 2);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
+        let naive = bc.matvec_naive(&x);
+        let fast = bc.matvec(&x);
+        let dense = bc.to_dense();
+        let want = dense.matmul(&Tensor::from_vec(x.clone(), &[8, 1]));
+        for i in 0..12 {
+            assert!((naive[i] - want.as_slice()[i]).abs() < 1e-10);
+            assert!((fast[i] - want.as_slice()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruned_blocks_are_skipped_consistently() {
+        let mut bc = random_bc(5, 4, 2, 2);
+        *bc.block_mut(0, 1) = CirculantMatrix::zeros(4);
+        *bc.block_mut(1, 0) = CirculantMatrix::zeros(4);
+        assert_eq!(bc.skip_index(), vec![true, false, false, true]);
+        assert!((bc.sparsity() - 0.5).abs() < 1e-12);
+        assert_eq!(bc.param_count(), 8); // 2 live blocks x 4 params
+
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let fast = bc.matvec(&x);
+        let want = bc.to_dense().matmul(&Tensor::from_vec(x.clone(), &[8, 1]));
+        for i in 0..8 {
+            assert!((fast[i] - want.as_slice()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_round_trips_block_circulant_matrices() {
+        let bc = random_bc(9, 8, 2, 3);
+        let p = BlockCirculant::project_from_dense(&bc.to_dense(), 8);
+        assert_eq!(p.grid_dims(), (2, 3));
+        for (a, b) in p.iter().zip(bc.iter()) {
+            for (x, y) in a.defining_vector().iter().zip(b.defining_vector()) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_bs() {
+        let bc = random_bc(1, 8, 4, 4);
+        assert_eq!(bc.dense_param_count(), 32 * 32);
+        assert_eq!(bc.param_count(), 4 * 4 * 8);
+        assert_eq!(bc.dense_param_count() / bc.param_count(), 8);
+    }
+
+    #[test]
+    fn conv_projection_and_expansion_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Build an exactly block-circulant conv weight, then round-trip.
+        let co = 8;
+        let ci = 4;
+        let bs = 4;
+        let grids: Vec<BlockCirculant<f64>> = (0..9)
+            .map(|_| {
+                let blocks = (0..(co / bs) * (ci / bs))
+                    .map(|_| {
+                        CirculantMatrix::new(
+                            init::gaussian::<f64>(&mut rng, &[bs], 0.0, 1.0).into_vec(),
+                        )
+                    })
+                    .collect();
+                BlockCirculant::from_blocks(bs, co / bs, ci / bs, blocks)
+            })
+            .collect();
+        let conv = ConvBlockCirculant::from_grids(3, 3, grids);
+        assert_eq!(conv.block_count(), (9 * 2));
+        let dense = conv.to_dense();
+        assert_eq!(dense.dims(), &[8, 4, 3, 3]);
+        let back = ConvBlockCirculant::project_from_dense(&dense, 4);
+        for (g1, g2) in back.iter().zip(conv.iter()) {
+            for (b1, b2) in g1.iter().zip(g2.iter()) {
+                for (x, y) in b1.defining_vector().iter().zip(b2.defining_vector()) {
+                    assert!((x - y).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_param_accounting() {
+        let dense = Tensor::<f64>::ones(&[16, 8, 3, 3]);
+        let conv = ConvBlockCirculant::project_from_dense(&dense, 8);
+        assert_eq!(conv.dense_param_count(), 16 * 8 * 9);
+        assert_eq!(conv.param_count(), (9 * 2) * 8);
+        assert_eq!(conv.channel_dims(), (16, 8));
+        assert_eq!(conv.grid_dims(), (2, 1));
+        assert_eq!(conv.kernel_dims(), (3, 3));
+        assert_eq!(conv.skip_index().len(), 18);
+        assert_eq!(conv.sparsity(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn projection_rejects_indivisible_dims() {
+        let dense = Tensor::<f64>::ones(&[6, 8]);
+        BlockCirculant::project_from_dense(&dense, 4);
+    }
+}

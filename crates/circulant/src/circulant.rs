@@ -1,0 +1,399 @@
+//! The single circulant block.
+
+use fft::{conv, Complex, Fft};
+use std::fmt;
+use tensor::{Scalar, Tensor};
+
+/// A circulant matrix, stored as its defining vector `w` (the paper's "first
+/// row vector" — the only data kept per BCM).
+///
+/// Dense convention (locked by `matvec_naive` and property tests):
+/// `C[i][j] = w[(i - j) mod n]`, so that `C(w)·x` is exactly the circular
+/// convolution `w ⊛ x` and therefore `C(w)·x = IFFT(FFT(w) ⊙ FFT(x))` —
+/// the paper's "FFT → eMAC → IFFT" substitution (Fig. 1a).
+///
+/// # Example
+///
+/// ```
+/// use circulant::CirculantMatrix;
+///
+/// let c = CirculantMatrix::new(vec![1.0_f64, 2.0, 3.0, 4.0]);
+/// assert_eq!(c.block_size(), 4);
+/// let dense = c.to_dense();
+/// // Every row is a rotation of the same multiset of values.
+/// assert_eq!(dense.at(&[0, 0]), dense.at(&[1, 1]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CirculantMatrix<T: Scalar> {
+    w: Vec<T>,
+}
+
+impl<T: Scalar> CirculantMatrix<T> {
+    /// Creates a circulant matrix from its defining vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is empty.
+    pub fn new(w: Vec<T>) -> Self {
+        assert!(!w.is_empty(), "defining vector must be non-empty");
+        CirculantMatrix { w }
+    }
+
+    /// An all-zero block (what a pruned BCM becomes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "block size must be non-zero");
+        CirculantMatrix { w: vec![T::ZERO; n] }
+    }
+
+    /// The block size `BS` (the matrix is `BS × BS`).
+    pub fn block_size(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The defining vector.
+    pub fn defining_vector(&self) -> &[T] {
+        &self.w
+    }
+
+    /// Mutable access to the defining vector (training updates it in place).
+    pub fn defining_vector_mut(&mut self) -> &mut [T] {
+        &mut self.w
+    }
+
+    /// Consumes the block, returning the defining vector.
+    pub fn into_defining_vector(self) -> Vec<T> {
+        self.w
+    }
+
+    /// Expands to the dense `BS × BS` matrix `C[i][j] = w[(i-j) mod n]`.
+    pub fn to_dense(&self) -> Tensor<T> {
+        let n = self.w.len();
+        Tensor::from_fn(&[n, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            self.w[(i + n - j) % n]
+        })
+    }
+
+    /// Extracts the nearest circulant matrix from a dense block by averaging
+    /// along wrapped diagonals — the least-squares projection onto the
+    /// circulant subspace (used when converting a pre-trained dense layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not square 2-d.
+    pub fn project_from_dense(dense: &Tensor<T>) -> Self {
+        assert_eq!(dense.shape().ndim(), 2, "projection needs a 2-d tensor");
+        let n = dense.shape().dim(0);
+        assert_eq!(n, dense.shape().dim(1), "projection needs a square matrix");
+        let mut w = vec![T::ZERO; n];
+        for i in 0..n {
+            for j in 0..n {
+                w[(i + n - j) % n] += dense.at(&[i, j]);
+            }
+        }
+        let inv = T::ONE / T::from_usize(n);
+        for v in &mut w {
+            *v *= inv;
+        }
+        CirculantMatrix { w }
+    }
+
+    /// Matrix–vector product via the dense definition, O(n²). Ground truth
+    /// for tests and the "conventional PE" baseline in the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != block_size()`.
+    pub fn matvec_naive(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.w.len(), "matvec dimension mismatch");
+        conv::circular_convolve_naive(&self.w, x)
+    }
+
+    /// Matrix–vector product via FFT, O(n log n) — the paper's substituted
+    /// computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != block_size()` or `BS` is not a power of two.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.w.len(), "matvec dimension mismatch");
+        conv::circular_convolve(&self.w, x)
+    }
+
+    /// Transposed product `Cᵀ·x`, which is the circular *correlation* — the
+    /// operation backpropagation applies to the upstream gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != block_size()`.
+    pub fn matvec_transpose(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.w.len(), "matvec dimension mismatch");
+        conv::circular_correlate_naive(&self.w, x)
+    }
+
+    /// Eigenvalues of the block: the DFT of the defining vector
+    /// (`C = F⁻¹ · diag(FFT(w)) · F`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BS` is not a power of two.
+    pub fn spectrum(&self) -> Vec<Complex<T>> {
+        Fft::new(self.w.len()).forward_real(&self.w)
+    }
+
+    /// Singular values, descending. Circulant matrices are normal, so the
+    /// singular values are exactly `|FFT(w)|` — an O(n log n) exact SVD
+    /// that [`crate::rank`] cross-checks against Jacobi SVD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BS` is not a power of two.
+    pub fn singular_values(&self) -> Vec<f64> {
+        let mut sv: Vec<f64> = self.spectrum().iter().map(|z| z.abs().to_f64()).collect();
+        sv.sort_by(|a, b| b.partial_cmp(a).expect("finite singular values"));
+        sv
+    }
+
+    /// Exact rank: the number of nonzero DFT bins (up to `tol` relative to
+    /// the largest magnitude).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BS` is not a power of two.
+    pub fn rank(&self, tol: f64) -> usize {
+        let sv = self.singular_values();
+        let smax = sv.first().copied().unwrap_or(0.0);
+        if smax <= 0.0 {
+            return 0;
+        }
+        sv.iter().filter(|&&s| s > tol * smax).count()
+    }
+
+    /// Hadamard (element-wise) product with another circulant block.
+    ///
+    /// The result is circulant with defining vector `a ⊙ b` — the closure
+    /// property hadaBCM exploits: the reparameterized block folds back into
+    /// a single ordinary BCM before inference (paper Fig. 4b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block sizes differ.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.w.len(),
+            other.w.len(),
+            "hadamard block size mismatch"
+        );
+        CirculantMatrix {
+            w: self
+                .w
+                .iter()
+                .zip(&other.w)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// ℓ₂ norm of the defining vector scaled to the full matrix:
+    /// `‖C‖_F = sqrt(BS) · ‖w‖₂` since every row repeats the same values.
+    pub fn frobenius_norm(&self) -> T {
+        let sum_sq: T = self.w.iter().map(|&v| v * v).sum();
+        (sum_sq * T::from_usize(self.w.len())).sqrt()
+    }
+
+    /// ℓ₂ norm of the defining vector itself — the importance score used by
+    /// BCM-wise pruning (Algorithm 1 computes the norm of `A ⊙ B`).
+    pub fn vector_norm(&self) -> T {
+        self.w.iter().map(|&v| v * v).sum::<T>().sqrt()
+    }
+
+    /// `true` if every element is exactly zero (a pruned block).
+    pub fn is_zero(&self) -> bool {
+        self.w.iter().all(|&v| v == T::ZERO)
+    }
+
+    /// Number of stored parameters (`BS`, versus `BS²` dense).
+    pub fn param_count(&self) -> usize {
+        self.w.len()
+    }
+}
+
+impl<T: Scalar> fmt::Display for CirculantMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Circulant(BS={}, w=[", self.w.len())?;
+        for (i, v) in self.w.iter().take(4).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.w.len() > 4 {
+            write!(f, ", ...")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tensor::svd;
+
+    #[test]
+    fn dense_expansion_structure() {
+        let c = CirculantMatrix::new(vec![10.0_f64, 20.0, 30.0, 40.0]);
+        let d = c.to_dense();
+        // First column is w itself under our convention.
+        for i in 0..4 {
+            assert_eq!(d.at(&[i, 0]), c.defining_vector()[i]);
+        }
+        // Rows are rotations: C[i][j] == C[i+1][j+1].
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d.at(&[i, j]), d.at(&[i + 1, j + 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense_product() {
+        let c = CirculantMatrix::new(vec![1.0_f64, -2.0, 0.5, 3.0]);
+        let x = [2.0_f64, 1.0, 0.0, -1.0];
+        let dense = c.to_dense();
+        let xt = Tensor::from_vec(x.to_vec(), &[4, 1]);
+        let want = dense.matmul(&xt);
+        let naive = c.matvec_naive(&x);
+        let fast = c.matvec(&x);
+        for i in 0..4 {
+            assert!((naive[i] - want.as_slice()[i]).abs() < 1e-12);
+            assert!((fast[i] - want.as_slice()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_matches_dense_transpose() {
+        let c = CirculantMatrix::new(vec![1.0_f64, 4.0, -1.5, 2.0]);
+        let x = [0.5_f64, -2.0, 1.0, 3.0];
+        let want = c.to_dense().transpose().matmul(&Tensor::from_vec(x.to_vec(), &[4, 1]));
+        let got = c.matvec_transpose(&x);
+        for i in 0..4 {
+            assert!((got[i] - want.as_slice()[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_jacobi_svd() {
+        let c = CirculantMatrix::new(vec![0.3_f64, -1.2, 0.8, 2.0, -0.5, 0.0, 1.1, 0.7]);
+        let fast = c.singular_values();
+        let slow = svd::singular_values(&c.to_dense());
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hadamard_closure() {
+        let a = CirculantMatrix::new(vec![1.0_f64, 2.0, 3.0, 4.0]);
+        let b = CirculantMatrix::new(vec![0.5_f64, -1.0, 2.0, 0.0]);
+        let h = a.hadamard(&b);
+        // Dense Hadamard of dense expansions equals expansion of vector product.
+        let want = a.to_dense().hadamard(&b.to_dense());
+        let got = h.to_dense();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rank_counts_nonzero_spectrum_bins() {
+        // w = constant vector → spectrum has a single nonzero (DC) bin → rank 1.
+        let c = CirculantMatrix::new(vec![1.0_f64; 8]);
+        assert_eq!(c.rank(1e-9), 1);
+        // Identity block: w = e0 → flat spectrum → full rank.
+        let mut e0 = vec![0.0_f64; 8];
+        e0[0] = 1.0;
+        assert_eq!(CirculantMatrix::new(e0).rank(1e-9), 8);
+    }
+
+    #[test]
+    fn projection_recovers_exact_circulant() {
+        let c = CirculantMatrix::new(vec![1.0_f64, -1.0, 2.0, 0.5]);
+        let p = CirculantMatrix::project_from_dense(&c.to_dense());
+        for (a, b) in p.defining_vector().iter().zip(c.defining_vector()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_is_diagonal_average() {
+        // Non-circulant matrix: each defining entry must equal the mean of
+        // its wrapped diagonal.
+        let dense = Tensor::from_vec(vec![1.0_f64, 2.0, 3.0, 4.0], &[2, 2]);
+        let p = CirculantMatrix::project_from_dense(&dense);
+        assert!((p.defining_vector()[0] - 2.5).abs() < 1e-12); // (1+4)/2
+        assert!((p.defining_vector()[1] - 2.5).abs() < 1e-12); // (3+2)/2
+    }
+
+    #[test]
+    fn frobenius_and_vector_norms() {
+        let c = CirculantMatrix::new(vec![3.0_f64, 4.0]);
+        assert!((c.vector_norm() - 5.0).abs() < 1e-12);
+        assert!((c.frobenius_norm() - 5.0 * 2.0_f64.sqrt()).abs() < 1e-12);
+        // Cross-check against the dense expansion.
+        let d = c.to_dense();
+        let fro = d.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((c.frobenius_norm() - fro).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_and_param_count() {
+        let z = CirculantMatrix::<f32>::zeros(16);
+        assert!(z.is_zero());
+        assert_eq!(z.param_count(), 16);
+        assert_eq!(z.rank(1e-9), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fft_matvec_matches_naive(
+            w in proptest::collection::vec(-5.0_f64..5.0, 8),
+            x in proptest::collection::vec(-5.0_f64..5.0, 8),
+        ) {
+            let c = CirculantMatrix::new(w);
+            let fast = c.matvec(&x);
+            let slow = c.matvec_naive(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn prop_hadamard_rank_bound(
+            a in proptest::collection::vec(-2.0_f64..2.0, 8),
+            b in proptest::collection::vec(-2.0_f64..2.0, 8),
+        ) {
+            // rank(A ⊙ B) ≤ rank(A) · rank(B) (FedPara bound, paper §III-A).
+            let ca = CirculantMatrix::new(a);
+            let cb = CirculantMatrix::new(b);
+            let ra = ca.rank(1e-9);
+            let rb = cb.rank(1e-9);
+            let rh = ca.hadamard(&cb).rank(1e-9);
+            prop_assert!(rh <= ra.saturating_mul(rb).min(8));
+        }
+
+        #[test]
+        fn prop_projection_idempotent(
+            w in proptest::collection::vec(-3.0_f64..3.0, 4),
+        ) {
+            let c = CirculantMatrix::new(w);
+            let p = CirculantMatrix::project_from_dense(&c.to_dense());
+            for (x, y) in p.defining_vector().iter().zip(c.defining_vector()) {
+                prop_assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+}

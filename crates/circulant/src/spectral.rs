@@ -1,0 +1,173 @@
+//! Frequency-domain block-circulant weights (paper Fig. 4b).
+//!
+//! "The Hadamard product and FFT can be pre-computed before the inference"
+//! — inference-time weights live in the frequency domain, one half-spectrum
+//! per live block. [`SpectralBlockCirculant`] is that representation: it
+//! makes repeated `matvec` calls cheap (no per-call weight FFTs) and is
+//! what the accelerator's weight buffers actually hold.
+
+use crate::BlockCirculant;
+use fft::real::HalfSpectrum;
+use tensor::Scalar;
+
+/// A [`BlockCirculant`] with pre-computed weight spectra.
+///
+/// # Example
+///
+/// ```
+/// use circulant::{BlockCirculant, CirculantMatrix, SpectralBlockCirculant};
+///
+/// let grid = BlockCirculant::from_blocks(
+///     4, 1, 1,
+///     vec![CirculantMatrix::new(vec![1.0_f64, 2.0, 0.5, -1.0])],
+/// );
+/// let spectral = SpectralBlockCirculant::from_grid(&grid);
+/// let x = [1.0, 0.0, 2.0, -1.0];
+/// let fast = spectral.matvec(&x);
+/// let reference = grid.matvec_naive(&x);
+/// for (a, b) in fast.iter().zip(&reference) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralBlockCirculant<T: Scalar> {
+    block_size: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    /// `None` = pruned block (the skip-index zero).
+    spectra: Vec<Option<HalfSpectrum<T>>>,
+}
+
+impl<T: Scalar> SpectralBlockCirculant<T> {
+    /// Pre-computes all live blocks' spectra (the offline step of
+    /// Fig. 4b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block size is not a power of two.
+    pub fn from_grid(grid: &BlockCirculant<T>) -> Self {
+        let (rb, cb) = grid.grid_dims();
+        let spectra = grid
+            .iter()
+            .map(|b| {
+                if b.is_zero() {
+                    None
+                } else {
+                    Some(HalfSpectrum::forward(b.defining_vector()))
+                }
+            })
+            .collect();
+        SpectralBlockCirculant {
+            block_size: grid.block_size(),
+            row_blocks: rb,
+            col_blocks: cb,
+            spectra,
+        }
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `(row_blocks, col_blocks)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.row_blocks, self.col_blocks)
+    }
+
+    /// Number of live (unpruned) blocks.
+    pub fn live_count(&self) -> usize {
+        self.spectra.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Stored complex words: `BS/2 + 1` per live block — what the
+    /// accelerator's weight buffer holds.
+    pub fn stored_bins(&self) -> usize {
+        self.live_count() * (self.block_size / 2 + 1)
+    }
+
+    /// Matrix–vector product with all weight FFTs amortized: per call only
+    /// the input FFTs, the eMACs and the output IFFTs run — exactly the
+    /// inference-time work of §IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the dense column count.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        let bs = self.block_size;
+        assert_eq!(
+            x.len(),
+            self.col_blocks * bs,
+            "matvec dimension mismatch"
+        );
+        let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
+            .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
+            .collect();
+        let mut y = Vec::with_capacity(self.row_blocks * bs);
+        for bi in 0..self.row_blocks {
+            let mut acc = HalfSpectrum::zeros(bs);
+            for bj in 0..self.col_blocks {
+                if let Some(w) = &self.spectra[bi * self.col_blocks + bj] {
+                    acc.emac_accumulate(w, &x_spectra[bj]);
+                }
+            }
+            y.extend(acc.inverse());
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CirculantMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    fn random_grid(seed: u64, bs: usize, rb: usize, cb: usize) -> BlockCirculant<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..rb * cb)
+            .map(|_| {
+                CirculantMatrix::new(init::gaussian::<f64>(&mut rng, &[bs], 0.0, 1.0).into_vec())
+            })
+            .collect();
+        BlockCirculant::from_blocks(bs, rb, cb, blocks)
+    }
+
+    #[test]
+    fn matvec_matches_time_domain_grid() {
+        let grid = random_grid(1, 8, 3, 2);
+        let spectral = SpectralBlockCirculant::from_grid(&grid);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.31).cos()).collect();
+        let fast = spectral.matvec(&x);
+        let slow = grid.matvec_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruned_blocks_store_nothing_and_compute_nothing() {
+        let mut grid = random_grid(2, 4, 2, 2);
+        *grid.block_mut(0, 0) = CirculantMatrix::zeros(4);
+        *grid.block_mut(1, 1) = CirculantMatrix::zeros(4);
+        let spectral = SpectralBlockCirculant::from_grid(&grid);
+        assert_eq!(spectral.live_count(), 2);
+        assert_eq!(spectral.stored_bins(), 2 * 3);
+        let x = [1.0, -0.5, 0.25, 2.0, 0.0, 1.0, -1.0, 0.5];
+        let fast = spectral.matvec(&x);
+        let slow = grid.matvec_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_calls_are_consistent() {
+        let grid = random_grid(3, 8, 2, 2);
+        let spectral = SpectralBlockCirculant::from_grid(&grid);
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(spectral.matvec(&x), spectral.matvec(&x));
+    }
+}

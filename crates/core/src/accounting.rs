@@ -1,0 +1,663 @@
+//! Parameter and FLOP accounting for dense vs RP-BCM-compressed networks —
+//! the arithmetic behind the paper's Table I and the compression axes of
+//! Figs. 9b/9c.
+//!
+//! Conventions (documented because Table I comparisons depend on them):
+//!
+//! - FLOPs count multiply and add separately (1 MAC = 2 FLOPs), over conv
+//!   and linear layers only — BN/ReLU/pooling are ignored, matching the
+//!   common practice of the cited baselines.
+//! - A layer is BCM-compressed only when both its channel dimensions are
+//!   divisible by `BS`; otherwise it stays dense (the first RGB conv always
+//!   stays dense, as in prior BCM work).
+//! - Weight FFTs are pre-computed offline (paper Fig. 4b / §IV-A: "the
+//!   complex weights are loaded directly"), so inference FLOPs count input
+//!   FFTs, eMACs and output IFFTs only.
+//! - BCM-wise pruning at ratio α removes ⌊α·blocks⌋ blocks per compressed
+//!   layer, and removes their eMAC work; FFT/IFFT work is unchanged
+//!   (inputs/outputs still stream through).
+//! - A complex MAC costs 8 real FLOPs (4 mul + 4 add); a radix-2 FFT of
+//!   size `n` costs `5·n·log₂n` real FLOPs (n/2·log₂n butterflies × 10).
+//!   Real-input symmetry lets the eMAC run on `n/2 + 1` bins.
+
+use std::fmt;
+
+/// A convolution layer's dimensions as used for cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Human-readable layer name (e.g. `"conv3_2"`).
+    pub name: String,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Output feature-map height.
+    pub h_out: usize,
+    /// Output feature-map width.
+    pub w_out: usize,
+    /// Whether RP-BCM compression is requested for this layer.
+    pub compress: bool,
+    /// Whether the layer is followed by batch-norm (adds `2·c_out`
+    /// never-compressed parameters).
+    pub batch_norm: bool,
+}
+
+/// A fully-connected layer's dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearLayer {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Whether RP-BCM compression is requested.
+    pub compress: bool,
+    /// Whether a bias vector is present (never compressed).
+    pub bias: bool,
+}
+
+/// One layer of a [`NetworkSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layer {
+    /// Convolution.
+    Conv(ConvLayer),
+    /// Fully connected.
+    Linear(LinearLayer),
+}
+
+impl Layer {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Layer::Conv(c) => &c.name,
+            Layer::Linear(l) => &l.name,
+        }
+    }
+}
+
+/// Aggregate parameter/FLOP cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Stored weights (and biases / BN affine terms).
+    pub params: u64,
+    /// Inference FLOPs for one input.
+    pub flops: u64,
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            params: self.params + other.params,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}M params, {:.2}G FLOPs",
+            self.params as f64 / 1e6,
+            self.flops as f64 / 1e9
+        )
+    }
+}
+
+/// RP-BCM compression setting for accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionParams {
+    /// Block size `BS` (must be a power of two ≥ 2).
+    pub block_size: usize,
+    /// BCM-wise pruning ratio α in `[0, 1]`.
+    pub alpha: f64,
+}
+
+impl CompressionParams {
+    /// Creates a setting, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size < 2`, not a power of two, or α outside
+    /// `[0, 1]`.
+    pub fn new(block_size: usize, alpha: f64) -> Self {
+        assert!(
+            block_size >= 2 && block_size.is_power_of_two(),
+            "BS must be a power of two >= 2, got {block_size}"
+        );
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        CompressionParams { block_size, alpha }
+    }
+}
+
+/// FLOPs of a radix-2 FFT of size `n` (`5·n·log₂n`, see module docs).
+pub fn fft_flops(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * (n as u64) * (n.trailing_zeros() as u64)
+}
+
+/// FLOPs of one block eMAC over the conjugate-symmetric half spectrum:
+/// `(n/2 + 1)` complex MACs × 8 real FLOPs.
+pub fn emac_flops(n: usize) -> u64 {
+    8 * ((n / 2 + 1) as u64)
+}
+
+impl ConvLayer {
+    /// `true` when the layer actually gets compressed under `bs`.
+    pub fn compressible(&self, bs: usize) -> bool {
+        self.compress && self.c_in.is_multiple_of(bs) && self.c_out.is_multiple_of(bs)
+    }
+
+    /// Dense cost: `K²·C_in·C_out` weights (+BN), `2·K²·C_in·C_out·H·W`
+    /// FLOPs.
+    pub fn dense_cost(&self) -> Cost {
+        let weights = (self.kh * self.kw * self.c_in * self.c_out) as u64;
+        let bn = if self.batch_norm {
+            2 * self.c_out as u64
+        } else {
+            0
+        };
+        let flops = 2 * weights * (self.h_out * self.w_out) as u64;
+        Cost {
+            params: weights + bn,
+            flops,
+        }
+    }
+
+    /// RP-BCM cost under `cp`; falls back to dense when not compressible.
+    pub fn bcm_cost(&self, cp: CompressionParams) -> Cost {
+        if !self.compressible(cp.block_size) {
+            return self.dense_cost();
+        }
+        let bs = cp.block_size;
+        let in_blocks = self.c_in / bs;
+        let out_blocks = self.c_out / bs;
+        let taps = self.kh * self.kw;
+        let total_blocks = taps * in_blocks * out_blocks;
+        let kept_blocks = total_blocks - ((total_blocks as f64) * cp.alpha).floor() as usize;
+
+        let bn = if self.batch_norm {
+            2 * self.c_out as u64
+        } else {
+            0
+        };
+        let params = (kept_blocks * bs) as u64 + bn;
+
+        let pixels = (self.h_out * self.w_out) as u64;
+        // Input FFT once per input block per pixel (weight FFT is offline).
+        let fft = pixels * in_blocks as u64 * fft_flops(bs);
+        // eMAC per surviving block per pixel.
+        let emac = pixels * kept_blocks as u64 * emac_flops(bs);
+        // IFFT once per output block per pixel.
+        let ifft = pixels * out_blocks as u64 * fft_flops(bs);
+        Cost {
+            params,
+            flops: fft + emac + ifft,
+        }
+    }
+
+    /// BCM block count under `bs` (0 when not compressible) — the size of
+    /// the skip-index buffer in bits (paper §IV-B).
+    pub fn block_count(&self, bs: usize) -> usize {
+        if self.compressible(bs) {
+            self.kh * self.kw * (self.c_in / bs) * (self.c_out / bs)
+        } else {
+            0
+        }
+    }
+}
+
+impl LinearLayer {
+    /// `true` when the layer actually gets compressed under `bs`.
+    pub fn compressible(&self, bs: usize) -> bool {
+        self.compress && self.in_features.is_multiple_of(bs) && self.out_features.is_multiple_of(bs)
+    }
+
+    /// Dense cost.
+    pub fn dense_cost(&self) -> Cost {
+        let weights = (self.in_features * self.out_features) as u64;
+        let bias = if self.bias {
+            self.out_features as u64
+        } else {
+            0
+        };
+        Cost {
+            params: weights + bias,
+            flops: 2 * weights,
+        }
+    }
+
+    /// RP-BCM cost under `cp`; dense fallback when not compressible.
+    pub fn bcm_cost(&self, cp: CompressionParams) -> Cost {
+        if !self.compressible(cp.block_size) {
+            return self.dense_cost();
+        }
+        let bs = cp.block_size;
+        let in_blocks = self.in_features / bs;
+        let out_blocks = self.out_features / bs;
+        let total_blocks = in_blocks * out_blocks;
+        let kept_blocks = total_blocks - ((total_blocks as f64) * cp.alpha).floor() as usize;
+        let bias = if self.bias {
+            self.out_features as u64
+        } else {
+            0
+        };
+        let fft = in_blocks as u64 * fft_flops(bs);
+        let emac = kept_blocks as u64 * emac_flops(bs);
+        let ifft = out_blocks as u64 * fft_flops(bs);
+        Cost {
+            params: (kept_blocks * bs) as u64 + bias,
+            flops: fft + emac + ifft,
+        }
+    }
+
+    /// BCM block count under `bs` (0 when not compressible).
+    pub fn block_count(&self, bs: usize) -> usize {
+        if self.compressible(bs) {
+            (self.in_features / bs) * (self.out_features / bs)
+        } else {
+            0
+        }
+    }
+}
+
+/// A whole network as a list of cost-bearing layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Network name (e.g. `"resnet50"`).
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+}
+
+/// Reduction percentages, as Table I reports them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionReport {
+    /// Dense cost.
+    pub dense: Cost,
+    /// Compressed cost.
+    pub compressed: Cost,
+    /// `100·(1 − compressed/dense)` for parameters.
+    pub param_reduction_pct: f64,
+    /// `100·(1 − compressed/dense)` for FLOPs.
+    pub flops_reduction_pct: f64,
+}
+
+impl NetworkSpec {
+    /// Total dense cost.
+    pub fn dense_cost(&self) -> Cost {
+        self.layers.iter().fold(Cost::default(), |acc, l| {
+            acc + match l {
+                Layer::Conv(c) => c.dense_cost(),
+                Layer::Linear(f) => f.dense_cost(),
+            }
+        })
+    }
+
+    /// Total RP-BCM cost.
+    pub fn bcm_cost(&self, cp: CompressionParams) -> Cost {
+        self.layers.iter().fold(Cost::default(), |acc, l| {
+            acc + match l {
+                Layer::Conv(c) => c.bcm_cost(cp),
+                Layer::Linear(f) => f.bcm_cost(cp),
+            }
+        })
+    }
+
+    /// Table-I-style reduction report.
+    pub fn reduction(&self, cp: CompressionParams) -> ReductionReport {
+        let dense = self.dense_cost();
+        let compressed = self.bcm_cost(cp);
+        ReductionReport {
+            dense,
+            compressed,
+            param_reduction_pct: 100.0 * (1.0 - compressed.params as f64 / dense.params as f64),
+            flops_reduction_pct: 100.0 * (1.0 - compressed.flops as f64 / dense.flops as f64),
+        }
+    }
+
+    /// Total BCM count (= skip-index buffer bits) under `bs`.
+    pub fn total_blocks(&self, bs: usize) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Conv(c) => c.block_count(bs),
+                Layer::Linear(f) => f.block_count(bs),
+            })
+            .sum()
+    }
+}
+
+fn conv(
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    h_out: usize,
+    w_out: usize,
+    compress: bool,
+) -> Layer {
+    Layer::Conv(ConvLayer {
+        name: name.to_string(),
+        c_in,
+        c_out,
+        kh: k,
+        kw: k,
+        h_out,
+        w_out,
+        compress,
+        batch_norm: true,
+    })
+}
+
+fn linear(name: &str, in_features: usize, out_features: usize, compress: bool) -> Layer {
+    Layer::Linear(LinearLayer {
+        name: name.to_string(),
+        in_features,
+        out_features,
+        compress,
+        bias: true,
+    })
+}
+
+/// VGG-16 for 32×32 CIFAR-10 inputs (conv-only feature extractor + one
+/// classifier head, the common CIFAR adaptation the paper evaluates).
+pub fn vgg16_cifar10() -> NetworkSpec {
+    let cfg: &[(usize, usize, usize)] = &[
+        // (c_in, c_out, spatial_out) per conv; pooling halves afterwards.
+        (3, 64, 32),
+        (64, 64, 32),
+        (64, 128, 16),
+        (128, 128, 16),
+        (128, 256, 8),
+        (256, 256, 8),
+        (256, 256, 8),
+        (256, 512, 4),
+        (512, 512, 4),
+        (512, 512, 4),
+        (512, 512, 2),
+        (512, 512, 2),
+        (512, 512, 2),
+    ];
+    let mut layers: Vec<Layer> = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(ci, co, s))| conv(&format!("conv{}", i + 1), ci, co, 3, s, s, i != 0))
+        .collect();
+    layers.push(linear("fc", 512, 10, false));
+    NetworkSpec {
+        name: "vgg16-cifar10".to_string(),
+        layers,
+    }
+}
+
+/// VGG-19 for 32×32 CIFAR-100 inputs.
+pub fn vgg19_cifar100() -> NetworkSpec {
+    let cfg: &[(usize, usize, usize)] = &[
+        (3, 64, 32),
+        (64, 64, 32),
+        (64, 128, 16),
+        (128, 128, 16),
+        (128, 256, 8),
+        (256, 256, 8),
+        (256, 256, 8),
+        (256, 256, 8),
+        (256, 512, 4),
+        (512, 512, 4),
+        (512, 512, 4),
+        (512, 512, 4),
+        (512, 512, 2),
+        (512, 512, 2),
+        (512, 512, 2),
+        (512, 512, 2),
+    ];
+    let mut layers: Vec<Layer> = cfg
+        .iter()
+        .enumerate()
+        .map(|(i, &(ci, co, s))| conv(&format!("conv{}", i + 1), ci, co, 3, s, s, i != 0))
+        .collect();
+    layers.push(linear("fc", 512, 100, false));
+    NetworkSpec {
+        name: "vgg19-cifar100".to_string(),
+        layers,
+    }
+}
+
+/// ResNet-18 for 224×224 ImageNet inputs (basic blocks `[2, 2, 2, 2]`).
+pub fn resnet18_imagenet() -> NetworkSpec {
+    let mut layers = vec![conv("conv1", 3, 64, 7, 112, 112, false)];
+    let stages: &[(usize, usize, usize, usize)] = &[
+        // (c_in_of_stage, c_out, blocks, spatial_out)
+        (64, 64, 2, 56),
+        (64, 128, 2, 28),
+        (128, 256, 2, 14),
+        (256, 512, 2, 7),
+    ];
+    for (si, &(c_in_stage, c, blocks, s)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let c_in = if b == 0 { c_in_stage } else { c };
+            let pfx = format!("layer{}_{}", si + 1, b);
+            layers.push(conv(&format!("{pfx}_conv1"), c_in, c, 3, s, s, true));
+            layers.push(conv(&format!("{pfx}_conv2"), c, c, 3, s, s, true));
+            if b == 0 && c_in != c {
+                layers.push(conv(&format!("{pfx}_down"), c_in, c, 1, s, s, true));
+            }
+        }
+    }
+    layers.push(linear("fc", 512, 1000, true));
+    NetworkSpec {
+        name: "resnet18-imagenet".to_string(),
+        layers,
+    }
+}
+
+/// ResNet-50 for 224×224 ImageNet inputs (bottleneck blocks `[3, 4, 6, 3]`).
+pub fn resnet50_imagenet() -> NetworkSpec {
+    let mut layers = vec![conv("conv1", 3, 64, 7, 112, 112, false)];
+    let stages: &[(usize, usize, usize, usize, usize)] = &[
+        // (c_in_of_stage, mid, out, blocks, spatial_out)
+        (64, 64, 256, 3, 56),
+        (256, 128, 512, 4, 28),
+        (512, 256, 1024, 6, 14),
+        (1024, 512, 2048, 3, 7),
+    ];
+    for (si, &(c_in_stage, mid, out, blocks, s)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let c_in = if b == 0 { c_in_stage } else { out };
+            let pfx = format!("layer{}_{}", si + 1, b);
+            layers.push(conv(&format!("{pfx}_conv1"), c_in, mid, 1, s, s, true));
+            layers.push(conv(&format!("{pfx}_conv2"), mid, mid, 3, s, s, true));
+            layers.push(conv(&format!("{pfx}_conv3"), mid, out, 1, s, s, true));
+            if b == 0 {
+                layers.push(conv(&format!("{pfx}_down"), c_in, out, 1, s, s, true));
+            }
+        }
+    }
+    layers.push(linear("fc", 2048, 1000, true));
+    NetworkSpec {
+        name: "resnet50-imagenet".to_string(),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_and_emac_flop_formulas() {
+        assert_eq!(fft_flops(8), 5 * 8 * 3);
+        assert_eq!(fft_flops(1), 0);
+        assert_eq!(emac_flops(8), 8 * 5);
+        assert_eq!(emac_flops(4), 8 * 3);
+    }
+
+    #[test]
+    fn resnet50_dense_matches_published_size() {
+        let net = resnet50_imagenet();
+        let c = net.dense_cost();
+        // torchvision ResNet-50: 25.56M params, ~4.1 GMACs.
+        let params_m = c.params as f64 / 1e6;
+        let gmacs = c.flops as f64 / 2e9;
+        assert!((params_m - 25.5).abs() < 0.6, "params = {params_m}M");
+        assert!((gmacs - 4.1).abs() < 0.5, "macs = {gmacs}G");
+    }
+
+    #[test]
+    fn resnet18_dense_matches_published_size() {
+        let net = resnet18_imagenet();
+        let c = net.dense_cost();
+        let params_m = c.params as f64 / 1e6;
+        let gmacs = c.flops as f64 / 2e9;
+        // torchvision ResNet-18: 11.69M params, ~1.8 GMACs.
+        assert!((params_m - 11.7).abs() < 0.4, "params = {params_m}M");
+        assert!((gmacs - 1.8).abs() < 0.3, "macs = {gmacs}G");
+    }
+
+    #[test]
+    fn vgg16_cifar_dense_size() {
+        let net = vgg16_cifar10();
+        let params_m = net.dense_cost().params as f64 / 1e6;
+        // CIFAR VGG-16: ~14.7M params.
+        assert!((params_m - 14.7).abs() < 0.5, "params = {params_m}M");
+    }
+
+    #[test]
+    fn table1_row1_resnet50_bs8_alpha05() {
+        // Paper Table I, "Ours (BS=8, α=0.5)": 77.33 % FLOPs ↓, 92.40 % params ↓.
+        let net = resnet50_imagenet();
+        let r = net.reduction(CompressionParams::new(8, 0.5));
+        assert!(
+            (r.param_reduction_pct - 92.4).abs() < 2.5,
+            "param reduction = {:.2}%",
+            r.param_reduction_pct
+        );
+        assert!(
+            (r.flops_reduction_pct - 77.3).abs() < 6.0,
+            "flops reduction = {:.2}%",
+            r.flops_reduction_pct
+        );
+    }
+
+    #[test]
+    fn table1_row2_resnet50_bs4_alpha07() {
+        // Paper Table I, "Ours (BS=4, α=0.7)": 68.88 % FLOPs ↓, 88.79 % params ↓.
+        //
+        // A uniform per-layer α=0.7 gives ~92 % parameter reduction; the
+        // paper's lower figure implies its achieved network kept more
+        // blocks in some layers (α is the *attempted* ratio of Algorithm 1,
+        // per-layer outcomes vary). We assert the coarse band and the
+        // qualitative ordering vs the BS=8 row; EXPERIMENTS.md records the
+        // deviation.
+        let net = resnet50_imagenet();
+        let r4 = net.reduction(CompressionParams::new(4, 0.7));
+        let r8 = net.reduction(CompressionParams::new(8, 0.5));
+        assert!(
+            (86.0..=94.0).contains(&r4.param_reduction_pct),
+            "param reduction = {:.2}%",
+            r4.param_reduction_pct
+        );
+        assert!(
+            (60.0..=80.0).contains(&r4.flops_reduction_pct),
+            "flops reduction = {:.2}%",
+            r4.flops_reduction_pct
+        );
+        // The BS=8/α=0.5 configuration compresses harder on both axes,
+        // as in Table I.
+        assert!(r8.param_reduction_pct > r4.param_reduction_pct);
+        assert!(r8.flops_reduction_pct > r4.flops_reduction_pct);
+    }
+
+    #[test]
+    fn compression_monotone_in_alpha_and_bs() {
+        let net = vgg16_cifar10();
+        let r1 = net.reduction(CompressionParams::new(8, 0.0));
+        let r2 = net.reduction(CompressionParams::new(8, 0.5));
+        let r3 = net.reduction(CompressionParams::new(16, 0.0));
+        assert!(r2.param_reduction_pct > r1.param_reduction_pct);
+        assert!(r3.param_reduction_pct > r1.param_reduction_pct);
+        assert!(r2.flops_reduction_pct > r1.flops_reduction_pct);
+    }
+
+    #[test]
+    fn equal_param_reduction_pairs_from_fig9() {
+        // Paper §V-B2: BS=8 with α=0.5 matches the parameter reduction of
+        // plain BCM with BS=16 (on the compressible layers).
+        let net = vgg16_cifar10();
+        let ours = net.bcm_cost(CompressionParams::new(8, 0.5)).params;
+        let plain16 = net.bcm_cost(CompressionParams::new(16, 0.0)).params;
+        let rel = (ours as f64 - plain16 as f64).abs() / plain16 as f64;
+        assert!(rel < 0.02, "BS8/α0.5 = {ours} vs BS16 = {plain16}");
+    }
+
+    #[test]
+    fn non_divisible_layers_stay_dense() {
+        let l = ConvLayer {
+            name: "first".into(),
+            c_in: 3,
+            c_out: 64,
+            kh: 3,
+            kw: 3,
+            h_out: 32,
+            w_out: 32,
+            compress: true,
+            batch_norm: false,
+        };
+        assert!(!l.compressible(8));
+        assert_eq!(l.bcm_cost(CompressionParams::new(8, 0.5)), l.dense_cost());
+        assert_eq!(l.block_count(8), 0);
+    }
+
+    #[test]
+    fn skip_index_buffer_size_formula() {
+        // K×K×(C_in/BS)×(C_out/BS) bits, paper §IV-B.
+        let l = ConvLayer {
+            name: "c".into(),
+            c_in: 128,
+            c_out: 128,
+            kh: 3,
+            kw: 3,
+            h_out: 28,
+            w_out: 28,
+            compress: true,
+            batch_norm: false,
+        };
+        assert_eq!(l.block_count(8), 3 * 3 * 16 * 16);
+    }
+
+    #[test]
+    fn alpha_one_prunes_all_blocks() {
+        let l = LinearLayer {
+            name: "fc".into(),
+            in_features: 64,
+            out_features: 64,
+            compress: true,
+            bias: false,
+        };
+        let c = l.bcm_cost(CompressionParams::new(8, 1.0));
+        assert_eq!(c.params, 0);
+        // FFT/IFFT streaming work remains even with everything pruned.
+        assert!(c.flops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_block_size() {
+        CompressionParams::new(6, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        CompressionParams::new(8, 1.5);
+    }
+}

@@ -1,0 +1,499 @@
+//! hadaBCM: the Hadamard-product parameterization of circulant blocks
+//! (paper §III-A, Figs. 3–4).
+//!
+//! During training each block-circulant weight `W_bcm` is replaced by
+//! `A_bcm ⊙ B_bcm` for two independently-trained circulant blocks. Because
+//! the Hadamard product of circulants is circulant, the pair folds back
+//! into a single ordinary BCM before inference — the accelerator never sees
+//! the factors (its Fig. 4b: "the Hadamard product and FFT can be
+//! pre-computed before the inference").
+//!
+//! The rank mechanics: `rank(A ⊙ B) ≤ rank(A)·rank(B)`, maximized when the
+//! two factor ranks balance; the gradient rule
+//! `∂L/∂A = ∂L/∂W ⊙ B`, `∂L/∂B = ∂L/∂W ⊙ A` (its Eq. 1) couples the
+//! factors so that balance emerges from plain SGD.
+
+use circulant::{BlockCirculant, CirculantMatrix};
+use rand::Rng;
+use tensor::{init, Scalar};
+
+/// A circulant block parameterized as the Hadamard product `A ⊙ B`.
+///
+/// # Example
+///
+/// ```
+/// use rpbcm::HadaBcm;
+/// use circulant::CirculantMatrix;
+///
+/// let a = CirculantMatrix::new(vec![1.0_f64, 2.0, 3.0, 4.0]);
+/// let b = CirculantMatrix::new(vec![2.0_f64, 0.5, 1.0, -1.0]);
+/// let h = HadaBcm::new(a, b);
+/// assert_eq!(h.fold().defining_vector(), &[2.0, 1.0, 3.0, -4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HadaBcm<T: Scalar> {
+    a: CirculantMatrix<T>,
+    b: CirculantMatrix<T>,
+    /// A pruned pair stays in memory during Algorithm 1's fine-tuning loop
+    /// but contributes nothing and receives no updates.
+    pruned: bool,
+}
+
+impl<T: Scalar> HadaBcm<T> {
+    /// Pairs two circulant factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block sizes differ.
+    pub fn new(a: CirculantMatrix<T>, b: CirculantMatrix<T>) -> Self {
+        assert_eq!(
+            a.block_size(),
+            b.block_size(),
+            "hadaBCM factors must share block size"
+        );
+        HadaBcm {
+            a,
+            b,
+            pruned: false,
+        }
+    }
+
+    /// Random initialization: both factors i.i.d. Gaussian with standard
+    /// deviation `sqrt(std_dev)` so the folded product has standard
+    /// deviation ≈ `std_dev` (the product of two independent zero-mean
+    /// Gaussians has std equal to the product of the stds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0` or `std_dev < 0`.
+    pub fn random(rng: &mut impl Rng, block_size: usize, std_dev: f64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        let factor_std = std_dev.sqrt();
+        let a = CirculantMatrix::new(
+            init::gaussian::<T>(rng, &[block_size], 0.0, factor_std).into_vec(),
+        );
+        let b = CirculantMatrix::new(
+            init::gaussian::<T>(rng, &[block_size], 0.0, factor_std).into_vec(),
+        );
+        HadaBcm::new(a, b)
+    }
+
+    /// Re-parameterizes an existing single block `w` as `A ⊙ B` with
+    /// `A = w` and `B = 1` (an exact warm start: folding returns `w`).
+    pub fn from_folded(w: CirculantMatrix<T>) -> Self {
+        let n = w.block_size();
+        HadaBcm {
+            a: w,
+            b: CirculantMatrix::new(vec![T::ONE; n]),
+            pruned: false,
+        }
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.a.block_size()
+    }
+
+    /// Factor `A`.
+    pub fn factor_a(&self) -> &CirculantMatrix<T> {
+        &self.a
+    }
+
+    /// Factor `B`.
+    pub fn factor_b(&self) -> &CirculantMatrix<T> {
+        &self.b
+    }
+
+    /// `true` once the pair has been eliminated by BCM-wise pruning.
+    pub fn is_pruned(&self) -> bool {
+        self.pruned
+    }
+
+    /// Eliminates the pair (Algorithm 1 line 12: "Eliminate Â and B̂").
+    /// Both factors are zeroed so folding yields the zero block and the
+    /// skip index reads `false`.
+    pub fn prune(&mut self) {
+        let n = self.block_size();
+        self.a = CirculantMatrix::zeros(n);
+        self.b = CirculantMatrix::zeros(n);
+        self.pruned = true;
+    }
+
+    /// Folds the pair into the single inference-time block `W = A ⊙ B`.
+    pub fn fold(&self) -> CirculantMatrix<T> {
+        self.a.hadamard(&self.b)
+    }
+
+    /// ℓ₂ norm of the folded defining vector — the importance score
+    /// Algorithm 1 ranks (line 4: "ℓ₂-norm of A ⊙ B").
+    pub fn importance(&self) -> f64 {
+        self.fold().vector_norm().to_f64()
+    }
+
+    /// The paper's Eq. (1): given `∂L/∂W` on the folded defining vector,
+    /// returns `(∂L/∂A, ∂L/∂B) = (∂L/∂W ⊙ B, ∂L/∂W ⊙ A)`.
+    ///
+    /// A pruned pair returns zero gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_w.len()` differs from the block size.
+    pub fn gradients(&self, grad_w: &[T]) -> (Vec<T>, Vec<T>) {
+        assert_eq!(
+            grad_w.len(),
+            self.block_size(),
+            "gradient length must equal block size"
+        );
+        if self.pruned {
+            return (
+                vec![T::ZERO; grad_w.len()],
+                vec![T::ZERO; grad_w.len()],
+            );
+        }
+        let ga = grad_w
+            .iter()
+            .zip(self.b.defining_vector())
+            .map(|(&g, &b)| g * b)
+            .collect();
+        let gb = grad_w
+            .iter()
+            .zip(self.a.defining_vector())
+            .map(|(&g, &a)| g * a)
+            .collect();
+        (ga, gb)
+    }
+
+    /// Applies a pre-computed SGD step to both factors:
+    /// `A ← A − lr·gA`, `B ← B − lr·gB`. No-op when pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gradient lengths differ from the block size.
+    pub fn apply_step(&mut self, grad_a: &[T], grad_b: &[T], lr: T) {
+        if self.pruned {
+            return;
+        }
+        assert_eq!(grad_a.len(), self.block_size());
+        assert_eq!(grad_b.len(), self.block_size());
+        for (w, &g) in self.a.defining_vector_mut().iter_mut().zip(grad_a) {
+            *w -= lr * g;
+        }
+        for (w, &g) in self.b.defining_vector_mut().iter_mut().zip(grad_b) {
+            *w -= lr * g;
+        }
+    }
+
+    /// Trainable parameter count: `2·BS` during training (the two factors),
+    /// `0` when pruned.
+    pub fn train_param_count(&self) -> usize {
+        if self.pruned {
+            0
+        } else {
+            2 * self.block_size()
+        }
+    }
+
+    /// Inference parameter count after folding: `BS` (or `0` when pruned) —
+    /// identical to plain BCM, the "no overhead" claim of §III-A.
+    pub fn inference_param_count(&self) -> usize {
+        if self.pruned {
+            0
+        } else {
+            self.block_size()
+        }
+    }
+
+    /// Rank-balance diagnostic `|rank(A) − rank(B)|`; the paper argues the
+    /// coupled gradient flow drives this toward zero.
+    pub fn rank_imbalance(&self, tol: f64) -> usize {
+        self.a.rank(tol).abs_diff(self.b.rank(tol))
+    }
+}
+
+/// A full layer's worth of hadaBCM pairs, mirroring the grid layout of a
+/// [`BlockCirculant`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HadaBcmGrid<T: Scalar> {
+    block_size: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    pairs: Vec<HadaBcm<T>>,
+}
+
+impl<T: Scalar> HadaBcmGrid<T> {
+    /// Randomly initializes a grid of pairs; folded blocks have standard
+    /// deviation ≈ `std_dev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `std_dev < 0`.
+    pub fn random(
+        rng: &mut impl Rng,
+        block_size: usize,
+        row_blocks: usize,
+        col_blocks: usize,
+        std_dev: f64,
+    ) -> Self {
+        assert!(row_blocks > 0 && col_blocks > 0, "grid dims must be non-zero");
+        let pairs = (0..row_blocks * col_blocks)
+            .map(|_| HadaBcm::random(rng, block_size, std_dev))
+            .collect();
+        HadaBcmGrid {
+            block_size,
+            row_blocks,
+            col_blocks,
+            pairs,
+        }
+    }
+
+    /// Warm-starts from an existing single-block grid (`A = W`, `B = 1`).
+    pub fn from_folded_grid(grid: &BlockCirculant<T>) -> Self {
+        let (rb, cb) = grid.grid_dims();
+        HadaBcmGrid {
+            block_size: grid.block_size(),
+            row_blocks: rb,
+            col_blocks: cb,
+            pairs: grid.iter().cloned().map(HadaBcm::from_folded).collect(),
+        }
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `(row_blocks, col_blocks)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.row_blocks, self.col_blocks)
+    }
+
+    /// The pair at `(bi, bj)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pair(&self, bi: usize, bj: usize) -> &HadaBcm<T> {
+        assert!(bi < self.row_blocks && bj < self.col_blocks);
+        &self.pairs[bi * self.col_blocks + bj]
+    }
+
+    /// Mutable pair access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pair_mut(&mut self, bi: usize, bj: usize) -> &mut HadaBcm<T> {
+        assert!(bi < self.row_blocks && bj < self.col_blocks);
+        &mut self.pairs[bi * self.col_blocks + bj]
+    }
+
+    /// Iterates over pairs row-major.
+    pub fn iter(&self) -> impl Iterator<Item = &HadaBcm<T>> {
+        self.pairs.iter()
+    }
+
+    /// Iterates mutably over pairs row-major.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut HadaBcm<T>> {
+        self.pairs.iter_mut()
+    }
+
+    /// Number of pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Folds every pair into a plain [`BlockCirculant`] for inference.
+    pub fn fold(&self) -> BlockCirculant<T> {
+        BlockCirculant::from_blocks(
+            self.block_size,
+            self.row_blocks,
+            self.col_blocks,
+            self.pairs.iter().map(HadaBcm::fold).collect(),
+        )
+    }
+
+    /// Importance (ℓ₂ norm of the folded vector) of every pair, row-major —
+    /// Algorithm 1's `norm_list`.
+    pub fn importances(&self) -> Vec<f64> {
+        self.pairs.iter().map(HadaBcm::importance).collect()
+    }
+
+    /// Fraction of pruned pairs.
+    pub fn sparsity(&self) -> f64 {
+        let pruned = self.pairs.iter().filter(|p| p.is_pruned()).count();
+        pruned as f64 / self.pairs.len() as f64
+    }
+
+    /// Trainable parameter count across live pairs.
+    pub fn train_param_count(&self) -> usize {
+        self.pairs.iter().map(HadaBcm::train_param_count).sum()
+    }
+
+    /// Folded inference parameter count across live pairs.
+    pub fn inference_param_count(&self) -> usize {
+        self.pairs.iter().map(HadaBcm::inference_param_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circulant::rank::poor_rank_fraction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::svd::PoorRankCriterion;
+
+    #[test]
+    fn fold_is_elementwise_product() {
+        let a = CirculantMatrix::new(vec![1.0_f64, -2.0, 3.0]);
+        let b = CirculantMatrix::new(vec![4.0_f64, 0.5, -1.0]);
+        let h = HadaBcm::new(a.clone(), b.clone());
+        assert_eq!(h.fold().defining_vector(), &[4.0, -1.0, -3.0]);
+        assert_eq!(h.block_size(), 3);
+    }
+
+    #[test]
+    fn from_folded_is_exact_warm_start() {
+        let w = CirculantMatrix::new(vec![0.1_f64, 0.2, 0.3, 0.4]);
+        let h = HadaBcm::from_folded(w.clone());
+        assert_eq!(h.fold(), w);
+    }
+
+    #[test]
+    fn gradient_rule_matches_eq1() {
+        let a = CirculantMatrix::new(vec![1.0_f64, 2.0]);
+        let b = CirculantMatrix::new(vec![3.0_f64, 5.0]);
+        let h = HadaBcm::new(a, b);
+        let (ga, gb) = h.gradients(&[10.0, 100.0]);
+        assert_eq!(ga, vec![30.0, 500.0]); // ∂L/∂A = ∂L/∂W ⊙ B
+        assert_eq!(gb, vec![10.0, 200.0]); // ∂L/∂B = ∂L/∂W ⊙ A
+    }
+
+    #[test]
+    fn gradient_rule_matches_finite_difference() {
+        // Loss L = Σᵢ cᵢ·wᵢ where w = a ⊙ b; then ∂L/∂aᵢ = cᵢ·bᵢ.
+        let a = CirculantMatrix::new(vec![0.5_f64, -1.0, 2.0, 0.3]);
+        let b = CirculantMatrix::new(vec![1.5_f64, 0.7, -0.2, 1.0]);
+        let c = [0.9_f64, -0.4, 0.1, 2.0];
+        let h = HadaBcm::new(a.clone(), b.clone());
+        let (ga, _) = h.gradients(&c);
+        let eps = 1e-6;
+        for i in 0..4 {
+            let mut a_pert = a.defining_vector().to_vec();
+            a_pert[i] += eps;
+            let loss = |av: &[f64]| -> f64 {
+                av.iter()
+                    .zip(b.defining_vector())
+                    .zip(&c)
+                    .map(|((&x, &y), &z)| x * y * z)
+                    .sum()
+            };
+            let fd = (loss(&a_pert) - loss(a.defining_vector())) / eps;
+            assert!((fd - ga[i]).abs() < 1e-5, "i={i}: fd={fd} vs {}", ga[i]);
+        }
+    }
+
+    #[test]
+    fn pruning_zeroes_and_freezes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut h = HadaBcm::<f64>::random(&mut rng, 4, 0.5);
+        assert!(!h.is_pruned());
+        h.prune();
+        assert!(h.is_pruned());
+        assert!(h.fold().is_zero());
+        assert_eq!(h.importance(), 0.0);
+        assert_eq!(h.train_param_count(), 0);
+        // Steps are ignored after pruning.
+        h.apply_step(&[1.0; 4], &[1.0; 4], 0.1);
+        assert!(h.fold().is_zero());
+        let (ga, gb) = h.gradients(&[1.0; 4]);
+        assert!(ga.iter().all(|&g| g == 0.0) && gb.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let a = CirculantMatrix::new(vec![1.0_f64, 1.0]);
+        let b = CirculantMatrix::new(vec![1.0_f64, 1.0]);
+        let mut h = HadaBcm::new(a, b);
+        h.apply_step(&[1.0, 0.0], &[0.0, 2.0], 0.5);
+        assert_eq!(h.factor_a().defining_vector(), &[0.5, 1.0]);
+        assert_eq!(h.factor_b().defining_vector(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn random_init_scale() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut folded_sq = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let h = HadaBcm::<f64>::random(&mut rng, 8, 0.04);
+            folded_sq += h
+                .fold()
+                .defining_vector()
+                .iter()
+                .map(|x| x * x)
+                .sum::<f64>()
+                / 8.0;
+        }
+        let var = folded_sq / trials as f64;
+        // Folded variance should be ≈ std_dev² = 0.0016.
+        assert!((var - 0.0016).abs() < 0.0005, "var = {var}");
+    }
+
+    #[test]
+    fn grid_fold_and_counts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut grid = HadaBcmGrid::<f64>::random(&mut rng, 4, 2, 3, 0.1);
+        assert_eq!(grid.pair_count(), 6);
+        assert_eq!(grid.train_param_count(), 6 * 8);
+        assert_eq!(grid.inference_param_count(), 6 * 4);
+        grid.pair_mut(0, 1).prune();
+        assert_eq!(grid.train_param_count(), 5 * 8);
+        assert!((grid.sparsity() - 1.0 / 6.0).abs() < 1e-12);
+        let folded = grid.fold();
+        assert_eq!(folded.grid_dims(), (2, 3));
+        assert!(folded.block(0, 1).is_zero());
+        assert_eq!(folded.skip_index(), vec![true, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn grid_importances_align_with_pairs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let grid = HadaBcmGrid::<f64>::random(&mut rng, 4, 2, 2, 0.3);
+        let imps = grid.importances();
+        assert_eq!(imps.len(), 4);
+        assert!((imps[1] - grid.pair(0, 1).importance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadabcm_improves_rank_condition_of_poor_blocks() {
+        // Deliberately rank-poor single blocks vs products of two such:
+        // the product's spectrum support widens (Fig. 9a's mechanism).
+        let n = 16;
+        let poor_vec = |phase: f64| -> Vec<f64> {
+            (0..n)
+                .map(|t| {
+                    1.0 + 0.02
+                        * (2.0 * std::f64::consts::PI * t as f64 / n as f64 + phase).cos()
+                })
+                .collect()
+        };
+        let single = CirculantMatrix::new(poor_vec(0.0));
+        assert!(PoorRankCriterion::paper().is_poor_spectrum(&single.singular_values()));
+        // hadaBCM folded from two *different* generic factors is healthy.
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = HadaBcm::<f64>::random(&mut rng, n, 1.0);
+        let folded = h.fold();
+        assert!(!PoorRankCriterion::paper().is_poor_spectrum(&folded.singular_values()));
+        let grid = BlockCirculant::from_blocks(n, 1, 1, vec![folded]);
+        assert_eq!(poor_rank_fraction(&grid, PoorRankCriterion::paper()), 0.0);
+    }
+
+    #[test]
+    fn rank_imbalance_of_identical_factors_is_zero() {
+        let a = CirculantMatrix::new(vec![1.0_f64, 0.0, 0.0, 0.0]);
+        let h = HadaBcm::new(a.clone(), a);
+        assert_eq!(h.rank_imbalance(1e-9), 0);
+    }
+}

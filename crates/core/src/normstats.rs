@@ -1,0 +1,206 @@
+//! Pruning-unit norm distributions (paper §III-B, Fig. 5).
+//!
+//! The paper's argument for norm-based BCM-wise pruning: a pruning unit
+//! `U ∈ R^{BS×BS}` of a conventional CNN aggregates `BS²` i.i.d.-ish
+//! values, while a BCM unit aggregates only `BS` — so by the law of large
+//! numbers the BCM units' norm distribution is *wider* and its minimum sits
+//! *closer to zero*, which are exactly the two requirements for norm
+//! criteria to discriminate. This module computes both distributions and
+//! the comparison statistics.
+
+use circulant::{BlockCirculant, ConvBlockCirculant};
+use tensor::stats::{Kde, Summary};
+use tensor::{Scalar, Tensor};
+
+/// Frobenius norms of the `BS×BS` pruning units of a dense matrix —
+/// the conventional CNN side (`U_cnn`) of Fig. 5.
+///
+/// # Panics
+///
+/// Panics if `dense` is not 2-d or not divisible into `BS×BS` units.
+pub fn dense_unit_norms<T: Scalar>(dense: &Tensor<T>, bs: usize) -> Vec<f64> {
+    assert_eq!(dense.shape().ndim(), 2, "dense_unit_norms needs a 2-d tensor");
+    let (rows, cols) = (dense.shape().dim(0), dense.shape().dim(1));
+    assert_eq!(rows % bs, 0, "rows {rows} not divisible by BS {bs}");
+    assert_eq!(cols % bs, 0, "cols {cols} not divisible by BS {bs}");
+    let mut norms = Vec::with_capacity((rows / bs) * (cols / bs));
+    for bi in 0..rows / bs {
+        for bj in 0..cols / bs {
+            let mut sum_sq = 0.0f64;
+            for i in 0..bs {
+                for j in 0..bs {
+                    let v = dense.at(&[bi * bs + i, bj * bs + j]).to_f64();
+                    sum_sq += v * v;
+                }
+            }
+            norms.push(sum_sq.sqrt());
+        }
+    }
+    norms
+}
+
+/// Frobenius norms of the BCM pruning units of a block-circulant grid —
+/// the `U_bcm` side of Fig. 5 (`‖C‖_F = √BS·‖w‖₂`, so this is the same
+/// quantity Algorithm 1 ranks, up to the constant `√BS`).
+pub fn bcm_unit_norms<T: Scalar>(grid: &BlockCirculant<T>) -> Vec<f64> {
+    grid.iter().map(|b| b.frobenius_norm().to_f64()).collect()
+}
+
+/// `U_bcm` norms across every spatial tap of a conv weight.
+pub fn bcm_unit_norms_conv<T: Scalar>(conv: &ConvBlockCirculant<T>) -> Vec<f64> {
+    conv.iter().flat_map(bcm_unit_norms).collect()
+}
+
+/// `U_cnn` norms of a dense conv weight `[c_out, c_in, kh, kw]`: one unit
+/// per `(tap, out-block, in-block)`, matching the BCM partitioning.
+///
+/// # Panics
+///
+/// Panics if `w` is not 4-d or channels are not divisible by `bs`.
+pub fn dense_unit_norms_conv<T: Scalar>(w: &Tensor<T>, bs: usize) -> Vec<f64> {
+    assert_eq!(w.shape().ndim(), 4, "conv weight must be 4-d");
+    let (co, ci, kh, kw) = (
+        w.shape().dim(0),
+        w.shape().dim(1),
+        w.shape().dim(2),
+        w.shape().dim(3),
+    );
+    let mut norms = Vec::new();
+    for p in 0..kh {
+        for q in 0..kw {
+            let slice = Tensor::from_fn(&[co, ci], |idx| {
+                let (o, i) = (idx / ci, idx % ci);
+                w.at(&[o, i, p, q])
+            });
+            norms.extend(dense_unit_norms(&slice, bs));
+        }
+    }
+    norms
+}
+
+/// Side-by-side comparison of the two norm distributions, carrying the two
+/// Fig. 5 claims as predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormComparison {
+    /// Summary of the conventional-CNN unit norms.
+    pub cnn: Summary,
+    /// Summary of the BCM unit norms.
+    pub bcm: Summary,
+}
+
+impl NormComparison {
+    /// Compares two norm samples.
+    pub fn new(cnn_norms: &[f64], bcm_norms: &[f64]) -> Self {
+        NormComparison {
+            cnn: Summary::of(cnn_norms),
+            bcm: Summary::of(bcm_norms),
+        }
+    }
+
+    /// Requirement (i): the BCM distribution is relatively wider
+    /// (higher coefficient of variation).
+    pub fn bcm_has_wider_spread(&self) -> bool {
+        self.bcm.coeff_of_variation() > self.cnn.coeff_of_variation()
+    }
+
+    /// Requirement (ii): the smallest BCM norm is relatively smaller
+    /// (min/mean closer to zero).
+    pub fn bcm_min_is_smaller(&self) -> bool {
+        self.bcm.min_over_mean() < self.cnn.min_over_mean()
+    }
+
+    /// Both Fig. 5 requirements hold.
+    pub fn favors_bcm_pruning(&self) -> bool {
+        self.bcm_has_wider_spread() && self.bcm_min_is_smaller()
+    }
+}
+
+/// KDE curve of a norm sample over `[0, max·1.1]` — one series of Fig. 5.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn norm_kde_series(norms: &[f64], points: usize) -> Vec<(f64, f64)> {
+    assert!(!norms.is_empty(), "cannot build a KDE of an empty sample");
+    let max = norms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let hi = if max > 0.0 { max * 1.1 } else { 1.0 };
+    Kde::fit(norms).grid(0.0, hi, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circulant::CirculantMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    fn gaussian_dense(seed: u64, rows: usize, cols: usize) -> Tensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::gaussian(&mut rng, &[rows, cols], 0.0, 0.05)
+    }
+
+    fn gaussian_grid(seed: u64, bs: usize, rb: usize, cb: usize) -> BlockCirculant<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..rb * cb)
+            .map(|_| {
+                CirculantMatrix::new(init::gaussian::<f64>(&mut rng, &[bs], 0.0, 0.05).into_vec())
+            })
+            .collect();
+        BlockCirculant::from_blocks(bs, rb, cb, blocks)
+    }
+
+    #[test]
+    fn dense_unit_norms_shape_and_values() {
+        let t = Tensor::from_vec(vec![3.0_f64, 0.0, 0.0, 4.0], &[2, 2]);
+        let n = dense_unit_norms(&t, 2);
+        assert_eq!(n.len(), 1);
+        assert!((n[0] - 5.0).abs() < 1e-12);
+        let t2 = Tensor::<f64>::ones(&[4, 4]);
+        assert_eq!(dense_unit_norms(&t2, 2).len(), 4);
+    }
+
+    #[test]
+    fn bcm_unit_norm_is_scaled_vector_norm() {
+        let grid = gaussian_grid(1, 8, 2, 2);
+        let norms = bcm_unit_norms(&grid);
+        for (n, b) in norms.iter().zip(grid.iter()) {
+            let want = (8.0_f64).sqrt() * b.vector_norm();
+            assert!((n - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig5_claim_bcm_distribution_is_wider() {
+        // Same element variance, same unit partitioning: BS²=256 values per
+        // CNN unit vs BS=16 per BCM unit → BCM norms spread wider.
+        let bs = 16;
+        let dense = gaussian_dense(10, 8 * bs, 8 * bs);
+        let grid = gaussian_grid(11, bs, 8, 8);
+        let cmp = NormComparison::new(&dense_unit_norms(&dense, bs), &bcm_unit_norms(&grid));
+        assert!(cmp.bcm_has_wider_spread(), "cnn cv = {}, bcm cv = {}",
+            cmp.cnn.coeff_of_variation(), cmp.bcm.coeff_of_variation());
+        assert!(cmp.bcm_min_is_smaller());
+        assert!(cmp.favors_bcm_pruning());
+    }
+
+    #[test]
+    fn conv_unit_norms_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w: Tensor<f64> = init::gaussian(&mut rng, &[16, 8, 3, 3], 0.0, 0.1);
+        let n = dense_unit_norms_conv(&w, 8);
+        assert_eq!(n.len(), (9 * 2));
+        let conv = circulant::ConvBlockCirculant::project_from_dense(&w, 8);
+        assert_eq!(bcm_unit_norms_conv(&conv).len(), 18);
+    }
+
+    #[test]
+    fn kde_series_spans_range() {
+        let norms = vec![0.5, 1.0, 1.5, 2.0];
+        let series = norm_kde_series(&norms, 50);
+        assert_eq!(series.len(), 50);
+        assert_eq!(series[0].0, 0.0);
+        assert!((series.last().expect("non-empty").0 - 2.2).abs() < 1e-9);
+        assert!(series.iter().all(|&(_, d)| d >= 0.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! The end-to-end RP-BCM pipeline (paper Fig. 3): hadaBCM training
+//! parameterization → BCM-wise pruning → folded inference weights +
+//! compression report.
+//!
+//! The pipeline is model-agnostic: an [`RpbcmModel`] is an ordered set of
+//! named [`HadaBcmGrid`]s (one per compressed layer); pairing it with any
+//! fine-tune/evaluate closure via [`ModelWithEval`] makes it drivable by
+//! Algorithm 1 ([`crate::BcmWisePruner`]). The `nn` crate supplies real
+//! training closures; tests and the Table I harness supply analytic ones.
+
+use crate::hadabcm::HadaBcmGrid;
+use crate::pruning::{BcmWisePruner, PrunableNetwork, PruningReport};
+use crate::skipindex::SkipIndexBuffer;
+use circulant::BlockCirculant;
+use tensor::Scalar;
+
+/// Configuration for the two-stage RP-BCM flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpbcmConfig {
+    /// BCM block size `BS` (power of two).
+    pub block_size: usize,
+    /// Algorithm 1 settings.
+    pub pruner: BcmWisePruner,
+}
+
+impl Default for RpbcmConfig {
+    fn default() -> Self {
+        RpbcmConfig {
+            block_size: 8,
+            pruner: BcmWisePruner::default(),
+        }
+    }
+}
+
+/// A compressible model: named hadaBCM layer grids with a stable global
+/// block indexing (layer order, then row-major within the layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpbcmModel<T: Scalar> {
+    layers: Vec<(String, HadaBcmGrid<T>)>,
+}
+
+impl<T: Scalar> RpbcmModel<T> {
+    /// Builds from named grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<(String, HadaBcmGrid<T>)>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        RpbcmModel { layers }
+    }
+
+    /// The named grids, in order.
+    pub fn layers(&self) -> &[(String, HadaBcmGrid<T>)] {
+        &self.layers
+    }
+
+    /// Mutable access to the grids (training updates them).
+    pub fn layers_mut(&mut self) -> &mut [(String, HadaBcmGrid<T>)] {
+        &mut self.layers
+    }
+
+    /// Total BCM pair count across layers.
+    pub fn total_blocks(&self) -> usize {
+        self.layers.iter().map(|(_, g)| g.pair_count()).sum()
+    }
+
+    /// Global importance list (Algorithm 1's `norm_list`): layer order,
+    /// row-major within each layer.
+    pub fn importances(&self) -> Vec<f64> {
+        self.layers
+            .iter()
+            .flat_map(|(_, g)| g.importances())
+            .collect()
+    }
+
+    /// Eliminates blocks by global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn eliminate_blocks(&mut self, indices: &[usize]) {
+        let counts: Vec<usize> = self.layers.iter().map(|(_, g)| g.pair_count()).collect();
+        let total: usize = counts.iter().sum();
+        for &gidx in indices {
+            assert!(gidx < total, "block index {gidx} out of range ({total})");
+            let mut rem = gidx;
+            for (li, &c) in counts.iter().enumerate() {
+                if rem < c {
+                    let (_, grid) = &mut self.layers[li];
+                    let (_, cb) = grid.grid_dims();
+                    grid.pair_mut(rem / cb, rem % cb).prune();
+                    break;
+                }
+                rem -= c;
+            }
+        }
+    }
+
+    /// Folds every layer for inference.
+    pub fn fold(&self) -> Vec<(String, BlockCirculant<T>)> {
+        self.layers
+            .iter()
+            .map(|(n, g)| (n.clone(), g.fold()))
+            .collect()
+    }
+
+    /// Per-layer skip-index buffers for the accelerator.
+    pub fn skip_indices(&self) -> Vec<(String, SkipIndexBuffer)> {
+        self.fold()
+            .into_iter()
+            .map(|(n, g)| (n, SkipIndexBuffer::from_grid(&g)))
+            .collect()
+    }
+
+    /// Compression report of the current (possibly pruned) state.
+    pub fn report(&self) -> CompressionReport {
+        let layers = self
+            .layers
+            .iter()
+            .map(|(name, g)| {
+                let (rows, cols) = {
+                    let (rb, cb) = g.grid_dims();
+                    (rb * g.block_size(), cb * g.block_size())
+                };
+                LayerReport {
+                    name: name.clone(),
+                    dense_params: rows * cols,
+                    inference_params: g.inference_param_count(),
+                    train_params: g.train_param_count(),
+                    total_blocks: g.pair_count(),
+                    pruned_blocks: (g.sparsity() * g.pair_count() as f64).round() as usize,
+                }
+            })
+            .collect();
+        CompressionReport { layers }
+    }
+}
+
+/// Per-layer compression figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Parameters of the dense equivalent.
+    pub dense_params: usize,
+    /// Folded (inference-time) parameters after pruning.
+    pub inference_params: usize,
+    /// Trainable parameters (2·BS per live pair).
+    pub train_params: usize,
+    /// Total BCM count.
+    pub total_blocks: usize,
+    /// Pruned BCM count.
+    pub pruned_blocks: usize,
+}
+
+/// Whole-model compression figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionReport {
+    /// Per-layer breakdown, in layer order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl CompressionReport {
+    /// Total dense parameters.
+    pub fn dense_params(&self) -> usize {
+        self.layers.iter().map(|l| l.dense_params).sum()
+    }
+
+    /// Total folded inference parameters.
+    pub fn inference_params(&self) -> usize {
+        self.layers.iter().map(|l| l.inference_params).sum()
+    }
+
+    /// Parameter reduction percentage vs dense.
+    pub fn param_reduction_pct(&self) -> f64 {
+        let dense = self.dense_params() as f64;
+        if dense == 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.inference_params() as f64 / dense)
+    }
+
+    /// Overall block sparsity.
+    pub fn sparsity(&self) -> f64 {
+        let total: usize = self.layers.iter().map(|l| l.total_blocks).sum();
+        let pruned: usize = self.layers.iter().map(|l| l.pruned_blocks).sum();
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Pairs a model with a fine-tune/evaluate closure so Algorithm 1 can
+/// drive it.
+///
+/// The closure receives the pruned model, may update its live weights
+/// (fine-tuning), and returns validation accuracy in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct ModelWithEval<T: Scalar, F> {
+    /// The compressible model.
+    pub model: RpbcmModel<T>,
+    /// Fine-tune + evaluate.
+    pub eval: F,
+}
+
+impl<T, F> PrunableNetwork for ModelWithEval<T, F>
+where
+    T: Scalar,
+    F: FnMut(&mut RpbcmModel<T>) -> f64 + Clone,
+{
+    fn bcm_norms(&self) -> Vec<f64> {
+        self.model.importances()
+    }
+
+    fn eliminate(&mut self, indices: &[usize]) {
+        self.model.eliminate_blocks(indices);
+    }
+
+    fn fine_tune(&mut self) -> f64 {
+        (self.eval)(&mut self.model)
+    }
+}
+
+/// Runs the full stage-2 flow: Algorithm 1 over a hadaBCM model with the
+/// given evaluation closure, returning the best model and both reports.
+pub fn compress<T, F>(
+    config: &RpbcmConfig,
+    model: RpbcmModel<T>,
+    eval: F,
+) -> (RpbcmModel<T>, PruningReport, CompressionReport)
+where
+    T: Scalar,
+    F: FnMut(&mut RpbcmModel<T>) -> f64 + Clone,
+{
+    let wrapped = ModelWithEval { model, eval };
+    let (best, prune_report) = config.pruner.run(wrapped);
+    let compression = best.model.report();
+    (best.model, prune_report, compression)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> RpbcmModel<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RpbcmModel::new(vec![
+            (
+                "layer1".to_string(),
+                HadaBcmGrid::random(&mut rng, 4, 2, 2, 0.5),
+            ),
+            (
+                "layer2".to_string(),
+                HadaBcmGrid::random(&mut rng, 4, 3, 2, 0.5),
+            ),
+        ])
+    }
+
+    #[test]
+    fn global_indexing_spans_layers() {
+        let mut m = model(1);
+        assert_eq!(m.total_blocks(), 4 + 6);
+        assert_eq!(m.importances().len(), 10);
+        // Eliminate one block in each layer: global indices 1 and 4+2.
+        m.eliminate_blocks(&[1, 6]);
+        assert!(m.layers()[0].1.pair(0, 1).is_pruned());
+        assert!(m.layers()[1].1.pair(1, 0).is_pruned());
+        let folded = m.fold();
+        assert!(folded[0].1.block(0, 1).is_zero());
+        assert!(folded[1].1.block(1, 0).is_zero());
+    }
+
+    #[test]
+    fn report_tracks_pruning() {
+        let mut m = model(2);
+        m.eliminate_blocks(&[0, 1, 4]);
+        let r = m.report();
+        assert_eq!(r.layers.len(), 2);
+        assert_eq!(r.layers[0].pruned_blocks, 2);
+        assert_eq!(r.layers[1].pruned_blocks, 1);
+        assert_eq!(r.dense_params(), 8 * 8 + 12 * 8);
+        // Each live block folds to BS=4 params: (4-2 + 6-1) * 4.
+        assert_eq!(r.inference_params(), 7 * 4);
+        assert!((r.sparsity() - 0.3).abs() < 1e-12);
+        assert!(r.param_reduction_pct() > 80.0);
+    }
+
+    #[test]
+    fn skip_indices_match_fold() {
+        let mut m = model(3);
+        m.eliminate_blocks(&[2]);
+        let skips = m.skip_indices();
+        assert_eq!(skips[0].1.len(), 4);
+        assert!(!skips[0].1.get(2));
+        assert_eq!(skips[1].1.live_count(), 6);
+    }
+
+    #[test]
+    fn compress_runs_algorithm1_end_to_end() {
+        // Accuracy model: proportional to surviving norm mass.
+        let m = model(4);
+        let total_mass: f64 = m.importances().iter().map(|n| n * n).sum();
+        let eval = move |model: &mut RpbcmModel<f64>| -> f64 {
+            let live: f64 = model.importances().iter().map(|n| n * n).sum();
+            0.5 + 0.5 * live / total_mass
+        };
+        let config = RpbcmConfig {
+            block_size: 4,
+            pruner: BcmWisePruner {
+                alpha_init: 0.1,
+                alpha_step: 0.1,
+                target_accuracy: 0.8,
+                max_rounds: 20,
+            },
+        };
+        let (best, prune_report, compression) = compress(&config, m, eval);
+        assert!(prune_report.final_alpha.is_some());
+        assert!(prune_report.final_accuracy >= 0.8);
+        assert!(!prune_report.steps.is_empty());
+        assert_eq!(
+            compression.layers.iter().map(|l| l.pruned_blocks).sum::<usize>(),
+            prune_report.final_pruned_count
+        );
+        assert_eq!(best.report(), compression);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn eliminate_rejects_bad_index() {
+        let mut m = model(5);
+        m.eliminate_blocks(&[10]);
+    }
+}

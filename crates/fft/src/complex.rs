@@ -1,0 +1,245 @@
+//! A minimal complex number type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use tensor::Scalar;
+
+/// A complex number over a [`Scalar`] (i.e. `f32` or `f64`).
+///
+/// # Example
+///
+/// ```
+/// use fft::Complex;
+///
+/// let i = Complex::new(0.0_f64, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert_eq!(i.conj(), Complex::new(0.0, -1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T: Scalar> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T: Scalar> Complex<T> {
+    /// Creates `re + i·im`.
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> Self {
+        Complex {
+            re: T::ZERO,
+            im: T::ZERO,
+        }
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Complex {
+            re: T::ONE,
+            im: T::ZERO,
+        }
+    }
+
+    /// A purely real number.
+    pub fn from_real(re: T) -> Self {
+        Complex { re, im: T::ZERO }
+    }
+
+    /// `r·e^{iθ}`.
+    pub fn from_polar(r: T, theta: T) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> T {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Complex::abs`]).
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: T) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Fused multiply-add: `self + a * b`, the element-wise MAC ("eMAC") at
+    /// the heart of the BCM dataflow.
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+}
+
+impl<T: Scalar> Add for Complex<T> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl<T: Scalar> Sub for Complex<T> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl<T: Scalar> Mul for Complex<T> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<T: Scalar> Div for Complex<T> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl<T: Scalar> Neg for Complex<T> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl<T: Scalar> AddAssign for Complex<T> {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Scalar> SubAssign for Complex<T> {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Scalar> MulAssign for Complex<T> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Scalar> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |acc, z| acc + z)
+    }
+}
+
+impl<T: Scalar> From<T> for Complex<T> {
+    fn from(re: T) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl<T: Scalar> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= T::ZERO {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0_f64, -4.0);
+        assert_eq!(z + Complex::zero(), z);
+        assert_eq!(z * Complex::one(), z);
+        assert_eq!(z - z, Complex::zero());
+        assert_eq!(-z + z, Complex::zero());
+    }
+
+    #[test]
+    fn multiplication_and_division_invert() {
+        let a = Complex::new(2.0_f64, 3.0);
+        let b = Complex::new(-1.0_f64, 4.0);
+        let c = a * b / b;
+        assert!((c.re - a.re).abs() < 1e-12);
+        assert!((c.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_and_conj() {
+        let z = Complex::new(3.0_f32, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-6);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!((z * z.conj()).im, 0.0);
+        assert!(((z * z.conj()).re - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0_f64, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_add_is_mac() {
+        let acc = Complex::new(1.0_f64, 1.0);
+        let a = Complex::new(2.0_f64, 0.0);
+        let b = Complex::new(0.0_f64, 3.0);
+        assert_eq!(acc.mul_add(a, b), Complex::new(1.0, 7.0));
+    }
+
+    #[test]
+    fn sum_of_complexes() {
+        let total: Complex<f64> = (0..4).map(|i| Complex::new(i as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex::new(1.0_f32, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0_f32, -2.0).to_string(), "1-2i");
+    }
+}

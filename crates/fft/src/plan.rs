@@ -1,0 +1,85 @@
+//! Thread-local FFT plan cache.
+//!
+//! Building an [`Fft`] plan costs O(n) trigonometry for the twiddle table;
+//! BCM inference calls transforms of the same small size thousands of
+//! times per layer. [`with_plan`] memoizes plans per `(size, scalar type)`
+//! per thread — the software analogue of the accelerator's fixed twiddle
+//! ROM.
+
+use crate::Fft;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use tensor::Scalar;
+
+thread_local! {
+    static PLANS: RefCell<HashMap<(usize, TypeId), Rc<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with a cached plan for size `n`, building (and caching) it on
+/// first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use fft::{plan::with_plan, Complex};
+///
+/// let mut x = vec![Complex::new(1.0_f64, 0.0); 8];
+/// with_plan::<f64, _>(8, |p| p.forward(&mut x));
+/// // Second call reuses the cached plan.
+/// with_plan::<f64, _>(8, |p| p.inverse(&mut x));
+/// assert!((x[0].re - 1.0).abs() < 1e-12);
+/// ```
+pub fn with_plan<T: Scalar, R>(n: usize, f: impl FnOnce(&Fft<T>) -> R) -> R {
+    let key = (n, TypeId::of::<T>());
+    let plan: Rc<dyn Any> = PLANS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| Rc::new(Fft::<T>::new(n)) as Rc<dyn Any>)
+            .clone()
+    });
+    let plan = plan
+        .downcast_ref::<Fft<T>>()
+        .expect("cache entry type matches key");
+    f(plan)
+}
+
+/// Number of plans currently cached on this thread (for tests/diagnostics).
+pub fn cached_plan_count() -> usize {
+    PLANS.with(|cache| cache.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+
+    #[test]
+    fn plans_are_cached_per_size_and_type() {
+        let before = cached_plan_count();
+        with_plan::<f64, _>(64, |p| assert_eq!(p.len(), 64));
+        with_plan::<f64, _>(64, |p| assert_eq!(p.len(), 64));
+        with_plan::<f32, _>(64, |p| assert_eq!(p.len(), 64));
+        with_plan::<f64, _>(128, |p| assert_eq!(p.len(), 128));
+        let after = cached_plan_count();
+        assert_eq!(after - before, 3); // 64/f64, 64/f32, 128/f64
+    }
+
+    #[test]
+    fn cached_plan_computes_correctly() {
+        let mut x: Vec<Complex<f64>> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let orig = x.clone();
+        with_plan::<f64, _>(16, |p| p.forward(&mut x));
+        with_plan::<f64, _>(16, |p| p.inverse(&mut x));
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10);
+        }
+    }
+}

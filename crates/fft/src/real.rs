@@ -1,0 +1,229 @@
+//! Packed real-input spectra and the `BS/2 + 1` MAC argument.
+//!
+//! The DFT of a real length-`n` signal is conjugate-symmetric:
+//! `X[n-k] = conj(X[k])`. Only bins `0 ..= n/2` are independent, so
+//! BCM inference stores and multiplies `n/2 + 1` complex bins per block —
+//! exactly why the paper's eMAC PE performs `BS/2 + 1` MAC operations for a
+//! `BS`-point block (§IV-B, citing REQ-YOLO).
+
+use crate::Complex;
+use tensor::Scalar;
+
+/// The non-redundant half-spectrum of a real signal of even length `n`:
+/// bins `0 ..= n/2` (that is, `n/2 + 1` complex values).
+///
+/// # Example
+///
+/// ```
+/// use fft::real::HalfSpectrum;
+///
+/// let x = [1.0_f64, 2.0, 3.0, 4.0];
+/// let h = HalfSpectrum::forward(&x);
+/// assert_eq!(h.bins().len(), 3); // 4/2 + 1
+/// let back = h.inverse();
+/// for (a, b) in back.iter().zip(&x) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfSpectrum<T: Scalar> {
+    n: usize,
+    bins: Vec<Complex<T>>,
+}
+
+impl<T: Scalar> HalfSpectrum<T> {
+    /// Computes the half-spectrum of a real signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a power of two.
+    pub fn forward(x: &[T]) -> Self {
+        let n = x.len();
+        let full = crate::plan::with_plan::<T, _>(n, |plan| plan.forward_real(x));
+        HalfSpectrum {
+            n,
+            bins: full[..=n / 2].to_vec(),
+        }
+    }
+
+    /// Wraps precomputed bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins.len() != n/2 + 1` or `n` is not a power of two.
+    pub fn from_bins(n: usize, bins: Vec<Complex<T>>) -> Self {
+        assert!(crate::is_power_of_two(n), "signal length must be 2^k");
+        assert_eq!(bins.len(), n / 2 + 1, "half spectrum of n={n} needs n/2+1 bins");
+        HalfSpectrum { n, bins }
+    }
+
+    /// Length of the underlying real signal.
+    pub fn signal_len(&self) -> usize {
+        self.n
+    }
+
+    /// The independent bins `0 ..= n/2`.
+    pub fn bins(&self) -> &[Complex<T>] {
+        &self.bins
+    }
+
+    /// Mutable access to the independent bins.
+    pub fn bins_mut(&mut self) -> &mut [Complex<T>] {
+        &mut self.bins
+    }
+
+    /// The number of complex MACs an eMAC PE spends multiplying two such
+    /// spectra: `n/2 + 1`.
+    pub fn mac_count(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Expands to the full conjugate-symmetric spectrum.
+    pub fn expand(&self) -> Vec<Complex<T>> {
+        let mut full = vec![Complex::zero(); self.n];
+        full[..=self.n / 2].copy_from_slice(&self.bins);
+        for k in 1..self.n / 2 {
+            full[self.n - k] = self.bins[k].conj();
+        }
+        full
+    }
+
+    /// Element-wise product with another half-spectrum — the eMAC step of
+    /// "FFT → eMAC → IFFT". Multiplying two conjugate-symmetric spectra
+    /// yields a conjugate-symmetric spectrum, so closure is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal lengths differ.
+    pub fn emac(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n, "half-spectrum length mismatch");
+        HalfSpectrum {
+            n: self.n,
+            bins: self
+                .bins
+                .iter()
+                .zip(&other.bins)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Accumulates `other ⊙ weight` into `self` (the running partial sum a
+    /// Pruned-BCM PE keeps while walking input-channel blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal lengths differ.
+    pub fn emac_accumulate(&mut self, x: &Self, w: &Self) {
+        assert_eq!(self.n, x.n, "half-spectrum length mismatch");
+        assert_eq!(self.n, w.n, "half-spectrum length mismatch");
+        for ((acc, &a), &b) in self.bins.iter_mut().zip(&x.bins).zip(&w.bins) {
+            *acc += a * b;
+        }
+    }
+
+    /// Inverse transform back to the real signal.
+    pub fn inverse(&self) -> Vec<T> {
+        let full = self.expand();
+        crate::plan::with_plan::<T, _>(self.n, |plan| plan.inverse_real(&full))
+    }
+
+    /// An all-zero half-spectrum for accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn zeros(n: usize) -> Self {
+        assert!(crate::is_power_of_two(n), "signal length must be 2^k");
+        HalfSpectrum {
+            n,
+            bins: vec![Complex::zero(); n / 2 + 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fft;
+
+    #[test]
+    fn round_trip() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let h = HalfSpectrum::forward(&x);
+        assert_eq!(h.signal_len(), 16);
+        assert_eq!(h.bins().len(), 9);
+        assert_eq!(h.mac_count(), 9);
+        let back = h.inverse();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn expand_matches_full_fft() {
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let h = HalfSpectrum::forward(&x);
+        let full_direct = Fft::new(8).forward_real(&x);
+        for (a, b) in h.expand().iter().zip(&full_direct) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn emac_equals_full_spectrum_product() {
+        let x: Vec<f64> = (0..8).map(|i| (i as f64).cos()).collect();
+        let w: Vec<f64> = (0..8).map(|i| 0.5 - 0.1 * i as f64).collect();
+        let hx = HalfSpectrum::forward(&x);
+        let hw = HalfSpectrum::forward(&w);
+        let prod = hx.emac(&hw);
+
+        let plan = Fft::new(8);
+        let fx = plan.forward_real(&x);
+        let fw = plan.forward_real(&w);
+        let full: Vec<Complex<f64>> = fx.iter().zip(&fw).map(|(&a, &b)| a * b).collect();
+        for (k, bin) in prod.bins().iter().enumerate() {
+            assert!((bin.re - full[k].re).abs() < 1e-10);
+            assert!((bin.im - full[k].im).abs() < 1e-10);
+        }
+        // And the product spectrum inverts to a real signal.
+        let y = prod.inverse();
+        assert_eq!(y.len(), 8);
+    }
+
+    #[test]
+    fn accumulate_matches_sum_of_products() {
+        let a: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..8).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let c: Vec<f64> = (0..8).map(|i| (i % 3) as f64).collect();
+        let d: Vec<f64> = (0..8).map(|i| -(i as f64) * 0.2).collect();
+
+        let mut acc = HalfSpectrum::zeros(8);
+        acc.emac_accumulate(&HalfSpectrum::forward(&a), &HalfSpectrum::forward(&b));
+        acc.emac_accumulate(&HalfSpectrum::forward(&c), &HalfSpectrum::forward(&d));
+
+        let p1 = HalfSpectrum::forward(&a).emac(&HalfSpectrum::forward(&b));
+        let p2 = HalfSpectrum::forward(&c).emac(&HalfSpectrum::forward(&d));
+        for ((acc_bin, &x), &y) in acc.bins().iter().zip(p1.bins()).zip(p2.bins()) {
+            let want = x + y;
+            assert!((acc_bin.re - want.re).abs() < 1e-10);
+            assert!((acc_bin.im - want.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mac_savings_vs_full_spectrum() {
+        // For BS = 8 the eMAC PE does 5 MACs instead of 8: the savings the
+        // paper's PE design banks on.
+        let h = HalfSpectrum::<f64>::zeros(8);
+        assert_eq!(h.mac_count(), 5);
+        let h32 = HalfSpectrum::<f64>::zeros(32);
+        assert_eq!(h32.mac_count(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "n/2+1")]
+    fn from_bins_validates_count() {
+        HalfSpectrum::from_bins(8, vec![Complex::<f64>::zero(); 4]);
+    }
+}

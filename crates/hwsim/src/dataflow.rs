@@ -1,0 +1,482 @@
+//! The fine-grained tile-by-tile dataflow (paper §IV-C, Fig. 8).
+//!
+//! Neither inputs nor weights fit on-chip (Ma et al.'s category (iv)), so
+//! every layer streams tile-by-tile. The BCM computation splits into three
+//! delays — `C_fft`, `C_emac`, `C_ifft` — each with its own off-chip
+//! dependency (real input, complex weight, real output) and its own double
+//! buffer. With double buffering the per-tile latency is the *maximum* of
+//! the overlapped stage latencies; without, it is their sum. That is the
+//! whole point of Fig. 8 and what [`DataflowConfig::simulate`] models.
+
+use crate::pe::PeBankConfig;
+use rpbcm::SkipIndexBuffer;
+
+/// One convolution layer's shape as the accelerator sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Output feature-map height.
+    pub h_out: usize,
+    /// Output feature-map width.
+    pub w_out: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// BCM block size (layers whose channels are not divisible fall back
+    /// to the dense datapath).
+    pub bs: usize,
+}
+
+impl LayerShape {
+    /// Convenience constructor.
+    pub fn conv(c_in: usize, c_out: usize, h_out: usize, w_out: usize, k: usize, bs: usize) -> Self {
+        LayerShape {
+            c_in,
+            c_out,
+            h_out,
+            w_out,
+            k,
+            bs,
+        }
+    }
+
+    /// `true` when the layer can run on the BCM datapath.
+    pub fn bcm_compatible(&self) -> bool {
+        self.c_in.is_multiple_of(self.bs) && self.c_out.is_multiple_of(self.bs)
+    }
+
+    /// Total BCM count.
+    pub fn block_count(&self) -> usize {
+        if self.bcm_compatible() {
+            self.k * self.k * (self.c_in / self.bs) * (self.c_out / self.bs)
+        } else {
+            0
+        }
+    }
+}
+
+/// Per-layer cycle/traffic breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Input-FFT stage cycles (`C_fft`).
+    pub fft_cycles: u64,
+    /// eMAC stage cycles (`C_emac`).
+    pub emac_cycles: u64,
+    /// Output-IFFT stage cycles (`C_ifft`).
+    pub ifft_cycles: u64,
+    /// Off-chip transfer cycles (input read + weight read + output store).
+    pub dram_cycles: u64,
+    /// End-to-end cycles after overlap.
+    pub total_cycles: u64,
+    /// Bytes moved off-chip.
+    pub dram_bytes: u64,
+}
+
+impl std::ops::Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+
+    fn add(self, other: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            fft_cycles: self.fft_cycles + other.fft_cycles,
+            emac_cycles: self.emac_cycles + other.emac_cycles,
+            ifft_cycles: self.ifft_cycles + other.ifft_cycles,
+            dram_cycles: self.dram_cycles + other.dram_cycles,
+            total_cycles: self.total_cycles + other.total_cycles,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+}
+
+/// Accelerator dataflow configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflowConfig {
+    /// PE bank (BS is taken from each layer; `pe.bs` is the design's
+    /// native size and must match BCM layers).
+    pub pe: PeBankConfig,
+    /// Number of FFT PEs (shared between FFT and IFFT duty).
+    pub n_fft_pe: usize,
+    /// Spatial tile height.
+    pub tile_h: usize,
+    /// Spatial tile width.
+    pub tile_w: usize,
+    /// Input channels per tile.
+    pub tile_c_in: usize,
+    /// Output channels per tile.
+    pub tile_c_out: usize,
+    /// Off-chip bandwidth in bytes per cycle (PYNQ-Z2: one 64-bit HP port
+    /// at fabric clock ≈ 8 B/cycle theoretical; ~4 sustained).
+    pub bytes_per_cycle: f64,
+    /// Fabric clock in MHz.
+    pub freq_mhz: f64,
+    /// Whether the Fig. 8 separated double buffering is enabled.
+    pub double_buffering: bool,
+}
+
+impl DataflowConfig {
+    /// The PYNQ-Z2 design point used throughout the paper's §V-C:
+    /// BS = 8, p = 32, 4 FFT PEs, 28×28 spatial tiles, 64-channel tiles,
+    /// 100 MHz, double buffering on.
+    pub fn pynq_z2() -> Self {
+        DataflowConfig {
+            pe: PeBankConfig::new(8, 32),
+            n_fft_pe: 4,
+            tile_h: 28,
+            tile_w: 28,
+            tile_c_in: 64,
+            tile_c_out: 64,
+            bytes_per_cycle: 4.0,
+            freq_mhz: 100.0,
+            double_buffering: true,
+        }
+    }
+
+    /// Simulates one layer at uniform pruning ratio `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn simulate(&self, layer: &LayerShape, alpha: f64) -> CycleBreakdown {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        if !layer.bcm_compatible() {
+            return self.simulate_dense(layer);
+        }
+        let blocks_per_tile = layer.k
+            * layer.k
+            * (self.tile_c_in.min(layer.c_in) / layer.bs)
+            * (self.tile_c_out.min(layer.c_out) / layer.bs);
+        let pruned = ((blocks_per_tile as f64) * alpha).floor() as usize;
+        let bits: Vec<bool> = (0..blocks_per_tile).map(|i| i >= pruned).collect();
+        let skip = SkipIndexBuffer::from_bools(&bits);
+        self.simulate_with_skip(layer, &skip)
+    }
+
+    /// Per-tile stage costs and tile count for a BCM layer with the given
+    /// skip bitmap — the inputs both the analytic overlap formula and the
+    /// event-by-event pipeline simulation ([`crate::timeline`]) consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is not BCM compatible.
+    pub fn tile_costs(
+        &self,
+        layer: &LayerShape,
+        skip: &SkipIndexBuffer,
+    ) -> (crate::timeline::TileCost, u64) {
+        assert!(layer.bcm_compatible(), "layer is not BCM compatible");
+        let b = self.simulate_with_skip(layer, skip);
+        let n_tiles = {
+            let th = self.tile_h.min(layer.h_out);
+            let tw = self.tile_w.min(layer.w_out);
+            let tci = self.tile_c_in.min(layer.c_in);
+            let tco = self.tile_c_out.min(layer.c_out);
+            (layer.h_out.div_ceil(th)
+                * layer.w_out.div_ceil(tw)
+                * layer.c_in.div_ceil(tci)
+                * layer.c_out.div_ceil(tco)) as u64
+        };
+        (
+            crate::timeline::TileCost {
+                dram: b.dram_cycles / n_tiles,
+                fft: b.fft_cycles / n_tiles,
+                emac: b.emac_cycles / n_tiles,
+                ifft: b.ifft_cycles / n_tiles,
+            },
+            n_tiles,
+        )
+    }
+
+    /// Simulates one layer with an explicit per-tile skip bitmap (length
+    /// must equal the per-tile block count).
+    pub fn simulate_with_skip(&self, layer: &LayerShape, skip: &SkipIndexBuffer) -> CycleBreakdown {
+        assert!(layer.bcm_compatible(), "layer is not BCM compatible");
+        let bs = layer.bs;
+        let th = self.tile_h.min(layer.h_out);
+        let tw = self.tile_w.min(layer.w_out);
+        let tci = self.tile_c_in.min(layer.c_in);
+        let tco = self.tile_c_out.min(layer.c_out);
+        let tiles_h = layer.h_out.div_ceil(th);
+        let tiles_w = layer.w_out.div_ceil(tw);
+        let tiles_ci = layer.c_in.div_ceil(tci);
+        let tiles_co = layer.c_out.div_ceil(tco);
+        let n_tiles = (tiles_h * tiles_w * tiles_ci * tiles_co) as u64;
+        let pixels = th * tw;
+
+        // --- per-tile compute stages ---
+        let fft_unit = crate::fxfft::FxFftPe::new(bs, crate::fixed::QFormat::q8()).cycles();
+        // C_fft: each input block of each pixel is transformed once per
+        // (spatial, cin) tile and *reused across all cout tiles* — the
+        // input-reuse §II-B3 demands. Attribute the cost to the first cout
+        // tile by dividing by tiles_co.
+        let fft_per_tile =
+            (pixels as u64) * (tci / bs) as u64 * fft_unit / (self.n_fft_pe as u64).max(1);
+        let fft_per_tile = fft_per_tile / tiles_co as u64;
+        // C_emac: the Pruned-BCM PE bank walks the per-tile skip bitmap.
+        let emac_per_tile = self.pe.tile_cycles_skip(skip, pixels);
+        // C_ifft: outputs leave once per (spatial, cout) tile, after the
+        // last cin tile: attribute 1/tiles_ci per tile.
+        let ifft_per_tile =
+            (pixels as u64) * (tco / bs) as u64 * fft_unit / (self.n_fft_pe as u64).max(1);
+        let ifft_per_tile = ifft_per_tile / tiles_ci as u64;
+
+        // --- per-tile off-chip traffic ---
+        let halo_pixels = ((th + layer.k - 1) * (tw + layer.k - 1)) as u64;
+        let input_bytes = halo_pixels * tci as u64 * 2 / tiles_co as u64;
+        let live_blocks = skip.live_count() as u64;
+        let weight_bytes = live_blocks * (bs / 2 + 1) as u64 * 4;
+        let output_bytes = (pixels * tco) as u64 * 2 / tiles_ci as u64;
+        let tile_bytes = input_bytes + weight_bytes + output_bytes;
+        let dram_per_tile = (tile_bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+
+        // --- overlap ---
+        let stages = [fft_per_tile, emac_per_tile, ifft_per_tile, dram_per_tile];
+        let tile_total = if self.double_buffering {
+            *stages.iter().max().expect("non-empty")
+        } else {
+            stages.iter().sum()
+        };
+        // Prologue: first tile cannot overlap (fill the pipeline).
+        let prologue = if self.double_buffering {
+            stages.iter().sum::<u64>() - tile_total
+        } else {
+            0
+        };
+
+        CycleBreakdown {
+            fft_cycles: fft_per_tile * n_tiles,
+            emac_cycles: emac_per_tile * n_tiles,
+            ifft_cycles: ifft_per_tile * n_tiles,
+            dram_cycles: dram_per_tile * n_tiles,
+            total_cycles: tile_total * n_tiles + prologue,
+            dram_bytes: tile_bytes * n_tiles,
+        }
+    }
+
+    /// Dense fallback for non-BCM layers (the RGB stem): the eMAC lanes
+    /// run plain MACs, `p` per cycle, and weights stream uncompressed.
+    pub fn simulate_dense(&self, layer: &LayerShape) -> CycleBreakdown {
+        let macs = (layer.k * layer.k * layer.c_in * layer.c_out * layer.h_out * layer.w_out) as u64;
+        let compute = macs / (self.pe.p as u64).max(1);
+        let weight_bytes = (layer.k * layer.k * layer.c_in * layer.c_out) as u64 * 2;
+        let feature_bytes =
+            ((layer.h_out * layer.w_out) as u64) * (layer.c_in + layer.c_out) as u64 * 2;
+        let bytes = weight_bytes + feature_bytes;
+        let dram = (bytes as f64 / self.bytes_per_cycle).ceil() as u64;
+        let total = if self.double_buffering {
+            compute.max(dram)
+        } else {
+            compute + dram
+        };
+        CycleBreakdown {
+            fft_cycles: 0,
+            emac_cycles: compute,
+            ifft_cycles: 0,
+            dram_cycles: dram,
+            total_cycles: total,
+            dram_bytes: bytes,
+        }
+    }
+
+    /// Simulates a whole network (a list of layers) at uniform `alpha`,
+    /// summing per-layer breakdowns.
+    pub fn simulate_network(&self, layers: &[LayerShape], alpha: f64) -> CycleBreakdown {
+        layers
+            .iter()
+            .map(|l| self.simulate(l, alpha))
+            .fold(CycleBreakdown::default(), |a, b| a + b)
+    }
+
+    /// Frames per second at the configured clock for a per-frame breakdown.
+    pub fn fps(&self, per_frame: &CycleBreakdown) -> f64 {
+        self.freq_mhz * 1e6 / per_frame.total_cycles as f64
+    }
+}
+
+/// Bytes needed to *fully buffer* the compressed complex weights of a set
+/// of layers on-chip — the REQ-YOLO category-(ii) dataflow the paper's
+/// §II-B3 argues against for resource-constrained parts. Each live block
+/// stores `BS/2 + 1` complex 16-bit pairs; dense-fallback layers store
+/// their full 16-bit weights.
+pub fn weights_fully_buffered_bytes(layers: &[LayerShape], alpha: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    layers
+        .iter()
+        .map(|l| {
+            if l.bcm_compatible() {
+                let blocks = l.block_count() as u64;
+                let live = blocks - ((blocks as f64) * alpha).floor() as u64;
+                live * (l.bs / 2 + 1) as u64 * 4
+            } else {
+                (l.k * l.k * l.c_in * l.c_out) as u64 * 2
+            }
+        })
+        .sum()
+}
+
+/// The paper's ResNet-18 (224×224 ImageNet) as accelerator layer shapes,
+/// with the dense stem and the BCM-compressed residual stages.
+pub fn resnet18_layers(bs: usize) -> Vec<LayerShape> {
+    let mut layers = vec![LayerShape::conv(3, 64, 112, 112, 7, bs)];
+    let stages: &[(usize, usize, usize)] = &[
+        // (c_in of stage, c_out, spatial)
+        (64, 64, 56),
+        (64, 128, 28),
+        (128, 256, 14),
+        (256, 512, 7),
+    ];
+    for &(c_in_stage, c, s) in stages {
+        for b in 0..2usize {
+            let c_in = if b == 0 { c_in_stage } else { c };
+            layers.push(LayerShape::conv(c_in, c, s, s, 3, bs));
+            layers.push(LayerShape::conv(c, c, s, s, 3, bs));
+            if b == 0 && c_in != c {
+                layers.push(LayerShape::conv(c_in, c, s, s, 1, bs));
+            }
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig10_layer() -> LayerShape {
+        // §V-C1: "one layer of ResNet-18, feature map 128×28×28, kernel 3×3".
+        LayerShape::conv(128, 128, 28, 28, 3, 8)
+    }
+
+    #[test]
+    fn cycles_decrease_linearly_with_alpha() {
+        let cfg = DataflowConfig::pynq_z2();
+        let layer = fig10_layer();
+        let totals: Vec<u64> = [0.0, 0.25, 0.5, 0.75]
+            .iter()
+            .map(|&a| cfg.simulate(&layer, a).total_cycles)
+            .collect();
+        for w in totals.windows(2) {
+            assert!(w[1] < w[0], "{totals:?}");
+        }
+        // Fig. 10's headline: near-linear reduction (the eMAC stage
+        // dominates at this design point).
+        let ratio = totals[2] as f64 / totals[0] as f64;
+        assert!((0.4..=0.62).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn double_buffering_hides_latency() {
+        let layer = fig10_layer();
+        let mut on = DataflowConfig::pynq_z2();
+        on.double_buffering = true;
+        let mut off = on;
+        off.double_buffering = false;
+        let t_on = on.simulate(&layer, 0.0).total_cycles;
+        let t_off = off.simulate(&layer, 0.0).total_cycles;
+        assert!(t_on < t_off, "{t_on} vs {t_off}");
+        // Overlap can at best hide all but the longest stage.
+        let b = on.simulate(&layer, 0.0);
+        let longest = b
+            .fft_cycles
+            .max(b.emac_cycles)
+            .max(b.ifft_cycles)
+            .max(b.dram_cycles);
+        assert!(t_on >= longest);
+    }
+
+    #[test]
+    fn dense_stem_uses_fallback() {
+        let cfg = DataflowConfig::pynq_z2();
+        let stem = LayerShape::conv(3, 64, 112, 112, 7, 8);
+        assert!(!stem.bcm_compatible());
+        let b = cfg.simulate(&stem, 0.5);
+        assert_eq!(b.fft_cycles, 0);
+        assert!(b.total_cycles > 0);
+    }
+
+    #[test]
+    fn resnet18_fps_in_paper_ballpark() {
+        // Paper Table III: 12.5 FPS at 100 MHz with BS=8, α=0.5.
+        let cfg = DataflowConfig::pynq_z2();
+        let layers = resnet18_layers(8);
+        let frame = cfg.simulate_network(&layers, 0.5);
+        let fps = cfg.fps(&frame);
+        assert!((4.0..=40.0).contains(&fps), "fps = {fps}");
+    }
+
+    #[test]
+    fn pruning_helps_full_network_too() {
+        let cfg = DataflowConfig::pynq_z2();
+        let layers = resnet18_layers(8);
+        let f0 = cfg.fps(&cfg.simulate_network(&layers, 0.0));
+        let f5 = cfg.fps(&cfg.simulate_network(&layers, 0.5));
+        assert!(f5 > f0);
+    }
+
+    #[test]
+    fn weight_traffic_shrinks_with_pruning() {
+        let cfg = DataflowConfig::pynq_z2();
+        let layer = fig10_layer();
+        let b0 = cfg.simulate(&layer, 0.0);
+        let b5 = cfg.simulate(&layer, 0.5);
+        assert!(b5.dram_bytes < b0.dram_bytes);
+    }
+
+    #[test]
+    fn skip_bitmap_and_uniform_alpha_agree() {
+        let cfg = DataflowConfig::pynq_z2();
+        let layer = fig10_layer();
+        let blocks = 3 * 3 * 8 * 8; // per-tile blocks at 64-channel tiles
+        let pruned = blocks / 2;
+        let bits: Vec<bool> = (0..blocks).map(|i| i >= pruned).collect();
+        let skip = SkipIndexBuffer::from_bools(&bits);
+        let a = cfg.simulate(&layer, 0.5).total_cycles;
+        let b = cfg.simulate_with_skip(&layer, &skip).total_cycles;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        DataflowConfig::pynq_z2().simulate(&fig10_layer(), 1.5);
+    }
+
+    #[test]
+    fn analytic_overlap_matches_event_simulation() {
+        // The analytic per-layer total (max-stage overlap + prologue) must
+        // equal a discrete-event simulation of the same uniform tiles —
+        // validating the Fig. 8 approximation.
+        use crate::timeline::simulate_pipeline;
+        let cfg = DataflowConfig::pynq_z2();
+        let layer = fig10_layer();
+        for alpha in [0.0, 0.5, 0.9] {
+            let blocks = 3 * 3 * 8 * 8;
+            let pruned = (blocks as f64 * alpha) as usize;
+            let bits: Vec<bool> = (0..blocks).map(|i| i >= pruned).collect();
+            let skip = SkipIndexBuffer::from_bools(&bits);
+            let analytic = cfg.simulate_with_skip(&layer, &skip).total_cycles;
+            let (tile, n) = cfg.tile_costs(&layer, &skip);
+            let event = simulate_pipeline(&vec![tile; n as usize], true).makespan;
+            assert_eq!(analytic, event, "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn weights_fully_buffered_does_not_fit_pynq() {
+        // §II-B3: "resource-constrained FPGAs cannot buffer all weight
+        // data" — even BCM-compressed + 50% pruned ResNet-18 weights
+        // exceed the XC7Z020's 630 KB of BRAM.
+        let layers = resnet18_layers(8);
+        let bytes = weights_fully_buffered_bytes(&layers, 0.5);
+        let bram_bytes = 140 * 4608; // 140 x 36Kb blocks
+        assert!(
+            bytes > bram_bytes,
+            "weights {bytes} B unexpectedly fit {bram_bytes} B"
+        );
+        // While pruning monotonically shrinks the requirement.
+        assert!(
+            weights_fully_buffered_bytes(&layers, 0.9)
+                < weights_fully_buffered_bytes(&layers, 0.0)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Target device description: Xilinx PYNQ-Z2 (XC7Z020).
+
+use crate::resources::ResourceEstimate;
+
+/// XC7Z020 programmable-logic capacity (the paper's "low resources such as
+/// 630 Kb BRAM, 220 DSPs" board, §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xc7z020;
+
+impl Xc7z020 {
+    /// Logic LUTs.
+    pub const LUT: u64 = 53_200;
+    /// Flip-flops.
+    pub const FF: u64 = 106_400;
+    /// DSP48E1 slices.
+    pub const DSP: u64 = 220;
+    /// 36 Kb block RAMs (140 × 36 Kb = 630 KB ≈ the paper's "630Kb BRAM"
+    /// figure read as KB).
+    pub const BRAM_36K: u64 = 140;
+
+    /// Utilization of an estimate against this device, as fractions.
+    pub fn utilization(est: &ResourceEstimate) -> Utilization {
+        Utilization {
+            lut: est.lut as f64 / Self::LUT as f64,
+            ff: est.ff as f64 / Self::FF as f64,
+            dsp: est.dsp as f64 / Self::DSP as f64,
+            bram: est.bram_36k / Self::BRAM_36K as f64,
+        }
+    }
+
+    /// `true` when the design fits the device.
+    pub fn fits(est: &ResourceEstimate) -> bool {
+        let u = Self::utilization(est);
+        u.lut <= 1.0 && u.ff <= 1.0 && u.dsp <= 1.0 && u.bram <= 1.0
+    }
+}
+
+/// Resource utilization fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// LUT fraction used.
+    pub lut: f64,
+    /// FF fraction used.
+    pub ff: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_datasheet() {
+        assert_eq!(Xc7z020::LUT, 53_200);
+        assert_eq!(Xc7z020::DSP, 220);
+        assert_eq!(Xc7z020::BRAM_36K, 140);
+    }
+
+    #[test]
+    fn utilization_and_fit() {
+        let est = ResourceEstimate {
+            lut: 26_600,
+            ff: 53_200,
+            dsp: 110,
+            bram_36k: 70.0,
+        };
+        let u = Xc7z020::utilization(&est);
+        assert!((u.lut - 0.5).abs() < 1e-12);
+        assert!((u.dsp - 0.5).abs() < 1e-12);
+        assert!(Xc7z020::fits(&est));
+        let too_big = ResourceEstimate {
+            dsp: 500,
+            ..est
+        };
+        assert!(!Xc7z020::fits(&too_big));
+    }
+}

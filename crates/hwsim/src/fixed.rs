@@ -1,0 +1,354 @@
+//! 16-bit Q-format fixed-point arithmetic with saturation.
+//!
+//! The paper's accelerator computes in "just 16-bit fixed-point" (§V-C2).
+//! A [`QFormat`] fixes the number of fractional bits; values are `i16`
+//! words, products are carried in `i32` and rounded-to-nearest on the way
+//! back down; all narrowing saturates rather than wraps (DSP48-style).
+
+/// A 16-bit fixed-point format with `frac_bits` fractional bits
+/// (`Q(15−frac_bits).frac_bits` in Texas-Instruments notation).
+///
+/// # Example
+///
+/// ```
+/// use hwsim::QFormat;
+///
+/// let q = QFormat::new(8); // Q7.8: range ±128, resolution 1/256
+/// let a = q.from_f64(1.5);
+/// let b = q.from_f64(-2.25);
+/// let p = q.mul(a, b);
+/// assert!((q.to_f64(p) + 3.375).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with the given fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= frac_bits <= 15`.
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(
+            (1..=15).contains(&frac_bits),
+            "frac_bits must be in 1..=15, got {frac_bits}"
+        );
+        QFormat { frac_bits }
+    }
+
+    /// The paper's default: Q7.8 (8 fractional bits) — wide enough for
+    /// activations/weights after batch-norm, fine enough for sub-percent
+    /// eMAC error.
+    pub fn q8() -> Self {
+        QFormat::new(8)
+    }
+
+    /// Fractional bit count.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Smallest representable increment.
+    pub fn resolution(&self) -> f64 {
+        1.0 / f64::from(1u32 << self.frac_bits)
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        self.to_f64(i16::MAX)
+    }
+
+    /// Quantizes, saturating at the format bounds and rounding to nearest.
+    pub fn from_f64(&self, v: f64) -> i16 {
+        let scaled = (v * f64::from(1u32 << self.frac_bits)).round();
+        scaled.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+    }
+
+    /// Quantizes an `f32`.
+    pub fn from_f32(&self, v: f32) -> i16 {
+        self.from_f64(f64::from(v))
+    }
+
+    /// Dequantizes.
+    pub fn to_f64(&self, v: i16) -> f64 {
+        f64::from(v) / f64::from(1u32 << self.frac_bits)
+    }
+
+    /// Saturating addition.
+    pub fn add(&self, a: i16, b: i16) -> i16 {
+        a.saturating_add(b)
+    }
+
+    /// Saturating subtraction.
+    pub fn sub(&self, a: i16, b: i16) -> i16 {
+        a.saturating_sub(b)
+    }
+
+    /// Fixed-point multiply: 32-bit product, round-to-nearest shift back,
+    /// saturate to 16 bits — one DSP48 multiply plus post-add rounding.
+    pub fn mul(&self, a: i16, b: i16) -> i16 {
+        let prod = i32::from(a) * i32::from(b);
+        let rounding = 1i32 << (self.frac_bits - 1);
+        let shifted = (prod + rounding) >> self.frac_bits;
+        shifted.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+    }
+
+    /// Multiply-accumulate into a wide `i32` accumulator *without*
+    /// narrowing — the accumulator register inside an eMAC PE. The result
+    /// keeps `2·frac_bits` fractional bits.
+    pub fn mac_wide(&self, acc: i32, a: i16, b: i16) -> i32 {
+        acc.saturating_add(i32::from(a) * i32::from(b))
+    }
+
+    /// Narrows a wide accumulator (with `2·frac_bits` fractional bits)
+    /// back to the format, rounding and saturating.
+    pub fn narrow(&self, acc: i32) -> i16 {
+        let rounding = 1i32 << (self.frac_bits - 1);
+        let shifted = (acc.saturating_add(rounding)) >> self.frac_bits;
+        shifted.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+    }
+
+    /// The shift-based divider of §IV-B: dividing by `BS = 2^k` is an
+    /// arithmetic right shift with round-to-nearest — no DSP divider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not a power of two.
+    pub fn shift_divide(&self, v: i16, bs: usize) -> i16 {
+        assert!(bs.is_power_of_two(), "shift divider requires power-of-two BS");
+        let k = bs.trailing_zeros();
+        if k == 0 {
+            return v;
+        }
+        let rounding = 1i32 << (k - 1);
+        (((i32::from(v)) + rounding) >> k) as i16
+    }
+
+    /// Quantization of a whole slice (for loading feature maps).
+    pub fn quantize_slice(&self, vs: &[f32]) -> Vec<i16> {
+        vs.iter().map(|&v| self.from_f32(v)).collect()
+    }
+
+    /// Dequantization of a whole slice.
+    pub fn dequantize_slice(&self, vs: &[i16]) -> Vec<f32> {
+        vs.iter().map(|&v| self.to_f64(v) as f32).collect()
+    }
+}
+
+/// A complex number in 16-bit fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComplexFx {
+    /// Real part (raw fixed-point word).
+    pub re: i16,
+    /// Imaginary part (raw fixed-point word).
+    pub im: i16,
+}
+
+impl ComplexFx {
+    /// Creates from raw words.
+    pub fn new(re: i16, im: i16) -> Self {
+        ComplexFx { re, im }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        ComplexFx { re: 0, im: 0 }
+    }
+
+    /// Quantizes a float complex number.
+    pub fn from_f64(q: QFormat, re: f64, im: f64) -> Self {
+        ComplexFx {
+            re: q.from_f64(re),
+            im: q.from_f64(im),
+        }
+    }
+
+    /// Dequantizes.
+    pub fn to_f64(self, q: QFormat) -> (f64, f64) {
+        (q.to_f64(self.re), q.to_f64(self.im))
+    }
+
+    /// Complex conjugate (used for the IFFT-by-conjugation trick and
+    /// folded into the MAC per Fig. 7).
+    pub fn conj(self) -> Self {
+        ComplexFx {
+            re: self.re,
+            im: self.im.saturating_neg(),
+        }
+    }
+
+    /// Saturating complex addition.
+    pub fn add(self, q: QFormat, other: Self) -> Self {
+        ComplexFx {
+            re: q.add(self.re, other.re),
+            im: q.add(self.im, other.im),
+        }
+    }
+
+    /// Saturating complex subtraction.
+    pub fn sub(self, q: QFormat, other: Self) -> Self {
+        ComplexFx {
+            re: q.sub(self.re, other.re),
+            im: q.sub(self.im, other.im),
+        }
+    }
+
+    /// Complex multiply in the format (4 real multiplies + 2 adds, as the
+    /// straightforward DSP mapping does).
+    pub fn mul(self, q: QFormat, other: Self) -> Self {
+        let rr = q.mul(self.re, other.re);
+        let ii = q.mul(self.im, other.im);
+        let ri = q.mul(self.re, other.im);
+        let ir = q.mul(self.im, other.re);
+        ComplexFx {
+            re: q.sub(rr, ii),
+            im: q.add(ri, ir),
+        }
+    }
+
+    /// Right-shift both parts by `log₂ BS` (the §IV-B divider).
+    pub fn shift_divide(self, q: QFormat, bs: usize) -> Self {
+        ComplexFx {
+            re: q.shift_divide(self.re, bs),
+            im: q.shift_divide(self.im, bs),
+        }
+    }
+}
+
+/// A wide complex accumulator (the register pair inside an eMAC PE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComplexAcc {
+    /// Real accumulator, `2·frac_bits` fractional bits.
+    pub re: i32,
+    /// Imaginary accumulator.
+    pub im: i32,
+}
+
+impl ComplexAcc {
+    /// Zeroed accumulator.
+    pub fn zero() -> Self {
+        ComplexAcc::default()
+    }
+
+    /// `acc += a · b` without narrowing.
+    pub fn mac(&mut self, q: QFormat, a: ComplexFx, b: ComplexFx) {
+        self.re = q.mac_wide(self.re, a.re, b.re);
+        self.re = self.re.saturating_sub(i32::from(a.im) * i32::from(b.im));
+        self.im = q.mac_wide(self.im, a.re, b.im);
+        self.im = q.mac_wide(self.im, a.im, b.re);
+    }
+
+    /// Narrows back to a 16-bit complex word.
+    pub fn narrow(self, q: QFormat) -> ComplexFx {
+        ComplexFx {
+            re: q.narrow(self.re),
+            im: q.narrow(self.im),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_within_resolution() {
+        let q = QFormat::q8();
+        for v in [-3.7, -0.004, 0.0, 0.5, 1.25, 100.9] {
+            let back = q.to_f64(q.from_f64(v));
+            assert!((back - v).abs() <= q.resolution() / 2.0 + 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let q = QFormat::q8();
+        assert_eq!(q.from_f64(1e9), i16::MAX);
+        assert_eq!(q.from_f64(-1e9), i16::MIN);
+        assert_eq!(q.add(i16::MAX, 100), i16::MAX);
+        assert_eq!(q.mul(i16::MAX, i16::MAX), i16::MAX);
+    }
+
+    #[test]
+    fn multiplication_accuracy() {
+        let q = QFormat::q8();
+        let a = q.from_f64(3.5);
+        let b = q.from_f64(-2.0);
+        assert!((q.to_f64(q.mul(a, b)) + 7.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn shift_divider_matches_division() {
+        let q = QFormat::q8();
+        for bs in [1usize, 2, 4, 8, 16, 32] {
+            for v in [-1000i16, -37, 0, 255, 12000] {
+                let got = q.shift_divide(v, bs);
+                let want = (f64::from(v) / bs as f64).round();
+                assert!(
+                    (f64::from(got) - want).abs() <= 1.0,
+                    "v={v} bs={bs}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complex_multiply_matches_float() {
+        let q = QFormat::q8();
+        let a = ComplexFx::from_f64(q, 1.5, -0.75);
+        let b = ComplexFx::from_f64(q, -2.0, 0.5);
+        let p = a.mul(q, b);
+        let (re, im) = p.to_f64(q);
+        // (1.5 - 0.75i)(-2 + 0.5i) = -3 + 0.375 + (0.75 + 1.5)i... compute:
+        // re = 1.5*-2 - (-0.75*0.5) = -3 + 0.375 = -2.625
+        // im = 1.5*0.5 + (-0.75*-2) = 0.75 + 1.5 = 2.25
+        assert!((re + 2.625).abs() < 0.03, "re = {re}");
+        assert!((im - 2.25).abs() < 0.03, "im = {im}");
+    }
+
+    #[test]
+    fn wide_accumulator_avoids_intermediate_loss() {
+        let q = QFormat::q8();
+        // Sum of many small products: narrow-each-step loses them; the
+        // wide accumulator keeps them.
+        let small = q.from_f64(0.03);
+        let mut acc = ComplexAcc::zero();
+        for _ in 0..100 {
+            acc.mac(q, ComplexFx::new(small, 0), ComplexFx::new(small, 0));
+        }
+        let (re, _) = acc.narrow(q).to_f64(q);
+        let want = 100.0 * 0.03 * 0.03;
+        assert!((re - want).abs() < 0.02, "re = {re}, want = {want}");
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let c = ComplexFx::new(5, -7);
+        assert_eq!(c.conj(), ComplexFx::new(5, 7));
+        // Saturating negation of i16::MIN stays in range.
+        assert_eq!(ComplexFx::new(0, i16::MIN).conj().im, i16::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_error_bounded(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+            let q = QFormat::q8();
+            let fa = q.from_f64(a);
+            let fb = q.from_f64(b);
+            let got = q.to_f64(q.mul(fa, fb));
+            let want = (a * b).clamp(-q.max_value(), q.max_value());
+            // Error bounded by input quantization propagated + rounding.
+            let bound = (a.abs() + b.abs() + 1.0) * q.resolution();
+            prop_assert!((got - want).abs() <= bound, "{got} vs {want}");
+        }
+
+        #[test]
+        fn prop_add_is_exact_without_overflow(a in -8000i32..8000, b in -8000i32..8000) {
+            let q = QFormat::q8();
+            prop_assert_eq!(q.add(a as i16, b as i16) as i32, a + b);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The fixed-point FFT PE (paper §IV-B).
+//!
+//! "The FFT PE performs the conversion between real data and complex data.
+//! Essential data for the FFT, such as the twiddle factor, are pre-stored
+//! in the ROM." — this module is that PE: a radix-2 Cooley–Tukey butterfly
+//! network over [`ComplexFx`] words with a quantized twiddle ROM, plus the
+//! IFFT realized by conjugation + FFT + the `log₂ BS` shift divider
+//! (no hardware divider).
+
+use crate::fixed::{ComplexFx, QFormat};
+use fft::{Complex, Fft};
+
+/// A fixed-point FFT processing element for one block size.
+#[derive(Debug, Clone)]
+pub struct FxFftPe {
+    bs: usize,
+    q: QFormat,
+    /// Twiddle ROM: `e^{-2πik/BS}` in Q1.14 (twiddles are ≤ 1 in
+    /// magnitude, so a high-resolution dedicated format minimizes error).
+    rom: Vec<ComplexFx>,
+    rom_q: QFormat,
+    rev: Vec<usize>,
+}
+
+impl FxFftPe {
+    /// Builds the PE and its twiddle ROM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not a power of two ≥ 2.
+    pub fn new(bs: usize, q: QFormat) -> Self {
+        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+        let rom_q = QFormat::new(14);
+        let rom = (0..bs / 2)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * (k as f64) / (bs as f64);
+                ComplexFx::from_f64(rom_q, theta.cos(), theta.sin())
+            })
+            .collect();
+        let bits = bs.trailing_zeros();
+        let rev = (0..bs)
+            .map(|i| i.reverse_bits() >> (usize::BITS - bits))
+            .collect();
+        FxFftPe {
+            bs,
+            q,
+            rom,
+            rom_q,
+            rev,
+        }
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// The data format.
+    pub fn format(&self) -> QFormat {
+        self.q
+    }
+
+    /// Twiddle ROM contents (for resource accounting: `BS/2` complex words).
+    pub fn rom(&self) -> &[ComplexFx] {
+        &self.rom
+    }
+
+    /// Multiplies a data word by a ROM twiddle (Q-format cross multiply).
+    fn twiddle_mul(&self, v: ComplexFx, w: ComplexFx) -> ComplexFx {
+        // v is Q(q), w is Q1.14; product shifted by 14 keeps v's format.
+        let rr = i32::from(v.re) * i32::from(w.re);
+        let ii = i32::from(v.im) * i32::from(w.im);
+        let ri = i32::from(v.re) * i32::from(w.im);
+        let ir = i32::from(v.im) * i32::from(w.re);
+        let shift = self.rom_q.frac_bits();
+        let round = 1i32 << (shift - 1);
+        let re = ((rr - ii + round) >> shift).clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+        let im = ((ri + ir + round) >> shift).clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+        ComplexFx::new(re as i16, im as i16)
+    }
+
+    /// In-place forward FFT over fixed-point words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != BS`.
+    pub fn forward(&self, x: &mut [ComplexFx]) {
+        assert_eq!(x.len(), self.bs, "buffer must be BS long");
+        for i in 0..self.bs {
+            let j = self.rev[i];
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= self.bs {
+            let half = len / 2;
+            let step = self.bs / len;
+            for start in (0..self.bs).step_by(len) {
+                for k in 0..half {
+                    let w = self.rom[k * step];
+                    let u = x[start + k];
+                    let v = self.twiddle_mul(x[start + k + half], w);
+                    x[start + k] = u.add(self.q, v);
+                    x[start + k + half] = u.sub(self.q, v);
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// In-place inverse FFT: conjugate → forward FFT → conjugate → shift
+    /// divide by `BS` (paper §IV-B's FFT-module reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != BS`.
+    pub fn inverse(&self, x: &mut [ComplexFx]) {
+        assert_eq!(x.len(), self.bs, "buffer must be BS long");
+        for v in x.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(x);
+        for v in x.iter_mut() {
+            *v = v.conj().shift_divide(self.q, self.bs);
+        }
+    }
+
+    /// Forward transform of quantized real samples.
+    pub fn forward_real(&self, x: &[i16]) -> Vec<ComplexFx> {
+        assert_eq!(x.len(), self.bs, "buffer must be BS long");
+        let mut buf: Vec<ComplexFx> = x.iter().map(|&v| ComplexFx::new(v, 0)).collect();
+        self.forward(&mut buf);
+        buf
+    }
+
+    /// Cycle cost of one transform: one butterfly per cycle
+    /// (`(BS/2)·log₂BS`) plus a fixed pipeline fill.
+    pub fn cycles(&self) -> u64 {
+        let butterflies = (self.bs as u64 / 2) * u64::from(self.bs.trailing_zeros());
+        butterflies + PIPELINE_FILL
+    }
+}
+
+/// Pipeline fill latency of the butterfly datapath (cycles).
+pub const PIPELINE_FILL: u64 = 4;
+
+/// Maximum absolute error of the fixed-point FFT vs the float reference,
+/// over dequantized outputs — the number quantization studies report.
+pub fn fft_error_vs_float(pe: &FxFftPe, x: &[f64]) -> f64 {
+    let q = pe.format();
+    let quantized: Vec<i16> = x.iter().map(|&v| q.from_f64(v)).collect();
+    let fx = pe.forward_real(&quantized);
+    let plan = Fft::<f64>::new(x.len());
+    let float: Vec<Complex<f64>> = plan.forward_real(x);
+    fx.iter()
+        .zip(&float)
+        .map(|(a, b)| {
+            let (re, im) = a.to_f64(q);
+            ((re - b.re).powi(2) + (im - b.im).powi(2)).sqrt()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_float_fft_closely() {
+        let pe = FxFftPe::new(8, QFormat::q8());
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.8).sin() * 3.0).collect();
+        let err = fft_error_vs_float(&pe, &x);
+        // 8-point FFT on Q7.8 data: error well below 0.2 in absolute terms
+        // for inputs of magnitude ~3 (spectrum magnitude up to ~12).
+        assert!(err < 0.2, "err = {err}");
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        let q = QFormat::q8();
+        let pe = FxFftPe::new(16, q);
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.5).collect();
+        let mut buf: Vec<ComplexFx> = x.iter().map(|&v| ComplexFx::new(q.from_f64(v), 0)).collect();
+        pe.forward(&mut buf);
+        pe.inverse(&mut buf);
+        for (fx, &want) in buf.iter().zip(&x) {
+            let (re, im) = fx.to_f64(q);
+            assert!((re - want).abs() < 0.08, "{re} vs {want}");
+            assert!(im.abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn impulse_spectrum_is_flat() {
+        let q = QFormat::q8();
+        let pe = FxFftPe::new(8, q);
+        let mut x = vec![ComplexFx::zero(); 8];
+        x[0] = ComplexFx::new(q.from_f64(1.0), 0);
+        pe.forward(&mut x);
+        for bin in &x {
+            let (re, im) = bin.to_f64(q);
+            assert!((re - 1.0).abs() < 0.01 && im.abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn rom_size_is_half_bs() {
+        let pe = FxFftPe::new(32, QFormat::q8());
+        assert_eq!(pe.rom().len(), 16);
+        assert_eq!(pe.block_size(), 32);
+    }
+
+    #[test]
+    fn cycle_model_scales_n_log_n() {
+        let q = QFormat::q8();
+        let c8 = FxFftPe::new(8, q).cycles();
+        let c16 = FxFftPe::new(16, q).cycles();
+        assert_eq!(c8, 4 * 3 + PIPELINE_FILL);
+        assert_eq!(c16, 8 * 4 + PIPELINE_FILL);
+    }
+
+    #[test]
+    fn conjugate_symmetry_preserved_in_fixed_point() {
+        let q = QFormat::q8();
+        let pe = FxFftPe::new(16, q);
+        let x: Vec<i16> = (0..16).map(|i| q.from_f64((i as f64 * 0.4).cos())).collect();
+        let s = pe.forward_real(&x);
+        for k in 1..8 {
+            // X[n-k] ≈ conj(X[k]) within a couple of LSBs.
+            assert!((i32::from(s[16 - k].re) - i32::from(s[k].re)).abs() <= 2, "bin {k}");
+            assert!((i32::from(s[16 - k].im) + i32::from(s[k].im)).abs() <= 2, "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        FxFftPe::new(6, QFormat::q8());
+    }
+}

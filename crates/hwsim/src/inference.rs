@@ -1,0 +1,663 @@
+//! Functional fixed-point inference of a folded BCM convolution layer —
+//! the full "load complex weights → FFT inputs → eMAC with skip → IFFT"
+//! datapath of Fig. 6 run bit-accurately on real weights.
+//!
+//! Weight spectra are computed offline in float and quantized (Fig. 4b:
+//! "the Hadamard product and FFT can be pre-computed before the
+//! inference"); activations travel as 16-bit words; eMAC accumulation is
+//! 32-bit wide. This is what lets the repo measure the accuracy cost of
+//! the paper's "just 16-bit fixed-point computation" (§V-C2) end to end.
+
+use crate::fixed::{ComplexAcc, ComplexFx, QFormat};
+use crate::fxfft::FxFftPe;
+use circulant::ConvBlockCirculant;
+use fft::real::HalfSpectrum;
+
+/// Pre-quantized complex weights of one folded BCM conv layer: one
+/// half-spectrum (`BS/2+1` bins) per live block, plus the skip bitmap.
+#[derive(Debug, Clone)]
+pub struct FxWeights {
+    bs: usize,
+    kh: usize,
+    kw: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    /// `[tap][out_block][in_block]` → bins (empty when pruned).
+    spectra: Vec<Vec<ComplexFx>>,
+    live: Vec<bool>,
+}
+
+impl FxWeights {
+    /// Quantizes a folded layer's weight spectra into format `q`.
+    pub fn from_folded(q: QFormat, conv: &ConvBlockCirculant<f32>) -> Self {
+        let bs = conv.block_size();
+        let (kh, kw) = conv.kernel_dims();
+        let (ob, ib) = conv.grid_dims();
+        let mut spectra = Vec::with_capacity(kh * kw * ob * ib);
+        let mut live = Vec::with_capacity(kh * kw * ob * ib);
+        for p in 0..kh {
+            for qq in 0..kw {
+                let grid = conv.grid(p, qq);
+                for bo in 0..ob {
+                    for bi in 0..ib {
+                        let block = grid.block(bo, bi);
+                        if block.is_zero() {
+                            spectra.push(Vec::new());
+                            live.push(false);
+                        } else {
+                            let w64: Vec<f64> = block
+                                .defining_vector()
+                                .iter()
+                                .map(|&v| f64::from(v))
+                                .collect();
+                            let half = HalfSpectrum::forward(&w64);
+                            spectra.push(
+                                half.bins()
+                                    .iter()
+                                    .map(|c| ComplexFx::from_f64(q, c.re, c.im))
+                                    .collect(),
+                            );
+                            live.push(true);
+                        }
+                    }
+                }
+            }
+        }
+        FxWeights {
+            bs,
+            kh,
+            kw,
+            out_blocks: ob,
+            in_blocks: ib,
+            spectra,
+            live,
+        }
+    }
+
+    /// Rebuilds weights from raw parts (a decoded deployment package):
+    /// `skip` is the per-block liveness bitmap (tap-major, out, in) and
+    /// `spectra_words` the interleaved `(re, im)` words of every live
+    /// block's `BS/2+1` bins, in skip order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are inconsistent.
+    pub fn from_parts(
+        bs: usize,
+        k: usize,
+        out_blocks: usize,
+        in_blocks: usize,
+        skip: &[bool],
+        spectra_words: &[i16],
+    ) -> Self {
+        assert_eq!(skip.len(), k * k * out_blocks * in_blocks, "skip length");
+        let bins = bs / 2 + 1;
+        let live = skip.iter().filter(|&&b| b).count();
+        assert_eq!(spectra_words.len(), live * bins * 2, "spectra length");
+        let mut spectra = Vec::with_capacity(skip.len());
+        let mut cursor = 0usize;
+        for &alive in skip {
+            if alive {
+                let words = &spectra_words[cursor..cursor + bins * 2];
+                spectra.push(
+                    words
+                        .chunks_exact(2)
+                        .map(|c| ComplexFx::new(c[0], c[1]))
+                        .collect(),
+                );
+                cursor += bins * 2;
+            } else {
+                spectra.push(Vec::new());
+            }
+        }
+        FxWeights {
+            bs,
+            kh: k,
+            kw: k,
+            out_blocks,
+            in_blocks,
+            spectra,
+            live: skip.to_vec(),
+        }
+    }
+
+    fn index(&self, p: usize, q: usize, bo: usize, bi: usize) -> usize {
+        ((p * self.kw + q) * self.out_blocks + bo) * self.in_blocks + bi
+    }
+
+    /// Number of live blocks.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Block size `BS`.
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// Input channel-block count (`c_in / BS`).
+    pub fn in_blocks(&self) -> usize {
+        self.in_blocks
+    }
+
+    /// Output channel-block count (`c_out / BS`).
+    pub fn out_blocks(&self) -> usize {
+        self.out_blocks
+    }
+
+    /// Square kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kh
+    }
+}
+
+/// Runs one folded BCM conv layer (stride 1, symmetric zero padding
+/// `(k−1)/2`) on a quantized single-sample input `[c_in, h, w]` through
+/// the fixed-point datapath, returning `[c_out, h, w]` words.
+///
+/// # Panics
+///
+/// Panics if the input length disagrees with the layer dimensions.
+pub fn conv_forward_fx(
+    q: QFormat,
+    weights: &FxWeights,
+    x: &[i16],
+    h: usize,
+    w: usize,
+) -> Vec<i16> {
+    let bs = weights.bs;
+    let c_in = weights.in_blocks * bs;
+    let c_out = weights.out_blocks * bs;
+    assert_eq!(x.len(), c_in * h * w, "input length mismatch");
+    let pad = (weights.kh - 1) / 2;
+    let pe = FxFftPe::new(bs, q);
+    let bins = bs / 2 + 1;
+    let mut out = vec![0i16; c_out * h * w];
+
+    // Channel-block input spectra per pixel, computed once and reused for
+    // every (tap, out-block) — the input reuse the dataflow maximizes.
+    let mut in_spectra: Vec<Vec<ComplexFx>> = vec![Vec::new(); weights.in_blocks * h * w];
+    for bi in 0..weights.in_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut v = vec![0i16; bs];
+                for (ci, item) in v.iter_mut().enumerate() {
+                    *item = x[(bi * bs + ci) * h * w + y * w + xx];
+                }
+                let full = pe.forward_real(&v);
+                in_spectra[(bi * h + y) * w + xx] = full[..bins].to_vec();
+            }
+        }
+    }
+
+    for bo in 0..weights.out_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut acc = vec![ComplexAcc::zero(); bins];
+                for p in 0..weights.kh {
+                    let iy = y as isize + p as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for qq in 0..weights.kw {
+                        let ix = xx as isize + qq as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        for bi in 0..weights.in_blocks {
+                            let blk = weights.index(p, qq, bo, bi);
+                            if !weights.live[blk] {
+                                continue; // skip-index hit
+                            }
+                            let xs = &in_spectra[(bi * h + iy as usize) * w + ix as usize];
+                            let ws = &weights.spectra[blk];
+                            for k in 0..bins {
+                                acc[k].mac(q, xs[k], ws[k]);
+                            }
+                        }
+                    }
+                }
+                // Narrow, expand conjugate-symmetric, IFFT with the shift
+                // divider, write real outputs.
+                let mut full = vec![ComplexFx::zero(); bs];
+                for k in 0..bins {
+                    full[k] = acc[k].narrow(q);
+                }
+                for k in 1..bs / 2 {
+                    full[bs - k] = full[k].conj();
+                }
+                pe.inverse(&mut full);
+                for oi in 0..bs {
+                    out[(bo * bs + oi) * h * w + y * w + xx] = full[oi].re;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-block-scaled narrow weight spectra — the "fine-grained
+/// frequency-domain quantization" of He et al. (ASP-DAC 2021) the paper
+/// cites as an available improvement (§V-C2): each block's spectrum is
+/// stored in `bits`-bit words with its own fractional exponent chosen so
+/// the block's largest bin just fits, and the eMAC rescales block
+/// contributions to a common accumulator format.
+#[derive(Debug, Clone)]
+pub struct ScaledFxWeights {
+    bs: usize,
+    kh: usize,
+    kw: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    bits: u32,
+    /// `(bins, frac)` per live block.
+    blocks: Vec<Option<(Vec<ComplexFx>, u32)>>,
+}
+
+impl ScaledFxWeights {
+    /// Quantizes a folded layer to `bits`-bit weight words (activations
+    /// stay in `q`-format 16-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `4 <= bits <= 16`.
+    pub fn from_folded(bits: u32, conv: &ConvBlockCirculant<f32>) -> Self {
+        assert!((4..=16).contains(&bits), "bits must be in 4..=16");
+        let bs = conv.block_size();
+        let (kh, kw) = conv.kernel_dims();
+        let (ob, ib) = conv.grid_dims();
+        let max_word = (1i32 << (bits - 1)) - 1;
+        let mut blocks = Vec::with_capacity(kh * kw * ob * ib);
+        for p in 0..kh {
+            for qq in 0..kw {
+                let grid = conv.grid(p, qq);
+                for bo in 0..ob {
+                    for bi in 0..ib {
+                        let block = grid.block(bo, bi);
+                        if block.is_zero() {
+                            blocks.push(None);
+                            continue;
+                        }
+                        let w64: Vec<f64> = block
+                            .defining_vector()
+                            .iter()
+                            .map(|&v| f64::from(v))
+                            .collect();
+                        let half = HalfSpectrum::forward(&w64);
+                        let max_mag = half
+                            .bins()
+                            .iter()
+                            .map(|c| c.re.abs().max(c.im.abs()))
+                            .fold(0.0f64, f64::max)
+                            .max(1e-12);
+                        // Largest frac such that max_mag·2^frac ≤ max_word.
+                        let frac = ((max_word as f64 / max_mag).log2().floor() as i64)
+                            .clamp(0, 30) as u32;
+                        let scale = f64::from(1u32 << frac.min(31));
+                        let bins = half
+                            .bins()
+                            .iter()
+                            .map(|c| {
+                                ComplexFx::new(
+                                    ((c.re * scale).round() as i32)
+                                        .clamp(-max_word, max_word)
+                                        as i16,
+                                    ((c.im * scale).round() as i32)
+                                        .clamp(-max_word, max_word)
+                                        as i16,
+                                )
+                            })
+                            .collect();
+                        blocks.push(Some((bins, frac)));
+                    }
+                }
+            }
+        }
+        ScaledFxWeights {
+            bs,
+            kh,
+            kw,
+            out_blocks: ob,
+            in_blocks: ib,
+            bits,
+            blocks,
+        }
+    }
+
+    /// Weight word width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn index(&self, p: usize, q: usize, bo: usize, bi: usize) -> usize {
+        ((p * self.kw + q) * self.out_blocks + bo) * self.in_blocks + bi
+    }
+}
+
+/// Like [`conv_forward_fx`] but with per-block-scaled `bits`-bit weights:
+/// products are rescaled to the activation format's `2·frac` accumulator
+/// before accumulation.
+///
+/// # Panics
+///
+/// Panics if the input length disagrees with the layer dimensions.
+pub fn conv_forward_fx_scaled(
+    q: QFormat,
+    weights: &ScaledFxWeights,
+    x: &[i16],
+    h: usize,
+    w: usize,
+) -> Vec<i16> {
+    let bs = weights.bs;
+    let c_in = weights.in_blocks * bs;
+    let c_out = weights.out_blocks * bs;
+    assert_eq!(x.len(), c_in * h * w, "input length mismatch");
+    let pad = (weights.kh - 1) / 2;
+    let pe = FxFftPe::new(bs, q);
+    let bins = bs / 2 + 1;
+    let act_frac = q.frac_bits();
+    let mut out = vec![0i16; c_out * h * w];
+
+    let mut in_spectra: Vec<Vec<ComplexFx>> = vec![Vec::new(); weights.in_blocks * h * w];
+    for bi in 0..weights.in_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut v = vec![0i16; bs];
+                for (ci, item) in v.iter_mut().enumerate() {
+                    *item = x[(bi * bs + ci) * h * w + y * w + xx];
+                }
+                let full = pe.forward_real(&v);
+                in_spectra[(bi * h + y) * w + xx] = full[..bins].to_vec();
+            }
+        }
+    }
+
+    for bo in 0..weights.out_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                // i64 accumulators at 2·act_frac fractional bits.
+                let mut acc_re = vec![0i64; bins];
+                let mut acc_im = vec![0i64; bins];
+                for p in 0..weights.kh {
+                    let iy = y as isize + p as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for qq in 0..weights.kw {
+                        let ix = xx as isize + qq as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        for bi in 0..weights.in_blocks {
+                            let blk = weights.index(p, qq, bo, bi);
+                            let Some((ws, wfrac)) = &weights.blocks[blk] else {
+                                continue;
+                            };
+                            let xs = &in_spectra[(bi * h + iy as usize) * w + ix as usize];
+                            // Product frac = act_frac + wfrac; rescale to
+                            // 2·act_frac by shifting by (wfrac − act_frac).
+                            let shift = *wfrac as i64 - act_frac as i64;
+                            for k in 0..bins {
+                                let (a, b) = (xs[k], ws[k]);
+                                let re = i64::from(a.re) * i64::from(b.re)
+                                    - i64::from(a.im) * i64::from(b.im);
+                                let im = i64::from(a.re) * i64::from(b.im)
+                                    + i64::from(a.im) * i64::from(b.re);
+                                let (re, im) = if shift >= 0 {
+                                    (re >> shift, im >> shift)
+                                } else {
+                                    (re << -shift, im << -shift)
+                                };
+                                acc_re[k] += re;
+                                acc_im[k] += im;
+                            }
+                        }
+                    }
+                }
+                let mut full = vec![ComplexFx::zero(); bs];
+                for k in 0..bins {
+                    let narrow = |v: i64| -> i16 {
+                        let rounding = 1i64 << (act_frac - 1);
+                        ((v + rounding) >> act_frac)
+                            .clamp(i64::from(i16::MIN), i64::from(i16::MAX))
+                            as i16
+                    };
+                    full[k] = ComplexFx::new(narrow(acc_re[k]), narrow(acc_im[k]));
+                }
+                for k in 1..bs / 2 {
+                    full[bs - k] = full[k].conj();
+                }
+                pe.inverse(&mut full);
+                for oi in 0..bs {
+                    out[(bo * bs + oi) * h * w + y * w + xx] = full[oi].re;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Error statistics of the fixed-point layer output against a float
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantError {
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Root-mean-square error.
+    pub rms: f64,
+    /// RMS of the reference signal (for SNR).
+    pub signal_rms: f64,
+}
+
+impl QuantError {
+    /// Signal-to-quantization-noise ratio in dB (∞ when error is zero).
+    pub fn snr_db(&self) -> f64 {
+        if self.rms <= 0.0 {
+            f64::INFINITY
+        } else {
+            20.0 * (self.signal_rms / self.rms).log10()
+        }
+    }
+}
+
+/// Compares the fixed-point datapath against the float reference on one
+/// layer: quantizes `x_float`, runs [`conv_forward_fx`], and measures the
+/// error against `reference` (the float layer's output).
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn quantization_error(
+    q: QFormat,
+    weights: &FxWeights,
+    x_float: &[f32],
+    reference: &[f32],
+    h: usize,
+    w: usize,
+) -> QuantError {
+    let x_fx: Vec<i16> = x_float.iter().map(|&v| q.from_f32(v)).collect();
+    let y_fx = conv_forward_fx(q, weights, &x_fx, h, w);
+    assert_eq!(y_fx.len(), reference.len(), "reference length mismatch");
+    let mut max_abs = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut ref_sq = 0.0f64;
+    for (fx, &want) in y_fx.iter().zip(reference) {
+        let got = q.to_f64(*fx);
+        let err = (got - f64::from(want)).abs();
+        max_abs = max_abs.max(err);
+        sq += err * err;
+        ref_sq += f64::from(want) * f64::from(want);
+    }
+    let n = reference.len() as f64;
+    QuantError {
+        max_abs,
+        rms: (sq / n).sqrt(),
+        signal_rms: (ref_sq / n).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circulant::{BlockCirculant, CirculantMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    fn random_conv(seed: u64, bs: usize, ob: usize, ib: usize, k: usize) -> ConvBlockCirculant<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grids = (0..k * k)
+            .map(|_| {
+                let blocks = (0..ob * ib)
+                    .map(|_| {
+                        CirculantMatrix::new(
+                            init::gaussian::<f32>(&mut rng, &[bs], 0.0, 0.2).into_vec(),
+                        )
+                    })
+                    .collect();
+                BlockCirculant::from_blocks(bs, ob, ib, blocks)
+            })
+            .collect();
+        ConvBlockCirculant::from_grids(k, k, grids)
+    }
+
+    /// Float reference: direct dense convolution of the folded weights.
+    fn conv_forward_float(conv: &ConvBlockCirculant<f32>, x: &[f32], h: usize, w: usize) -> Vec<f32> {
+        let dense = conv.to_dense();
+        let (co, ci) = conv.channel_dims();
+        let (kh, kw) = conv.kernel_dims();
+        let pad = (kh - 1) / 2;
+        let mut out = vec![0.0f32; co * h * w];
+        for o in 0..co {
+            for y in 0..h {
+                for xx in 0..w {
+                    let mut acc = 0.0f32;
+                    for i in 0..ci {
+                        for p in 0..kh {
+                            for q in 0..kw {
+                                let iy = y as isize + p as isize - pad as isize;
+                                let ix = xx as isize + q as isize - pad as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    acc += x[i * h * w + iy as usize * w + ix as usize]
+                                        * dense.at(&[o, i, p, q]);
+                                }
+                            }
+                        }
+                    }
+                    out[o * h * w + y * w + xx] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fixed_point_conv_tracks_float_reference() {
+        let conv = random_conv(1, 8, 1, 1, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = 5;
+        let w = 5;
+        let x: Vec<f32> = init::gaussian::<f32>(&mut rng, &[8 * h * w], 0.0, 0.5).into_vec();
+        let q = QFormat::q8();
+        let want = conv_forward_float(&conv, &x, h, w);
+        let weights = FxWeights::from_folded(q, &conv);
+        let err = quantization_error(q, &weights, &x, &want, h, w);
+        assert!(err.max_abs < 0.15, "max err = {}", err.max_abs);
+        assert!(err.snr_db() > 20.0, "snr = {} dB", err.snr_db());
+    }
+
+    #[test]
+    fn pruned_blocks_are_skipped_in_fx_path() {
+        let mut conv = random_conv(3, 4, 2, 2, 1);
+        // Prune output block row 1 entirely → its output channels are 0.
+        for bi in 0..2 {
+            *conv.grid_mut(0, 0).block_mut(1, bi) = CirculantMatrix::zeros(4);
+        }
+        let q = QFormat::q8();
+        let weights = FxWeights::from_folded(q, &conv);
+        assert_eq!(weights.live_count(), 2);
+        let x: Vec<i16> = (0..8 * 4).map(|i| q.from_f64((i % 5) as f64 * 0.1)).collect();
+        let y = conv_forward_fx(q, &weights, &x, 2, 2);
+        // Channels 4..8 (output block 1) must be exactly zero.
+        for c in 4..8 {
+            for pix in 0..4 {
+                assert_eq!(y[c * 4 + pix], 0, "channel {c} pixel {pix}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride1_pad_shapes() {
+        let conv = random_conv(4, 4, 1, 1, 3);
+        let q = QFormat::q8();
+        let weights = FxWeights::from_folded(q, &conv);
+        let x = vec![0i16; 4 * 6 * 7];
+        let y = conv_forward_fx(q, &weights, &x, 6, 7);
+        assert_eq!(y.len(), 4 * 6 * 7);
+    }
+
+    #[test]
+    fn scaled_8bit_weights_track_the_16bit_path() {
+        // Per-block scaling lets 8-bit weight words approach the plain
+        // 16-bit path's accuracy — the He et al. [29] effect the paper
+        // cites as future improvement.
+        let conv = random_conv(7, 8, 2, 2, 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let h = 5;
+        let w = 5;
+        let x: Vec<f32> = init::gaussian::<f32>(&mut rng, &[16 * h * w], 0.0, 0.5).into_vec();
+        let q = QFormat::q8();
+        let want = conv_forward_float(&conv, &x, h, w);
+        let x_fx: Vec<i16> = x.iter().map(|&v| q.from_f32(v)).collect();
+
+        let err_of = |y: Vec<i16>| -> f64 {
+            y.iter()
+                .zip(&want)
+                .map(|(&fx, &r)| (q.to_f64(fx) - f64::from(r)).abs())
+                .fold(0.0, f64::max)
+        };
+        let full16 = FxWeights::from_folded(q, &conv);
+        let e16 = err_of(conv_forward_fx(q, &full16, &x_fx, h, w));
+        let scaled8 = ScaledFxWeights::from_folded(8, &conv);
+        let e8 = err_of(conv_forward_fx_scaled(q, &scaled8, &x_fx, h, w));
+        assert!(e8 < 0.25, "8-bit scaled error = {e8}");
+        assert!(e8 < 4.0 * e16.max(0.02), "e8 = {e8} vs e16 = {e16}");
+        // And width still matters: 4-bit is clearly worse than 8-bit.
+        let scaled4 = ScaledFxWeights::from_folded(4, &conv);
+        let e4 = err_of(conv_forward_fx_scaled(q, &scaled4, &x_fx, h, w));
+        assert!(e4 > e8, "e4 = {e4} vs e8 = {e8}");
+    }
+
+    #[test]
+    fn scaled_weights_skip_pruned_blocks() {
+        let mut conv = random_conv(9, 4, 2, 1, 1);
+        *conv.grid_mut(0, 0).block_mut(1, 0) = CirculantMatrix::zeros(4);
+        let q = QFormat::q8();
+        let weights = ScaledFxWeights::from_folded(8, &conv);
+        let x: Vec<i16> = (0..4 * 4).map(|i| q.from_f64(0.1 * i as f64)).collect();
+        let y = conv_forward_fx_scaled(q, &weights, &x, 2, 2);
+        for c in 4..8 {
+            for pix in 0..4 {
+                assert_eq!(y[c * 4 + pix], 0);
+            }
+        }
+        assert_eq!(weights.bits(), 8);
+    }
+
+    #[test]
+    fn snr_improves_with_more_fractional_bits() {
+        let conv = random_conv(5, 8, 1, 1, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = 4;
+        let w = 4;
+        let x: Vec<f32> = init::gaussian::<f32>(&mut rng, &[8 * h * w], 0.0, 0.4).into_vec();
+        let want = conv_forward_float(&conv, &x, h, w);
+        let mut snrs = Vec::new();
+        for frac in [6u32, 8, 10] {
+            let q = QFormat::new(frac);
+            let weights = FxWeights::from_folded(q, &conv);
+            snrs.push(quantization_error(q, &weights, &x, &want, h, w).snr_db());
+        }
+        assert!(snrs[1] > snrs[0] && snrs[2] > snrs[1], "{snrs:?}");
+    }
+}

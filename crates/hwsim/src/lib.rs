@@ -1,0 +1,53 @@
+//! Cycle-approximate model of the paper's RP-BCM FPGA accelerator
+//! (paper §IV, Figs. 6–8), targeting the Xilinx PYNQ-Z2 (XC7Z020).
+//!
+//! The real system is Vivado-HLS RTL on a physical board; this crate
+//! reproduces its *architecture* as an executable model (see DESIGN.md §2):
+//!
+//! - [`fixed`]: 16-bit Q-format fixed-point arithmetic — the paper's
+//!   "16-bit fixed-point computation" (§V-C2) — with saturation and
+//!   rounding, plus complex support.
+//! - [`fxfft`]: a fixed-point radix-2 FFT PE with twiddle ROM and the
+//!   shift-based `1/BS` divider of §IV-B, validated against the float FFT.
+//! - [`pe`]: the Pruned-BCM PE bank with its skip-index controller
+//!   (§IV-B, Fig. 7) and the conventional no-skip baseline, with both
+//!   functional (bit-level) and cycle behaviour.
+//! - [`dataflow`]: the fine-grained tile-by-tile dataflow with separate
+//!   double buffering per off-chip stream (§IV-C, Fig. 8).
+//! - [`resources`]: LUT/DSP/BRAM estimation (Tables II–III).
+//! - [`power`]: the power/FPS/efficiency model (Table III).
+//! - [`device`]: XC7Z020 capacity and utilization accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::dataflow::{DataflowConfig, LayerShape};
+//!
+//! // The paper's Fig. 10 workload: 128x28x28 feature map, 3x3 kernel.
+//! let layer = LayerShape::conv(128, 128, 28, 28, 3, 8);
+//! let cfg = DataflowConfig::pynq_z2();
+//! let idle = cfg.simulate(&layer, 0.0);
+//! let half = cfg.simulate(&layer, 0.5);
+//! assert!(half.total_cycles < idle.total_cycles);
+//! ```
+
+// Index-based loops mirror the mathematical/hardware notation the code
+// implements; iterator rewrites obscure the kernels.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dataflow;
+pub mod deploy;
+pub mod device;
+pub mod fixed;
+pub mod fxfft;
+pub mod inference;
+pub mod pe;
+pub mod power;
+pub mod resources;
+pub mod tiling;
+pub mod timeline;
+
+pub use dataflow::{CycleBreakdown, DataflowConfig, LayerShape};
+pub use device::Xc7z020;
+pub use fixed::{ComplexFx, QFormat};
+pub use resources::{AcceleratorConfig, ResourceEstimate};

@@ -1,0 +1,159 @@
+//! Functional tile-by-tile execution (paper §IV-C, Fig. 8b).
+//!
+//! The timing side of the dataflow lives in [`crate::dataflow`]; this
+//! module executes the *data* side: an input feature map is cut into
+//! spatial tiles with `(k−1)/2` halo rows/columns, each tile runs through
+//! the fixed-point BCM datapath independently (as the on-chip buffers
+//! force), and the partial outputs are stitched. The invariant — tiled
+//! execution is bit-identical to whole-layer execution — is what makes
+//! the tile-by-tile schedule legal, and is pinned by tests here.
+
+use crate::fixed::QFormat;
+use crate::inference::{conv_forward_fx, FxWeights};
+
+/// Tile-by-tile fixed-point convolution: splits `[c_in, h, w]` into
+/// `tile_h × tile_w` spatial tiles (with halo), runs each tile through
+/// [`conv_forward_fx`], and stitches the `[c_out, h, w]` output.
+///
+/// Bit-identical to calling [`conv_forward_fx`] on the whole map, because
+/// the halo supplies exactly the receptive field the border outputs need
+/// and zero padding outside the map matches the whole-layer path.
+///
+/// # Panics
+///
+/// Panics if tile dimensions are zero or the input length mismatches.
+pub fn tiled_conv_forward_fx(
+    q: QFormat,
+    weights: &FxWeights,
+    x: &[i16],
+    h: usize,
+    w: usize,
+    tile_h: usize,
+    tile_w: usize,
+) -> Vec<i16> {
+    assert!(tile_h > 0 && tile_w > 0, "tile dims must be non-zero");
+    let bs = weights.block_size();
+    let c_in = weights.in_blocks() * bs;
+    let c_out = weights.out_blocks() * bs;
+    assert_eq!(x.len(), c_in * h * w, "input length mismatch");
+    let k = weights.kernel();
+    let halo = (k - 1) / 2;
+    let mut out = vec![0i16; c_out * h * w];
+
+    let mut ty = 0;
+    while ty < h {
+        let th = tile_h.min(h - ty);
+        let mut tx = 0;
+        while tx < w {
+            let tw = tile_w.min(w - tx);
+            // Gather the tile plus halo, zero-filling outside the map
+            // (same as the layer's zero padding).
+            let gh = th + 2 * halo;
+            let gw = tw + 2 * halo;
+            let mut tile = vec![0i16; c_in * gh * gw];
+            for c in 0..c_in {
+                for y in 0..gh {
+                    let sy = ty as isize + y as isize - halo as isize;
+                    if sy < 0 || sy >= h as isize {
+                        continue;
+                    }
+                    for xx in 0..gw {
+                        let sx = tx as isize + xx as isize - halo as isize;
+                        if sx < 0 || sx >= w as isize {
+                            continue;
+                        }
+                        tile[(c * gh + y) * gw + xx] =
+                            x[(c * h + sy as usize) * w + sx as usize];
+                    }
+                }
+            }
+            let tile_out = conv_forward_fx(q, weights, &tile, gh, gw);
+            // Keep only the interior (drop halo outputs).
+            for c in 0..c_out {
+                for y in 0..th {
+                    for xx in 0..tw {
+                        out[(c * h + ty + y) * w + tx + xx] =
+                            tile_out[(c * gh + y + halo) * gw + xx + halo];
+                    }
+                }
+            }
+            tx += tile_w;
+        }
+        ty += tile_h;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    fn random_conv(seed: u64, bs: usize, ob: usize, ib: usize, k: usize) -> ConvBlockCirculant<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grids = (0..k * k)
+            .map(|_| {
+                let blocks = (0..ob * ib)
+                    .map(|_| {
+                        CirculantMatrix::new(
+                            init::gaussian::<f32>(&mut rng, &[bs], 0.0, 0.2).into_vec(),
+                        )
+                    })
+                    .collect();
+                BlockCirculant::from_blocks(bs, ob, ib, blocks)
+            })
+            .collect();
+        ConvBlockCirculant::from_grids(k, k, grids)
+    }
+
+    fn random_input(seed: u64, len: usize, q: QFormat) -> Vec<i16> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::gaussian::<f32>(&mut rng, &[len], 0.0, 0.5)
+            .into_vec()
+            .into_iter()
+            .map(|v| q.from_f32(v))
+            .collect()
+    }
+
+    #[test]
+    fn tiled_equals_whole_layer_bit_exactly() {
+        let q = QFormat::q8();
+        let conv = random_conv(1, 8, 1, 1, 3);
+        let weights = FxWeights::from_folded(q, &conv);
+        let (h, w) = (7, 9);
+        let x = random_input(2, 8 * h * w, q);
+        let whole = conv_forward_fx(q, &weights, &x, h, w);
+        for (th, tw) in [(3usize, 4usize), (7, 9), (2, 2), (5, 3)] {
+            let tiled = tiled_conv_forward_fx(q, &weights, &x, h, w, th, tw);
+            assert_eq!(tiled, whole, "tile {th}x{tw}");
+        }
+    }
+
+    #[test]
+    fn tiled_1x1_kernel_needs_no_halo() {
+        let q = QFormat::q8();
+        let conv = random_conv(3, 4, 2, 2, 1);
+        let weights = FxWeights::from_folded(q, &conv);
+        let (h, w) = (4, 4);
+        let x = random_input(4, 8 * h * w, q);
+        let whole = conv_forward_fx(q, &weights, &x, h, w);
+        let tiled = tiled_conv_forward_fx(q, &weights, &x, h, w, 2, 2);
+        assert_eq!(tiled, whole);
+    }
+
+    #[test]
+    fn non_divisible_tile_sizes_cover_everything() {
+        let q = QFormat::q8();
+        let conv = random_conv(5, 8, 1, 1, 3);
+        let weights = FxWeights::from_folded(q, &conv);
+        let (h, w) = (5, 7);
+        let x = random_input(6, 8 * h * w, q);
+        let whole = conv_forward_fx(q, &weights, &x, h, w);
+        // 3x4 tiles over a 5x7 map → ragged edge tiles.
+        let tiled = tiled_conv_forward_fx(q, &weights, &x, h, w, 3, 4);
+        assert_eq!(tiled, whole);
+    }
+}

@@ -1,0 +1,232 @@
+//! Discrete-event simulation of the Fig. 8 pipeline.
+//!
+//! The analytic dataflow model ([`crate::dataflow`]) approximates the
+//! double-buffered steady state as `max(stage latencies)` per tile. This
+//! module *simulates* the pipeline event by event — four stations (DRAM,
+//! FFT PE, eMAC bank, IFFT PE) with one-deep double buffers between them —
+//! and so validates that approximation and exposes per-station utilization
+//! (which stage actually bottlenecks a layer, and when pruning shifts it).
+//!
+//! Semantics: tile `t` must be fetched (DRAM), transformed (FFT), eMAC'd,
+//! and inverse-transformed (IFFT), in order. Each station processes one
+//! tile at a time; double buffering lets station `s` work on tile `t`
+//! while station `s+1` works on tile `t−1` (classic 4-stage pipeline with
+//! unit buffers).
+
+/// Per-tile stage latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileCost {
+    /// Off-chip transfer cycles.
+    pub dram: u64,
+    /// Input FFT cycles.
+    pub fft: u64,
+    /// eMAC cycles.
+    pub emac: u64,
+    /// Output IFFT cycles.
+    pub ifft: u64,
+}
+
+impl TileCost {
+    /// Sum of all stages (the no-overlap latency).
+    pub fn serial(&self) -> u64 {
+        self.dram + self.fft + self.emac + self.ifft
+    }
+
+    /// The longest stage (the steady-state per-tile latency under full
+    /// overlap).
+    pub fn bottleneck(&self) -> u64 {
+        self.dram.max(self.fft).max(self.emac).max(self.ifft)
+    }
+}
+
+/// Result of simulating a sequence of tiles through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRun {
+    /// Cycle at which the last tile leaves the IFFT station.
+    pub makespan: u64,
+    /// Busy cycles per station `[dram, fft, emac, ifft]`.
+    pub busy: [u64; 4],
+    /// Number of tiles processed.
+    pub tiles: usize,
+}
+
+impl PipelineRun {
+    /// Utilization per station (busy / makespan).
+    pub fn utilization(&self) -> [f64; 4] {
+        let m = self.makespan.max(1) as f64;
+        [
+            self.busy[0] as f64 / m,
+            self.busy[1] as f64 / m,
+            self.busy[2] as f64 / m,
+            self.busy[3] as f64 / m,
+        ]
+    }
+
+    /// Index of the busiest station (0 = DRAM, 1 = FFT, 2 = eMAC,
+    /// 3 = IFFT).
+    pub fn bottleneck_station(&self) -> usize {
+        let mut best = 0;
+        for (i, &b) in self.busy.iter().enumerate() {
+            if b > self.busy[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Simulates `tiles` through the 4-station pipeline.
+///
+/// With `double_buffering`, station `s` may start tile `t` as soon as it
+/// has finished tile `t−1` *and* station `s−1` has finished tile `t`
+/// (one-deep buffer). Without, the whole pipeline processes tiles
+/// serially (each tile runs DRAM→FFT→eMAC→IFFT to completion before the
+/// next starts).
+pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> PipelineRun {
+    let n = tiles.len();
+    let mut busy = [0u64; 4];
+    for t in tiles {
+        busy[0] += t.dram;
+        busy[1] += t.fft;
+        busy[2] += t.emac;
+        busy[3] += t.ifft;
+    }
+    if n == 0 {
+        return PipelineRun {
+            makespan: 0,
+            busy,
+            tiles: 0,
+        };
+    }
+    if !double_buffering {
+        let makespan = tiles.iter().map(TileCost::serial).sum();
+        return PipelineRun {
+            makespan,
+            busy,
+            tiles: n,
+        };
+    }
+    // finish[s] = cycle when station s finished its latest tile.
+    let mut finish = [0u64; 4];
+    for t in tiles {
+        let costs = [t.dram, t.fft, t.emac, t.ifft];
+        let mut ready_from_prev = 0u64;
+        for s in 0..4 {
+            let start = finish[s].max(ready_from_prev);
+            finish[s] = start + costs[s];
+            ready_from_prev = finish[s];
+        }
+    }
+    PipelineRun {
+        makespan: finish[3],
+        busy,
+        tiles: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, c: TileCost) -> Vec<TileCost> {
+        vec![c; n]
+    }
+
+    #[test]
+    fn single_tile_is_serial_either_way()
+    {
+        let t = TileCost {
+            dram: 10,
+            fft: 5,
+            emac: 20,
+            ifft: 5,
+        };
+        let db = simulate_pipeline(&[t], true);
+        let nd = simulate_pipeline(&[t], false);
+        assert_eq!(db.makespan, 40);
+        assert_eq!(nd.makespan, 40);
+    }
+
+    #[test]
+    fn steady_state_matches_analytic_bottleneck() {
+        // For many uniform tiles the event simulation converges to
+        // prologue + n·bottleneck — the analytic model's approximation.
+        let t = TileCost {
+            dram: 12,
+            fft: 7,
+            emac: 30,
+            ifft: 7,
+        };
+        let n = 1000;
+        let run = simulate_pipeline(&uniform(n, t), true);
+        let analytic = (n as u64) * t.bottleneck() + (t.serial() - t.bottleneck());
+        assert_eq!(run.makespan, analytic);
+        assert_eq!(run.bottleneck_station(), 2); // eMAC
+        let u = run.utilization();
+        assert!(u[2] > 0.95, "eMAC utilization = {}", u[2]);
+        assert!(u[1] < 0.3);
+    }
+
+    #[test]
+    fn double_buffering_never_slower() {
+        let tiles: Vec<TileCost> = (0..50)
+            .map(|i| TileCost {
+                dram: 5 + (i % 7),
+                fft: 3 + (i % 3),
+                emac: 10 + (i % 11),
+                ifft: 3,
+            })
+            .collect();
+        let db = simulate_pipeline(&tiles, true);
+        let nd = simulate_pipeline(&tiles, false);
+        assert!(db.makespan <= nd.makespan);
+        // Busy cycles identical — overlap changes schedule, not work.
+        assert_eq!(db.busy, nd.busy);
+    }
+
+    #[test]
+    fn pruning_shifts_the_bottleneck() {
+        // Heavy eMAC → bottleneck 2; prune 90 % of it → DRAM becomes the
+        // bottleneck, exactly the Fig. 10 flattening regime.
+        let dense = TileCost {
+            dram: 40,
+            fft: 20,
+            emac: 300,
+            ifft: 20,
+        };
+        let pruned = TileCost {
+            emac: 30,
+            ..dense
+        };
+        let a = simulate_pipeline(&uniform(100, dense), true);
+        let b = simulate_pipeline(&uniform(100, pruned), true);
+        assert_eq!(a.bottleneck_station(), 2);
+        assert_eq!(b.bottleneck_station(), 0);
+        assert!(b.makespan < a.makespan);
+        // Speedup is bounded by the new bottleneck, not by the eMAC ratio.
+        let speedup = a.makespan as f64 / b.makespan as f64;
+        assert!(speedup < 10.0 && speedup > 5.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn makespan_lower_bound_is_busiest_station() {
+        let tiles: Vec<TileCost> = (0..30)
+            .map(|i| TileCost {
+                dram: 1 + i as u64,
+                fft: 2,
+                emac: 3,
+                ifft: 4,
+            })
+            .collect();
+        let run = simulate_pipeline(&tiles, true);
+        let max_busy = *run.busy.iter().max().expect("4 stations");
+        assert!(run.makespan >= max_busy);
+    }
+
+    #[test]
+    fn empty_input() {
+        let run = simulate_pipeline(&[], true);
+        assert_eq!(run.makespan, 0);
+        assert_eq!(run.tiles, 0);
+    }
+}

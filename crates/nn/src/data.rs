@@ -1,0 +1,370 @@
+//! Deterministic synthetic vision datasets.
+//!
+//! The paper trains on CIFAR-10, CIFAR-100 and ImageNet; those datasets are
+//! not shipped here, so this module provides a seeded synthetic substitute
+//! (see DESIGN.md §2): each class is a band-limited random texture
+//! prototype; a sample is its prototype circularly shifted by a random
+//! offset plus Gaussian pixel noise. The task is translation-invariant and
+//! separable-but-not-trivially, so convolutional capacity and compression
+//! damage both show up in test accuracy — the property the paper's
+//! accuracy-vs-compression curves need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height = width.
+    pub size: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Per-pixel Gaussian noise std (prototype amplitude ≈ 1); higher is
+    /// harder. The `*_like` constructors use [`NOISE_STD`].
+    pub noise_std: f64,
+    /// Sinusoidal components per channel prototype; more components means
+    /// more intra-class structure to memorize. The `*_like` constructors
+    /// use [`COMPONENTS`].
+    pub components: usize,
+}
+
+/// A fully-materialized synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticVision {
+    config: DatasetConfig,
+    train_images: Vec<f32>,
+    train_labels: Vec<usize>,
+    test_images: Vec<f32>,
+    test_labels: Vec<usize>,
+}
+
+/// Default noise level applied per pixel (relative to prototype
+/// amplitude ~1).
+pub const NOISE_STD: f64 = 0.25;
+/// Shifts are limited to half of the image so same-class samples stay
+/// learnable while translation variability keeps the task non-trivial.
+const SHIFT_DIVISOR: usize = 2;
+/// Default number of sinusoidal components per channel prototype.
+pub const COMPONENTS: usize = 4;
+
+impl SyntheticVision {
+    /// Generates a dataset from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: DatasetConfig) -> Self {
+        assert!(config.classes > 0 && config.channels > 0 && config.size > 0);
+        assert!(config.train_per_class > 0 && config.test_per_class > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let prototypes: Vec<Vec<f32>> = (0..config.classes)
+            .map(|_| Self::prototype(&mut rng, config.channels, config.size, config.components))
+            .collect();
+        let (train_images, train_labels) =
+            Self::sample_split(&mut rng, &prototypes, config, config.train_per_class);
+        let (test_images, test_labels) =
+            Self::sample_split(&mut rng, &prototypes, config, config.test_per_class);
+        SyntheticVision {
+            config,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
+    }
+
+    /// CIFAR-10 stand-in: 10 classes, 3×16×16.
+    pub fn cifar10_like(train_per_class: usize, test_per_class: usize, seed: u64) -> Self {
+        Self::new(DatasetConfig {
+            classes: 10,
+            channels: 3,
+            size: 16,
+            train_per_class,
+            test_per_class,
+            seed,
+            noise_std: NOISE_STD,
+            components: COMPONENTS,
+        })
+    }
+
+    /// CIFAR-100 stand-in, scaled to 20 classes to keep CPU training
+    /// tractable (documented substitution; the *relative* difficulty vs the
+    /// 10-class set is what Fig. 9c needs).
+    pub fn cifar100_like(train_per_class: usize, test_per_class: usize, seed: u64) -> Self {
+        Self::new(DatasetConfig {
+            classes: 20,
+            channels: 3,
+            size: 16,
+            train_per_class,
+            test_per_class,
+            seed,
+            noise_std: NOISE_STD,
+            components: COMPONENTS,
+        })
+    }
+
+    /// ImageNet stand-in: 10 classes at 3×32×32 (higher resolution, more
+    /// texture detail per class).
+    pub fn imagenet_like(train_per_class: usize, test_per_class: usize, seed: u64) -> Self {
+        Self::new(DatasetConfig {
+            classes: 10,
+            channels: 3,
+            size: 32,
+            train_per_class,
+            test_per_class,
+            seed,
+            noise_std: NOISE_STD,
+            components: COMPONENTS,
+        })
+    }
+
+    fn prototype(rng: &mut StdRng, channels: usize, size: usize, components: usize) -> Vec<f32> {
+        let mut img = vec![0.0f32; channels * size * size];
+        for c in 0..channels {
+            for _ in 0..components {
+                let fy = rng.gen_range(1..=3) as f64;
+                let fx = rng.gen_range(1..=3) as f64;
+                let phase_y: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let phase_x: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let amp: f64 = rng.gen_range(0.4..1.0);
+                for y in 0..size {
+                    for x in 0..size {
+                        let v = amp
+                            * (std::f64::consts::TAU * fy * y as f64 / size as f64 + phase_y)
+                                .sin()
+                            * (std::f64::consts::TAU * fx * x as f64 / size as f64 + phase_x)
+                                .cos();
+                        img[(c * size + y) * size + x] += v as f32;
+                    }
+                }
+            }
+        }
+        img
+    }
+
+    fn sample_split(
+        rng: &mut StdRng,
+        prototypes: &[Vec<f32>],
+        cfg: DatasetConfig,
+        per_class: usize,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let img_len = cfg.channels * cfg.size * cfg.size;
+        let mut images = Vec::with_capacity(prototypes.len() * per_class * img_len);
+        let mut labels = Vec::with_capacity(prototypes.len() * per_class);
+        for (label, proto) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                let max_shift = (cfg.size / SHIFT_DIVISOR).max(1);
+                let dy = rng.gen_range(0..max_shift);
+                let dx = rng.gen_range(0..max_shift);
+                for c in 0..cfg.channels {
+                    for y in 0..cfg.size {
+                        for x in 0..cfg.size {
+                            let sy = (y + dy) % cfg.size;
+                            let sx = (x + dx) % cfg.size;
+                            let noise = {
+                                // Box-Muller, inline to stay on one RNG.
+                                let u1: f64 = 1.0 - rng.gen::<f64>();
+                                let u2: f64 = rng.gen();
+                                (-2.0 * u1.ln()).sqrt()
+                                    * (std::f64::consts::TAU * u2).cos()
+                                    * cfg.noise_std
+                            };
+                            images.push(
+                                proto[(c * cfg.size + sy) * cfg.size + sx] + noise as f32,
+                            );
+                        }
+                    }
+                }
+                labels.push(label);
+            }
+        }
+        (images, labels)
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> DatasetConfig {
+        self.config
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    fn image_len(&self) -> usize {
+        self.config.channels * self.config.size * self.config.size
+    }
+
+    /// Assembles shuffled training mini-batches for one epoch.
+    ///
+    /// The shuffle derives from `epoch_seed` only, so a full run is
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor<f32>, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        let n = self.train_len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
+        // Fisher-Yates.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(&self.train_images, &self.train_labels, chunk))
+            .collect()
+    }
+
+    /// The whole test split as one batch.
+    pub fn test_set(&self) -> (Tensor<f32>, Vec<usize>) {
+        let idx: Vec<usize> = (0..self.test_len()).collect();
+        self.gather(&self.test_images, &self.test_labels, &idx)
+    }
+
+    fn gather(
+        &self,
+        images: &[f32],
+        labels: &[usize],
+        idx: &[usize],
+    ) -> (Tensor<f32>, Vec<usize>) {
+        let il = self.image_len();
+        let mut data = Vec::with_capacity(idx.len() * il);
+        let mut lab = Vec::with_capacity(idx.len());
+        for &i in idx {
+            data.extend_from_slice(&images[i * il..(i + 1) * il]);
+            lab.push(labels[i]);
+        }
+        let t = Tensor::from_vec(
+            data,
+            &[idx.len(), self.config.channels, self.config.size, self.config.size],
+        );
+        (t, lab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticVision::cifar10_like(4, 2, 42);
+        let b = SyntheticVision::cifar10_like(4, 2, 42);
+        assert_eq!(a.train_images, b.train_images);
+        assert_eq!(a.test_labels, b.test_labels);
+        let c = SyntheticVision::cifar10_like(4, 2, 43);
+        assert_ne!(a.train_images, c.train_images);
+    }
+
+    #[test]
+    fn shapes_and_label_ranges() {
+        let d = SyntheticVision::cifar10_like(3, 2, 0);
+        assert_eq!(d.train_len(), 30);
+        assert_eq!(d.test_len(), 20);
+        assert_eq!(d.num_classes(), 10);
+        let (x, y) = d.test_set();
+        assert_eq!(x.dims(), &[20, 3, 16, 16]);
+        assert!(y.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let d = SyntheticVision::cifar10_like(4, 1, 1);
+        let batches = d.train_batches(7, 3);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 40);
+        // Per-class counts preserved by shuffling.
+        let mut counts = [0usize; 10];
+        for (_, labels) in &batches {
+            for &l in labels {
+                counts[l] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn different_epochs_shuffle_differently() {
+        let d = SyntheticVision::cifar10_like(8, 1, 2);
+        let b1 = d.train_batches(16, 0);
+        let b2 = d.train_batches(16, 1);
+        assert_ne!(b1[0].1, b2[0].1);
+        // Same epoch seed → identical order.
+        let b1_again = d.train_batches(16, 0);
+        assert_eq!(b1[0].1, b1_again[0].1);
+    }
+
+    #[test]
+    fn classes_are_statistically_distinguishable() {
+        // Mean inter-class L2 distance should exceed intra-class distance.
+        let d = SyntheticVision::cifar10_like(2, 6, 5);
+        let (x, y) = d.test_set();
+        let il = 3 * 16 * 16;
+        let img = |i: usize| &x.as_slice()[i * il..(i + 1) * il];
+        let dist = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(&u, &v)| (f64::from(u) - f64::from(v)).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..d.test_len() {
+            for j in (i + 1)..d.test_len() {
+                let dd = dist(img(i), img(j));
+                if y[i] == y[j] {
+                    intra.0 += dd;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += dd;
+                    inter.1 += 1;
+                }
+            }
+        }
+        // Shifted copies of the same texture are *sometimes* far apart, but
+        // on average the class structure must be visible.
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            inter_mean > intra_mean * 0.95,
+            "inter {inter_mean} vs intra {intra_mean}"
+        );
+    }
+
+    #[test]
+    fn imagenet_like_is_larger() {
+        let d = SyntheticVision::imagenet_like(1, 1, 9);
+        let (x, _) = d.test_set();
+        assert_eq!(x.dims(), &[10, 3, 32, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        SyntheticVision::cifar10_like(1, 1, 0).train_batches(0, 0);
+    }
+}

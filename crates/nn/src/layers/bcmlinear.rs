@@ -1,0 +1,333 @@
+//! Block-circulant fully-connected layer.
+//!
+//! The paper's framework applies to FC layers exactly as to convolutions
+//! (its FC notation is the `K = 1` case of Fig. 1b); prior BCM work
+//! (CirCNN, C-LSTM, FTRANS) compressed FC/LSTM/transformer layers this
+//! way. `BcmLinear` stores one defining vector per `BS×BS` block of the
+//! `[out, in]` weight matrix and exposes the same [`BcmLayer`] surface as
+//! the convolutions, so Algorithm 1 prunes it transparently.
+
+use crate::layers::{BcmLayer, Layer, Param};
+use crate::optim::SgdUpdate;
+use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+use rand::Rng;
+use tensor::{init, Tensor};
+
+/// A block-circulant affine layer `y = C(w)·x + b` over
+/// `[batch, in] → [batch, out]`.
+#[derive(Debug, Clone)]
+pub struct BcmLinear {
+    name: String,
+    bs: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    /// Defining vectors, flat `[out_blocks·in_blocks, bs]`, row-major over
+    /// (out-block, in-block).
+    vecs: Param,
+    bias: Param,
+    pruned: Vec<bool>,
+    input: Option<Tensor<f32>>,
+}
+
+impl BcmLinear {
+    /// Creates a Kaiming-scaled block-circulant linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if features are not divisible by `bs` or `bs` is not a power
+    /// of two ≥ 2.
+    pub fn new(
+        rng: &mut impl Rng,
+        in_features: usize,
+        out_features: usize,
+        bs: usize,
+    ) -> Self {
+        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+        assert_eq!(in_features % bs, 0, "in_features not divisible by BS");
+        assert_eq!(out_features % bs, 0, "out_features not divisible by BS");
+        let (ob, ib) = (out_features / bs, in_features / bs);
+        let std = (2.0 / in_features as f64).sqrt();
+        BcmLinear {
+            name: format!("bcmlinear{in_features}x{out_features}bs{bs}"),
+            bs,
+            out_blocks: ob,
+            in_blocks: ib,
+            vecs: Param::new(init::gaussian(rng, &[ob * ib, bs], 0.0, std)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            pruned: vec![false; ob * ib],
+            input: None,
+        }
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn features(&self) -> (usize, usize) {
+        (self.in_blocks * self.bs, self.out_blocks * self.bs)
+    }
+
+    fn block_index(&self, bo: usize, bi: usize) -> usize {
+        bo * self.in_blocks + bi
+    }
+
+    /// Expands to the dense `[out, in]` matrix.
+    fn expand(&self) -> Tensor<f32> {
+        let (inf, outf) = (self.in_blocks * self.bs, self.out_blocks * self.bs);
+        let mut w = Tensor::zeros(&[outf, inf]);
+        let ws = w.as_mut_slice();
+        let vs = self.vecs.value.as_slice();
+        for bo in 0..self.out_blocks {
+            for bi in 0..self.in_blocks {
+                let blk = self.block_index(bo, bi);
+                let v = &vs[blk * self.bs..(blk + 1) * self.bs];
+                for oi in 0..self.bs {
+                    let o = bo * self.bs + oi;
+                    for ii in 0..self.bs {
+                        let i = bi * self.bs + ii;
+                        ws[o * inf + i] = v[(oi + self.bs - ii) % self.bs];
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// The folded grid (for analysis and hardware export).
+    pub fn folded_grid(&self) -> BlockCirculant<f32> {
+        let blocks = (0..self.out_blocks * self.in_blocks)
+            .map(|blk| {
+                if self.pruned[blk] {
+                    CirculantMatrix::zeros(self.bs)
+                } else {
+                    CirculantMatrix::new(
+                        self.vecs.value.as_slice()[blk * self.bs..(blk + 1) * self.bs].to_vec(),
+                    )
+                }
+            })
+            .collect();
+        BlockCirculant::from_blocks(self.bs, self.out_blocks, self.in_blocks, blocks)
+    }
+}
+
+impl Layer for BcmLinear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        assert_eq!(x.shape().ndim(), 2, "bcm linear expects [batch, features]");
+        let (inf, outf) = (self.in_blocks * self.bs, self.out_blocks * self.bs);
+        assert_eq!(x.dims()[1], inf, "feature mismatch");
+        self.input = Some(x.clone());
+        let w = self.expand();
+        let mut y = x.matmul(&w.transpose());
+        let b = self.bias.value.as_slice();
+        for row in 0..x.dims()[0] {
+            for j in 0..outf {
+                y.as_mut_slice()[row * outf + j] += b[j];
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.input.as_ref().expect("backward before forward");
+        let w = self.expand();
+        let dw = grad.transpose().matmul(x); // [out, in]
+        // Project the dense gradient onto the circulant subspace:
+        // dvec[k] += dW[o][i] where (o−i) ≡ k (mod BS) within the block.
+        let (inf, outf) = (self.in_blocks * self.bs, self.out_blocks * self.bs);
+        {
+            let dv = self.vecs.grad.as_mut_slice();
+            let ds = dw.as_slice();
+            for bo in 0..self.out_blocks {
+                for bi in 0..self.in_blocks {
+                    let blk = bo * self.in_blocks + bi;
+                    if self.pruned[blk] {
+                        continue;
+                    }
+                    let g = &mut dv[blk * self.bs..(blk + 1) * self.bs];
+                    for oi in 0..self.bs {
+                        let o = bo * self.bs + oi;
+                        for ii in 0..self.bs {
+                            let i = bi * self.bs + ii;
+                            g[(oi + self.bs - ii) % self.bs] += ds[o * inf + i];
+                        }
+                    }
+                }
+            }
+        }
+        let (n, _) = (grad.dims()[0], grad.dims()[1]);
+        for i in 0..n {
+            for j in 0..outf {
+                self.bias.grad.as_mut_slice()[j] += grad.as_slice()[i * outf + j];
+            }
+        }
+        grad.matmul(&w)
+    }
+
+    fn step(&mut self, update: &SgdUpdate) {
+        self.vecs.step(update);
+        self.bias.step(update);
+        // step() applies weight decay to zeroed regions harmlessly (they
+        // stay zero); re-zero for exactness against momentum drift.
+        for (blk, &p) in self.pruned.iter().enumerate() {
+            if p {
+                self.vecs.reset_region(blk * self.bs..(blk + 1) * self.bs);
+            }
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.live_blocks() * self.bs + self.bias.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn bcm(&self) -> Option<&dyn BcmLayer> {
+        Some(self)
+    }
+
+    fn bcm_mut(&mut self) -> Option<&mut dyn BcmLayer> {
+        Some(self)
+    }
+}
+
+impl BcmLayer for BcmLinear {
+    fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    fn block_count(&self) -> usize {
+        self.out_blocks * self.in_blocks
+    }
+
+    fn importances(&self) -> Vec<f64> {
+        (0..self.block_count())
+            .map(|blk| {
+                self.vecs.value.as_slice()[blk * self.bs..(blk + 1) * self.bs]
+                    .iter()
+                    .map(|&v| f64::from(v) * f64::from(v))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect()
+    }
+
+    fn eliminate(&mut self, local_indices: &[usize]) {
+        for &blk in local_indices {
+            assert!(blk < self.pruned.len(), "block index out of range");
+            self.pruned[blk] = true;
+            self.vecs.reset_region(blk * self.bs..(blk + 1) * self.bs);
+        }
+    }
+
+    fn live_blocks(&self) -> usize {
+        self.pruned.iter().filter(|&&p| !p).count()
+    }
+
+    fn skip_index(&self) -> Vec<bool> {
+        self.pruned.iter().map(|&p| !p).collect()
+    }
+
+    fn folded_param_count(&self) -> usize {
+        self.live_blocks() * self.bs
+    }
+
+    fn train_param_surrogate(&self) -> usize {
+        self.live_blocks() * self.bs + self.bias.len()
+    }
+
+    fn dense_param_count(&self) -> usize {
+        self.out_blocks * self.in_blocks * self.bs * self.bs + self.bias.len()
+    }
+
+    fn folded(&self) -> ConvBlockCirculant<f32> {
+        ConvBlockCirculant::from_grids(1, 1, vec![self.folded_grid()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_folded_grid_matvec() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = BcmLinear::new(&mut rng, 8, 12, 4);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[2, 8], 0.0, 1.0);
+        let y = l.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let grid = l.folded_grid();
+        for row in 0..2 {
+            let xin: Vec<f32> = x.as_slice()[row * 8..(row + 1) * 8].to_vec();
+            let want = grid.matvec_naive(&xin);
+            for j in 0..12 {
+                // bias is zero-initialized
+                assert!((y.at(&[row, j]) - want[j]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = BcmLinear::new(&mut rng, 8, 8, 4);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[3, 8], 0.0, 1.0);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&Tensor::ones(&[3, 8]));
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let mut p = l.clone();
+            p.vecs.value.as_mut_slice()[idx] += eps;
+            let y1 = p.forward(&x, true).sum();
+            let mut m = l.clone();
+            m.vecs.value.as_mut_slice()[idx] -= eps;
+            let y0 = m.forward(&x, true).sum();
+            let fd = (y1 - y0) / (2.0 * eps);
+            let got = l.vecs.grad.as_slice()[idx];
+            assert!((fd - got).abs() < 2e-2, "idx={idx}: fd={fd} got={got}");
+        }
+    }
+
+    #[test]
+    fn pruning_and_accounting() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = BcmLinear::new(&mut rng, 16, 8, 4);
+        assert_eq!(l.block_count(), 2 * 4);
+        assert_eq!(l.dense_param_count(), 16 * 8 + 8);
+        l.eliminate(&[0, 3]);
+        assert_eq!(l.live_blocks(), 6);
+        assert_eq!(l.folded_param_count(), 24);
+        assert_eq!(l.skip_index().iter().filter(|&&b| !b).count(), 2);
+        assert_eq!(l.importances()[0], 0.0);
+        // The pruned blocks stay zero through steps.
+        l.step(&SgdUpdate {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-3,
+        });
+        assert_eq!(l.importances()[0], 0.0);
+    }
+
+    #[test]
+    fn exposed_through_network_bcm_surface() {
+        use crate::layers::Network;
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(
+            "fc",
+            vec![Box::new(BcmLinear::new(&mut rng, 16, 16, 8))],
+        );
+        assert_eq!(net.bcm_block_count(), 4);
+        assert_eq!(net.bcm_importances().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_features() {
+        let mut rng = StdRng::seed_from_u64(4);
+        BcmLinear::new(&mut rng, 10, 8, 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Layers with hand-derived forward/backward passes.
+
+mod act;
+mod bcm;
+mod bcmlinear;
+mod conv;
+mod linear;
+mod network;
+mod norm;
+mod param;
+mod pool;
+
+pub use act::{Flatten, ReLU};
+pub use bcm::{BcmConv2d, BcmLayer, HadaBcmConv2d};
+pub use bcmlinear::BcmLinear;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use network::{Network, ResidualBlock};
+pub use norm::BatchNorm2d;
+pub use param::Param;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+
+use crate::optim::SgdUpdate;
+use tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// upstream gradient and returns the gradient with respect to the layer
+/// input, accumulating parameter gradients internally. `step` applies an
+/// SGD update to the layer's parameters (a no-op for stateless layers).
+pub trait Layer {
+    /// Layer name for reports.
+    fn name(&self) -> &str;
+
+    /// Forward pass. `train` selects training behaviour (batch-norm
+    /// statistics, etc.).
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32>;
+
+    /// Backward pass: upstream gradient in, input gradient out.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32>;
+
+    /// Applies one SGD update and clears gradients. Default: no parameters.
+    fn step(&mut self, _update: &SgdUpdate) {}
+
+    /// Number of trainable parameters. Default: zero.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Clones into a boxed trait object (manual object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Access to BCM-specific surface when the layer is block-circulant.
+    fn bcm(&self) -> Option<&dyn BcmLayer> {
+        None
+    }
+
+    /// Mutable access to BCM-specific surface.
+    fn bcm_mut(&mut self) -> Option<&mut dyn BcmLayer> {
+        None
+    }
+
+    /// All block-circulant sublayers, recursively (composites like
+    /// [`ResidualBlock`] override this to surface nested BCM layers).
+    fn bcm_layers(&self) -> Vec<&dyn BcmLayer> {
+        self.bcm().into_iter().collect()
+    }
+
+    /// Mutable variant of [`Layer::bcm_layers`].
+    fn bcm_layers_mut(&mut self) -> Vec<&mut dyn BcmLayer> {
+        self.bcm_mut().into_iter().collect()
+    }
+
+    /// The dense convolution weight `[c_out, c_in, kh, kw]` when the layer
+    /// is an ordinary [`Conv2d`]; `None` otherwise. Used by the weight
+    /// analysis experiments (paper Figs. 2/5).
+    fn conv_weight(&self) -> Option<Tensor<f32>> {
+        None
+    }
+
+    /// Replaces the dense convolution weight (baseline compressors edit
+    /// trained layers in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetConvWeightError`] when the layer has no dense conv
+    /// weight; implementations panic on shape mismatch instead, since that
+    /// is a caller bug.
+    fn set_conv_weight(&mut self, _w: &Tensor<f32>) -> Result<(), SetConvWeightError> {
+        Err(SetConvWeightError)
+    }
+}
+
+/// Error: the layer has no dense convolution weight to replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetConvWeightError;
+
+impl std::fmt::Display for SetConvWeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "layer has no dense convolution weight")
+    }
+}
+
+impl std::error::Error for SetConvWeightError {}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

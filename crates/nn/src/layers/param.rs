@@ -1,0 +1,132 @@
+//! Trainable parameter storage with SGD-with-momentum state.
+
+use crate::optim::SgdUpdate;
+use tensor::Tensor;
+
+/// A trainable tensor: value, accumulated gradient, and momentum buffer.
+///
+/// # Example
+///
+/// ```
+/// use nn::layers::Param;
+/// use nn::optim::SgdUpdate;
+/// use tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::from_vec(vec![1.0_f32], &[1]));
+/// p.grad.as_mut_slice()[0] = 2.0;
+/// p.step(&SgdUpdate { lr: 0.5, momentum: 0.0, weight_decay: 0.0 });
+/// assert_eq!(p.value.as_slice()[0], 0.0);
+/// assert_eq!(p.grad.as_slice()[0], 0.0); // cleared by step
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor<f32>,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor<f32>,
+    velocity: Tensor<f32>,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient and momentum.
+    pub fn new(value: Tensor<f32>) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        let velocity = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            velocity,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` for zero-element parameters (never constructed here).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Applies SGD with momentum and decoupled-style L2 weight decay:
+    /// `v ← μ·v + (g + wd·w)`, `w ← w − lr·v`, then clears the gradient.
+    pub fn step(&mut self, update: &SgdUpdate) {
+        let lr = update.lr;
+        let mu = update.momentum;
+        let wd = update.weight_decay;
+        let w = self.value.as_mut_slice();
+        let g = self.grad.as_mut_slice();
+        let v = self.velocity.as_mut_slice();
+        for i in 0..w.len() {
+            let grad = g[i] + wd * w[i];
+            v[i] = mu * v[i] + grad;
+            w[i] -= lr * v[i];
+            g[i] = 0.0;
+        }
+    }
+
+    /// Zeroes value, gradient and momentum (used when a BCM block is
+    /// eliminated: the weight must stay exactly zero afterwards).
+    pub fn reset_region(&mut self, range: std::ops::Range<usize>) {
+        for i in range {
+            self.value.as_mut_slice()[i] = 0.0;
+            self.grad.as_mut_slice()[i] = 0.0;
+            self.velocity.as_mut_slice()[i] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = Param::new(Tensor::from_vec(vec![0.0_f32], &[1]));
+        let u = SgdUpdate {
+            lr: 1.0,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        };
+        p.grad.as_mut_slice()[0] = 1.0;
+        p.step(&u); // v=1, w=-1
+        p.grad.as_mut_slice()[0] = 1.0;
+        p.step(&u); // v=1.5, w=-2.5
+        assert!((p.value.as_slice()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut p = Param::new(Tensor::from_vec(vec![10.0_f32], &[1]));
+        let u = SgdUpdate {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.1,
+        };
+        p.step(&u); // grad = 0 + 0.1*10 = 1 → w = 10 - 0.1 = 9.9
+        assert!((p.value.as_slice()[0] - 9.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_region_freezes_weights() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], &[3]));
+        p.grad.as_mut_slice().copy_from_slice(&[1.0, 1.0, 1.0]);
+        p.reset_region(1..2);
+        assert_eq!(p.value.as_slice(), &[1.0, 0.0, 3.0]);
+        assert_eq!(p.grad.as_slice(), &[1.0, 0.0, 1.0]);
+        let u = SgdUpdate {
+            lr: 1.0,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        p.step(&u);
+        // The reset element had zero grad and velocity → stays zero.
+        assert_eq!(p.value.as_slice()[1], 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Softmax cross-entropy loss.
+
+use tensor::Tensor;
+
+/// The value and logit-gradient of softmax cross-entropy over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `∂loss/∂logits`, shape `[batch, classes]` (already divided by the
+    /// batch size).
+    pub grad: Tensor<f32>,
+    /// Number of correctly-classified samples (argmax).
+    pub correct: usize,
+}
+
+/// Computes mean softmax cross-entropy of `logits` (`[batch, classes]`)
+/// against integer `targets`.
+///
+/// Numerically stabilized by max-subtraction.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-d, `targets.len()` differs from the batch
+/// size, or any target is out of range.
+///
+/// # Example
+///
+/// ```
+/// use nn::loss::softmax_cross_entropy;
+/// use tensor::Tensor;
+///
+/// // Confident, correct prediction → small loss.
+/// let logits = Tensor::from_vec(vec![10.0_f32, -10.0], &[1, 2]);
+/// let out = softmax_cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 1e-3);
+/// assert_eq!(out.correct, 1);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor<f32>, targets: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().ndim(), 2, "logits must be [batch, classes]");
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(targets.len(), n, "one target per sample");
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let t = targets[i];
+        assert!(t < k, "target {t} out of range for {k} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[t] - max));
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(idx, _)| idx)
+            .expect("non-empty row");
+        if argmax == t {
+            correct += 1;
+        }
+        let g = &mut grad.as_mut_slice()[i * k..(i + 1) * k];
+        for (j, gj) in g.iter_mut().enumerate() {
+            let p = exps[j] / denom;
+            *gj = (p - if j == t { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    LossOutput {
+        loss: (loss / n as f64) as f32,
+        grad,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_sample() {
+        let logits = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let out = softmax_cross_entropy(&logits, &[0, 2]);
+        for i in 0..2 {
+            let s: f32 = out.grad.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let base = vec![0.3_f32, -0.7, 1.2];
+        let targets = [2usize];
+        let logits = Tensor::from_vec(base.clone(), &[1, 3]);
+        let out = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut pert = base.clone();
+            pert[j] += eps;
+            let lp = softmax_cross_entropy(&Tensor::from_vec(pert, &[1, 3]), &targets).loss;
+            let fd = (lp - out.loss) / eps;
+            assert!(
+                (fd - out.grad.as_slice()[j]).abs() < 1e-2,
+                "j={j}: fd={fd} vs {}",
+                out.grad.as_slice()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counting() {
+        let logits = Tensor::from_vec(vec![5.0_f32, 0.0, 0.0, 5.0], &[2, 2]);
+        let out = softmax_cross_entropy(&logits, &[0, 0]);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1000.0_f32, -1000.0], &[1, 2]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains with "a SGD optimizer and a cosine annealing scheduler"
+//! (§V-A); both live here.
+
+/// The per-step update parameters handed to every layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdUpdate {
+    /// Learning rate for this step.
+    pub lr: f32,
+    /// Momentum coefficient μ.
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+}
+
+/// SGD configuration with a cosine-annealed learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Initial (maximum) learning rate.
+    pub lr_max: f32,
+    /// Final (minimum) learning rate of the cosine schedule.
+    pub lr_min: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Total steps over which the cosine anneals.
+    pub total_steps: usize,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd {
+            lr_max: 0.05,
+            lr_min: 1e-4,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            total_steps: 1000,
+        }
+    }
+}
+
+impl Sgd {
+    /// Cosine-annealed learning rate at `step`
+    /// (`lr_min + ½(lr_max−lr_min)(1+cos(π·t/T))`); clamps past the end.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if self.total_steps == 0 {
+            return self.lr_min;
+        }
+        let t = (step.min(self.total_steps)) as f32 / self.total_steps as f32;
+        self.lr_min
+            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+
+    /// The update to hand to layers at `step`.
+    pub fn update_at(&self, step: usize) -> SgdUpdate {
+        SgdUpdate {
+            lr: self.lr_at(step),
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_anneals_from_max_to_min() {
+        let s = Sgd {
+            lr_max: 1.0,
+            lr_min: 0.0,
+            total_steps: 100,
+            ..Sgd::default()
+        };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-6);
+        assert!(s.lr_at(100) < 1e-6);
+        // Past the horizon it stays clamped.
+        assert!(s.lr_at(500) < 1e-6);
+        // Monotone non-increasing.
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn zero_total_steps_is_safe() {
+        let s = Sgd {
+            total_steps: 0,
+            lr_min: 0.01,
+            ..Sgd::default()
+        };
+        assert_eq!(s.lr_at(3), 0.01);
+    }
+
+    #[test]
+    fn update_carries_hyperparams() {
+        let s = Sgd::default();
+        let u = s.update_at(0);
+        assert_eq!(u.momentum, s.momentum);
+        assert_eq!(u.weight_decay, s.weight_decay);
+        assert!((u.lr - s.lr_max).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Seeded weight initializers.
+//!
+//! Every experiment in this reproduction is deterministic: initializers take
+//! an explicit `&mut impl Rng` and callers seed `StdRng` from a constant.
+
+use crate::{Scalar, Tensor};
+use rand::Rng;
+
+/// Samples an i.i.d. Gaussian tensor with the given `mean` and `std_dev`.
+///
+/// Uses the Box–Muller transform so behaviour is identical across `rand`
+/// back-ends and element types.
+///
+/// # Panics
+///
+/// Panics if `std_dev < 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tensor::{init, Tensor};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let t: Tensor<f32> = init::gaussian(&mut rng, &[4, 4], 0.0, 1.0);
+/// assert_eq!(t.len(), 16);
+/// ```
+pub fn gaussian<T: Scalar>(
+    rng: &mut impl Rng,
+    dims: &[usize],
+    mean: f64,
+    std_dev: f64,
+) -> Tensor<T> {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative");
+    Tensor::from_fn(dims, |_| {
+        T::from_f64(mean + std_dev * sample_standard_normal(rng))
+    })
+}
+
+/// Samples a uniform tensor on `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+pub fn uniform<T: Scalar>(rng: &mut impl Rng, dims: &[usize], lo: f64, hi: f64) -> Tensor<T> {
+    assert!(hi > lo, "uniform range must be non-empty");
+    Tensor::from_fn(dims, |_| T::from_f64(rng.gen_range(lo..hi)))
+}
+
+/// Kaiming/He normal initialization for a convolution weight of shape
+/// `[c_out, c_in, kh, kw]` (or a linear weight `[out, in]`): zero-mean
+/// Gaussian with `std = sqrt(2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `dims` has fewer than 2 dimensions.
+pub fn kaiming_normal<T: Scalar>(rng: &mut impl Rng, dims: &[usize]) -> Tensor<T> {
+    assert!(dims.len() >= 2, "kaiming init needs at least 2-d weights");
+    let fan_in: usize = dims[1..].iter().product();
+    let std_dev = (2.0 / fan_in as f64).sqrt();
+    gaussian(rng, dims, 0.0, std_dev)
+}
+
+/// One standard-normal draw via Box–Muller.
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by drawing u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let t: Tensor<f64> = gaussian(&mut rng, &[100, 100], 1.0, 2.0);
+        let s = Summary::of(t.as_slice());
+        assert!((s.mean - 1.0).abs() < 0.05, "mean = {}", s.mean);
+        assert!((s.std_dev - 2.0).abs() < 0.05, "std = {}", s.std_dev);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t: Tensor<f32> = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.min() >= -0.5 && t.max() < 0.5);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small: Tensor<f64> = kaiming_normal(&mut rng, &[64, 16, 3, 3]);
+        let big: Tensor<f64> = kaiming_normal(&mut rng, &[64, 256, 3, 3]);
+        let s_small = Summary::of(small.as_slice()).std_dev;
+        let s_big = Summary::of(big.as_slice()).std_dev;
+        // fan_in ratio 16:256 = 1:16 → std ratio 4:1.
+        assert!(s_small / s_big > 3.0 && s_small / s_big < 5.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a: Tensor<f32> = gaussian(&mut StdRng::seed_from_u64(7), &[8], 0.0, 1.0);
+        let b: Tensor<f32> = gaussian(&mut StdRng::seed_from_u64(7), &[8], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense tensors and the small linear-algebra/statistics toolbox used by the
+//! RP-BCM reproduction.
+//!
+//! The crate deliberately implements only what the paper's pipeline needs,
+//! from scratch:
+//!
+//! - [`Tensor`]: an owned, row-major, n-dimensional `f32`/`f64` array with
+//!   NCHW conventions for feature maps and `[out, in, kh, kw]` for
+//!   convolution weights.
+//! - [`svd`]: one-sided Jacobi singular value decomposition, used to measure
+//!   the rank-condition of circulant blocks (paper Figs. 2 and 9a).
+//! - [`stats`]: norm statistics and Gaussian kernel-density estimation
+//!   (paper Fig. 5).
+//! - [`init`]: seeded weight initializers (Gaussian, Kaiming, uniform).
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+// Index-based loops mirror the mathematical/hardware notation the code
+// implements; iterator rewrites obscure the kernels.
+#![allow(clippy::needless_range_loop)]
+
+mod scalar;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub mod init;
+pub mod ops;
+pub mod stats;
+pub mod svd;
+
+pub use scalar::Scalar;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,201 @@
+//! Free-standing linear-algebra helpers that do not belong on [`Tensor`]
+//! itself: outer products, Gram matrices, row/column extraction and axis
+//! reductions used by the NN and analysis code.
+
+use crate::{Scalar, Tensor};
+
+/// Outer product `a ⊗ b` of two 1-d tensors, as an `[a.len(), b.len()]`
+/// matrix.
+///
+/// # Panics
+///
+/// Panics if either input is not 1-d.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{ops, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0_f32, 2.0], &[2]);
+/// let b = Tensor::from_vec(vec![3.0_f32, 4.0, 5.0], &[3]);
+/// let o = ops::outer(&a, &b);
+/// assert_eq!(o.dims(), &[2, 3]);
+/// assert_eq!(o.at(&[1, 2]), 10.0);
+/// ```
+pub fn outer<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(a.shape().ndim(), 1, "outer lhs must be 1-d");
+    assert_eq!(b.shape().ndim(), 1, "outer rhs must be 1-d");
+    let (m, n) = (a.len(), b.len());
+    let mut out = vec![T::ZERO; m * n];
+    for (i, &ai) in a.as_slice().iter().enumerate() {
+        for (j, &bj) in b.as_slice().iter().enumerate() {
+            out[i * n + j] = ai * bj;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Dot product of two 1-d tensors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or either input is not 1-d.
+pub fn dot<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> T {
+    assert_eq!(a.shape().ndim(), 1, "dot lhs must be 1-d");
+    assert_eq!(b.shape().ndim(), 1, "dot rhs must be 1-d");
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x * y)
+        .sum()
+}
+
+/// Gram matrix `Aᵀ·A` of a 2-d tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d.
+pub fn gram<T: Scalar>(a: &Tensor<T>) -> Tensor<T> {
+    assert_eq!(a.shape().ndim(), 2, "gram requires a 2-d tensor");
+    a.transpose().matmul(a)
+}
+
+/// Extracts row `i` of a 2-d tensor as a 1-d tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d or `i` is out of bounds.
+pub fn row<T: Scalar>(a: &Tensor<T>, i: usize) -> Tensor<T> {
+    assert_eq!(a.shape().ndim(), 2, "row requires a 2-d tensor");
+    let n = a.shape().dim(1);
+    assert!(i < a.shape().dim(0), "row index out of bounds");
+    Tensor::from_vec(a.as_slice()[i * n..(i + 1) * n].to_vec(), &[n])
+}
+
+/// Extracts column `j` of a 2-d tensor as a 1-d tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d or `j` is out of bounds.
+pub fn col<T: Scalar>(a: &Tensor<T>, j: usize) -> Tensor<T> {
+    assert_eq!(a.shape().ndim(), 2, "col requires a 2-d tensor");
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    assert!(j < n, "column index out of bounds");
+    Tensor::from_vec((0..m).map(|i| a.as_slice()[i * n + j]).collect(), &[m])
+}
+
+/// Sums a 2-d tensor along an axis: `axis = 0` sums over rows producing a
+/// length-`cols` vector, `axis = 1` sums over columns producing a
+/// length-`rows` vector.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d or `axis > 1`.
+pub fn sum_axis<T: Scalar>(a: &Tensor<T>, axis: usize) -> Tensor<T> {
+    assert_eq!(a.shape().ndim(), 2, "sum_axis requires a 2-d tensor");
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    match axis {
+        0 => {
+            let mut out = vec![T::ZERO; n];
+            for i in 0..m {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o += a.as_slice()[i * n + j];
+                }
+            }
+            Tensor::from_vec(out, &[n])
+        }
+        1 => {
+            let mut out = vec![T::ZERO; m];
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = a.as_slice()[i * n..(i + 1) * n].iter().copied().sum();
+            }
+            Tensor::from_vec(out, &[m])
+        }
+        _ => panic!("sum_axis axis must be 0 or 1, got {axis}"),
+    }
+}
+
+/// `argmax` over a slice, returning the index of the first maximal element.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax<T: Scalar>(xs: &[T]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Maximum absolute difference between two equally-shaped tensors —
+/// the workhorse of numerical-equivalence tests.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn max_abs_diff<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_and_dot_agree() {
+        let a = Tensor::from_vec(vec![1.0_f64, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0_f64, 5.0, 6.0], &[3]);
+        assert_eq!(dot(&a, &b), 32.0);
+        let o = outer(&a, &b);
+        // trace of outer(a,b) with equal lengths = dot(a,b)
+        let trace: f64 = (0..3).map(|i| o.at(&[i, i])).sum();
+        assert_eq!(trace, 32.0);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Tensor::from_vec(vec![1.0_f64, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = gram(&a);
+        assert_eq!(g.dims(), &[2, 2]);
+        assert_eq!(g.at(&[0, 1]), g.at(&[1, 0]));
+        assert!(g.at(&[0, 0]) > 0.0 && g.at(&[1, 1]) > 0.0);
+    }
+
+    #[test]
+    fn rows_cols() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        assert_eq!(row(&a, 1).as_slice(), &[3.0, 4.0, 5.0]);
+        assert_eq!(col(&a, 2).as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn sum_axis_both_ways() {
+        let a = Tensor::from_vec((1..=6).map(|i| i as f64).collect(), &[2, 3]);
+        assert_eq!(sum_axis(&a, 0).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sum_axis(&a, 1).as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn argmax_first_of_ties() {
+        assert_eq!(argmax(&[1.0_f32, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(argmax(&[-3.0_f64]), 0);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0], &[2]);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        let b = Tensor::from_vec(vec![1.5_f32, 2.0], &[2]);
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,187 @@
+//! The [`Scalar`] trait: the small floating-point surface the rest of the
+//! workspace is generic over (`f32` for training, `f64` for spectral
+//! analysis).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type for [`crate::Tensor`].
+///
+/// Implemented for `f32` and `f64` only; the trait is sealed by convention
+/// (nothing outside this workspace should implement it).
+///
+/// # Example
+///
+/// ```
+/// use tensor::Scalar;
+///
+/// fn hypot<T: Scalar>(a: T, b: T) -> T {
+///     (a * a + b * b).sqrt()
+/// }
+/// assert!((hypot(3.0_f64, 4.0) - 5.0).abs() < 1e-12);
+/// ```
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (both implementors widen losslessly or are
+    /// already `f64`).
+    fn to_f64(self) -> f64;
+    /// Converts from `usize` (used for averaging by counts).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Raises to a floating-point power.
+    fn powf(self, e: Self) -> Self;
+    /// Raises to an integer power.
+    fn powi(self, e: i32) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// `true` if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// Larger of two values (NaN-propagating like `f64::max` is fine here).
+    fn maximum(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn minimum(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline]
+            fn powf(self, e: Self) -> Self {
+                self.powf(e)
+            }
+            #[inline]
+            fn powi(self, e: i32) -> Self {
+                self.powi(e)
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline]
+            fn tanh(self) -> Self {
+                self.tanh()
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline]
+            fn maximum(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn minimum(self, other: Self) -> Self {
+                self.min(other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(f32::ZERO, 0.0_f32);
+        assert_eq!(f64::ONE, 1.0_f64);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = 1.5_f64;
+        assert_eq!(f64::from_f64(x).to_f64(), 1.5);
+        assert_eq!(f32::from_f64(x).to_f64(), 1.5);
+        assert_eq!(f32::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn math_delegates() {
+        assert!((2.0_f32.sqrt() - std::f32::consts::SQRT_2).abs() < 1e-7);
+        assert_eq!((-3.0_f64).abs(), 3.0);
+        assert_eq!(2.0_f64.powi(10), 1024.0);
+        assert_eq!(Scalar::maximum(1.0_f32, 2.0), 2.0);
+        assert_eq!(Scalar::minimum(1.0_f32, 2.0), 1.0);
+        assert!(!f64::NAN.is_finite());
+    }
+}

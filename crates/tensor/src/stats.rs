@@ -1,0 +1,293 @@
+//! Descriptive statistics and Gaussian kernel-density estimation.
+//!
+//! The paper's Fig. 5 plots the KDE of pruning-unit ℓ₂ norms to show that
+//! BCM pruning units have a *wider* norm distribution (larger deviation,
+//! minimum closer to zero) than conventional CNN filters — the property that
+//! makes norm-based BCM-wise pruning effective. [`Kde`] reproduces that
+//! analysis; [`Summary`] carries the min/max/deviation the argument rests on.
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// Returns all-zero summary for an empty sample (count = 0).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tensor::stats::Summary;
+    ///
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn of(sample: &[f64]) -> Self {
+        if sample.is_empty() {
+            return Summary::default();
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count: sample.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); `0` when the mean is zero.
+    ///
+    /// The paper's requirement (i) for norm-based pruning — "the deviation of
+    /// norm should be large" — is naturally compared through this
+    /// scale-free ratio.
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Ratio of the minimum to the mean; the paper's requirement (ii) —
+    /// "the smallest norm should be small" — compares this across weight
+    /// types. `0` when the mean is zero.
+    pub fn min_over_mean(&self) -> f64 {
+        if self.mean.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            self.min / self.mean
+        }
+    }
+}
+
+/// Gaussian kernel-density estimate over a 1-d sample (Silverman, 2018 —
+/// the reference the paper cites for its Fig. 5 curves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth
+    /// `h = 0.9 · min(σ, IQR/1.34) · n^(-1/5)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tensor::stats::Kde;
+    ///
+    /// let kde = Kde::fit(&[0.0, 0.1, 0.2, 1.0, 1.1, 1.2]);
+    /// // Density near a cluster beats density in the gap between clusters.
+    /// assert!(kde.density(0.1) > kde.density(0.6));
+    /// ```
+    pub fn fit(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "cannot fit a KDE to an empty sample");
+        let summary = Summary::of(sample);
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (sorted.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        let iqr = q(0.75) - q(0.25);
+        let sigma = summary.std_dev;
+        let spread = if iqr > 0.0 {
+            sigma.min(iqr / 1.34)
+        } else {
+            sigma
+        };
+        let n = sample.len() as f64;
+        let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-9);
+        Kde {
+            sample: sample.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// Fits with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `bandwidth <= 0`.
+    pub fn fit_with_bandwidth(sample: &[f64], bandwidth: f64) -> Self {
+        assert!(!sample.is_empty(), "cannot fit a KDE to an empty sample");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Kde {
+            sample: sample.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Estimated density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((self.sample.len() as f64) * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.sample
+            .iter()
+            .map(|&xi| {
+                let u = (x - xi) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on `points` evenly spaced grid positions across
+    /// `[lo, hi]`, returning `(x, density)` pairs — the series for a Fig. 5
+    /// style plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `hi <= lo`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "grid needs at least two points");
+        assert!(hi > lo, "grid needs hi > lo");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * (i as f64) / ((points - 1) as f64);
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+/// Builds a histogram with `bins` equal-width bins over `[lo, hi]`;
+/// out-of-range samples are clamped to the end bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(sample: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram needs hi > lo");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in sample {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Pearson correlation coefficient of two equal-length samples;
+/// `0` when either is constant.
+///
+/// # Panics
+///
+/// Panics if lengths differ or samples are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    assert!(!a.is_empty(), "pearson of empty samples");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.coeff_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn kde_integrates_to_about_one() {
+        let kde = Kde::fit(&[0.0, 0.5, 1.0, 1.5, 2.0]);
+        // Trapezoidal integration over a generous range.
+        let grid = kde.grid(-5.0, 7.0, 2001);
+        let mut integral = 0.0;
+        for w in grid.windows(2) {
+            integral += 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0);
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn kde_peak_near_mode() {
+        let kde = Kde::fit_with_bandwidth(&[1.0, 1.0, 1.0, 5.0], 0.3);
+        assert!(kde.density(1.0) > kde.density(5.0));
+        assert!(kde.density(5.0) > kde.density(3.0));
+    }
+
+    #[test]
+    fn kde_constant_sample_has_floor_bandwidth() {
+        let kde = Kde::fit(&[2.0, 2.0, 2.0]);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.density(2.0) > kde.density(3.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let h = histogram(&[0.1, 0.2, 0.9, -1.0, 2.0], 0.0, 1.0, 2);
+        // -1.0 clamps into bin 0; 0.9 and 2.0 into bin 1.
+        assert_eq!(h, vec![3, 2]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0]), 0.0);
+    }
+}

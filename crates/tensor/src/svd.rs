@@ -1,0 +1,315 @@
+//! Singular value decomposition (one-sided Jacobi) and the rank-condition
+//! measures the paper builds on.
+//!
+//! The paper inspects the *decay of singular values* of BS×BS circulant
+//! blocks (Figs. 2, 9a) and declares a block in **poor rank-condition** when
+//! more than 50 % of its singular values are below 5 % of the largest one —
+//! "a simple special case of the effective rank measure" (Roy & Vetterli,
+//! EUSIPCO 2007). This module provides:
+//!
+//! - [`singular_values`]: all singular values, descending;
+//! - [`effective_rank`]: the entropy-based effective rank;
+//! - [`PoorRankCriterion`]: the paper's 50 %/5 % predicate, configurable.
+
+use crate::{Scalar, Tensor};
+
+/// Maximum number of Jacobi sweeps before giving up; convergence for the
+/// small (≤ 64×64) matrices in this workspace happens in ≤ 10 sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes all singular values of a 2-d tensor, sorted descending.
+///
+/// Uses one-sided Jacobi rotations on the columns of `A` (transposing first
+/// when the matrix is wide), which is simple, numerically robust and exact
+/// enough for the ≤ 64×64 blocks this workspace analyses.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{svd, Tensor};
+///
+/// // A diagonal matrix's singular values are |diagonal| sorted descending.
+/// let a = Tensor::from_vec(vec![3.0_f64, 0.0, 0.0, -5.0], &[2, 2]);
+/// let s = svd::singular_values(&a);
+/// assert!((s[0] - 5.0).abs() < 1e-12);
+/// assert!((s[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn singular_values<T: Scalar>(a: &Tensor<T>) -> Vec<f64> {
+    assert_eq!(a.shape().ndim(), 2, "singular_values requires a 2-d tensor");
+    let a64: Tensor<f64> = a.cast();
+    let tall = if a64.shape().dim(0) >= a64.shape().dim(1) {
+        a64
+    } else {
+        a64.transpose()
+    };
+    let (m, n) = (tall.shape().dim(0), tall.shape().dim(1));
+    // Column-major working copy: cols[j][i] = A[i][j].
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| tall.as_slice()[i * n + j]).collect())
+        .collect();
+
+    let eps = f64::EPSILON * (m as f64).sqrt();
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                for i in 0..m {
+                    app += cols[p][i] * cols[p][i];
+                    aqq += cols[q][i] * cols[q][i];
+                    apq += cols[p][i] * cols[q][i];
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                // Jacobi rotation zeroing the (p,q) entry of AᵀA.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let vp = cols[p][i];
+                    let vq = cols[q][i];
+                    cols[p][i] = c * vp - s * vq;
+                    cols[q][i] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+    }
+
+    let mut sv: Vec<f64> = cols
+        .iter()
+        .map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    sv.sort_by(|a, b| b.partial_cmp(a).expect("singular values are finite"));
+    sv
+}
+
+/// The numerical rank: the number of singular values above
+/// `tol * max_singular_value`.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d.
+pub fn numerical_rank<T: Scalar>(a: &Tensor<T>, tol: f64) -> usize {
+    let sv = singular_values(a);
+    let smax = sv.first().copied().unwrap_or(0.0);
+    if smax <= 0.0 {
+        return 0;
+    }
+    sv.iter().filter(|&&s| s > tol * smax).count()
+}
+
+/// Entropy-based effective rank of Roy & Vetterli:
+/// `erank(A) = exp(H(p))` where `p_i = σ_i / Σσ` and `H` is the Shannon
+/// entropy in nats.
+///
+/// Ranges from 1 (rank-1 spectrum) to `min(m,n)` (flat spectrum).
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-d.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{svd, Tensor};
+///
+/// let i = Tensor::<f64>::eye(4);
+/// assert!((svd::effective_rank(&i) - 4.0).abs() < 1e-9);
+/// ```
+pub fn effective_rank<T: Scalar>(a: &Tensor<T>) -> f64 {
+    let sv = singular_values(a);
+    let total: f64 = sv.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let h: f64 = sv
+        .iter()
+        .filter(|&&s| s > 0.0)
+        .map(|&s| {
+            let p = s / total;
+            -p * p.ln()
+        })
+        .sum();
+    h.exp()
+}
+
+/// The paper's poor-rank-condition predicate.
+///
+/// A matrix is in poor rank-condition when strictly more than
+/// `fraction` of its singular values have magnitude below
+/// `threshold` × the largest singular value. The paper uses
+/// `fraction = 0.5`, `threshold = 0.05`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoorRankCriterion {
+    /// Fraction of singular values that must be "small" (paper: 0.5).
+    pub fraction: f64,
+    /// "Small" means below this multiple of σ_max (paper: 0.05).
+    pub threshold: f64,
+}
+
+impl Default for PoorRankCriterion {
+    fn default() -> Self {
+        PoorRankCriterion {
+            fraction: 0.5,
+            threshold: 0.05,
+        }
+    }
+}
+
+impl PoorRankCriterion {
+    /// The paper's exact setting (>50 % of σ below 5 % of σ_max).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the predicate on a precomputed descending spectrum.
+    ///
+    /// An all-zero spectrum is vacuously poor (the zero matrix carries no
+    /// feature information).
+    pub fn is_poor_spectrum(&self, sv: &[f64]) -> bool {
+        let smax = sv.first().copied().unwrap_or(0.0);
+        if smax <= 0.0 {
+            return true;
+        }
+        let small = sv.iter().filter(|&&s| s < self.threshold * smax).count();
+        (small as f64) > self.fraction * (sv.len() as f64)
+    }
+
+    /// Evaluates the predicate on a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not 2-d.
+    pub fn is_poor<T: Scalar>(&self, a: &Tensor<T>) -> bool {
+        self.is_poor_spectrum(&singular_values(a))
+    }
+}
+
+/// Normalizes a spectrum by its largest value so decay curves of different
+/// matrices can be overlaid (as the paper's Figs. 2/9a do).
+///
+/// Returns an empty vector when the spectrum is all zero.
+pub fn normalized_spectrum(sv: &[f64]) -> Vec<f64> {
+    let smax = sv.first().copied().unwrap_or(0.0);
+    if smax <= 0.0 {
+        return Vec::new();
+    }
+    sv.iter().map(|&s| s / smax).collect()
+}
+
+/// Reconstruction check helper: `‖AᵀA‖_F` via singular values must equal
+/// `sqrt(Σ σ_i⁴)`; exposed for tests and for validating the Jacobi sweep.
+pub fn spectrum_frobenius(sv: &[f64]) -> f64 {
+    sv.iter().map(|s| s * s).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, ops};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_spectrum_is_flat() {
+        let sv = singular_values(&Tensor::<f64>::eye(8));
+        for s in &sv {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let u = Tensor::from_vec(vec![1.0_f64, 2.0, 3.0], &[3]);
+        let v = Tensor::from_vec(vec![4.0_f64, 5.0], &[2]);
+        let a = ops::outer(&u, &v);
+        let sv = singular_values(&a);
+        assert!(sv[0] > 0.0);
+        assert!(sv[1].abs() < 1e-10);
+        assert_eq!(numerical_rank(&a, 1e-9), 1);
+        assert!((effective_rank(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_spectrum() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a: Tensor<f64> = init::gaussian(&mut rng, &[7, 5], 0.0, 1.0);
+        let sv = singular_values(&a);
+        let fro: f64 = a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt();
+        let fro_sv: f64 = sv.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((fro - fro_sv).abs() < 1e-9, "{fro} vs {fro_sv}");
+    }
+
+    #[test]
+    fn wide_matrix_transposed_internally() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Tensor<f64> = init::gaussian(&mut rng, &[3, 9], 0.0, 1.0);
+        let sv_a = singular_values(&a);
+        let sv_t = singular_values(&a.transpose());
+        assert_eq!(sv_a.len(), sv_t.len());
+        for (x, y) in sv_a.iter().zip(&sv_t) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_matrix_is_not_poor_rank() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Tensor<f64> = init::gaussian(&mut rng, &[16, 16], 0.0, 1.0);
+        assert!(!PoorRankCriterion::paper().is_poor(&a));
+    }
+
+    #[test]
+    fn near_singular_matrix_is_poor_rank() {
+        // One dominant direction, everything else tiny.
+        let mut a = Tensor::<f64>::zeros(&[16, 16]);
+        a.set(&[0, 0], 100.0);
+        for i in 1..16 {
+            a.set(&[i, i], 0.001);
+        }
+        assert!(PoorRankCriterion::paper().is_poor(&a));
+    }
+
+    #[test]
+    fn effective_rank_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: Tensor<f64> = init::gaussian(&mut rng, &[10, 10], 0.0, 1.0);
+        let er = effective_rank(&a);
+        assert!(er > 1.0 && er <= 10.0 + 1e-9, "erank = {er}");
+    }
+
+    #[test]
+    fn normalized_spectrum_starts_at_one() {
+        let sv = vec![4.0, 2.0, 1.0];
+        let n = normalized_spectrum(&sv);
+        assert_eq!(n, vec![1.0, 0.5, 0.25]);
+        assert!(normalized_spectrum(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn zero_matrix_edge_cases() {
+        let z = Tensor::<f64>::zeros(&[4, 4]);
+        assert_eq!(numerical_rank(&z, 1e-9), 0);
+        assert_eq!(effective_rank(&z), 0.0);
+        assert!(PoorRankCriterion::paper().is_poor(&z));
+    }
+
+    #[test]
+    fn known_2x2_svd() {
+        // A = [[1, 0], [0, 0]] has σ = (1, 0); A = [[0, 2], [1, 0]] has σ = (2, 1).
+        let a = Tensor::from_vec(vec![0.0_f64, 2.0, 1.0, 0.0], &[2, 2]);
+        let sv = singular_values(&a);
+        assert!((sv[0] - 2.0).abs() < 1e-12);
+        assert!((sv[1] - 1.0).abs() < 1e-12);
+    }
+}

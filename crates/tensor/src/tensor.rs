@@ -1,0 +1,470 @@
+//! The owned, row-major, n-dimensional array.
+
+use crate::{Scalar, Shape};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// An owned, contiguous, row-major n-dimensional array of [`Scalar`]s.
+///
+/// Conventions used across the workspace:
+/// - feature maps: `[batch, channels, height, width]` (NCHW),
+/// - convolution weights: `[c_out, c_in, kh, kw]`,
+/// - matrices: `[rows, cols]`.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let t = Tensor::<f32>::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor<T: Scalar = f32> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![T::ZERO; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: T) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, T::ONE)
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = T::ONE;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer of {} elements cannot form shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Builds a tensor by evaluating `f` at every linear index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, shorthand for `self.shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` only for 0-dimensional tensors (which this crate never
+    /// constructs, but the method keeps clippy's `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong arity.
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong arity.
+    pub fn set(&mut self, index: &[usize], value: T) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} to {shape}",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` element-wise, producing a new tensor.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise binary operation with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Self, mut f: impl FnMut(T, T) -> T) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> T {
+        self.data.iter().copied().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> T {
+        self.sum() / T::from_usize(self.len())
+    }
+
+    /// Largest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> T {
+        self.data
+            .iter()
+            .copied()
+            .reduce(|a, b| a.maximum(b))
+            .expect("max of empty tensor")
+    }
+
+    /// Smallest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn min(&self) -> T {
+        self.data
+            .iter()
+            .copied()
+            .reduce(|a, b| a.minimum(b))
+            .expect("min of empty tensor")
+    }
+
+    /// Euclidean (ℓ₂/Frobenius) norm of all elements.
+    pub fn norm_l2(&self) -> T {
+        self.data
+            .iter()
+            .map(|&x| x * x)
+            .sum::<T>()
+            .sqrt()
+    }
+
+    /// Sum of absolute values (ℓ₁ norm).
+    pub fn norm_l1(&self) -> T {
+        self.data.iter().map(|&x| x.abs()).sum()
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: T) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Matrix product of two 2-d tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-d or the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.ndim(), 2, "matmul lhs must be 2-d");
+        assert_eq!(other.shape.ndim(), 2, "matmul rhs must be 2-d");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![T::ZERO; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a 2-d tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-d.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.shape.ndim(), 2, "transpose requires a 2-d tensor");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![T::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Converts the element type (e.g. widening `f32` analysis data to
+    /// `f64` for SVD).
+    pub fn cast<U: Scalar>(&self) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
+    }
+
+    /// `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}, {:?}, ...; {} elems]", self.data[0], self.data[1], self.len())
+        }
+    }
+}
+
+impl<T: Scalar> Add for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn add(self, rhs: Self) -> Tensor<T> {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl<T: Scalar> Sub for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn sub(self, rhs: Self) -> Tensor<T> {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+/// Element-wise (Hadamard) product; matrix product is the explicit
+/// [`Tensor::matmul`] so that `*` never surprises.
+impl<T: Scalar> Mul for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn mul(self, rhs: Self) -> Tensor<T> {
+        self.hadamard(rhs)
+    }
+}
+
+impl<T: Scalar> Neg for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn neg(self) -> Tensor<T> {
+        self.map(|x| -x)
+    }
+}
+
+impl<T: Scalar> AddAssign<&Tensor<T>> for Tensor<T> {
+    fn add_assign(&mut self, rhs: &Tensor<T>) {
+        assert_eq!(
+            self.shape, rhs.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, rhs.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl<T: Scalar> FromIterator<T> for Tensor<T> {
+    /// Collects into a 1-d tensor.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let data: Vec<T> = iter.into_iter().collect();
+        let n = data.len();
+        Tensor::from_vec(data, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::<f32>::zeros(&[2, 2]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let o = Tensor::<f64>::ones(&[3]);
+        assert_eq!(o.sum(), 3.0);
+        let e = Tensor::<f32>::eye(3);
+        assert_eq!(e.at(&[1, 1]), 1.0);
+        assert_eq!(e.at(&[1, 2]), 0.0);
+        let f = Tensor::<f32>::from_fn(&[4], |i| i as f32);
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_known_product() {
+        let a = Tensor::from_vec(vec![1.0_f64, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Tensor::from_vec(vec![3.0_f32, -4.0], &[2]);
+        assert!((a.norm_l2() - 5.0).abs() < 1e-6);
+        assert!((a.norm_l1() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0_f32, 5.0], &[2]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 10.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn cast_widens() {
+        let a = Tensor::from_vec(vec![1.5_f32, -2.25], &[2]);
+        let b: Tensor<f64> = a.cast();
+        assert_eq!(b.as_slice(), &[1.5, -2.25]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert_eq!(b.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_rejects_mismatched_shapes() {
+        let a = Tensor::<f32>::zeros(&[2]);
+        let b = Tensor::<f32>::zeros(&[3]);
+        let _ = a.zip_map(&b, |x, _| x);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let a = Tensor::from_vec(vec![2.0_f32, -1.0, 4.0, 3.0], &[4]);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn from_iterator_collects_1d() {
+        let t: Tensor<f32> = (0..5).map(|i| i as f32).collect();
+        assert_eq!(t.dims(), &[5]);
+    }
+}

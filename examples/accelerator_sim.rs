@@ -1,0 +1,65 @@
+//! Drive the PYNQ-Z2 accelerator model: resources, power, the Fig. 10
+//! pruning sweep, and full-network ResNet-18 throughput (the paper's
+//! Table III row).
+//!
+//! Run with: `cargo run --example accelerator_sim`
+
+use rpbcm_repro::hwsim::dataflow::{resnet18_layers, DataflowConfig, LayerShape};
+use rpbcm_repro::hwsim::device::Xc7z020;
+use rpbcm_repro::hwsim::power::{power_w, Efficiency, GpuReference};
+use rpbcm_repro::hwsim::resources::AcceleratorConfig;
+
+fn main() {
+    // Resource estimate of the BS=8 / p=32 design point.
+    let accel = AcceleratorConfig::pynq_z2();
+    let est = accel.estimate();
+    let util = Xc7z020::utilization(&est);
+    println!("== resources (XC7Z020) ==");
+    println!(
+        "LUT  {:>6} ({:>4.1}%)\nFF   {:>6} ({:>4.1}%)\nDSP  {:>6} ({:>4.1}%)\nBRAM {:>6.1} ({:>4.1}%)",
+        est.lut,
+        util.lut * 100.0,
+        est.ff,
+        util.ff * 100.0,
+        est.dsp,
+        util.dsp * 100.0,
+        est.bram_36k,
+        util.bram * 100.0
+    );
+
+    let cfg = DataflowConfig::pynq_z2();
+    let p = power_w(&est, cfg.freq_mhz);
+    println!("\nestimated power @ {:.0} MHz: {p:.2} W", cfg.freq_mhz);
+
+    // Fig. 10: one layer, sweep the pruning ratio.
+    println!("\n== cycles vs pruning ratio (128x28x28, 3x3, BS=8) ==");
+    let layer = LayerShape::conv(128, 128, 28, 28, 3, 8);
+    for i in 0..=4 {
+        let alpha = i as f64 / 4.0;
+        let b = cfg.simulate(&layer, alpha);
+        println!(
+            "α = {alpha:.2}: total {:>8} cycles (fft {:>7}, emac {:>8}, ifft {:>7}, dram {:>7})",
+            b.total_cycles, b.fft_cycles, b.emac_cycles, b.ifft_cycles, b.dram_cycles
+        );
+    }
+
+    // Table III: full ResNet-18 at the paper's design point.
+    println!("\n== ResNet-18 @ BS=8, α=0.5 ==");
+    let frame = cfg.simulate_network(&resnet18_layers(8), 0.5);
+    let fps = cfg.fps(&frame);
+    let eff = Efficiency::new(fps, &est, p);
+    println!(
+        "{} cycles/frame, {:.1} MB DRAM traffic/frame",
+        frame.total_cycles,
+        frame.dram_bytes as f64 / 1e6
+    );
+    println!(
+        "FPS {:.2} | FPS/kLUT {:.2} | FPS/DSP {:.3} | FPS/W {:.2}",
+        eff.fps, eff.fps_per_klut, eff.fps_per_dsp, eff.fps_per_w
+    );
+    println!(
+        "energy efficiency vs GTX 1080Ti ({:.2} FPS/W): {:.2}x",
+        GpuReference::fps_per_w(),
+        eff.fps_per_w / GpuReference::fps_per_w()
+    );
+}

@@ -1,0 +1,41 @@
+//! # RP-BCM reproduction
+//!
+//! A full Rust reproduction of *"FPGA-Based Accelerator for Rank-Enhanced
+//! and Highly-Pruned Block-Circulant Neural Networks"* (DATE 2023): the
+//! RP-BCM compression framework (hadaBCM + BCM-wise pruning) together with
+//! every substrate it stands on — a tensor/SVD toolbox, an FFT library, a
+//! block-circulant algebra, a CNN training framework, and a
+//! cycle-approximate model of the paper's PYNQ-Z2 accelerator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`tensor`]: dense tensors, Jacobi SVD, statistics, KDE.
+//! - [`fft`]: radix-2 FFT, real half-spectra, circular convolution.
+//! - [`circulant`]: circulant/block-circulant matrices and rank analysis.
+//! - [`rpbcm`]: the paper's contribution — hadaBCM, Algorithm 1 pruning,
+//!   compression accounting, skip-index buffers.
+//! - [`nn`]: the training stack with dense/BCM/hadaBCM convolutions.
+//! - [`hwsim`]: the accelerator model (fixed point, PEs, dataflow,
+//!   resources, power).
+//!
+//! See `examples/` for runnable walk-throughs and the `bench` crate for
+//! the per-table/per-figure experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use rpbcm_repro::circulant::CirculantMatrix;
+//! use rpbcm_repro::fft::conv;
+//!
+//! // A circulant matrix–vector product is a circular convolution:
+//! let c = CirculantMatrix::new(vec![1.0_f64, 2.0, 3.0, 4.0]);
+//! let x = [1.0, 0.0, 0.0, 0.0];
+//! assert_eq!(c.matvec_naive(&x), conv::circular_convolve_naive(c.defining_vector(), &x));
+//! ```
+
+pub use circulant;
+pub use fft;
+pub use hwsim;
+pub use nn;
+pub use rpbcm;
+pub use tensor;

@@ -1,0 +1,106 @@
+//! End-to-end pipeline integration: train → hadaBCM → Algorithm 1 →
+//! folded weights → skip bitmaps → accelerator timing, across crates.
+
+use rpbcm_repro::hwsim::dataflow::{DataflowConfig, LayerShape};
+use rpbcm_repro::nn::data::SyntheticVision;
+use rpbcm_repro::nn::models::{vgg_tiny, ConvMode};
+use rpbcm_repro::nn::train::{evaluate, PrunableTrainedNetwork, TrainConfig, Trainer};
+use rpbcm_repro::rpbcm::{BcmWisePruner, SkipIndexBuffer};
+use std::sync::Arc;
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        ..TrainConfig::default()
+    }
+}
+
+/// The full RP-BCM flow produces a pruned network whose skip bitmaps feed
+/// the accelerator model and reduce simulated cycles.
+#[test]
+fn train_prune_fold_simulate() {
+    let data = SyntheticVision::cifar10_like(8, 4, 11);
+    let mut net = vgg_tiny(ConvMode::HadaBcm { block_size: 8 }, data.num_classes(), 11);
+    let base = Trainer::new(quick_cfg()).fit(&mut net, &data);
+    assert!(base > 0.15, "training must beat chance, got {base}");
+
+    let adapter = PrunableTrainedNetwork {
+        net,
+        data: Arc::new(data.clone()),
+        finetune: TrainConfig {
+            epochs: 1,
+            ..quick_cfg()
+        },
+    };
+    let pruner = BcmWisePruner {
+        alpha_init: 0.5,
+        alpha_step: 0.25,
+        target_accuracy: 0.0, // accept everything: we test plumbing here
+        max_rounds: 2,
+    };
+    let (mut best, report) = pruner.run(adapter);
+    assert!(report.final_alpha.is_some());
+    assert!(best.net.bcm_sparsity() >= 0.5 - 1e-9);
+
+    // The pruned network still evaluates.
+    let acc = evaluate(&mut best.net, &data);
+    assert!((0.0..=1.0).contains(&acc));
+
+    // Fold every BCM layer, build skip bitmaps, and run the dataflow model
+    // with vs without the sparsity.
+    let cfg = DataflowConfig::pynq_z2();
+    let mut sparse_total = 0u64;
+    let mut dense_total = 0u64;
+    for bcm in best.net.bcm_layers() {
+        let folded = bcm.folded();
+        let (c_out, c_in) = folded.channel_dims();
+        let (kh, _) = folded.kernel_dims();
+        // Feature-map sizes are immaterial for the comparison; use 8x8.
+        let layer = LayerShape::conv(c_in, c_out, 8, 8, kh, 8);
+        // Per-tile skip for these small layers = the full bitmap.
+        let skip = SkipIndexBuffer::from_conv(&folded);
+        sparse_total += cfg.simulate_with_skip(&layer, &skip).total_cycles;
+        dense_total += cfg
+            .simulate_with_skip(&layer, &SkipIndexBuffer::all_live(skip.len()))
+            .total_cycles;
+    }
+    assert!(
+        sparse_total < dense_total,
+        "sparsity must reduce simulated cycles: {sparse_total} vs {dense_total}"
+    );
+}
+
+/// Pruned networks keep their sparsity through continued fine-tuning: no
+/// eliminated block ever receives weight again.
+#[test]
+fn sparsity_is_stable_under_finetuning() {
+    let data = SyntheticVision::cifar10_like(6, 2, 13);
+    let mut net = vgg_tiny(ConvMode::Bcm { block_size: 8 }, data.num_classes(), 13);
+    let _ = Trainer::new(quick_cfg()).fit(&mut net, &data);
+    let total = net.bcm_block_count();
+    let victims: Vec<usize> = (0..total).step_by(3).collect();
+    net.bcm_eliminate(&victims);
+    let sparsity_before = net.bcm_sparsity();
+    let _ = Trainer::new(quick_cfg()).fit(&mut net, &data);
+    assert_eq!(net.bcm_sparsity(), sparsity_before);
+    // All folded pruned blocks are still exactly zero.
+    for bcm in net.bcm_layers() {
+        for (i, live) in bcm.skip_index().iter().enumerate() {
+            if !live {
+                assert_eq!(bcm.importances()[i], 0.0);
+            }
+        }
+    }
+}
+
+/// Compression accounting is consistent between the live network and the
+/// analytic model: folding a BCM-compressed layer yields BS× fewer
+/// parameters than its dense equivalent.
+#[test]
+fn accounting_consistency() {
+    let net = vgg_tiny(ConvMode::Bcm { block_size: 8 }, 10, 17);
+    let bcm_params: usize = net.bcm_layers().iter().map(|b| b.folded_param_count()).sum();
+    let dense_params: usize = net.bcm_layers().iter().map(|b| b.dense_param_count()).sum();
+    assert_eq!(dense_params, bcm_params * 8);
+}
