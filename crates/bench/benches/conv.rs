@@ -49,8 +49,7 @@ fn bench_emac_symmetry_ablation(c: &mut Criterion) {
     });
     group.bench_function("full_spectrum", |b| {
         b.iter(|| {
-            let out: Vec<Complex<f64>> =
-                fx.iter().zip(&fw).map(|(&a, &b)| a * b).collect();
+            let out: Vec<Complex<f64>> = fx.iter().zip(&fw).map(|(&a, &b)| a * b).collect();
             black_box(out)
         })
     });

@@ -1,0 +1,11 @@
+//! Measures the spectral-cache + parallel-runtime speedups and writes
+//! `results/BENCH_speedup.json`. Run:
+//! `cargo run -p bench --release --bin exp_speedup`.
+fn main() {
+    let result = bench::experiments::speedup::run();
+    bench::experiments::speedup::print(&result);
+    match bench::experiments::speedup::write_json(&result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_speedup.json: {e}"),
+    }
+}

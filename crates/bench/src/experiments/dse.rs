@@ -95,9 +95,15 @@ pub fn run() -> DseResult {
 pub fn print(r: &DseResult) {
     println!("== Design-space exploration: BS × p on XC7Z020 (ResNet-18, α=0.5) ==");
     let best = r.best().cloned();
-    let mut t = Table::new(&["BS", "p", "fits", "DSP", "kLUT", "power W", "FPS", "FPS/W", ""]);
+    let mut t = Table::new(&[
+        "BS", "p", "fits", "DSP", "kLUT", "power W", "FPS", "FPS/W", "",
+    ]);
     for d in &r.points {
-        let marker = if Some(d) == best.as_ref() { "← best FPS/W" } else { "" };
+        let marker = if Some(d) == best.as_ref() {
+            "← best FPS/W"
+        } else {
+            ""
+        };
         t.row_owned(vec![
             d.bs.to_string(),
             d.p.to_string(),
@@ -105,8 +111,16 @@ pub fn print(r: &DseResult) {
             d.dsp.to_string(),
             format!("{:.1}", d.klut),
             format!("{:.2}", d.power_w),
-            if d.fits { format!("{:.2}", d.fps) } else { "-".into() },
-            if d.fits { format!("{:.2}", d.fps_per_w) } else { "-".into() },
+            if d.fits {
+                format!("{:.2}", d.fps)
+            } else {
+                "-".into()
+            },
+            if d.fits {
+                format!("{:.2}", d.fps_per_w)
+            } else {
+                "-".into()
+            },
             marker.to_string(),
         ]);
     }
@@ -131,8 +145,16 @@ mod tests {
         assert!(r.points.iter().any(|d| d.fits));
         assert!(r.points.iter().any(|d| !d.fits));
         // DSP grows with p at fixed BS.
-        let p8 = r.points.iter().find(|d| d.bs == 8 && d.p == 8).expect("point");
-        let p32 = r.points.iter().find(|d| d.bs == 8 && d.p == 32).expect("point");
+        let p8 = r
+            .points
+            .iter()
+            .find(|d| d.bs == 8 && d.p == 8)
+            .expect("point");
+        let p32 = r
+            .points
+            .iter()
+            .find(|d| d.bs == 8 && d.p == 32)
+            .expect("point");
         assert!(p32.dsp > p8.dsp);
         // Among fitting designs at BS=8, more parallelism → at least as
         // much throughput.

@@ -73,7 +73,10 @@ pub fn print(r: &Fig10Result) {
             format!("{:.1}", p.alpha),
             p.proposed_cycles.to_string(),
             p.conventional_cycles.to_string(),
-            format!("{:.3}", p.proposed_cycles as f64 / r.points[0].proposed_cycles as f64),
+            format!(
+                "{:.3}",
+                p.proposed_cycles as f64 / r.points[0].proposed_cycles as f64
+            ),
         ]);
     }
     t.print();

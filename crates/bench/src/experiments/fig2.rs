@@ -206,9 +206,7 @@ pub fn run() -> Fig2Result {
         let spectra: Vec<Vec<f64>> = blocks
             .iter()
             .map(|w| {
-                normalized_spectrum(
-                    &circulant::CirculantMatrix::new(w.clone()).singular_values(),
-                )
+                normalized_spectrum(&circulant::CirculantMatrix::new(w.clone()).singular_values())
             })
             .collect();
         let poor_count = spectra.iter().filter(|s| crit.is_poor_spectrum(s)).count();
@@ -232,7 +230,13 @@ pub fn run() -> Fig2Result {
 pub fn print(r: &Fig2Result) {
     for (si, &size) in r.sizes.iter().enumerate() {
         println!("\n== Fig. 2: normalized singular values, {size}x{size} ==");
-        let mut t = Table::new(&["index", "gaussian", "conv", "bcm (short)", "bcm (converged*)"]);
+        let mut t = Table::new(&[
+            "index",
+            "gaussian",
+            "conv",
+            "bcm (short)",
+            "bcm (converged*)",
+        ]);
         for k in 0..size {
             t.row_owned(vec![
                 k.to_string(),
@@ -250,7 +254,10 @@ pub fn print(r: &Fig2Result) {
         println!("  BCM BS={bs} (short-budget training): {:.1}%", f * 100.0);
     }
     for &(size, f) in &r.bcm_converged_poor_fractions {
-        println!("  BCM {size}x{size} (converged-regime surrogate*): {:.1}%", f * 100.0);
+        println!(
+            "  BCM {size}x{size} (converged-regime surrogate*): {:.1}%",
+            f * 100.0
+        );
     }
     println!("\n* spectrally-concentrated defining vectors standing in for");
     println!("  ImageNet-scale converged BCM training; see EXPERIMENTS.md.");

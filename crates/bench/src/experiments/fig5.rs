@@ -83,9 +83,18 @@ pub fn run() -> Fig5Result {
 
 /// Prints the Fig. 5 statistics and KDE series.
 pub fn print(r: &Fig5Result) {
-    println!("== Fig. 5: pruning-unit norm distributions (BS={}) ==", r.block_size);
+    println!(
+        "== Fig. 5: pruning-unit norm distributions (BS={}) ==",
+        r.block_size
+    );
     let mut t = Table::new(&[
-        "layer", "units", "cnn cv", "bcm cv", "cnn min/mean", "bcm min/mean", "bcm wider?",
+        "layer",
+        "units",
+        "cnn cv",
+        "bcm cv",
+        "cnn min/mean",
+        "bcm min/mean",
+        "bcm wider?",
     ]);
     for l in &r.layers {
         t.row_owned(vec![
@@ -100,7 +109,10 @@ pub fn print(r: &Fig5Result) {
     }
     t.print();
     for l in &r.layers {
-        println!("\nKDE ({}) — the two series have their own norm axes:", l.label);
+        println!(
+            "\nKDE ({}) — the two series have their own norm axes:",
+            l.label
+        );
         for (&(x1, d1), &(x2, d2)) in l.cnn_kde.iter().zip(&l.bcm_kde).step_by(8) {
             println!("  cnn({x1:.4}) = {d1:.4}    bcm({x2:.4}) = {d2:.4}");
         }

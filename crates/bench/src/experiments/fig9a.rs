@@ -145,7 +145,10 @@ pub fn run() -> Fig9aResult {
 
 /// Prints the spectra and the poor-rank percentages.
 pub fn print(r: &Fig9aResult) {
-    println!("== Fig. 9a: singular values, BCM vs hadaBCM (BS={}) ==", r.block_size);
+    println!(
+        "== Fig. 9a: singular values, BCM vs hadaBCM (BS={}) ==",
+        r.block_size
+    );
     let mut t = Table::new(&["index", "bcm", "hadaBCM"]);
     for k in 0..r.block_size {
         t.row_owned(vec![

@@ -6,7 +6,7 @@
 //! Fig. 9b pairs the VGG-16-style net with the CIFAR-10 stand-in; Fig. 9c
 //! the VGG-19-style net with the CIFAR-100 stand-in.
 
-use crate::experiments::{cifar10_data, cifar100_data, finetune_config, standard_train_config};
+use crate::experiments::{cifar100_data, cifar10_data, finetune_config, standard_train_config};
 use crate::table::Table;
 use nn::data::SyntheticVision;
 use nn::models::{vgg19_tiny, vgg_tiny, ConvMode};
@@ -168,8 +168,7 @@ fn run_seeded(panel: Panel, seed_offset: u64) -> Fig9Result {
     // pruned block removes BS = 8 folded parameters from the unpruned
     // folded count.
     let dense = best.net.dense_equiv_param_count() as f64;
-    let folded_unpruned =
-        (best.net.folded_param_count() + report.final_pruned_count * BS) as f64;
+    let folded_unpruned = (best.net.folded_param_count() + report.final_pruned_count * BS) as f64;
     for step in &report.steps {
         let folded = folded_unpruned - (step.pruned_count * BS) as f64;
         points.push(CurvePoint {

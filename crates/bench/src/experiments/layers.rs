@@ -67,7 +67,10 @@ fn analyse(cfg: &DataflowConfig, layer: &LayerShape, alpha: f64) -> Option<Layer
 pub fn run(alpha: f64) -> LayersResult {
     let cfg = DataflowConfig::pynq_z2();
     let layers = resnet18_layers(8);
-    let rows = layers.iter().filter_map(|l| analyse(&cfg, l, alpha)).collect();
+    let rows = layers
+        .iter()
+        .filter_map(|l| analyse(&cfg, l, alpha))
+        .collect();
     LayersResult {
         alpha,
         rows,
@@ -77,8 +80,17 @@ pub fn run(alpha: f64) -> LayersResult {
 
 /// Prints the per-layer table.
 pub fn print(r: &LayersResult) {
-    println!("== ResNet-18 per-layer pipeline analysis (α = {}) ==", r.alpha);
-    let mut t = Table::new(&["layer (k c_in h w)", "tiles", "cycles", "bottleneck", "util"]);
+    println!(
+        "== ResNet-18 per-layer pipeline analysis (α = {}) ==",
+        r.alpha
+    );
+    let mut t = Table::new(&[
+        "layer (k c_in h w)",
+        "tiles",
+        "cycles",
+        "bottleneck",
+        "util",
+    ]);
     for row in &r.rows {
         t.row_owned(vec![
             row.shape.clone(),
@@ -89,7 +101,10 @@ pub fn print(r: &LayersResult) {
         ]);
     }
     t.print();
-    println!("whole network (incl. dense stem): {} cycles/frame", r.total_cycles);
+    println!(
+        "whole network (incl. dense stem): {} cycles/frame",
+        r.total_cycles
+    );
 }
 
 #[cfg(test)]
@@ -100,9 +115,8 @@ mod tests {
     fn pruning_shifts_some_bottlenecks_off_emac() {
         let dense = run(0.0);
         let pruned = run(0.9);
-        let emac_bound = |r: &LayersResult| {
-            r.rows.iter().filter(|x| x.bottleneck == "emac").count()
-        };
+        let emac_bound =
+            |r: &LayersResult| r.rows.iter().filter(|x| x.bottleneck == "emac").count();
         assert!(emac_bound(&dense) > 0);
         assert!(
             emac_bound(&pruned) < emac_bound(&dense),
@@ -118,6 +132,9 @@ mod tests {
         // 7x7 stem is dense.
         assert_eq!(r.rows.len(), 19);
         assert!(r.rows.iter().all(|row| row.cycles > 0));
-        assert!(r.rows.iter().all(|row| (0.0..=1.0).contains(&row.utilization)));
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| (0.0..=1.0).contains(&row.utilization)));
     }
 }

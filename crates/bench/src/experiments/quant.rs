@@ -159,14 +159,7 @@ fn worst_layer_error(net: &mut Network, data: &SyntheticVision, q: QFormat) -> Q
             let weights = FxWeights::from_folded(q, &folded);
             let (h, w) = (cur.dims()[2], cur.dims()[3]);
             let float_out = net.layers_mut()[i].forward(&cur, false);
-            let err = quantization_error(
-                q,
-                &weights,
-                cur.as_slice(),
-                float_out.as_slice(),
-                h,
-                w,
-            );
+            let err = quantization_error(q, &weights, cur.as_slice(), float_out.as_slice(), h, w);
             if err.rms > worst.rms {
                 worst = err;
             }
@@ -211,7 +204,12 @@ pub fn run() -> QuantResult {
 pub fn print(r: &QuantResult) {
     println!("== 16-bit fixed-point inference (paper §V-C2) ==");
     println!("float reference accuracy: {:.3}", r.float_accuracy);
-    let mut t = Table::new(&["frac bits", "fx accuracy", "worst-layer RMS err", "worst-layer SNR dB"]);
+    let mut t = Table::new(&[
+        "frac bits",
+        "fx accuracy",
+        "worst-layer RMS err",
+        "worst-layer SNR dB",
+    ]);
     for p in &r.points {
         t.row_owned(vec![
             p.frac_bits.to_string(),

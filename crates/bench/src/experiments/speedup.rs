@@ -1,0 +1,460 @@
+//! `exp_speedup`: wall-clock effect of the spectral weight cache and the
+//! scoped-thread parallel runtime on the BCM hot paths.
+//!
+//! Three workloads, each timed against the seed implementation it
+//! replaced (kept in-tree — [`circulant::BlockCirculant::matvec_uncached`]
+//! — or replicated verbatim here for the fixed-point path):
+//!
+//! 1. Batched `BlockCirculant` matvec: per-call weight FFTs (seed) vs the
+//!    cached half-spectra, serial and parallel.
+//! 2. `BcmLinear` batched inference: expand-to-dense + dense matmul
+//!    (seed) vs the cached spectral `matmat` path.
+//! 3. End-to-end fixed-point conv inference (`hwsim`): the seed per-pixel
+//!    loop with nested spectra and per-pixel allocations vs the current
+//!    flat-spectra, skip-list, parallel implementation.
+//!
+//! Writes `results/BENCH_speedup.json` with one record per configuration:
+//! `{config, wall_ns, speedup_vs_seed}`.
+
+use crate::table::Table;
+use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+use fft::real::HalfSpectrum;
+use hwsim::fixed::{ComplexAcc, ComplexFx, QFormat};
+use hwsim::fxfft::FxFftPe;
+use hwsim::inference::{conv_forward_fx, FxWeights};
+use nn::layers::BcmLinear;
+use nn::Layer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tensor::{init, parallel};
+
+/// One timed configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Configuration label (also the JSON `config` field).
+    pub config: String,
+    /// Median wall time of one full workload repetition, in nanoseconds.
+    pub wall_ns: u64,
+    /// Seed wall time divided by this configuration's wall time (1.0 for
+    /// the seed rows themselves).
+    pub speedup_vs_seed: f64,
+}
+
+/// All measurements of the speedup experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupResult {
+    /// One row per configuration, grouped by workload.
+    pub measurements: Vec<Measurement>,
+}
+
+impl SpeedupResult {
+    /// Looks a configuration up by label.
+    pub fn get(&self, config: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.config == config)
+    }
+
+    /// Renders the JSON artifact (hand-rolled: the workspace is std-only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"config\": \"{}\", \"wall_ns\": {}, \"speedup_vs_seed\": {:.3}}}{}\n",
+                m.config,
+                m.wall_ns,
+                m.speedup_vs_seed,
+                if i + 1 < self.measurements.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds (one warmup run
+/// populates caches such as the thread-local FFT plans).
+fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A random grid with every other block pruned (α = 0.5), exercising the
+/// skip path the same way the accelerator's skip-index buffer does.
+fn half_pruned_grid(seed: u64, bs: usize, rb: usize, cb: usize) -> BlockCirculant<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks = (0..rb * cb)
+        .map(|i| {
+            if i % 2 == 1 {
+                CirculantMatrix::zeros(bs)
+            } else {
+                CirculantMatrix::new(init::gaussian::<f32>(&mut rng, &[bs], 0.0, 0.3).into_vec())
+            }
+        })
+        .collect();
+    BlockCirculant::from_blocks(bs, rb, cb, blocks)
+}
+
+// ---------------------------------------------------------------------------
+// Seed replica of the fixed-point conv forward (pre-optimization): nested
+// per-pixel spectra vectors, per-pixel accumulator/IFFT allocations, and the
+// per-pixel skip-bitmap branch. Kept here so the end-to-end speedup is
+// measured against the exact algorithm the seed shipped.
+// ---------------------------------------------------------------------------
+
+struct SeedFxWeights {
+    bs: usize,
+    kh: usize,
+    kw: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    spectra: Vec<Vec<ComplexFx>>,
+    live: Vec<bool>,
+}
+
+impl SeedFxWeights {
+    fn from_folded(q: QFormat, conv: &ConvBlockCirculant<f32>) -> Self {
+        let bs = conv.block_size();
+        let (kh, kw) = conv.kernel_dims();
+        let (ob, ib) = conv.grid_dims();
+        let mut spectra = Vec::new();
+        let mut live = Vec::new();
+        for p in 0..kh {
+            for qq in 0..kw {
+                let grid = conv.grid(p, qq);
+                for bo in 0..ob {
+                    for bi in 0..ib {
+                        let block = grid.block(bo, bi);
+                        if block.is_zero() {
+                            spectra.push(Vec::new());
+                            live.push(false);
+                        } else {
+                            let w64: Vec<f64> = block
+                                .defining_vector()
+                                .iter()
+                                .map(|&v| f64::from(v))
+                                .collect();
+                            let half = HalfSpectrum::forward(&w64);
+                            spectra.push(
+                                half.bins()
+                                    .iter()
+                                    .map(|c| ComplexFx::from_f64(q, c.re, c.im))
+                                    .collect(),
+                            );
+                            live.push(true);
+                        }
+                    }
+                }
+            }
+        }
+        SeedFxWeights {
+            bs,
+            kh,
+            kw,
+            out_blocks: ob,
+            in_blocks: ib,
+            spectra,
+            live,
+        }
+    }
+
+    fn index(&self, p: usize, q: usize, bo: usize, bi: usize) -> usize {
+        ((p * self.kw + q) * self.out_blocks + bo) * self.in_blocks + bi
+    }
+}
+
+fn conv_forward_fx_seed(
+    q: QFormat,
+    weights: &SeedFxWeights,
+    x: &[i16],
+    h: usize,
+    w: usize,
+) -> Vec<i16> {
+    let bs = weights.bs;
+    let c_out = weights.out_blocks * bs;
+    let pad = (weights.kh - 1) / 2;
+    let pe = FxFftPe::new(bs, q);
+    let bins = bs / 2 + 1;
+    let mut out = vec![0i16; c_out * h * w];
+
+    let mut in_spectra: Vec<Vec<ComplexFx>> = vec![Vec::new(); weights.in_blocks * h * w];
+    for bi in 0..weights.in_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut v = vec![0i16; bs];
+                for (ci, item) in v.iter_mut().enumerate() {
+                    *item = x[(bi * bs + ci) * h * w + y * w + xx];
+                }
+                let full = pe.forward_real(&v);
+                in_spectra[(bi * h + y) * w + xx] = full[..bins].to_vec();
+            }
+        }
+    }
+
+    for bo in 0..weights.out_blocks {
+        for y in 0..h {
+            for xx in 0..w {
+                let mut acc = vec![ComplexAcc::zero(); bins];
+                for p in 0..weights.kh {
+                    let iy = y as isize + p as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for qq in 0..weights.kw {
+                        let ix = xx as isize + qq as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        for bi in 0..weights.in_blocks {
+                            let blk = weights.index(p, qq, bo, bi);
+                            if !weights.live[blk] {
+                                continue;
+                            }
+                            let xs = &in_spectra[(bi * h + iy as usize) * w + ix as usize];
+                            let ws = &weights.spectra[blk];
+                            for k in 0..bins {
+                                acc[k].mac(q, xs[k], ws[k]);
+                            }
+                        }
+                    }
+                }
+                let mut full = vec![ComplexFx::zero(); bs];
+                for k in 0..bins {
+                    full[k] = acc[k].narrow(q);
+                }
+                for k in 1..bs / 2 {
+                    full[bs - k] = full[k].conj();
+                }
+                pe.inverse(&mut full);
+                for oi in 0..bs {
+                    out[(bo * bs + oi) * h * w + y * w + xx] = full[oi].re;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A half-pruned fixed-point conv layer for the end-to-end workload.
+fn bench_conv(seed: u64, bs: usize, ob: usize, ib: usize, k: usize) -> ConvBlockCirculant<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grids = (0..k * k)
+        .map(|_| {
+            let blocks = (0..ob * ib)
+                .map(|i| {
+                    if i % 2 == 1 {
+                        CirculantMatrix::zeros(bs)
+                    } else {
+                        CirculantMatrix::new(
+                            init::gaussian::<f32>(&mut rng, &[bs], 0.0, 0.2).into_vec(),
+                        )
+                    }
+                })
+                .collect();
+            BlockCirculant::from_blocks(bs, ob, ib, blocks)
+        })
+        .collect();
+    ConvBlockCirculant::from_grids(k, k, grids)
+}
+
+/// Runs every workload. Sizes satisfy the acceptance floor (batch ≥ 32,
+/// grid ≥ 8×8, BS ≥ 16); `reps` trades runtime for stability.
+pub fn run() -> SpeedupResult {
+    let reps = 9;
+    let mut measurements = Vec::new();
+
+    // --- workload 1: batched BlockCirculant matvec -----------------------
+    let (bs, rb, cb, batch) = (16usize, 8usize, 8usize, 32usize);
+    let grid = half_pruned_grid(11, bs, rb, cb);
+    let mut rng = StdRng::seed_from_u64(12);
+    let xs = init::gaussian::<f32>(&mut rng, &[batch * cb * bs], 0.0, 1.0).into_vec();
+
+    let seed_ns = median_ns(
+        || {
+            for s in 0..batch {
+                let y = grid.matvec_uncached(&xs[s * cb * bs..(s + 1) * cb * bs]);
+                std::hint::black_box(y);
+            }
+        },
+        reps,
+    );
+    grid.prepare_spectra();
+    let cached_ns = median_ns(
+        || {
+            for s in 0..batch {
+                let y = grid.matvec_with_workers(&xs[s * cb * bs..(s + 1) * cb * bs], 1);
+                std::hint::black_box(y);
+            }
+        },
+        reps,
+    );
+    let par_ns = median_ns(
+        || {
+            std::hint::black_box(grid.matmat(&xs, batch));
+        },
+        reps,
+    );
+    measurements.push(Measurement {
+        config: format!("matvec_cold_bs{bs}_grid{rb}x{cb}_batch{batch}"),
+        wall_ns: seed_ns,
+        speedup_vs_seed: 1.0,
+    });
+    measurements.push(Measurement {
+        config: format!("matvec_cached_serial_bs{bs}_grid{rb}x{cb}_batch{batch}"),
+        wall_ns: cached_ns,
+        speedup_vs_seed: seed_ns as f64 / cached_ns as f64,
+    });
+    measurements.push(Measurement {
+        config: format!(
+            "matvec_cached_parallel_w{}_bs{bs}_grid{rb}x{cb}_batch{batch}",
+            parallel::max_workers()
+        ),
+        wall_ns: par_ns,
+        speedup_vs_seed: seed_ns as f64 / par_ns as f64,
+    });
+
+    // --- workload 2: BcmLinear batched inference --------------------------
+    let (inf, outf, lbs, lbatch) = (256usize, 256usize, 16usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut layer = BcmLinear::new(&mut rng, inf, outf, lbs);
+    let x = init::gaussian::<f32>(&mut rng, &[lbatch, inf], 0.0, 1.0);
+    // Seed inference expanded to dense and ran a dense matmul every call —
+    // exactly what the training path still does.
+    let lin_seed_ns = median_ns(
+        || {
+            std::hint::black_box(layer.forward(&x, true));
+        },
+        reps,
+    );
+    let lin_cached_ns = median_ns(
+        || {
+            std::hint::black_box(layer.forward(&x, false));
+        },
+        reps,
+    );
+    measurements.push(Measurement {
+        config: format!("bcmlinear_dense_seed_{inf}x{outf}_bs{lbs}_batch{lbatch}"),
+        wall_ns: lin_seed_ns,
+        speedup_vs_seed: 1.0,
+    });
+    measurements.push(Measurement {
+        config: format!("bcmlinear_spectral_cached_{inf}x{outf}_bs{lbs}_batch{lbatch}"),
+        wall_ns: lin_cached_ns,
+        speedup_vs_seed: lin_seed_ns as f64 / lin_cached_ns as f64,
+    });
+
+    // --- workload 3: end-to-end fixed-point conv inference ----------------
+    let (cbs, ob, ib, k, h, w) = (8usize, 4usize, 4usize, 3usize, 14usize, 14usize);
+    let conv = bench_conv(14, cbs, ob, ib, k);
+    let q = QFormat::q8();
+    let seed_w = SeedFxWeights::from_folded(q, &conv);
+    let opt_w = FxWeights::from_folded(q, &conv);
+    let mut rng = StdRng::seed_from_u64(15);
+    let xq: Vec<i16> = init::gaussian::<f32>(&mut rng, &[ib * cbs * h * w], 0.0, 0.5)
+        .into_vec()
+        .iter()
+        .map(|&v| q.from_f32(v))
+        .collect();
+    let hw_seed_ns = median_ns(
+        || {
+            std::hint::black_box(conv_forward_fx_seed(q, &seed_w, &xq, h, w));
+        },
+        reps,
+    );
+    let hw_opt_ns = median_ns(
+        || {
+            std::hint::black_box(conv_forward_fx(q, &opt_w, &xq, h, w));
+        },
+        reps,
+    );
+    // Same datapath, same words: the optimized path must agree bit-exactly.
+    assert_eq!(
+        conv_forward_fx_seed(q, &seed_w, &xq, h, w),
+        conv_forward_fx(q, &opt_w, &xq, h, w),
+        "optimized fixed-point path diverged from seed"
+    );
+    measurements.push(Measurement {
+        config: format!("hwsim_infer_seed_bs{cbs}_{ob}x{ib}_k{k}_{h}x{w}"),
+        wall_ns: hw_seed_ns,
+        speedup_vs_seed: 1.0,
+    });
+    measurements.push(Measurement {
+        config: format!("hwsim_infer_optimized_bs{cbs}_{ob}x{ib}_k{k}_{h}x{w}"),
+        wall_ns: hw_opt_ns,
+        speedup_vs_seed: hw_seed_ns as f64 / hw_opt_ns as f64,
+    });
+
+    SpeedupResult { measurements }
+}
+
+/// Writes `results/BENCH_speedup.json` (path anchored at the workspace
+/// root so the binary works from any working directory).
+pub fn write_json(r: &SpeedupResult) -> std::io::Result<std::path::PathBuf> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_speedup.json");
+    std::fs::write(&path, r.to_json() + "\n")?;
+    Ok(path)
+}
+
+/// Prints the measurement table.
+pub fn print(r: &SpeedupResult) {
+    println!("== Speedup: spectral weight cache + parallel runtime vs seed ==");
+    let mut t = Table::new(&["config", "wall ns", "speedup vs seed"]);
+    for m in &r.measurements {
+        t.row_owned(vec![
+            m.config.clone(),
+            m.wall_ns.to_string(),
+            format!("{:.2}x", m.speedup_vs_seed),
+        ]);
+    }
+    t.print();
+    println!(
+        "workers: {} (override with RPBCM_THREADS)",
+        parallel::max_workers()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_replica_matches_library_path() {
+        let conv = bench_conv(3, 8, 2, 2, 3);
+        let q = QFormat::q8();
+        let seed_w = SeedFxWeights::from_folded(q, &conv);
+        let opt_w = FxWeights::from_folded(q, &conv);
+        let x: Vec<i16> = (0..2 * 8 * 5 * 5).map(|i| (i % 13) as i16 - 6).collect();
+        assert_eq!(
+            conv_forward_fx_seed(q, &seed_w, &x, 5, 5),
+            conv_forward_fx(q, &opt_w, &x, 5, 5)
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = SpeedupResult {
+            measurements: vec![Measurement {
+                config: "x".into(),
+                wall_ns: 5,
+                speedup_vs_seed: 2.0,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"config\": \"x\""));
+        assert!(j.contains("\"wall_ns\": 5"));
+        assert!(j.contains("\"speedup_vs_seed\": 2.000"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

@@ -185,8 +185,7 @@ pub fn run_synthetic_baselines() -> Vec<SyntheticRow> {
         },
         params_reduction: 100.0
             * (1.0
-                - best.net.folded_param_count() as f64
-                    / best.net.dense_equiv_param_count() as f64),
+                - best.net.folded_param_count() as f64 / best.net.dense_equiv_param_count() as f64),
     });
     rows
 }

@@ -17,8 +17,7 @@ pub struct Table2Result {
 impl Table2Result {
     /// Relative LUT overhead of the skip scheme.
     pub fn lut_overhead(&self) -> f64 {
-        (self.with_skip.lut as f64 - self.without_skip.lut as f64)
-            / self.without_skip.lut as f64
+        (self.with_skip.lut as f64 - self.without_skip.lut as f64) / self.without_skip.lut as f64
     }
 
     /// Relative BRAM overhead of the skip scheme (skip-index buffer).

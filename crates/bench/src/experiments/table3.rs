@@ -138,7 +138,8 @@ pub fn run() -> Table3Result {
 pub fn print(r: &Table3Result) {
     println!("== Table III: ResNet-18 implementations on XC7Z020 ==");
     let opt = |v: Option<f64>, prec: usize| {
-        v.map(|x| format!("{x:.prec$}")).unwrap_or_else(|| "-".into())
+        v.map(|x| format!("{x:.prec$}"))
+            .unwrap_or_else(|| "-".into())
     };
     let mut t = Table::new(&[
         "implementation",

@@ -2,7 +2,8 @@
 
 use crate::CirculantMatrix;
 use fft::real::HalfSpectrum;
-use tensor::{Scalar, Tensor};
+use std::sync::OnceLock;
+use tensor::{parallel, Scalar, Tensor};
 
 /// A weight matrix partitioned into a grid of circulant blocks
 /// (paper Fig. 1b for the convolution case; this type is the 2-d
@@ -22,13 +23,28 @@ use tensor::{Scalar, Tensor};
 /// assert_eq!(bc.grid_dims(), (1, 2));
 /// assert_eq!(bc.param_count(), 8); // two blocks x BS params
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BlockCirculant<T: Scalar> {
     block_size: usize,
     row_blocks: usize,
     col_blocks: usize,
     /// Row-major grid of blocks, length `row_blocks * col_blocks`.
     blocks: Vec<CirculantMatrix<T>>,
+    /// Lazily-built per-block weight spectra (`None` = pruned block), the
+    /// frequency-domain weight storage of paper Fig. 4b. Invalidated by
+    /// every mutable block access.
+    spectra: OnceLock<Vec<Option<HalfSpectrum<T>>>>,
+}
+
+/// Equality is over the time-domain weights only; the spectral cache is a
+/// derived artifact and never affects comparisons.
+impl<T: Scalar> PartialEq for BlockCirculant<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.block_size == other.block_size
+            && self.row_blocks == other.row_blocks
+            && self.col_blocks == other.col_blocks
+            && self.blocks == other.blocks
+    }
 }
 
 impl<T: Scalar> BlockCirculant<T> {
@@ -61,6 +77,7 @@ impl<T: Scalar> BlockCirculant<T> {
             row_blocks,
             col_blocks,
             blocks,
+            spectra: OnceLock::new(),
         }
     }
 
@@ -122,17 +139,24 @@ impl<T: Scalar> BlockCirculant<T> {
     ///
     /// Panics if out of bounds.
     pub fn block(&self, bi: usize, bj: usize) -> &CirculantMatrix<T> {
-        assert!(bi < self.row_blocks && bj < self.col_blocks, "block index out of bounds");
+        assert!(
+            bi < self.row_blocks && bj < self.col_blocks,
+            "block index out of bounds"
+        );
         &self.blocks[bi * self.col_blocks + bj]
     }
 
-    /// Mutable block access.
+    /// Mutable block access. Invalidates the spectral cache.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
     pub fn block_mut(&mut self, bi: usize, bj: usize) -> &mut CirculantMatrix<T> {
-        assert!(bi < self.row_blocks && bj < self.col_blocks, "block index out of bounds");
+        assert!(
+            bi < self.row_blocks && bj < self.col_blocks,
+            "block index out of bounds"
+        );
+        self.spectra.take();
         &mut self.blocks[bi * self.col_blocks + bj]
     }
 
@@ -141,8 +165,10 @@ impl<T: Scalar> BlockCirculant<T> {
         self.blocks.iter()
     }
 
-    /// Iterates mutably over blocks in row-major order.
+    /// Iterates mutably over blocks in row-major order. Invalidates the
+    /// spectral cache.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CirculantMatrix<T>> {
+        self.spectra.take();
         self.blocks.iter_mut()
     }
 
@@ -210,24 +236,111 @@ impl<T: Scalar> BlockCirculant<T> {
         y
     }
 
+    /// Builds the per-block weight spectra now (they are otherwise built on
+    /// the first [`Self::matvec`]/[`Self::matmat`] call). Idempotent; cheap
+    /// when already built. Pruned blocks get no spectrum, mirroring the
+    /// skip-index scheme.
+    pub fn prepare_spectra(&self) {
+        self.spectra.get_or_init(|| {
+            self.blocks
+                .iter()
+                .map(|b| {
+                    if b.is_zero() {
+                        None
+                    } else {
+                        Some(HalfSpectrum::forward(b.defining_vector()))
+                    }
+                })
+                .collect()
+        });
+    }
+
+    /// Whether the spectral weight cache is currently built.
+    pub fn spectra_ready(&self) -> bool {
+        self.spectra.get().is_some()
+    }
+
+    /// The cached spectra, building them if needed.
+    fn cached_spectra(&self) -> &[Option<HalfSpectrum<T>>] {
+        self.prepare_spectra();
+        self.spectra
+            .get()
+            .expect("prepare_spectra initializes the cache")
+    }
+
     /// Matrix–vector product via "FFT → eMAC → IFFT" with spectrum-domain
     /// accumulation: each input chunk is transformed once, partial products
     /// are accumulated per output chunk in the frequency domain, and one
     /// IFFT per output chunk recovers the result — the computation order the
     /// accelerator implements.
     ///
-    /// Pruned (all-zero) blocks are skipped, exactly like the PE
-    /// controller's skip-index scheme.
+    /// Weight spectra come from the per-block cache (built on first use,
+    /// invalidated by mutable access), so repeated calls pay only the input
+    /// FFTs — the software analogue of the accelerator holding weights in
+    /// the frequency domain. Pruned (all-zero) blocks are skipped, exactly
+    /// like the PE controller's skip-index scheme. Output-block rows are
+    /// computed on the [`parallel`] worker pool; results are identical for
+    /// every worker count.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the dense column count or `BS` is
     /// not a power of two.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        self.matvec_with_workers(x, parallel::max_workers())
+    }
+
+    /// [`Self::matvec`] with an explicit worker count (1 = serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the dense column count or `BS` is
+    /// not a power of two.
+    pub fn matvec_with_workers(&self, x: &[T], workers: usize) -> Vec<T> {
         let (rows, cols) = self.dense_dims();
         assert_eq!(x.len(), cols, "matvec dimension mismatch");
         let bs = self.block_size;
+        let spectra = self.cached_spectra();
         // FFT each input chunk once (input reuse — §II-B3's motivation).
+        let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
+            .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
+            .collect();
+        let mut y = vec![T::ZERO; rows];
+        parallel::par_chunk_map_with(workers, &mut y[..], bs, |bi, y_block| {
+            let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
+            y_block.copy_from_slice(&Self::row_matvec(bs, row, &x_spectra));
+        });
+        y
+    }
+
+    /// One output-block row: accumulate the live blocks' eMACs, one IFFT.
+    fn row_matvec(
+        bs: usize,
+        row_spectra: &[Option<HalfSpectrum<T>>],
+        x_spectra: &[HalfSpectrum<T>],
+    ) -> Vec<T> {
+        let mut acc = HalfSpectrum::zeros(bs);
+        for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {
+            if let Some(w_spec) = w_spec {
+                acc.emac_accumulate(w_spec, x_spec);
+            }
+        }
+        acc.inverse()
+    }
+
+    /// The seed implementation: identical math, but re-runs the weight FFT
+    /// of every live block on every call and stays serial. Kept as the
+    /// baseline for `bench`'s speedup experiments and as an
+    /// allocation-independent cross-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the dense column count or `BS` is
+    /// not a power of two.
+    pub fn matvec_uncached(&self, x: &[T]) -> Vec<T> {
+        let (rows, cols) = self.dense_dims();
+        assert_eq!(x.len(), cols, "matvec dimension mismatch");
+        let bs = self.block_size;
         let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
             .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
             .collect();
@@ -245,6 +358,48 @@ impl<T: Scalar> BlockCirculant<T> {
             y.extend(acc.inverse());
         }
         y
+    }
+
+    /// Batched matrix–matrix product: `batch` input vectors, each of dense
+    /// column length, packed row-major in `xs` (`xs[s·cols .. (s+1)·cols]`
+    /// is sample `s`). Returns the outputs packed the same way
+    /// (`[batch, rows]` row-major).
+    ///
+    /// The weight spectra are built once and reused by every sample — the
+    /// way the accelerator's double-buffered dataflow amortizes weight
+    /// streaming across input tiles. Samples are distributed over the
+    /// [`parallel`] worker pool; per-sample arithmetic is identical to
+    /// [`Self::matvec`], so results do not depend on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != batch * cols` or `BS` is not a power of two.
+    pub fn matmat(&self, xs: &[T], batch: usize) -> Vec<T> {
+        self.matmat_with_workers(xs, batch, parallel::max_workers())
+    }
+
+    /// [`Self::matmat`] with an explicit worker count (1 = serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != batch * cols` or `BS` is not a power of two.
+    pub fn matmat_with_workers(&self, xs: &[T], batch: usize, workers: usize) -> Vec<T> {
+        let (rows, cols) = self.dense_dims();
+        assert_eq!(xs.len(), batch * cols, "matmat dimension mismatch");
+        let bs = self.block_size;
+        let spectra = self.cached_spectra();
+        let mut out = vec![T::ZERO; batch * rows];
+        parallel::par_chunk_map_with(workers, &mut out[..], rows, |s, y| {
+            let x = &xs[s * cols..(s + 1) * cols];
+            let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
+                .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
+                .collect();
+            for bi in 0..self.row_blocks {
+                let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
+                y[bi * bs..(bi + 1) * bs].copy_from_slice(&Self::row_matvec(bs, row, &x_spectra));
+            }
+        });
+        out
     }
 
     /// Per-block skip-index bitmap: `true` = compute, `false` = pruned
@@ -284,7 +439,9 @@ impl<T: Scalar> ConvBlockCirculant<T> {
         let dims = grids[0].grid_dims();
         let bs = grids[0].block_size();
         assert!(
-            grids.iter().all(|g| g.grid_dims() == dims && g.block_size() == bs),
+            grids
+                .iter()
+                .all(|g| g.grid_dims() == dims && g.block_size() == bs),
             "all taps must share grid shape"
         );
         ConvBlockCirculant { kh, kw, grids }
@@ -367,6 +524,16 @@ impl<T: Scalar> ConvBlockCirculant<T> {
         self.grids.iter_mut()
     }
 
+    /// Builds every tap grid's spectral weight cache (see
+    /// [`BlockCirculant::prepare_spectra`]). Mutation through
+    /// [`Self::grid_mut`]/[`Self::iter_mut`] lands on the contained grids'
+    /// own mutable accessors, which invalidate their caches.
+    pub fn prepare_spectra(&self) {
+        for g in &self.grids {
+            g.prepare_spectra();
+        }
+    }
+
     /// Total BCM count: `kh · kw · (c_out/BS) · (c_in/BS)`.
     pub fn block_count(&self) -> usize {
         self.grids.iter().map(|g| g.block_count()).sum()
@@ -429,9 +596,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let blocks = (0..rb * cb)
             .map(|_| {
-                CirculantMatrix::new(
-                    init::gaussian::<f64>(&mut rng, &[bs], 0.0, 1.0).into_vec(),
-                )
+                CirculantMatrix::new(init::gaussian::<f64>(&mut rng, &[bs], 0.0, 1.0).into_vec())
             })
             .collect();
         BlockCirculant::from_blocks(bs, rb, cb, blocks)
@@ -539,5 +704,81 @@ mod tests {
     fn projection_rejects_indivisible_dims() {
         let dense = Tensor::<f64>::ones(&[6, 8]);
         BlockCirculant::project_from_dense(&dense, 4);
+    }
+
+    #[test]
+    fn spectra_cache_builds_lazily_and_invalidates_on_mutation() {
+        let mut bc = random_bc(11, 4, 2, 3);
+        assert!(!bc.spectra_ready());
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.3).cos()).collect();
+        let before = bc.matvec(&x);
+        assert!(bc.spectra_ready());
+        assert_eq!(before, bc.matvec(&x), "cached calls are stable");
+
+        // Mutating a block must drop the cache and change the product.
+        *bc.block_mut(0, 0) = CirculantMatrix::new(vec![1.0, -2.0, 3.0, 0.5]);
+        assert!(!bc.spectra_ready());
+        let after = bc.matvec(&x);
+        let naive = bc.matvec_naive(&x);
+        assert_ne!(before, after);
+        for (a, b) in after.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-9);
+        }
+
+        // iter_mut also invalidates, even without writing.
+        bc.prepare_spectra();
+        assert!(bc.spectra_ready());
+        let _ = bc.iter_mut();
+        assert!(!bc.spectra_ready());
+    }
+
+    #[test]
+    fn cache_ignored_by_equality_and_kept_by_clone() {
+        let a = random_bc(13, 4, 2, 2);
+        let b = a.clone();
+        a.prepare_spectra();
+        assert!(a.spectra_ready() && !b.spectra_ready());
+        assert_eq!(a, b, "cache state must not affect equality");
+        let c = a.clone();
+        assert!(c.spectra_ready(), "clone carries the built cache");
+    }
+
+    #[test]
+    fn matmat_matches_per_sample_matvec_for_all_worker_counts() {
+        let bc = random_bc(17, 8, 3, 2);
+        let (rows, cols) = bc.dense_dims();
+        let batch = 5;
+        let xs: Vec<f64> = (0..batch * cols).map(|i| (i as f64 * 0.11).sin()).collect();
+        let want: Vec<f64> = (0..batch)
+            .flat_map(|s| bc.matvec_uncached(&xs[s * cols..(s + 1) * cols]))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let got = bc.matmat_with_workers(&xs, batch, workers);
+            assert_eq!(got.len(), batch * rows);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "workers={workers}: {a} vs {b}");
+            }
+            // Bit-exact across worker counts: same accumulation order.
+            assert_eq!(got, bc.matmat_with_workers(&xs, batch, 1));
+        }
+    }
+
+    #[test]
+    fn matvec_workers_are_bit_exact() {
+        let bc = random_bc(19, 16, 4, 4);
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.23).sin()).collect();
+        let serial = bc.matvec_with_workers(&x, 1);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(serial, bc.matvec_with_workers(&x, workers));
+        }
+        assert_eq!(serial, bc.matvec(&x));
+    }
+
+    #[test]
+    fn conv_prepare_spectra_covers_all_taps() {
+        let dense = Tensor::<f64>::ones(&[8, 8, 3, 3]);
+        let conv = ConvBlockCirculant::project_from_dense(&dense, 4);
+        conv.prepare_spectra();
+        assert!(conv.iter().all(|g| g.spectra_ready()));
     }
 }

@@ -46,7 +46,9 @@ impl<T: Scalar> CirculantMatrix<T> {
     /// Panics if `n == 0`.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "block size must be non-zero");
-        CirculantMatrix { w: vec![T::ZERO; n] }
+        CirculantMatrix {
+            w: vec![T::ZERO; n],
+        }
     }
 
     /// The block size `BS` (the matrix is `BS × BS`).
@@ -183,18 +185,9 @@ impl<T: Scalar> CirculantMatrix<T> {
     ///
     /// Panics if the block sizes differ.
     pub fn hadamard(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.w.len(),
-            other.w.len(),
-            "hadamard block size mismatch"
-        );
+        assert_eq!(self.w.len(), other.w.len(), "hadamard block size mismatch");
         CirculantMatrix {
-            w: self
-                .w
-                .iter()
-                .zip(&other.w)
-                .map(|(&a, &b)| a * b)
-                .collect(),
+            w: self.w.iter().zip(&other.w).map(|(&a, &b)| a * b).collect(),
         }
     }
 
@@ -279,7 +272,10 @@ mod tests {
     fn transpose_matvec_matches_dense_transpose() {
         let c = CirculantMatrix::new(vec![1.0_f64, 4.0, -1.5, 2.0]);
         let x = [0.5_f64, -2.0, 1.0, 3.0];
-        let want = c.to_dense().transpose().matmul(&Tensor::from_vec(x.to_vec(), &[4, 1]));
+        let want = c
+            .to_dense()
+            .transpose()
+            .matmul(&Tensor::from_vec(x.to_vec(), &[4, 1]));
         let got = c.matvec_transpose(&x);
         for i in 0..4 {
             assert!((got[i] - want.as_slice()[i]).abs() < 1e-12);

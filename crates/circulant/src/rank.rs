@@ -281,12 +281,8 @@ mod tests {
     #[test]
     fn mean_decay_averages_blocks() {
         let n = 8;
-        let grid = BlockCirculant::from_blocks(
-            n,
-            1,
-            2,
-            vec![gaussian_block(7, n), gaussian_block(8, n)],
-        );
+        let grid =
+            BlockCirculant::from_blocks(n, 1, 2, vec![gaussian_block(7, n), gaussian_block(8, n)]);
         let fit = mean_decay(&grid).expect("non-empty grid");
         assert!(fit.log_slope <= 0.0);
         let empty = BlockCirculant::<f64>::zeros(n, 1, 1);

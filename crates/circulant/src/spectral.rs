@@ -95,11 +95,7 @@ impl<T: Scalar> SpectralBlockCirculant<T> {
     /// Panics if `x.len()` differs from the dense column count.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
         let bs = self.block_size;
-        assert_eq!(
-            x.len(),
-            self.col_blocks * bs,
-            "matvec dimension mismatch"
-        );
+        assert_eq!(x.len(), self.col_blocks * bs, "matvec dimension mismatch");
         let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
             .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
             .collect();

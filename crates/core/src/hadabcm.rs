@@ -146,10 +146,7 @@ impl<T: Scalar> HadaBcm<T> {
             "gradient length must equal block size"
         );
         if self.pruned {
-            return (
-                vec![T::ZERO; grad_w.len()],
-                vec![T::ZERO; grad_w.len()],
-            );
+            return (vec![T::ZERO; grad_w.len()], vec![T::ZERO; grad_w.len()]);
         }
         let ga = grad_w
             .iter()
@@ -235,7 +232,10 @@ impl<T: Scalar> HadaBcmGrid<T> {
         col_blocks: usize,
         std_dev: f64,
     ) -> Self {
-        assert!(row_blocks > 0 && col_blocks > 0, "grid dims must be non-zero");
+        assert!(
+            row_blocks > 0 && col_blocks > 0,
+            "grid dims must be non-zero"
+        );
         let pairs = (0..row_blocks * col_blocks)
             .map(|_| HadaBcm::random(rng, block_size, std_dev))
             .collect();
@@ -454,7 +454,10 @@ mod tests {
         let folded = grid.fold();
         assert_eq!(folded.grid_dims(), (2, 3));
         assert!(folded.block(0, 1).is_zero());
-        assert_eq!(folded.skip_index(), vec![true, false, true, true, true, true]);
+        assert_eq!(
+            folded.skip_index(),
+            vec![true, false, true, true, true, true]
+        );
     }
 
     #[test]
@@ -474,8 +477,7 @@ mod tests {
         let poor_vec = |phase: f64| -> Vec<f64> {
             (0..n)
                 .map(|t| {
-                    1.0 + 0.02
-                        * (2.0 * std::f64::consts::PI * t as f64 / n as f64 + phase).cos()
+                    1.0 + 0.02 * (2.0 * std::f64::consts::PI * t as f64 / n as f64 + phase).cos()
                 })
                 .collect()
         };

@@ -19,7 +19,11 @@ use tensor::{Scalar, Tensor};
 ///
 /// Panics if `dense` is not 2-d or not divisible into `BS×BS` units.
 pub fn dense_unit_norms<T: Scalar>(dense: &Tensor<T>, bs: usize) -> Vec<f64> {
-    assert_eq!(dense.shape().ndim(), 2, "dense_unit_norms needs a 2-d tensor");
+    assert_eq!(
+        dense.shape().ndim(),
+        2,
+        "dense_unit_norms needs a 2-d tensor"
+    );
     let (rows, cols) = (dense.shape().dim(0), dense.shape().dim(1));
     assert_eq!(rows % bs, 0, "rows {rows} not divisible by BS {bs}");
     assert_eq!(cols % bs, 0, "cols {cols} not divisible by BS {bs}");
@@ -178,8 +182,12 @@ mod tests {
         let dense = gaussian_dense(10, 8 * bs, 8 * bs);
         let grid = gaussian_grid(11, bs, 8, 8);
         let cmp = NormComparison::new(&dense_unit_norms(&dense, bs), &bcm_unit_norms(&grid));
-        assert!(cmp.bcm_has_wider_spread(), "cnn cv = {}, bcm cv = {}",
-            cmp.cnn.coeff_of_variation(), cmp.bcm.coeff_of_variation());
+        assert!(
+            cmp.bcm_has_wider_spread(),
+            "cnn cv = {}, bcm cv = {}",
+            cmp.cnn.coeff_of_variation(),
+            cmp.bcm.coeff_of_variation()
+        );
         assert!(cmp.bcm_min_is_smaller());
         assert!(cmp.favors_bcm_pruning());
     }

@@ -323,7 +323,11 @@ mod tests {
         assert!(prune_report.final_accuracy >= 0.8);
         assert!(!prune_report.steps.is_empty());
         assert_eq!(
-            compression.layers.iter().map(|l| l.pruned_blocks).sum::<usize>(),
+            compression
+                .layers
+                .iter()
+                .map(|l| l.pruned_blocks)
+                .sum::<usize>(),
             prune_report.final_pruned_count
         );
         assert_eq!(best.report(), compression);

@@ -163,10 +163,7 @@ impl BcmWisePruner {
     /// # Panics
     ///
     /// Same conditions as [`BcmWisePruner::run`].
-    pub fn run_with_rescoring<M: PrunableNetwork + Clone>(
-        &self,
-        network: M,
-    ) -> (M, PruningReport) {
+    pub fn run_with_rescoring<M: PrunableNetwork + Clone>(&self, network: M) -> (M, PruningReport) {
         self.run_inner(network, true)
     }
 
@@ -326,7 +323,10 @@ mod tests {
         let fa = report.final_alpha.expect("α_init meets β");
         assert!((fa - 0.8).abs() < 1e-9, "final α = {fa}");
         assert!(report.final_accuracy >= 0.95);
-        assert_eq!(best.pruned.iter().filter(|&&p| p).count(), report.final_pruned_count);
+        assert_eq!(
+            best.pruned.iter().filter(|&&p| p).count(),
+            report.final_pruned_count
+        );
         assert_eq!(report.final_pruned_count, 80);
         assert!((report.sparsity() - 0.8).abs() < 1e-9);
         // Steps are monotone in alpha and the last one is rejected.

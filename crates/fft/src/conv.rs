@@ -19,11 +19,7 @@ pub fn circular_convolve_naive<T: Scalar>(a: &[T], b: &[T]) -> Vec<T> {
     assert!(!a.is_empty(), "circular convolution of empty signals");
     let n = a.len();
     (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| a[j] * b[(i + n - j) % n])
-                .sum()
-        })
+        .map(|i| (0..n).map(|j| a[j] * b[(i + n - j) % n]).sum())
         .collect()
 }
 
@@ -140,7 +136,10 @@ mod tests {
         let mut shift1 = [0.0_f64; 4];
         shift1[1] = 1.0;
         // Convolving with δ[i-1] rotates the signal right by one.
-        assert_eq!(circular_convolve_naive(&a, &shift1), vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            circular_convolve_naive(&a, &shift1),
+            vec![4.0, 1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl<T: Scalar> Fft<T> {
     /// Panics if `n` is not a power of two (the radix-2 constraint — the
     /// same constraint that forces BCM block sizes to be 2ⁿ).
     pub fn new(n: usize) -> Self {
-        assert!(is_power_of_two(n), "FFT size must be a power of two, got {n}");
+        assert!(
+            is_power_of_two(n),
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| {
                 let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
@@ -183,7 +186,8 @@ pub fn naive_dft<T: Scalar>(x: &[Complex<T>], inverse: bool) -> Vec<Complex<T>> 
         .map(|k| {
             let mut acc = Complex::zero();
             for (j, &xj) in x.iter().enumerate() {
-                let theta = sign * 2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / (n as f64);
+                let theta =
+                    sign * 2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / (n as f64);
                 acc += xj * Complex::from_polar(T::ONE, T::from_f64(theta));
             }
             if inverse {
@@ -249,7 +253,9 @@ mod tests {
     fn parseval_energy_preserved() {
         let n = 32;
         let plan = Fft::<f64>::new(n);
-        let x: Vec<Complex<f64>> = (0..n).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let x: Vec<Complex<f64>> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64) / 3.0))
+            .collect();
         let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut s = x;
         plan.forward(&mut s);

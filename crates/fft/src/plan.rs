@@ -5,6 +5,15 @@
 //! times per layer. [`with_plan`] memoizes plans per `(size, scalar type)`
 //! per thread — the software analogue of the accelerator's fixed twiddle
 //! ROM.
+//!
+//! Because the cache is thread-local, every worker spawned by
+//! `tensor::parallel` builds its own plans on first use and then hits its
+//! own cache with no synchronization — exactly how each hardware FFT PE
+//! holds a private twiddle ROM. The cache is bounded at
+//! [`MAX_CACHED_PLANS`] entries per thread (evicting all entries when a
+//! new size would exceed the bound), so a workload sweeping many distinct
+//! sizes cannot grow a thread's cache without limit; [`clear_plans`] drops
+//! the current thread's cache eagerly.
 
 use crate::Fft;
 use std::any::{Any, TypeId};
@@ -12,6 +21,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use tensor::Scalar;
+
+/// Per-thread bound on cached plans. Real networks use a handful of block
+/// sizes, so the bound is generous; it exists to keep a size-sweeping
+/// workload from growing each thread's cache without limit.
+pub const MAX_CACHED_PLANS: usize = 32;
 
 thread_local! {
     static PLANS: RefCell<HashMap<(usize, TypeId), Rc<dyn Any>>> =
@@ -39,8 +53,14 @@ thread_local! {
 pub fn with_plan<T: Scalar, R>(n: usize, f: impl FnOnce(&Fft<T>) -> R) -> R {
     let key = (n, TypeId::of::<T>());
     let plan: Rc<dyn Any> = PLANS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if !cache.contains_key(&key) && cache.len() >= MAX_CACHED_PLANS {
+            // Wholesale eviction: plans are cheap to rebuild relative to
+            // the transforms they serve, and an LRU would cost bookkeeping
+            // on the hit path every call.
+            cache.clear();
+        }
         cache
-            .borrow_mut()
             .entry(key)
             .or_insert_with(|| Rc::new(Fft::<T>::new(n)) as Rc<dyn Any>)
             .clone()
@@ -54,6 +74,12 @@ pub fn with_plan<T: Scalar, R>(n: usize, f: impl FnOnce(&Fft<T>) -> R) -> R {
 /// Number of plans currently cached on this thread (for tests/diagnostics).
 pub fn cached_plan_count() -> usize {
     PLANS.with(|cache| cache.borrow().len())
+}
+
+/// Drops every plan cached on the current thread. Long-lived threads that
+/// are done with FFT work can call this to release the twiddle tables.
+pub fn clear_plans() {
+    PLANS.with(|cache| cache.borrow_mut().clear());
 }
 
 #[cfg(test)]
@@ -70,6 +96,45 @@ mod tests {
         with_plan::<f64, _>(128, |p| assert_eq!(p.len(), 128));
         let after = cached_plan_count();
         assert_eq!(after - before, 3); // 64/f64, 64/f32, 128/f64
+    }
+
+    #[test]
+    fn cache_is_bounded_and_clearable() {
+        clear_plans();
+        // 17 sizes × 2 scalar types = 34 keys > MAX_CACHED_PLANS = 32.
+        for log in 1..=17u32 {
+            let n = 1usize << log;
+            with_plan::<f64, _>(n, |p| assert_eq!(p.len(), n));
+            with_plan::<f32, _>(n, |p| assert_eq!(p.len(), n));
+        }
+        assert!(
+            cached_plan_count() <= MAX_CACHED_PLANS,
+            "cache grew to {} entries",
+            cached_plan_count()
+        );
+        // Plans still compute correctly after an eviction.
+        let mut x = vec![Complex::new(1.0_f64, 0.0); 8];
+        with_plan::<f64, _>(8, |p| p.forward(&mut x));
+        with_plan::<f64, _>(8, |p| p.inverse(&mut x));
+        assert!((x[0].re - 1.0).abs() < 1e-12);
+        clear_plans();
+        assert_eq!(cached_plan_count(), 0);
+    }
+
+    #[test]
+    fn cache_is_per_thread() {
+        with_plan::<f64, _>(32, |p| assert_eq!(p.len(), 32));
+        assert!(cached_plan_count() >= 1);
+        // A fresh worker thread starts with an empty cache and fills its
+        // own — the property the scoped-thread parallel runtime relies on.
+        let counts = std::thread::spawn(|| {
+            let before = cached_plan_count();
+            with_plan::<f64, _>(32, |p| assert_eq!(p.len(), 32));
+            (before, cached_plan_count())
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(counts, (0, 1));
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl<T: Scalar> HalfSpectrum<T> {
     /// Panics if `bins.len() != n/2 + 1` or `n` is not a power of two.
     pub fn from_bins(n: usize, bins: Vec<Complex<T>>) -> Self {
         assert!(crate::is_power_of_two(n), "signal length must be 2^k");
-        assert_eq!(bins.len(), n / 2 + 1, "half spectrum of n={n} needs n/2+1 bins");
+        assert_eq!(
+            bins.len(),
+            n / 2 + 1,
+            "half spectrum of n={n} needs n/2+1 bins"
+        );
         HalfSpectrum { n, bins }
     }
 

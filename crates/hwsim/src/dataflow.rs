@@ -31,7 +31,14 @@ pub struct LayerShape {
 
 impl LayerShape {
     /// Convenience constructor.
-    pub fn conv(c_in: usize, c_out: usize, h_out: usize, w_out: usize, k: usize, bs: usize) -> Self {
+    pub fn conv(
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        k: usize,
+        bs: usize,
+    ) -> Self {
         LayerShape {
             c_in,
             c_out,
@@ -256,7 +263,8 @@ impl DataflowConfig {
     /// Dense fallback for non-BCM layers (the RGB stem): the eMAC lanes
     /// run plain MACs, `p` per cycle, and weights stream uncompressed.
     pub fn simulate_dense(&self, layer: &LayerShape) -> CycleBreakdown {
-        let macs = (layer.k * layer.k * layer.c_in * layer.c_out * layer.h_out * layer.w_out) as u64;
+        let macs =
+            (layer.k * layer.k * layer.c_in * layer.c_out * layer.h_out * layer.w_out) as u64;
         let compute = macs / (self.pe.p as u64).max(1);
         let weight_bytes = (layer.k * layer.k * layer.c_in * layer.c_out) as u64 * 2;
         let feature_bytes =
@@ -279,11 +287,12 @@ impl DataflowConfig {
     }
 
     /// Simulates a whole network (a list of layers) at uniform `alpha`,
-    /// summing per-layer breakdowns.
+    /// summing per-layer breakdowns. Layers are independent, so they fan
+    /// out over the worker pool; the sum runs in layer order, keeping the
+    /// result identical to the serial fold.
     pub fn simulate_network(&self, layers: &[LayerShape], alpha: f64) -> CycleBreakdown {
-        layers
-            .iter()
-            .map(|l| self.simulate(l, alpha))
+        tensor::parallel::par_map(layers, |_, l| self.simulate(l, alpha))
+            .into_iter()
             .fold(CycleBreakdown::default(), |a, b| a + b)
     }
 
@@ -475,8 +484,7 @@ mod tests {
         );
         // While pruning monotonically shrinks the requirement.
         assert!(
-            weights_fully_buffered_bytes(&layers, 0.9)
-                < weights_fully_buffered_bytes(&layers, 0.0)
+            weights_fully_buffered_bytes(&layers, 0.9) < weights_fully_buffered_bytes(&layers, 0.0)
         );
     }
 }

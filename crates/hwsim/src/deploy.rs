@@ -208,8 +208,7 @@ impl DeployedNetwork {
             return Err(DecodeError::BadVersion(version));
         }
         let frac_bits = take(&mut pos, 1)?[0];
-        let n_layers =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let n_layers = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let mut layers = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
             let name_len =
@@ -218,10 +217,8 @@ impl DeployedNetwork {
                 .map_err(|_| DecodeError::Truncated)?;
             let bs = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes"));
             let k = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes"));
-            let out_blocks =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
-            let in_blocks =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+            let out_blocks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+            let in_blocks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
             let skip_len =
                 u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
             let skip_bytes = take(&mut pos, skip_len.div_ceil(8))?;
@@ -334,7 +331,9 @@ mod tests {
         .encode();
         let loaded = DeployedNetwork::decode(&bytes).expect("valid");
         let reconstructed = loaded.layers[0].to_fx_weights();
-        let x: Vec<i16> = (0..16 * 4 * 4).map(|i| ((i * 37) % 200) as i16 - 100).collect();
+        let x: Vec<i16> = (0..16 * 4 * 4)
+            .map(|i| ((i * 37) % 200) as i16 - 100)
+            .collect();
         let y1 = conv_forward_fx(q, &direct, &x, 4, 4);
         let y2 = conv_forward_fx(q, &reconstructed, &x, 4, 4);
         assert_eq!(y1, y2);
@@ -374,9 +373,6 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = sample_network().encode();
         bytes.push(0);
-        assert_eq!(
-            DeployedNetwork::decode(&bytes),
-            Err(DecodeError::Truncated)
-        );
+        assert_eq!(DeployedNetwork::decode(&bytes), Err(DecodeError::Truncated));
     }
 }

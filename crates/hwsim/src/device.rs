@@ -71,10 +71,7 @@ mod tests {
         assert!((u.lut - 0.5).abs() < 1e-12);
         assert!((u.dsp - 0.5).abs() < 1e-12);
         assert!(Xc7z020::fits(&est));
-        let too_big = ResourceEstimate {
-            dsp: 500,
-            ..est
-        };
+        let too_big = ResourceEstimate { dsp: 500, ..est };
         assert!(!Xc7z020::fits(&too_big));
     }
 }

@@ -117,7 +117,10 @@ impl QFormat {
     ///
     /// Panics if `bs` is not a power of two.
     pub fn shift_divide(&self, v: i16, bs: usize) -> i16 {
-        assert!(bs.is_power_of_two(), "shift divider requires power-of-two BS");
+        assert!(
+            bs.is_power_of_two(),
+            "shift divider requires power-of-two BS"
+        );
         let k = bs.trailing_zeros();
         if k == 0 {
             return v;

@@ -29,7 +29,10 @@ impl FxFftPe {
     ///
     /// Panics if `bs` is not a power of two ≥ 2.
     pub fn new(bs: usize, q: QFormat) -> Self {
-        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
         let rom_q = QFormat::new(14);
         let rom = (0..bs / 2)
             .map(|k| {
@@ -181,7 +184,10 @@ mod tests {
         let q = QFormat::q8();
         let pe = FxFftPe::new(16, q);
         let x: Vec<f64> = (0..16).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.5).collect();
-        let mut buf: Vec<ComplexFx> = x.iter().map(|&v| ComplexFx::new(q.from_f64(v), 0)).collect();
+        let mut buf: Vec<ComplexFx> = x
+            .iter()
+            .map(|&v| ComplexFx::new(q.from_f64(v), 0))
+            .collect();
         pe.forward(&mut buf);
         pe.inverse(&mut buf);
         for (fx, &want) in buf.iter().zip(&x) {
@@ -224,12 +230,20 @@ mod tests {
     fn conjugate_symmetry_preserved_in_fixed_point() {
         let q = QFormat::q8();
         let pe = FxFftPe::new(16, q);
-        let x: Vec<i16> = (0..16).map(|i| q.from_f64((i as f64 * 0.4).cos())).collect();
+        let x: Vec<i16> = (0..16)
+            .map(|i| q.from_f64((i as f64 * 0.4).cos()))
+            .collect();
         let s = pe.forward_real(&x);
         for k in 1..8 {
             // X[n-k] ≈ conj(X[k]) within a couple of LSBs.
-            assert!((i32::from(s[16 - k].re) - i32::from(s[k].re)).abs() <= 2, "bin {k}");
-            assert!((i32::from(s[16 - k].im) + i32::from(s[k].im)).abs() <= 2, "bin {k}");
+            assert!(
+                (i32::from(s[16 - k].re) - i32::from(s[k].re)).abs() <= 2,
+                "bin {k}"
+            );
+            assert!(
+                (i32::from(s[16 - k].im) + i32::from(s[k].im)).abs() <= 2,
+                "bin {k}"
+            );
         }
     }
 

@@ -12,6 +12,116 @@ use crate::fixed::{ComplexAcc, ComplexFx, QFormat};
 use crate::fxfft::FxFftPe;
 use circulant::ConvBlockCirculant;
 use fft::real::HalfSpectrum;
+use tensor::parallel;
+
+/// Computes every pixel's channel-block input spectrum once, in parallel
+/// over channel blocks — the input reuse the dataflow maximizes. Returns a
+/// flat `[(bi · h + y) · w + x] × bins` layout so the eMAC loop reads each
+/// spectrum as one contiguous slice.
+fn input_spectra(pe: &FxFftPe, x: &[i16], in_blocks: usize, h: usize, w: usize) -> Vec<ComplexFx> {
+    let bs = pe.block_size();
+    let bins = bs / 2 + 1;
+    let mut spectra = vec![ComplexFx::zero(); in_blocks * h * w * bins];
+    parallel::par_chunk_map(&mut spectra[..], h * w * bins, |bi, chunk| {
+        let mut buf = vec![ComplexFx::zero(); bs];
+        for y in 0..h {
+            for xx in 0..w {
+                for (ci, item) in buf.iter_mut().enumerate() {
+                    *item = ComplexFx::new(x[(bi * bs + ci) * h * w + y * w + xx], 0);
+                }
+                pe.forward(&mut buf);
+                chunk[(y * w + xx) * bins..][..bins].copy_from_slice(&buf[..bins]);
+            }
+        }
+    });
+    spectra
+}
+
+/// One live eMAC operand of an out-block's plan: which shifted input
+/// spectrum to read and where its weight bins sit in the plan's flat
+/// weight array.
+struct EmacEntry {
+    /// Kernel tap offsets relative to the output pixel (`dy = p − pad`).
+    dy: isize,
+    dx: isize,
+    /// Pixel-relative spectrum offset `dy·w + dx` — valid only when the
+    /// tap stays in bounds, i.e. on the interior fast path.
+    rel: isize,
+    /// Flat-spectra base of the entry's in-block, in pixel units
+    /// (`bi · h · w`).
+    in_base: usize,
+    /// Start of the entry's `bins` weight words in [`EmacPlan::weights`].
+    w_off: usize,
+}
+
+/// Per-out-block eMAC schedule: the skip bitmap resolved once into a flat
+/// entry list (seed accumulation order: tap-major, then in-block), with
+/// every live block's weight bins packed contiguously. The per-pixel loop
+/// then walks two dense arrays instead of chasing nested `Vec`s and
+/// re-deriving block indices and liveness 𝐡·𝐰 times.
+struct EmacPlan {
+    entries: Vec<EmacEntry>,
+    weights: Vec<ComplexFx>,
+    /// Per-entry extra word (the block's scale shift for the per-block
+    /// scaled path; unused by the uniform path).
+    shifts: Vec<i64>,
+}
+
+/// Geometry an [`EmacPlan`] is built against.
+#[derive(Debug, Clone, Copy)]
+struct PlanDims {
+    kh: usize,
+    kw: usize,
+    in_blocks: usize,
+    h: usize,
+    w: usize,
+}
+
+/// Builds one out-block's plan. `block_bins(blk)` returns the block's
+/// quantized bins (with its scale shift) or `None` when pruned; bins are
+/// copied into the plan's contiguous weight array.
+fn emac_plan<'a>(
+    d: PlanDims,
+    bo: usize,
+    index: impl Fn(usize, usize, usize, usize) -> usize,
+    mut block_bins: impl FnMut(usize) -> Option<(&'a [ComplexFx], i64)>,
+) -> EmacPlan {
+    let PlanDims {
+        kh,
+        kw,
+        in_blocks,
+        h,
+        w,
+    } = d;
+    let pad = (kh - 1) / 2;
+    let mut plan = EmacPlan {
+        entries: Vec::new(),
+        weights: Vec::new(),
+        shifts: Vec::new(),
+    };
+    for p in 0..kh {
+        for qq in 0..kw {
+            let dy = p as isize - pad as isize;
+            let dx = qq as isize - pad as isize;
+            for bi in 0..in_blocks {
+                let blk = index(p, qq, bo, bi);
+                let Some((bins, shift)) = block_bins(blk) else {
+                    continue; // skip-index hit, resolved once per layer
+                };
+                plan.entries.push(EmacEntry {
+                    dy,
+                    dx,
+                    rel: dy * w as isize + dx,
+                    in_base: bi * h * w,
+                    w_off: plan.weights.len(),
+                });
+                plan.weights.extend_from_slice(bins);
+                plan.shifts.push(shift);
+            }
+        }
+    }
+    plan
+}
 
 /// Pre-quantized complex weights of one folded BCM conv layer: one
 /// half-spectrum (`BS/2+1` bins) per live block, plus the skip bitmap.
@@ -158,13 +268,7 @@ impl FxWeights {
 /// # Panics
 ///
 /// Panics if the input length disagrees with the layer dimensions.
-pub fn conv_forward_fx(
-    q: QFormat,
-    weights: &FxWeights,
-    x: &[i16],
-    h: usize,
-    w: usize,
-) -> Vec<i16> {
+pub fn conv_forward_fx(q: QFormat, weights: &FxWeights, x: &[i16], h: usize, w: usize) -> Vec<i16> {
     let bs = weights.bs;
     let c_in = weights.in_blocks * bs;
     let c_out = weights.out_blocks * bs;
@@ -174,66 +278,123 @@ pub fn conv_forward_fx(
     let bins = bs / 2 + 1;
     let mut out = vec![0i16; c_out * h * w];
 
-    // Channel-block input spectra per pixel, computed once and reused for
-    // every (tap, out-block) — the input reuse the dataflow maximizes.
-    let mut in_spectra: Vec<Vec<ComplexFx>> = vec![Vec::new(); weights.in_blocks * h * w];
-    for bi in 0..weights.in_blocks {
-        for y in 0..h {
-            for xx in 0..w {
-                let mut v = vec![0i16; bs];
-                for (ci, item) in v.iter_mut().enumerate() {
-                    *item = x[(bi * bs + ci) * h * w + y * w + xx];
-                }
-                let full = pe.forward_real(&v);
-                in_spectra[(bi * h + y) * w + xx] = full[..bins].to_vec();
-            }
-        }
-    }
+    let in_spectra = input_spectra(&pe, x, weights.in_blocks, h, w);
+    let plans: Vec<EmacPlan> = (0..weights.out_blocks)
+        .map(|bo| {
+            emac_plan(
+                PlanDims {
+                    kh: weights.kh,
+                    kw: weights.kw,
+                    in_blocks: weights.in_blocks,
+                    h,
+                    w,
+                },
+                bo,
+                |p, qq, b, bi| weights.index(p, qq, b, bi),
+                |blk| weights.live[blk].then(|| (&weights.spectra[blk][..], 0)),
+            )
+        })
+        .collect();
 
-    for bo in 0..weights.out_blocks {
+    // Out-blocks are independent (each owns a contiguous `BS·h·w` output
+    // slab) — fan them out over the worker pool; the accumulator and IFFT
+    // scratch buffers are hoisted out of the pixel loop. Interior rows run
+    // entry-major: each entry's weight bins load once per row and sweep
+    // the contiguous input spectra, which changes nothing about any single
+    // pixel's accumulation order.
+    parallel::par_chunk_map(&mut out[..], bs * h * w, |bo, out_block| {
+        let plan = &plans[bo];
+        let mut acc = vec![ComplexAcc::zero(); bins];
+        let mut full = vec![ComplexFx::zero(); bs];
+        // Interior column range [x0, x1): every horizontal tap in bounds.
+        let x0 = pad.min(w);
+        let x1 = w.saturating_sub(weights.kw - 1 - pad).max(x0);
+        let mut row_acc = vec![ComplexAcc::zero(); (x1 - x0) * bins];
         for y in 0..h {
-            for xx in 0..w {
-                let mut acc = vec![ComplexAcc::zero(); bins];
-                for p in 0..weights.kh {
-                    let iy = y as isize + p as isize - pad as isize;
+            let y_interior = y >= pad && y + (weights.kh - 1 - pad) < h;
+            if y_interior && x0 < x1 {
+                row_acc.fill(ComplexAcc::zero());
+                for e in &plan.entries {
+                    let start = ((e.in_base + y * w + x0) as isize + e.rel) as usize * bins;
+                    let xs_row = &in_spectra[start..start + (x1 - x0) * bins];
+                    let ws = &plan.weights[e.w_off..e.w_off + bins];
+                    for (acc_pix, xs_pix) in row_acc
+                        .chunks_exact_mut(bins)
+                        .zip(xs_row.chunks_exact(bins))
+                    {
+                        for (a, (xv, wv)) in acc_pix.iter_mut().zip(xs_pix.iter().zip(ws)) {
+                            a.mac(q, *xv, *wv);
+                        }
+                    }
+                }
+                for xx in x0..x1 {
+                    finish_pixel(
+                        &pe,
+                        q,
+                        &row_acc[(xx - x0) * bins..][..bins],
+                        &mut full,
+                        out_block,
+                        h * w,
+                        y * w + xx,
+                    );
+                }
+            }
+            // Border pixels (edge rows, or edge columns of interior rows)
+            // take the bounds-checked per-pixel path.
+            let border: Box<dyn Iterator<Item = usize>> = if y_interior && x0 < x1 {
+                Box::new((0..x0).chain(x1..w))
+            } else {
+                Box::new(0..w)
+            };
+            for xx in border {
+                acc.fill(ComplexAcc::zero());
+                for e in &plan.entries {
+                    let iy = y as isize + e.dy;
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    for qq in 0..weights.kw {
-                        let ix = xx as isize + qq as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        for bi in 0..weights.in_blocks {
-                            let blk = weights.index(p, qq, bo, bi);
-                            if !weights.live[blk] {
-                                continue; // skip-index hit
-                            }
-                            let xs = &in_spectra[(bi * h + iy as usize) * w + ix as usize];
-                            let ws = &weights.spectra[blk];
-                            for k in 0..bins {
-                                acc[k].mac(q, xs[k], ws[k]);
-                            }
-                        }
+                    let ix = xx as isize + e.dx;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let idx = (e.in_base + iy as usize * w + ix as usize) * bins;
+                    let xs = &in_spectra[idx..idx + bins];
+                    let ws = &plan.weights[e.w_off..e.w_off + bins];
+                    for (a, (xv, wv)) in acc.iter_mut().zip(xs.iter().zip(ws)) {
+                        a.mac(q, *xv, *wv);
                     }
                 }
-                // Narrow, expand conjugate-symmetric, IFFT with the shift
-                // divider, write real outputs.
-                let mut full = vec![ComplexFx::zero(); bs];
-                for k in 0..bins {
-                    full[k] = acc[k].narrow(q);
-                }
-                for k in 1..bs / 2 {
-                    full[bs - k] = full[k].conj();
-                }
-                pe.inverse(&mut full);
-                for oi in 0..bs {
-                    out[(bo * bs + oi) * h * w + y * w + xx] = full[oi].re;
-                }
+                finish_pixel(&pe, q, &acc, &mut full, out_block, h * w, y * w + xx);
             }
         }
-    }
+    });
     out
+}
+
+/// Narrows one pixel's accumulators, expands the conjugate-symmetric
+/// spectrum, runs the IFFT with the shift divider, and writes the real
+/// outputs — the tail every output pixel shares.
+fn finish_pixel(
+    pe: &FxFftPe,
+    q: QFormat,
+    acc: &[ComplexAcc],
+    full: &mut [ComplexFx],
+    out_block: &mut [i16],
+    hw: usize,
+    pix: usize,
+) {
+    let bs = full.len();
+    let bins = acc.len();
+    for k in 0..bins {
+        full[k] = acc[k].narrow(q);
+    }
+    for k in 1..bs / 2 {
+        full[bs - k] = full[k].conj();
+    }
+    pe.inverse(full);
+    for (oi, v) in full.iter().enumerate() {
+        out_block[oi * hw + pix] = v.re;
+    }
 }
 
 /// Per-block-scaled narrow weight spectra — the "fine-grained
@@ -291,19 +452,17 @@ impl ScaledFxWeights {
                             .fold(0.0f64, f64::max)
                             .max(1e-12);
                         // Largest frac such that max_mag·2^frac ≤ max_word.
-                        let frac = ((max_word as f64 / max_mag).log2().floor() as i64)
-                            .clamp(0, 30) as u32;
+                        let frac =
+                            ((max_word as f64 / max_mag).log2().floor() as i64).clamp(0, 30) as u32;
                         let scale = f64::from(1u32 << frac.min(31));
                         let bins = half
                             .bins()
                             .iter()
                             .map(|c| {
                                 ComplexFx::new(
-                                    ((c.re * scale).round() as i32)
-                                        .clamp(-max_word, max_word)
+                                    ((c.re * scale).round() as i32).clamp(-max_word, max_word)
                                         as i16,
-                                    ((c.im * scale).round() as i32)
-                                        .clamp(-max_word, max_word)
+                                    ((c.im * scale).round() as i32).clamp(-max_word, max_word)
                                         as i16,
                                 )
                             })
@@ -358,68 +517,82 @@ pub fn conv_forward_fx_scaled(
     let act_frac = q.frac_bits();
     let mut out = vec![0i16; c_out * h * w];
 
-    let mut in_spectra: Vec<Vec<ComplexFx>> = vec![Vec::new(); weights.in_blocks * h * w];
-    for bi in 0..weights.in_blocks {
-        for y in 0..h {
-            for xx in 0..w {
-                let mut v = vec![0i16; bs];
-                for (ci, item) in v.iter_mut().enumerate() {
-                    *item = x[(bi * bs + ci) * h * w + y * w + xx];
-                }
-                let full = pe.forward_real(&v);
-                in_spectra[(bi * h + y) * w + xx] = full[..bins].to_vec();
-            }
-        }
-    }
+    let in_spectra = input_spectra(&pe, x, weights.in_blocks, h, w);
+    let plans: Vec<EmacPlan> = (0..weights.out_blocks)
+        .map(|bo| {
+            emac_plan(
+                PlanDims {
+                    kh: weights.kh,
+                    kw: weights.kw,
+                    in_blocks: weights.in_blocks,
+                    h,
+                    w,
+                },
+                bo,
+                |p, qq, b, bi| weights.index(p, qq, b, bi),
+                |blk| {
+                    weights.blocks[blk].as_ref().map(|(ws, wfrac)| {
+                        // Product frac = act_frac + wfrac; rescale to
+                        // 2·act_frac by shifting by (wfrac − act_frac).
+                        (&ws[..], i64::from(*wfrac) - i64::from(act_frac))
+                    })
+                },
+            )
+        })
+        .collect();
 
-    for bo in 0..weights.out_blocks {
+    parallel::par_chunk_map(&mut out[..], bs * h * w, |bo, out_block| {
+        let plan = &plans[bo];
+        // i64 accumulators at 2·act_frac fractional bits.
+        let mut acc_re = vec![0i64; bins];
+        let mut acc_im = vec![0i64; bins];
+        let mut full = vec![ComplexFx::zero(); bs];
+        let mac =
+            |acc_re: &mut [i64], acc_im: &mut [i64], idx: usize, e: &EmacEntry, shift: i64| {
+                let xs = &in_spectra[idx..idx + bins];
+                let ws = &plan.weights[e.w_off..e.w_off + bins];
+                for (k, (xv, wv)) in xs.iter().zip(ws).enumerate() {
+                    let (a, b) = (*xv, *wv);
+                    let re = i64::from(a.re) * i64::from(b.re) - i64::from(a.im) * i64::from(b.im);
+                    let im = i64::from(a.re) * i64::from(b.im) + i64::from(a.im) * i64::from(b.re);
+                    let (re, im) = if shift >= 0 {
+                        (re >> shift, im >> shift)
+                    } else {
+                        (re << -shift, im << -shift)
+                    };
+                    acc_re[k] += re;
+                    acc_im[k] += im;
+                }
+            };
         for y in 0..h {
+            let y_interior = y >= pad && y + (weights.kh - 1 - pad) < h;
             for xx in 0..w {
-                // i64 accumulators at 2·act_frac fractional bits.
-                let mut acc_re = vec![0i64; bins];
-                let mut acc_im = vec![0i64; bins];
-                for p in 0..weights.kh {
-                    let iy = y as isize + p as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
+                acc_re.fill(0);
+                acc_im.fill(0);
+                let pix = (y * w + xx) as isize;
+                if y_interior && xx >= pad && xx + (weights.kw - 1 - pad) < w {
+                    for (e, &shift) in plan.entries.iter().zip(&plan.shifts) {
+                        let idx = ((e.in_base as isize + pix + e.rel) as usize) * bins;
+                        mac(&mut acc_re, &mut acc_im, idx, e, shift);
                     }
-                    for qq in 0..weights.kw {
-                        let ix = xx as isize + qq as isize - pad as isize;
+                } else {
+                    for (e, &shift) in plan.entries.iter().zip(&plan.shifts) {
+                        let iy = y as isize + e.dy;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let ix = xx as isize + e.dx;
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for bi in 0..weights.in_blocks {
-                            let blk = weights.index(p, qq, bo, bi);
-                            let Some((ws, wfrac)) = &weights.blocks[blk] else {
-                                continue;
-                            };
-                            let xs = &in_spectra[(bi * h + iy as usize) * w + ix as usize];
-                            // Product frac = act_frac + wfrac; rescale to
-                            // 2·act_frac by shifting by (wfrac − act_frac).
-                            let shift = *wfrac as i64 - act_frac as i64;
-                            for k in 0..bins {
-                                let (a, b) = (xs[k], ws[k]);
-                                let re = i64::from(a.re) * i64::from(b.re)
-                                    - i64::from(a.im) * i64::from(b.im);
-                                let im = i64::from(a.re) * i64::from(b.im)
-                                    + i64::from(a.im) * i64::from(b.re);
-                                let (re, im) = if shift >= 0 {
-                                    (re >> shift, im >> shift)
-                                } else {
-                                    (re << -shift, im << -shift)
-                                };
-                                acc_re[k] += re;
-                                acc_im[k] += im;
-                            }
-                        }
+                        let idx = (e.in_base + iy as usize * w + ix as usize) * bins;
+                        mac(&mut acc_re, &mut acc_im, idx, e, shift);
                     }
                 }
-                let mut full = vec![ComplexFx::zero(); bs];
                 for k in 0..bins {
                     let narrow = |v: i64| -> i16 {
                         let rounding = 1i64 << (act_frac - 1);
-                        ((v + rounding) >> act_frac)
-                            .clamp(i64::from(i16::MIN), i64::from(i16::MAX))
+                        ((v + rounding) >> act_frac).clamp(i64::from(i16::MIN), i64::from(i16::MAX))
                             as i16
                     };
                     full[k] = ComplexFx::new(narrow(acc_re[k]), narrow(acc_im[k]));
@@ -429,11 +602,11 @@ pub fn conv_forward_fx_scaled(
                 }
                 pe.inverse(&mut full);
                 for oi in 0..bs {
-                    out[(bo * bs + oi) * h * w + y * w + xx] = full[oi].re;
+                    out_block[oi * h * w + y * w + xx] = full[oi].re;
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -504,7 +677,13 @@ mod tests {
     use rand::SeedableRng;
     use tensor::init;
 
-    fn random_conv(seed: u64, bs: usize, ob: usize, ib: usize, k: usize) -> ConvBlockCirculant<f32> {
+    fn random_conv(
+        seed: u64,
+        bs: usize,
+        ob: usize,
+        ib: usize,
+        k: usize,
+    ) -> ConvBlockCirculant<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let grids = (0..k * k)
             .map(|_| {
@@ -522,7 +701,12 @@ mod tests {
     }
 
     /// Float reference: direct dense convolution of the folded weights.
-    fn conv_forward_float(conv: &ConvBlockCirculant<f32>, x: &[f32], h: usize, w: usize) -> Vec<f32> {
+    fn conv_forward_float(
+        conv: &ConvBlockCirculant<f32>,
+        x: &[f32],
+        h: usize,
+        w: usize,
+    ) -> Vec<f32> {
         let dense = conv.to_dense();
         let (co, ci) = conv.channel_dims();
         let (kh, kw) = conv.kernel_dims();
@@ -576,7 +760,9 @@ mod tests {
         let q = QFormat::q8();
         let weights = FxWeights::from_folded(q, &conv);
         assert_eq!(weights.live_count(), 2);
-        let x: Vec<i16> = (0..8 * 4).map(|i| q.from_f64((i % 5) as f64 * 0.1)).collect();
+        let x: Vec<i16> = (0..8 * 4)
+            .map(|i| q.from_f64((i % 5) as f64 * 0.1))
+            .collect();
         let y = conv_forward_fx(q, &weights, &x, 2, 2);
         // Channels 4..8 (output block 1) must be exactly zero.
         for c in 4..8 {

@@ -55,7 +55,10 @@ impl PeBankConfig {
     ///
     /// Panics if `bs` is not a power of two ≥ 2 or `p == 0`.
     pub fn new(bs: usize, p: usize) -> Self {
-        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
         assert!(p > 0, "parallelism must be non-zero");
         PeBankConfig {
             bs,

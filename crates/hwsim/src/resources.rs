@@ -138,8 +138,7 @@ impl AcceleratorConfig {
         let halo = ((self.tile_h + 2) * (self.tile_w + 2)) as f64;
         let input_bytes = 2.0 * halo * self.tile_c_in as f64 * 2.0;
         let output_bytes = 2.0 * pixels * self.tile_c_out as f64 * 2.0;
-        let blocks_per_tile =
-            (9 * (self.tile_c_in / self.bs) * (self.tile_c_out / self.bs)) as f64;
+        let blocks_per_tile = (9 * (self.tile_c_in / self.bs) * (self.tile_c_out / self.bs)) as f64;
         let weight_bytes = 2.0 * blocks_per_tile * (self.bs / 2 + 1) as f64 * 4.0;
         // Complex partial input/output buffers for the PE banks.
         let spectral_bytes = 2.0 * (self.p * (self.bs / 2 + 1) * 4 * 2) as f64;
@@ -169,11 +168,7 @@ mod tests {
         // Table III "ResNet-18 (Ours)": 18.2 kLUT (34 %), 117 DSP (53 %),
         // 112.5 BRAM (80 %).
         let est = AcceleratorConfig::pynq_z2().estimate();
-        assert!(
-            (15_000..=22_000).contains(&est.lut),
-            "lut = {}",
-            est.lut
-        );
+        assert!((15_000..=22_000).contains(&est.lut), "lut = {}", est.lut);
         assert!((100..=130).contains(&est.dsp), "dsp = {}", est.dsp);
         assert!(
             (85.0..=126.0).contains(&est.bram_36k),

@@ -62,8 +62,7 @@ pub fn tiled_conv_forward_fx(
                         if sx < 0 || sx >= w as isize {
                             continue;
                         }
-                        tile[(c * gh + y) * gw + xx] =
-                            x[(c * h + sy as usize) * w + sx as usize];
+                        tile[(c * gh + y) * gw + xx] = x[(c * h + sy as usize) * w + sx as usize];
                     }
                 }
             }
@@ -92,7 +91,13 @@ mod tests {
     use rand::SeedableRng;
     use tensor::init;
 
-    fn random_conv(seed: u64, bs: usize, ob: usize, ib: usize, k: usize) -> ConvBlockCirculant<f32> {
+    fn random_conv(
+        seed: u64,
+        bs: usize,
+        ob: usize,
+        ib: usize,
+        k: usize,
+    ) -> ConvBlockCirculant<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let grids = (0..k * k)
             .map(|_| {

@@ -133,8 +133,7 @@ mod tests {
     }
 
     #[test]
-    fn single_tile_is_serial_either_way()
-    {
+    fn single_tile_is_serial_either_way() {
         let t = TileCost {
             dram: 10,
             fft: 5,
@@ -194,10 +193,7 @@ mod tests {
             emac: 300,
             ifft: 20,
         };
-        let pruned = TileCost {
-            emac: 30,
-            ..dense
-        };
+        let pruned = TileCost { emac: 30, ..dense };
         let a = simulate_pipeline(&uniform(100, dense), true);
         let b = simulate_pipeline(&uniform(100, pruned), true);
         assert_eq!(a.bottleneck_station(), 2);

@@ -287,7 +287,11 @@ mod tests {
                     let (o, i) = (idx / ci, idx % ci);
                     f64::from(w.at(&[o, i, 0, 0]))
                 });
-                assert!(svd::numerical_rank(&slice, 1e-6) <= 4, "layer {}", layer.name());
+                assert!(
+                    svd::numerical_rank(&slice, 1e-6) <= 4,
+                    "layer {}",
+                    layer.name()
+                );
             }
         }
     }

@@ -139,10 +139,8 @@ impl SyntheticVision {
                 for y in 0..size {
                     for x in 0..size {
                         let v = amp
-                            * (std::f64::consts::TAU * fy * y as f64 / size as f64 + phase_y)
-                                .sin()
-                            * (std::f64::consts::TAU * fx * x as f64 / size as f64 + phase_x)
-                                .cos();
+                            * (std::f64::consts::TAU * fy * y as f64 / size as f64 + phase_y).sin()
+                            * (std::f64::consts::TAU * fx * x as f64 / size as f64 + phase_x).cos();
                         img[(c * size + y) * size + x] += v as f32;
                     }
                 }
@@ -178,9 +176,7 @@ impl SyntheticVision {
                                     * (std::f64::consts::TAU * u2).cos()
                                     * cfg.noise_std
                             };
-                            images.push(
-                                proto[(c * cfg.size + sy) * cfg.size + sx] + noise as f32,
-                            );
+                            images.push(proto[(c * cfg.size + sy) * cfg.size + sx] + noise as f32);
                         }
                     }
                 }
@@ -222,11 +218,16 @@ impl SyntheticVision {
     /// # Panics
     ///
     /// Panics if `batch_size == 0`.
-    pub fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor<f32>, Vec<usize>)> {
+    pub fn train_batches(
+        &self,
+        batch_size: usize,
+        epoch_seed: u64,
+    ) -> Vec<(Tensor<f32>, Vec<usize>)> {
         assert!(batch_size > 0, "batch size must be non-zero");
         let n = self.train_len();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
         // Fisher-Yates.
         for i in (1..n).rev() {
             let j = rng.gen_range(0..=i);
@@ -244,12 +245,7 @@ impl SyntheticVision {
         self.gather(&self.test_images, &self.test_labels, &idx)
     }
 
-    fn gather(
-        &self,
-        images: &[f32],
-        labels: &[usize],
-        idx: &[usize],
-    ) -> (Tensor<f32>, Vec<usize>) {
+    fn gather(&self, images: &[f32], labels: &[usize], idx: &[usize]) -> (Tensor<f32>, Vec<usize>) {
         let il = self.image_len();
         let mut data = Vec::with_capacity(idx.len() * il);
         let mut lab = Vec::with_capacity(idx.len());
@@ -259,7 +255,12 @@ impl SyntheticVision {
         }
         let t = Tensor::from_vec(
             data,
-            &[idx.len(), self.config.channels, self.config.size, self.config.size],
+            &[
+                idx.len(),
+                self.config.channels,
+                self.config.size,
+                self.config.size,
+            ],
         );
         (t, lab)
     }

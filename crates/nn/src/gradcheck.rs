@@ -44,6 +44,13 @@ where
     let out = work.forward(x, true);
     let analytic = work.backward(&Tensor::ones(out.dims()));
 
+    // Σ over the output in f64: the f32 `sum()` rounds enough to swamp the
+    // central difference for larger layers (the loss itself is linear in the
+    // perturbation, so summation error is the dominant noise term).
+    fn loss(t: &Tensor<f32>) -> f64 {
+        t.as_slice().iter().map(|&v| f64::from(v)).sum()
+    }
+
     let eps = 1e-3f32;
     let mut max_abs = 0.0f64;
     let mut max_rel = 0.0f64;
@@ -53,11 +60,11 @@ where
         let mut xp = x.clone();
         xp.as_mut_slice()[idx] += eps;
         let mut lp = layer.clone();
-        let y1 = f64::from(lp.forward(&xp, true).sum());
+        let y1 = loss(&lp.forward(&xp, true));
         let mut xm = x.clone();
         xm.as_mut_slice()[idx] -= eps;
         let mut lm = layer.clone();
-        let y0 = f64::from(lm.forward(&xm, true).sum());
+        let y0 = loss(&lm.forward(&xm, true));
         let numeric = (y1 - y0) / (2.0 * f64::from(eps));
         let a = f64::from(analytic.as_slice()[idx]);
         let abs = (a - numeric).abs();
@@ -86,11 +93,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let x: Tensor<f32> = init::gaussian(&mut rng, &[2, 8, 5, 5], 0.0, 1.0);
         let conv = Conv2d::new(&mut rng, 8, 8, 3, 1, 1);
-        assert!(check_input_gradient(&conv, &x, 12).passes(2e-2));
+        let check = check_input_gradient(&conv, &x, 12);
+        assert!(check.passes(2e-2), "conv: {check:?}");
         let bcm = BcmConv2d::new(&mut rng, 8, 8, 3, 1, 1, 8);
-        assert!(check_input_gradient(&bcm, &x, 12).passes(2e-2));
+        let check = check_input_gradient(&bcm, &x, 12);
+        assert!(check.passes(2e-2), "bcm: {check:?}");
         let hada = HadaBcmConv2d::new(&mut rng, 8, 8, 3, 1, 1, 8);
-        assert!(check_input_gradient(&hada, &x, 12).passes(2e-2));
+        let check = check_input_gradient(&hada, &x, 12);
+        assert!(check.passes(2e-2), "hada: {check:?}");
     }
 
     #[test]

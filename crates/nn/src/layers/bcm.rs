@@ -56,7 +56,10 @@ struct BcmLayout {
 
 impl BcmLayout {
     fn new(c_in: usize, c_out: usize, k: usize, bs: usize) -> Self {
-        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
         assert_eq!(c_in % bs, 0, "c_in {c_in} not divisible by BS {bs}");
         assert_eq!(c_out % bs, 0, "c_out {c_out} not divisible by BS {bs}");
         BcmLayout {
@@ -140,9 +143,7 @@ impl BcmLayout {
                         if pruned[blk] {
                             CirculantMatrix::zeros(self.bs)
                         } else {
-                            CirculantMatrix::new(
-                                vecs[blk * self.bs..(blk + 1) * self.bs].to_vec(),
-                            )
+                            CirculantMatrix::new(vecs[blk * self.bs..(blk + 1) * self.bs].to_vec())
                         }
                     })
                     .collect();
@@ -163,6 +164,9 @@ pub struct BcmConv2d {
     vecs: Param,
     pruned: Vec<bool>,
     core: ConvCore,
+    /// Expanded im2col weight from the latest `forward`, reused by
+    /// `backward` in the same step; dropped on any weight update.
+    cached_w: Option<Tensor<f32>>,
 }
 
 impl BcmConv2d {
@@ -187,18 +191,14 @@ impl BcmConv2d {
     ) -> Self {
         let layout = BcmLayout::new(c_in, c_out, kernel, bs);
         let std = (2.0 / (c_in * kernel * kernel) as f64).sqrt();
-        let vecs = Param::new(init::gaussian(
-            rng,
-            &[layout.block_count(), bs],
-            0.0,
-            std,
-        ));
+        let vecs = Param::new(init::gaussian(rng, &[layout.block_count(), bs], 0.0, std));
         BcmConv2d {
             name: format!("bcmconv{c_in}x{c_out}k{kernel}bs{bs}"),
             layout,
             vecs,
             pruned: vec![false; layout.block_count()],
             core: ConvCore::new(c_in, c_out, kernel, kernel, stride, pad),
+            cached_w: None,
         }
     }
 
@@ -220,20 +220,27 @@ impl Layer for BcmConv2d {
     }
 
     fn forward(&mut self, x: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        // Expand once per step; `backward` reuses the identical weights.
         let w = self.layout.expand(self.vecs.value.as_slice());
-        self.core.forward(x, &w)
+        let y = self.core.forward(x, &w);
+        self.cached_w = Some(w);
+        y
     }
 
     fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
-        let w = self.layout.expand(self.vecs.value.as_slice());
+        let w = self
+            .cached_w
+            .take()
+            .unwrap_or_else(|| self.layout.expand(self.vecs.value.as_slice()));
         let (dw, dx) = self.core.backward(grad, &w);
-        self.layout
-            .project_grad(&dw, self.vecs.grad.as_mut_slice());
+        self.cached_w = Some(w);
+        self.layout.project_grad(&dw, self.vecs.grad.as_mut_slice());
         self.masked_grad();
         dx
     }
 
     fn step(&mut self, update: &SgdUpdate) {
+        self.cached_w = None;
         self.vecs.step(update);
     }
 
@@ -277,6 +284,7 @@ impl BcmLayer for BcmConv2d {
     }
 
     fn eliminate(&mut self, local_indices: &[usize]) {
+        self.cached_w = None;
         let bs = self.layout.bs;
         for &blk in local_indices {
             assert!(blk < self.pruned.len(), "block index out of range");
@@ -324,6 +332,9 @@ pub struct HadaBcmConv2d {
     b: Param,
     pruned: Vec<bool>,
     core: ConvCore,
+    /// Expanded folded im2col weight from the latest `forward`, reused by
+    /// `backward` in the same step; dropped on any weight update.
+    cached_w: Option<Tensor<f32>>,
 }
 
 impl HadaBcmConv2d {
@@ -357,6 +368,7 @@ impl HadaBcmConv2d {
             b,
             pruned: vec![false; layout.block_count()],
             core: ConvCore::new(c_in, c_out, kernel, kernel, stride, pad),
+            cached_w: None,
         }
     }
 
@@ -377,13 +389,20 @@ impl Layer for HadaBcmConv2d {
     }
 
     fn forward(&mut self, x: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        // Fold + expand once per step; `backward` reuses the same matrix.
         let w = self.layout.expand(&self.folded_vecs());
-        self.core.forward(x, &w)
+        let y = self.core.forward(x, &w);
+        self.cached_w = Some(w);
+        y
     }
 
     fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
-        let w = self.layout.expand(&self.folded_vecs());
+        let w = self
+            .cached_w
+            .take()
+            .unwrap_or_else(|| self.layout.expand(&self.folded_vecs()));
         let (dw_mat, dx) = self.core.backward(grad, &w);
+        self.cached_w = Some(w);
         // Project onto the folded defining vectors, then split by Eq. (1):
         // ∂L/∂A = ∂L/∂W ⊙ B, ∂L/∂B = ∂L/∂W ⊙ A.
         let mut dfold = vec![0.0f32; self.a.value.len()];
@@ -408,6 +427,7 @@ impl Layer for HadaBcmConv2d {
     }
 
     fn step(&mut self, update: &SgdUpdate) {
+        self.cached_w = None;
         self.a.step(update);
         self.b.step(update);
     }
@@ -453,6 +473,7 @@ impl BcmLayer for HadaBcmConv2d {
     }
 
     fn eliminate(&mut self, local_indices: &[usize]) {
+        self.cached_w = None;
         let bs = self.layout.bs;
         for &blk in local_indices {
             assert!(blk < self.pruned.len(), "block index out of range");

@@ -27,6 +27,12 @@ pub struct BcmLinear {
     bias: Param,
     pruned: Vec<bool>,
     input: Option<Tensor<f32>>,
+    /// Dense weight expanded by the training forward, reused by `backward`
+    /// in the same step instead of re-expanding identical weights.
+    cached_dense: Option<Tensor<f32>>,
+    /// Folded grid with prepared weight spectra for the inference path;
+    /// invalidated whenever the weights change (`step`/`eliminate`).
+    cached_grid: Option<BlockCirculant<f32>>,
 }
 
 impl BcmLinear {
@@ -36,13 +42,11 @@ impl BcmLinear {
     ///
     /// Panics if features are not divisible by `bs` or `bs` is not a power
     /// of two ≥ 2.
-    pub fn new(
-        rng: &mut impl Rng,
-        in_features: usize,
-        out_features: usize,
-        bs: usize,
-    ) -> Self {
-        assert!(bs.is_power_of_two() && bs >= 2, "BS must be a power of two >= 2");
+    pub fn new(rng: &mut impl Rng, in_features: usize, out_features: usize, bs: usize) -> Self {
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
         assert_eq!(in_features % bs, 0, "in_features not divisible by BS");
         assert_eq!(out_features % bs, 0, "out_features not divisible by BS");
         let (ob, ib) = (out_features / bs, in_features / bs);
@@ -56,6 +60,8 @@ impl BcmLinear {
             bias: Param::new(Tensor::zeros(&[out_features])),
             pruned: vec![false; ob * ib],
             input: None,
+            cached_dense: None,
+            cached_grid: None,
         }
     }
 
@@ -112,15 +118,31 @@ impl Layer for BcmLinear {
         &self.name
     }
 
-    fn forward(&mut self, x: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
         assert_eq!(x.shape().ndim(), 2, "bcm linear expects [batch, features]");
         let (inf, outf) = (self.in_blocks * self.bs, self.out_blocks * self.bs);
         assert_eq!(x.dims()[1], inf, "feature mismatch");
         self.input = Some(x.clone());
-        let w = self.expand();
-        let mut y = x.matmul(&w.transpose());
+        let n = x.dims()[0];
+        let mut y = if train {
+            // Training path: expand once; `backward` reuses the same matrix.
+            let w = self.expand();
+            let y = x.matmul(&w.transpose());
+            self.cached_dense = Some(w);
+            y
+        } else {
+            // Inference path: batched "FFT → eMAC → IFFT" against the
+            // cached weight spectra — no densification at all.
+            if self.cached_grid.is_none() {
+                let grid = self.folded_grid();
+                grid.prepare_spectra();
+                self.cached_grid = Some(grid);
+            }
+            let grid = self.cached_grid.as_ref().expect("grid cached above");
+            Tensor::from_vec(grid.matmat(x.as_slice(), n), &[n, outf])
+        };
         let b = self.bias.value.as_slice();
-        for row in 0..x.dims()[0] {
+        for row in 0..n {
             for j in 0..outf {
                 y.as_mut_slice()[row * outf + j] += b[j];
             }
@@ -130,10 +152,10 @@ impl Layer for BcmLinear {
 
     fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
         let x = self.input.as_ref().expect("backward before forward");
-        let w = self.expand();
+        let w = self.cached_dense.take().unwrap_or_else(|| self.expand());
         let dw = grad.transpose().matmul(x); // [out, in]
-        // Project the dense gradient onto the circulant subspace:
-        // dvec[k] += dW[o][i] where (o−i) ≡ k (mod BS) within the block.
+                                             // Project the dense gradient onto the circulant subspace:
+                                             // dvec[k] += dW[o][i] where (o−i) ≡ k (mod BS) within the block.
         let (inf, outf) = (self.in_blocks * self.bs, self.out_blocks * self.bs);
         {
             let dv = self.vecs.grad.as_mut_slice();
@@ -161,10 +183,16 @@ impl Layer for BcmLinear {
                 self.bias.grad.as_mut_slice()[j] += grad.as_slice()[i * outf + j];
             }
         }
-        grad.matmul(&w)
+        let dx = grad.matmul(&w);
+        // Keep the expansion: repeated backward without an intervening
+        // weight update reuses it; `step`/`eliminate` drop it.
+        self.cached_dense = Some(w);
+        dx
     }
 
     fn step(&mut self, update: &SgdUpdate) {
+        self.cached_dense = None;
+        self.cached_grid = None;
         self.vecs.step(update);
         self.bias.step(update);
         // step() applies weight decay to zeroed regions harmlessly (they
@@ -215,6 +243,8 @@ impl BcmLayer for BcmLinear {
     }
 
     fn eliminate(&mut self, local_indices: &[usize]) {
+        self.cached_dense = None;
+        self.cached_grid = None;
         for &blk in local_indices {
             assert!(blk < self.pruned.len(), "block index out of range");
             self.pruned[blk] = true;
@@ -316,12 +346,47 @@ mod tests {
     fn exposed_through_network_bcm_surface() {
         use crate::layers::Network;
         let mut rng = StdRng::seed_from_u64(3);
-        let net = Network::new(
-            "fc",
-            vec![Box::new(BcmLinear::new(&mut rng, 16, 16, 8))],
-        );
+        let net = Network::new("fc", vec![Box::new(BcmLinear::new(&mut rng, 16, 16, 8))]);
         assert_eq!(net.bcm_block_count(), 4);
         assert_eq!(net.bcm_importances().len(), 4);
+    }
+
+    #[test]
+    fn inference_path_matches_training_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = BcmLinear::new(&mut rng, 16, 8, 4);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[4, 16], 0.0, 1.0);
+        let dense = l.forward(&x, true);
+        let spectral = l.forward(&x, false);
+        for (a, b) in dense.as_slice().iter().zip(spectral.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Pruning invalidates the cached grid; the spectral path honors the
+        // new skip index.
+        l.eliminate(&[0, 5]);
+        let dense = l.forward(&x, true);
+        let spectral = l.forward(&x, false);
+        for (a, b) in dense.as_slice().iter().zip(spectral.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_reuses_forward_expansion() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = BcmLinear::new(&mut rng, 8, 8, 4);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[2, 8], 0.0, 1.0);
+        let _ = l.forward(&x, true);
+        assert!(l.cached_dense.is_some(), "forward caches the expansion");
+        let _ = l.backward(&Tensor::ones(&[2, 8]));
+        assert!(l.cached_dense.is_some(), "backward keeps it for reuse");
+        l.step(&SgdUpdate {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
+        assert!(l.cached_dense.is_none(), "step invalidates the expansion");
+        assert!(l.cached_grid.is_none());
     }
 
     #[test]

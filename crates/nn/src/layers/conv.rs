@@ -4,7 +4,7 @@
 use crate::layers::{Layer, Param};
 use crate::optim::SgdUpdate;
 use rand::Rng;
-use tensor::{init, Tensor};
+use tensor::{init, parallel, Tensor};
 
 /// The shape/im2col machinery shared by [`Conv2d`] and the block-circulant
 /// convolution layers: turns convolution into a matrix product against a
@@ -78,12 +78,14 @@ impl ConvCore {
         cols
     }
 
-    fn col2im(&self, dcols: &Tensor<f32>, dx: &mut Tensor<f32>, n: usize, h: usize, w: usize) {
+    /// Adjoint of [`Self::im2col`] for one sample: scatters `dcols` into the
+    /// sample's `[c_in, h, w]` input-gradient slice.
+    fn col2im(&self, dcols: &Tensor<f32>, dx_sample: &mut [f32], h: usize, w: usize) {
         let (oh, ow) = self.output_hw(h, w);
         let ds = dcols.as_slice();
-        let xs = dx.as_mut_slice();
+        let xs = dx_sample;
         for ci in 0..self.c_in {
-            let x_base = (n * self.c_in + ci) * h * w;
+            let x_base = ci * h * w;
             for p in 0..self.kh {
                 for q in 0..self.kw {
                     let row = (ci * self.kh + p) * self.kw + q;
@@ -115,15 +117,17 @@ impl ConvCore {
         let (n, h, w) = (dims[0], dims[2], dims[3]);
         let (oh, ow) = self.output_hw(h, w);
         let mut out = Tensor::zeros(&[n, self.c_out, oh, ow]);
-        let mut cols_cache = Vec::with_capacity(n);
-        for ni in 0..n {
-            let cols = self.im2col(x, ni, h, w);
-            let y = w_mat.matmul(&cols); // [c_out, oh*ow]
-            out.as_mut_slice()
-                [ni * self.c_out * oh * ow..(ni + 1) * self.c_out * oh * ow]
-                .copy_from_slice(y.as_slice());
-            cols_cache.push(cols);
-        }
+        // Samples are independent: fan the im2col + matmul per sample over
+        // the worker pool, each writing its own output slice.
+        let cols_cache = {
+            let this = &*self;
+            parallel::par_chunk_map(out.as_mut_slice(), self.c_out * oh * ow, |ni, y| {
+                let cols = this.im2col(x, ni, h, w);
+                let prod = w_mat.matmul(&cols); // [c_out, oh*ow]
+                y.copy_from_slice(prod.as_slice());
+                cols
+            })
+        };
         self.cache = Some(CoreCache {
             input_dims: dims.to_vec(),
             cols: cols_cache,
@@ -134,7 +138,11 @@ impl ConvCore {
     }
 
     /// Backward: returns `(dW_mat, dx)` for the upstream NCHW gradient.
-    pub fn backward(&mut self, grad: &Tensor<f32>, w_mat: &Tensor<f32>) -> (Tensor<f32>, Tensor<f32>) {
+    pub fn backward(
+        &mut self,
+        grad: &Tensor<f32>,
+        w_mat: &Tensor<f32>,
+    ) -> (Tensor<f32>, Tensor<f32>) {
         let cache = self.cache.as_ref().expect("backward before forward");
         let (n, h, w) = (
             cache.input_dims[0],
@@ -143,17 +151,28 @@ impl ConvCore {
         );
         let (oh, ow) = (cache.oh, cache.ow);
         assert_eq!(grad.dims(), &[n, self.c_out, oh, ow], "gradient shape");
-        let mut dw = Tensor::zeros(&[self.c_out, self.c_in * self.kh * self.kw]);
+        let w_t = w_mat.transpose(); // hoisted: identical for every sample
         let mut dx = Tensor::zeros(&cache.input_dims);
-        for ni in 0..n {
-            let g = Tensor::from_vec(
-                grad.as_slice()[ni * self.c_out * oh * ow..(ni + 1) * self.c_out * oh * ow]
-                    .to_vec(),
-                &[self.c_out, oh * ow],
-            );
-            dw += &g.matmul(&cache.cols[ni].transpose());
-            let dcols = w_mat.transpose().matmul(&g);
-            self.col2im(&dcols, &mut dx, ni, h, w);
+        // Per-sample weight gradients and input-gradient scatters are
+        // independent; the dW partials are then summed in sample order, so
+        // the result is bit-identical for every worker count.
+        let dw_parts = {
+            let this = &*self;
+            parallel::par_chunk_map(dx.as_mut_slice(), self.c_in * h * w, |ni, dx_s| {
+                let g = Tensor::from_vec(
+                    grad.as_slice()[ni * self.c_out * oh * ow..(ni + 1) * self.c_out * oh * ow]
+                        .to_vec(),
+                    &[self.c_out, oh * ow],
+                );
+                let dw_i = g.matmul(&cache.cols[ni].transpose());
+                let dcols = w_t.matmul(&g);
+                this.col2im(&dcols, dx_s, h, w);
+                dw_i
+            })
+        };
+        let mut dw = Tensor::zeros(&[self.c_out, self.c_in * self.kh * self.kw]);
+        for part in &dw_parts {
+            dw += part;
         }
         (dw, dx)
     }
@@ -189,12 +208,9 @@ impl Conv2d {
 
     /// The dense weight as `[c_out, c_in, kh, kw]`.
     pub fn weight4(&self) -> Tensor<f32> {
-        self.weight.value.reshape(&[
-            self.core.c_out,
-            self.core.c_in,
-            self.core.kh,
-            self.core.kw,
-        ])
+        self.weight
+            .value
+            .reshape(&[self.core.c_out, self.core.c_in, self.core.kh, self.core.kw])
     }
 
     /// `(c_in, c_out, kernel)`.
@@ -234,13 +250,19 @@ impl Layer for Conv2d {
         Some(self.weight4())
     }
 
-    fn set_conv_weight(&mut self, w: &Tensor<f32>) -> Result<(), crate::layers::SetConvWeightError> {
+    fn set_conv_weight(
+        &mut self,
+        w: &Tensor<f32>,
+    ) -> Result<(), crate::layers::SetConvWeightError> {
         assert_eq!(
             w.dims(),
             &[self.core.c_out, self.core.c_in, self.core.kh, self.core.kw],
             "replacement weight shape mismatch"
         );
-        self.weight.value = w.reshape(&[self.core.c_out, self.core.c_in * self.core.kh * self.core.kw]);
+        self.weight.value = w.reshape(&[
+            self.core.c_out,
+            self.core.c_in * self.core.kh * self.core.kw,
+        ]);
         Ok(())
     }
 }

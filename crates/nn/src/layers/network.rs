@@ -208,7 +208,11 @@ impl std::fmt::Debug for ResidualBlock {
 
 impl ResidualBlock {
     /// Builds a residual block.
-    pub fn new(name: &str, main: Vec<Box<dyn Layer>>, shortcut: Option<Vec<Box<dyn Layer>>>) -> Self {
+    pub fn new(
+        name: &str,
+        main: Vec<Box<dyn Layer>>,
+        shortcut: Option<Vec<Box<dyn Layer>>>,
+    ) -> Self {
         ResidualBlock {
             name: name.to_string(),
             main,

@@ -165,10 +165,8 @@ impl Layer for BatchNorm2d {
                     let base = (ni * c + ci) * h * w;
                     let scale = gamma[ci] * cache.inv_std[ci] / count;
                     for k in 0..h * w {
-                        os[base + k] = scale
-                            * (count * gs[base + k]
-                                - sum_g[ci]
-                                - xh[base + k] * sum_gx[ci]);
+                        os[base + k] =
+                            scale * (count * gs[base + k] - sum_g[ci] - xh[base + k] * sum_gx[ci]);
                     }
                 }
             }

@@ -287,10 +287,7 @@ mod tests {
         // hadaBCM trains 2x the BCM params but folds to the same count.
         assert!(hada.param_count() > bcm.param_count());
         assert_eq!(hada.folded_param_count(), bcm.folded_param_count());
-        assert_eq!(
-            hada.dense_equiv_param_count(),
-            dense.param_count()
-        );
+        assert_eq!(hada.dense_equiv_param_count(), dense.param_count());
     }
 
     #[test]
@@ -303,10 +300,7 @@ mod tests {
 
     #[test]
     fn resnet_tiny_forward_backward_all_modes() {
-        for mode in [
-            ConvMode::Dense,
-            ConvMode::HadaBcm { block_size: 8 },
-        ] {
+        for mode in [ConvMode::Dense, ConvMode::HadaBcm { block_size: 8 }] {
             let mut net = resnet18_tiny(mode, 10, 2);
             let x = Tensor::<f32>::ones(&[1, 3, 16, 16]);
             let y = net.forward(&x, true);
@@ -339,9 +333,7 @@ mod tests {
         assert!(net.bcm_block_count() > 100);
         // ResNet-50-tiny is deeper than ResNet-18-tiny.
         let r18 = resnet18_tiny(ConvMode::Dense, 10, 5);
-        assert!(
-            resnet50_tiny(ConvMode::Dense, 10, 5).param_count() > r18.param_count()
-        );
+        assert!(resnet50_tiny(ConvMode::Dense, 10, 5).param_count() > r18.param_count());
     }
 
     #[test]

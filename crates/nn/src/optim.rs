@@ -49,8 +49,7 @@ impl Sgd {
             return self.lr_min;
         }
         let t = (step.min(self.total_steps)) as f32 / self.total_steps as f32;
-        self.lr_min
-            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 
     /// The update to hand to layers at `step`.

@@ -12,6 +12,8 @@
 //! - [`stats`]: norm statistics and Gaussian kernel-density estimation
 //!   (paper Fig. 5).
 //! - [`init`]: seeded weight initializers (Gaussian, Kaiming, uniform).
+//! - [`parallel`]: deterministic scoped-thread fan-out (`RPBCM_THREADS`),
+//!   the software analogue of the accelerator's parallel PE banks.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ mod tensor;
 
 pub mod init;
 pub mod ops;
+pub mod parallel;
 pub mod stats;
 pub mod svd;
 

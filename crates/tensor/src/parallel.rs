@@ -1,0 +1,259 @@
+//! Deterministic scoped-thread fan-out for the workspace's hot loops.
+//!
+//! This is the software stand-in for the accelerator's parallel PE banks:
+//! independent work items (output-block rows, batch samples, simulation
+//! tiles) are distributed over a fixed pool of `std::thread::scope` workers.
+//! No work stealing, no shared mutable state — each worker owns a contiguous
+//! range of items, so the outputs (and therefore any floating-point results)
+//! are **identical for every worker count**, including the serial fallback.
+//!
+//! The worker count comes from `std::thread::available_parallelism()`, and
+//! can be overridden with the `RPBCM_THREADS` environment variable (read
+//! once per process). All helpers fall back to a plain serial loop when the
+//! item count or worker count is 1, so callers can use them unconditionally.
+//!
+//! The FFT plan cache (`fft::plan`) is thread-local; each worker builds its
+//! own plans on first use and reuses them for the rest of the scope. See
+//! `fft::plan` for the cache-bound discussion.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// The process-wide worker count: `RPBCM_THREADS` if set to a positive
+/// integer, otherwise `std::thread::available_parallelism()` (1 if unknown).
+pub fn max_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("RPBCM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Contiguous partition of `n` items over `workers` ranges: range `w` is
+/// `bounds(n, workers, w).0 .. bounds(n, workers, w).1`.
+fn bounds(n: usize, workers: usize, w: usize) -> (usize, usize) {
+    (w * n / workers, (w + 1) * n / workers)
+}
+
+/// Maps `f` over `items` with an explicit worker count, preserving order.
+///
+/// `f` receives `(index, &item)`. Results are identical to the serial
+/// `items.iter().enumerate().map(f)` for every `workers` value.
+pub fn par_map_with<I, O, F>(workers: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let mut rest: &mut [Option<O>] = &mut out;
+        let mut consumed = 0usize;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let (lo, hi) = bounds(n, workers, w);
+                let (slot, tail) = rest.split_at_mut(hi - consumed);
+                rest = tail;
+                consumed = hi;
+                let f = &f;
+                s.spawn(move || {
+                    for (k, slot) in slot.iter_mut().enumerate() {
+                        let i = lo + k;
+                        *slot = Some(f(i, &items[i]));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// [`par_map_with`] using the process-wide [`max_workers`] count.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    par_map_with(max_workers(), items, f)
+}
+
+/// Applies `f` to each `chunk`-sized piece of `data` (last piece may be
+/// short) with an explicit worker count, returning the per-chunk outputs in
+/// chunk order. `f` receives `(chunk_index, chunk)`.
+///
+/// Chunks are disjoint, so this is deterministic for every `workers` value.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_chunk_map_with<T, O, F>(workers: usize, data: &mut [T], chunk: usize, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(usize, &mut [T]) -> O + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n = data.len().div_ceil(chunk);
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let mut chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let mut chunk_rest: &mut [&mut [T]] = &mut chunks;
+        let mut out_rest: &mut [Option<O>] = &mut out;
+        let mut consumed = 0usize;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let (lo, hi) = bounds(n, workers, w);
+                let (my_chunks, ctail) = chunk_rest.split_at_mut(hi - consumed);
+                let (my_out, otail) = out_rest.split_at_mut(hi - consumed);
+                chunk_rest = ctail;
+                out_rest = otail;
+                consumed = hi;
+                let f = &f;
+                s.spawn(move || {
+                    for (k, (c, slot)) in my_chunks.iter_mut().zip(my_out.iter_mut()).enumerate() {
+                        *slot = Some(f(lo + k, c));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// [`par_chunk_map_with`] using the process-wide [`max_workers`] count.
+pub fn par_chunk_map<T, O, F>(data: &mut [T], chunk: usize, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(usize, &mut [T]) -> O + Sync,
+{
+    par_chunk_map_with(max_workers(), data, chunk, f)
+}
+
+/// Runs `f` over each `chunk`-sized piece of `data` in parallel, discarding
+/// outputs. `f` receives `(chunk_index, chunk)`.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunk_map(data, chunk, |i, c| f(i, c));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_workers_is_positive() {
+        assert!(max_workers() >= 1);
+    }
+
+    #[test]
+    fn partition_covers_everything_once() {
+        for n in [0usize, 1, 2, 7, 8, 100] {
+            for workers in 1..=9usize {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (lo, hi) = bounds(n, workers, w);
+                    assert!(lo <= hi && hi <= n);
+                    covered += hi - lo;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_worker_count() {
+        let items: Vec<i64> = (0..103).collect();
+        let want: Vec<i64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * 3 + i as i64)
+            .collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let got = par_map_with(workers, &items, |i, v| v * 3 + i as i64);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_sees_disjoint_ordered_chunks() {
+        let mut data: Vec<u32> = (0..25).collect();
+        let want_sums: Vec<u32> = data.chunks(4).map(|c| c.iter().sum()).collect();
+        for workers in [1, 2, 5, 64] {
+            let mut d = data.clone();
+            let sums = par_chunk_map_with(workers, &mut d, 4, |i, c| {
+                for v in c.iter_mut() {
+                    *v += 100 * i as u32;
+                }
+                c.iter().map(|v| v % 100).sum::<u32>()
+            });
+            assert_eq!(sums, want_sums);
+            for (i, c) in d.chunks(4).enumerate() {
+                assert!(c.iter().all(|v| v / 100 == i as u32));
+            }
+        }
+        // Serial path leaves data untouched semantics identical.
+        let sums = par_chunk_map_with(1, &mut data, 4, |_, c| c.iter().sum::<u32>());
+        assert_eq!(sums, want_sums);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0u8; 17];
+        par_chunks_mut(&mut data, 3, |i, c| {
+            for v in c.iter_mut() {
+                *v = i as u8 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[16], 6); // chunk 5, last short chunk
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<i32> = par_map_with(4, &[] as &[i32], |_, v| *v);
+        assert!(out.is_empty());
+        let got = par_chunk_map_with(4, &mut [] as &mut [i32], 3, |_, c| c.len());
+        assert!(got.is_empty());
+    }
+}

@@ -227,11 +227,7 @@ impl<T: Scalar> Tensor<T> {
 
     /// Euclidean (ℓ₂/Frobenius) norm of all elements.
     pub fn norm_l2(&self) -> T {
-        self.data
-            .iter()
-            .map(|&x| x * x)
-            .sum::<T>()
-            .sqrt()
+        self.data.iter().map(|&x| x * x).sum::<T>().sqrt()
     }
 
     /// Sum of absolute values (ℓ₁ norm).
@@ -316,7 +312,13 @@ impl<T: Scalar> fmt::Debug for Tensor<T> {
         if self.len() <= 16 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{:?}, {:?}, ...; {} elems]", self.data[0], self.data[1], self.len())
+            write!(
+                f,
+                "[{:?}, {:?}, ...; {} elems]",
+                self.data[0],
+                self.data[1],
+                self.len()
+            )
         }
     }
 }

@@ -22,7 +22,10 @@ fn main() {
     // Stage 0: dense baseline for reference.
     let mut dense = vgg_tiny(ConvMode::Dense, data.num_classes(), 1);
     let dense_acc = Trainer::new(cfg).fit(&mut dense, &data);
-    println!("dense baseline:   acc = {dense_acc:.3}, params = {}", dense.param_count());
+    println!(
+        "dense baseline:   acc = {dense_acc:.3}, params = {}",
+        dense.param_count()
+    );
 
     // Stage 1: hadaBCM training (rank-enhanced BCM).
     let mut hada = vgg_tiny(ConvMode::HadaBcm { block_size: 8 }, data.num_classes(), 1);
@@ -58,7 +61,11 @@ fn main() {
             step.alpha,
             step.pruned_count,
             step.accuracy,
-            if step.accepted { "accepted" } else { "break-down" }
+            if step.accepted {
+                "accepted"
+            } else {
+                "break-down"
+            }
         );
     }
     println!(
@@ -73,7 +80,6 @@ fn main() {
         best.net.dense_equiv_param_count(),
         100.0
             * (1.0
-                - best.net.folded_param_count() as f64
-                    / best.net.dense_equiv_param_count() as f64)
+                - best.net.folded_param_count() as f64 / best.net.dense_equiv_param_count() as f64)
     );
 }

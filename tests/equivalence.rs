@@ -33,7 +33,9 @@ fn dense_fft_and_manual_pipeline_agree() {
     );
     let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
 
-    let dense = grid.to_dense().matmul(&Tensor::from_vec(x.clone(), &[16, 1]));
+    let dense = grid
+        .to_dense()
+        .matmul(&Tensor::from_vec(x.clone(), &[16, 1]));
     let fast = grid.matvec(&x);
 
     // Manual pipeline: FFT inputs once, eMAC-accumulate per output block,
@@ -123,7 +125,7 @@ fn nn_layer_and_core_hadabcm_agree() {
 /// function.
 #[test]
 fn bcm_conv_layer_matches_block_circulant_matvec() {
-    use rpbcm_repro::nn::layers::{BcmLayer, BcmConv2d, Layer};
+    use rpbcm_repro::nn::layers::{BcmConv2d, BcmLayer, Layer};
     let mut rng = StdRng::seed_from_u64(4);
     let bs = 4;
     let mut layer = BcmConv2d::new(&mut rng, 8, 8, 1, 1, 0, bs);

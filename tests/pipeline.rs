@@ -100,7 +100,11 @@ fn sparsity_is_stable_under_finetuning() {
 #[test]
 fn accounting_consistency() {
     let net = vgg_tiny(ConvMode::Bcm { block_size: 8 }, 10, 17);
-    let bcm_params: usize = net.bcm_layers().iter().map(|b| b.folded_param_count()).sum();
+    let bcm_params: usize = net
+        .bcm_layers()
+        .iter()
+        .map(|b| b.folded_param_count())
+        .sum();
     let dense_params: usize = net.bcm_layers().iter().map(|b| b.dense_param_count()).sum();
     assert_eq!(dense_params, bcm_params * 8);
 }

@@ -14,7 +14,13 @@ use rpbcm_repro::rpbcm::{HadaBcm, SkipIndexBuffer};
 use rpbcm_repro::tensor::svd;
 
 /// Random block-circulant conv weight from a proptest value vector.
-fn conv_from_values(bs: usize, ob: usize, ib: usize, k: usize, vals: &[f32]) -> ConvBlockCirculant<f32> {
+fn conv_from_values(
+    bs: usize,
+    ob: usize,
+    ib: usize,
+    k: usize,
+    vals: &[f32],
+) -> ConvBlockCirculant<f32> {
     let mut it = vals.iter().copied().cycle();
     let grids = (0..k * k)
         .map(|_| {
@@ -135,6 +141,54 @@ proptest! {
         let slow = grid.matvec_naive(&x);
         for (a, b) in fast.iter().zip(&slow) {
             prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    /// The lazily cached spectral path equals the naive time-domain
+    /// product, including after mutating a block through `block_mut` (the
+    /// cache must invalidate) and after pruning a block to zero (the skip
+    /// path must keep matching).
+    #[test]
+    fn cached_spectral_matvec_matches_naive(
+        vals in proptest::collection::vec(-2.0_f64..2.0, 64),
+        x in proptest::collection::vec(-2.0_f64..2.0, 24),
+        muts in proptest::collection::vec(-1.5_f64..1.5, 8),
+    ) {
+        let mut it = vals.iter().copied().cycle();
+        let blocks = (0..2 * 3)
+            .map(|_| CirculantMatrix::new((0..8).map(|_| it.next().expect("cycle")).collect()))
+            .collect();
+        let mut grid = BlockCirculant::from_blocks(8, 2, 3, blocks);
+        grid.prepare_spectra();
+        let close = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(p, q)| (p - q).abs() < 1e-7);
+        prop_assert!(close(&grid.matvec(&x), &grid.matvec_naive(&x)));
+        // Mutating a block must drop the stale spectra...
+        *grid.block_mut(1, 2) = CirculantMatrix::new(muts.clone());
+        prop_assert!(close(&grid.matvec(&x), &grid.matvec_naive(&x)));
+        // ...and so must pruning a block to zero (the skip-index case).
+        *grid.block_mut(0, 1) = CirculantMatrix::zeros(8);
+        prop_assert!(close(&grid.matvec(&x), &grid.matvec_naive(&x)));
+    }
+
+    /// Worker count never changes results: 1, 2, and 8 workers produce
+    /// bit-identical matvec and batched matmat outputs.
+    #[test]
+    fn worker_count_is_bit_exact(
+        vals in proptest::collection::vec(-2.0_f64..2.0, 48),
+        xs in proptest::collection::vec(-2.0_f64..2.0, 64),
+    ) {
+        let mut it = vals.iter().copied().cycle();
+        let blocks = (0..2 * 2)
+            .map(|_| CirculantMatrix::new((0..8).map(|_| it.next().expect("cycle")).collect()))
+            .collect();
+        let grid = BlockCirculant::from_blocks(8, 2, 2, blocks);
+        let base = grid.matvec_with_workers(&xs[..16], 1);
+        for workers in [2usize, 8] {
+            prop_assert_eq!(&grid.matvec_with_workers(&xs[..16], workers), &base);
+        }
+        let batched = grid.matmat_with_workers(&xs, 4, 1);
+        for workers in [2usize, 8] {
+            prop_assert_eq!(&grid.matmat_with_workers(&xs, 4, workers), &batched);
         }
     }
 

