@@ -3,4 +3,5 @@
 fn main() {
     let result = bench::experiments::ablation::run();
     bench::experiments::ablation::print(&result);
+    bench::write_telemetry("ablation");
 }

@@ -3,4 +3,5 @@
 fn main() {
     let result = bench::experiments::dse::run();
     bench::experiments::dse::print(&result);
+    bench::write_telemetry("dse");
 }

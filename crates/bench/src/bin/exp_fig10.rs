@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::fig10::run();
     bench::experiments::fig10::print(&result);
+    bench::write_telemetry("fig10");
 }

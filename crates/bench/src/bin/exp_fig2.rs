@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::fig2::run();
     bench::experiments::fig2::print(&result);
+    bench::write_telemetry("fig2");
 }

@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::fig5::run();
     bench::experiments::fig5::print(&result);
+    bench::write_telemetry("fig5");
 }

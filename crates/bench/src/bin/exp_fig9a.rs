@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::fig9a::run();
     bench::experiments::fig9a::print(&result);
+    bench::write_telemetry("fig9a");
 }

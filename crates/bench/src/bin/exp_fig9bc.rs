@@ -34,4 +34,5 @@ fn main() {
         fig9bc::print(&result);
         println!();
     }
+    bench::write_telemetry("fig9bc");
 }

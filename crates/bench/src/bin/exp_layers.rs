@@ -15,4 +15,5 @@ fn main() {
     };
     let result = bench::experiments::layers::run(alpha);
     bench::experiments::layers::print(&result);
+    bench::write_telemetry("layers");
 }

@@ -3,4 +3,5 @@
 fn main() {
     let result = bench::experiments::quant::run();
     bench::experiments::quant::print(&result);
+    bench::write_telemetry("quant");
 }

@@ -8,4 +8,5 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write BENCH_speedup.json: {e}"),
     }
+    bench::write_telemetry("speedup");
 }

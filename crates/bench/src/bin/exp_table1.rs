@@ -4,4 +4,5 @@ fn main() {
     bench::experiments::table1::print(&result);
     let rows = bench::experiments::table1::run_synthetic_baselines();
     bench::experiments::table1::print_synthetic(&rows);
+    bench::write_telemetry("table1");
 }

@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::table2::run();
     bench::experiments::table2::print(&result);
+    bench::write_telemetry("table2");
 }

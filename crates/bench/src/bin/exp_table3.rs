@@ -2,4 +2,5 @@
 fn main() {
     let result = bench::experiments::table3::run();
     bench::experiments::table3::print(&result);
+    bench::write_telemetry("table3");
 }

@@ -41,7 +41,7 @@ pub struct QuantResult {
     /// Sweep over fractional widths.
     pub points: Vec<QuantPoint>,
     /// `(weight bits, accuracy)` with per-block-scaled narrow weights
-    /// (He et al. [29]-style frequency-domain quantization; activations
+    /// (He et al. \[29\]-style frequency-domain quantization; activations
     /// stay Q7.8).
     pub scaled_points: Vec<(u32, f64)>,
 }

@@ -12,20 +12,30 @@
 //! 3. End-to-end fixed-point conv inference (`hwsim`): the seed per-pixel
 //!    loop with nested spectra and per-pixel allocations vs the current
 //!    flat-spectra, skip-list, parallel implementation.
+//! 4. Modeled accelerator dataflow: the Fig. 10 layer pushed through the
+//!    hwsim tile model and event-by-event pipeline, serial vs
+//!    double-buffered. These rows report *modeled* wall time at the
+//!    PYNQ-Z2 clock (cycles × 10 ns at 100 MHz), not host time, and they
+//!    populate the `hwsim.cycles.*`, `hwsim.pipeline.*` and `hwsim.skip.*`
+//!    telemetry counters when run with `RPBCM_TELEMETRY=1`.
 //!
 //! Writes `results/BENCH_speedup.json` with one record per configuration:
-//! `{config, wall_ns, speedup_vs_seed}`.
+//! `{config, wall_ns, speedup_vs_seed}`. With `RPBCM_TELEMETRY=1` the
+//! binary additionally writes `results/TELEMETRY_speedup.json`.
 
 use crate::table::Table;
 use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
 use fft::real::HalfSpectrum;
+use hwsim::dataflow::{DataflowConfig, LayerShape};
 use hwsim::fixed::{ComplexAcc, ComplexFx, QFormat};
 use hwsim::fxfft::FxFftPe;
 use hwsim::inference::{conv_forward_fx, FxWeights};
+use hwsim::timeline::simulate_pipeline;
 use nn::layers::BcmLinear;
 use nn::Layer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rpbcm::SkipIndexBuffer;
 use std::time::Instant;
 use tensor::{init, parallel};
 
@@ -393,6 +403,33 @@ pub fn run() -> SpeedupResult {
         config: format!("hwsim_infer_optimized_bs{cbs}_{ob}x{ib}_k{k}_{h}x{w}"),
         wall_ns: hw_opt_ns,
         speedup_vs_seed: hw_seed_ns as f64 / hw_opt_ns as f64,
+    });
+
+    // --- workload 4: modeled accelerator dataflow -------------------------
+    // Not a host-side timing: the Fig. 10 layer (ResNet-18, 128 channels,
+    // 28×28, 3×3, BS = 8) at α = 0.5 through the analytic tile model and
+    // the event-by-event pipeline, serial vs double-buffered. Reported as
+    // modeled wall time at the PYNQ-Z2 clock; also the run that populates
+    // the hwsim.cycles.*, hwsim.pipeline.* and hwsim.skip.* telemetry.
+    let cfg = DataflowConfig::pynq_z2();
+    let layer = LayerShape::conv(128, 128, 28, 28, 3, 8);
+    let blocks = layer.k * layer.k * (cfg.tile_c_in / layer.bs) * (cfg.tile_c_out / layer.bs);
+    let bits: Vec<bool> = (0..blocks).map(|i| i >= blocks / 2).collect();
+    let skip = SkipIndexBuffer::from_bools(&bits);
+    let (tile, n_tiles) = cfg.tile_costs(&layer, &skip);
+    let tiles = vec![tile; n_tiles as usize];
+    let serial = simulate_pipeline(&tiles, false);
+    let overlapped = simulate_pipeline(&tiles, true);
+    let ns_per_cycle = 1e3 / cfg.freq_mhz; // 100 MHz → 10 ns per cycle
+    measurements.push(Measurement {
+        config: "dataflow_modeled_fig10_alpha0.5_serial".into(),
+        wall_ns: (serial.makespan as f64 * ns_per_cycle) as u64,
+        speedup_vs_seed: 1.0,
+    });
+    measurements.push(Measurement {
+        config: "dataflow_modeled_fig10_alpha0.5_double_buffered".into(),
+        wall_ns: (overlapped.makespan as f64 * ns_per_cycle) as u64,
+        speedup_vs_seed: serial.makespan as f64 / overlapped.makespan as f64,
     });
 
     SpeedupResult { measurements }

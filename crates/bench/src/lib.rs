@@ -17,3 +17,25 @@
 
 pub mod experiments;
 pub mod table;
+
+/// Writes the telemetry registry to `results/TELEMETRY_<tag>.json` (path
+/// anchored at the workspace root, like the `BENCH_*`/fig/table artifacts)
+/// and returns the path written. Quietly does nothing while telemetry is
+/// disabled — run the `exp_*` binaries with `RPBCM_TELEMETRY=1` to enable.
+pub fn write_telemetry(tag: &str) -> Option<std::path::PathBuf> {
+    if !telemetry::enabled() {
+        return None;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../results/TELEMETRY_{tag}.json"));
+    match telemetry::write_report(&path) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("failed to write TELEMETRY_{tag}.json: {e}");
+            None
+        }
+    }
+}

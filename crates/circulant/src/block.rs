@@ -5,6 +5,19 @@ use fft::real::HalfSpectrum;
 use std::sync::OnceLock;
 use tensor::{parallel, Scalar, Tensor};
 
+/// Spectral-cache builds (the weight FFTs actually ran).
+static SPECTRA_BUILDS: telemetry::Counter = telemetry::Counter::new("circulant.spectra.builds");
+/// Spectral-cache hits (a matvec/matmat found the spectra already built).
+static SPECTRA_HITS: telemetry::Counter = telemetry::Counter::new("circulant.spectra.hits");
+/// Spectral-cache invalidations from mutable block access.
+static SPECTRA_INVALIDATIONS: telemetry::Counter =
+    telemetry::Counter::new("circulant.spectra.invalidations");
+/// eMAC block products actually computed (live blocks).
+static EMAC_COMPUTED: telemetry::Counter =
+    telemetry::Counter::new("circulant.emac.blocks_computed");
+/// eMAC block products skipped by the skip-index (pruned blocks).
+static EMAC_SKIPPED: telemetry::Counter = telemetry::Counter::new("circulant.emac.blocks_skipped");
+
 /// A weight matrix partitioned into a grid of circulant blocks
 /// (paper Fig. 1b for the convolution case; this type is the 2-d
 /// fully-connected / per-spatial-position core).
@@ -146,17 +159,32 @@ impl<T: Scalar> BlockCirculant<T> {
         &self.blocks[bi * self.col_blocks + bj]
     }
 
-    /// Mutable block access. Invalidates the spectral cache.
+    /// Mutable block access. Invalidates the spectral cache — the next
+    /// [`Self::matvec`]/[`Self::matmat`]/[`Self::prepare_spectra`] call
+    /// rebuilds it from the updated weights.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use circulant::{BlockCirculant, CirculantMatrix};
+    ///
+    /// let mut bc = BlockCirculant::<f64>::zeros(4, 1, 1);
+    /// bc.prepare_spectra();
+    /// assert!(bc.spectra_ready());
+    /// // Any mutable access drops the cached weight spectra.
+    /// *bc.block_mut(0, 0) = CirculantMatrix::new(vec![1.0, 2.0, 3.0, 4.0]);
+    /// assert!(!bc.spectra_ready());
+    /// ```
     pub fn block_mut(&mut self, bi: usize, bj: usize) -> &mut CirculantMatrix<T> {
         assert!(
             bi < self.row_blocks && bj < self.col_blocks,
             "block index out of bounds"
         );
-        self.spectra.take();
+        self.invalidate_spectra();
         &mut self.blocks[bi * self.col_blocks + bj]
     }
 
@@ -166,10 +194,17 @@ impl<T: Scalar> BlockCirculant<T> {
     }
 
     /// Iterates mutably over blocks in row-major order. Invalidates the
-    /// spectral cache.
+    /// spectral cache (even if nothing is written through the iterator).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CirculantMatrix<T>> {
-        self.spectra.take();
+        self.invalidate_spectra();
         self.blocks.iter_mut()
+    }
+
+    /// Drops the spectral cache (mutable access may change the weights).
+    fn invalidate_spectra(&mut self) {
+        if self.spectra.take().is_some() {
+            SPECTRA_INVALIDATIONS.inc();
+        }
     }
 
     /// Total number of blocks.
@@ -240,8 +275,27 @@ impl<T: Scalar> BlockCirculant<T> {
     /// the first [`Self::matvec`]/[`Self::matmat`] call). Idempotent; cheap
     /// when already built. Pruned blocks get no spectrum, mirroring the
     /// skip-index scheme.
+    ///
+    /// The cache lives until the next mutable block access
+    /// ([`Self::block_mut`] / [`Self::iter_mut`]), which drops it; see
+    /// [`Self::spectra_ready`] to observe the state.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use circulant::BlockCirculant;
+    /// use tensor::Tensor;
+    ///
+    /// let dense = Tensor::from_fn(&[8, 8], |i| (i % 5) as f64);
+    /// let bc = BlockCirculant::project_from_dense(&dense, 4);
+    /// assert!(!bc.spectra_ready()); // lazy: nothing built yet
+    /// bc.prepare_spectra(); // e.g. ahead of a latency-sensitive phase
+    /// assert!(bc.spectra_ready());
+    /// bc.prepare_spectra(); // idempotent
+    /// ```
     pub fn prepare_spectra(&self) {
         self.spectra.get_or_init(|| {
+            SPECTRA_BUILDS.inc();
             self.blocks
                 .iter()
                 .map(|b| {
@@ -262,6 +316,9 @@ impl<T: Scalar> BlockCirculant<T> {
 
     /// The cached spectra, building them if needed.
     fn cached_spectra(&self) -> &[Option<HalfSpectrum<T>>] {
+        if self.spectra.get().is_some() {
+            SPECTRA_HITS.inc();
+        }
         self.prepare_spectra();
         self.spectra
             .get()
@@ -286,6 +343,23 @@ impl<T: Scalar> BlockCirculant<T> {
     ///
     /// Panics if `x.len()` differs from the dense column count or `BS` is
     /// not a power of two.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use circulant::BlockCirculant;
+    /// use tensor::Tensor;
+    ///
+    /// let dense = Tensor::from_fn(&[4, 4], |i| i as f64);
+    /// let bc = BlockCirculant::project_from_dense(&dense, 4);
+    /// let x = [1.0, 0.0, 0.0, 0.0];
+    /// let y = bc.matvec(&x);
+    /// // The FFT path agrees with the naive per-block dense path.
+    /// let naive = bc.matvec_naive(&x);
+    /// for (a, b) in y.iter().zip(&naive) {
+    ///     assert!((a - b).abs() < 1e-9);
+    /// }
+    /// ```
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
         self.matvec_with_workers(x, parallel::max_workers())
     }
@@ -320,11 +394,16 @@ impl<T: Scalar> BlockCirculant<T> {
         x_spectra: &[HalfSpectrum<T>],
     ) -> Vec<T> {
         let mut acc = HalfSpectrum::zeros(bs);
+        let mut computed = 0u64;
         for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {
             if let Some(w_spec) = w_spec {
                 acc.emac_accumulate(w_spec, x_spec);
+                computed += 1;
             }
         }
+        // Two adds per row (not per block) keep the probe off the inner loop.
+        EMAC_COMPUTED.add(computed);
+        EMAC_SKIPPED.add(row_spectra.len() as u64 - computed);
         acc.inverse()
     }
 

@@ -36,6 +36,9 @@
 // Index-based loops mirror the mathematical/hardware notation the code
 // implements; iterator rewrites obscure the kernels.
 #![allow(clippy::needless_range_loop)]
+// Every public item must carry documentation: these crates are the
+// reproduction's reference API surface.
+#![deny(missing_docs)]
 
 mod block;
 #[allow(clippy::module_inception)]

@@ -292,6 +292,27 @@ pub struct ReductionReport {
     pub flops_reduction_pct: f64,
 }
 
+impl ReductionReport {
+    /// Publishes the report into the telemetry registry under
+    /// `accounting.<prefix>.*` gauges, so compression accounting lands in
+    /// the same `TELEMETRY_*.json` artifact as the runtime counters. No-op
+    /// while telemetry is disabled.
+    pub fn record_telemetry(&self, prefix: &str) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let g = |metric: &str, v: f64| {
+            telemetry::record_gauge(&format!("accounting.{prefix}.{metric}"), v);
+        };
+        g("dense_params", self.dense.params as f64);
+        g("dense_flops", self.dense.flops as f64);
+        g("compressed_params", self.compressed.params as f64);
+        g("compressed_flops", self.compressed.flops as f64);
+        g("param_reduction_pct", self.param_reduction_pct);
+        g("flops_reduction_pct", self.flops_reduction_pct);
+    }
+}
+
 impl NetworkSpec {
     /// Total dense cost.
     pub fn dense_cost(&self) -> Cost {
@@ -313,16 +334,19 @@ impl NetworkSpec {
         })
     }
 
-    /// Table-I-style reduction report.
+    /// Table-I-style reduction report. Also publishes
+    /// `accounting.<name>.bs<BS>_a<α>.*` gauges when telemetry is enabled.
     pub fn reduction(&self, cp: CompressionParams) -> ReductionReport {
         let dense = self.dense_cost();
         let compressed = self.bcm_cost(cp);
-        ReductionReport {
+        let report = ReductionReport {
             dense,
             compressed,
             param_reduction_pct: 100.0 * (1.0 - compressed.params as f64 / dense.params as f64),
             flops_reduction_pct: 100.0 * (1.0 - compressed.flops as f64 / dense.flops as f64),
-        }
+        };
+        report.record_telemetry(&format!("{}.bs{}_a{}", self.name, cp.block_size, cp.alpha));
+        report
     }
 
     /// Total BCM count (= skip-index buffer bits) under `bs`.

@@ -9,6 +9,13 @@
 use circulant::{BlockCirculant, ConvBlockCirculant};
 use tensor::Scalar;
 
+/// Skip-index buffers constructed.
+static BUFFERS_BUILT: telemetry::Counter = telemetry::Counter::new("skipindex.buffers_built");
+/// Live (compute) bits across all constructed buffers.
+static LIVE_BITS: telemetry::Counter = telemetry::Counter::new("skipindex.live_bits");
+/// Pruned (skip) bits across all constructed buffers.
+static PRUNED_BITS: telemetry::Counter = telemetry::Counter::new("skipindex.pruned_bits");
+
 /// A bit-packed skip-index buffer: bit `i` is `true` when BCM `i` is live
 /// (must be computed) and `false` when it is pruned (skipped).
 ///
@@ -37,6 +44,7 @@ impl SkipIndexBuffer {
             len,
         };
         buf.mask_tail();
+        buf.record_build();
         buf
     }
 
@@ -51,7 +59,18 @@ impl SkipIndexBuffer {
                 buf.words[i / 64] |= 1 << (i % 64);
             }
         }
+        buf.record_build();
         buf
+    }
+
+    /// Telemetry on construction: buffer count plus live/pruned bit totals.
+    fn record_build(&self) {
+        BUFFERS_BUILT.inc();
+        if telemetry::enabled() {
+            let live = self.live_count() as u64;
+            LIVE_BITS.add(live);
+            PRUNED_BITS.add(self.len as u64 - live);
+        }
     }
 
     /// Builds from a block-circulant grid's pruning state.

@@ -29,6 +29,9 @@
 //! }
 //! ```
 
+// Every public item must carry documentation: these crates are the
+// reproduction's reference API surface.
+#![deny(missing_docs)]
 mod complex;
 #[allow(clippy::module_inception)]
 mod fft;

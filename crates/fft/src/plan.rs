@@ -27,6 +27,13 @@ use tensor::Scalar;
 /// workload from growing each thread's cache without limit.
 pub const MAX_CACHED_PLANS: usize = 32;
 
+/// Plan requests served from the thread's cache.
+static CACHE_HITS: telemetry::Counter = telemetry::Counter::new("fft.plan_cache.hits");
+/// Plan requests that had to build a fresh plan.
+static CACHE_MISSES: telemetry::Counter = telemetry::Counter::new("fft.plan_cache.misses");
+/// Wholesale evictions triggered by the [`MAX_CACHED_PLANS`] bound.
+static CACHE_EVICTIONS: telemetry::Counter = telemetry::Counter::new("fft.plan_cache.evictions");
+
 thread_local! {
     static PLANS: RefCell<HashMap<(usize, TypeId), Rc<dyn Any>>> =
         RefCell::new(HashMap::new());
@@ -54,11 +61,17 @@ pub fn with_plan<T: Scalar, R>(n: usize, f: impl FnOnce(&Fft<T>) -> R) -> R {
     let key = (n, TypeId::of::<T>());
     let plan: Rc<dyn Any> = PLANS.with(|cache| {
         let mut cache = cache.borrow_mut();
-        if !cache.contains_key(&key) && cache.len() >= MAX_CACHED_PLANS {
-            // Wholesale eviction: plans are cheap to rebuild relative to
-            // the transforms they serve, and an LRU would cost bookkeeping
-            // on the hit path every call.
-            cache.clear();
+        if cache.contains_key(&key) {
+            CACHE_HITS.inc();
+        } else {
+            CACHE_MISSES.inc();
+            if cache.len() >= MAX_CACHED_PLANS {
+                // Wholesale eviction: plans are cheap to rebuild relative
+                // to the transforms they serve, and an LRU would cost
+                // bookkeeping on the hit path every call.
+                CACHE_EVICTIONS.inc();
+                cache.clear();
+            }
         }
         cache
             .entry(key)

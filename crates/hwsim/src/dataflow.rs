@@ -11,6 +11,36 @@
 use crate::pe::PeBankConfig;
 use rpbcm::SkipIndexBuffer;
 
+/// Modeled input-FFT stage cycles, summed over simulated layers.
+static FFT_CYCLES: telemetry::Counter = telemetry::Counter::new("hwsim.cycles.fft");
+/// Modeled eMAC stage cycles.
+static EMAC_CYCLES: telemetry::Counter = telemetry::Counter::new("hwsim.cycles.emac");
+/// Modeled output-IFFT stage cycles.
+static IFFT_CYCLES: telemetry::Counter = telemetry::Counter::new("hwsim.cycles.ifft");
+/// Modeled off-chip transfer cycles.
+static DRAM_CYCLES: telemetry::Counter = telemetry::Counter::new("hwsim.cycles.dram");
+/// Modeled end-to-end cycles after overlap.
+static TOTAL_CYCLES: telemetry::Counter = telemetry::Counter::new("hwsim.cycles.total");
+/// Modeled bytes moved off-chip.
+static DRAM_BYTES: telemetry::Counter = telemetry::Counter::new("hwsim.dram_bytes");
+/// Tiles streamed through the analytic dataflow model.
+static TILES: telemetry::Counter = telemetry::Counter::new("hwsim.tiles");
+/// Block eMACs the skip-index let the PE bank execute (live bits × tiles).
+static SKIP_COMPUTED: telemetry::Counter = telemetry::Counter::new("hwsim.skip.computed_blocks");
+/// Block eMACs the skip-index suppressed (pruned bits × tiles).
+static SKIP_SKIPPED: telemetry::Counter = telemetry::Counter::new("hwsim.skip.skipped_blocks");
+
+/// Publishes one simulated layer's breakdown into the telemetry registry.
+fn record_breakdown(b: &CycleBreakdown, n_tiles: u64) {
+    FFT_CYCLES.add(b.fft_cycles);
+    EMAC_CYCLES.add(b.emac_cycles);
+    IFFT_CYCLES.add(b.ifft_cycles);
+    DRAM_CYCLES.add(b.dram_cycles);
+    TOTAL_CYCLES.add(b.total_cycles);
+    DRAM_BYTES.add(b.dram_bytes);
+    TILES.add(n_tiles);
+}
+
 /// One convolution layer's shape as the accelerator sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerShape {
@@ -250,14 +280,18 @@ impl DataflowConfig {
             0
         };
 
-        CycleBreakdown {
+        let breakdown = CycleBreakdown {
             fft_cycles: fft_per_tile * n_tiles,
             emac_cycles: emac_per_tile * n_tiles,
             ifft_cycles: ifft_per_tile * n_tiles,
             dram_cycles: dram_per_tile * n_tiles,
             total_cycles: tile_total * n_tiles + prologue,
             dram_bytes: tile_bytes * n_tiles,
-        }
+        };
+        record_breakdown(&breakdown, n_tiles);
+        SKIP_COMPUTED.add(live_blocks * n_tiles);
+        SKIP_SKIPPED.add(skip.pruned_count() as u64 * n_tiles);
+        breakdown
     }
 
     /// Dense fallback for non-BCM layers (the RGB stem): the eMAC lanes
@@ -276,14 +310,16 @@ impl DataflowConfig {
         } else {
             compute + dram
         };
-        CycleBreakdown {
+        let breakdown = CycleBreakdown {
             fft_cycles: 0,
             emac_cycles: compute,
             ifft_cycles: 0,
             dram_cycles: dram,
             total_cycles: total,
             dram_bytes: bytes,
-        }
+        };
+        record_breakdown(&breakdown, 1);
+        breakdown
     }
 
     /// Simulates a whole network (a list of layers) at uniform `alpha`,

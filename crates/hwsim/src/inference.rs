@@ -14,6 +14,27 @@ use circulant::ConvBlockCirculant;
 use fft::real::HalfSpectrum;
 use tensor::parallel;
 
+/// Fixed-point input FFTs run (one per input block per pixel).
+static FX_INPUT_FFTS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.input_ffts");
+/// Fixed-point output IFFTs run (one per output block per pixel).
+static FX_OUTPUT_IFFTS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.output_iffts");
+/// Block eMACs scheduled by the plans (live entries × pixels; border
+/// pixels skip out-of-bounds taps, so this is a slight over-count).
+static FX_EMAC_BLOCKS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.emac_blocks");
+
+/// Coarse arithmetic counts for one fixed-point conv call, computed from
+/// the layer geometry outside the hot loops.
+fn record_fx_layer(plans: &[EmacPlan], in_blocks: usize, out_blocks: usize, h: usize, w: usize) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let pixels = (h * w) as u64;
+    FX_INPUT_FFTS.add(in_blocks as u64 * pixels);
+    FX_OUTPUT_IFFTS.add(out_blocks as u64 * pixels);
+    let entries: usize = plans.iter().map(|p| p.entries.len()).sum();
+    FX_EMAC_BLOCKS.add(entries as u64 * pixels);
+}
+
 /// Computes every pixel's channel-block input spectrum once, in parallel
 /// over channel blocks — the input reuse the dataflow maximizes. Returns a
 /// flat `[(bi · h + y) · w + x] × bins` layout so the eMAC loop reads each
@@ -295,6 +316,7 @@ pub fn conv_forward_fx(q: QFormat, weights: &FxWeights, x: &[i16], h: usize, w: 
             )
         })
         .collect();
+    record_fx_layer(&plans, weights.in_blocks, weights.out_blocks, h, w);
 
     // Out-blocks are independent (each owns a contiguous `BS·h·w` output
     // slab) — fan them out over the worker pool; the accumulator and IFFT
@@ -540,6 +562,7 @@ pub fn conv_forward_fx_scaled(
             )
         })
         .collect();
+    record_fx_layer(&plans, weights.in_blocks, weights.out_blocks, h, w);
 
     parallel::par_chunk_map(&mut out[..], bs * h * w, |bo, out_block| {
         let plan = &plans[bo];

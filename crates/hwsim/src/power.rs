@@ -48,6 +48,23 @@ impl Efficiency {
             fps_per_w: fps / power_w,
         }
     }
+
+    /// Publishes the triplet into the telemetry registry under
+    /// `power.<prefix>.*` gauges, next to the runtime counters in
+    /// `TELEMETRY_*.json`. No-op while telemetry is disabled.
+    pub fn record_telemetry(&self, prefix: &str) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let g = |metric: &str, v: f64| {
+            telemetry::record_gauge(&format!("power.{prefix}.{metric}"), v);
+        };
+        g("fps", self.fps);
+        g("power_w", self.power_w);
+        g("fps_per_klut", self.fps_per_klut);
+        g("fps_per_dsp", self.fps_per_dsp);
+        g("fps_per_w", self.fps_per_w);
+    }
 }
 
 /// Energy per inference in joules: `power · cycles / f` — the quantity

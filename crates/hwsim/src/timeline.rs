@@ -13,6 +13,17 @@
 //! while station `s+1` works on tile `t−1` (classic 4-stage pipeline with
 //! unit buffers).
 
+/// Tiles pushed through the event-by-event pipeline simulation.
+static PIPELINE_TILES: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.tiles");
+/// DRAM-station idle (stall) cycles: makespan minus busy time.
+static STALL_DRAM: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.dram");
+/// FFT-PE-station idle (stall) cycles.
+static STALL_FFT: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.fft");
+/// eMAC-station idle (stall) cycles.
+static STALL_EMAC: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.emac");
+/// IFFT-station idle (stall) cycles.
+static STALL_IFFT: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.ifft");
+
 /// Per-tile stage latencies in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TileCost {
@@ -100,11 +111,13 @@ pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> Pipeline
     }
     if !double_buffering {
         let makespan = tiles.iter().map(TileCost::serial).sum();
-        return PipelineRun {
+        let run = PipelineRun {
             makespan,
             busy,
             tiles: n,
         };
+        record_run(&run);
+        return run;
     }
     // finish[s] = cycle when station s finished its latest tile.
     let mut finish = [0u64; 4];
@@ -117,11 +130,23 @@ pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> Pipeline
             ready_from_prev = finish[s];
         }
     }
-    PipelineRun {
+    let run = PipelineRun {
         makespan: finish[3],
         busy,
         tiles: n,
-    }
+    };
+    record_run(&run);
+    run
+}
+
+/// Publishes a pipeline run's tile count and per-station stall cycles
+/// (double-buffer stalls: makespan minus busy time per station).
+fn record_run(run: &PipelineRun) {
+    PIPELINE_TILES.add(run.tiles as u64);
+    STALL_DRAM.add(run.makespan - run.busy[0]);
+    STALL_FFT.add(run.makespan - run.busy[1]);
+    STALL_EMAC.add(run.makespan - run.busy[2]);
+    STALL_IFFT.add(run.makespan - run.busy[3]);
 }
 
 #[cfg(test)]

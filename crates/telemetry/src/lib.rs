@@ -1,0 +1,94 @@
+//! Unified telemetry for the RP-BCM hot paths: counters, gauges and span
+//! timers behind one global registry, with a structured JSON report.
+//!
+//! CirCNN and E-RNN motivate their FPGA designs with per-stage
+//! FFT/eMAC/IFFT breakdowns; this crate makes the same breakdowns
+//! first-class and machine-readable for the software reproduction. Every
+//! hot path in the workspace (FFT plan cache, spectral weight cache,
+//! `tensor::parallel` workers, hwsim per-phase cycles, skip-index
+//! effectiveness) reports through probes defined here, and the `exp_*`
+//! benchmark binaries dump the registry as `results/TELEMETRY_*.json`.
+//!
+//! # Gating: a cargo feature *and* an environment variable
+//!
+//! Two independent switches keep instrumented builds bit-exact and
+//! disabled builds free:
+//!
+//! - **Compile time** — the `capture` cargo feature (on by default).
+//!   Without it every probe is a zero-sized type whose methods are empty
+//!   `#[inline(always)]` bodies: no atomics, no branches, no registry.
+//! - **Run time** — the `RPBCM_TELEMETRY` environment variable (read once
+//!   per process; `1`, `true` or `on` enable). While disabled, a probe
+//!   call is a single relaxed atomic load and an untaken branch, and the
+//!   registry stays empty. [`set_enabled`] overrides the variable for
+//!   tests and tools.
+//!
+//! Telemetry only ever *counts* — it never changes an algorithm's
+//! arithmetic, allocation pattern or iteration order — so outputs are
+//! bit-identical whether it is enabled, disabled, or compiled out. The
+//! hwsim property tests lock this in.
+//!
+//! # Probes
+//!
+//! Probes are `const`-constructible statics, so instrumentation sites pay
+//! no registration cost until first use:
+//!
+//! ```
+//! static HITS: telemetry::Counter = telemetry::Counter::new("demo.cache.hits");
+//!
+//! telemetry::set_enabled(true);
+//! HITS.inc();
+//! HITS.add(2);
+//! // With the `capture` feature off, probes are no-ops and `enabled()`
+//! // is always false — so guard assertions on it in portable code.
+//! if telemetry::enabled() {
+//!     assert_eq!(HITS.value(), 3);
+//! }
+//! # telemetry::clear_override();
+//! ```
+//!
+//! Dynamic names (for per-layer or per-experiment metrics such as the
+//! accounting and power reports) go through [`record_counter`],
+//! [`record_gauge`] and [`record_timer_ns`].
+//!
+//! # Reports
+//!
+//! [`snapshot`] captures every registered metric; [`report_json`] renders
+//! the snapshot as a stable JSON document (hand-rolled: the workspace is
+//! std-only) and [`write_report`] writes it to disk:
+//!
+//! ```json
+//! {
+//!   "enabled": true,
+//!   "counters": { "fft.plan_cache.hits": 4096 },
+//!   "gauges": { "tensor.parallel.max_partition_imbalance": 1.0 },
+//!   "timers": { "tensor.parallel.scope_wall": { "count": 32, "total_ns": 180000 } }
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "capture")]
+mod probe;
+#[cfg(feature = "capture")]
+mod registry;
+#[cfg(feature = "capture")]
+mod report;
+
+#[cfg(feature = "capture")]
+pub use probe::{Counter, Gauge, Span, Timer};
+#[cfg(feature = "capture")]
+pub use registry::{
+    clear_override, enabled, record_counter, record_gauge, record_timer_ns, reset, set_enabled,
+};
+#[cfg(feature = "capture")]
+pub use report::{report_json, snapshot, write_report, Snapshot, TimerStat};
+
+#[cfg(not(feature = "capture"))]
+mod noop;
+
+#[cfg(not(feature = "capture"))]
+pub use noop::{
+    clear_override, enabled, record_counter, record_gauge, record_timer_ns, report_json, reset,
+    set_enabled, snapshot, write_report, Counter, Gauge, Snapshot, Span, Timer, TimerStat,
+};

@@ -1,0 +1,189 @@
+//! The compiled-out probe set: every type is zero-sized and every method
+//! an empty `#[inline(always)]` body, so a build without the `capture`
+//! feature carries no telemetry code at all.
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing event counter (compiled-out variant).
+pub struct Counter;
+
+impl Counter {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(_name: &'static str) -> Self {
+        Counter
+    }
+
+    /// Adds `n` to the counter (compiled out).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Adds one to the counter (compiled out).
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// A last-written-value metric (compiled-out variant).
+pub struct Gauge;
+
+impl Gauge {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(_name: &'static str) -> Self {
+        Gauge
+    }
+
+    /// Sets the gauge (compiled out).
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Raises the gauge (compiled out).
+    #[inline(always)]
+    pub fn set_max(&self, _v: f64) {}
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        0.0
+    }
+}
+
+/// An accumulating duration metric (compiled-out variant).
+pub struct Timer;
+
+impl Timer {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(_name: &'static str) -> Self {
+        Timer
+    }
+
+    /// Records one measurement (compiled out).
+    #[inline(always)]
+    pub fn add_ns(&self, _ns: u64) {}
+
+    /// Returns an inert guard; no clock is read.
+    #[inline(always)]
+    pub fn span(&self) -> Span {
+        Span
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn total_ns(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// Inert guard returned by [`Timer::span`] in a compiled-out build.
+pub struct Span;
+
+/// Always `false` in a compiled-out build.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn clear_override() {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn reset() {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn record_counter(_name: &str, _delta: u64) {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn record_gauge(_name: &str, _value: f64) {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn record_timer_ns(_name: &str, _ns: u64) {}
+
+/// One timer's aggregated statistics (compiled-out variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Number of recordings (always zero).
+    pub count: u64,
+    /// Total recorded nanoseconds (always zero).
+    pub total_ns: u64,
+}
+
+/// A point-in-time copy of the (empty) registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Always `false` in a compiled-out build.
+    pub enabled: bool,
+    /// Always empty in a compiled-out build.
+    pub counters: BTreeMap<String, u64>,
+    /// Always empty in a compiled-out build.
+    pub gauges: BTreeMap<String, f64>,
+    /// Always empty in a compiled-out build.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl Snapshot {
+    /// Renders the empty snapshot as JSON.
+    pub fn to_json(&self) -> String {
+        "{\n  \"enabled\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {}\n}"
+            .to_string()
+    }
+}
+
+/// An empty snapshot in a compiled-out build.
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// The empty-registry JSON document in a compiled-out build.
+pub fn report_json() -> String {
+    snapshot().to_json()
+}
+
+/// Writes the empty report to `path` (so downstream tooling always finds
+/// a syntactically valid artifact).
+pub fn write_report<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, report_json() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Timer>(), 0);
+        assert_eq!(std::mem::size_of::<Span>(), 0);
+    }
+
+    #[test]
+    fn everything_is_inert() {
+        static C: Counter = Counter::new("noop.counter");
+        C.add(5);
+        assert_eq!(C.value(), 0);
+        set_enabled(true);
+        assert!(!enabled());
+        record_counter("noop.dyn", 1);
+        assert!(snapshot().counters.is_empty());
+        assert!(report_json().contains("\"enabled\": false"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Statically named probes: the `const`-constructible handles that
+//! instrumentation sites embed as `static`s.
+
+use crate::registry::{enabled, registry, TimerCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+///
+/// The registry handle is resolved lazily on first use and cached, so the
+/// steady-state cost of [`Counter::add`] is one enabled-check plus one
+/// relaxed `fetch_add` — and nothing at all while telemetry is disabled.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<AtomicU64> {
+        self.cell.get_or_init(|| registry().counter(self.name))
+    }
+
+    /// Adds `n` to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell().fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The counter's current value (registers the metric if needed).
+    pub fn value(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value metric with a high-water-mark variant.
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<AtomicU64> {
+        self.cell.get_or_init(|| registry().gauge(self.name))
+    }
+
+    /// Sets the gauge (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.cell().store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the stored value (no-op
+    /// while telemetry is disabled).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        if enabled() {
+            let cell = self.cell();
+            let mut cur = cell.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match cell.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// The gauge's current value (registers the metric if needed).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell().load(Ordering::Relaxed))
+    }
+}
+
+/// An accumulating duration metric: total nanoseconds plus a recording
+/// count, fed either directly ([`Timer::add_ns`]) or by scoped
+/// [`Span`] guards.
+pub struct Timer {
+    name: &'static str,
+    cell: OnceLock<Arc<TimerCell>>,
+}
+
+impl Timer {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Timer {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<TimerCell> {
+        self.cell.get_or_init(|| registry().timer(self.name))
+    }
+
+    /// Records one measurement of `ns` nanoseconds (no-op while telemetry
+    /// is disabled).
+    #[inline]
+    pub fn add_ns(&self, ns: u64) {
+        if enabled() {
+            let cell = self.cell();
+            cell.ns.fetch_add(ns, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a scoped measurement; the elapsed time is recorded when the
+    /// returned guard drops. While telemetry is disabled the guard is
+    /// inert and no clock is read.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            inner: enabled().then(|| (self, Instant::now())),
+        }
+    }
+
+    /// Total recorded nanoseconds (registers the metric if needed).
+    pub fn total_ns(&self) -> u64 {
+        self.cell().ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of recordings (registers the metric if needed).
+    pub fn count(&self) -> u64 {
+        self.cell().count.load(Ordering::Relaxed)
+    }
+}
+
+/// Guard returned by [`Timer::span`]; records the elapsed time into its
+/// timer on drop.
+pub struct Span<'a> {
+    inner: Option<(&'a Timer, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((timer, start)) = self.inner.take() {
+            timer.add_ns(start.elapsed().as_nanos() as u64);
+        }
+    }
+}

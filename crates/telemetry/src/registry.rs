@@ -1,0 +1,147 @@
+//! The process-wide metric registry and the enable gate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Timer storage: total elapsed nanoseconds and the number of recordings.
+pub(crate) struct TimerCell {
+    pub(crate) ns: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+/// All registered metrics, keyed by name. Values are `Arc`s so probes can
+/// cache a direct handle and skip the map lookup on the hot path.
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`.
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) timers: Mutex<BTreeMap<String, Arc<TimerCell>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric maps hold plain atomics; a panic while holding the lock
+    // cannot leave them logically corrupt, so poisoning is ignored.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = lock(&self.counters);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = lock(&self.gauges);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }
+
+    pub(crate) fn timer(&self, name: &str) -> Arc<TimerCell> {
+        let mut map = lock(&self.timers);
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(TimerCell {
+                ns: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })
+        }))
+    }
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        timers: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// 0 = follow `RPBCM_TELEMETRY`, 1 = forced on, 2 = forced off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        matches!(
+            std::env::var("RPBCM_TELEMETRY").as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
+    })
+}
+
+/// Whether telemetry is currently recording. One relaxed atomic load on
+/// the hot path; the `RPBCM_TELEMETRY` environment variable is read once
+/// per process, and [`set_enabled`] overrides it.
+#[inline]
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_enabled(),
+    }
+}
+
+/// Forces telemetry on or off for this process, overriding
+/// `RPBCM_TELEMETRY`. Intended for tests and tools; probes re-check on
+/// every call, so the switch takes effect immediately.
+pub fn set_enabled(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Drops any [`set_enabled`] override, returning control to the
+/// `RPBCM_TELEMETRY` environment variable.
+pub fn clear_override() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Zeroes every registered metric in place. Probe handles stay valid —
+/// the metrics are reset, not removed — so this is safe to call between
+/// benchmark phases.
+pub fn reset() {
+    let r = registry();
+    for c in lock(&r.counters).values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in lock(&r.gauges).values() {
+        g.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    for t in lock(&r.timers).values() {
+        t.ns.store(0, Ordering::Relaxed);
+        t.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Adds `delta` to the counter `name`, registering it on first use. For
+/// metrics whose names are built at run time (per-layer, per-experiment);
+/// statically named sites should prefer a `static` [`crate::Counter`],
+/// which caches its registry handle.
+pub fn record_counter(name: &str, delta: u64) {
+    if enabled() {
+        registry().counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// Sets the gauge `name` to `value`, registering it on first use.
+pub fn record_gauge(name: &str, value: f64) {
+    if enabled() {
+        registry()
+            .gauge(name)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Adds one recording of `ns` nanoseconds to the timer `name`,
+/// registering it on first use.
+pub fn record_timer_ns(name: &str, ns: u64) {
+    if enabled() {
+        let cell = registry().timer(name);
+        cell.ns.fetch_add(ns, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,166 @@
+//! Registry snapshots and the hand-rolled JSON report writer.
+
+use crate::registry::{enabled, registry};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// One timer's aggregated statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Number of recordings.
+    pub count: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Whether telemetry was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Timer statistics by name.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a stable JSON document (keys sorted; two
+    /// spaces of indentation). Non-finite gauge values serialize as
+    /// `null` to keep the output valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        s.push_str("  \"counters\": {");
+        push_entries(&mut s, &self.counters, |v| v.to_string());
+        s.push_str("},\n  \"gauges\": {");
+        push_entries(&mut s, &self.gauges, |v| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        });
+        s.push_str("},\n  \"timers\": {");
+        push_entries(&mut s, &self.timers, |t| {
+            format!("{{\"count\": {}, \"total_ns\": {}}}", t.count, t.total_ns)
+        });
+        s.push_str("}\n}");
+        s
+    }
+}
+
+fn push_entries<V>(s: &mut String, map: &BTreeMap<String, V>, fmt: impl Fn(&V) -> String) {
+    let mut first = true;
+    for (name, v) in map {
+        s.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        s.push_str(&format!("    \"{}\": {}", escape(name), fmt(v)));
+    }
+    if !first {
+        s.push_str("\n  ");
+    }
+}
+
+fn escape(name: &str) -> String {
+    name.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Captures every registered metric.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let counters = r
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = r
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    let timers = r
+        .timers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                TimerStat {
+                    count: v.count.load(Ordering::Relaxed),
+                    total_ns: v.ns.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    Snapshot {
+        enabled: enabled(),
+        counters,
+        gauges,
+        timers,
+    }
+}
+
+/// [`snapshot`] rendered as JSON.
+pub fn report_json() -> String {
+    snapshot().to_json()
+}
+
+/// Writes [`report_json`] (plus a trailing newline) to `path`.
+pub fn write_report<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, report_json() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let mut snap = Snapshot {
+            enabled: true,
+            ..Default::default()
+        };
+        snap.counters.insert("b.two".into(), 2);
+        snap.counters.insert("a.\"one\"".into(), 1);
+        snap.gauges.insert("g.nan".into(), f64::NAN);
+        snap.gauges.insert("g.pi".into(), 3.5);
+        snap.timers.insert(
+            "t".into(),
+            TimerStat {
+                count: 2,
+                total_ns: 99,
+            },
+        );
+        let j = snap.to_json();
+        let a = j.find("a.\\\"one\\\"").expect("escaped key present");
+        let b = j.find("b.two").expect("second key present");
+        assert!(a < b, "keys sorted");
+        assert!(j.contains("\"g.nan\": null"));
+        assert!(j.contains("\"g.pi\": 3.5"));
+        assert!(j.contains("{\"count\": 2, \"total_ns\": 99}"));
+        assert!(j.contains("\"enabled\": true"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let j = Snapshot::default().to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"gauges\": {}"));
+        assert!(j.contains("\"timers\": {}"));
+    }
+}

@@ -19,6 +19,43 @@
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
+/// Fan-outs that actually spawned scoped workers.
+static JOBS: telemetry::Counter = telemetry::Counter::new("tensor.parallel.jobs");
+/// Fan-outs that took the serial fallback (one item or one worker).
+static SERIAL_JOBS: telemetry::Counter = telemetry::Counter::new("tensor.parallel.serial_jobs");
+/// Work items (rows, chunks, tiles) distributed across workers.
+static ITEMS: telemetry::Counter = telemetry::Counter::new("tensor.parallel.items");
+/// Scoped worker threads spawned.
+static WORKERS_SPAWNED: telemetry::Counter =
+    telemetry::Counter::new("tensor.parallel.workers_spawned");
+/// Per-worker busy time: `total_ns / count` is mean busy time per worker,
+/// and comparing it against `scope_wall` gives pool utilization.
+static WORKER_BUSY: telemetry::Timer = telemetry::Timer::new("tensor.parallel.worker_busy");
+/// Wall time of each parallel scope (spawn to join).
+static SCOPE_WALL: telemetry::Timer = telemetry::Timer::new("tensor.parallel.scope_wall");
+/// Worst observed partition imbalance: largest worker range divided by the
+/// mean range. Contiguous splitting bounds this near 1 unless `n` is tiny
+/// relative to the worker count.
+static MAX_IMBALANCE: telemetry::Gauge =
+    telemetry::Gauge::new("tensor.parallel.max_partition_imbalance");
+
+/// Records one parallel fan-out of `n` items over `workers` ranges.
+fn record_fanout(n: usize, workers: usize) {
+    JOBS.inc();
+    ITEMS.add(n as u64);
+    WORKERS_SPAWNED.add(workers as u64);
+    if telemetry::enabled() && n > 0 && workers > 0 {
+        let largest = (0..workers)
+            .map(|w| {
+                let (lo, hi) = bounds(n, workers, w);
+                hi - lo
+            })
+            .max()
+            .unwrap_or(0);
+        MAX_IMBALANCE.set_max(largest as f64 * workers as f64 / n as f64);
+    }
+}
+
 /// The process-wide worker count: `RPBCM_THREADS` if set to a positive
 /// integer, otherwise `std::thread::available_parallelism()` (1 if unknown).
 pub fn max_workers() -> usize {
@@ -55,11 +92,14 @@ where
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
+        SERIAL_JOBS.inc();
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
     }
+    record_fanout(n, workers);
     let mut out: Vec<Option<O>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     {
+        let _scope_span = SCOPE_WALL.span();
         let mut rest: &mut [Option<O>] = &mut out;
         let mut consumed = 0usize;
         std::thread::scope(|s| {
@@ -70,6 +110,7 @@ where
                 consumed = hi;
                 let f = &f;
                 s.spawn(move || {
+                    let _busy_span = WORKER_BUSY.span();
                     for (k, slot) in slot.iter_mut().enumerate() {
                         let i = lo + k;
                         *slot = Some(f(i, &items[i]));
@@ -112,16 +153,19 @@ where
     let n = data.len().div_ceil(chunk);
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
+        SERIAL_JOBS.inc();
         return data
             .chunks_mut(chunk)
             .enumerate()
             .map(|(i, c)| f(i, c))
             .collect();
     }
+    record_fanout(n, workers);
     let mut chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
     let mut out: Vec<Option<O>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     {
+        let _scope_span = SCOPE_WALL.span();
         let mut chunk_rest: &mut [&mut [T]] = &mut chunks;
         let mut out_rest: &mut [Option<O>] = &mut out;
         let mut consumed = 0usize;
@@ -135,6 +179,7 @@ where
                 consumed = hi;
                 let f = &f;
                 s.spawn(move || {
+                    let _busy_span = WORKER_BUSY.span();
                     for (k, (c, slot)) in my_chunks.iter_mut().zip(my_out.iter_mut()).enumerate() {
                         *slot = Some(f(lo + k, c));
                     }

@@ -13,6 +13,12 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== telemetry crate without the capture feature =="
+cargo test -q -p telemetry --no-default-features
+
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,79 @@
+//! Telemetry must never change arithmetic: enabling the probes leaves the
+//! hwsim fixed-point datapath bit-identical.
+//!
+//! Lives in its own integration-test binary (its own process) because it
+//! flips the process-wide telemetry override, which must not race probes
+//! exercised by other tests.
+
+use proptest::prelude::*;
+use rpbcm_repro::circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+use rpbcm_repro::hwsim::dataflow::{DataflowConfig, LayerShape};
+use rpbcm_repro::hwsim::fixed::QFormat;
+use rpbcm_repro::hwsim::inference::{conv_forward_fx, FxWeights};
+
+/// Random block-circulant conv weight from a proptest value vector, with
+/// every other block pruned so the skip path is exercised too.
+fn conv_from_values(
+    bs: usize,
+    ob: usize,
+    ib: usize,
+    k: usize,
+    vals: &[f32],
+) -> ConvBlockCirculant<f32> {
+    let mut it = vals.iter().copied().cycle();
+    let grids = (0..k * k)
+        .map(|_| {
+            let blocks = (0..ob * ib)
+                .map(|b| {
+                    if b % 2 == 1 {
+                        CirculantMatrix::zeros(bs)
+                    } else {
+                        CirculantMatrix::new((0..bs).map(|_| it.next().expect("cycle")).collect())
+                    }
+                })
+                .collect();
+            BlockCirculant::from_blocks(bs, ob, ib, blocks)
+        })
+        .collect();
+    ConvBlockCirculant::from_grids(k, k, grids)
+}
+
+proptest! {
+    /// The fixed-point conv forward returns the same words with telemetry
+    /// captured and with it disabled — probes observe, never perturb.
+    #[test]
+    fn fx_conv_is_bit_identical_with_telemetry(
+        vals in proptest::collection::vec(-0.5_f32..0.5, 16),
+        xs in proptest::collection::vec(-64_i16..64, 2 * 8 * 5 * 5),
+    ) {
+        let q = QFormat::q8();
+        let conv = conv_from_values(8, 2, 2, 3, &vals);
+        let w = FxWeights::from_folded(q, &conv);
+
+        telemetry::set_enabled(false);
+        let quiet = conv_forward_fx(q, &w, &xs, 5, 5);
+
+        telemetry::set_enabled(true);
+        let probed = conv_forward_fx(q, &w, &xs, 5, 5);
+        telemetry::set_enabled(false);
+
+        prop_assert_eq!(quiet, probed);
+    }
+
+    /// The analytic dataflow model reports the same cycle breakdown either
+    /// way: its telemetry records the breakdown, it never feeds back.
+    #[test]
+    fn dataflow_cycles_identical_with_telemetry(alpha in 0.0_f64..1.0) {
+        let cfg = DataflowConfig::pynq_z2();
+        let layer = LayerShape::conv(128, 128, 28, 28, 3, 8);
+
+        telemetry::set_enabled(false);
+        let quiet = cfg.simulate(&layer, alpha);
+
+        telemetry::set_enabled(true);
+        let probed = cfg.simulate(&layer, alpha);
+        telemetry::set_enabled(false);
+
+        prop_assert_eq!(quiet, probed);
+    }
+}

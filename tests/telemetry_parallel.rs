@@ -1,0 +1,66 @@
+//! Telemetry aggregation across the scoped-thread worker pool.
+//!
+//! Lives in its own integration-test binary (its own process) because it
+//! flips the process-wide telemetry override, which must not race probes
+//! exercised by other tests.
+
+use rpbcm_repro::tensor::parallel;
+
+/// A probe shared by every worker closure below: all increments must land
+/// in the same registry cell no matter which thread performs them.
+static SEEN: telemetry::Counter = telemetry::Counter::new("test.parallel.items_seen");
+
+#[test]
+fn counters_aggregate_across_workers() {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let items: Vec<u64> = (0..1013).collect();
+    let doubled = parallel::par_map_with(4, &items, |_, &v| {
+        SEEN.inc();
+        v * 2
+    });
+    assert_eq!(doubled.len(), items.len());
+    assert_eq!(doubled[7], 14);
+    // 1013 increments from 4 worker threads, one shared cell.
+    assert_eq!(SEEN.value(), items.len() as u64);
+
+    let snap = telemetry::snapshot();
+    assert!(snap.enabled);
+    assert_eq!(snap.counters["tensor.parallel.jobs"], 1);
+    assert_eq!(snap.counters["tensor.parallel.items"], 1013);
+    assert_eq!(snap.counters["tensor.parallel.workers_spawned"], 4);
+    // One busy span per spawned worker, one wall span per scope.
+    assert_eq!(snap.timers["tensor.parallel.worker_busy"].count, 4);
+    assert_eq!(snap.timers["tensor.parallel.scope_wall"].count, 1);
+    // Contiguous splitting of 1013 over 4 is near-balanced: the largest
+    // range (254) over the mean (253.25) stays well under 2x.
+    let imbalance = snap.gauges["tensor.parallel.max_partition_imbalance"];
+    assert!((1.0..2.0).contains(&imbalance), "imbalance = {imbalance}");
+}
+
+#[test]
+fn serial_fallback_counts_separately() {
+    telemetry::set_enabled(true);
+
+    let before = telemetry::snapshot();
+    let serial_before = before
+        .counters
+        .get("tensor.parallel.serial_jobs")
+        .copied()
+        .unwrap_or(0);
+    let items = [1u32, 2, 3];
+    let out = parallel::par_map_with(1, &items, |_, &v| v + 1);
+    assert_eq!(out, vec![2, 3, 4]);
+
+    let after = telemetry::snapshot();
+    assert_eq!(
+        after.counters["tensor.parallel.serial_jobs"],
+        serial_before + 1
+    );
+    // The serial path spawns nothing, so the fan-out counters are unchanged.
+    assert_eq!(
+        after.counters.get("tensor.parallel.workers_spawned"),
+        before.counters.get("tensor.parallel.workers_spawned")
+    );
+}

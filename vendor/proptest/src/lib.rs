@@ -83,7 +83,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`]: an exact length or a range.
     pub struct SizeRange {
         min: usize,
         /// Exclusive upper bound.
