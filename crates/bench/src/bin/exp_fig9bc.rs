@@ -34,5 +34,8 @@ fn main() {
         fig9bc::print(&result);
         println!();
     }
-    bench::write_telemetry("fig9bc");
+    // "train_" prefix: this is the binary whose telemetry is dominated by
+    // the training/pruning instrumentation (per-epoch gauges, per-layer
+    // latency histograms, Algorithm 1 round telemetry).
+    bench::write_telemetry("train_fig9bc");
 }

@@ -1,0 +1,123 @@
+//! Cross-run regression reporter over the `results/` artifacts.
+//!
+//! Run: `cargo run -p bench --release --bin exp_report [-- OPTIONS]`.
+//!
+//! Options:
+//!
+//! - `--check` — exit non-zero when any baseline metric regressed (the
+//!   default only reports).
+//! - `--update-baseline` — refresh every baseline value from the current
+//!   artifacts, keeping tolerances and directions.
+//! - `--results-dir <path>` — artifact directory (default `results/`
+//!   at the workspace root).
+//! - `--baseline <path>` — baseline file (default
+//!   `<results-dir>/BASELINE.json`).
+
+use bench::report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut update = false;
+    let mut results_dir: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--update-baseline" => update = true,
+            "--results-dir" => match it.next() {
+                Some(p) => results_dir = Some(PathBuf::from(p)),
+                None => return usage("--results-dir requires a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline requires a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let results_dir = results_dir
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    let baseline_path = baseline_path.unwrap_or_else(|| results_dir.join("BASELINE.json"));
+
+    let metrics = match report::collect_metrics(&results_dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "loaded {} metrics from {} artifact(s) under {}",
+        metrics.values.len(),
+        metrics.sources.len(),
+        results_dir.display()
+    );
+    report::summary_table(&metrics).print();
+
+    let mut baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match report::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!(
+                "\nno baseline at {} — nothing to diff",
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        let missing = report::refresh_baseline(&mut baseline, &metrics);
+        for name in &missing {
+            eprintln!("warning: no current value for baseline metric {name} — kept as-is");
+        }
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "\nupdated {} baseline metric(s) in {}",
+            baseline.metrics.len() - missing.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let diffs = report::compare(&metrics, &baseline);
+    println!("\nbaseline diff vs {}:", baseline_path.display());
+    report::diff_table(&diffs).print();
+    let regressed = report::has_regressions(&diffs);
+    if regressed {
+        let n = diffs.iter().filter(|d| d.regressed).count();
+        println!("\n{n} metric(s) REGRESSED vs baseline");
+        if check {
+            return ExitCode::FAILURE;
+        }
+        println!("(report-only mode; rerun with --check to fail the build)");
+    } else {
+        println!("\nall {} baseline metric(s) within tolerance", diffs.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: exp_report [--check] [--update-baseline] \
+         [--results-dir <path>] [--baseline <path>]"
+    );
+    ExitCode::from(2)
+}

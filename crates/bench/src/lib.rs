@@ -14,15 +14,30 @@
 //! | Table II (skip-scheme resource overhead) | [`experiments::table2`] | `exp_table2` |
 //! | Fig. 10 (cycles vs pruning ratio) | [`experiments::fig10`] | `exp_fig10` |
 //! | Table III (efficiency vs GPU and prior FPGA work) | [`experiments::table3`] | `exp_table3` |
+//!
+//! Beyond the paper artifacts, `exp_report` ([`report`]) loads every
+//! `results/BENCH_*.json` / `results/TELEMETRY_*.json` and diffs the
+//! flattened metrics against `results/BASELINE.json` with per-metric
+//! tolerances — report-only by default, `--check` for CI gating.
 
 pub mod experiments;
+pub mod json;
+pub mod report;
 pub mod table;
 
 /// Writes the telemetry registry to `results/TELEMETRY_<tag>.json` (path
 /// anchored at the workspace root, like the `BENCH_*`/fig/table artifacts)
 /// and returns the path written. Quietly does nothing while telemetry is
 /// disabled — run the `exp_*` binaries with `RPBCM_TELEMETRY=1` to enable.
+///
+/// Also flushes the Chrome trace to the `RPBCM_TRACE` path when that env
+/// var is set (independent of `RPBCM_TELEMETRY`).
 pub fn write_telemetry(tag: &str) -> Option<std::path::PathBuf> {
+    match telemetry::flush_trace() {
+        Ok(Some(trace_path)) => println!("wrote {}", trace_path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write RPBCM_TRACE file: {e}"),
+    }
     if !telemetry::enabled() {
         return None;
     }

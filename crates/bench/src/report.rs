@@ -1,0 +1,476 @@
+//! `exp_report`: the cross-run regression reporter.
+//!
+//! Loads every `results/BENCH_*.json` and `results/TELEMETRY_*.json`
+//! artifact, flattens them into a single `metric name → value` map,
+//! prints a summary table, and diffs the metrics against the committed
+//! baseline (`results/BASELINE.json`) with per-metric tolerances.
+//!
+//! Metric naming:
+//!
+//! - `bench.<tag>.<config>.<field>` — one per numeric field of each
+//!   record in `BENCH_<tag>.json` (e.g.
+//!   `bench.speedup.hwsim_infer_optimized_bs8_4x4_k3_14x14.wall_ns`).
+//! - `telemetry.<tag>.counter.<name>` / `telemetry.<tag>.gauge.<name>` —
+//!   scalars from `TELEMETRY_<tag>.json`.
+//! - `telemetry.<tag>.timer.<name>.<field>` and
+//!   `telemetry.<tag>.histogram.<name>.<field>` — the aggregated stats.
+//!
+//! The baseline lists only curated metrics (deterministic modeled cycles
+//! are strict; wall-clock is either excluded or given a wide tolerance):
+//!
+//! ```json
+//! {
+//!   "metrics": {
+//!     "telemetry.speedup.counter.hwsim.cycles.total":
+//!       {"value": 207840, "tolerance": 0.0, "direction": "up_is_bad"}
+//!   }
+//! }
+//! ```
+//!
+//! `direction` is `"up_is_bad"`, `"down_is_bad"`, or `"any"`; `tolerance`
+//! is relative (0.10 = ±10 %). A metric in the baseline but missing from
+//! the current results is itself a regression (an artifact disappeared).
+
+use crate::json::{self, Json};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which deviations from the baseline count as regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Growth beyond tolerance regresses (cycles, latency, stalls).
+    UpIsBad,
+    /// Shrinkage beyond tolerance regresses (accuracy, speedup, hits).
+    DownIsBad,
+    /// Any deviation beyond tolerance regresses.
+    Any,
+}
+
+impl Direction {
+    fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "up_is_bad" => Some(Direction::UpIsBad),
+            "down_is_bad" => Some(Direction::DownIsBad),
+            "any" => Some(Direction::Any),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::UpIsBad => "up_is_bad",
+            Direction::DownIsBad => "down_is_bad",
+            Direction::Any => "any",
+        }
+    }
+}
+
+/// One baseline entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineMetric {
+    /// Expected value.
+    pub value: f64,
+    /// Relative tolerance (0.10 = ±10 %). Exact match when 0.
+    pub tolerance: f64,
+    /// Which side of the tolerance band is a regression.
+    pub direction: Direction,
+}
+
+/// The committed baseline: curated metric expectations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Baseline {
+    /// Expectations by metric name.
+    pub metrics: BTreeMap<String, BaselineMetric>,
+}
+
+impl Baseline {
+    /// Parses `results/BASELINE.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or schema violations.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("baseline must have a \"metrics\" object")?;
+        let mut out = BTreeMap::new();
+        for (name, m) in metrics {
+            let value = m
+                .get("value")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("metric {name:?}: missing numeric \"value\""))?;
+            let tolerance = m.get("tolerance").and_then(Json::as_num).unwrap_or(0.0);
+            let direction = match m.get("direction").and_then(Json::as_str) {
+                None => Direction::Any,
+                Some(s) => Direction::parse(s)
+                    .ok_or_else(|| format!("metric {name:?}: unknown direction {s:?}"))?,
+            };
+            out.insert(
+                name.clone(),
+                BaselineMetric {
+                    value,
+                    tolerance,
+                    direction,
+                },
+            );
+        }
+        Ok(Baseline { metrics: out })
+    }
+
+    /// Renders the baseline back to its JSON file format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"metrics\": {");
+        let mut first = true;
+        for (name, m) in &self.metrics {
+            s.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            s.push_str(&format!(
+                "    \"{name}\": {{\"value\": {}, \"tolerance\": {}, \"direction\": \"{}\"}}",
+                fmt_num(m.value),
+                fmt_num(m.tolerance),
+                m.direction.as_str()
+            ));
+        }
+        if !first {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// How one baseline metric compared against the current results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name.
+    pub name: String,
+    /// Baseline expectation.
+    pub baseline: BaselineMetric,
+    /// Current value (`None` when the metric vanished from the results).
+    pub current: Option<f64>,
+    /// Whether the deviation counts as a regression.
+    pub regressed: bool,
+}
+
+impl MetricDiff {
+    /// Relative change vs baseline (`None` when missing or baseline is 0
+    /// with a non-zero current value handled as ±inf).
+    pub fn relative_change(&self) -> Option<f64> {
+        let cur = self.current?;
+        if self.baseline.value == 0.0 {
+            return Some(if cur == 0.0 {
+                0.0
+            } else if cur > 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            });
+        }
+        Some((cur - self.baseline.value) / self.baseline.value)
+    }
+}
+
+/// Flattened current metrics plus where they came from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// `metric name → value`, flattened per the module naming scheme.
+    pub values: BTreeMap<String, f64>,
+    /// The artifact files that were parsed, in load order.
+    pub sources: Vec<PathBuf>,
+}
+
+/// Loads and flattens every `BENCH_*.json` / `TELEMETRY_*.json` under
+/// `results_dir`.
+///
+/// # Errors
+///
+/// Returns a message when a matching artifact exists but fails to parse —
+/// a malformed artifact must fail the report rather than silently thin
+/// out the metric set.
+pub fn collect_metrics(results_dir: &Path) -> Result<Metrics, String> {
+    let mut metrics = Metrics::default();
+    let mut names: Vec<String> = Vec::new();
+    let entries = std::fs::read_dir(results_dir)
+        .map_err(|e| format!("cannot read {}: {e}", results_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", results_dir.display()))?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.ends_with(".json")
+                && (name.starts_with("BENCH_") || name.starts_with("TELEMETRY_"))
+            {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        let path = results_dir.join(&name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(tag) = name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+        {
+            flatten_bench(tag, &doc, &mut metrics.values)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        } else if let Some(tag) = name
+            .strip_prefix("TELEMETRY_")
+            .and_then(|r| r.strip_suffix(".json"))
+        {
+            flatten_telemetry(tag, &doc, &mut metrics.values)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        metrics.sources.push(path);
+    }
+    Ok(metrics)
+}
+
+fn flatten_bench(tag: &str, doc: &Json, out: &mut BTreeMap<String, f64>) -> Result<(), String> {
+    let records = doc.as_arr().ok_or("BENCH artifact must be a JSON array")?;
+    for (i, rec) in records.iter().enumerate() {
+        let obj = rec
+            .as_obj()
+            .ok_or_else(|| format!("record {i} is not an object"))?;
+        let config = obj
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {i} has no \"config\" string"))?;
+        for (field, v) in obj {
+            if let Some(n) = v.as_num() {
+                out.insert(format!("bench.{tag}.{config}.{field}"), n);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn flatten_telemetry(tag: &str, doc: &Json, out: &mut BTreeMap<String, f64>) -> Result<(), String> {
+    for (section, kind) in [
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("timers", "timer"),
+        ("histograms", "histogram"),
+    ] {
+        let Some(map) = doc.get(section).and_then(Json::as_obj) else {
+            continue;
+        };
+        for (name, v) in map {
+            match v {
+                Json::Num(n) => {
+                    out.insert(format!("telemetry.{tag}.{kind}.{name}"), *n);
+                }
+                Json::Obj(stats) => {
+                    for (field, s) in stats {
+                        if let Some(n) = s.as_num() {
+                            out.insert(format!("telemetry.{tag}.{kind}.{name}.{field}"), n);
+                        }
+                    }
+                }
+                // NaN gauges serialize as null — nothing to compare.
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Diffs current metrics against the baseline. One entry per baseline
+/// metric, in name order.
+pub fn compare(metrics: &Metrics, baseline: &Baseline) -> Vec<MetricDiff> {
+    baseline
+        .metrics
+        .iter()
+        .map(|(name, &bm)| {
+            let current = metrics.values.get(name).copied();
+            let regressed = match current {
+                None => true,
+                Some(cur) => {
+                    let band = bm.tolerance * bm.value.abs();
+                    match bm.direction {
+                        Direction::UpIsBad => cur > bm.value + band,
+                        Direction::DownIsBad => cur < bm.value - band,
+                        Direction::Any => (cur - bm.value).abs() > band,
+                    }
+                }
+            };
+            MetricDiff {
+                name: name.clone(),
+                baseline: bm,
+                current,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// `true` when any diff regressed.
+pub fn has_regressions(diffs: &[MetricDiff]) -> bool {
+    diffs.iter().any(|d| d.regressed)
+}
+
+/// Refreshes every baseline `value` from the current metrics, keeping
+/// tolerances and directions. Returns the names of baseline metrics that
+/// have no current value (left untouched).
+pub fn refresh_baseline(baseline: &mut Baseline, metrics: &Metrics) -> Vec<String> {
+    let mut missing = Vec::new();
+    for (name, bm) in &mut baseline.metrics {
+        match metrics.values.get(name) {
+            Some(&v) => bm.value = v,
+            None => missing.push(name.clone()),
+        }
+    }
+    missing
+}
+
+/// Renders the per-source metric summary table.
+pub fn summary_table(metrics: &Metrics) -> Table {
+    let mut t = Table::new(&["metric", "value"]);
+    for (name, v) in &metrics.values {
+        t.row_owned(vec![name.clone(), fmt_num(*v)]);
+    }
+    t
+}
+
+/// Renders the baseline diff table.
+pub fn diff_table(diffs: &[MetricDiff]) -> Table {
+    let mut t = Table::new(&["metric", "baseline", "current", "change", "tol", "status"]);
+    for d in diffs {
+        let current = d.current.map_or("missing".to_string(), fmt_num);
+        let change = match d.relative_change() {
+            None => "-".to_string(),
+            Some(c) if c.is_infinite() => format!("{}inf", if c > 0.0 { "+" } else { "-" }),
+            Some(c) => format!("{:+.2}%", c * 100.0),
+        };
+        let status = if d.regressed { "REGRESSED" } else { "ok" };
+        t.row_owned(vec![
+            d.name.clone(),
+            fmt_num(d.baseline.value),
+            current,
+            change,
+            format!("±{:.0}%", d.baseline.tolerance * 100.0),
+            status.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(value: f64, tolerance: f64, direction: Direction) -> BaselineMetric {
+        BaselineMetric {
+            value,
+            tolerance,
+            direction,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut b = Baseline::default();
+        b.metrics.insert(
+            "telemetry.speedup.counter.hwsim.cycles.total".into(),
+            metric(207840.0, 0.0, Direction::UpIsBad),
+        );
+        b.metrics.insert(
+            "bench.speedup.x.speedup_vs_seed".into(),
+            metric(2.687, 0.25, Direction::DownIsBad),
+        );
+        let text = b.to_json();
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn compare_applies_direction_and_tolerance() {
+        let mut baseline = Baseline::default();
+        baseline
+            .metrics
+            .insert("cycles".into(), metric(1000.0, 0.10, Direction::UpIsBad));
+        baseline
+            .metrics
+            .insert("accuracy".into(), metric(0.9, 0.05, Direction::DownIsBad));
+        baseline
+            .metrics
+            .insert("blocks".into(), metric(64.0, 0.0, Direction::Any));
+        baseline
+            .metrics
+            .insert("gone".into(), metric(1.0, 1.0, Direction::Any));
+        let mut m = Metrics::default();
+        m.values.insert("cycles".into(), 1099.0); // within +10 %
+        m.values.insert("accuracy".into(), 0.99); // up is fine
+        m.values.insert("blocks".into(), 64.0); // exact
+        let diffs = compare(&m, &baseline);
+        assert!(!has_regressions(&diffs[..3]));
+        // The baseline metric with no current value regresses.
+        assert!(diffs[3].regressed && diffs[3].name == "gone");
+
+        // Now push cycles past tolerance and drop accuracy below band.
+        m.values.insert("cycles".into(), 1101.0);
+        m.values.insert("accuracy".into(), 0.85);
+        m.values.insert("blocks".into(), 63.0);
+        m.values.insert("gone".into(), 1.5);
+        let diffs = compare(&m, &baseline);
+        assert!(diffs.iter().take(3).all(|d| d.regressed));
+        assert!(!diffs[3].regressed, "1.5 is within ±100 % of 1.0");
+    }
+
+    #[test]
+    fn refresh_keeps_tolerances_and_reports_missing() {
+        let mut baseline = Baseline::default();
+        baseline
+            .metrics
+            .insert("a".into(), metric(1.0, 0.5, Direction::Any));
+        baseline
+            .metrics
+            .insert("b".into(), metric(2.0, 0.0, Direction::UpIsBad));
+        let mut m = Metrics::default();
+        m.values.insert("a".into(), 10.0);
+        let missing = refresh_baseline(&mut baseline, &m);
+        assert_eq!(missing, vec!["b".to_string()]);
+        assert_eq!(baseline.metrics["a"], metric(10.0, 0.5, Direction::Any));
+        assert_eq!(baseline.metrics["b"].value, 2.0);
+    }
+
+    #[test]
+    fn flatten_covers_bench_and_telemetry_shapes() {
+        let bench = json::parse(r#"[{"config": "c1", "wall_ns": 100, "speedup_vs_seed": 2.0}]"#)
+            .expect("valid");
+        let tele = json::parse(
+            r#"{
+              "enabled": true,
+              "counters": {"hwsim.cycles.total": 207840},
+              "gauges": {"pruning.final_alpha": 0.6, "nan": null},
+              "timers": {"t": {"count": 3, "total_ns": 30}},
+              "histograms": {"h": {"count": 5, "sum": 10, "max": 4, "p50": 1, "p90": 3, "p99": 3}}
+            }"#,
+        )
+        .expect("valid");
+        let mut out = BTreeMap::new();
+        flatten_bench("speedup", &bench, &mut out).expect("bench flattens");
+        flatten_telemetry("speedup", &tele, &mut out).expect("telemetry flattens");
+        assert_eq!(out["bench.speedup.c1.wall_ns"], 100.0);
+        assert_eq!(out["bench.speedup.c1.speedup_vs_seed"], 2.0);
+        assert_eq!(
+            out["telemetry.speedup.counter.hwsim.cycles.total"],
+            207840.0
+        );
+        assert_eq!(out["telemetry.speedup.gauge.pruning.final_alpha"], 0.6);
+        assert_eq!(out["telemetry.speedup.timer.t.count"], 3.0);
+        assert_eq!(out["telemetry.speedup.histogram.h.p99"], 3.0);
+        assert!(!out.contains_key("telemetry.speedup.gauge.nan"));
+    }
+}

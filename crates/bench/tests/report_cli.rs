@@ -1,0 +1,125 @@
+//! End-to-end tests of the `exp_report` regression reporter binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write(dir: &Path, name: &str, content: &str) {
+    std::fs::write(dir.join(name), content).expect("write fixture");
+}
+
+const BENCH: &str = r#"[
+  {"config": "kernel_a", "wall_ns": 1000, "speedup_vs_seed": 2.0},
+  {"config": "kernel_b", "wall_ns": 4000, "speedup_vs_seed": 1.0}
+]"#;
+
+const TELEMETRY: &str = r#"{
+  "enabled": true,
+  "counters": {"hwsim.cycles.total": 207840},
+  "gauges": {"pruning.final_alpha": 0.6},
+  "timers": {},
+  "histograms": {"fft.forward_ns": {"count": 64, "sum": 9000, "max": 400, "p50": 127, "p90": 255, "p99": 255}}
+}"#;
+
+fn run_report(results_dir: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp_report"));
+    cmd.arg("--results-dir").arg(results_dir);
+    cmd.args(extra);
+    cmd.output().expect("spawn exp_report")
+}
+
+#[test]
+fn report_only_passes_and_check_fails_on_doctored_baseline() {
+    let dir = scratch("report_doctored");
+    write(&dir, "BENCH_demo.json", BENCH);
+    write(&dir, "TELEMETRY_demo.json", TELEMETRY);
+    // Baseline doctored to demand fewer cycles than the run produced.
+    write(
+        &dir,
+        "BASELINE.json",
+        r#"{
+          "metrics": {
+            "telemetry.demo.counter.hwsim.cycles.total":
+              {"value": 100000, "tolerance": 0.0, "direction": "up_is_bad"},
+            "bench.demo.kernel_a.speedup_vs_seed":
+              {"value": 2.0, "tolerance": 0.1, "direction": "down_is_bad"}
+          }
+        }"#,
+    );
+
+    // Report-only mode notes the regression but exits 0.
+    let out = run_report(&dir, &[]);
+    assert!(out.status.success(), "report-only must not fail the build");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("REGRESSED"), "stdout:\n{stdout}");
+    assert!(stdout.contains("report-only mode"), "stdout:\n{stdout}");
+
+    // --check turns the regression into a non-zero exit.
+    let out = run_report(&dir, &["--check"]);
+    assert!(
+        !out.status.success(),
+        "--check must exit non-zero on a regressed baseline"
+    );
+}
+
+#[test]
+fn check_passes_when_metrics_match_and_update_refreshes_values() {
+    let dir = scratch("report_clean");
+    write(&dir, "BENCH_demo.json", BENCH);
+    write(&dir, "TELEMETRY_demo.json", TELEMETRY);
+    write(
+        &dir,
+        "BASELINE.json",
+        r#"{
+          "metrics": {
+            "telemetry.demo.counter.hwsim.cycles.total":
+              {"value": 250000, "tolerance": 0.0, "direction": "up_is_bad"},
+            "telemetry.demo.histogram.fft.forward_ns.count":
+              {"value": 64, "tolerance": 0.0, "direction": "any"}
+          }
+        }"#,
+    );
+    let out = run_report(&dir, &["--check"]);
+    assert!(
+        out.status.success(),
+        "in-tolerance metrics must pass --check: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --update-baseline rewrites values in place, keeping tolerances.
+    let out = run_report(&dir, &["--update-baseline"]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(dir.join("BASELINE.json")).expect("baseline rewritten");
+    let baseline = bench::report::Baseline::parse(&text).expect("valid baseline");
+    let m = &baseline.metrics["telemetry.demo.counter.hwsim.cycles.total"];
+    assert_eq!(m.value, 207840.0);
+    assert_eq!(m.direction, bench::report::Direction::UpIsBad);
+}
+
+#[test]
+fn malformed_artifacts_fail_the_report() {
+    let dir = scratch("report_malformed");
+    write(&dir, "BENCH_demo.json", "[{\"config\": \"x\", "); // truncated
+    let out = run_report(&dir, &[]);
+    assert!(!out.status.success(), "malformed artifact must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("BENCH_demo.json"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn missing_baseline_reports_without_failing() {
+    let dir = scratch("report_nobaseline");
+    write(&dir, "BENCH_demo.json", BENCH);
+    let out = run_report(&dir, &["--check"]);
+    assert!(out.status.success(), "no baseline → nothing to diff");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("no baseline"), "stdout:\n{stdout}");
+}

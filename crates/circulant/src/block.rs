@@ -17,6 +17,9 @@ static EMAC_COMPUTED: telemetry::Counter =
     telemetry::Counter::new("circulant.emac.blocks_computed");
 /// eMAC block products skipped by the skip-index (pruned blocks).
 static EMAC_SKIPPED: telemetry::Counter = telemetry::Counter::new("circulant.emac.blocks_skipped");
+/// Per output-block-row latency distribution of the eMAC-accumulate +
+/// IFFT kernel (nanoseconds) — the FFT→eMAC→IFFT inner loop of Fig. 4.
+static ROW_MATVEC_NS: telemetry::Histogram = telemetry::Histogram::new("circulant.row_matvec_ns");
 
 /// A weight matrix partitioned into a grid of circulant blocks
 /// (paper Fig. 1b for the convolution case; this type is the 2-d
@@ -393,6 +396,7 @@ impl<T: Scalar> BlockCirculant<T> {
         row_spectra: &[Option<HalfSpectrum<T>>],
         x_spectra: &[HalfSpectrum<T>],
     ) -> Vec<T> {
+        let _lat = ROW_MATVEC_NS.span();
         let mut acc = HalfSpectrum::zeros(bs);
         let mut computed = 0u64;
         for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {

@@ -11,6 +11,15 @@
 //! models in tests, and against the accounting-only models used for
 //! Table I.
 
+/// Pruning rounds attempted across all Algorithm 1 runs.
+static ROUNDS: telemetry::Counter = telemetry::Counter::new("pruning.rounds");
+/// Final accepted α of the most recent Algorithm 1 run.
+static FINAL_ALPHA: telemetry::Gauge = telemetry::Gauge::new("pruning.final_alpha");
+/// Final accuracy of the most recent Algorithm 1 run.
+static FINAL_ACCURACY: telemetry::Gauge = telemetry::Gauge::new("pruning.final_accuracy");
+/// Final block sparsity of the most recent Algorithm 1 run.
+static FINAL_SPARSITY: telemetry::Gauge = telemetry::Gauge::new("pruning.final_sparsity");
+
 /// A network that Algorithm 1 can prune.
 ///
 /// The norm list indexing must be stable across calls: index `i` always
@@ -201,6 +210,22 @@ impl BcmWisePruner {
             candidate.eliminate(&indices);
             let acc = candidate.fine_tune();
             let accepted = acc >= self.target_accuracy;
+            ROUNDS.inc();
+            if telemetry::enabled() {
+                // One gauge quartet per round — the full Algorithm 1
+                // trajectory (α schedule, accuracy, cumulative pruned
+                // blocks, accept/reject) lands in the telemetry report.
+                telemetry::record_gauge(&format!("pruning.round.{round:03}.alpha"), alpha);
+                telemetry::record_gauge(&format!("pruning.round.{round:03}.accuracy"), acc);
+                telemetry::record_gauge(
+                    &format!("pruning.round.{round:03}.pruned_count"),
+                    indices.len() as f64,
+                );
+                telemetry::record_gauge(
+                    &format!("pruning.round.{round:03}.accepted"),
+                    if accepted { 1.0 } else { 0.0 },
+                );
+            }
             steps.push(PruneStep {
                 alpha,
                 pruned_count: indices.len(),
@@ -223,17 +248,18 @@ impl BcmWisePruner {
             alpha = (alpha + self.alpha_step).min(1.0);
         }
 
-        (
-            best,
-            PruningReport {
-                steps,
-                final_alpha: best_alpha,
-                final_accuracy: best_acc,
-                final_pruned_count: best_pruned,
-                total_blocks: total,
-                outcome,
-            },
-        )
+        let report = PruningReport {
+            steps,
+            final_alpha: best_alpha,
+            final_accuracy: best_acc,
+            final_pruned_count: best_pruned,
+            total_blocks: total,
+            outcome,
+        };
+        FINAL_ALPHA.set(best_alpha.unwrap_or(0.0));
+        FINAL_ACCURACY.set(best_acc);
+        FINAL_SPARSITY.set(report.sparsity());
+        (best, report)
     }
 }
 

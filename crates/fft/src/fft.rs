@@ -3,6 +3,12 @@
 use crate::{is_power_of_two, Complex};
 use tensor::Scalar;
 
+/// Per-call forward-transform latency distribution (nanoseconds).
+static FORWARD_NS: telemetry::Histogram = telemetry::Histogram::new("fft.forward_ns");
+/// Per-call inverse-transform latency distribution (nanoseconds), both
+/// scaled and unscaled variants.
+static INVERSE_NS: telemetry::Histogram = telemetry::Histogram::new("fft.inverse_ns");
+
 /// A fixed-size FFT plan with a precomputed twiddle table.
 ///
 /// This mirrors the accelerator's FFT PE (paper §IV-B): the twiddle factors
@@ -91,6 +97,7 @@ impl<T: Scalar> Fft<T> {
     ///
     /// Panics if `x.len()` differs from the plan size.
     pub fn forward(&self, x: &mut [Complex<T>]) {
+        let _lat = FORWARD_NS.span();
         self.transform(x, false);
     }
 
@@ -101,6 +108,7 @@ impl<T: Scalar> Fft<T> {
     ///
     /// Panics if `x.len()` differs from the plan size.
     pub fn inverse(&self, x: &mut [Complex<T>]) {
+        let _lat = INVERSE_NS.span();
         self.transform(x, true);
         let scale = T::ONE / T::from_usize(self.n);
         for z in x {
@@ -115,6 +123,7 @@ impl<T: Scalar> Fft<T> {
     ///
     /// Panics if `x.len()` differs from the plan size.
     pub fn inverse_unscaled(&self, x: &mut [Complex<T>]) {
+        let _lat = INVERSE_NS.span();
         self.transform(x, true);
     }
 

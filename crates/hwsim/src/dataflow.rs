@@ -29,6 +29,14 @@ static TILES: telemetry::Counter = telemetry::Counter::new("hwsim.tiles");
 static SKIP_COMPUTED: telemetry::Counter = telemetry::Counter::new("hwsim.skip.computed_blocks");
 /// Block eMACs the skip-index suppressed (pruned bits × tiles).
 static SKIP_SKIPPED: telemetry::Counter = telemetry::Counter::new("hwsim.skip.skipped_blocks");
+/// Distribution of modeled per-tile FFT-stage cycles across simulations.
+static STAGE_FFT: telemetry::Histogram = telemetry::Histogram::new("hwsim.stage.fft_per_tile");
+/// Distribution of modeled per-tile eMAC-stage cycles across simulations.
+static STAGE_EMAC: telemetry::Histogram = telemetry::Histogram::new("hwsim.stage.emac_per_tile");
+/// Distribution of modeled per-tile IFFT-stage cycles across simulations.
+static STAGE_IFFT: telemetry::Histogram = telemetry::Histogram::new("hwsim.stage.ifft_per_tile");
+/// Distribution of modeled per-tile DRAM-stage cycles across simulations.
+static STAGE_DRAM: telemetry::Histogram = telemetry::Histogram::new("hwsim.stage.dram_per_tile");
 
 /// Publishes one simulated layer's breakdown into the telemetry registry.
 fn record_breakdown(b: &CycleBreakdown, n_tiles: u64) {
@@ -268,6 +276,14 @@ impl DataflowConfig {
 
         // --- overlap ---
         let stages = [fft_per_tile, emac_per_tile, ifft_per_tile, dram_per_tile];
+        if telemetry::enabled() {
+            // Modeled per-tile stage cycles as distributions across layer
+            // simulations: the Fig. 10 view of which stage dominates.
+            STAGE_FFT.record(fft_per_tile);
+            STAGE_EMAC.record(emac_per_tile);
+            STAGE_IFFT.record(ifft_per_tile);
+            STAGE_DRAM.record(dram_per_tile);
+        }
         let tile_total = if self.double_buffering {
             *stages.iter().max().expect("non-empty")
         } else {

@@ -21,6 +21,9 @@ static FX_OUTPUT_IFFTS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.o
 /// Block eMACs scheduled by the plans (live entries × pixels; border
 /// pixels skip out-of-bounds taps, so this is a slight over-count).
 static FX_EMAC_BLOCKS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.emac_blocks");
+/// Per out-block eMAC-plan execution latency distribution (nanoseconds):
+/// one observation covers every pixel of one output channel block.
+static FX_PLAN_EXEC_NS: telemetry::Histogram = telemetry::Histogram::new("hwsim.fx.plan_exec_ns");
 
 /// Coarse arithmetic counts for one fixed-point conv call, computed from
 /// the layer geometry outside the hot loops.
@@ -325,6 +328,8 @@ pub fn conv_forward_fx(q: QFormat, weights: &FxWeights, x: &[i16], h: usize, w: 
     // the contiguous input spectra, which changes nothing about any single
     // pixel's accumulation order.
     parallel::par_chunk_map(&mut out[..], bs * h * w, |bo, out_block| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_plan", "hwsim.fx");
         let plan = &plans[bo];
         let mut acc = vec![ComplexAcc::zero(); bins];
         let mut full = vec![ComplexFx::zero(); bs];
@@ -565,6 +570,8 @@ pub fn conv_forward_fx_scaled(
     record_fx_layer(&plans, weights.in_blocks, weights.out_blocks, h, w);
 
     parallel::par_chunk_map(&mut out[..], bs * h * w, |bo, out_block| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_plan_scaled", "hwsim.fx");
         let plan = &plans[bo];
         // i64 accumulators at 2·act_frac fractional bits.
         let mut acc_re = vec![0i64; bins];

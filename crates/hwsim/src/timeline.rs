@@ -23,6 +23,17 @@ static STALL_FFT: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.s
 static STALL_EMAC: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.emac");
 /// IFFT-station idle (stall) cycles.
 static STALL_IFFT: telemetry::Counter = telemetry::Counter::new("hwsim.pipeline.stall.ifft");
+/// Distribution of per-tile DRAM-stage cycles across simulated tiles.
+static TILE_DRAM: telemetry::Histogram = telemetry::Histogram::new("hwsim.pipeline.tile_dram");
+/// Distribution of per-tile FFT-stage cycles across simulated tiles.
+static TILE_FFT: telemetry::Histogram = telemetry::Histogram::new("hwsim.pipeline.tile_fft");
+/// Distribution of per-tile eMAC-stage cycles across simulated tiles.
+static TILE_EMAC: telemetry::Histogram = telemetry::Histogram::new("hwsim.pipeline.tile_emac");
+/// Distribution of per-tile IFFT-stage cycles across simulated tiles.
+static TILE_IFFT: telemetry::Histogram = telemetry::Histogram::new("hwsim.pipeline.tile_ifft");
+
+/// Station labels for the modeled-cycle trace tracks (tid order).
+const STATION_NAMES: [&str; 4] = ["dram", "fft", "emac", "ifft"];
 
 /// Per-tile stage latencies in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,10 +120,30 @@ pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> Pipeline
             tiles: 0,
         };
     }
+    record_tile_phases(tiles);
+    // A fresh modeled-cycle trace track per run, so two runs (e.g. serial
+    // vs double-buffered) sit side by side in Perfetto. pid 0 = tracing
+    // off, and trace_complete_cycles is then a no-op.
+    let trace_pid = if telemetry::trace_enabled() {
+        telemetry::trace_cycle_process(if double_buffering {
+            "hwsim pipeline (double-buffered)"
+        } else {
+            "hwsim pipeline (serial)"
+        })
+    } else {
+        0
+    };
     if !double_buffering {
-        let makespan = tiles.iter().map(TileCost::serial).sum();
+        let mut clock = 0u64;
+        for t in tiles {
+            let costs = [t.dram, t.fft, t.emac, t.ifft];
+            for (s, &c) in costs.iter().enumerate() {
+                trace_station(trace_pid, s, clock, c);
+                clock += c;
+            }
+        }
         let run = PipelineRun {
-            makespan,
+            makespan: clock,
             busy,
             tiles: n,
         };
@@ -126,6 +157,7 @@ pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> Pipeline
         let mut ready_from_prev = 0u64;
         for s in 0..4 {
             let start = finish[s].max(ready_from_prev);
+            trace_station(trace_pid, s, start, costs[s]);
             finish[s] = start + costs[s];
             ready_from_prev = finish[s];
         }
@@ -137,6 +169,35 @@ pub fn simulate_pipeline(tiles: &[TileCost], double_buffering: bool) -> Pipeline
     };
     record_run(&run);
     run
+}
+
+/// Records every tile's per-stage cycle counts into the phase histograms
+/// (one pass, skipped entirely while telemetry is disabled).
+fn record_tile_phases(tiles: &[TileCost]) {
+    if !telemetry::enabled() {
+        return;
+    }
+    for t in tiles {
+        TILE_DRAM.record(t.dram);
+        TILE_FFT.record(t.fft);
+        TILE_EMAC.record(t.emac);
+        TILE_IFFT.record(t.ifft);
+    }
+}
+
+/// Emits one station occupancy span on the modeled-cycle trace track
+/// (zero-length stages are skipped to keep the trace readable).
+#[inline]
+fn trace_station(pid: u32, station: usize, start: u64, cycles: u64) {
+    if pid != 0 && cycles > 0 {
+        telemetry::trace_complete_cycles(
+            pid,
+            station as u32,
+            STATION_NAMES[station],
+            start,
+            cycles,
+        );
+    }
 }
 
 /// Publishes a pipeline run's tile count and per-station stall cycles

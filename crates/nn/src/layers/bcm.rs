@@ -248,6 +248,10 @@ impl Layer for BcmConv2d {
         self.live_blocks() * self.layout.bs
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.vecs]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -434,6 +438,10 @@ impl Layer for HadaBcmConv2d {
 
     fn param_count(&self) -> usize {
         2 * self.live_blocks() * self.layout.bs
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.a, &self.b]
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

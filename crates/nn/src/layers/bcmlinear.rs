@@ -208,6 +208,10 @@ impl Layer for BcmLinear {
         self.live_blocks() * self.bs + self.bias.len()
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.vecs, &self.bias]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -242,6 +242,10 @@ impl Layer for Conv2d {
         self.weight.len()
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

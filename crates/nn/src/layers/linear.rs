@@ -81,6 +81,10 @@ impl Layer for Linear {
         self.weight.len() + self.bias.len()
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -52,6 +52,14 @@ pub trait Layer {
         0
     }
 
+    /// The layer's parameter tensors (values plus accumulated gradients),
+    /// recursing into composites. Default: none. Used by the training
+    /// telemetry to compute gradient norms and update ratios without
+    /// copying — implementations return borrows in a stable order.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
     /// Clones into a boxed trait object (manual object-safe `Clone`).
     fn clone_box(&self) -> Box<dyn Layer>;
 

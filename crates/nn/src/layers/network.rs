@@ -1,6 +1,6 @@
 //! Layer composition: sequential networks and residual blocks.
 
-use crate::layers::{BcmLayer, Layer};
+use crate::layers::{BcmLayer, Layer, Param};
 use crate::optim::SgdUpdate;
 use tensor::Tensor;
 
@@ -49,19 +49,43 @@ impl Network {
     }
 
     /// Forward through every layer.
+    ///
+    /// When telemetry capture is on, each layer's wall latency lands in the
+    /// dynamic histogram `nn.layer.forward_ns.<layer-name>`.
     pub fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
         let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+        if telemetry::enabled() {
+            for layer in &mut self.layers {
+                let start = std::time::Instant::now();
+                cur = layer.forward(&cur, train);
+                let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                telemetry::record_histogram(&format!("nn.layer.forward_ns.{}", layer.name()), ns);
+            }
+        } else {
+            for layer in &mut self.layers {
+                cur = layer.forward(&cur, train);
+            }
         }
         cur
     }
 
     /// Backward through every layer in reverse.
+    ///
+    /// When telemetry capture is on, each layer's wall latency lands in the
+    /// dynamic histogram `nn.layer.backward_ns.<layer-name>`.
     pub fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
         let mut cur = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+        if telemetry::enabled() {
+            for layer in self.layers.iter_mut().rev() {
+                let start = std::time::Instant::now();
+                cur = layer.backward(&cur);
+                let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                telemetry::record_histogram(&format!("nn.layer.backward_ns.{}", layer.name()), ns);
+            }
+        } else {
+            for layer in self.layers.iter_mut().rev() {
+                cur = layer.backward(&cur);
+            }
         }
         cur
     }
@@ -76,6 +100,13 @@ impl Network {
     /// Total trainable parameters.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Borrows of every trainable parameter in network order, recursing
+    /// into composites. Used by training telemetry (gradient norms, update
+    /// ratios) — never mutates.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
     }
 
     /// All block-circulant layers in network order, recursing into
@@ -284,6 +315,14 @@ impl Layer for ResidualBlock {
             .map(|l| l.param_count())
             .sum();
         main + short
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.main
+            .iter()
+            .chain(self.shortcut.iter().flatten())
+            .flat_map(|l| l.params())
+            .collect()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

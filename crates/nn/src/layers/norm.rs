@@ -188,6 +188,10 @@ impl Layer for BatchNorm2d {
         2 * self.channels
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -8,6 +8,32 @@ use rpbcm::pruning::PrunableNetwork;
 use std::sync::Arc;
 use tensor::ops::argmax;
 
+/// Global L2 norm of all accumulated gradients, last training step.
+static GRAD_NORM: telemetry::Gauge = telemetry::Gauge::new("nn.train.grad_norm");
+/// Largest gradient norm seen across all training steps.
+static GRAD_NORM_MAX: telemetry::Gauge = telemetry::Gauge::new("nn.train.grad_norm_max");
+/// `‖Δw‖ / ‖w‖` of the last SGD step (weight-relative update magnitude).
+static UPDATE_RATIO: telemetry::Gauge = telemetry::Gauge::new("nn.train.update_ratio");
+/// Largest update ratio seen across all training steps.
+static UPDATE_RATIO_MAX: telemetry::Gauge = telemetry::Gauge::new("nn.train.update_ratio_max");
+
+/// Global L2 norms of `(gradients, weights)` over every trainable
+/// parameter — read-only, safe to call between `backward` and `step`
+/// (which clears gradients).
+fn grad_and_weight_norms(net: &Network) -> (f64, f64) {
+    let mut g2 = 0.0f64;
+    let mut w2 = 0.0f64;
+    for p in net.params() {
+        for &g in p.grad.as_slice() {
+            g2 += f64::from(g) * f64::from(g);
+        }
+        for &w in p.value.as_slice() {
+            w2 += f64::from(w) * f64::from(w);
+        }
+    }
+    (g2.sqrt(), w2.sqrt())
+}
+
 /// Training hyper-parameters (SGD + cosine annealing, as in paper §V-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -86,21 +112,69 @@ impl Trainer {
             let mut loss_sum = 0.0f64;
             let mut correct = 0usize;
             let mut count = 0usize;
+            let mut last_lr = 0.0f32;
             for (x, y) in data.train_batches(self.config.batch_size, epoch as u64) {
                 let logits = net.forward(&x, true);
                 let out = softmax_cross_entropy(&logits, &y);
                 net.backward(&out.grad);
-                net.step(&sgd.update_at(step));
+                let update = sgd.update_at(step);
+                if telemetry::enabled() {
+                    // Gradients are cleared by `step`, so norms must be read
+                    // here; the pre-step weight snapshot yields an exact
+                    // ‖Δw‖ including momentum and weight decay. All reads —
+                    // the update arithmetic is untouched.
+                    let (grad_norm, weight_norm) = grad_and_weight_norms(net);
+                    let pre: Vec<Vec<f32>> = net
+                        .params()
+                        .iter()
+                        .map(|p| p.value.as_slice().to_vec())
+                        .collect();
+                    net.step(&update);
+                    let mut d2 = 0.0f64;
+                    for (p, old) in net.params().iter().zip(&pre) {
+                        for (&w, &o) in p.value.as_slice().iter().zip(old) {
+                            let d = f64::from(w) - f64::from(o);
+                            d2 += d * d;
+                        }
+                    }
+                    let ratio = if weight_norm > 0.0 {
+                        d2.sqrt() / weight_norm
+                    } else {
+                        0.0
+                    };
+                    GRAD_NORM.set(grad_norm);
+                    GRAD_NORM_MAX.set_max(grad_norm);
+                    UPDATE_RATIO.set(ratio);
+                    UPDATE_RATIO_MAX.set_max(ratio);
+                } else {
+                    net.step(&update);
+                }
+                last_lr = update.lr;
                 step += 1;
                 loss_sum += f64::from(out.loss) * y.len() as f64;
                 correct += out.correct;
                 count += y.len();
             }
-            self.history.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 train_loss: (loss_sum / count as f64) as f32,
                 train_accuracy: correct as f32 / count as f32,
-            });
+            };
+            if telemetry::enabled() {
+                telemetry::record_gauge(
+                    &format!("nn.train.epoch.{epoch:03}.loss"),
+                    f64::from(stats.train_loss),
+                );
+                telemetry::record_gauge(
+                    &format!("nn.train.epoch.{epoch:03}.accuracy"),
+                    f64::from(stats.train_accuracy),
+                );
+                telemetry::record_gauge(
+                    &format!("nn.train.epoch.{epoch:03}.lr"),
+                    f64::from(last_lr),
+                );
+            }
+            self.history.push(stats);
         }
         evaluate(net, data)
     }

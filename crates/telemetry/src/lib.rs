@@ -48,23 +48,45 @@
 //! ```
 //!
 //! Dynamic names (for per-layer or per-experiment metrics such as the
-//! accounting and power reports) go through [`record_counter`],
-//! [`record_gauge`] and [`record_timer_ns`].
+//! accounting, training and power reports) go through [`record_counter`],
+//! [`record_gauge`], [`record_timer_ns`] and [`record_histogram`].
+//!
+//! # Histograms
+//!
+//! Where a [`Timer`] keeps only totals, a [`Histogram`] keeps a lock-free
+//! log₂-bucketed distribution (65 power-of-two buckets plus exact
+//! count/sum/max), so reports can show p50/p90/p99 tail latencies of the
+//! FFT, eMAC and worker hot paths. [`Histogram::span`] measures a scope
+//! in nanoseconds just like [`Timer::span`].
 //!
 //! # Reports
 //!
 //! [`snapshot`] captures every registered metric; [`report_json`] renders
 //! the snapshot as a stable JSON document (hand-rolled: the workspace is
-//! std-only) and [`write_report`] writes it to disk:
+//! std-only; keys sorted, so identical registry contents yield
+//! byte-identical reports) and [`write_report`] writes it to disk:
 //!
 //! ```json
 //! {
 //!   "enabled": true,
 //!   "counters": { "fft.plan_cache.hits": 4096 },
 //!   "gauges": { "tensor.parallel.max_partition_imbalance": 1.0 },
-//!   "timers": { "tensor.parallel.scope_wall": { "count": 32, "total_ns": 180000 } }
+//!   "timers": { "tensor.parallel.scope_wall": { "count": 32, "total_ns": 180000 } },
+//!   "histograms": { "fft.forward_ns": { "count": 4096, "sum": 812000,
+//!     "max": 4096, "p50": 127, "p90": 255, "p99": 511 } }
 //! }
 //! ```
+//!
+//! # Chrome-trace export
+//!
+//! The [`trace_span`] / [`trace_cycle_process`] / [`trace_complete_cycles`]
+//! family buffers events into bounded per-thread rings and renders them as
+//! a Chrome trace-event JSON document ([`trace_json`]) loadable in
+//! Perfetto: wall-clock spans for the software hot paths on one process
+//! track, and `hwsim::timeline`'s modeled FFT/eMAC/IFFT pipeline schedule
+//! replayed as a second clock domain (1 cycle = 1 µs). Enabled by setting
+//! `RPBCM_TRACE=<path>`; the `exp_*` binaries call [`flush_trace`] on exit
+//! to write the file.
 
 #![deny(missing_docs)]
 
@@ -74,21 +96,33 @@ mod probe;
 mod registry;
 #[cfg(feature = "capture")]
 mod report;
+#[cfg(feature = "capture")]
+mod trace;
 
 #[cfg(feature = "capture")]
-pub use probe::{Counter, Gauge, Span, Timer};
+pub use probe::{Counter, Gauge, Histogram, HistogramSpan, Span, Timer};
 #[cfg(feature = "capture")]
 pub use registry::{
-    clear_override, enabled, record_counter, record_gauge, record_timer_ns, reset, set_enabled,
+    clear_override, enabled, record_counter, record_gauge, record_histogram, record_timer_ns,
+    reset, set_enabled,
 };
 #[cfg(feature = "capture")]
-pub use report::{report_json, snapshot, write_report, Snapshot, TimerStat};
+pub use report::{report_json, snapshot, write_report, HistogramStat, Snapshot, TimerStat};
+#[cfg(feature = "capture")]
+pub use trace::{
+    clear_trace_override, flush_trace, reset_trace, set_trace_enabled, trace_complete_cycles,
+    trace_cycle_process, trace_dropped, trace_enabled, trace_json, trace_span, write_trace,
+    TraceSpan,
+};
 
 #[cfg(not(feature = "capture"))]
 mod noop;
 
 #[cfg(not(feature = "capture"))]
 pub use noop::{
-    clear_override, enabled, record_counter, record_gauge, record_timer_ns, report_json, reset,
-    set_enabled, snapshot, write_report, Counter, Gauge, Snapshot, Span, Timer, TimerStat,
+    clear_override, clear_trace_override, enabled, flush_trace, record_counter, record_gauge,
+    record_histogram, record_timer_ns, report_json, reset, reset_trace, set_enabled,
+    set_trace_enabled, snapshot, trace_complete_cycles, trace_cycle_process, trace_dropped,
+    trace_enabled, trace_json, trace_span, write_report, write_trace, Counter, Gauge, Histogram,
+    HistogramSpan, HistogramStat, Snapshot, Span, Timer, TimerStat, TraceSpan,
 };

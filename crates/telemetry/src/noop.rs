@@ -87,6 +87,47 @@ impl Timer {
 /// Inert guard returned by [`Timer::span`] in a compiled-out build.
 pub struct Span;
 
+/// A log₂-bucketed distribution (compiled-out variant).
+pub struct Histogram;
+
+impl Histogram {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(_name: &'static str) -> Self {
+        Histogram
+    }
+
+    /// Records one observation (compiled out).
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Returns an inert guard; no clock is read.
+    #[inline(always)]
+    pub fn span(&self) -> HistogramSpan {
+        HistogramSpan
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn max(&self) -> u64 {
+        0
+    }
+}
+
+/// Inert guard returned by [`Histogram::span`] in a compiled-out build.
+pub struct HistogramSpan;
+
 /// Always `false` in a compiled-out build.
 #[inline(always)]
 pub fn enabled() -> bool {
@@ -117,6 +158,69 @@ pub fn record_gauge(_name: &str, _value: f64) {}
 #[inline(always)]
 pub fn record_timer_ns(_name: &str, _ns: u64) {}
 
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn record_histogram(_name: &str, _value: u64) {}
+
+/// Always `false` in a compiled-out build.
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    false
+}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn set_trace_enabled(_on: bool) {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn clear_trace_override() {}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn reset_trace() {}
+
+/// Inert guard returned by [`trace_span`] in a compiled-out build.
+pub struct TraceSpan;
+
+/// Returns an inert guard; no clock is read.
+#[inline(always)]
+pub fn trace_span(_name: &'static str, _cat: &'static str) -> TraceSpan {
+    TraceSpan
+}
+
+/// Always zero in a compiled-out build.
+#[inline(always)]
+pub fn trace_cycle_process(_label: &str) -> u32 {
+    0
+}
+
+/// No-op in a compiled-out build.
+#[inline(always)]
+pub fn trace_complete_cycles(_pid: u32, _tid: u32, _name: &'static str, _start: u64, _dur: u64) {}
+
+/// Always zero in a compiled-out build.
+#[inline(always)]
+pub fn trace_dropped() -> u64 {
+    0
+}
+
+/// The empty trace document in a compiled-out build.
+pub fn trace_json() -> String {
+    "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n".to_string()
+}
+
+/// Writes the empty trace to `path` (so downstream tooling always finds
+/// a syntactically valid artifact).
+pub fn write_trace<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, trace_json())
+}
+
+/// Never writes anything in a compiled-out build.
+pub fn flush_trace() -> std::io::Result<Option<std::path::PathBuf>> {
+    Ok(None)
+}
+
 /// One timer's aggregated statistics (compiled-out variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TimerStat {
@@ -124,6 +228,23 @@ pub struct TimerStat {
     pub count: u64,
     /// Total recorded nanoseconds (always zero).
     pub total_ns: u64,
+}
+
+/// One histogram's aggregated statistics (compiled-out variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramStat {
+    /// Number of observations (always zero).
+    pub count: u64,
+    /// Sum of observations (always zero).
+    pub sum: u64,
+    /// Largest observation (always zero).
+    pub max: u64,
+    /// Estimated 50th percentile (always zero).
+    pub p50: u64,
+    /// Estimated 90th percentile (always zero).
+    pub p90: u64,
+    /// Estimated 99th percentile (always zero).
+    pub p99: u64,
 }
 
 /// A point-in-time copy of the (empty) registry.
@@ -137,12 +258,15 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Always empty in a compiled-out build.
     pub timers: BTreeMap<String, TimerStat>,
+    /// Always empty in a compiled-out build.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 impl Snapshot {
     /// Renders the empty snapshot as JSON.
     pub fn to_json(&self) -> String {
-        "{\n  \"enabled\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \"timers\": {}\n}"
+        "{\n  \"enabled\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \
+         \"timers\": {},\n  \"histograms\": {}\n}"
             .to_string()
     }
 }
@@ -173,6 +297,9 @@ mod tests {
         assert_eq!(std::mem::size_of::<Gauge>(), 0);
         assert_eq!(std::mem::size_of::<Timer>(), 0);
         assert_eq!(std::mem::size_of::<Span>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        assert_eq!(std::mem::size_of::<HistogramSpan>(), 0);
+        assert_eq!(std::mem::size_of::<TraceSpan>(), 0);
     }
 
     #[test]
@@ -180,10 +307,19 @@ mod tests {
         static C: Counter = Counter::new("noop.counter");
         C.add(5);
         assert_eq!(C.value(), 0);
+        static H: Histogram = Histogram::new("noop.hist");
+        H.record(7);
+        assert_eq!(H.count(), 0);
         set_enabled(true);
         assert!(!enabled());
+        set_trace_enabled(true);
+        assert!(!trace_enabled());
         record_counter("noop.dyn", 1);
+        record_histogram("noop.dyn.hist", 1);
         assert!(snapshot().counters.is_empty());
+        assert!(snapshot().histograms.is_empty());
         assert!(report_json().contains("\"enabled\": false"));
+        assert!(report_json().contains("\"histograms\": {}"));
+        assert!(trace_json().contains("\"traceEvents\""));
     }
 }

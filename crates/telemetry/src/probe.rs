@@ -1,7 +1,9 @@
 //! Statically named probes: the `const`-constructible handles that
 //! instrumentation sites embed as `static`s.
 
-use crate::registry::{enabled, registry, TimerCell};
+use crate::registry::{
+    enabled, gauge_bits, gauge_value, registry, HistCell, TimerCell, GAUGE_UNWRITTEN,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -72,18 +74,25 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
         if enabled() {
-            self.cell().store(v.to_bits(), Ordering::Relaxed);
+            self.cell().store(gauge_bits(v), Ordering::Relaxed);
         }
     }
 
-    /// Raises the gauge to `v` if `v` exceeds the stored value (no-op
-    /// while telemetry is disabled).
+    /// Raises the gauge to `v` if `v` exceeds the stored value, or records
+    /// `v` unconditionally if the gauge has never been written — so the
+    /// first observed maximum sticks even when it is negative. NaN inputs
+    /// are ignored. No-op while telemetry is disabled.
     #[inline]
     pub fn set_max(&self, v: f64) {
-        if enabled() {
+        if enabled() && !v.is_nan() {
             let cell = self.cell();
             let mut cur = cell.load(Ordering::Relaxed);
-            while v > f64::from_bits(cur) {
+            loop {
+                let stored = f64::from_bits(cur);
+                // `stored.is_nan()` also covers the unwritten sentinel.
+                if !(cur == GAUGE_UNWRITTEN || stored.is_nan() || v > stored) {
+                    break;
+                }
                 match cell.compare_exchange_weak(
                     cur,
                     v.to_bits(),
@@ -97,9 +106,10 @@ impl Gauge {
         }
     }
 
-    /// The gauge's current value (registers the metric if needed).
+    /// The gauge's current value: the last value written, or `0.0` if the
+    /// gauge has never been written (registers the metric if needed).
     pub fn value(&self) -> f64 {
-        f64::from_bits(self.cell().load(Ordering::Relaxed))
+        gauge_value(self.cell().load(Ordering::Relaxed))
     }
 }
 
@@ -166,6 +176,81 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some((timer, start)) = self.inner.take() {
             timer.add_ns(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A lock-free log₂-bucketed latency/size distribution.
+///
+/// Where a [`Timer`] keeps only a total and a count, a `Histogram` keeps
+/// 65 power-of-two buckets plus exact count/sum/max, so the report can
+/// estimate p50/p90/p99 tail latencies. Recording is a handful of relaxed
+/// `fetch_add`s — no locks — so concurrent `tensor::parallel` workers
+/// merge losslessly. Same dual gating as every other probe: compiled out
+/// without the `capture` feature, a single untaken branch while
+/// `RPBCM_TELEMETRY` is unset.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<Arc<HistCell>>,
+}
+
+impl Histogram {
+    /// Creates a probe for the metric `name` (usable in `static` items).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &Arc<HistCell> {
+        self.cell.get_or_init(|| registry().histogram(self.name))
+    }
+
+    /// Records one observation of `v` (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.cell().record(v);
+        }
+    }
+
+    /// Starts a scoped latency measurement; the elapsed nanoseconds are
+    /// recorded as one observation when the returned guard drops. While
+    /// telemetry is disabled the guard is inert and no clock is read.
+    #[inline]
+    pub fn span(&self) -> HistogramSpan<'_> {
+        HistogramSpan {
+            inner: enabled().then(|| (self, Instant::now())),
+        }
+    }
+
+    /// Number of recorded observations (registers the metric if needed).
+    pub fn count(&self) -> u64 {
+        self.cell().count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations (registers the metric if needed).
+    pub fn sum(&self) -> u64 {
+        self.cell().sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (registers the metric if needed).
+    pub fn max(&self) -> u64 {
+        self.cell().max.load(Ordering::Relaxed)
+    }
+}
+
+/// Guard returned by [`Histogram::span`]; records the elapsed nanoseconds
+/// into its histogram on drop.
+pub struct HistogramSpan<'a> {
+    inner: Option<(&'a Histogram, Instant)>,
+}
+
+impl Drop for HistogramSpan<'_> {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
         }
     }
 }

@@ -10,13 +10,106 @@ pub(crate) struct TimerCell {
     pub(crate) count: AtomicU64,
 }
 
+/// Number of log₂ buckets a histogram holds: bucket 0 is the value `0`,
+/// bucket `b ≥ 1` covers `[2^(b−1), 2^b)`, so 65 buckets span all of
+/// `u64` (`bucket 64` ends at `u64::MAX`).
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+/// Bucket index of `v` (see [`HIST_BUCKETS`]): `0 → 0`, `1 → 1`,
+/// `[2, 4) → 2`, `[4, 8) → 3`, …
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` — what the quantile estimates
+/// report (the true value is within 2× below it).
+#[inline]
+pub(crate) fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Histogram storage: one atomic counter per log₂ bucket plus exact
+/// count, sum and max — everything lock-free, so concurrent workers can
+/// record without coordination and nothing is lost in the merge.
+pub(crate) struct HistCell {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sentinel bit pattern for a gauge that has never been written: a quiet
+/// NaN with a payload no canonicalized store can produce. Seeding cells
+/// with this (instead of `0.0`) lets `set_max` accept *any* first value,
+/// including negative ones, while `value()`/snapshots keep reporting an
+/// unwritten gauge as `0.0`.
+pub(crate) const GAUGE_UNWRITTEN: u64 = 0x7FF8_DEAD_BEEF_0000;
+
+/// Bit pattern a gauge actually stores for `v`: NaNs are canonicalized so
+/// a stored value can never collide with [`GAUGE_UNWRITTEN`].
+#[inline]
+pub(crate) fn gauge_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+/// The `f64` a gauge cell's bit pattern represents (`0.0` when unwritten).
+#[inline]
+pub(crate) fn gauge_value(bits: u64) -> f64 {
+    if bits == GAUGE_UNWRITTEN {
+        0.0
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
 /// All registered metrics, keyed by name. Values are `Arc`s so probes can
 /// cache a direct handle and skip the map lookup on the hot path.
 pub(crate) struct Registry {
     pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    /// Gauges store `f64::to_bits`.
+    /// Gauges store `f64::to_bits` ([`GAUGE_UNWRITTEN`] until first set).
     pub(crate) gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     pub(crate) timers: Mutex<BTreeMap<String, Arc<TimerCell>>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<HistCell>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -38,7 +131,7 @@ impl Registry {
         let mut map = lock(&self.gauges);
         Arc::clone(
             map.entry(name.to_string())
-                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+                .or_insert_with(|| Arc::new(AtomicU64::new(GAUGE_UNWRITTEN))),
         )
     }
 
@@ -51,6 +144,14 @@ impl Registry {
             })
         }))
     }
+
+    pub(crate) fn histogram(&self, name: &str) -> Arc<HistCell> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistCell::new())),
+        )
+    }
 }
 
 pub(crate) fn registry() -> &'static Registry {
@@ -59,6 +160,7 @@ pub(crate) fn registry() -> &'static Registry {
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
         timers: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -109,11 +211,14 @@ pub fn reset() {
         c.store(0, Ordering::Relaxed);
     }
     for g in lock(&r.gauges).values() {
-        g.store(0f64.to_bits(), Ordering::Relaxed);
+        g.store(GAUGE_UNWRITTEN, Ordering::Relaxed);
     }
     for t in lock(&r.timers).values() {
         t.ns.store(0, Ordering::Relaxed);
         t.count.store(0, Ordering::Relaxed);
+    }
+    for h in lock(&r.histograms).values() {
+        h.reset();
     }
 }
 
@@ -132,7 +237,7 @@ pub fn record_gauge(name: &str, value: f64) {
     if enabled() {
         registry()
             .gauge(name)
-            .store(value.to_bits(), Ordering::Relaxed);
+            .store(gauge_bits(value), Ordering::Relaxed);
     }
 }
 
@@ -143,5 +248,43 @@ pub fn record_timer_ns(name: &str, ns: u64) {
         let cell = registry().timer(name);
         cell.ns.fetch_add(ns, Ordering::Relaxed);
         cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one observation of `value` into the histogram `name`,
+/// registering it on first use. Statically named sites should prefer a
+/// `static` [`crate::Histogram`], which caches its registry handle.
+pub fn record_histogram(name: &str, value: u64) {
+    if enabled() {
+        registry().histogram(name).record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound maps back into that bucket.
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn gauge_bits_never_collide_with_the_sentinel() {
+        assert_ne!(gauge_bits(f64::NAN), GAUGE_UNWRITTEN);
+        assert_eq!(gauge_value(GAUGE_UNWRITTEN), 0.0);
+        assert_eq!(gauge_value(gauge_bits(-3.5)), -3.5);
+        assert!(f64::from_bits(GAUGE_UNWRITTEN).is_nan());
     }
 }

@@ -1,6 +1,6 @@
 //! Registry snapshots and the hand-rolled JSON report writer.
 
-use crate::registry::{enabled, registry};
+use crate::registry::{bucket_upper, enabled, gauge_value, registry, HistCell, HIST_BUCKETS};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
@@ -11,6 +11,61 @@ pub struct TimerStat {
     pub count: u64,
     /// Total recorded nanoseconds.
     pub total_ns: u64,
+}
+
+/// One histogram's aggregated statistics. Quantiles are upper bounds of
+/// the log₂ bucket holding that rank, so they overestimate the true value
+/// by at most 2×; `max` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramStat {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded observations.
+    pub sum: u64,
+    /// Largest recorded observation (exact).
+    pub max: u64,
+    /// Estimated 50th-percentile observation (0 when empty).
+    pub p50: u64,
+    /// Estimated 90th-percentile observation (0 when empty).
+    pub p90: u64,
+    /// Estimated 99th-percentile observation (0 when empty).
+    pub p99: u64,
+}
+
+impl HistogramStat {
+    pub(crate) fn from_cell(cell: &HistCell) -> Self {
+        let buckets: Vec<u64> = cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // The per-field loads are individually atomic but not mutually
+        // consistent; derive the count from the buckets so the quantile
+        // ranks match the distribution actually read.
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (b, &n) in buckets.iter().enumerate().take(HIST_BUCKETS) {
+                seen += n;
+                if seen >= target {
+                    return bucket_upper(b);
+                }
+            }
+            bucket_upper(HIST_BUCKETS - 1)
+        };
+        HistogramStat {
+            count,
+            sum: cell.sum.load(Ordering::Relaxed),
+            max: cell.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
 }
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -24,6 +79,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Timer statistics by name.
     pub timers: BTreeMap<String, TimerStat>,
+    /// Histogram statistics by name.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 impl Snapshot {
@@ -46,6 +103,13 @@ impl Snapshot {
         s.push_str("},\n  \"timers\": {");
         push_entries(&mut s, &self.timers, |t| {
             format!("{{\"count\": {}, \"total_ns\": {}}}", t.count, t.total_ns)
+        });
+        s.push_str("},\n  \"histograms\": {");
+        push_entries(&mut s, &self.histograms, |h| {
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count, h.sum, h.max, h.p50, h.p90, h.p99
+            )
         });
         s.push_str("}\n}");
         s
@@ -90,7 +154,7 @@ pub fn snapshot() -> Snapshot {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .iter()
-        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .map(|(k, v)| (k.clone(), gauge_value(v.load(Ordering::Relaxed))))
         .collect();
     let timers = r
         .timers
@@ -107,11 +171,19 @@ pub fn snapshot() -> Snapshot {
             )
         })
         .collect();
+    let histograms = r
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), HistogramStat::from_cell(v)))
+        .collect();
     Snapshot {
         enabled: enabled(),
         counters,
         gauges,
         timers,
+        histograms,
     }
 }
 
@@ -162,5 +234,50 @@ mod tests {
         assert!(j.contains("\"counters\": {}"));
         assert!(j.contains("\"gauges\": {}"));
         assert!(j.contains("\"timers\": {}"));
+        assert!(j.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn histogram_stats_serialize_all_fields() {
+        let mut snap = Snapshot {
+            enabled: true,
+            ..Default::default()
+        };
+        snap.histograms.insert(
+            "h".into(),
+            HistogramStat {
+                count: 100,
+                sum: 5000,
+                max: 200,
+                p50: 63,
+                p90: 127,
+                p99: 255,
+            },
+        );
+        let j = snap.to_json();
+        assert!(j.contains(
+            "\"h\": {\"count\": 100, \"sum\": 5000, \"max\": 200, \
+             \"p50\": 63, \"p90\": 127, \"p99\": 255}"
+        ));
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let cell = crate::registry::registry().histogram("report.test.quantiles");
+        // 90 observations of 1 and 10 of ~1000: p50/p90 land in bucket 1
+        // (upper bound 1), p99 and max in the 1000s.
+        for _ in 0..90 {
+            cell.record(1);
+        }
+        for _ in 0..10 {
+            cell.record(1000);
+        }
+        let stat = HistogramStat::from_cell(&cell);
+        assert_eq!(stat.count, 100);
+        assert_eq!(stat.sum, 90 + 10_000);
+        assert_eq!(stat.max, 1000);
+        assert_eq!(stat.p50, 1);
+        assert_eq!(stat.p90, 1);
+        assert_eq!(stat.p99, 1023); // upper bound of 1000's bucket
     }
 }

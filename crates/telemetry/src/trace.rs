@@ -1,0 +1,360 @@
+//! Chrome trace-event export: bounded per-thread event rings feeding a
+//! `chrome://tracing` / Perfetto JSON writer.
+//!
+//! Two clock domains share one trace file:
+//!
+//! - **Wall clock** (`pid` 1): [`trace_span`] guards around software hot
+//!   paths record real elapsed time, one track per OS thread. Timestamps
+//!   are nanoseconds since the first trace event of the process.
+//! - **Modeled cycles** (`pid` ≥ 2): `hwsim::timeline` replays its
+//!   double-buffered pipeline schedule through [`trace_cycle_process`] and
+//!   [`trace_complete_cycles`], one track per accelerator station
+//!   (DRAM/FFT/eMAC/IFFT), at 1 cycle = 1 µs — so the Fig. 10 overlap is
+//!   directly inspectable next to the software timeline.
+//!
+//! Tracing is off unless the `RPBCM_TRACE=<path>` environment variable is
+//! set (or a test forces it with [`set_trace_enabled`]); while off, a
+//! span open is one relaxed atomic load. Each thread buffers into a
+//! bounded ring (events beyond the cap are counted and dropped, never
+//! blocking the hot path); [`flush_trace`] collects every ring into one
+//! sorted JSON document.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Per-thread event capacity; one event is five words, so the worst-case
+/// footprint per thread stays a few MiB.
+const RING_CAP: usize = 65_536;
+
+/// One buffered trace event (a Chrome `ph:"X"` complete event).
+#[derive(Clone, Copy)]
+struct Event {
+    /// Static name (span label or station name).
+    name: &'static str,
+    /// Static category shown in the trace UI.
+    cat: &'static str,
+    /// Process track: 1 = wall clock, ≥ 2 = a modeled-cycle replay.
+    pid: u32,
+    /// Thread track within the process track.
+    tid: u32,
+    /// Start, nanoseconds in the track's clock domain.
+    ts_ns: u64,
+    /// Duration, nanoseconds in the track's clock domain.
+    dur_ns: u64,
+}
+
+/// A bounded per-thread event buffer.
+struct Ring {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < RING_CAP {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Named process tracks (pid ≥ 2) registered by cycle-domain replays.
+struct CycleProcess {
+    pid: u32,
+    label: String,
+}
+
+struct TraceState {
+    /// Every thread's ring, registered on that thread's first event.
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+    cycle_processes: Mutex<Vec<CycleProcess>>,
+    next_pid: AtomicU32,
+    next_tid: AtomicU32,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| TraceState {
+        rings: Mutex::new(Vec::new()),
+        cycle_processes: Mutex::new(Vec::new()),
+        next_pid: AtomicU32::new(2),
+        next_tid: AtomicU32::new(1),
+    })
+}
+
+/// Wall-clock epoch: all pid-1 timestamps are relative to the first
+/// trace event of the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// This thread's `(tid, ring)`; the ring is shared with the global
+    /// list so `flush_trace` can read it from any thread.
+    static LOCAL: (u32, Arc<Mutex<Ring>>) = {
+        let ring = Arc::new(Mutex::new(Ring { events: Vec::new(), dropped: 0 }));
+        lock(&state().rings).push(Arc::clone(&ring));
+        (state().next_tid.fetch_add(1, Ordering::Relaxed), ring)
+    };
+}
+
+/// 0 = follow `RPBCM_TRACE`, 1 = forced on, 2 = forced off.
+static TRACE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_trace_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| std::env::var("RPBCM_TRACE").ok().filter(|p| !p.is_empty()))
+        .as_deref()
+}
+
+/// Whether trace events are currently being captured: `RPBCM_TRACE` is
+/// set (read once per process) or a test forced it on with
+/// [`set_trace_enabled`]. One relaxed atomic load on the hot path.
+#[inline]
+pub fn trace_enabled() -> bool {
+    match TRACE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_trace_path().is_some(),
+    }
+}
+
+/// Forces trace capture on or off, overriding `RPBCM_TRACE`. Intended
+/// for tests and tools.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Drops any [`set_trace_enabled`] override, returning control to the
+/// `RPBCM_TRACE` environment variable.
+pub fn clear_trace_override() {
+    TRACE_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Discards every buffered event and cycle-process registration (tracks
+/// and thread ids are kept). For tests that need an empty trace.
+pub fn reset_trace() {
+    for ring in lock(&state().rings).iter() {
+        let mut r = lock(ring);
+        r.events.clear();
+        r.dropped = 0;
+    }
+    lock(&state().cycle_processes).clear();
+    state().next_pid.store(2, Ordering::Relaxed);
+}
+
+fn push_event(ev: Event) {
+    LOCAL.with(|(_, ring)| lock(ring).push(ev));
+}
+
+fn current_tid() -> u32 {
+    LOCAL.with(|(tid, _)| *tid)
+}
+
+/// Guard returned by [`trace_span`]; buffers one wall-clock complete
+/// event covering its lifetime when dropped.
+pub struct TraceSpan {
+    inner: Option<(&'static str, &'static str, u64, Instant)>,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((name, cat, ts_ns, start)) = self.inner.take() {
+            push_event(Event {
+                name,
+                cat,
+                pid: 1,
+                tid: current_tid(),
+                ts_ns,
+                dur_ns: start.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+/// Opens a wall-clock span named `name` in category `cat` on the calling
+/// thread's track; the span closes when the returned guard drops. Inert
+/// (no clock read, nothing buffered) while tracing is disabled.
+#[inline]
+pub fn trace_span(name: &'static str, cat: &'static str) -> TraceSpan {
+    TraceSpan {
+        inner: trace_enabled().then(|| {
+            let start = Instant::now();
+            (
+                name,
+                cat,
+                start.duration_since(epoch()).as_nanos() as u64,
+                start,
+            )
+        }),
+    }
+}
+
+/// Registers a new modeled-cycle process track labelled `label` (e.g.
+/// `"hwsim pipeline (double-buffered)"`) and returns its `pid` for
+/// [`trace_complete_cycles`]. Returns 0 while tracing is disabled.
+pub fn trace_cycle_process(label: &str) -> u32 {
+    if !trace_enabled() {
+        return 0;
+    }
+    let pid = state().next_pid.fetch_add(1, Ordering::Relaxed);
+    lock(&state().cycle_processes).push(CycleProcess {
+        pid,
+        label: label.to_string(),
+    });
+    pid
+}
+
+/// Buffers one complete event on the modeled-cycle track `pid` (from
+/// [`trace_cycle_process`]), lane `tid` (station index), named `name`,
+/// spanning `[start, start + dur)` in cycles at 1 cycle = 1 µs. No-op
+/// while tracing is disabled or when `pid` is 0.
+#[inline]
+pub fn trace_complete_cycles(pid: u32, tid: u32, name: &'static str, start: u64, dur: u64) {
+    if trace_enabled() && pid != 0 {
+        push_event(Event {
+            name,
+            cat: "cycles",
+            pid,
+            tid,
+            ts_ns: start.saturating_mul(1_000),
+            dur_ns: dur.saturating_mul(1_000),
+        });
+    }
+}
+
+/// Total events dropped because a thread's ring was full.
+pub fn trace_dropped() -> u64 {
+    lock(&state().rings).iter().map(|r| lock(r).dropped).sum()
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with three decimals — the trace-event `ts`/`dur` unit.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+/// Renders every buffered event as a Chrome trace-event JSON document.
+///
+/// Events are sorted by `(pid, tid, ts)` so each track's timestamps are
+/// monotonic; `ph:"M"` metadata events name the process tracks. Loadable
+/// directly in Perfetto or `chrome://tracing`.
+pub fn trace_json() -> String {
+    let mut events: Vec<Event> = Vec::new();
+    let mut dropped = 0u64;
+    for ring in lock(&state().rings).iter() {
+        let r = lock(ring);
+        events.extend_from_slice(&r.events);
+        dropped += r.dropped;
+    }
+    events.sort_by_key(|e| (e.pid, e.tid, e.ts_ns, e.dur_ns));
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut meta = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    meta(
+        &mut out,
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"software (wall clock)\"}}"
+            .to_string(),
+    );
+    for cp in lock(&state().cycle_processes).iter() {
+        let mut line = format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            cp.pid
+        );
+        push_json_escaped(&mut line, &cp.label);
+        line.push_str("\"}}");
+        meta(&mut out, line);
+    }
+    for e in &events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("{\"ph\":\"X\",\"name\":\"");
+        push_json_escaped(&mut out, e.name);
+        out.push_str("\",\"cat\":\"");
+        push_json_escaped(&mut out, e.cat);
+        out.push_str(&format!("\",\"pid\":{},\"tid\":{},\"ts\":", e.pid, e.tid));
+        push_us(&mut out, e.ts_ns);
+        out.push_str(",\"dur\":");
+        push_us(&mut out, e.dur_ns);
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"");
+    if dropped > 0 {
+        out.push_str(&format!(",\"rpbcm_dropped_events\":{dropped}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes [`trace_json`] to `path`.
+pub fn write_trace<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, trace_json())
+}
+
+/// Writes the buffered trace to the `RPBCM_TRACE` path, if set. Returns
+/// the path written, or `None` when tracing was not requested via the
+/// environment. Call once at the end of a run (the `exp_*` binaries do).
+pub fn flush_trace() -> std::io::Result<Option<std::path::PathBuf>> {
+    match env_trace_path() {
+        Some(p) => {
+            write_trace(p)?;
+            Ok(Some(std::path::PathBuf::from(p)))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_buffers_nothing_and_json_is_wellformed() {
+        set_trace_enabled(false);
+        {
+            let _s = trace_span("quiet", "test");
+        }
+        trace_complete_cycles(2, 0, "quiet", 0, 10);
+        let j = trace_json();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(!j.contains("\"quiet\""));
+        clear_trace_override();
+    }
+
+    #[test]
+    fn us_formatting_keeps_three_decimals() {
+        let mut s = String::new();
+        push_us(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        s.clear();
+        push_us(&mut s, 42);
+        assert_eq!(s, "0.042");
+    }
+}

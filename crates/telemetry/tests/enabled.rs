@@ -3,11 +3,12 @@
 //! process-wide override cannot race other test binaries.
 #![cfg(feature = "capture")]
 
-use telemetry::{Counter, Gauge, Timer};
+use telemetry::{Counter, Gauge, Histogram, Timer};
 
 static HITS: Counter = Counter::new("test.enabled.hits");
 static LEVEL: Gauge = Gauge::new("test.enabled.level");
 static SPAN: Timer = Timer::new("test.enabled.span");
+static LATENCY: Histogram = Histogram::new("test.enabled.latency");
 
 #[test]
 fn probes_record_and_report() {
@@ -47,11 +48,32 @@ fn probes_record_and_report() {
     assert!(json.contains("\"test.enabled.hits\": 10"));
     assert!(json.contains("\"enabled\": true"));
 
+    // Histograms: exact count/sum/max, quantiles at bucket upper bounds.
+    for v in [1u64, 1, 1, 1000] {
+        LATENCY.record(v);
+    }
+    {
+        let _guard = LATENCY.span();
+        std::hint::black_box(0);
+    }
+    assert_eq!(LATENCY.count(), 5);
+    assert!(LATENCY.sum() >= 1003);
+    assert!(LATENCY.max() >= 1000);
+    telemetry::record_histogram("test.enabled.dyn_hist", 7);
+    let snap = telemetry::snapshot();
+    let h = &snap.histograms["test.enabled.latency"];
+    assert_eq!(h.count, 5);
+    assert_eq!(h.p50, 1);
+    assert_eq!(snap.histograms["test.enabled.dyn_hist"].max, 7);
+    assert!(telemetry::report_json().contains("\"test.enabled.dyn_hist\""));
+
     // Reset zeroes values but keeps registrations and probe handles.
     telemetry::reset();
     assert_eq!(HITS.value(), 0);
     assert_eq!(LEVEL.value(), 0.0);
     assert_eq!(SPAN.total_ns(), 0);
+    assert_eq!(LATENCY.count(), 0);
+    assert_eq!(LATENCY.max(), 0);
     HITS.inc();
     assert_eq!(HITS.value(), 1);
 }

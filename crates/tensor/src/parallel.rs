@@ -28,11 +28,13 @@ static ITEMS: telemetry::Counter = telemetry::Counter::new("tensor.parallel.item
 /// Scoped worker threads spawned.
 static WORKERS_SPAWNED: telemetry::Counter =
     telemetry::Counter::new("tensor.parallel.workers_spawned");
-/// Per-worker busy time: `total_ns / count` is mean busy time per worker,
-/// and comparing it against `scope_wall` gives pool utilization.
-static WORKER_BUSY: telemetry::Timer = telemetry::Timer::new("tensor.parallel.worker_busy");
-/// Wall time of each parallel scope (spawn to join).
-static SCOPE_WALL: telemetry::Timer = telemetry::Timer::new("tensor.parallel.scope_wall");
+/// Per-worker busy-time distribution (nanoseconds): `sum / count` is mean
+/// busy time per worker, the p50–p99 spread shows straggler workers, and
+/// comparing the sum against `scope_wall` gives pool utilization.
+static WORKER_BUSY: telemetry::Histogram = telemetry::Histogram::new("tensor.parallel.worker_busy");
+/// Wall-time distribution of each parallel scope, spawn to join
+/// (nanoseconds).
+static SCOPE_WALL: telemetry::Histogram = telemetry::Histogram::new("tensor.parallel.scope_wall");
 /// Worst observed partition imbalance: largest worker range divided by the
 /// mean range. Contiguous splitting bounds this near 1 unless `n` is tiny
 /// relative to the worker count.
@@ -100,6 +102,7 @@ where
     out.resize_with(n, || None);
     {
         let _scope_span = SCOPE_WALL.span();
+        let _scope_trace = telemetry::trace_span("par_map", "tensor.parallel");
         let mut rest: &mut [Option<O>] = &mut out;
         let mut consumed = 0usize;
         std::thread::scope(|s| {
@@ -111,6 +114,7 @@ where
                 let f = &f;
                 s.spawn(move || {
                     let _busy_span = WORKER_BUSY.span();
+                    let _busy_trace = telemetry::trace_span("worker", "tensor.parallel");
                     for (k, slot) in slot.iter_mut().enumerate() {
                         let i = lo + k;
                         *slot = Some(f(i, &items[i]));
@@ -166,6 +170,7 @@ where
     out.resize_with(n, || None);
     {
         let _scope_span = SCOPE_WALL.span();
+        let _scope_trace = telemetry::trace_span("par_chunk_map", "tensor.parallel");
         let mut chunk_rest: &mut [&mut [T]] = &mut chunks;
         let mut out_rest: &mut [Option<O>] = &mut out;
         let mut consumed = 0usize;
@@ -180,6 +185,7 @@ where
                 let f = &f;
                 s.spawn(move || {
                     let _busy_span = WORKER_BUSY.span();
+                    let _busy_trace = telemetry::trace_span("worker", "tensor.parallel");
                     for (k, (c, slot)) in my_chunks.iter_mut().zip(my_out.iter_mut()).enumerate() {
                         *slot = Some(f(lo + k, c));
                     }

@@ -16,6 +16,16 @@ cargo test --workspace -q
 echo "== telemetry crate without the capture feature =="
 cargo test -q -p telemetry --no-default-features
 
+echo "== telemetry-enabled experiment run + regression report =="
+# Regenerates results/TELEMETRY_fig10.json (deterministic modeled cycles)
+# and a Chrome trace under target/, then runs the regression reporter:
+# exp_report parses every results/BENCH_*/TELEMETRY_* artifact (exiting
+# non-zero on malformed JSON) and diffs them against results/BASELINE.json
+# in report-only mode.
+RPBCM_TELEMETRY=1 RPBCM_TRACE=target/verify_trace.json \
+    cargo run -q --release -p bench --bin exp_fig10
+cargo run -q --release -p bench --bin exp_report
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

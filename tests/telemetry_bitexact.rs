@@ -10,6 +10,39 @@ use rpbcm_repro::circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant
 use rpbcm_repro::hwsim::dataflow::{DataflowConfig, LayerShape};
 use rpbcm_repro::hwsim::fixed::QFormat;
 use rpbcm_repro::hwsim::inference::{conv_forward_fx, FxWeights};
+use rpbcm_repro::nn::data::SyntheticVision;
+use rpbcm_repro::nn::models::vgg_tiny;
+use rpbcm_repro::nn::{ConvMode, TrainConfig, Trainer};
+
+/// A full instrumented training run (per-layer latency histograms, epoch
+/// gauges, gradient-norm/update-ratio gauges) leaves every weight — and
+/// therefore the final accuracy — bit-identical to an uninstrumented run.
+#[test]
+fn training_is_bit_identical_with_telemetry() {
+    let data = SyntheticVision::cifar10_like(8, 4, 11);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..TrainConfig::default()
+    };
+    let run = |capture: bool| {
+        telemetry::set_enabled(capture);
+        let mut net = vgg_tiny(ConvMode::Bcm { block_size: 8 }, data.num_classes(), 3);
+        let mut trainer = Trainer::new(cfg);
+        let acc = trainer.fit(&mut net, &data);
+        telemetry::set_enabled(false);
+        let weight_bits: Vec<u32> = net
+            .params()
+            .iter()
+            .flat_map(|p| p.value.as_slice().iter().map(|w| w.to_bits()))
+            .collect();
+        (acc.to_bits(), weight_bits)
+    };
+    let quiet = run(false);
+    let probed = run(true);
+    assert!(!quiet.1.is_empty(), "params() surfaces trainable weights");
+    assert_eq!(quiet, probed);
+}
 
 /// Random block-circulant conv weight from a proptest value vector, with
 /// every other block pruned so the skip path is exercised too.

@@ -9,6 +9,9 @@ use rpbcm_repro::tensor::parallel;
 /// A probe shared by every worker closure below: all increments must land
 /// in the same registry cell no matter which thread performs them.
 static SEEN: telemetry::Counter = telemetry::Counter::new("test.parallel.items_seen");
+/// Histogram fed concurrently from every worker: the lock-free buckets
+/// must not lose observations in the merge.
+static ITEM_VALUES: telemetry::Histogram = telemetry::Histogram::new("test.parallel.item_values");
 
 #[test]
 fn counters_aggregate_across_workers() {
@@ -30,13 +33,46 @@ fn counters_aggregate_across_workers() {
     assert_eq!(snap.counters["tensor.parallel.jobs"], 1);
     assert_eq!(snap.counters["tensor.parallel.items"], 1013);
     assert_eq!(snap.counters["tensor.parallel.workers_spawned"], 4);
-    // One busy span per spawned worker, one wall span per scope.
-    assert_eq!(snap.timers["tensor.parallel.worker_busy"].count, 4);
-    assert_eq!(snap.timers["tensor.parallel.scope_wall"].count, 1);
+    // One busy observation per spawned worker, one wall observation per
+    // scope — now histograms, so tail latencies are reportable too.
+    assert_eq!(snap.histograms["tensor.parallel.worker_busy"].count, 4);
+    assert_eq!(snap.histograms["tensor.parallel.scope_wall"].count, 1);
     // Contiguous splitting of 1013 over 4 is near-balanced: the largest
     // range (254) over the mean (253.25) stays well under 2x.
     let imbalance = snap.gauges["tensor.parallel.max_partition_imbalance"];
     assert!((1.0..2.0).contains(&imbalance), "imbalance = {imbalance}");
+
+    // Same test body (not a separate #[test]): this block and the exact
+    // counter assertions above both depend on the global registry, and
+    // the test harness runs #[test]s concurrently in one process.
+    histogram_merge_preserves_every_observation();
+}
+
+/// 2000 observations with known values, recorded concurrently from 8
+/// workers. Count, sum and max must all survive the lock-free merge; the
+/// quantile estimates must respect the log₂ bucket bounds.
+fn histogram_merge_preserves_every_observation() {
+    let items: Vec<u64> = (0..2000).collect();
+    let before = ITEM_VALUES.count();
+    let before_sum = ITEM_VALUES.sum();
+    let out = parallel::par_map_with(8, &items, |_, &v| {
+        ITEM_VALUES.record(v);
+        v
+    });
+    assert_eq!(out.len(), items.len());
+    assert_eq!(ITEM_VALUES.count() - before, 2000);
+    let want_sum: u64 = items.iter().sum();
+    assert_eq!(ITEM_VALUES.sum() - before_sum, want_sum);
+    assert!(ITEM_VALUES.max() >= 1999);
+
+    let snap = telemetry::snapshot();
+    let h = &snap.histograms["test.parallel.item_values"];
+    assert_eq!(h.count, ITEM_VALUES.count());
+    // Uniform 0..2000: the median rank lands in the bucket holding 999,
+    // whose upper bound is 1023; p99 and max land in the last used bucket.
+    assert!(h.p50 >= 511 && h.p50 <= 1023, "p50 = {}", h.p50);
+    assert!(h.p90 >= h.p50 && h.p99 >= h.p90, "quantiles ordered");
+    assert!(h.max <= 2047, "max within the top bucket's range");
 }
 
 #[test]
