@@ -1,0 +1,112 @@
+//! Load generator and standalone host for the `rpbcm-serve` engine.
+//!
+//! Run: `cargo run -p bench --release --bin exp_serve [-- OPTIONS]`.
+//!
+//! Modes:
+//!
+//! - *(default)* — full benchmark: closed-loop B=1 vs B=8 plus the 2×
+//!   open-loop overload scenario; writes `results/BENCH_serve.json`.
+//! - `--smoke` — quick burst with hard assertions (non-zero throughput,
+//!   zero protocol errors, shedding only under overload); exits non-zero
+//!   on any failure and does not overwrite the committed artifact.
+//! - `--listen [addr]` — standalone server on `addr` (default
+//!   `127.0.0.1:7445`, port 0 for ephemeral) running the built-in demo
+//!   model plus any `--model <file.rpbcm>` checkpoints; exits when a
+//!   client sends the `shutdown` opcode.
+
+use serve::{Registry, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut listen: Option<String> = None;
+    let mut models: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--listen" => {
+                listen = Some(match it.clone().next() {
+                    Some(addr) if !addr.starts_with("--") => {
+                        it.next();
+                        addr.clone()
+                    }
+                    _ => "127.0.0.1:7445".to_string(),
+                });
+            }
+            "--model" => match it.next() {
+                Some(p) => models.push(p.clone()),
+                None => return usage("--model requires a .rpbcm path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(addr) = listen {
+        return run_listen(&addr, &models);
+    }
+    if !models.is_empty() {
+        return usage("--model only applies to --listen mode");
+    }
+
+    let result = bench::experiments::serve::run(smoke);
+    bench::experiments::serve::print(&result);
+    if smoke {
+        let fails = bench::experiments::serve::smoke_failures(&result);
+        if fails.is_empty() {
+            println!("serve smoke: ok");
+            return ExitCode::SUCCESS;
+        }
+        for f in &fails {
+            eprintln!("serve smoke FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    match bench::experiments::serve::write_json(&result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_serve.json: {e}"),
+    }
+    bench::write_telemetry("serve");
+    ExitCode::SUCCESS
+}
+
+fn run_listen(addr: &str, models: &[String]) -> ExitCode {
+    let mut registry = Registry::new();
+    let (net, meta) = bench::experiments::serve::demo_model(42);
+    registry.insert(serve::Model::from_network("demo", net, meta));
+    for path in models {
+        match registry.load_file(std::path::Path::new(path)) {
+            Ok(idx) => println!("loaded {} as {:?}", path, registry.get(idx).name()),
+            Err(e) => {
+                eprintln!("error: cannot load {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let server = match Server::bind(addr, ServeConfig::from_env(), registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "serving on {} (send the shutdown opcode to stop)",
+        server.local_addr()
+    );
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutdown requested — draining");
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: exp_serve [--smoke] [--listen [addr] [--model <file.rpbcm>]...]"
+    );
+    ExitCode::from(2)
+}

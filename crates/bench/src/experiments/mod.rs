@@ -10,6 +10,7 @@ pub mod fig9a;
 pub mod fig9bc;
 pub mod layers;
 pub mod quant;
+pub mod serve;
 pub mod speedup;
 pub mod table1;
 pub mod table2;

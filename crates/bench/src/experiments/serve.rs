@@ -1,0 +1,507 @@
+//! `exp_serve`: load generator and batching benchmark for the
+//! `rpbcm-serve` engine.
+//!
+//! Three scenarios against a loopback server running the built-in demo
+//! model (a half-pruned block-circulant FC head with an fx mirror):
+//!
+//! 1. **Closed loop, B = 1** — concurrent clients each keeping one
+//!    request in flight, with batching disabled (batch size 1). This is
+//!    the per-request cost floor: every dispatch rebuilds the layer's
+//!    eMAC plans and re-streams its weight spectra for a single sample.
+//! 2. **Closed loop, B = 8** — same offered load with micro-batching on.
+//!    The throughput ratio of the two runs is the batching win: each
+//!    dispatch prepares plans and weight streams once and runs the batch
+//!    through `hwsim`'s sample-parallel eMAC lanes
+//!    (`conv_forward_fx_batch`), exactly how the accelerator amortizes
+//!    its double-buffered weight streams.
+//! 3. **Open loop, 2× overload** — requests fired on a fixed schedule at
+//!    twice the measured B = 8 capacity against a small queue: admission
+//!    control must shed with explicit `overloaded` replies while served
+//!    requests keep a bounded p99.
+//!
+//! Writes `results/BENCH_serve.json`: one record per scenario
+//! (`requests`, `served`, `shed`, `protocol_errors`, `throughput_rps`,
+//! `p50_us`, `p99_us`) plus a `batch_scaling` record carrying the
+//! B = 8 / B = 1 throughput ratio.
+
+use crate::table::Table;
+use nn::layers::{BcmConv2d, ReLU};
+use nn::{CheckpointMeta, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Client, ClientError, Model, Registry, ServeConfig, Server, Status};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One scenario's aggregated outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMeasurement {
+    /// Scenario label (the JSON `config` field).
+    pub config: String,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests served with an `ok` reply.
+    pub served: u64,
+    /// Requests shed with an explicit `overloaded` reply.
+    pub shed: u64,
+    /// Wire-level protocol violations observed by the server.
+    pub protocol_errors: u64,
+    /// Served requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median round-trip latency of served requests, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile round-trip latency of served requests,
+    /// microseconds.
+    pub p99_us: f64,
+}
+
+/// All measurements of the serving benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResult {
+    /// One record per scenario plus the `batch_scaling` summary.
+    pub measurements: Vec<ServeMeasurement>,
+    /// B = 8 throughput divided by B = 1 throughput.
+    pub batch_speedup: f64,
+}
+
+impl ServeResult {
+    /// Looks a scenario up by label.
+    pub fn get(&self, config: &str) -> Option<&ServeMeasurement> {
+        self.measurements.iter().find(|m| m.config == config)
+    }
+
+    /// Renders the JSON artifact (hand-rolled: the workspace is std-only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for m in &self.measurements {
+            s.push_str(&format!(
+                "  {{\"config\": \"{}\", \"requests\": {}, \"served\": {}, \"shed\": {}, \
+                 \"protocol_errors\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}}},\n",
+                m.config,
+                m.requests,
+                m.served,
+                m.shed,
+                m.protocol_errors,
+                m.throughput_rps,
+                m.p50_us,
+                m.p99_us,
+            ));
+        }
+        s.push_str(&format!(
+            "  {{\"config\": \"batch_scaling\", \"throughput_ratio_b8_over_b1\": {:.3}}}\n]",
+            self.batch_speedup
+        ));
+        s
+    }
+}
+
+/// Per-sample input length of the demo model.
+pub const DEMO_INPUT_LEN: usize = 512;
+
+/// The built-in demo model: a half-pruned block-circulant FC head —
+/// three 512→512 BCM layers (1×1 kernel over a `[512, 1, 1]` input,
+/// BS 8) with ReLUs between. This is the shape the paper's serving story
+/// is about: in a folded FC layer the per-dispatch weight stream is as
+/// large as one sample's whole eMAC, so micro-batching (one plan build +
+/// weight stream per dispatch instead of per request) is where the
+/// amortization shows. The stack keeps its fixed-point mirror, so both
+/// engine paths are exercisable out of the box.
+pub fn demo_model(seed: u64) -> (Network, CheckpointMeta) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = DEMO_INPUT_LEN;
+    let mut net = Network::new(
+        "demo",
+        vec![
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(ReLU::new()),
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(ReLU::new()),
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(ReLU::new()),
+        ],
+    );
+    // Half-pruned, alternating blocks — the serving-path analogue of the
+    // α = 0.5 configurations the accelerator experiments use.
+    let kill: Vec<usize> = (0..net.bcm_block_count()).filter(|i| i % 2 == 1).collect();
+    net.bcm_eliminate(&kill);
+    let meta = CheckpointMeta {
+        input_dims: vec![c, 1, 1],
+        frac_bits: 8,
+    };
+    (net, meta)
+}
+
+/// Builds a registry holding the demo model.
+pub fn demo_registry(seed: u64) -> Registry {
+    let (net, meta) = demo_model(seed);
+    let mut registry = Registry::new();
+    registry.insert(Model::from_network("demo", net, meta));
+    registry
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Per-thread outcome of a load-generation run.
+struct ThreadOutcome {
+    served_latencies_ns: Vec<u64>,
+    shed: u64,
+    requests: u64,
+}
+
+fn aggregate(
+    config: &str,
+    outcomes: Vec<ThreadOutcome>,
+    wall: Duration,
+    protocol_errors: u64,
+) -> ServeMeasurement {
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut shed = 0;
+    let mut requests = 0;
+    for o in outcomes {
+        latencies.extend(o.served_latencies_ns);
+        shed += o.shed;
+        requests += o.requests;
+    }
+    latencies.sort_unstable();
+    let served = latencies.len() as u64;
+    ServeMeasurement {
+        config: config.to_string(),
+        requests,
+        served,
+        shed,
+        protocol_errors,
+        throughput_rps: served as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+/// Closed loop: `clients` threads, each one connection, each issuing
+/// `per_client` fx requests back-to-back. The wall clock starts only
+/// after every client has connected (thread spawn and TCP setup would
+/// otherwise dominate short runs).
+fn closed_loop(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    input_len: usize,
+) -> (Vec<ThreadOutcome>, Duration) {
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let (outcomes, wall) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(c as u64);
+                    let sample: Vec<i16> = (0..input_len)
+                        .map(|_| rng.gen_range(-256i16..256))
+                        .collect();
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = ThreadOutcome {
+                        served_latencies_ns: Vec::with_capacity(per_client),
+                        shed: 0,
+                        requests: 0,
+                    };
+                    barrier.wait();
+                    for _ in 0..per_client {
+                        out.requests += 1;
+                        let t = Instant::now();
+                        match client.infer_fx("demo", &sample) {
+                            Ok(_) => out.served_latencies_ns.push(t.elapsed().as_nanos() as u64),
+                            Err(ClientError::Rejected(Status::Overloaded, _)) => out.shed += 1,
+                            Err(e) => panic!("closed-loop request failed: {e}"),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let outcomes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (outcomes, start.elapsed())
+    });
+    (outcomes, wall)
+}
+
+/// Open loop: `clients` threads each firing on a fixed absolute schedule
+/// totalling `rate_rps` across all threads for `duration`. Clients are
+/// synchronous, so enough threads must be offered that the schedule can
+/// be kept even when round-trips slow under overload (a lagging thread
+/// fires its overdue ticks back-to-back).
+fn open_loop(
+    addr: SocketAddr,
+    clients: usize,
+    rate_rps: f64,
+    duration: Duration,
+    input_len: usize,
+) -> (Vec<ThreadOutcome>, Duration) {
+    let per_thread_interval = Duration::from_secs_f64(clients as f64 / rate_rps.max(1.0));
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + c as u64);
+                    let sample: Vec<i16> = (0..input_len)
+                        .map(|_| rng.gen_range(-256i16..256))
+                        .collect();
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = ThreadOutcome {
+                        served_latencies_ns: Vec::new(),
+                        shed: 0,
+                        requests: 0,
+                    };
+                    // Stagger thread start so ticks interleave.
+                    let t0 = Instant::now();
+                    let offset = per_thread_interval.mul_f64(c as f64 / clients as f64);
+                    let mut tick = 0u32;
+                    loop {
+                        let due = offset + per_thread_interval * tick;
+                        if due >= duration {
+                            break;
+                        }
+                        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        out.requests += 1;
+                        let t = Instant::now();
+                        match client.infer_fx("demo", &sample) {
+                            Ok(_) => out.served_latencies_ns.push(t.elapsed().as_nanos() as u64),
+                            Err(ClientError::Rejected(Status::Overloaded, _)) => out.shed += 1,
+                            Err(e) => panic!("open-loop request failed: {e}"),
+                        }
+                        tick += 1;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (outcomes, start.elapsed())
+}
+
+/// Runs one closed-loop scenario on a fresh server.
+fn run_closed(
+    config: &str,
+    batch_size: usize,
+    clients: usize,
+    per_client: usize,
+) -> ServeMeasurement {
+    let cfg = ServeConfig {
+        batch_size,
+        max_wait: Duration::from_micros(2000),
+        queue_cap: 256,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
+    let (outcomes, wall) = closed_loop(server.local_addr(), clients, per_client, DEMO_INPUT_LEN);
+    let errors = server.protocol_errors();
+    server.shutdown();
+    aggregate(config, outcomes, wall, errors)
+}
+
+/// Runs the full benchmark. `quick` shrinks the request counts for smoke
+/// runs while keeping every scenario.
+pub fn run(quick: bool) -> ServeResult {
+    let clients = 16;
+    let per_client = if quick { 12 } else { 48 };
+
+    // Warm one scenario first so thread-pool and page-cache effects hit
+    // the discard run, not the measured ones.
+    let _ = run_closed("warmup", 8, 4, 4);
+
+    let b1 = run_closed("closed_loop_fx_b1_c16", 1, clients, per_client);
+    let b8 = run_closed("closed_loop_fx_b8_c16", 8, clients, per_client);
+    let batch_speedup = b8.throughput_rps / b1.throughput_rps.max(1e-9);
+
+    // Open loop at 2x the measured batched capacity, against a queue
+    // small enough that overload must shed. 3× the closed-loop client
+    // count so the schedule holds even as round-trips slow down.
+    let overload_rate = 2.0 * b8.throughput_rps;
+    let cfg = ServeConfig {
+        batch_size: 8,
+        max_wait: Duration::from_micros(2000),
+        queue_cap: 16,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
+    let duration = Duration::from_millis(if quick { 400 } else { 1500 });
+    let (outcomes, wall) = open_loop(
+        server.local_addr(),
+        3 * clients,
+        overload_rate,
+        duration,
+        DEMO_INPUT_LEN,
+    );
+    let errors = server.protocol_errors();
+    server.shutdown();
+    let overload = aggregate("open_loop_overload_2x", outcomes, wall, errors);
+
+    ServeResult {
+        measurements: vec![b1, b8, overload],
+        batch_speedup,
+    }
+}
+
+/// Writes `results/BENCH_serve.json` (path anchored at the workspace root
+/// so the binary works from any working directory).
+pub fn write_json(r: &ServeResult) -> std::io::Result<std::path::PathBuf> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_serve.json");
+    std::fs::write(&path, r.to_json() + "\n")?;
+    Ok(path)
+}
+
+/// Prints the scenario table.
+pub fn print(r: &ServeResult) {
+    println!("== rpbcm-serve: micro-batching throughput and overload behaviour ==");
+    let mut t = Table::new(&[
+        "scenario",
+        "requests",
+        "served",
+        "shed",
+        "proto errs",
+        "rps",
+        "p50 us",
+        "p99 us",
+    ]);
+    for m in &r.measurements {
+        t.row_owned(vec![
+            m.config.clone(),
+            m.requests.to_string(),
+            m.served.to_string(),
+            m.shed.to_string(),
+            m.protocol_errors.to_string(),
+            format!("{:.0}", m.throughput_rps),
+            format!("{:.0}", m.p50_us),
+            format!("{:.0}", m.p99_us),
+        ]);
+    }
+    t.print();
+    println!(
+        "batch scaling (B=8 / B=1 throughput): {:.2}x",
+        r.batch_speedup
+    );
+}
+
+/// Smoke-checks a quick run: some throughput, no protocol errors, shed
+/// requests only where overload was intended. Returns the failures.
+pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
+    let mut fails = Vec::new();
+    for m in &r.measurements {
+        if m.protocol_errors != 0 {
+            fails.push(format!(
+                "{}: {} protocol error(s)",
+                m.config, m.protocol_errors
+            ));
+        }
+        if m.served == 0 {
+            fails.push(format!("{}: zero requests served", m.config));
+        }
+        if m.throughput_rps <= 0.0 {
+            fails.push(format!("{}: zero throughput", m.config));
+        }
+    }
+    for closed in ["closed_loop_fx_b1_c16", "closed_loop_fx_b8_c16"] {
+        match r.get(closed) {
+            Some(m) if m.shed > 0 => {
+                fails.push(format!("{closed}: shed {} without overload", m.shed))
+            }
+            Some(_) => {}
+            None => fails.push(format!("{closed}: scenario missing")),
+        }
+    }
+    match r.get("open_loop_overload_2x") {
+        Some(m) if m.shed == 0 => {
+            fails.push("open_loop_overload_2x: no shedding at 2x capacity".into())
+        }
+        Some(_) => {}
+        None => fails.push("open_loop_overload_2x: scenario missing".into()),
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_model_has_fx_mirror_and_pruning() {
+        let (net, meta) = demo_model(42);
+        assert!(net.bcm_sparsity() > 0.4);
+        let model = Model::from_network("demo", net, meta);
+        assert!(model.fx().is_some());
+        assert_eq!(model.input_len(), DEMO_INPUT_LEN);
+        assert_eq!(model.output_len(), DEMO_INPUT_LEN);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = ServeResult {
+            measurements: vec![ServeMeasurement {
+                config: "x".into(),
+                requests: 10,
+                served: 8,
+                shed: 2,
+                protocol_errors: 0,
+                throughput_rps: 123.4,
+                p50_us: 10.0,
+                p99_us: 20.0,
+            }],
+            batch_speedup: 2.5,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"config\": \"x\""));
+        assert!(j.contains("\"served\": 8"));
+        assert!(j.contains("\"throughput_ratio_b8_over_b1\": 2.500"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        // The artifact must parse with the workspace JSON reader.
+        crate::json::parse(&j).expect("artifact is valid JSON");
+    }
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile_us(&ns, 0.5) - 51.0).abs() < 2.0);
+        assert!((percentile_us(&ns, 0.99) - 99.0).abs() < 2.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_failures_flag_protocol_errors_and_empty_runs() {
+        let good = ServeMeasurement {
+            config: "closed_loop_fx_b1_c16".into(),
+            requests: 4,
+            served: 4,
+            shed: 0,
+            protocol_errors: 0,
+            throughput_rps: 10.0,
+            p50_us: 1.0,
+            p99_us: 2.0,
+        };
+        let mut b8 = good.clone();
+        b8.config = "closed_loop_fx_b8_c16".into();
+        let mut overload = good.clone();
+        overload.config = "open_loop_overload_2x".into();
+        overload.shed = 2;
+        let r = ServeResult {
+            measurements: vec![good.clone(), b8, overload],
+            batch_speedup: 2.0,
+        };
+        assert!(smoke_failures(&r).is_empty());
+
+        let mut bad = r.clone();
+        bad.measurements[0].protocol_errors = 1;
+        bad.measurements[1].served = 0;
+        bad.measurements[2].shed = 0;
+        let fails = smoke_failures(&bad);
+        assert_eq!(fails.len(), 3, "{fails:?}");
+    }
+}

@@ -19,6 +19,11 @@
 //! `results/BENCH_*.json` / `results/TELEMETRY_*.json` and diffs the
 //! flattened metrics against `results/BASELINE.json` with per-metric
 //! tolerances — report-only by default, `--check` for CI gating.
+//! `exp_speedup` ([`experiments::speedup`]) times the spectral-cache and
+//! parallel-runtime optimizations, and `exp_serve`
+//! ([`experiments::serve`]) load-tests the `rpbcm-serve` batched
+//! inference engine (closed-loop batching win, open-loop overload
+//! shedding), writing `results/BENCH_serve.json`.
 
 pub mod experiments;
 pub mod json;

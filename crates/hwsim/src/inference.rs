@@ -424,6 +424,275 @@ fn finish_pixel(
     }
 }
 
+/// Batched variant of [`conv_forward_fx`]: runs `n` samples (`xs` is
+/// `[n, c_in, h, w]` row-major, the result `[n, c_out, h, w]`) through the
+/// datapath with the eMAC plans, twiddle ROM, and weight streams prepared
+/// **once per invocation** instead of once per sample — the software
+/// analogue of the accelerator amortizing its double-buffered weight
+/// streams across a batch (§IV-C). The interior fast path additionally
+/// runs entry-major across the whole batch, so each live block's weight
+/// bins are loaded once per row for all `n` samples.
+///
+/// Every sample's output is bit-identical to a separate
+/// [`conv_forward_fx`] call on that sample: per (sample, pixel, bin) the
+/// accumulation order over live entries and every fixed-point operation
+/// are unchanged; only cross-sample scheduling differs.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != n * c_in * h * w`.
+pub fn conv_forward_fx_batch(
+    q: QFormat,
+    weights: &FxWeights,
+    xs: &[i16],
+    n: usize,
+    h: usize,
+    w: usize,
+) -> Vec<i16> {
+    let bs = weights.bs;
+    let c_in = weights.in_blocks * bs;
+    let c_out = weights.out_blocks * bs;
+    assert_eq!(xs.len(), n * c_in * h * w, "batch input length mismatch");
+    if h == 1 && w == 1 && weights.kh == 1 && weights.kw == 1 {
+        return fc_forward_fx_batch(q, weights, xs, n);
+    }
+    let pad = (weights.kh - 1) / 2;
+    let pe = FxFftPe::new(bs, q);
+    let bins = bs / 2 + 1;
+
+    // Per-sample input spectra, concatenated: sample `s` starts at
+    // `s · in_blocks · h · w · bins` and uses the same `[bi][pix][bins]`
+    // layout the plans index into.
+    let stride = weights.in_blocks * h * w * bins;
+    let mut spectra = vec![ComplexFx::zero(); n * stride];
+    for (s, chunk) in spectra.chunks_exact_mut(stride).enumerate() {
+        chunk.copy_from_slice(&input_spectra(
+            &pe,
+            &xs[s * c_in * h * w..][..c_in * h * w],
+            weights.in_blocks,
+            h,
+            w,
+        ));
+    }
+
+    let plans: Vec<EmacPlan> = (0..weights.out_blocks)
+        .map(|bo| {
+            emac_plan(
+                PlanDims {
+                    kh: weights.kh,
+                    kw: weights.kw,
+                    in_blocks: weights.in_blocks,
+                    h,
+                    w,
+                },
+                bo,
+                |p, qq, b, bi| weights.index(p, qq, b, bi),
+                |blk| weights.live[blk].then(|| (&weights.spectra[blk][..], 0)),
+            )
+        })
+        .collect();
+    for _ in 0..n {
+        record_fx_layer(&plans, weights.in_blocks, weights.out_blocks, h, w);
+    }
+
+    // Block-major staging `[bo][s][bs·h·w]` keeps each out-block's batch
+    // slab contiguous for the worker pool; scattered back to sample-major
+    // at the end.
+    let slab = bs * h * w;
+    let mut staged = vec![0i16; weights.out_blocks * n * slab];
+    parallel::par_chunk_map(&mut staged[..], n * slab, |bo, bo_slab| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_plan_batch", "hwsim.fx");
+        let plan = &plans[bo];
+        let mut acc = vec![ComplexAcc::zero(); bins];
+        let mut full = vec![ComplexFx::zero(); bs];
+        let x0 = pad.min(w);
+        let x1 = w.saturating_sub(weights.kw - 1 - pad).max(x0);
+        let row = (x1 - x0) * bins;
+        let mut row_acc = vec![ComplexAcc::zero(); n * row];
+        for y in 0..h {
+            let y_interior = y >= pad && y + (weights.kh - 1 - pad) < h;
+            if y_interior && x0 < x1 {
+                row_acc.fill(ComplexAcc::zero());
+                // Entry-major over the whole batch: one weight load per
+                // entry row serves all samples. Per sample the entry
+                // order is exactly the single-sample kernel's.
+                for e in &plan.entries {
+                    let ws = &plan.weights[e.w_off..e.w_off + bins];
+                    let rel = ((e.in_base + y * w + x0) as isize + e.rel) as usize * bins;
+                    for (s, racc) in row_acc.chunks_exact_mut(row).enumerate() {
+                        let xs_row = &spectra[s * stride + rel..s * stride + rel + row];
+                        for (acc_pix, xs_pix) in
+                            racc.chunks_exact_mut(bins).zip(xs_row.chunks_exact(bins))
+                        {
+                            for (a, (xv, wv)) in acc_pix.iter_mut().zip(xs_pix.iter().zip(ws)) {
+                                a.mac(q, *xv, *wv);
+                            }
+                        }
+                    }
+                }
+                for (s, racc) in row_acc.chunks_exact(row).enumerate() {
+                    let out_block = &mut bo_slab[s * slab..][..slab];
+                    for xx in x0..x1 {
+                        finish_pixel(
+                            &pe,
+                            q,
+                            &racc[(xx - x0) * bins..][..bins],
+                            &mut full,
+                            out_block,
+                            h * w,
+                            y * w + xx,
+                        );
+                    }
+                }
+            }
+            let border: Vec<usize> = if y_interior && x0 < x1 {
+                (0..x0).chain(x1..w).collect()
+            } else {
+                (0..w).collect()
+            };
+            for s in 0..n {
+                let sp = &spectra[s * stride..][..stride];
+                let out_block = &mut bo_slab[s * slab..][..slab];
+                for &xx in &border {
+                    acc.fill(ComplexAcc::zero());
+                    for e in &plan.entries {
+                        let iy = y as isize + e.dy;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let ix = xx as isize + e.dx;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let idx = (e.in_base + iy as usize * w + ix as usize) * bins;
+                        let xv = &sp[idx..idx + bins];
+                        let ws = &plan.weights[e.w_off..e.w_off + bins];
+                        for (a, (x, wv)) in acc.iter_mut().zip(xv.iter().zip(ws)) {
+                            a.mac(q, *x, *wv);
+                        }
+                    }
+                    finish_pixel(&pe, q, &acc, &mut full, out_block, h * w, y * w + xx);
+                }
+            }
+        }
+    });
+
+    let mut out = vec![0i16; n * c_out * h * w];
+    for bo in 0..weights.out_blocks {
+        for s in 0..n {
+            let src = &staged[(bo * n + s) * slab..][..slab];
+            out[s * c_out * h * w + bo * slab..][..slab].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// The fully-connected (`k = 1`, `1×1` feature map) fast path of
+/// [`conv_forward_fx_batch`] — the shape of a folded block-circulant FC
+/// layer, where weight streaming is as large as one sample's whole eMAC
+/// and batching pays the most. Accumulators are laid out `[bin][sample]`
+/// so each weight word is loaded once and its four multiply/saturate
+/// chains run element-wise across the batch — the software analogue of
+/// the accelerator's parallel PE lanes sharing one weight stream.
+///
+/// Per sample this performs exactly the operations of
+/// [`conv_forward_fx`] in exactly the per-bin order ([`ComplexAcc::mac`]
+/// unrolled: saturating add of `re·wre`, saturating sub of `im·wim`,
+/// saturating adds of `re·wim` and `im·wre`), so outputs stay
+/// bit-identical to the single-sample kernel.
+fn fc_forward_fx_batch(q: QFormat, weights: &FxWeights, xs: &[i16], n: usize) -> Vec<i16> {
+    let bs = weights.bs;
+    let bins = bs / 2 + 1;
+    let ib = weights.in_blocks;
+    let ob = weights.out_blocks;
+    let c_in = ib * bs;
+    let c_out = ob * bs;
+    let pe = FxFftPe::new(bs, q);
+
+    // One FFT per (sample, in-block), transposed to `[bi][bin][sample]`
+    // planes so the eMAC loop below reads batch-contiguous lanes.
+    let mut xre = vec![0i16; ib * bins * n];
+    let mut xim = vec![0i16; ib * bins * n];
+    let mut buf = vec![ComplexFx::zero(); bs];
+    for s in 0..n {
+        for bi in 0..ib {
+            for (ci, item) in buf.iter_mut().enumerate() {
+                *item = ComplexFx::new(xs[s * c_in + bi * bs + ci], 0);
+            }
+            pe.forward(&mut buf);
+            for k in 0..bins {
+                xre[(bi * bins + k) * n + s] = buf[k].re;
+                xim[(bi * bins + k) * n + s] = buf[k].im;
+            }
+        }
+    }
+    if telemetry::enabled() {
+        FX_INPUT_FFTS.add((n * ib) as u64);
+        FX_OUTPUT_IFFTS.add((n * ob) as u64);
+    }
+
+    // Block-major staging `[bo][s][bs]`, scattered to `[s][c_out]` below.
+    let mut staged = vec![0i16; ob * n * bs];
+    parallel::par_chunk_map(&mut staged[..], n * bs, |bo, bo_slab| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_fc_batch", "hwsim.fx");
+        let mut acc_re = vec![0i32; bins * n];
+        let mut acc_im = vec![0i32; bins * n];
+        let mut full = vec![ComplexFx::zero(); bs];
+        let mut emacs = 0u64;
+        for bi in 0..ib {
+            let blk = weights.index(0, 0, bo, bi);
+            if !weights.live[blk] {
+                continue;
+            }
+            emacs += 1;
+            let ws = &weights.spectra[blk];
+            for (k, wv) in ws.iter().enumerate().take(bins) {
+                let wre = i32::from(wv.re);
+                let wim = i32::from(wv.im);
+                let are = &mut acc_re[k * n..k * n + n];
+                let aim = &mut acc_im[k * n..k * n + n];
+                let xr = &xre[(bi * bins + k) * n..][..n];
+                let xi = &xim[(bi * bins + k) * n..][..n];
+                for s in 0..n {
+                    let re = i32::from(xr[s]);
+                    let im = i32::from(xi[s]);
+                    are[s] = are[s].saturating_add(re * wre).saturating_sub(im * wim);
+                    aim[s] = aim[s].saturating_add(re * wim).saturating_add(im * wre);
+                }
+            }
+        }
+        if telemetry::enabled() {
+            FX_EMAC_BLOCKS.add(emacs * n as u64);
+        }
+        for s in 0..n {
+            for k in 0..bins {
+                full[k] = ComplexAcc {
+                    re: acc_re[k * n + s],
+                    im: acc_im[k * n + s],
+                }
+                .narrow(q);
+            }
+            for k in 1..bs / 2 {
+                full[bs - k] = full[k].conj();
+            }
+            pe.inverse(&mut full);
+            for (oi, v) in full.iter().enumerate() {
+                bo_slab[s * bs + oi] = v.re;
+            }
+        }
+    });
+
+    let mut out = vec![0i16; n * c_out];
+    for bo in 0..ob {
+        for s in 0..n {
+            out[s * c_out + bo * bs..][..bs].copy_from_slice(&staged[(bo * n + s) * bs..][..bs]);
+        }
+    }
+    out
+}
+
 /// Per-block-scaled narrow weight spectra — the "fine-grained
 /// frequency-domain quantization" of He et al. (ASP-DAC 2021) the paper
 /// cites as an available improvement (§V-C2): each block's spectrum is
@@ -798,6 +1067,46 @@ mod tests {
         for c in 4..8 {
             for pix in 0..4 {
                 assert_eq!(y[c * 4 + pix], 0, "channel {c} pixel {pix}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fx_is_bit_identical_per_sample() {
+        let q = QFormat::q8();
+        // Conv (k=3, interior + border rows), FC-shaped (k=1, 1×1), and a
+        // pruned grid all must match the single-sample kernel exactly.
+        // (seed, bs, out_blocks, in_blocks, k, h, w, prune)
+        let cases = [
+            (10, 4, 2, 2, 3, 5, 4, false),
+            (11, 8, 4, 4, 1, 1, 1, false),
+            (12, 4, 3, 3, 3, 4, 4, true),
+        ];
+        for (seed, bs, ob, ib, k, h, w, prune) in cases {
+            let mut conv = random_conv(seed, bs, ob, ib, k);
+            if prune {
+                for bi in 0..ib {
+                    *conv.grid_mut(0, 0).block_mut(0, bi) = CirculantMatrix::zeros(bs);
+                }
+            }
+            let weights = FxWeights::from_folded(q, &conv);
+            let c_in = ib * bs;
+            let n = 5;
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let xs: Vec<i16> = init::gaussian::<f32>(&mut rng, &[n * c_in * h * w], 0.0, 0.5)
+                .into_vec()
+                .iter()
+                .map(|&v| q.from_f32(v))
+                .collect();
+            let batched = conv_forward_fx_batch(q, &weights, &xs, n, h, w);
+            for s in 0..n {
+                let single =
+                    conv_forward_fx(q, &weights, &xs[s * c_in * h * w..][..c_in * h * w], h, w);
+                assert_eq!(
+                    batched[s * single.len()..][..single.len()],
+                    single[..],
+                    "sample {s} of case seed {seed} diverged"
+                );
             }
         }
     }

@@ -41,6 +41,10 @@ impl Layer for ReLU {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::Relu)
+    }
 }
 
 /// Flattens `[N, C, H, W]` (or any shape) to `[N, rest]`.
@@ -77,6 +81,10 @@ impl Layer for Flatten {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::Flatten)
     }
 }
 

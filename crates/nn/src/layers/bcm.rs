@@ -202,6 +202,33 @@ impl BcmConv2d {
         }
     }
 
+    /// Rebuilds a BCM convolution from checkpointed parts: `vecs` is the
+    /// full `[block_count, bs]` defining-vector layout (zeros at pruned
+    /// blocks) and `live` the skip index.
+    #[allow(clippy::too_many_arguments)] // mirrors the checkpoint record fields
+    pub(crate) fn from_parts(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bs: usize,
+        vecs: Vec<f32>,
+        live: &[bool],
+    ) -> Self {
+        let layout = BcmLayout::new(c_in, c_out, kernel, bs);
+        assert_eq!(live.len(), layout.block_count(), "skip index length");
+        assert_eq!(vecs.len(), layout.block_count() * bs, "defining vectors");
+        BcmConv2d {
+            name: format!("bcmconv{c_in}x{c_out}k{kernel}bs{bs}"),
+            layout,
+            vecs: Param::new(Tensor::from_vec(vecs, &[layout.block_count(), bs])),
+            pruned: live.iter().map(|&l| !l).collect(),
+            core: ConvCore::new(c_in, c_out, kernel, kernel, stride, pad),
+            cached_w: None,
+        }
+    }
+
     fn masked_grad(&mut self) {
         for (blk, &p) in self.pruned.iter().enumerate() {
             if p {
@@ -262,6 +289,19 @@ impl Layer for BcmConv2d {
 
     fn bcm_mut(&mut self) -> Option<&mut dyn BcmLayer> {
         Some(self)
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::BcmConv2d {
+            c_in: self.layout.c_in,
+            c_out: self.layout.c_out,
+            kernel: self.layout.k,
+            stride: self.core.stride,
+            pad: self.core.pad,
+            bs: self.layout.bs,
+            live: self.skip_index(),
+            vecs: self.vecs.value.as_slice().to_vec(),
+        })
     }
 }
 
@@ -454,6 +494,22 @@ impl Layer for HadaBcmConv2d {
 
     fn bcm_mut(&mut self) -> Option<&mut dyn BcmLayer> {
         Some(self)
+    }
+
+    /// hadaBCM deploys as a plain BCM: the checkpoint stores the folded
+    /// vectors `a ⊙ b`, so the loaded layer is a [`BcmConv2d`] with
+    /// bit-identical inference (both paths expand the same f32 products).
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::BcmConv2d {
+            c_in: self.layout.c_in,
+            c_out: self.layout.c_out,
+            kernel: self.layout.k,
+            stride: self.core.stride,
+            pad: self.core.pad,
+            bs: self.layout.bs,
+            live: self.skip_index(),
+            vecs: self.folded_vecs(),
+        })
     }
 }
 

@@ -65,6 +65,41 @@ impl BcmLinear {
         }
     }
 
+    /// Rebuilds a BCM linear layer from checkpointed parts: `vecs` is the
+    /// full `[block_count, bs]` defining-vector layout (zeros at pruned
+    /// blocks) and `live` the skip index.
+    pub(crate) fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        bs: usize,
+        vecs: Vec<f32>,
+        bias: Vec<f32>,
+        live: &[bool],
+    ) -> Self {
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
+        assert_eq!(in_features % bs, 0, "in_features not divisible by BS");
+        assert_eq!(out_features % bs, 0, "out_features not divisible by BS");
+        let (ob, ib) = (out_features / bs, in_features / bs);
+        assert_eq!(live.len(), ob * ib, "skip index length");
+        assert_eq!(vecs.len(), ob * ib * bs, "defining vectors");
+        assert_eq!(bias.len(), out_features, "bias length");
+        BcmLinear {
+            name: format!("bcmlinear{in_features}x{out_features}bs{bs}"),
+            bs,
+            out_blocks: ob,
+            in_blocks: ib,
+            vecs: Param::new(Tensor::from_vec(vecs, &[ob * ib, bs])),
+            bias: Param::new(Tensor::from_vec(bias, &[out_features])),
+            pruned: live.iter().map(|&l| !l).collect(),
+            input: None,
+            cached_dense: None,
+            cached_grid: None,
+        }
+    }
+
     /// `(in_features, out_features)`.
     pub fn features(&self) -> (usize, usize) {
         (self.in_blocks * self.bs, self.out_blocks * self.bs)
@@ -222,6 +257,18 @@ impl Layer for BcmLinear {
 
     fn bcm_mut(&mut self) -> Option<&mut dyn BcmLayer> {
         Some(self)
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        let (in_features, out_features) = self.features();
+        Some(crate::layers::checkpoint::LayerSnapshot::BcmLinear {
+            in_features,
+            out_features,
+            bs: self.bs,
+            live: self.skip_index(),
+            vecs: self.vecs.value.as_slice().to_vec(),
+            bias: self.bias.value.as_slice().to_vec(),
+        })
     }
 }
 

@@ -1,0 +1,968 @@
+//! Compact binary checkpointing for deployed networks (`.rpbcm`).
+//!
+//! A deployed RP-BCM model is the *inference* form of a trained network:
+//! hadaBCM factors folded into plain defining vectors (paper §III-A),
+//! pruned blocks recorded in a skip-index bitmap and their vectors
+//! dropped from the payload entirely, batch-norm reduced to its running
+//! statistics. [`Network::save`] writes that form; [`Network::load`]
+//! rebuilds a network whose inference outputs are **bit-identical** to
+//! the original's (the round-trip test pins this).
+//!
+//! # Format
+//!
+//! Everything is little-endian. The file is:
+//!
+//! ```text
+//! magic  "RPCK"                          4 bytes
+//! version u16                            currently 1
+//! network name                           u32 length + UTF-8 bytes
+//! q-format fraction bits  u8             hint for the fixed-point path
+//! input dims              u8 count, then u32 each (per-sample shape)
+//! layer count             u32
+//! layer records           tagged, see below
+//! ```
+//!
+//! Each layer record is a `u8` tag followed by its payload. BCM layers
+//! store the skip index as a bit-packed bitmap (LSB-first, bit set =
+//! live) and defining vectors **only for live blocks** — a highly-pruned
+//! checkpoint shrinks accordingly. Trailing garbage after the last record
+//! is rejected.
+
+use crate::layers::{
+    BatchNorm2d, BcmConv2d, BcmLinear, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d,
+    Network, ReLU, ResidualBlock,
+};
+
+/// File magic for `.rpbcm` checkpoints.
+pub const MAGIC: [u8; 4] = *b"RPCK";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const TAG_RELU: u8 = 0;
+const TAG_FLATTEN: u8 = 1;
+const TAG_MAXPOOL: u8 = 2;
+const TAG_GAP: u8 = 3;
+const TAG_CONV: u8 = 4;
+const TAG_LINEAR: u8 = 5;
+const TAG_BATCHNORM: u8 = 6;
+const TAG_BCM_CONV: u8 = 7;
+const TAG_BCM_LINEAR: u8 = 8;
+const TAG_RESIDUAL: u8 = 9;
+
+/// Checkpoint metadata carried alongside the layer stack: everything a
+/// server needs to validate requests and drive the fixed-point datapath
+/// without re-deriving it from the layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Per-sample input shape, e.g. `[3, 16, 16]` for NCHW models or
+    /// `[256]` for flat MLPs (no batch dimension).
+    pub input_dims: Vec<usize>,
+    /// Q-format fraction bits the model was calibrated for on the
+    /// fixed-point (`hwsim`) path.
+    pub frac_bits: u8,
+}
+
+impl CheckpointMeta {
+    /// Elements in one sample (`input_dims` product).
+    pub fn sample_len(&self) -> usize {
+        self.input_dims.iter().product()
+    }
+}
+
+/// The serializable inference state of one layer.
+///
+/// Produced by [`Layer::snapshot`]; consumed by the codec below. hadaBCM
+/// layers snapshot as [`LayerSnapshot::BcmConv2d`] with their *folded*
+/// defining vectors (`a ⊙ b`), which is exactly the deployed form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSnapshot {
+    /// [`ReLU`].
+    Relu,
+    /// [`Flatten`].
+    Flatten,
+    /// [`MaxPool2d`] with its square window.
+    MaxPool {
+        /// Window size (stride equals window).
+        window: usize,
+    },
+    /// [`GlobalAvgPool`].
+    GlobalAvgPool,
+    /// Dense [`Conv2d`].
+    Conv2d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Weight, flat `[c_out, c_in·k·k]`.
+        weight: Vec<f32>,
+    },
+    /// Dense [`Linear`].
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Weight, flat `[out, in]`.
+        weight: Vec<f32>,
+        /// Bias, `[out]`.
+        bias: Vec<f32>,
+    },
+    /// [`BatchNorm2d`] inference state (running statistics + affine).
+    BatchNorm2d {
+        /// Scale γ, `[channels]`.
+        gamma: Vec<f32>,
+        /// Shift β, `[channels]`.
+        beta: Vec<f32>,
+        /// Running mean, `[channels]`.
+        mean: Vec<f32>,
+        /// Running variance, `[channels]`.
+        var: Vec<f32>,
+    },
+    /// Block-circulant convolution ([`BcmConv2d`], or a folded
+    /// `HadaBcmConv2d`).
+    BcmConv2d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Block size BS.
+        bs: usize,
+        /// Skip index: `true` per block when live.
+        live: Vec<bool>,
+        /// Defining vectors for **all** blocks, flat `[block_count, bs]`
+        /// (pruned blocks are all-zero; the codec drops them on disk).
+        vecs: Vec<f32>,
+    },
+    /// Block-circulant linear ([`BcmLinear`]).
+    BcmLinear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Block size BS.
+        bs: usize,
+        /// Skip index: `true` per block when live.
+        live: Vec<bool>,
+        /// Defining vectors for all blocks, flat `[block_count, bs]`.
+        vecs: Vec<f32>,
+        /// Bias, `[out]`.
+        bias: Vec<f32>,
+    },
+    /// [`ResidualBlock`] with recursive sublayer snapshots.
+    Residual {
+        /// Block name (preserved across the round trip).
+        name: String,
+        /// Main-path layers.
+        main: Vec<LayerSnapshot>,
+        /// Projection shortcut layers (`None` = identity).
+        shortcut: Option<Vec<LayerSnapshot>>,
+    },
+}
+
+impl LayerSnapshot {
+    /// Rebuilds the layer this snapshot describes.
+    pub(crate) fn into_layer(self) -> Box<dyn Layer> {
+        match self {
+            LayerSnapshot::Relu => Box::new(ReLU::new()),
+            LayerSnapshot::Flatten => Box::new(Flatten::new()),
+            LayerSnapshot::MaxPool { window } => Box::new(MaxPool2d::new(window)),
+            LayerSnapshot::GlobalAvgPool => Box::new(GlobalAvgPool::new()),
+            LayerSnapshot::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                pad,
+                weight,
+            } => Box::new(Conv2d::from_parts(c_in, c_out, kernel, stride, pad, weight)),
+            LayerSnapshot::Linear {
+                in_features,
+                out_features,
+                weight,
+                bias,
+            } => Box::new(Linear::from_parts(in_features, out_features, weight, bias)),
+            LayerSnapshot::BatchNorm2d {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => Box::new(BatchNorm2d::from_parts(gamma, beta, mean, var)),
+            LayerSnapshot::BcmConv2d {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                pad,
+                bs,
+                live,
+                vecs,
+            } => Box::new(BcmConv2d::from_parts(
+                c_in, c_out, kernel, stride, pad, bs, vecs, &live,
+            )),
+            LayerSnapshot::BcmLinear {
+                in_features,
+                out_features,
+                bs,
+                live,
+                vecs,
+                bias,
+            } => Box::new(BcmLinear::from_parts(
+                in_features,
+                out_features,
+                bs,
+                vecs,
+                bias,
+                &live,
+            )),
+            LayerSnapshot::Residual {
+                name,
+                main,
+                shortcut,
+            } => {
+                let main = main.into_iter().map(LayerSnapshot::into_layer).collect();
+                let shortcut =
+                    shortcut.map(|sc| sc.into_iter().map(LayerSnapshot::into_layer).collect());
+                Box::new(ResidualBlock::new(&name, main, shortcut))
+            }
+        }
+    }
+}
+
+/// Failure while saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is not [`VERSION`].
+    BadVersion(u16),
+    /// The payload ended early or has trailing garbage.
+    Truncated,
+    /// A layer cannot be checkpointed (no [`Layer::snapshot`]), or a
+    /// record's fields are internally inconsistent.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not an .rpbcm checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {VERSION})")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint payload truncated or oversized"),
+            CheckpointError::Unsupported(what) => write!(f, "unsupported checkpoint layer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("dimension fits u32").to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bit-packs the live bitmap LSB-first (bit set = live), matching the
+/// hwsim skip-index packing.
+fn put_bitmap(out: &mut Vec<u8>, live: &[bool]) {
+    put_u32(out, live.len());
+    let mut byte = 0u8;
+    for (i, &l) in live.iter().enumerate() {
+        if l {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !live.len().is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+/// Appends the live blocks' defining vectors (pruned ones are omitted).
+fn put_live_vecs(out: &mut Vec<u8>, vecs: &[f32], live: &[bool], bs: usize) {
+    assert_eq!(vecs.len(), live.len() * bs, "defining-vector layout");
+    for (blk, &l) in live.iter().enumerate() {
+        if l {
+            put_f32s(out, &vecs[blk * bs..(blk + 1) * bs]);
+        }
+    }
+}
+
+fn encode_snapshot(out: &mut Vec<u8>, snap: &LayerSnapshot) {
+    match snap {
+        LayerSnapshot::Relu => out.push(TAG_RELU),
+        LayerSnapshot::Flatten => out.push(TAG_FLATTEN),
+        LayerSnapshot::MaxPool { window } => {
+            out.push(TAG_MAXPOOL);
+            put_u32(out, *window);
+        }
+        LayerSnapshot::GlobalAvgPool => out.push(TAG_GAP),
+        LayerSnapshot::Conv2d {
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            pad,
+            weight,
+        } => {
+            out.push(TAG_CONV);
+            for d in [c_in, c_out, kernel, stride, pad] {
+                put_u32(out, *d);
+            }
+            put_f32s(out, weight);
+        }
+        LayerSnapshot::Linear {
+            in_features,
+            out_features,
+            weight,
+            bias,
+        } => {
+            out.push(TAG_LINEAR);
+            put_u32(out, *in_features);
+            put_u32(out, *out_features);
+            put_f32s(out, weight);
+            put_f32s(out, bias);
+        }
+        LayerSnapshot::BatchNorm2d {
+            gamma,
+            beta,
+            mean,
+            var,
+        } => {
+            out.push(TAG_BATCHNORM);
+            put_u32(out, gamma.len());
+            for vs in [gamma, beta, mean, var] {
+                put_f32s(out, vs);
+            }
+        }
+        LayerSnapshot::BcmConv2d {
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            pad,
+            bs,
+            live,
+            vecs,
+        } => {
+            out.push(TAG_BCM_CONV);
+            for d in [c_in, c_out, kernel, stride, pad, bs] {
+                put_u32(out, *d);
+            }
+            put_bitmap(out, live);
+            put_live_vecs(out, vecs, live, *bs);
+        }
+        LayerSnapshot::BcmLinear {
+            in_features,
+            out_features,
+            bs,
+            live,
+            vecs,
+            bias,
+        } => {
+            out.push(TAG_BCM_LINEAR);
+            for d in [in_features, out_features, bs] {
+                put_u32(out, *d);
+            }
+            put_bitmap(out, live);
+            put_live_vecs(out, vecs, live, *bs);
+            put_f32s(out, bias);
+        }
+        LayerSnapshot::Residual {
+            name,
+            main,
+            shortcut,
+        } => {
+            out.push(TAG_RESIDUAL);
+            put_str(out, name);
+            put_u32(out, main.len());
+            for s in main {
+                encode_snapshot(out, s);
+            }
+            match shortcut {
+                None => out.push(0),
+                Some(sc) => {
+                    out.push(1);
+                    put_u32(out, sc.len());
+                    for s in sc {
+                        encode_snapshot(out, s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.data.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<usize, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let want = n
+            .checked_mul(4)
+            .ok_or_else(|| CheckpointError::Unsupported("f32 run overflows".into()))?;
+        let b = self.take(want)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn string(&mut self) -> Result<String, CheckpointError> {
+        let n = self.u32()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CheckpointError::Unsupported("non-UTF-8 name".into()))
+    }
+
+    fn bitmap(&mut self) -> Result<Vec<bool>, CheckpointError> {
+        let n = self.u32()?;
+        let b = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| b[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+
+    /// Live-only defining vectors back to the full zero-padded layout.
+    fn live_vecs(&mut self, live: &[bool], bs: usize) -> Result<Vec<f32>, CheckpointError> {
+        let mut vecs = vec![0.0f32; live.len() * bs];
+        for (blk, &l) in live.iter().enumerate() {
+            if l {
+                vecs[blk * bs..(blk + 1) * bs].copy_from_slice(&self.f32s(bs)?);
+            }
+        }
+        Ok(vecs)
+    }
+}
+
+fn decode_snapshot(cur: &mut Cursor<'_>) -> Result<LayerSnapshot, CheckpointError> {
+    let tag = cur.u8()?;
+    Ok(match tag {
+        TAG_RELU => LayerSnapshot::Relu,
+        TAG_FLATTEN => LayerSnapshot::Flatten,
+        TAG_MAXPOOL => LayerSnapshot::MaxPool { window: cur.u32()? },
+        TAG_GAP => LayerSnapshot::GlobalAvgPool,
+        TAG_CONV => {
+            let (c_in, c_out, kernel, stride, pad) =
+                (cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
+            check_layer_dims(&[c_in, c_out, kernel, stride])?;
+            let weight = cur.f32s(c_out * c_in * kernel * kernel)?;
+            LayerSnapshot::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                pad,
+                weight,
+            }
+        }
+        TAG_LINEAR => {
+            let (in_features, out_features) = (cur.u32()?, cur.u32()?);
+            check_layer_dims(&[in_features, out_features])?;
+            let weight = cur.f32s(out_features * in_features)?;
+            let bias = cur.f32s(out_features)?;
+            LayerSnapshot::Linear {
+                in_features,
+                out_features,
+                weight,
+                bias,
+            }
+        }
+        TAG_BATCHNORM => {
+            let channels = cur.u32()?;
+            check_layer_dims(&[channels])?;
+            let gamma = cur.f32s(channels)?;
+            let beta = cur.f32s(channels)?;
+            let mean = cur.f32s(channels)?;
+            let var = cur.f32s(channels)?;
+            LayerSnapshot::BatchNorm2d {
+                gamma,
+                beta,
+                mean,
+                var,
+            }
+        }
+        TAG_BCM_CONV => {
+            let (c_in, c_out, kernel, stride, pad, bs) = (
+                cur.u32()?,
+                cur.u32()?,
+                cur.u32()?,
+                cur.u32()?,
+                cur.u32()?,
+                cur.u32()?,
+            );
+            check_layer_dims(&[c_in, c_out, kernel, stride, bs])?;
+            check_bcm_shape(c_in, c_out, bs)?;
+            let live = cur.bitmap()?;
+            let want = kernel * kernel * (c_out / bs) * (c_in / bs);
+            if live.len() != want {
+                return Err(CheckpointError::Unsupported(format!(
+                    "skip index covers {} blocks, layer has {want}",
+                    live.len()
+                )));
+            }
+            let vecs = cur.live_vecs(&live, bs)?;
+            LayerSnapshot::BcmConv2d {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                pad,
+                bs,
+                live,
+                vecs,
+            }
+        }
+        TAG_BCM_LINEAR => {
+            let (in_features, out_features, bs) = (cur.u32()?, cur.u32()?, cur.u32()?);
+            check_layer_dims(&[in_features, out_features, bs])?;
+            check_bcm_shape(in_features, out_features, bs)?;
+            let live = cur.bitmap()?;
+            let want = (out_features / bs) * (in_features / bs);
+            if live.len() != want {
+                return Err(CheckpointError::Unsupported(format!(
+                    "skip index covers {} blocks, layer has {want}",
+                    live.len()
+                )));
+            }
+            let vecs = cur.live_vecs(&live, bs)?;
+            let bias = cur.f32s(out_features)?;
+            LayerSnapshot::BcmLinear {
+                in_features,
+                out_features,
+                bs,
+                live,
+                vecs,
+                bias,
+            }
+        }
+        TAG_RESIDUAL => {
+            let name = cur.string()?;
+            let n_main = cur.u32()?;
+            check_stack_len(n_main)?;
+            let main = (0..n_main)
+                .map(|_| decode_snapshot(cur))
+                .collect::<Result<_, _>>()?;
+            let shortcut = match cur.u8()? {
+                0 => None,
+                1 => {
+                    let n = cur.u32()?;
+                    check_stack_len(n)?;
+                    Some(
+                        (0..n)
+                            .map(|_| decode_snapshot(cur))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                other => {
+                    return Err(CheckpointError::Unsupported(format!(
+                        "bad shortcut marker {other}"
+                    )))
+                }
+            };
+            LayerSnapshot::Residual {
+                name,
+                main,
+                shortcut,
+            }
+        }
+        other => {
+            return Err(CheckpointError::Unsupported(format!(
+                "unknown layer tag {other}"
+            )))
+        }
+    })
+}
+
+fn check_layer_dims(dims: &[usize]) -> Result<(), CheckpointError> {
+    // Constructors assert these; surface them as decode errors instead so
+    // a corrupt file cannot panic the loader.
+    if dims.contains(&0) {
+        return Err(CheckpointError::Unsupported("zero layer dimension".into()));
+    }
+    Ok(())
+}
+
+fn check_bcm_shape(
+    features_in: usize,
+    features_out: usize,
+    bs: usize,
+) -> Result<(), CheckpointError> {
+    if !bs.is_power_of_two()
+        || bs < 2
+        || !features_in.is_multiple_of(bs)
+        || !features_out.is_multiple_of(bs)
+    {
+        return Err(CheckpointError::Unsupported(format!(
+            "BCM shape {features_out}x{features_in} incompatible with BS {bs}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_stack_len(n: usize) -> Result<(), CheckpointError> {
+    // One record is at least one byte; a count beyond the format's
+    // practical bounds means a corrupt header, not a real model.
+    const MAX_LAYERS: usize = 1 << 20;
+    if n > MAX_LAYERS {
+        return Err(CheckpointError::Unsupported(format!(
+            "implausible layer count {n}"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Whole-network API
+// ---------------------------------------------------------------------
+
+/// Serializes `net` with `meta` into `.rpbcm` bytes.
+///
+/// # Errors
+///
+/// [`CheckpointError::Unsupported`] when a layer has no
+/// [`Layer::snapshot`] implementation.
+pub fn to_bytes(net: &Network, meta: &CheckpointMeta) -> Result<Vec<u8>, CheckpointError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_str(&mut out, net.name());
+    out.push(meta.frac_bits);
+    out.push(u8::try_from(meta.input_dims.len()).expect("input rank fits u8"));
+    for &d in &meta.input_dims {
+        put_u32(&mut out, d);
+    }
+    put_u32(&mut out, net.layers().len());
+    for layer in net.layers() {
+        let snap = layer
+            .snapshot()
+            .ok_or_else(|| CheckpointError::Unsupported(layer.name().to_string()))?;
+        encode_snapshot(&mut out, &snap);
+    }
+    Ok(out)
+}
+
+/// Deserializes `.rpbcm` bytes back into a network and its metadata.
+///
+/// # Errors
+///
+/// [`CheckpointError::BadMagic`] / [`CheckpointError::BadVersion`] on
+/// foreign input, [`CheckpointError::Truncated`] on short or oversized
+/// payloads, [`CheckpointError::Unsupported`] on unknown tags or
+/// inconsistent records.
+pub fn from_bytes(bytes: &[u8]) -> Result<(Network, CheckpointMeta), CheckpointError> {
+    let mut cur = Cursor {
+        data: bytes,
+        pos: 0,
+    };
+    if cur.take(4)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = cur.u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let name = cur.string()?;
+    let frac_bits = cur.u8()?;
+    let rank = cur.u8()? as usize;
+    let mut input_dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        input_dims.push(cur.u32()?);
+    }
+    let n_layers = cur.u32()?;
+    check_stack_len(n_layers)?;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(n_layers.min(1024));
+    for _ in 0..n_layers {
+        layers.push(decode_snapshot(&mut cur)?.into_layer());
+    }
+    if cur.pos != bytes.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok((
+        Network::new(&name, layers),
+        CheckpointMeta {
+            input_dims,
+            frac_bits,
+        },
+    ))
+}
+
+impl Network {
+    /// Saves the deployed form of this network to `path` (see the module
+    /// docs for the format). hadaBCM layers are folded; pruned blocks'
+    /// vectors are dropped from the payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec and filesystem failures as [`CheckpointError`].
+    pub fn save(
+        &self,
+        path: &std::path::Path,
+        meta: &CheckpointMeta,
+    ) -> Result<(), CheckpointError> {
+        let bytes = to_bytes(self, meta)?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Loads a network saved by [`Network::save`]. The returned network's
+    /// inference (`train = false`) outputs are bit-identical to the
+    /// saved network's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec and filesystem failures as [`CheckpointError`].
+    pub fn load(path: &std::path::Path) -> Result<(Network, CheckpointMeta), CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::HadaBcmConv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::{init, Tensor};
+
+    fn meta() -> CheckpointMeta {
+        CheckpointMeta {
+            input_dims: vec![4, 8, 8],
+            frac_bits: 8,
+        }
+    }
+
+    /// A deployed-style mix: hadaBCM conv, BN with non-trivial running
+    /// stats, pooling, BCM linear and a dense head — some blocks pruned.
+    fn mixed_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(
+            "mixed",
+            vec![
+                Box::new(HadaBcmConv2d::new(&mut rng, 4, 8, 3, 1, 1, 4)),
+                Box::new(BatchNorm2d::new(8)),
+                Box::new(ReLU::new()),
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Flatten::new()),
+                Box::new(BcmLinear::new(&mut rng, 8 * 4 * 4, 16, 4)),
+                Box::new(ReLU::new()),
+                Box::new(Linear::new(&mut rng, 16, 3)),
+            ],
+        );
+        // Move the BN running stats off their initialization so eval mode
+        // exercises real state.
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[4, 4, 8, 8], 0.3, 1.2);
+        let _ = net.forward(&x, true);
+        net.bcm_eliminate(&[0, 3, 20, 25]);
+        net
+    }
+
+    fn assert_bit_identical(a: &Tensor<f32>, b: &Tensor<f32>) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn round_trip_inference_is_bit_identical() {
+        let mut net = mixed_net(0);
+        let bytes = to_bytes(&net, &meta()).unwrap();
+        let (mut loaded, got_meta) = from_bytes(&bytes).unwrap();
+        assert_eq!(got_meta, meta());
+        assert_eq!(loaded.name(), "mixed");
+        assert_eq!(loaded.layers().len(), net.layers().len());
+        let mut rng = StdRng::seed_from_u64(42);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[3, 4, 8, 8], 0.0, 1.0);
+        let want = net.forward(&x, false);
+        let got = loaded.forward(&x, false);
+        assert_bit_identical(&want, &got);
+        // The loaded network carries the same skip index and accounting.
+        assert_eq!(loaded.bcm_sparsity(), net.bcm_sparsity());
+        assert_eq!(loaded.folded_param_count(), net.folded_param_count());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let net = mixed_net(1);
+        let path = std::env::temp_dir().join(format!(
+            "rpbcm-ckpt-test-{}-{:?}.rpbcm",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        net.save(&path, &meta()).unwrap();
+        let (loaded, got_meta) = Network::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(got_meta.sample_len(), 4 * 8 * 8);
+        assert_eq!(loaded.layers().len(), net.layers().len());
+    }
+
+    #[test]
+    fn residual_blocks_round_trip_recursively() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Network::new(
+            "res",
+            vec![
+                Box::new(ResidualBlock::new(
+                    "block1",
+                    vec![
+                        Box::new(Conv2d::new(&mut rng, 4, 4, 3, 1, 1)),
+                        Box::new(BatchNorm2d::new(4)),
+                    ],
+                    None,
+                )),
+                Box::new(ResidualBlock::new(
+                    "block2",
+                    vec![
+                        Box::new(Conv2d::new(&mut rng, 4, 8, 3, 2, 1)),
+                        Box::new(BatchNorm2d::new(8)),
+                    ],
+                    Some(vec![
+                        Box::new(Conv2d::new(&mut rng, 4, 8, 1, 2, 0)),
+                        Box::new(BatchNorm2d::new(8)),
+                    ]),
+                )),
+            ],
+        );
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[2, 4, 8, 8], 0.0, 1.0);
+        let _ = net.forward(&x, true);
+        let bytes = to_bytes(&net, &meta()).unwrap();
+        let (mut loaded, _) = from_bytes(&bytes).unwrap();
+        let want = net.forward(&x, false);
+        let got = loaded.forward(&x, false);
+        assert_bit_identical(&want, &got);
+        assert_eq!(loaded.layers()[1].name(), "block2");
+    }
+
+    #[test]
+    fn pruned_blocks_shrink_the_checkpoint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dense = Network::new("fc", vec![Box::new(BcmLinear::new(&mut rng, 64, 64, 8))]);
+        let mut pruned = dense.clone();
+        let all: Vec<usize> = (0..pruned.bcm_block_count()).collect();
+        pruned.bcm_eliminate(&all);
+        let full = to_bytes(&dense, &meta()).unwrap();
+        let empty = to_bytes(&pruned, &meta()).unwrap();
+        // 64 blocks × 8 lanes × 4 bytes of defining vectors drop out.
+        assert_eq!(full.len() - empty.len(), 64 * 8 * 4);
+        // And the empty one still loads with everything pruned.
+        let (loaded, _) = from_bytes(&empty).unwrap();
+        assert_eq!(loaded.bcm_layers()[0].live_blocks(), 0);
+    }
+
+    #[test]
+    fn foreign_and_corrupt_inputs_are_rejected() {
+        let net = mixed_net(4);
+        let bytes = to_bytes(&net, &meta()).unwrap();
+        assert!(matches!(
+            from_bytes(b"not a checkpoint"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xFF;
+        assert!(matches!(
+            from_bytes(&wrong_version),
+            Err(CheckpointError::BadVersion(_))
+        ));
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 3]),
+            Err(CheckpointError::Truncated)
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            from_bytes(&trailing),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn unsupported_layers_fail_to_save() {
+        struct Opaque;
+        impl Layer for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn forward(&mut self, x: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+                x.clone()
+            }
+            fn backward(&mut self, grad: &Tensor<f32>) -> Tensor<f32> {
+                grad.clone()
+            }
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(Opaque)
+            }
+        }
+        let net = Network::new("opaque", vec![Box::new(Opaque)]);
+        match to_bytes(&net, &meta()) {
+            Err(CheckpointError::Unsupported(name)) => assert_eq!(name, "opaque"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+}

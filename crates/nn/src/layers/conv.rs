@@ -206,6 +206,24 @@ impl Conv2d {
         }
     }
 
+    /// Rebuilds a convolution from checkpointed parts (`weight` is flat
+    /// `[c_out, c_in·k·k]`).
+    pub(crate) fn from_parts(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        weight: Vec<f32>,
+    ) -> Self {
+        let weight = Param::new(Tensor::from_vec(weight, &[c_out, c_in * kernel * kernel]));
+        Conv2d {
+            name: format!("conv{c_in}x{c_out}k{kernel}"),
+            weight,
+            core: ConvCore::new(c_in, c_out, kernel, kernel, stride, pad),
+        }
+    }
+
     /// The dense weight as `[c_out, c_in, kh, kw]`.
     pub fn weight4(&self) -> Tensor<f32> {
         self.weight
@@ -252,6 +270,17 @@ impl Layer for Conv2d {
 
     fn conv_weight(&self) -> Option<Tensor<f32>> {
         Some(self.weight4())
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::Conv2d {
+            c_in: self.core.c_in,
+            c_out: self.core.c_out,
+            kernel: self.core.kh,
+            stride: self.core.stride,
+            pad: self.core.pad,
+            weight: self.weight.value.as_slice().to_vec(),
+        })
     }
 
     fn set_conv_weight(

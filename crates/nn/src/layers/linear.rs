@@ -27,6 +27,22 @@ impl Linear {
         }
     }
 
+    /// Rebuilds a linear layer from checkpointed parts (`weight` is flat
+    /// `[out, in]`).
+    pub(crate) fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Self {
+        Linear {
+            name: format!("linear{in_features}x{out_features}"),
+            weight: Param::new(Tensor::from_vec(weight, &[out_features, in_features])),
+            bias: Param::new(Tensor::from_vec(bias, &[out_features])),
+            input: None,
+        }
+    }
+
     /// `(in_features, out_features)`.
     pub fn features(&self) -> (usize, usize) {
         (self.weight.value.dims()[1], self.weight.value.dims()[0])
@@ -87,6 +103,16 @@ impl Layer for Linear {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        let (in_features, out_features) = self.features();
+        Some(crate::layers::checkpoint::LayerSnapshot::Linear {
+            in_features,
+            out_features,
+            weight: self.weight.value.as_slice().to_vec(),
+            bias: self.bias.value.as_slice().to_vec(),
+        })
     }
 }
 

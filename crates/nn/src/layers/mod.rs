@@ -3,6 +3,7 @@
 mod act;
 mod bcm;
 mod bcmlinear;
+pub mod checkpoint;
 mod conv;
 mod linear;
 mod network;
@@ -29,7 +30,10 @@ use tensor::Tensor;
 /// upstream gradient and returns the gradient with respect to the layer
 /// input, accumulating parameter gradients internally. `step` applies an
 /// SGD update to the layer's parameters (a no-op for stateless layers).
-pub trait Layer {
+///
+/// `Send` is a supertrait so whole networks can move across threads
+/// (the serving engine runs batches on a dedicated worker).
+pub trait Layer: Send {
     /// Layer name for reports.
     fn name(&self) -> &str;
 
@@ -101,6 +105,14 @@ pub trait Layer {
     /// is a caller bug.
     fn set_conv_weight(&mut self, _w: &Tensor<f32>) -> Result<(), SetConvWeightError> {
         Err(SetConvWeightError)
+    }
+
+    /// The layer's serializable inference state for `.rpbcm`
+    /// checkpointing (see [`checkpoint`]), or `None` when the layer does
+    /// not support it — `Network::save` then fails with
+    /// [`checkpoint::CheckpointError::Unsupported`].
+    fn snapshot(&self) -> Option<checkpoint::LayerSnapshot> {
+        None
     }
 }
 

@@ -344,6 +344,28 @@ impl Layer for ResidualBlock {
             .flat_map(|l| l.bcm_layers_mut())
             .collect()
     }
+
+    /// Snapshots recursively; `None` if any sublayer is unsupported.
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        let main = self
+            .main
+            .iter()
+            .map(|l| l.snapshot())
+            .collect::<Option<Vec<_>>>()?;
+        let shortcut = match &self.shortcut {
+            None => None,
+            Some(sc) => Some(
+                sc.iter()
+                    .map(|l| l.snapshot())
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        };
+        Some(crate::layers::checkpoint::LayerSnapshot::Residual {
+            name: self.name.clone(),
+            main,
+            shortcut,
+        })
+    }
 }
 
 #[cfg(test)]

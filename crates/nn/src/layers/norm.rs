@@ -48,6 +48,35 @@ impl BatchNorm2d {
         }
     }
 
+    /// Rebuilds a batch-norm layer from checkpointed inference state.
+    /// `momentum` keeps its default — deployed checkpoints carry no
+    /// training hyper-parameters.
+    pub(crate) fn from_parts(
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        running_mean: Vec<f32>,
+        running_var: Vec<f32>,
+    ) -> Self {
+        let channels = gamma.len();
+        assert!(channels > 0, "channels must be non-zero");
+        assert!(
+            beta.len() == channels
+                && running_mean.len() == channels
+                && running_var.len() == channels,
+            "batch-norm vector lengths"
+        );
+        BatchNorm2d {
+            name: format!("bn{channels}"),
+            channels,
+            gamma: Param::new(Tensor::from_vec(gamma, &[channels])),
+            beta: Param::new(Tensor::from_vec(beta, &[channels])),
+            running_mean,
+            running_var,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
     fn stats(&self, x: &Tensor<f32>, train: bool) -> (Vec<f32>, Vec<f32>) {
         let dims = x.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -194,6 +223,15 @@ impl Layer for BatchNorm2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::BatchNorm2d {
+            gamma: self.gamma.value.as_slice().to_vec(),
+            beta: self.beta.value.as_slice().to_vec(),
+            mean: self.running_mean.clone(),
+            var: self.running_var.clone(),
+        })
     }
 }
 

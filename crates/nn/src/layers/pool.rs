@@ -84,6 +84,12 @@ impl Layer for MaxPool2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::MaxPool {
+            window: self.window,
+        })
+    }
 }
 
 /// Global average pooling `[N, C, H, W] → [N, C]`.
@@ -132,6 +138,10 @@ impl Layer for GlobalAvgPool {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn snapshot(&self) -> Option<crate::layers::checkpoint::LayerSnapshot> {
+        Some(crate::layers::checkpoint::LayerSnapshot::GlobalAvgPool)
     }
 }
 

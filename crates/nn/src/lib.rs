@@ -9,6 +9,9 @@
 //! - [`layers`]: `Conv2d` (im2col), `BcmConv2d`, `HadaBcmConv2d`,
 //!   `Linear`, `BatchNorm2d`, `ReLU`, `MaxPool2d`, `GlobalAvgPool`,
 //!   `Flatten` — each with hand-derived backward passes.
+//! - [`layers::checkpoint`]: compact `.rpbcm` binary checkpointing of
+//!   deployed (hadaBCM-folded, pruned) networks via `Network::save` /
+//!   `Network::load`, with bit-identical inference across the round trip.
 //! - [`optim`]: SGD with momentum/weight decay and the cosine-annealing
 //!   schedule the paper trains with (§V-A).
 //! - [`loss`]: softmax cross-entropy.
@@ -46,6 +49,7 @@ pub mod models;
 pub mod optim;
 pub mod train;
 
+pub use layers::checkpoint::{CheckpointError, CheckpointMeta};
 pub use layers::{Layer, Network};
 pub use models::ConvMode;
 pub use train::{TrainConfig, Trainer};

@@ -1,0 +1,387 @@
+//! The dynamic micro-batching scheduler.
+//!
+//! Requests enter a bounded queue; a single worker thread groups
+//! same-model, same-mode neighbours into batches and runs them through
+//! the engine. A batch dispatches as soon as either
+//!
+//! - it is **full** — `batch_size` compatible requests are queued, or
+//! - it is **stale** — `max_wait` has elapsed since its oldest request
+//!   arrived (so a lone request never waits longer than the deadline).
+//!
+//! Admission control is strict: a request arriving while the queue holds
+//! `queue_cap` entries is shed immediately ([`SubmitError::Overloaded`])
+//! rather than buffered — the caller turns that into an explicit
+//! `overloaded` reply, keeping tail latency bounded under overload.
+//!
+//! Shutdown is graceful: [`Batcher::shutdown`] stops admissions, then the
+//! worker drains every queued request (still batched, no deadline waits)
+//! before exiting.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::config::ServeConfig;
+use crate::metrics;
+use crate::protocol::Payload;
+use crate::registry::{Mode, Registry};
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the request was shed.
+    Overloaded,
+    /// The batcher is draining and admits nothing new.
+    ShuttingDown,
+}
+
+/// A queued request.
+struct Pending {
+    model: usize,
+    mode: Mode,
+    input: Payload,
+    reply: mpsc::Sender<Payload>,
+    enqueued: Instant,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Handle to the scheduler: submit requests, then shut down gracefully.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns the batch worker over `registry`.
+    pub fn start(cfg: ServeConfig, registry: Registry) -> Batcher {
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("serve-batcher".into())
+            .spawn(move || worker_loop(&worker_shared, registry))
+            .expect("spawn batch worker");
+        Batcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Submits one request. On admission, the reply (the model output,
+    /// same payload variant as the input) arrives on the returned
+    /// receiver; a receiver whose sender was dropped means the batcher
+    /// shut down before executing the request.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`Batcher::shutdown`] began.
+    pub fn submit(
+        &self,
+        model: usize,
+        mode: Mode,
+        input: Payload,
+    ) -> Result<mpsc::Receiver<Payload>, SubmitError> {
+        let mut st = self.shared.state.lock().expect("batcher lock");
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.shared.cfg.queue_cap {
+            metrics::SHED.add(1);
+            return Err(SubmitError::Overloaded);
+        }
+        let (tx, rx) = mpsc::channel();
+        st.queue.push_back(Pending {
+            model,
+            mode,
+            input,
+            reply: tx,
+            enqueued: Instant::now(),
+        });
+        metrics::ACCEPTED.add(1);
+        let depth = st.queue.len() as f64;
+        metrics::QUEUE_DEPTH.set(depth);
+        metrics::QUEUE_PEAK.set_max(depth);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Current queue depth (for tests and load generators).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("batcher lock").queue.len()
+    }
+
+    /// Stops admissions, drains every queued request through the engine,
+    /// and joins the worker. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("batcher lock");
+            st.shutting_down = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            handle.join().expect("batch worker panicked");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Takes up to `cap` requests compatible with the queue front's
+/// (model, mode) key, preserving arrival order and leaving incompatible
+/// requests queued.
+fn take_batch(queue: &mut VecDeque<Pending>, cap: usize) -> Vec<Pending> {
+    let Some(front) = queue.front() else {
+        return Vec::new();
+    };
+    let key = (front.model, front.mode);
+    let mut batch = Vec::new();
+    let mut i = 0;
+    while i < queue.len() && batch.len() < cap {
+        if (queue[i].model, queue[i].mode) == key {
+            batch.push(queue.remove(i).expect("index in bounds"));
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+/// Counts queued requests matching the queue front's (model, mode) key.
+fn matching_front(queue: &VecDeque<Pending>) -> usize {
+    match queue.front() {
+        None => 0,
+        Some(front) => {
+            let key = (front.model, front.mode);
+            queue.iter().filter(|p| (p.model, p.mode) == key).count()
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, mut registry: Registry) {
+    let cfg = shared.cfg;
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("batcher lock");
+            loop {
+                if st.queue.is_empty() {
+                    if st.shutting_down {
+                        return;
+                    }
+                    st = shared.cv.wait(st).expect("batcher lock");
+                    continue;
+                }
+                // Dispatch when full, stale, or draining.
+                let full = matching_front(&st.queue) >= cfg.batch_size;
+                let oldest = st.queue.front().expect("non-empty").enqueued;
+                let age = oldest.elapsed();
+                if full || st.shutting_down || age >= cfg.max_wait {
+                    let batch = take_batch(&mut st.queue, cfg.batch_size);
+                    metrics::QUEUE_DEPTH.set(st.queue.len() as f64);
+                    break batch;
+                }
+                // Sleep until the front request's deadline; a new arrival
+                // (which may complete the batch) wakes us early.
+                let remaining = cfg.max_wait - age;
+                let (guard, _timeout) =
+                    shared.cv.wait_timeout(st, remaining).expect("batcher lock");
+                st = guard;
+            }
+        };
+        execute(&mut registry, batch);
+    }
+}
+
+/// Runs one batch through the engine and delivers the replies.
+fn execute(registry: &mut Registry, batch: Vec<Pending>) {
+    if batch.is_empty() {
+        return;
+    }
+    metrics::BATCH_SIZE.record(batch.len() as u64);
+    let model = registry.get_mut(batch[0].model);
+    let start = Instant::now();
+    let outputs: Vec<Payload> = match batch[0].mode {
+        Mode::F32 => {
+            let samples: Vec<Vec<f32>> = batch
+                .iter()
+                .map(|p| match &p.input {
+                    Payload::F32(v) => v.clone(),
+                    Payload::Fx(_) => unreachable!("mode/payload mismatch"),
+                })
+                .collect();
+            model
+                .forward_f32_batch(&samples)
+                .into_iter()
+                .map(Payload::F32)
+                .collect()
+        }
+        Mode::Fx => {
+            let samples: Vec<Vec<i16>> = batch
+                .iter()
+                .map(|p| match &p.input {
+                    Payload::Fx(v) => v.clone(),
+                    Payload::F32(_) => unreachable!("mode/payload mismatch"),
+                })
+                .collect();
+            model
+                .forward_fx_batch(&samples)
+                .into_iter()
+                .map(Payload::Fx)
+                .collect()
+        }
+    };
+    let exec_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    metrics::BATCH_EXEC.record(exec_ns);
+    for (pending, output) in batch.into_iter().zip(outputs) {
+        let latency = pending.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        metrics::LATENCY.record(latency);
+        metrics::COMPLETED.add(1);
+        // A receiver dropped mid-flight (client hung up) is not an error.
+        let _ = pending.reply.send(output);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::layers::{BcmConv2d, ReLU};
+    use nn::{CheckpointMeta, Network};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn tiny_registry(seed: u64) -> (Registry, usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            "tiny",
+            vec![
+                Box::new(BcmConv2d::new(&mut rng, 4, 4, 3, 1, 1, 4)),
+                Box::new(ReLU::new()),
+            ],
+        );
+        let meta = CheckpointMeta {
+            input_dims: vec![4, 4, 4],
+            frac_bits: 8,
+        };
+        let model = crate::registry::Model::from_network("tiny", net, meta);
+        let input_len = model.input_len();
+        let output_len = model.output_len();
+        let mut reg = Registry::new();
+        reg.insert(model);
+        (reg, input_len, output_len)
+    }
+
+    #[test]
+    fn requests_get_replies() {
+        let (reg, input_len, output_len) = tiny_registry(1);
+        let batcher = Batcher::start(ServeConfig::default(), reg);
+        let rxs: Vec<_> = (0..5)
+            .map(|i| {
+                batcher
+                    .submit(0, Mode::F32, Payload::F32(vec![i as f32 * 0.1; input_len]))
+                    .unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            let out = rx.recv().expect("reply");
+            assert_eq!(out.len(), output_len);
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_buffering() {
+        let (reg, input_len, _) = tiny_registry(2);
+        let cfg = ServeConfig {
+            batch_size: 4,
+            max_wait: Duration::from_millis(50),
+            queue_cap: 4,
+        };
+        let batcher = Batcher::start(cfg, reg);
+        // Far more than queue_cap submissions in a tight loop: some must
+        // shed (the worker can't drain 64 batches instantly).
+        let mut shed = 0;
+        let mut rxs = Vec::new();
+        for _ in 0..64 {
+            match batcher.submit(0, Mode::F32, Payload::F32(vec![0.5; input_len])) {
+                Ok(rx) => rxs.push(rx),
+                Err(SubmitError::Overloaded) => shed += 1,
+                Err(SubmitError::ShuttingDown) => unreachable!(),
+            }
+        }
+        assert!(shed > 0, "expected shedding under 16x overload");
+        for rx in rxs {
+            rx.recv().expect("admitted requests still complete");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (reg, input_len, _) = tiny_registry(3);
+        let cfg = ServeConfig {
+            batch_size: 4,
+            // Long deadline: queued singles would otherwise linger.
+            max_wait: Duration::from_secs(5),
+            queue_cap: 64,
+        };
+        let batcher = Batcher::start(cfg, reg);
+        let rxs: Vec<_> = (0..7)
+            .map(|_| {
+                batcher
+                    .submit(0, Mode::F32, Payload::F32(vec![0.25; input_len]))
+                    .unwrap()
+            })
+            .collect();
+        batcher.shutdown();
+        for rx in rxs {
+            rx.recv().expect("shutdown drains in-flight requests");
+        }
+        assert!(matches!(
+            batcher.submit(0, Mode::F32, Payload::F32(vec![0.0; input_len])),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn stale_singles_dispatch_at_the_deadline() {
+        let (reg, input_len, _) = tiny_registry(4);
+        let cfg = ServeConfig {
+            batch_size: 64,
+            max_wait: Duration::from_millis(5),
+            queue_cap: 64,
+        };
+        let batcher = Batcher::start(cfg, reg);
+        let rx = batcher
+            .submit(0, Mode::F32, Payload::F32(vec![0.1; input_len]))
+            .unwrap();
+        // A single request must complete despite never filling the batch.
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("deadline dispatch");
+        assert!(!out.is_empty());
+        batcher.shutdown();
+    }
+}

@@ -1,0 +1,68 @@
+//! Serving configuration and its `RPBCM_SERVE_*` environment knobs.
+
+use std::time::Duration;
+
+/// Tunables of the micro-batching scheduler and admission control.
+///
+/// Defaults come from [`ServeConfig::default`]; [`ServeConfig::from_env`]
+/// overlays the `RPBCM_SERVE_*` environment variables (parsed through
+/// [`telemetry::env`], so malformed values fall back with a one-line
+/// warning instead of panicking):
+///
+/// | Variable                 | Meaning                           | Default |
+/// |--------------------------|-----------------------------------|---------|
+/// | `RPBCM_SERVE_BATCH`      | max batch size B                  | 8       |
+/// | `RPBCM_SERVE_MAX_WAIT_US`| batch-fill deadline T (µs)        | 2000    |
+/// | `RPBCM_SERVE_QUEUE_CAP`  | admission-control queue bound     | 64      |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum requests per dispatched batch (B). A batch launches as
+    /// soon as B same-model, same-mode requests are queued.
+    pub batch_size: usize,
+    /// How long the scheduler holds an incomplete batch open after its
+    /// first request arrives (T) before dispatching it short.
+    pub max_wait: Duration,
+    /// Bounded-queue admission limit: a request arriving while the queue
+    /// holds this many entries is shed with an explicit `overloaded`
+    /// reply instead of being buffered.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_size: 8,
+            max_wait: Duration::from_micros(2000),
+            queue_cap: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults overlaid with any `RPBCM_SERVE_*` variables set in
+    /// the environment (see the type-level table).
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        ServeConfig {
+            batch_size: telemetry::env::usize_or("RPBCM_SERVE_BATCH", d.batch_size).max(1),
+            max_wait: Duration::from_micros(telemetry::env::usize_or(
+                "RPBCM_SERVE_MAX_WAIT_US",
+                d.max_wait.subsec_micros() as usize,
+            ) as u64),
+            queue_cap: telemetry::env::usize_or("RPBCM_SERVE_QUEUE_CAP", d.queue_cap).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.batch_size >= 1);
+        assert!(c.queue_cap >= c.batch_size);
+        assert!(c.max_wait > Duration::ZERO);
+    }
+}

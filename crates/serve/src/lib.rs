@@ -1,0 +1,65 @@
+//! rpbcm-serve: a batched inference serving engine over the pruned-BCM
+//! fast path.
+//!
+//! The RP-BCM accelerator's throughput story (§V) assumes work arrives in
+//! batches that keep the datapath busy; this crate supplies the software
+//! side of that story. A multi-threaded TCP server admits single-sample
+//! inference requests, a dynamic micro-batching scheduler groups them
+//! (dispatching when a batch fills to `B` or its oldest request has
+//! waited `T`), and batches execute through either
+//!
+//! - the **float fast path** — the cached spectral-weight
+//!   `Network::forward` inference route, or
+//! - the **fixed-point datapath** ("FPGA mode") — the [`hwsim`] 16-bit
+//!   eMAC pipeline, when the deployed model is a stride-1 BCM conv stack.
+//!
+//! Batching never changes results: every op in both stacks treats batch
+//! samples independently, so a batched reply is bit-identical to serving
+//! the request alone (the loopback e2e tests assert exactly this).
+//!
+//! # Anatomy
+//!
+//! - [`protocol`] — the wire format: length-prefixed binary frames
+//!   behind an `RPBS` handshake, plus a line-delimited JSON debug mode.
+//! - [`registry`] — deployed [`Model`]s (loaded from `.rpbcm`
+//!   checkpoints or wrapped in process) and the batch execution engine.
+//! - [`batcher`] — the bounded-queue micro-batching scheduler with
+//!   explicit `overloaded` shedding and graceful drain.
+//! - [`server`] / [`client`] — the TCP front end and its reference
+//!   client.
+//! - [`config`] — `RPBCM_SERVE_*` environment knobs.
+//!
+//! Telemetry probes (`serve.*` counters, queue-depth gauge, batch-size
+//! and latency histograms) flow through the workspace [`telemetry`]
+//! registry and surface in the bench harness dumps.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use serve::{Client, Model, Registry, ServeConfig, Server};
+//!
+//! let mut registry = Registry::new();
+//! registry.load_file(std::path::Path::new("model.rpbcm")).unwrap();
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::from_env(), registry).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let output = client.infer_f32("model", &vec![0.0; 3 * 16 * 16]).unwrap();
+//! println!("{} logits", output.len());
+//! server.shutdown();
+//! ```
+
+mod metrics;
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{Batcher, SubmitError};
+pub use client::{Client, ClientError};
+pub use config::ServeConfig;
+pub use protocol::{Payload, Request, Response, Status};
+pub use registry::{FxModel, Mode, Model, ModelInfo, Registry};
+pub use server::Server;

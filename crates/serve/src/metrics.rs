@@ -1,0 +1,37 @@
+//! Telemetry probes for the serving hot path.
+//!
+//! All metrics flow through the workspace [`telemetry`] registry, so
+//! `RPBCM_TELEMETRY=1` (or `telemetry::set_enabled(true)`) turns them on
+//! and the bench harness dumps them into `results/TELEMETRY_serve.json`
+//! alongside every other subsystem's probes.
+
+/// Requests admitted into the batch queue.
+pub(crate) static ACCEPTED: telemetry::Counter = telemetry::Counter::new("serve.requests.accepted");
+
+/// Requests shed by admission control (queue at capacity).
+pub(crate) static SHED: telemetry::Counter = telemetry::Counter::new("serve.requests.shed");
+
+/// Requests whose batch executed and whose reply was delivered.
+pub(crate) static COMPLETED: telemetry::Counter =
+    telemetry::Counter::new("serve.requests.completed");
+
+/// Requests rejected before queueing (malformed frame, unknown model,
+/// wrong input length).
+pub(crate) static REJECTED: telemetry::Counter = telemetry::Counter::new("serve.requests.rejected");
+
+/// Instantaneous batch-queue depth, sampled at every enqueue/dispatch.
+pub(crate) static QUEUE_DEPTH: telemetry::Gauge = telemetry::Gauge::new("serve.queue.depth");
+
+/// High-water mark of the batch queue.
+pub(crate) static QUEUE_PEAK: telemetry::Gauge = telemetry::Gauge::new("serve.queue.peak_depth");
+
+/// Distribution of dispatched batch sizes.
+pub(crate) static BATCH_SIZE: telemetry::Histogram = telemetry::Histogram::new("serve.batch.size");
+
+/// Wall time of one batch execution through the engine (nanoseconds).
+pub(crate) static BATCH_EXEC: telemetry::Histogram =
+    telemetry::Histogram::new("serve.batch.exec_ns");
+
+/// End-to-end queue latency per request: enqueue to reply (nanoseconds).
+pub(crate) static LATENCY: telemetry::Histogram =
+    telemetry::Histogram::new("serve.request.latency_ns");

@@ -1,0 +1,662 @@
+//! The rpbcm-serve wire protocol: length-prefixed binary frames, plus a
+//! line-delimited JSON mode for debugging.
+//!
+//! # Handshake
+//!
+//! A connection's first bytes pick the mode:
+//!
+//! - `RPBS` (4 bytes) — binary mode for the rest of the connection.
+//! - `{` — line-delimited JSON mode; every request is one JSON object
+//!   on one line, every response likewise.
+//!
+//! # Binary frames
+//!
+//! Both directions use `u32` little-endian length + payload. Request
+//! payloads:
+//!
+//! ```text
+//! u8 opcode            0 = ping, 1 = infer (f32), 2 = infer (fx/i16),
+//!                      3 = shutdown
+//! infer only:
+//!   u8    model name length, then UTF-8 name bytes
+//!   u32   element count
+//!   values  f32 LE (opcode 1) or i16 LE (opcode 2)
+//! ```
+//!
+//! Response payloads:
+//!
+//! ```text
+//! u8 status            0 ok, 1 overloaded, 2 bad_request,
+//!                      3 shutting_down, 4 unknown_model
+//! ok infer:   u32 element count + values (same scalar type as request)
+//! non-ok:     u32 message length + UTF-8 diagnostic
+//! ```
+//!
+//! # JSON mode
+//!
+//! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`, or
+//! `{"op":"infer","model":"<name>","mode":"f32"|"fx","input":[...]}`.
+//! Responses: `{"status":"ok","output":[...]}` or
+//! `{"status":"<error>","error":"<diagnostic>"}`. The parser accepts
+//! exactly this shape — it is a debugging convenience, not a general
+//! JSON implementation.
+
+use std::io::{Read, Write};
+
+/// Binary-mode connection preamble.
+pub const HANDSHAKE: [u8; 4] = *b"RPBS";
+
+/// Upper bound on a single frame; larger lengths are treated as protocol
+/// corruption rather than honored as allocations.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Outcome of one request, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served.
+    Ok,
+    /// Admission control shed the request (queue at capacity).
+    Overloaded,
+    /// The request was malformed (bad opcode, wrong input length, …).
+    BadRequest,
+    /// The server is draining and no longer admits requests.
+    ShuttingDown,
+    /// The named model is not in the registry.
+    UnknownModel,
+}
+
+impl Status {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Overloaded => 1,
+            Status::BadRequest => 2,
+            Status::ShuttingDown => 3,
+            Status::UnknownModel => 4,
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(c: u8) -> Option<Status> {
+        Some(match c {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::BadRequest,
+            3 => Status::ShuttingDown,
+            4 => Status::UnknownModel,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-snake name (used by the JSON mode).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::BadRequest => "bad_request",
+            Status::ShuttingDown => "shutting_down",
+            Status::UnknownModel => "unknown_model",
+        }
+    }
+}
+
+/// Numeric payload of an inference request or reply: the scalar type
+/// selects the engine path (f32 → float fast path, i16 → hwsim
+/// fixed-point datapath).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Float samples for the spectral fast path.
+    F32(Vec<f32>),
+    /// Q-format words for the fixed-point datapath ("FPGA mode").
+    Fx(Vec<i16>),
+}
+
+impl Payload {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::Fx(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// One sample for one model.
+    Infer {
+        /// Registry model name.
+        model: String,
+        /// The sample; its variant selects float vs fixed-point.
+        input: Payload,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Served: the model output, same scalar type as the request.
+    Output(Payload),
+    /// Not served; carries the status and a short diagnostic.
+    Error(Status, String),
+}
+
+/// Protocol failure while reading a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection between frames.
+    Closed,
+    /// Socket error.
+    Io(std::io::Error),
+    /// The frame violates the format (bad opcode, oversized, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. [`WireError::Closed`] when the peer
+/// hung up cleanly before the length prefix.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len4 = [0u8; 4];
+    read_exact_or_closed(r, &mut len4, true)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!("frame of {len} bytes")));
+    }
+    let mut buf = vec![0u8; len];
+    read_exact_or_closed(r, &mut buf, false)?;
+    Ok(buf)
+}
+
+/// `read_exact` that maps a clean EOF at a frame boundary to
+/// [`WireError::Closed`] and mid-frame EOF to [`WireError::Malformed`].
+fn read_exact_or_closed(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Malformed("eof inside frame".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("count fits u32").to_le_bytes());
+}
+
+/// Encodes a request payload (without the length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Ping => out.push(0),
+        Request::Infer { model, input } => {
+            out.push(match input {
+                Payload::F32(_) => 1,
+                Payload::Fx(_) => 2,
+            });
+            out.push(u8::try_from(model.len()).expect("model name fits u8"));
+            out.extend_from_slice(model.as_bytes());
+            put_u32(&mut out, input.len());
+            match input {
+                Payload::F32(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Payload::Fx(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Request::Shutdown => out.push(3),
+    }
+    out
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on unknown opcodes or inconsistent lengths.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let bad = |m: &str| WireError::Malformed(m.into());
+    let (&op, rest) = buf.split_first().ok_or_else(|| bad("empty request"))?;
+    match op {
+        0 => {
+            if rest.is_empty() {
+                Ok(Request::Ping)
+            } else {
+                Err(bad("trailing bytes after ping"))
+            }
+        }
+        3 => {
+            if rest.is_empty() {
+                Ok(Request::Shutdown)
+            } else {
+                Err(bad("trailing bytes after shutdown"))
+            }
+        }
+        1 | 2 => {
+            let (&name_len, rest) = rest.split_first().ok_or_else(|| bad("missing name"))?;
+            let name_len = name_len as usize;
+            if rest.len() < name_len + 4 {
+                return Err(bad("truncated infer header"));
+            }
+            let model = std::str::from_utf8(&rest[..name_len])
+                .map_err(|_| bad("non-UTF-8 model name"))?
+                .to_string();
+            let rest = &rest[name_len..];
+            let count = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let rest = &rest[4..];
+            let scalar = if op == 1 { 4 } else { 2 };
+            if rest.len() != count * scalar {
+                return Err(bad("input length disagrees with count"));
+            }
+            let input = if op == 1 {
+                Payload::F32(
+                    rest.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                )
+            } else {
+                Payload::Fx(
+                    rest.chunks_exact(2)
+                        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                )
+            };
+            Ok(Request::Infer { model, input })
+        }
+        other => Err(bad(&format!("unknown opcode {other}"))),
+    }
+}
+
+/// Encodes a response payload (without the length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Output(payload) => {
+            out.push(Status::Ok.code());
+            put_u32(&mut out, payload.len());
+            match payload {
+                Payload::F32(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Payload::Fx(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Response::Error(status, msg) => {
+            out.push(status.code());
+            put_u32(&mut out, msg.len());
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response payload. `fx` tells the decoder which scalar type
+/// an `ok` body carries (the protocol echoes the request's type).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on unknown status codes or inconsistent
+/// lengths.
+pub fn decode_response(buf: &[u8], fx: bool) -> Result<Response, WireError> {
+    let bad = |m: &str| WireError::Malformed(m.into());
+    let (&code, rest) = buf.split_first().ok_or_else(|| bad("empty response"))?;
+    let status = Status::from_code(code).ok_or_else(|| bad("unknown status"))?;
+    if rest.len() < 4 {
+        return Err(bad("truncated response"));
+    }
+    let count = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let rest = &rest[4..];
+    match status {
+        Status::Ok => {
+            let scalar = if fx { 2 } else { 4 };
+            if rest.len() != count * scalar {
+                return Err(bad("output length disagrees with count"));
+            }
+            let payload = if fx {
+                Payload::Fx(
+                    rest.chunks_exact(2)
+                        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                )
+            } else {
+                Payload::F32(
+                    rest.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                )
+            };
+            Ok(Response::Output(payload))
+        }
+        _ => {
+            if rest.len() != count {
+                return Err(bad("diagnostic length disagrees with count"));
+            }
+            let msg = std::str::from_utf8(rest)
+                .map_err(|_| bad("non-UTF-8 diagnostic"))?
+                .to_string();
+            Ok(Response::Error(status, msg))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON debug mode
+// ---------------------------------------------------------------------
+
+/// Parses one JSON-mode request line (see module docs for the accepted
+/// shape).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] with a diagnostic for anything outside the
+/// accepted subset.
+pub fn parse_json_request(line: &str) -> Result<Request, WireError> {
+    let bad = |m: &str| WireError::Malformed(m.into());
+    let obj = json_object(line).ok_or_else(|| bad("not a JSON object"))?;
+    let op = json_string(&obj, "op").ok_or_else(|| bad("missing \"op\""))?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "infer" => {
+            let model = json_string(&obj, "model").ok_or_else(|| bad("missing \"model\""))?;
+            let mode = json_string(&obj, "mode").unwrap_or_else(|| "f32".to_string());
+            let nums = json_numbers(&obj, "input").ok_or_else(|| bad("missing \"input\""))?;
+            let input = match mode.as_str() {
+                "f32" => Payload::F32(nums.iter().map(|&v| v as f32).collect()),
+                "fx" => {
+                    let mut words = Vec::with_capacity(nums.len());
+                    for &v in &nums {
+                        if v.fract() != 0.0
+                            || !(f64::from(i16::MIN)..=f64::from(i16::MAX)).contains(&v)
+                        {
+                            return Err(bad("fx input values must be i16 integers"));
+                        }
+                        words.push(v as i16);
+                    }
+                    Payload::Fx(words)
+                }
+                other => return Err(bad(&format!("unknown mode {other:?}"))),
+            };
+            Ok(Request::Infer { model, input })
+        }
+        other => Err(bad(&format!("unknown op {other:?}"))),
+    }
+}
+
+/// Renders a response as one JSON line (no trailing newline).
+pub fn render_json_response(resp: &Response) -> String {
+    match resp {
+        Response::Output(payload) => {
+            let mut s = String::from("{\"status\":\"ok\",\"output\":[");
+            match payload {
+                Payload::F32(vs) => {
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        // Ryu-style shortest output is unnecessary; debug
+                        // formatting round-trips f32 exactly.
+                        s.push_str(&format!("{v:?}"));
+                    }
+                }
+                Payload::Fx(vs) => {
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&v.to_string());
+                    }
+                }
+            }
+            s.push_str("]}");
+            s
+        }
+        Response::Error(status, msg) => {
+            format!(
+                "{{\"status\":\"{}\",\"error\":\"{}\"}}",
+                status.name(),
+                msg.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        }
+    }
+}
+
+/// The flat key/value view of one small JSON object: string values kept
+/// verbatim, arrays kept as their raw bracketed text.
+type JsonObj = Vec<(String, JsonValue)>;
+
+enum JsonValue {
+    Str(String),
+    Array(Vec<f64>),
+}
+
+fn json_string(obj: &JsonObj, key: &str) -> Option<String> {
+    obj.iter().find_map(|(k, v)| match v {
+        JsonValue::Str(s) if k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn json_numbers(obj: &JsonObj, key: &str) -> Option<Vec<f64>> {
+    obj.iter().find_map(|(k, v)| match v {
+        JsonValue::Array(a) if k == key => Some(a.clone()),
+        _ => None,
+    })
+}
+
+/// Hand-rolled parser for one flat object of string and numeric-array
+/// values — the only JSON the debug mode speaks.
+fn json_object(line: &str) -> Option<JsonObj> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut obj = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        if let Some(tail) = rest.strip_prefix('"') {
+            let end = tail.find('"')?;
+            obj.push((key, JsonValue::Str(tail[..end].to_string())));
+            rest = &tail[end + 1..];
+        } else if let Some(tail) = rest.strip_prefix('[') {
+            let end = tail.find(']')?;
+            let body = &tail[..end];
+            let mut nums = Vec::new();
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                nums.push(part.parse::<f64>().ok()?);
+            }
+            obj.push((key, JsonValue::Array(nums)));
+            rest = &tail[end + 1..];
+        } else {
+            return None;
+        }
+        rest = rest.trim_start();
+        rest = match rest.strip_prefix(',') {
+            Some(r) => r.trim_start(),
+            None => {
+                if rest.is_empty() {
+                    rest
+                } else {
+                    return None;
+                }
+            }
+        };
+    }
+    Some(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_request_round_trips() {
+        for req in [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Infer {
+                model: "mlp".into(),
+                input: Payload::F32(vec![1.5, -2.25, 0.0]),
+            },
+            Request::Infer {
+                model: "conv".into(),
+                input: Payload::Fx(vec![-7, 0, 1234]),
+            },
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn binary_response_round_trips() {
+        let ok = Response::Output(Payload::F32(vec![0.5, -1.0]));
+        let bytes = encode_response(&ok);
+        assert_eq!(decode_response(&bytes, false).unwrap(), ok);
+        let okx = Response::Output(Payload::Fx(vec![17, -3]));
+        let bytes = encode_response(&okx);
+        assert_eq!(decode_response(&bytes, true).unwrap(), okx);
+        let err = Response::Error(Status::Overloaded, "queue full".into());
+        let bytes = encode_response(&err);
+        assert_eq!(decode_response(&bytes, false).unwrap(), err);
+    }
+
+    #[test]
+    fn malformed_binary_is_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[9]).is_err());
+        assert!(decode_request(&[0, 1]).is_err());
+        // Count says 2 floats, body has one.
+        let mut buf = vec![1u8, 1, b'm', 2, 0, 0, 0];
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn json_requests_parse() {
+        assert_eq!(
+            parse_json_request("{\"op\":\"ping\"}").unwrap(),
+            Request::Ping
+        );
+        let req = parse_json_request(
+            "{\"op\":\"infer\",\"model\":\"mlp\",\"mode\":\"f32\",\"input\":[1.5,-2,0.25]}",
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Infer {
+                model: "mlp".into(),
+                input: Payload::F32(vec![1.5, -2.0, 0.25]),
+            }
+        );
+        let req = parse_json_request(
+            "{\"op\":\"infer\",\"model\":\"m\",\"mode\":\"fx\",\"input\":[3,-4]}",
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Infer {
+                model: "m".into(),
+                input: Payload::Fx(vec![3, -4]),
+            }
+        );
+        assert!(parse_json_request(
+            "{\"op\":\"infer\",\"model\":\"m\",\"mode\":\"fx\",\"input\":[1.5]}"
+        )
+        .is_err());
+        assert!(parse_json_request("not json").is_err());
+        assert!(parse_json_request("{\"op\":\"explode\"}").is_err());
+    }
+
+    #[test]
+    fn json_responses_render() {
+        assert_eq!(
+            render_json_response(&Response::Output(Payload::Fx(vec![1, -2]))),
+            "{\"status\":\"ok\",\"output\":[1,-2]}"
+        );
+        assert_eq!(
+            render_json_response(&Response::Error(Status::ShuttingDown, "draining".into())),
+            "{\"status\":\"shutting_down\",\"error\":\"draining\"}"
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! Deployed-model registry and the batch execution engine.
+//!
+//! A [`Model`] wraps one deployed (folded, pruned) [`nn::Network`] plus
+//! everything the scheduler needs to run it: the per-sample input/output
+//! lengths for admission-time validation, and — when the network is an
+//! fx-compatible conv stack — a pre-quantized [`FxModel`] mirroring it on
+//! the hwsim fixed-point datapath ("FPGA mode").
+//!
+//! Batch execution is bit-identical to per-request execution on both
+//! paths: every float forward op treats batch rows independently, and the
+//! fx batch kernel ([`hwsim::inference::conv_forward_fx_batch`]) preserves
+//! each sample's fixed-point operation sequence exactly — batching only
+//! amortizes the per-dispatch plan build and weight streams.
+
+use hwsim::inference::{conv_forward_fx, conv_forward_fx_batch, FxWeights};
+use hwsim::QFormat;
+use nn::layers::checkpoint::LayerSnapshot;
+use nn::{CheckpointError, CheckpointMeta, Network};
+use tensor::Tensor;
+
+/// Which engine path a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Float spectral fast path (`Network::forward`, train = false).
+    F32,
+    /// hwsim 16-bit fixed-point datapath.
+    Fx,
+}
+
+/// One stage of the fixed-point mirror of a conv stack.
+enum FxStage {
+    /// A folded BCM convolution, spectra pre-quantized.
+    Conv(FxWeights),
+    /// Elementwise `max(0)` on the i16 activations.
+    Relu,
+}
+
+/// The hwsim fixed-point mirror of an fx-compatible model: a stack of
+/// stride-1, "same"-padded folded BCM convolutions and ReLUs over a fixed
+/// `[c, h, w]` input.
+pub struct FxModel {
+    q: QFormat,
+    h: usize,
+    w: usize,
+    input_len: usize,
+    output_len: usize,
+    stages: Vec<FxStage>,
+}
+
+impl FxModel {
+    /// Builds the fixed-point mirror from the network's layer snapshots.
+    /// Returns `None` when the network is not an fx-compatible conv stack:
+    /// fx mode supports exactly stride-1 BCM convolutions with symmetric
+    /// "same" padding interleaved with ReLUs, over a rank-3 `[c, h, w]`
+    /// input.
+    fn build(net: &Network, meta: &CheckpointMeta) -> Option<FxModel> {
+        let [c, h, w] = *meta.input_dims.as_slice() else {
+            return None;
+        };
+        let q = QFormat::new(meta.frac_bits as u32);
+        let mut stages = Vec::new();
+        let mut channels = c;
+        for layer in net.layers() {
+            match layer.snapshot()? {
+                LayerSnapshot::Relu => stages.push(FxStage::Relu),
+                LayerSnapshot::BcmConv2d {
+                    c_in,
+                    c_out,
+                    kernel,
+                    stride,
+                    pad,
+                    ..
+                } => {
+                    if c_in != channels || stride != 1 || pad != (kernel - 1) / 2 {
+                        return None;
+                    }
+                    let folded = layer.bcm()?.folded();
+                    stages.push(FxStage::Conv(FxWeights::from_folded(q, &folded)));
+                    channels = c_out;
+                }
+                _ => return None,
+            }
+        }
+        if stages.is_empty() {
+            return None;
+        }
+        Some(FxModel {
+            q,
+            h,
+            w,
+            input_len: c * h * w,
+            output_len: channels * h * w,
+            stages,
+        })
+    }
+
+    /// The Q-format the model was calibrated for.
+    pub fn qformat(&self) -> QFormat {
+        self.q
+    }
+
+    /// Per-sample input length in i16 words.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Per-sample output length in i16 words.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// Runs one sample through the fixed-point stack.
+    pub fn forward(&self, sample: &[i16]) -> Vec<i16> {
+        assert_eq!(sample.len(), self.input_len, "fx sample length");
+        let mut cur = sample.to_vec();
+        for stage in &self.stages {
+            match stage {
+                FxStage::Conv(wts) => cur = conv_forward_fx(self.q, wts, &cur, self.h, self.w),
+                FxStage::Relu => {
+                    for v in &mut cur {
+                        *v = (*v).max(0);
+                    }
+                }
+            }
+        }
+        cur
+    }
+
+    /// Runs a whole batch through the fixed-point stack via
+    /// [`conv_forward_fx_batch`], which prepares each layer's eMAC plans
+    /// and weight streams once per dispatch instead of once per sample —
+    /// the amortization micro-batching exists to buy. Outputs are
+    /// bit-identical per sample to [`FxModel::forward`].
+    pub fn forward_batch(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
+        let n = samples.len();
+        assert!(n > 0, "empty fx batch");
+        let mut cur = Vec::with_capacity(n * self.input_len);
+        for s in samples {
+            assert_eq!(s.len(), self.input_len, "fx sample length");
+            cur.extend_from_slice(s);
+        }
+        for stage in &self.stages {
+            match stage {
+                FxStage::Conv(wts) => {
+                    cur = conv_forward_fx_batch(self.q, wts, &cur, n, self.h, self.w);
+                }
+                FxStage::Relu => {
+                    for v in &mut cur {
+                        *v = (*v).max(0);
+                    }
+                }
+            }
+        }
+        let row = cur.len() / n;
+        cur.chunks_exact(row).map(<[i16]>::to_vec).collect()
+    }
+}
+
+/// A deployed model plus the metadata the server validates against.
+pub struct Model {
+    name: String,
+    net: Network,
+    meta: CheckpointMeta,
+    input_len: usize,
+    output_len: usize,
+    fx: Option<FxModel>,
+}
+
+impl Model {
+    /// Wraps a deployed network for serving under `name`, warming the
+    /// spectral weight caches with one zero-sample forward (which also
+    /// derives the output length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network cannot forward a `[1, ...input_dims]` zero
+    /// tensor — the checkpoint metadata disagrees with the stack.
+    pub fn from_network(name: &str, mut net: Network, meta: CheckpointMeta) -> Model {
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(&meta.input_dims);
+        let warm = net.forward(&Tensor::zeros(&dims), false);
+        let output_len = warm.len();
+        let input_len = meta.sample_len();
+        let fx = FxModel::build(&net, &meta);
+        Model {
+            name: name.to_string(),
+            net,
+            meta,
+            input_len,
+            output_len,
+            fx,
+        }
+    }
+
+    /// Loads a `.rpbcm` checkpoint and wraps it for serving; the model is
+    /// named after the checkpoint's network name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`] from [`Network::load`].
+    pub fn load_file(path: &std::path::Path) -> Result<Model, CheckpointError> {
+        let (net, meta) = Network::load(path)?;
+        let name = net.name().to_string();
+        Ok(Model::from_network(&name, net, meta))
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Checkpoint metadata (input shape, Q-format).
+    pub fn meta(&self) -> &CheckpointMeta {
+        &self.meta
+    }
+
+    /// Per-sample float input length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Per-sample float output length.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// The fixed-point mirror, when the stack is fx-compatible.
+    pub fn fx(&self) -> Option<&FxModel> {
+        self.fx.as_ref()
+    }
+
+    /// Runs a float batch: `samples` are `batch` concatenated samples of
+    /// `input_len` values each; returns the per-sample output rows.
+    /// Bit-identical to forwarding each sample alone — every layer in the
+    /// stack treats batch rows independently in inference mode.
+    pub fn forward_f32_batch(&mut self, samples: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let n = samples.len();
+        assert!(n > 0, "empty batch");
+        let mut flat = Vec::with_capacity(n * self.input_len);
+        for s in samples {
+            assert_eq!(s.len(), self.input_len, "f32 sample length");
+            flat.extend_from_slice(s);
+        }
+        let mut dims = vec![n];
+        dims.extend_from_slice(&self.meta.input_dims);
+        let out = self.net.forward(&Tensor::from_vec(flat, &dims), false);
+        let row = self.output_len;
+        out.as_slice().chunks(row).map(<[f32]>::to_vec).collect()
+    }
+
+    /// Runs a fixed-point batch through the shared-plan batched datapath
+    /// ([`FxModel::forward_batch`]); every sample's output stays
+    /// bit-identical to a per-request [`FxModel::forward`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no fx mirror — callers gate on
+    /// [`Model::fx`] at admission time.
+    pub fn forward_fx_batch(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
+        let fx = self.fx.as_ref().expect("fx mode unavailable");
+        fx.forward_batch(samples)
+    }
+}
+
+/// Descriptor the server threads validate requests against without
+/// touching the engine-owned [`Model`].
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Per-sample float input length.
+    pub input_len: usize,
+    /// Per-sample fx input length, when fx mode is available.
+    pub fx_input_len: Option<usize>,
+}
+
+/// The set of deployed models a server instance offers.
+#[derive(Default)]
+pub struct Registry {
+    models: Vec<Model>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds a model, returning its index. Last insert wins on name
+    /// collisions (lookup scans from the back).
+    pub fn insert(&mut self, model: Model) -> usize {
+        self.models.push(model);
+        self.models.len() - 1
+    }
+
+    /// Loads a `.rpbcm` checkpoint into the registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`] from [`Model::load_file`].
+    pub fn load_file(&mut self, path: &std::path::Path) -> Result<usize, CheckpointError> {
+        Ok(self.insert(Model::load_file(path)?))
+    }
+
+    /// Index of the named model.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.models.iter().rposition(|m| m.name() == name)
+    }
+
+    /// The model at `idx`.
+    pub fn get(&self, idx: usize) -> &Model {
+        &self.models[idx]
+    }
+
+    /// Mutable model access (the batch worker's entry point).
+    pub fn get_mut(&mut self, idx: usize) -> &mut Model {
+        &mut self.models[idx]
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Immutable descriptors for request validation in server threads.
+    pub fn catalog(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|m| ModelInfo {
+                name: m.name().to_string(),
+                input_len: m.input_len(),
+                fx_input_len: m.fx().map(FxModel::input_len),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::layers::{BcmConv2d, Flatten, HadaBcmConv2d, Linear, ReLU};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conv_stack(seed: u64) -> (Network, CheckpointMeta) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            "convstack",
+            vec![
+                Box::new(BcmConv2d::new(&mut rng, 4, 8, 3, 1, 1, 4)),
+                Box::new(ReLU::new()),
+                Box::new(BcmConv2d::new(&mut rng, 8, 4, 3, 1, 1, 4)),
+            ],
+        );
+        let meta = CheckpointMeta {
+            input_dims: vec![4, 5, 5],
+            frac_bits: 8,
+        };
+        (net, meta)
+    }
+
+    #[test]
+    fn conv_stack_gets_an_fx_mirror() {
+        let (net, meta) = conv_stack(1);
+        let model = Model::from_network("m", net, meta);
+        assert_eq!(model.input_len(), 4 * 5 * 5);
+        assert_eq!(model.output_len(), 4 * 5 * 5);
+        let fx = model.fx().expect("fx mode");
+        assert_eq!(fx.input_len(), 4 * 5 * 5);
+        assert_eq!(fx.output_len(), 4 * 5 * 5);
+    }
+
+    #[test]
+    fn folded_hadabcm_stack_gets_an_fx_mirror() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::new(
+            "hada",
+            vec![
+                Box::new(HadaBcmConv2d::new(&mut rng, 4, 4, 3, 1, 1, 4)),
+                Box::new(ReLU::new()),
+            ],
+        );
+        let meta = CheckpointMeta {
+            input_dims: vec![4, 4, 4],
+            frac_bits: 8,
+        };
+        let model = Model::from_network("hada", net, meta);
+        assert!(model.fx().is_some());
+    }
+
+    #[test]
+    fn dense_tails_disable_fx_mode() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(
+            "mixed",
+            vec![
+                Box::new(BcmConv2d::new(&mut rng, 4, 4, 3, 1, 1, 4)),
+                Box::new(ReLU::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(&mut rng, 4 * 4 * 4, 3)),
+            ],
+        );
+        let meta = CheckpointMeta {
+            input_dims: vec![4, 4, 4],
+            frac_bits: 8,
+        };
+        let model = Model::from_network("mixed", net, meta);
+        assert!(model.fx().is_none());
+        assert_eq!(model.output_len(), 3);
+    }
+
+    #[test]
+    fn f32_batches_are_bit_identical_to_single_samples() {
+        let (net, meta) = conv_stack(4);
+        let mut model = Model::from_network("m", net, meta);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<Vec<f32>> = (0..5)
+            .map(|_| {
+                (0..model.input_len())
+                    .map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0))
+                    .collect()
+            })
+            .collect();
+        let batched = model.forward_f32_batch(&samples);
+        for (s, b) in samples.iter().zip(&batched) {
+            let single = &model.forward_f32_batch(std::slice::from_ref(s))[0];
+            let a: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, bb);
+        }
+    }
+
+    #[test]
+    fn fx_batches_match_direct_hwsim_inference() {
+        let (net, meta) = conv_stack(6);
+        let model = Model::from_network("m", net, meta);
+        let fx = model.fx().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<Vec<i16>> = (0..4)
+            .map(|_| {
+                (0..fx.input_len())
+                    .map(|_| rand::Rng::gen_range(&mut rng, -256i16..256))
+                    .collect()
+            })
+            .collect();
+        let batched = model.forward_fx_batch(&samples);
+        for (s, b) in samples.iter().zip(&batched) {
+            assert_eq!(&fx.forward(s), b);
+        }
+    }
+
+    #[test]
+    fn registry_lookup_prefers_latest_insert() {
+        let mut reg = Registry::new();
+        let (net, meta) = conv_stack(8);
+        reg.insert(Model::from_network("a", net, meta));
+        let (net, meta) = conv_stack(9);
+        let idx = reg.insert(Model::from_network("a", net, meta));
+        assert_eq!(reg.index_of("a"), Some(idx));
+        assert_eq!(reg.len(), 2);
+        let cat = reg.catalog();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.iter().all(|m| m.fx_input_len.is_some()));
+    }
+}

@@ -1,0 +1,328 @@
+//! The TCP front end: connection handling, request validation, and
+//! graceful shutdown.
+//!
+//! One thread accepts connections (non-blocking listener polled every
+//! ~10 ms so shutdown is responsive without platform-specific unblocking
+//! tricks); each connection gets its own thread that speaks either the
+//! binary or the JSON mode (see [`crate::protocol`]). Connection threads
+//! validate requests against the registry catalog *before* queueing, so
+//! malformed traffic never consumes a batch slot.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::batcher::{Batcher, SubmitError};
+use crate::config::ServeConfig;
+use crate::metrics;
+use crate::protocol::{self, Payload, Request, Response, Status, WireError, HANDSHAKE};
+use crate::registry::{Mode, ModelInfo, Registry};
+
+/// How often blocked accept/read loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(10);
+
+struct Inner {
+    batcher: Batcher,
+    catalog: Vec<ModelInfo>,
+    stop: AtomicBool,
+    /// Set by a remote `shutdown` request; hosts poll it via
+    /// [`Server::shutdown_requested`].
+    remote_shutdown: AtomicBool,
+    /// Wire-level violations observed (handshake, framing, decode).
+    protocol_errors: AtomicU64,
+}
+
+/// A running serve instance.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and batch worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        registry: Registry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let catalog = registry.catalog();
+        let inner = Arc::new(Inner {
+            batcher: Batcher::start(cfg, registry),
+            catalog,
+            stop: AtomicBool::new(false),
+            remote_shutdown: AtomicBool::new(false),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_inner))
+            .expect("spawn accept loop");
+        Ok(Server {
+            inner,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a client sent the `shutdown` opcode. Hosts embedding the
+    /// server (e.g. `exp_serve --listen`) poll this to decide when to
+    /// call [`Server::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.remote_shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wire-level protocol violations seen so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.inner.protocol_errors.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stops accepting, lets connection threads wind
+    /// down, then drains every queued request through the engine before
+    /// returning. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.lock().expect("accept lock").take() {
+            handle.join().expect("accept loop panicked");
+        }
+        // The accept loop joined its connection threads; now drain the
+        // batch queue.
+        self.inner.batcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_inner = Arc::clone(inner);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        match serve_connection(stream, &conn_inner) {
+                            // Clean hang-ups (including idle connections cut
+                            // off by shutdown) are not protocol violations.
+                            Ok(()) | Err(WireError::Closed) => {}
+                            Err(_) => {
+                                conn_inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                                metrics::REJECTED.add(1);
+                            }
+                        }
+                    })
+                    .expect("spawn connection thread");
+                conns.push(handle);
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for handle in conns {
+        handle.join().expect("connection thread panicked");
+    }
+}
+
+/// Reads the first 4 bytes to pick the protocol mode, then serves the
+/// connection until the peer hangs up or the server stops.
+fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), WireError> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut preamble = [0u8; 4];
+    read_with_stop(&stream, &mut preamble, inner)?;
+    if preamble == HANDSHAKE {
+        serve_binary(stream, inner)
+    } else if preamble[0] == b'{' {
+        serve_json(stream, &preamble, inner)
+    } else {
+        Err(WireError::Malformed("unknown handshake".into()))
+    }
+}
+
+/// `read_exact` that tolerates the poll-interval read timeout while the
+/// server is live and bails once it stops.
+fn read_with_stop(mut stream: &TcpStream, buf: &mut [u8], inner: &Inner) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if inner.stop.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(WireError::Closed)
+                } else {
+                    Err(WireError::Malformed("eof inside frame".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn serve_binary(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), WireError> {
+    let mut write_half = stream.try_clone()?;
+    loop {
+        // Length prefix + payload, both tolerant of poll timeouts.
+        let mut len4 = [0u8; 4];
+        match read_with_stop(&stream, &mut len4, inner) {
+            Ok(()) => {}
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len4) as usize;
+        if len > protocol::MAX_FRAME {
+            return Err(WireError::Malformed(format!("frame of {len} bytes")));
+        }
+        let mut payload = vec![0u8; len];
+        read_with_stop(&stream, &mut payload, inner)?;
+        let response = match protocol::decode_request(&payload) {
+            Ok(req) => handle_request(req, inner),
+            Err(e) => {
+                inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                metrics::REJECTED.add(1);
+                Response::Error(Status::BadRequest, e.to_string())
+            }
+        };
+        protocol::write_frame(&mut write_half, &protocol::encode_response(&response))?;
+    }
+}
+
+fn serve_json(stream: TcpStream, preamble: &[u8; 4], inner: &Arc<Inner>) -> Result<(), WireError> {
+    let mut write_half = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line_buf = preamble.to_vec();
+    loop {
+        // Finish the current line (the preamble already holds its head).
+        if !read_line_with_stop(&mut reader, &mut line_buf, inner)? {
+            return Ok(());
+        }
+        let line = String::from_utf8_lossy(&line_buf).into_owned();
+        line_buf.clear();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_json_request(&line) {
+            Ok(req) => handle_request(req, inner),
+            Err(e) => {
+                inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                metrics::REJECTED.add(1);
+                Response::Error(Status::BadRequest, e.to_string())
+            }
+        };
+        let mut out = protocol::render_json_response(&response).into_bytes();
+        out.push(b'\n');
+        write_half.write_all(&out)?;
+        write_half.flush()?;
+    }
+}
+
+/// Appends bytes up to (not including) the next `\n` to `buf`. Returns
+/// `false` on a clean hang-up before any new byte.
+fn read_line_with_stop(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    inner: &Inner,
+) -> Result<bool, WireError> {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match reader.read_until(b'\n', buf) {
+            // EOF: process a final unterminated line if one accumulated.
+            Ok(0) => return Ok(!buf.is_empty()),
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    return Ok(true);
+                }
+                // Timed out mid-line with partial data; keep reading.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+/// Validates a decoded request against the catalog, routes it through
+/// the batcher, and waits for the reply.
+fn handle_request(req: Request, inner: &Inner) -> Response {
+    match req {
+        Request::Ping => Response::Output(Payload::F32(Vec::new())),
+        Request::Shutdown => {
+            inner.remote_shutdown.store(true, Ordering::SeqCst);
+            Response::Output(Payload::F32(Vec::new()))
+        }
+        Request::Infer { model, input } => {
+            let Some(idx) = inner.catalog.iter().rposition(|m| m.name == model) else {
+                metrics::REJECTED.add(1);
+                return Response::Error(Status::UnknownModel, format!("no model {model:?}"));
+            };
+            let info = &inner.catalog[idx];
+            let (mode, expect) = match &input {
+                Payload::F32(_) => (Mode::F32, Some(info.input_len)),
+                Payload::Fx(_) => (Mode::Fx, info.fx_input_len),
+            };
+            let Some(expect) = expect else {
+                metrics::REJECTED.add(1);
+                return Response::Error(
+                    Status::BadRequest,
+                    format!("model {model:?} has no fixed-point mode"),
+                );
+            };
+            if input.len() != expect {
+                metrics::REJECTED.add(1);
+                return Response::Error(
+                    Status::BadRequest,
+                    format!("input length {} != expected {expect}", input.len()),
+                );
+            }
+            match inner.batcher.submit(idx, mode, input) {
+                Ok(rx) => match rx.recv() {
+                    Ok(output) => Response::Output(output),
+                    Err(_) => Response::Error(
+                        Status::ShuttingDown,
+                        "server stopped before executing the request".into(),
+                    ),
+                },
+                Err(SubmitError::Overloaded) => {
+                    Response::Error(Status::Overloaded, "queue at capacity".into())
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    Response::Error(Status::ShuttingDown, "server is draining".into())
+                }
+            }
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //!   registry stays empty. [`set_enabled`] overrides the variable for
 //!   tests and tools.
 //!
+//! All `RPBCM_*` environment variables across the workspace (including
+//! `RPBCM_THREADS` in `tensor` and the `RPBCM_SERVE_*` family in `serve`)
+//! are parsed through the [`mod@env`] module: malformed values fall back to
+//! the documented default with a one-line stderr warning instead of
+//! panicking or silently misbehaving.
+//!
 //! Telemetry only ever *counts* — it never changes an algorithm's
 //! arithmetic, allocation pattern or iteration order — so outputs are
 //! bit-identical whether it is enabled, disabled, or compiled out. The
@@ -89,6 +95,8 @@
 //! to write the file.
 
 #![deny(missing_docs)]
+
+pub mod env;
 
 #[cfg(feature = "capture")]
 mod probe;

@@ -169,12 +169,7 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 fn env_enabled() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        matches!(
-            std::env::var("RPBCM_TELEMETRY").as_deref(),
-            Ok("1") | Ok("true") | Ok("on")
-        )
-    })
+    *ENV.get_or_init(|| crate::env::flag("RPBCM_TELEMETRY"))
 }
 
 /// Whether telemetry is currently recording. One relaxed atomic load on

@@ -110,7 +110,7 @@ static TRACE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 fn env_trace_path() -> Option<&'static str> {
     static PATH: OnceLock<Option<String>> = OnceLock::new();
-    PATH.get_or_init(|| std::env::var("RPBCM_TRACE").ok().filter(|p| !p.is_empty()))
+    PATH.get_or_init(|| crate::env::path("RPBCM_TRACE"))
         .as_deref()
 }
 

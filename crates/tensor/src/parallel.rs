@@ -59,19 +59,17 @@ fn record_fanout(n: usize, workers: usize) {
 }
 
 /// The process-wide worker count: `RPBCM_THREADS` if set to a positive
-/// integer, otherwise `std::thread::available_parallelism()` (1 if unknown).
+/// integer, otherwise `std::thread::available_parallelism()` (1 if
+/// unknown). Malformed values (`RPBCM_THREADS=abc`, `=0`) fall back to the
+/// auto-detected count with a one-line warning (see `telemetry::env`).
 pub fn max_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        std::env::var("RPBCM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
+        telemetry::env::positive_usize_or("RPBCM_THREADS", || {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     })
 }
 

@@ -16,15 +16,23 @@ cargo test --workspace -q
 echo "== telemetry crate without the capture feature =="
 cargo test -q -p telemetry --no-default-features
 
-echo "== telemetry-enabled experiment run + regression report =="
+echo "== serve smoke (loopback load test) =="
+# Quick burst against an in-process server: asserts non-zero throughput,
+# zero protocol errors, and shedding only under overload. Does not
+# overwrite the committed results/BENCH_serve.json artifact.
+cargo run -q --release -p bench --bin exp_serve -- --smoke
+
+echo "== telemetry-enabled experiment run + regression gate =="
 # Regenerates results/TELEMETRY_fig10.json (deterministic modeled cycles)
 # and a Chrome trace under target/, then runs the regression reporter:
 # exp_report parses every results/BENCH_*/TELEMETRY_* artifact (exiting
-# non-zero on malformed JSON) and diffs them against results/BASELINE.json
-# in report-only mode.
+# non-zero on malformed JSON) and diffs them against results/BASELINE.json,
+# failing on any out-of-tolerance metric (--check). The committed
+# BENCH_serve.json is covered: protocol_errors/shed invariants at zero
+# tolerance, the batch-scaling ratio with a host-variance allowance.
 RPBCM_TELEMETRY=1 RPBCM_TRACE=target/verify_trace.json \
     cargo run -q --release -p bench --bin exp_fig10
-cargo run -q --release -p bench --bin exp_report
+cargo run -q --release -p bench --bin exp_report -- --check
 
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
