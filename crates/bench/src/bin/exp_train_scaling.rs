@@ -1,0 +1,49 @@
+//! Data-parallel training scaling benchmark.
+//!
+//! Run: `cargo run -p bench --release --bin exp_train_scaling [-- --smoke]`.
+//!
+//! Modes:
+//!
+//! - *(default)* — full sweep: `Trainer::fit` on the fig9bc workload at
+//!   1/2/4 workers, with measured wall speedups, the Amdahl-modeled
+//!   speedup from the instrumented shard/reduce fractions, and a final
+//!   weight fingerprint check; writes `results/BENCH_train.json`.
+//! - `--smoke` — seconds-scale workload at 1/2 workers with the same
+//!   bit-exactness assertion; exits non-zero on failure and does not
+//!   overwrite the committed artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    for a in &args {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown argument {other:?}\nusage: exp_train_scaling [--smoke]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = bench::experiments::train_scaling::run(smoke);
+    bench::experiments::train_scaling::print(&result);
+    if smoke {
+        let fails = bench::experiments::train_scaling::smoke_failures(&result);
+        if fails.is_empty() {
+            println!("train_scaling smoke: ok");
+            return ExitCode::SUCCESS;
+        }
+        for f in &fails {
+            eprintln!("train_scaling smoke FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    match bench::experiments::train_scaling::write_json(&result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_train.json: {e}"),
+    }
+    bench::write_telemetry("train_scaling");
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,7 @@ pub mod speedup;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod train_scaling;
 
 use nn::data::{DatasetConfig, SyntheticVision};
 use nn::train::TrainConfig;
@@ -30,6 +31,7 @@ pub fn standard_train_config() -> TrainConfig {
         lr_min: 1e-4,
         momentum: 0.9,
         weight_decay: 5e-4,
+        microbatch: 8,
     }
 }
 

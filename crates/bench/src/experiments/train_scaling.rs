@@ -1,0 +1,404 @@
+//! `exp_train_scaling`: data-parallel training throughput on the
+//! Figs. 9b/9c workload (`vgg_tiny` hadaBCM on the CIFAR-10 stand-in).
+//!
+//! Times `Trainer::fit` at worker counts {1, 2, 4} with the *same* shard
+//! geometry (the trainer's microbatch sharding is worker-count
+//! independent), so every run does bit-identical arithmetic and the only
+//! variable is how many shards execute concurrently. Each run verifies
+//! that invariant by fingerprinting the final weights.
+//!
+//! Two speedup columns per worker count:
+//!
+//! - `speedup_vs_1w` — measured wall-clock ratio. On a multi-core host
+//!   this is the real scaling; on a single-core host (like the reference
+//!   container that generated the committed artifact — see `host_cores`
+//!   in the JSON) threads interleave and the ratio degenerates to ~1.
+//! - `modeled_speedup` — Amdahl projection from the *measured* serial and
+//!   parallel fractions of the w=1 run (shard compute and gradient
+//!   reduction are instrumented via the `nn.train.parallel.*` histograms).
+//!   This is host-independent in the same sense as the modeled dataflow
+//!   rows in `exp_speedup`: it reports what the fan-out achieves once one
+//!   core per worker exists, and it regresses if anything serializes the
+//!   shard loop or bloats the sequential sections.
+//!
+//! Telemetry is force-enabled during the runs (the instrumented fractions
+//! need it), which also charges the trainer's per-step gradient-norm
+//! bookkeeping to the serial fraction — the modeled column is therefore a
+//! conservative floor.
+//!
+//! Writes `results/BENCH_train.json` (full mode). `--smoke` runs a
+//! seconds-scale workload, asserts bit-exactness across worker counts and
+//! non-zero throughput, and does not touch the committed artifact.
+
+use crate::experiments::{cifar10_data, standard_train_config};
+use crate::table::Table;
+use nn::data::SyntheticVision;
+use nn::layers::Network;
+use nn::models::{vgg_tiny, ConvMode};
+use nn::train::{TrainConfig, Trainer};
+use std::time::Instant;
+
+/// One timed worker-count configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Configuration label (also the JSON `config` field).
+    pub config: String,
+    /// Shard fan-out width.
+    pub workers: usize,
+    /// Median wall time of one full `fit`, in nanoseconds.
+    pub wall_ns: u64,
+    /// Training throughput: `epochs × train_samples / wall`.
+    pub samples_per_sec: f64,
+    /// Measured wall-clock speedup against the 1-worker run.
+    pub speedup_vs_1w: f64,
+    /// Amdahl projection from the measured parallel fraction (see module
+    /// docs); equals what the wall ratio converges to given enough cores.
+    pub modeled_speedup: f64,
+    /// `modeled_speedup / workers`.
+    pub modeled_efficiency: f64,
+    /// FNV-1a fingerprint of the final weight bits (not serialized; used
+    /// for the cross-worker-count bit-exactness assertion).
+    pub weight_fingerprint: u64,
+}
+
+/// All measurements plus the measured serial/parallel profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainScalingResult {
+    /// One row per worker count.
+    pub measurements: Vec<Measurement>,
+    /// Fraction of 1-worker wall time spent inside shard bodies (the
+    /// parallelizable part).
+    pub parallel_fraction: f64,
+    /// Fraction of 1-worker wall time spent in the sequential gradient
+    /// reduction.
+    pub reduce_fraction: f64,
+    /// Cores available on the measuring host (`available_parallelism`).
+    pub host_cores: usize,
+    /// Epochs × samples per epoch of the timed workload.
+    pub samples_trained: usize,
+}
+
+impl TrainScalingResult {
+    /// Looks a worker count up.
+    pub fn at_workers(&self, workers: usize) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.workers == workers)
+    }
+
+    /// Renders the JSON artifact (hand-rolled: the workspace is std-only).
+    /// The profile travels as one extra record so `exp_report` flattens it
+    /// under `bench.train.scaling_profile.*`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for m in &self.measurements {
+            s.push_str(&format!(
+                "  {{\"config\": \"{}\", \"workers\": {}, \"wall_ns\": {}, \
+                 \"samples_per_sec\": {:.1}, \"speedup_vs_1w\": {:.3}, \
+                 \"modeled_speedup\": {:.3}, \"modeled_efficiency\": {:.3}}},\n",
+                m.config,
+                m.workers,
+                m.wall_ns,
+                m.samples_per_sec,
+                m.speedup_vs_1w,
+                m.modeled_speedup,
+                m.modeled_efficiency,
+            ));
+        }
+        s.push_str(&format!(
+            "  {{\"config\": \"scaling_profile\", \"parallel_fraction\": {:.4}, \
+             \"reduce_fraction\": {:.4}, \"host_cores\": {}, \"samples_trained\": {}}}\n]",
+            self.parallel_fraction, self.reduce_fraction, self.host_cores, self.samples_trained,
+        ));
+        s
+    }
+}
+
+/// FNV-1a over every parameter's bit pattern.
+fn weight_fingerprint(net: &Network) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in net.params() {
+        for &v in p.value.as_slice() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Sum of one `nn.train.parallel.*` histogram from the live registry.
+fn histogram_sum(name: &str) -> u64 {
+    telemetry::snapshot()
+        .histograms
+        .get(name)
+        .map_or(0, |h| h.sum)
+}
+
+struct Workload {
+    data: SyntheticVision,
+    config: TrainConfig,
+    net_seed: u64,
+    reps: usize,
+    worker_counts: Vec<usize>,
+}
+
+impl Workload {
+    fn full() -> Self {
+        Workload {
+            data: cifar10_data(17),
+            config: TrainConfig {
+                epochs: 2,
+                ..standard_train_config()
+            },
+            net_seed: 3,
+            reps: 3,
+            worker_counts: vec![1, 2, 4],
+        }
+    }
+
+    fn smoke() -> Self {
+        Workload {
+            data: SyntheticVision::cifar10_like(4, 2, 19),
+            config: TrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                microbatch: 4,
+                ..standard_train_config()
+            },
+            net_seed: 3,
+            reps: 1,
+            worker_counts: vec![1, 2],
+        }
+    }
+}
+
+/// Runs the scaling sweep. `smoke` shrinks the workload to seconds and
+/// skips nothing else — the bit-exactness assertion runs in both modes.
+pub fn run(smoke: bool) -> TrainScalingResult {
+    let w = if smoke {
+        Workload::smoke()
+    } else {
+        Workload::full()
+    };
+    let samples_trained = w.config.epochs * w.data.train_len();
+    // The instrumented fractions need live probes regardless of
+    // RPBCM_TELEMETRY; restored below.
+    telemetry::set_enabled(true);
+    let mut rows: Vec<(usize, u64, u64)> = Vec::new(); // (workers, wall, fingerprint)
+    let mut parallel_fraction = 0.0f64;
+    let mut reduce_fraction = 0.0f64;
+    for &workers in &w.worker_counts {
+        telemetry::reset();
+        let mut walls: Vec<u64> = Vec::new();
+        let mut fingerprint = 0u64;
+        // One untimed warmup rep populates thread-local FFT plans and the
+        // allocator, then `reps` timed reps.
+        for rep in 0..=w.reps {
+            let mut net = vgg_tiny(
+                ConvMode::HadaBcm { block_size: 8 },
+                w.data.num_classes(),
+                w.net_seed,
+            );
+            let mut trainer = Trainer::new(w.config).with_workers(workers);
+            let t = Instant::now();
+            trainer.fit(&mut net, &w.data);
+            let wall = t.elapsed().as_nanos() as u64;
+            if rep > 0 {
+                walls.push(wall);
+            }
+            fingerprint = weight_fingerprint(&net);
+        }
+        walls.sort_unstable();
+        let median = walls[walls.len() / 2];
+        if workers == 1 {
+            // Profile of the serial run: every rep contributes to the
+            // histogram sums, so normalize by the total timed+warmup wall.
+            let total_wall: u64 = walls.iter().sum::<u64>() * (w.reps + 1) as u64 / w.reps as u64;
+            let shard_ns = histogram_sum("nn.train.parallel.shard_ns");
+            let reduce_ns = histogram_sum("nn.train.parallel.reduce_ns");
+            parallel_fraction = (shard_ns as f64 / total_wall as f64).min(1.0);
+            reduce_fraction = reduce_ns as f64 / total_wall as f64;
+        }
+        rows.push((workers, median, fingerprint));
+    }
+    telemetry::clear_override();
+
+    let base_wall = rows[0].1;
+    let base_fp = rows[0].2;
+    let f = parallel_fraction;
+    let measurements = rows
+        .iter()
+        .map(|&(workers, wall, fp)| {
+            assert_eq!(
+                fp, base_fp,
+                "training diverged at {workers} workers — the determinism \
+                 contract is broken"
+            );
+            let modeled = 1.0 / ((1.0 - f) + f / workers as f64);
+            Measurement {
+                config: format!("scaling_w{workers}"),
+                workers,
+                wall_ns: wall,
+                samples_per_sec: samples_trained as f64 / (wall as f64 / 1e9),
+                speedup_vs_1w: base_wall as f64 / wall as f64,
+                modeled_speedup: modeled,
+                modeled_efficiency: modeled / workers as f64,
+                weight_fingerprint: fp,
+            }
+        })
+        .collect();
+    TrainScalingResult {
+        measurements,
+        parallel_fraction,
+        reduce_fraction,
+        host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        samples_trained,
+    }
+}
+
+/// Smoke-mode assertions beyond the in-run fingerprint check. Empty means
+/// pass.
+pub fn smoke_failures(r: &TrainScalingResult) -> Vec<String> {
+    let mut fails = Vec::new();
+    for m in &r.measurements {
+        if !m.samples_per_sec.is_finite() || m.samples_per_sec <= 0.0 {
+            fails.push(format!("{}: throughput is not positive", m.config));
+        }
+    }
+    if !r.parallel_fraction.is_finite() || r.parallel_fraction <= 0.0 {
+        fails.push("parallel fraction was not measured (shard probes silent)".into());
+    }
+    if r.measurements.len() < 2 {
+        fails.push("need at least two worker counts".into());
+    }
+    fails
+}
+
+/// Writes `results/BENCH_train.json` (path anchored at the workspace root
+/// so the binary works from any working directory).
+pub fn write_json(r: &TrainScalingResult) -> std::io::Result<std::path::PathBuf> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_train.json");
+    std::fs::write(&path, r.to_json() + "\n")?;
+    Ok(path)
+}
+
+/// Prints the measurement table.
+pub fn print(r: &TrainScalingResult) {
+    println!("== Train scaling: data-parallel Trainer::fit on the fig9bc workload ==");
+    let mut t = Table::new(&[
+        "workers",
+        "wall ms",
+        "samples/s",
+        "speedup (wall)",
+        "speedup (modeled)",
+        "efficiency (modeled)",
+    ]);
+    for m in &r.measurements {
+        t.row_owned(vec![
+            m.workers.to_string(),
+            format!("{:.1}", m.wall_ns as f64 / 1e6),
+            format!("{:.1}", m.samples_per_sec),
+            format!("{:.2}x", m.speedup_vs_1w),
+            format!("{:.2}x", m.modeled_speedup),
+            format!("{:.0}%", m.modeled_efficiency * 100.0),
+        ]);
+    }
+    t.print();
+    println!(
+        "parallel fraction {:.1}% (shards), {:.1}% reduce; host cores: {} \
+         (wall speedups need one core per worker; modeled column is \
+         host-independent)",
+        r.parallel_fraction * 100.0,
+        r.reduce_fraction * 100.0,
+        r.host_cores,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = TrainScalingResult {
+            measurements: vec![Measurement {
+                config: "scaling_w1".into(),
+                workers: 1,
+                wall_ns: 5,
+                samples_per_sec: 10.0,
+                speedup_vs_1w: 1.0,
+                modeled_speedup: 1.0,
+                modeled_efficiency: 1.0,
+                weight_fingerprint: 7,
+            }],
+            parallel_fraction: 0.9,
+            reduce_fraction: 0.05,
+            host_cores: 1,
+            samples_trained: 40,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"config\": \"scaling_w1\""));
+        assert!(j.contains("\"wall_ns\": 5"));
+        assert!(j.contains("\"speedup_vs_1w\": 1.000"));
+        assert!(j.contains("\"parallel_fraction\": 0.9000"));
+        assert!(j.contains("\"host_cores\": 1"));
+        assert!(!j.contains("fingerprint"), "fingerprints stay out of JSON");
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn smoke_failures_flag_bad_results() {
+        let mut r = TrainScalingResult {
+            measurements: vec![
+                Measurement {
+                    config: "scaling_w1".into(),
+                    workers: 1,
+                    wall_ns: 5,
+                    samples_per_sec: 10.0,
+                    speedup_vs_1w: 1.0,
+                    modeled_speedup: 1.0,
+                    modeled_efficiency: 1.0,
+                    weight_fingerprint: 7,
+                },
+                Measurement {
+                    config: "scaling_w2".into(),
+                    workers: 2,
+                    wall_ns: 5,
+                    samples_per_sec: 10.0,
+                    speedup_vs_1w: 1.0,
+                    modeled_speedup: 1.8,
+                    modeled_efficiency: 0.9,
+                    weight_fingerprint: 7,
+                },
+            ],
+            parallel_fraction: 0.9,
+            reduce_fraction: 0.05,
+            host_cores: 1,
+            samples_trained: 40,
+        };
+        assert!(smoke_failures(&r).is_empty());
+        r.parallel_fraction = 0.0;
+        r.measurements[0].samples_per_sec = 0.0;
+        let fails = smoke_failures(&r);
+        assert_eq!(fails.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_weights() {
+        use nn::layers::{Layer, Linear};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Network::new(
+            "a",
+            vec![Box::new(Linear::new(&mut rng, 3, 2)) as Box<dyn Layer>],
+        );
+        let b = Network::new(
+            "b",
+            vec![Box::new(Linear::new(&mut rng, 3, 2)) as Box<dyn Layer>],
+        );
+        assert_eq!(weight_fingerprint(&a), weight_fingerprint(&a));
+        assert_ne!(weight_fingerprint(&a), weight_fingerprint(&b));
+    }
+}

@@ -385,30 +385,41 @@ impl<T: Scalar> BlockCirculant<T> {
         let mut y = vec![T::ZERO; rows];
         parallel::par_chunk_map_with(workers, &mut y[..], bs, |bi, y_block| {
             let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
-            y_block.copy_from_slice(&Self::row_matvec(bs, row, &x_spectra));
+            Self::row_matvec_into(bs, row, &x_spectra, y_block);
         });
         y
     }
 
     /// One output-block row: accumulate the live blocks' eMACs, one IFFT.
-    fn row_matvec(
+    ///
+    /// Writes straight into the caller's output slice and accumulates in a
+    /// pooled scratch buffer ([`fft::workspace`]) — zero allocations per
+    /// row once the thread's arena is warm. Accumulation order and operand
+    /// order match [`HalfSpectrum::emac_accumulate`] exactly, so results
+    /// are bit-identical to the allocating path.
+    fn row_matvec_into(
         bs: usize,
         row_spectra: &[Option<HalfSpectrum<T>>],
         x_spectra: &[HalfSpectrum<T>],
-    ) -> Vec<T> {
+        out: &mut [T],
+    ) {
         let _lat = ROW_MATVEC_NS.span();
-        let mut acc = HalfSpectrum::zeros(bs);
-        let mut computed = 0u64;
-        for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {
-            if let Some(w_spec) = w_spec {
-                acc.emac_accumulate(w_spec, x_spec);
-                computed += 1;
+        fft::workspace::with_scratch::<T, _>(|acc| {
+            acc.resize(bs / 2 + 1, fft::Complex::zero());
+            let mut computed = 0u64;
+            for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {
+                if let Some(w_spec) = w_spec {
+                    for ((a, &wb), &xb) in acc.iter_mut().zip(w_spec.bins()).zip(x_spec.bins()) {
+                        *a += wb * xb;
+                    }
+                    computed += 1;
+                }
             }
-        }
-        // Two adds per row (not per block) keep the probe off the inner loop.
-        EMAC_COMPUTED.add(computed);
-        EMAC_SKIPPED.add(row_spectra.len() as u64 - computed);
-        acc.inverse()
+            // Two adds per row (not per block) keep the probe off the inner loop.
+            EMAC_COMPUTED.add(computed);
+            EMAC_SKIPPED.add(row_spectra.len() as u64 - computed);
+            fft::real::inverse_half_into(bs, acc, out);
+        });
     }
 
     /// The seed implementation: identical math, but re-runs the weight FFT
@@ -479,7 +490,7 @@ impl<T: Scalar> BlockCirculant<T> {
                 .collect();
             for bi in 0..self.row_blocks {
                 let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
-                y[bi * bs..(bi + 1) * bs].copy_from_slice(&Self::row_matvec(bs, row, &x_spectra));
+                Self::row_matvec_into(bs, row, &x_spectra, &mut y[bi * bs..(bi + 1) * bs]);
             }
         });
         out

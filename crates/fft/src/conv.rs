@@ -6,7 +6,6 @@
 //! paths live here; the naive ones are the ground truth for property tests
 //! and for the accelerator's bit-exactness checks.
 
-use crate::Complex;
 use tensor::Scalar;
 
 /// Circular convolution `y[i] = Σ_j a[j] · b[(i - j) mod n]`, naive O(n²).
@@ -46,10 +45,17 @@ pub fn circular_convolve<T: Scalar>(a: &[T], b: &[T]) -> Vec<T> {
     assert_eq!(a.len(), b.len(), "circular convolution length mismatch");
     let n = a.len();
     crate::plan::with_plan::<T, _>(n, |plan| {
-        let fa = plan.forward_real(a);
-        let fb = plan.forward_real(b);
-        let prod: Vec<Complex<T>> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
-        plan.inverse_real(&prod)
+        crate::workspace::with_scratch::<T, _>(|fa| {
+            crate::workspace::with_scratch::<T, _>(|fb| {
+                plan.forward_real_into(a, fa);
+                plan.forward_real_into(b, fb);
+                for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+                    *x *= y;
+                }
+                plan.inverse(fa);
+                fa.iter().map(|z| z.re).collect()
+            })
+        })
     })
 }
 
@@ -79,10 +85,17 @@ pub fn circular_correlate<T: Scalar>(a: &[T], b: &[T]) -> Vec<T> {
     assert_eq!(a.len(), b.len(), "circular correlation length mismatch");
     let n = a.len();
     crate::plan::with_plan::<T, _>(n, |plan| {
-        let fa = plan.forward_real(a);
-        let fb = plan.forward_real(b);
-        let prod: Vec<Complex<T>> = fa.iter().zip(&fb).map(|(&x, &y)| x.conj() * y).collect();
-        plan.inverse_real(&prod)
+        crate::workspace::with_scratch::<T, _>(|fa| {
+            crate::workspace::with_scratch::<T, _>(|fb| {
+                plan.forward_real_into(a, fa);
+                plan.forward_real_into(b, fb);
+                for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+                    *x = x.conj() * y;
+                }
+                plan.inverse(fa);
+                fa.iter().map(|z| z.re).collect()
+            })
+        })
     })
 }
 

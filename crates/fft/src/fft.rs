@@ -168,10 +168,23 @@ impl<T: Scalar> Fft<T> {
     ///
     /// Panics if `x.len()` differs from the plan size.
     pub fn forward_real(&self, x: &[T]) -> Vec<Complex<T>> {
-        assert_eq!(x.len(), self.n, "input length must equal FFT size");
-        let mut buf: Vec<Complex<T>> = x.iter().map(|&v| Complex::from_real(v)).collect();
-        self.forward(&mut buf);
+        let mut buf = Vec::new();
+        self.forward_real_into(x, &mut buf);
         buf
+    }
+
+    /// Forward transform of a real signal into a caller-provided buffer
+    /// (cleared and resized to the plan size) — the allocation-free variant
+    /// of [`Fft::forward_real`] for use with [`crate::workspace`] arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan size.
+    pub fn forward_real_into(&self, x: &[T], out: &mut Vec<Complex<T>>) {
+        assert_eq!(x.len(), self.n, "input length must equal FFT size");
+        out.clear();
+        out.extend(x.iter().map(|&v| Complex::from_real(v)));
+        self.forward(out);
     }
 
     /// Convenience: inverse transform returning only real parts (valid when
@@ -181,9 +194,33 @@ impl<T: Scalar> Fft<T> {
     ///
     /// Panics if `spectrum.len()` differs from the plan size.
     pub fn inverse_real(&self, spectrum: &[Complex<T>]) -> Vec<T> {
-        let mut buf = spectrum.to_vec();
-        self.inverse(&mut buf);
-        buf.into_iter().map(|z| z.re).collect()
+        let mut out = vec![T::ZERO; self.n];
+        self.inverse_real_into(spectrum, &mut out);
+        out
+    }
+
+    /// Inverse transform writing real parts into a caller-provided slice,
+    /// using a pooled scratch buffer instead of copying the spectrum into a
+    /// fresh allocation per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len()` or `out.len()` differs from the plan size.
+    pub fn inverse_real_into(&self, spectrum: &[Complex<T>], out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            self.n,
+            "output length {} does not match FFT size {}",
+            out.len(),
+            self.n
+        );
+        crate::workspace::with_scratch::<T, _>(|buf| {
+            buf.extend_from_slice(spectrum);
+            self.inverse(buf);
+            for (o, z) in out.iter_mut().zip(buf.iter()) {
+                *o = z.re;
+            }
+        });
     }
 }
 

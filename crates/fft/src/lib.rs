@@ -39,6 +39,7 @@ mod fft;
 pub mod conv;
 pub mod plan;
 pub mod real;
+pub mod workspace;
 
 pub use crate::fft::{naive_dft, Fft};
 pub use complex::Complex;

@@ -39,11 +39,11 @@ impl<T: Scalar> HalfSpectrum<T> {
     /// Panics if `x.len()` is not a power of two.
     pub fn forward(x: &[T]) -> Self {
         let n = x.len();
-        let full = crate::plan::with_plan::<T, _>(n, |plan| plan.forward_real(x));
-        HalfSpectrum {
-            n,
-            bins: full[..=n / 2].to_vec(),
-        }
+        let bins = crate::workspace::with_scratch::<T, _>(|full| {
+            crate::plan::with_plan::<T, _>(n, |plan| plan.forward_real_into(x, full));
+            full[..=n / 2].to_vec()
+        });
+        HalfSpectrum { n, bins }
     }
 
     /// Wraps precomputed bins.
@@ -84,12 +84,16 @@ impl<T: Scalar> HalfSpectrum<T> {
 
     /// Expands to the full conjugate-symmetric spectrum.
     pub fn expand(&self) -> Vec<Complex<T>> {
-        let mut full = vec![Complex::zero(); self.n];
-        full[..=self.n / 2].copy_from_slice(&self.bins);
-        for k in 1..self.n / 2 {
-            full[self.n - k] = self.bins[k].conj();
-        }
+        let mut full = Vec::new();
+        self.expand_into(&mut full);
         full
+    }
+
+    /// Expands into a caller-provided buffer (cleared and resized to `n`) —
+    /// the allocation-free variant of [`HalfSpectrum::expand`] for use with
+    /// [`crate::workspace`] arenas.
+    pub fn expand_into(&self, full: &mut Vec<Complex<T>>) {
+        expand_half_into(self.n, &self.bins, full);
     }
 
     /// Element-wise product with another half-spectrum — the eMAC step of
@@ -128,8 +132,20 @@ impl<T: Scalar> HalfSpectrum<T> {
 
     /// Inverse transform back to the real signal.
     pub fn inverse(&self) -> Vec<T> {
-        let full = self.expand();
-        crate::plan::with_plan::<T, _>(self.n, |plan| plan.inverse_real(&full))
+        let mut out = vec![T::ZERO; self.n];
+        self.inverse_into(&mut out);
+        out
+    }
+
+    /// Inverse transform writing into a caller-provided slice, expanding
+    /// through a pooled scratch buffer instead of allocating the full
+    /// spectrum (and the output vector) per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n`.
+    pub fn inverse_into(&self, out: &mut [T]) {
+        inverse_half_into(self.n, &self.bins, out);
     }
 
     /// An all-zero half-spectrum for accumulation.
@@ -144,6 +160,49 @@ impl<T: Scalar> HalfSpectrum<T> {
             bins: vec![Complex::zero(); n / 2 + 1],
         }
     }
+}
+
+/// Expands raw half-spectrum bins into the full conjugate-symmetric
+/// spectrum in a caller-provided buffer (cleared and resized to `n`).
+///
+/// This is the borrowed-bins twin of [`HalfSpectrum::expand_into`] for hot
+/// paths that accumulate into a scratch bin slice without wrapping it in a
+/// [`HalfSpectrum`].
+///
+/// # Panics
+///
+/// Panics if `bins.len() != n/2 + 1`.
+pub fn expand_half_into<T: Scalar>(n: usize, bins: &[Complex<T>], full: &mut Vec<Complex<T>>) {
+    assert_eq!(
+        bins.len(),
+        n / 2 + 1,
+        "half spectrum of n={n} needs n/2+1 bins"
+    );
+    full.clear();
+    full.resize(n, Complex::zero());
+    full[..=n / 2].copy_from_slice(bins);
+    for k in 1..n / 2 {
+        full[n - k] = bins[k].conj();
+    }
+}
+
+/// Inverse-transforms raw half-spectrum bins into a caller-provided real
+/// slice, expanding through a pooled scratch buffer — zero allocations
+/// once the thread's arena is warm.
+///
+/// # Panics
+///
+/// Panics if `bins.len() != n/2 + 1`, `out.len() != n`, or `n` is not a
+/// power of two.
+pub fn inverse_half_into<T: Scalar>(n: usize, bins: &[Complex<T>], out: &mut [T]) {
+    assert_eq!(out.len(), n, "inverse of n={n} needs an n-length output");
+    crate::workspace::with_scratch::<T, _>(|full| {
+        expand_half_into(n, bins, full);
+        crate::plan::with_plan::<T, _>(n, |plan| plan.inverse(full));
+        for (o, z) in out.iter_mut().zip(full.iter()) {
+            *o = z.re;
+        }
+    });
 }
 
 #[cfg(test)]

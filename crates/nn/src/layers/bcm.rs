@@ -279,6 +279,10 @@ impl Layer for BcmConv2d {
         vec![&self.vecs]
     }
 
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.vecs]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -482,6 +486,10 @@ impl Layer for HadaBcmConv2d {
 
     fn params(&self) -> Vec<&Param> {
         vec![&self.a, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.a, &mut self.b]
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

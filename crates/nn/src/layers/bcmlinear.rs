@@ -247,6 +247,10 @@ impl Layer for BcmLinear {
         vec![&self.vecs, &self.bias]
     }
 
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.vecs, &mut self.bias]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

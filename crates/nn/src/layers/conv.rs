@@ -264,6 +264,10 @@ impl Layer for Conv2d {
         vec![&self.weight]
     }
 
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

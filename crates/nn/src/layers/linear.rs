@@ -101,6 +101,10 @@ impl Layer for Linear {
         vec![&self.weight, &self.bias]
     }
 
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -64,6 +64,25 @@ pub trait Layer: Send {
         Vec::new()
     }
 
+    /// Mutable variant of [`Layer::params`], in the same stable order. The
+    /// data-parallel trainer uses it to sync replica weights from the
+    /// master and to reduce replica gradients back in a fixed order.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// All batch-norm sublayers, recursively, in a stable order matching
+    /// across clones of the same layer. The data-parallel trainer pools
+    /// per-shard batch statistics through this surface.
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        Vec::new()
+    }
+
+    /// Mutable variant of [`Layer::bn_layers`].
+    fn bn_layers_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        Vec::new()
+    }
+
     /// Clones into a boxed trait object (manual object-safe `Clone`).
     fn clone_box(&self) -> Box<dyn Layer>;
 

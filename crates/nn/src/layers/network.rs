@@ -1,6 +1,6 @@
 //! Layer composition: sequential networks and residual blocks.
 
-use crate::layers::{BcmLayer, Layer, Param};
+use crate::layers::{BatchNorm2d, BcmLayer, Layer, Param};
 use crate::optim::SgdUpdate;
 use tensor::Tensor;
 
@@ -107,6 +107,82 @@ impl Network {
     /// ratios) — never mutates.
     pub fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Mutable borrows of every trainable parameter, in the same stable
+    /// order as [`Network::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Clears every accumulated parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Copies parameter *values* from `src` (a network of identical
+    /// architecture) and clears this network's gradients — how a
+    /// data-parallel replica refreshes from the master before each shard
+    /// pass. Momentum buffers are untouched: replicas never call
+    /// [`Network::step`], so optimizer state lives only on the master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter lists differ in length or any shape differs.
+    pub fn sync_params_from(&mut self, src: &Network) {
+        let src_params = src.params();
+        let mut dst_params = self.params_mut();
+        assert_eq!(
+            src_params.len(),
+            dst_params.len(),
+            "parameter list mismatch"
+        );
+        for (dst, src) in dst_params.iter_mut().zip(src_params) {
+            dst.value
+                .as_mut_slice()
+                .copy_from_slice(src.value.as_slice());
+            dst.zero_grad();
+        }
+    }
+
+    /// Accumulates `replica`'s parameter gradients into this network's
+    /// (`grad += replica.grad`), parameter-wise in stable order. The
+    /// data-parallel trainer calls this once per shard, always in shard
+    /// order, so the reduction order never depends on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter lists differ in length or any shape differs.
+    pub fn reduce_grads_from(&mut self, replica: &Network) {
+        let src_params = replica.params();
+        let mut dst_params = self.params_mut();
+        assert_eq!(
+            src_params.len(),
+            dst_params.len(),
+            "parameter list mismatch"
+        );
+        for (dst, src) in dst_params.iter_mut().zip(src_params) {
+            dst.grad += &src.grad;
+        }
+    }
+
+    /// All batch-norm layers in network order, recursing into composites
+    /// like [`ResidualBlock`].
+    pub fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        self.layers.iter().flat_map(|l| l.bn_layers()).collect()
+    }
+
+    /// Mutable variant of [`Network::bn_layers`].
+    pub fn bn_layers_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.bn_layers_mut())
+            .collect()
     }
 
     /// All block-circulant layers in network order, recursing into
@@ -322,6 +398,30 @@ impl Layer for ResidualBlock {
             .iter()
             .chain(self.shortcut.iter().flatten())
             .flat_map(|l| l.params())
+            .collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.main
+            .iter_mut()
+            .chain(self.shortcut.iter_mut().flatten())
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        self.main
+            .iter()
+            .chain(self.shortcut.iter().flatten())
+            .flat_map(|l| l.bn_layers())
+            .collect()
+    }
+
+    fn bn_layers_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        self.main
+            .iter_mut()
+            .chain(self.shortcut.iter_mut().flatten())
+            .flat_map(|l| l.bn_layers_mut())
             .collect()
     }
 

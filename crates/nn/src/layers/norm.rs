@@ -26,6 +26,13 @@ struct Cache {
     x_hat: Tensor<f32>,
     inv_std: Vec<f32>,
     dims: Vec<usize>,
+    /// Per-channel statistics of the batch this cache was built from, and
+    /// whether they are true batch statistics (train) or running stats
+    /// (eval). The data-parallel trainer reads these per shard to pool a
+    /// full-batch running-statistics update on the master network.
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    train: bool,
 }
 
 impl BatchNorm2d {
@@ -110,6 +117,38 @@ impl BatchNorm2d {
         }
         (mean, var)
     }
+
+    /// The per-channel batch statistics `(mean, var, count)` of the most
+    /// recent *training* forward, where `count = n·h·w` is the number of
+    /// samples behind each channel statistic. `None` before any forward or
+    /// after an eval forward. The data-parallel trainer pools these across
+    /// shards (count-weighted) into one master running-stats update.
+    pub fn batch_stats(&self) -> Option<(&[f32], &[f32], usize)> {
+        let cache = self.cache.as_ref()?;
+        if !cache.train {
+            return None;
+        }
+        let count = cache.dims[0] * cache.dims[2] * cache.dims[3];
+        Some((&cache.mean, &cache.var, count))
+    }
+
+    /// Applies one running-statistics momentum update from externally
+    /// computed batch statistics:
+    /// `running ← (1 − momentum)·running + momentum·batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are not `channels` long.
+    pub fn update_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.channels, "mean length");
+        assert_eq!(var.len(), self.channels, "var length");
+        for ci in 0..self.channels {
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+        }
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -124,12 +163,7 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (mean, var) = self.stats(x, train);
         if train {
-            for ci in 0..c {
-                self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
-            }
+            self.update_running_stats(&mean, &var);
         }
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
         let mut x_hat = Tensor::zeros(dims);
@@ -155,6 +189,9 @@ impl Layer for BatchNorm2d {
             x_hat,
             inv_std,
             dims: dims.to_vec(),
+            mean,
+            var,
+            train,
         });
         out
     }
@@ -219,6 +256,18 @@ impl Layer for BatchNorm2d {
 
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn bn_layers(&self) -> Vec<&BatchNorm2d> {
+        vec![self]
+    }
+
+    fn bn_layers_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        vec![self]
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -16,6 +16,7 @@
 //! own plans on first use and reuses them for the rest of the scope. See
 //! `fft::plan` for the cache-bound discussion.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
@@ -73,6 +74,40 @@ pub fn max_workers() -> usize {
     })
 }
 
+thread_local! {
+    /// `true` while the current thread is inside a parallel worker (or an
+    /// explicit [`serial_scope`]): nested default-count fan-outs then run
+    /// serially instead of oversubscribing the machine with
+    /// workers × workers threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count the *default* helpers ([`par_map`], [`par_chunk_map`],
+/// [`par_chunks_mut`]) use from the current thread: [`max_workers`] at top
+/// level, `1` inside a parallel worker or a [`serial_scope`]. The
+/// explicit-count `*_with` variants are unaffected.
+pub fn current_workers() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        max_workers()
+    }
+}
+
+/// Runs `f` with default-count fan-outs forced serial on this thread (the
+/// state nests and is restored on return). Used by callers that already
+/// parallelize at a coarser grain — e.g. the data-parallel trainer runs
+/// each minibatch shard under a `serial_scope` so per-layer tensor ops
+/// don't spawn a second level of workers.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
 /// Contiguous partition of `n` items over `workers` ranges: range `w` is
 /// `bounds(n, workers, w).0 .. bounds(n, workers, w).1`.
 fn bounds(n: usize, workers: usize, w: usize) -> (usize, usize) {
@@ -111,6 +146,7 @@ where
                 consumed = hi;
                 let f = &f;
                 s.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
                     let _busy_span = WORKER_BUSY.span();
                     let _busy_trace = telemetry::trace_span("worker", "tensor.parallel");
                     for (k, slot) in slot.iter_mut().enumerate() {
@@ -126,14 +162,15 @@ where
         .collect()
 }
 
-/// [`par_map_with`] using the process-wide [`max_workers`] count.
+/// [`par_map_with`] using the thread's [`current_workers`] count
+/// ([`max_workers`] at top level, serial inside a worker).
 pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(usize, &I) -> O + Sync,
 {
-    par_map_with(max_workers(), items, f)
+    par_map_with(current_workers(), items, f)
 }
 
 /// Applies `f` to each `chunk`-sized piece of `data` (last piece may be
@@ -182,6 +219,7 @@ where
                 consumed = hi;
                 let f = &f;
                 s.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
                     let _busy_span = WORKER_BUSY.span();
                     let _busy_trace = telemetry::trace_span("worker", "tensor.parallel");
                     for (k, (c, slot)) in my_chunks.iter_mut().zip(my_out.iter_mut()).enumerate() {
@@ -196,14 +234,15 @@ where
         .collect()
 }
 
-/// [`par_chunk_map_with`] using the process-wide [`max_workers`] count.
+/// [`par_chunk_map_with`] using the thread's [`current_workers`] count
+/// ([`max_workers`] at top level, serial inside a worker).
 pub fn par_chunk_map<T, O, F>(data: &mut [T], chunk: usize, f: F) -> Vec<O>
 where
     T: Send,
     O: Send,
     F: Fn(usize, &mut [T]) -> O + Sync,
 {
-    par_chunk_map_with(max_workers(), data, chunk, f)
+    par_chunk_map_with(current_workers(), data, chunk, f)
 }
 
 /// Runs `f` over each `chunk`-sized piece of `data` in parallel, discarding
@@ -296,6 +335,34 @@ mod tests {
     #[should_panic(expected = "chunk size")]
     fn zero_chunk_rejected() {
         par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn serial_scope_forces_default_helpers_serial() {
+        assert_eq!(current_workers(), max_workers());
+        let (inner, restored) = serial_scope(|| {
+            assert_eq!(current_workers(), 1);
+            // Nesting keeps the state and restores the outer scope's.
+            let nested = serial_scope(current_workers);
+            (nested, current_workers())
+        });
+        assert_eq!(inner, 1);
+        assert_eq!(restored, 1);
+        assert_eq!(current_workers(), max_workers());
+    }
+
+    #[test]
+    fn workers_run_nested_default_fanouts_serially() {
+        // From inside a spawned worker, the default helpers must not spawn
+        // a second level of workers.
+        let items = [0usize; 4];
+        let nested_counts = par_map_with(4, &items, |_, _| current_workers());
+        assert!(nested_counts.iter().all(|&w| w == 1), "{nested_counts:?}");
+        // Results are still correct when a nested helper actually runs.
+        let got = par_map_with(2, &[1i64, 2, 3, 4], |_, &v| {
+            par_map(&[v, v + 10], |_, &u| u * 2).iter().sum::<i64>()
+        });
+        assert_eq!(got, vec![24, 28, 32, 36]);
     }
 
     #[test]

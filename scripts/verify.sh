@@ -22,6 +22,13 @@ echo "== serve smoke (loopback load test) =="
 # overwrite the committed results/BENCH_serve.json artifact.
 cargo run -q --release -p bench --bin exp_serve -- --smoke
 
+echo "== train scaling smoke (data-parallel determinism + shard profile) =="
+# Seconds-scale Trainer::fit sweep at 1 and 2 workers: asserts the final
+# weights are bit-identical across worker counts and that the shard
+# telemetry measured a non-zero parallel fraction. Does not overwrite the
+# committed results/BENCH_train.json artifact.
+cargo run -q --release -p bench --bin exp_train_scaling -- --smoke
+
 echo "== telemetry-enabled experiment run + regression gate =="
 # Regenerates results/TELEMETRY_fig10.json (deterministic modeled cycles)
 # and a Chrome trace under target/, then runs the regression reporter:
