@@ -1,0 +1,49 @@
+//! Kernel microbenchmarks: scalar vs SoA lane schedules of the spectral
+//! fixed-point kernels, plus the deterministic datapath fingerprint.
+//!
+//! Run: `cargo run -p bench --release --bin exp_kernels [-- OPTIONS]`.
+//!
+//! Modes:
+//!
+//! - *(default)* — full benchmark; writes `results/BENCH_kernels.json`.
+//! - `--smoke` — quick run with hard assertions: every lane kernel must
+//!   be bit-identical to its scalar column, and the recomputed integer
+//!   fingerprint must match the committed artifact byte-for-byte (this
+//!   is CI's cross-`RUSTFLAGS` identity gate). Exits non-zero on any
+//!   failure and does not overwrite the committed artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    for a in &args {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown argument {other:?}\nusage: exp_kernels [--smoke]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = bench::experiments::kernels::run(smoke);
+    bench::experiments::kernels::print(&result);
+    if smoke {
+        let fails = bench::experiments::kernels::smoke_failures(&result);
+        if fails.is_empty() {
+            println!("kernels smoke: ok");
+            return ExitCode::SUCCESS;
+        }
+        for f in &fails {
+            eprintln!("kernels smoke FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    match bench::experiments::kernels::write_json(&result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+    }
+    bench::write_telemetry("kernels");
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,7 @@ pub mod fig2;
 pub mod fig5;
 pub mod fig9a;
 pub mod fig9bc;
+pub mod kernels;
 pub mod layers;
 pub mod quant;
 pub mod serve;
@@ -19,6 +20,22 @@ pub mod train_scaling;
 
 use nn::data::{DatasetConfig, SyntheticVision};
 use nn::train::TrainConfig;
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds. One warmup
+/// run populates caches (thread-local FFT plans, page-ins) before the
+/// measured samples.
+pub(crate) fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
 
 /// The shared training budget for the accuracy experiments: small enough
 /// for CPU, large enough that dense baselines reach high accuracy and

@@ -19,10 +19,18 @@
 //!    control must shed with explicit `overloaded` replies while served
 //!    requests keep a bounded p99.
 //!
+//! A fourth, engine-level record (`engine_fx_lane`) times the demo
+//! model's fx stack directly — the scalar-scheduled batch oracle
+//! ([`serve::FxModel::forward_batch_scalar`]) against the packed SoA
+//! lane path the batcher dispatches ([`serve::FxModel::forward_batch`])
+//! — with outputs asserted bit-identical before timing is trusted. This
+//! isolates the kernel win from the networking and queueing around it.
+//!
 //! Writes `results/BENCH_serve.json`: one record per scenario
 //! (`requests`, `served`, `shed`, `protocol_errors`, `throughput_rps`,
-//! `p50_us`, `p99_us`) plus a `batch_scaling` record carrying the
-//! B = 8 / B = 1 throughput ratio.
+//! `p50_us`, `p99_us`), a `batch_scaling` record carrying the
+//! B = 8 / B = 1 throughput ratio, and the `engine_fx_lane` record
+//! (`scalar_ns`, `lane_ns`, `speedup`).
 
 use crate::table::Table;
 use nn::layers::{BcmConv2d, ReLU};
@@ -55,6 +63,17 @@ pub struct ServeMeasurement {
     pub p99_us: f64,
 }
 
+/// The engine-level scalar-vs-lane comparison on the demo model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMeasurement {
+    /// Median wall time of one scalar-scheduled batch forward, ns.
+    pub scalar_ns: u64,
+    /// Median wall time of one packed SoA lane batch forward, ns.
+    pub lane_ns: u64,
+    /// `scalar_ns / lane_ns`.
+    pub speedup: f64,
+}
+
 /// All measurements of the serving benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeResult {
@@ -62,6 +81,8 @@ pub struct ServeResult {
     pub measurements: Vec<ServeMeasurement>,
     /// B = 8 throughput divided by B = 1 throughput.
     pub batch_speedup: f64,
+    /// Direct fx-engine timing, outside the server loop.
+    pub engine: EngineMeasurement,
 }
 
 impl ServeResult {
@@ -89,8 +110,13 @@ impl ServeResult {
             ));
         }
         s.push_str(&format!(
-            "  {{\"config\": \"batch_scaling\", \"throughput_ratio_b8_over_b1\": {:.3}}}\n]",
+            "  {{\"config\": \"batch_scaling\", \"throughput_ratio_b8_over_b1\": {:.3}}},\n",
             self.batch_speedup
+        ));
+        s.push_str(&format!(
+            "  {{\"config\": \"engine_fx_lane\", \"scalar_ns\": {}, \"lane_ns\": {}, \
+             \"speedup\": {:.3}}}\n]",
+            self.engine.scalar_ns, self.engine.lane_ns, self.engine.speedup,
         ));
         s
     }
@@ -99,13 +125,15 @@ impl ServeResult {
 /// Per-sample input length of the demo model.
 pub const DEMO_INPUT_LEN: usize = 512;
 
-/// The built-in demo model: a half-pruned block-circulant FC head —
+/// The built-in demo model: a highly-pruned block-circulant FC head —
 /// three 512→512 BCM layers (1×1 kernel over a `[512, 1, 1]` input,
-/// BS 8) with ReLUs between. This is the shape the paper's serving story
-/// is about: in a folded FC layer the per-dispatch weight stream is as
-/// large as one sample's whole eMAC, so micro-batching (one plan build +
-/// weight stream per dispatch instead of per request) is where the
-/// amortization shows. The stack keeps its fixed-point mirror, so both
+/// BS 16) with ReLUs between, one live block in eight. This is the shape
+/// the paper's serving story is about: a rank-enhanced, highly-pruned FC
+/// stack where the per-dispatch weight stream is as large as one
+/// sample's whole eMAC, so micro-batching (one plan build + weight
+/// stream per dispatch instead of per request) is where the amortization
+/// shows, and where the FFT/IFFT stages — not the pruned eMAC — dominate
+/// per-sample work. The stack keeps its fixed-point mirror, so both
 /// engine paths are exercisable out of the box.
 pub fn demo_model(seed: u64) -> (Network, CheckpointMeta) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -113,17 +141,17 @@ pub fn demo_model(seed: u64) -> (Network, CheckpointMeta) {
     let mut net = Network::new(
         "demo",
         vec![
-            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 16)),
             Box::new(ReLU::new()),
-            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 16)),
             Box::new(ReLU::new()),
-            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 8)),
+            Box::new(BcmConv2d::new(&mut rng, c, c, 1, 1, 0, 16)),
             Box::new(ReLU::new()),
         ],
     );
-    // Half-pruned, alternating blocks — the serving-path analogue of the
-    // α = 0.5 configurations the accelerator experiments use.
-    let kill: Vec<usize> = (0..net.bcm_block_count()).filter(|i| i % 2 == 1).collect();
+    // Highly pruned, one live block in eight — the serving-path analogue
+    // of the paper's high-pruning configurations.
+    let kill: Vec<usize> = (0..net.bcm_block_count()).filter(|i| i % 8 != 0).collect();
     net.bcm_eliminate(&kill);
     let meta = CheckpointMeta {
         input_dims: vec![c, 1, 1],
@@ -289,6 +317,45 @@ fn open_loop(
     (outcomes, start.elapsed())
 }
 
+/// Times the demo model's fx stack directly: the scalar-scheduled batch
+/// oracle vs the packed SoA lane path the batcher dispatches, on a full
+/// batch of 8. Asserts bit-identity before trusting either timing.
+fn measure_engine(reps: usize) -> EngineMeasurement {
+    let (net, meta) = demo_model(42);
+    let model = Model::from_network("demo", net, meta);
+    let fx = model.fx().expect("demo model has an fx mirror");
+    let mut rng = StdRng::seed_from_u64(7);
+    let samples: Vec<Vec<i16>> = (0..8)
+        .map(|_| {
+            (0..DEMO_INPUT_LEN)
+                .map(|_| rng.gen_range(-256i16..256))
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        fx.forward_batch(&samples),
+        fx.forward_batch_scalar(&samples),
+        "lane batch path diverged from the scalar oracle"
+    );
+    let scalar_ns = super::median_ns(
+        || {
+            std::hint::black_box(fx.forward_batch_scalar(&samples));
+        },
+        reps,
+    );
+    let lane_ns = super::median_ns(
+        || {
+            std::hint::black_box(fx.forward_batch(&samples));
+        },
+        reps,
+    );
+    EngineMeasurement {
+        scalar_ns,
+        lane_ns,
+        speedup: scalar_ns as f64 / lane_ns.max(1) as f64,
+    }
+}
+
 /// Runs one closed-loop scenario on a fresh server.
 fn run_closed(
     config: &str,
@@ -344,9 +411,12 @@ pub fn run(quick: bool) -> ServeResult {
     server.shutdown();
     let overload = aggregate("open_loop_overload_2x", outcomes, wall, errors);
 
+    let engine = measure_engine(if quick { 5 } else { 15 });
+
     ServeResult {
         measurements: vec![b1, b8, overload],
         batch_speedup,
+        engine,
     }
 }
 
@@ -389,6 +459,10 @@ pub fn print(r: &ServeResult) {
         "batch scaling (B=8 / B=1 throughput): {:.2}x",
         r.batch_speedup
     );
+    println!(
+        "engine fx lane vs scalar oracle (batch 8): {} ns vs {} ns = {:.2}x",
+        r.engine.lane_ns, r.engine.scalar_ns, r.engine.speedup
+    );
 }
 
 /// Smoke-checks a quick run: some throughput, no protocol errors, shed
@@ -425,6 +499,15 @@ pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
         Some(_) => {}
         None => fails.push("open_loop_overload_2x: scenario missing".into()),
     }
+    if r.engine.scalar_ns == 0 || r.engine.lane_ns == 0 {
+        fails.push("engine_fx_lane: zero wall time".into());
+    }
+    if r.engine.speedup < 1.0 {
+        fails.push(format!(
+            "engine_fx_lane: lane path slower than the scalar oracle ({:.2}x)",
+            r.engine.speedup
+        ));
+    }
     fails
 }
 
@@ -456,11 +539,18 @@ mod tests {
                 p99_us: 20.0,
             }],
             batch_speedup: 2.5,
+            engine: EngineMeasurement {
+                scalar_ns: 1000,
+                lane_ns: 500,
+                speedup: 2.0,
+            },
         };
         let j = r.to_json();
         assert!(j.contains("\"config\": \"x\""));
         assert!(j.contains("\"served\": 8"));
         assert!(j.contains("\"throughput_ratio_b8_over_b1\": 2.500"));
+        assert!(j.contains("\"config\": \"engine_fx_lane\""));
+        assert!(j.contains("\"lane_ns\": 500"));
         assert!(j.starts_with('[') && j.ends_with(']'));
         // The artifact must parse with the workspace JSON reader.
         crate::json::parse(&j).expect("artifact is valid JSON");
@@ -494,6 +584,11 @@ mod tests {
         let r = ServeResult {
             measurements: vec![good.clone(), b8, overload],
             batch_speedup: 2.0,
+            engine: EngineMeasurement {
+                scalar_ns: 1000,
+                lane_ns: 500,
+                speedup: 2.0,
+            },
         };
         assert!(smoke_failures(&r).is_empty());
 
@@ -501,7 +596,8 @@ mod tests {
         bad.measurements[0].protocol_errors = 1;
         bad.measurements[1].served = 0;
         bad.measurements[2].shed = 0;
+        bad.engine.speedup = 0.8;
         let fails = smoke_failures(&bad);
-        assert_eq!(fails.len(), 3, "{fails:?}");
+        assert_eq!(fails.len(), 4, "{fails:?}");
     }
 }

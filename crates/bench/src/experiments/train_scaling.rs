@@ -7,19 +7,22 @@
 //! variable is how many shards execute concurrently. Each run verifies
 //! that invariant by fingerprinting the final weights.
 //!
-//! Two speedup columns per worker count:
+//! Two speedup columns per worker count, named so neither can be read as
+//! the other:
 //!
-//! - `speedup_vs_1w` — measured wall-clock ratio. On a multi-core host
-//!   this is the real scaling; on a single-core host (like the reference
-//!   container that generated the committed artifact — see `host_cores`
-//!   in the JSON) threads interleave and the ratio degenerates to ~1.
-//! - `modeled_speedup` — Amdahl projection from the *measured* serial and
-//!   parallel fractions of the w=1 run (shard compute and gradient
-//!   reduction are instrumented via the `nn.train.parallel.*` histograms).
-//!   This is host-independent in the same sense as the modeled dataflow
-//!   rows in `exp_speedup`: it reports what the fan-out achieves once one
-//!   core per worker exists, and it regresses if anything serializes the
-//!   shard loop or bloats the sequential sections.
+//! - `measured_speedup_vs_1w` — *measured* wall-clock ratio against the
+//!   1-worker run, nothing projected. On a multi-core host this is the
+//!   real scaling; on a single-core host (like the reference container
+//!   that generated the committed artifact — see `host_cores` in the
+//!   JSON) threads interleave and the ratio degenerates to ~1.
+//! - `modeled_amdahl_speedup` — an Amdahl-law *projection* (not a wall
+//!   measurement) from the measured serial and parallel fractions of the
+//!   w=1 run (shard compute and gradient reduction are instrumented via
+//!   the `nn.train.parallel.*` histograms). This is host-independent in
+//!   the same sense as the modeled dataflow rows in `exp_speedup`: it
+//!   reports what the fan-out achieves once one core per worker exists,
+//!   and it regresses if anything serializes the shard loop or bloats
+//!   the sequential sections.
 //!
 //! Telemetry is force-enabled during the runs (the instrumented fractions
 //! need it), which also charges the trainer's per-step gradient-norm
@@ -50,12 +53,12 @@ pub struct Measurement {
     /// Training throughput: `epochs × train_samples / wall`.
     pub samples_per_sec: f64,
     /// Measured wall-clock speedup against the 1-worker run.
-    pub speedup_vs_1w: f64,
+    pub measured_speedup_vs_1w: f64,
     /// Amdahl projection from the measured parallel fraction (see module
     /// docs); equals what the wall ratio converges to given enough cores.
-    pub modeled_speedup: f64,
-    /// `modeled_speedup / workers`.
-    pub modeled_efficiency: f64,
+    pub modeled_amdahl_speedup: f64,
+    /// `modeled_amdahl_speedup / workers`.
+    pub modeled_amdahl_efficiency: f64,
     /// FNV-1a fingerprint of the final weight bits (not serialized; used
     /// for the cross-worker-count bit-exactness assertion).
     pub weight_fingerprint: u64,
@@ -76,6 +79,11 @@ pub struct TrainScalingResult {
     pub host_cores: usize,
     /// Epochs × samples per epoch of the timed workload.
     pub samples_trained: usize,
+    /// Measured wall time of the whole sweep — data synthesis, warmups,
+    /// every worker count's timed reps, and the fingerprint checks — in
+    /// nanoseconds. This is what running the pipeline actually costs,
+    /// as opposed to the per-fit `wall_ns` rows.
+    pub pipeline_wall_ns: u64,
 }
 
 impl TrainScalingResult {
@@ -92,21 +100,26 @@ impl TrainScalingResult {
         for m in &self.measurements {
             s.push_str(&format!(
                 "  {{\"config\": \"{}\", \"workers\": {}, \"wall_ns\": {}, \
-                 \"samples_per_sec\": {:.1}, \"speedup_vs_1w\": {:.3}, \
-                 \"modeled_speedup\": {:.3}, \"modeled_efficiency\": {:.3}}},\n",
+                 \"samples_per_sec\": {:.1}, \"measured_speedup_vs_1w\": {:.3}, \
+                 \"modeled_amdahl_speedup\": {:.3}, \"modeled_amdahl_efficiency\": {:.3}}},\n",
                 m.config,
                 m.workers,
                 m.wall_ns,
                 m.samples_per_sec,
-                m.speedup_vs_1w,
-                m.modeled_speedup,
-                m.modeled_efficiency,
+                m.measured_speedup_vs_1w,
+                m.modeled_amdahl_speedup,
+                m.modeled_amdahl_efficiency,
             ));
         }
         s.push_str(&format!(
             "  {{\"config\": \"scaling_profile\", \"parallel_fraction\": {:.4}, \
-             \"reduce_fraction\": {:.4}, \"host_cores\": {}, \"samples_trained\": {}}}\n]",
-            self.parallel_fraction, self.reduce_fraction, self.host_cores, self.samples_trained,
+             \"reduce_fraction\": {:.4}, \"host_cores\": {}, \"samples_trained\": {}, \
+             \"pipeline_wall_ns\": {}}}\n]",
+            self.parallel_fraction,
+            self.reduce_fraction,
+            self.host_cores,
+            self.samples_trained,
+            self.pipeline_wall_ns,
         ));
         s
     }
@@ -175,6 +188,7 @@ impl Workload {
 /// Runs the scaling sweep. `smoke` shrinks the workload to seconds and
 /// skips nothing else — the bit-exactness assertion runs in both modes.
 pub fn run(smoke: bool) -> TrainScalingResult {
+    let pipeline_t = Instant::now();
     let w = if smoke {
         Workload::smoke()
     } else {
@@ -240,9 +254,9 @@ pub fn run(smoke: bool) -> TrainScalingResult {
                 workers,
                 wall_ns: wall,
                 samples_per_sec: samples_trained as f64 / (wall as f64 / 1e9),
-                speedup_vs_1w: base_wall as f64 / wall as f64,
-                modeled_speedup: modeled,
-                modeled_efficiency: modeled / workers as f64,
+                measured_speedup_vs_1w: base_wall as f64 / wall as f64,
+                modeled_amdahl_speedup: modeled,
+                modeled_amdahl_efficiency: modeled / workers as f64,
                 weight_fingerprint: fp,
             }
         })
@@ -253,6 +267,7 @@ pub fn run(smoke: bool) -> TrainScalingResult {
         reduce_fraction,
         host_cores: std::thread::available_parallelism().map_or(1, usize::from),
         samples_trained,
+        pipeline_wall_ns: pipeline_t.elapsed().as_nanos() as u64,
     }
 }
 
@@ -290,28 +305,32 @@ pub fn print(r: &TrainScalingResult) {
         "workers",
         "wall ms",
         "samples/s",
-        "speedup (wall)",
-        "speedup (modeled)",
-        "efficiency (modeled)",
+        "measured speedup (wall)",
+        "modeled speedup (Amdahl)",
+        "modeled efficiency",
     ]);
     for m in &r.measurements {
         t.row_owned(vec![
             m.workers.to_string(),
             format!("{:.1}", m.wall_ns as f64 / 1e6),
             format!("{:.1}", m.samples_per_sec),
-            format!("{:.2}x", m.speedup_vs_1w),
-            format!("{:.2}x", m.modeled_speedup),
-            format!("{:.0}%", m.modeled_efficiency * 100.0),
+            format!("{:.2}x", m.measured_speedup_vs_1w),
+            format!("{:.2}x", m.modeled_amdahl_speedup),
+            format!("{:.0}%", m.modeled_amdahl_efficiency * 100.0),
         ]);
     }
     t.print();
     println!(
         "parallel fraction {:.1}% (shards), {:.1}% reduce; host cores: {} \
-         (wall speedups need one core per worker; modeled column is \
-         host-independent)",
+         (measured wall speedups need one core per worker; the Amdahl \
+         column is a host-independent projection)",
         r.parallel_fraction * 100.0,
         r.reduce_fraction * 100.0,
         r.host_cores,
+    );
+    println!(
+        "whole pipeline (data synthesis + warmups + all timed reps): {:.1} ms",
+        r.pipeline_wall_ns as f64 / 1e6
     );
 }
 
@@ -327,22 +346,26 @@ mod tests {
                 workers: 1,
                 wall_ns: 5,
                 samples_per_sec: 10.0,
-                speedup_vs_1w: 1.0,
-                modeled_speedup: 1.0,
-                modeled_efficiency: 1.0,
+                measured_speedup_vs_1w: 1.0,
+                modeled_amdahl_speedup: 1.0,
+                modeled_amdahl_efficiency: 1.0,
                 weight_fingerprint: 7,
             }],
             parallel_fraction: 0.9,
             reduce_fraction: 0.05,
             host_cores: 1,
             samples_trained: 40,
+            pipeline_wall_ns: 123,
         };
         let j = r.to_json();
         assert!(j.contains("\"config\": \"scaling_w1\""));
         assert!(j.contains("\"wall_ns\": 5"));
-        assert!(j.contains("\"speedup_vs_1w\": 1.000"));
+        assert!(j.contains("\"measured_speedup_vs_1w\": 1.000"));
         assert!(j.contains("\"parallel_fraction\": 0.9000"));
         assert!(j.contains("\"host_cores\": 1"));
+        assert!(j.contains("\"measured_speedup_vs_1w\""));
+        assert!(j.contains("\"modeled_amdahl_speedup\""));
+        assert!(j.contains("\"pipeline_wall_ns\": 123"));
         assert!(!j.contains("fingerprint"), "fingerprints stay out of JSON");
         assert!(j.starts_with('[') && j.ends_with(']'));
     }
@@ -356,9 +379,9 @@ mod tests {
                     workers: 1,
                     wall_ns: 5,
                     samples_per_sec: 10.0,
-                    speedup_vs_1w: 1.0,
-                    modeled_speedup: 1.0,
-                    modeled_efficiency: 1.0,
+                    measured_speedup_vs_1w: 1.0,
+                    modeled_amdahl_speedup: 1.0,
+                    modeled_amdahl_efficiency: 1.0,
                     weight_fingerprint: 7,
                 },
                 Measurement {
@@ -366,9 +389,9 @@ mod tests {
                     workers: 2,
                     wall_ns: 5,
                     samples_per_sec: 10.0,
-                    speedup_vs_1w: 1.0,
-                    modeled_speedup: 1.8,
-                    modeled_efficiency: 0.9,
+                    measured_speedup_vs_1w: 1.0,
+                    modeled_amdahl_speedup: 1.8,
+                    modeled_amdahl_efficiency: 0.9,
                     weight_fingerprint: 7,
                 },
             ],
@@ -376,6 +399,7 @@ mod tests {
             reduce_fraction: 0.05,
             host_cores: 1,
             samples_trained: 40,
+            pipeline_wall_ns: 123,
         };
         assert!(smoke_failures(&r).is_empty());
         r.parallel_fraction = 0.0;

@@ -46,10 +46,25 @@ pub struct BlockCirculant<T: Scalar> {
     col_blocks: usize,
     /// Row-major grid of blocks, length `row_blocks * col_blocks`.
     blocks: Vec<CirculantMatrix<T>>,
-    /// Lazily-built per-block weight spectra (`None` = pruned block), the
-    /// frequency-domain weight storage of paper Fig. 4b. Invalidated by
-    /// every mutable block access.
-    spectra: OnceLock<Vec<Option<HalfSpectrum<T>>>>,
+    /// Lazily-built spectral weight cache (frequency-domain weight storage
+    /// of paper Fig. 4b). Invalidated by every mutable block access.
+    spectra: OnceLock<SpectralCache<T>>,
+}
+
+/// The built spectral weight cache: per-block liveness plus the weight
+/// bins laid out as flat split re/im planes (`[block][bin]`, bins
+/// innermost). The split layout is what the lane-form eMAC loop in
+/// [`BlockCirculant::matvec`] consumes — contiguous scalar slices the
+/// autovectorizer turns into wide multiply-adds, instead of an
+/// array-of-structs of complex values.
+#[derive(Debug, Clone)]
+struct SpectralCache<T: Scalar> {
+    /// `true` = live block, `false` = pruned (no spectrum stored).
+    live: Vec<bool>,
+    /// Real parts, `blocks * (bs/2 + 1)` entries; pruned blocks zero-filled.
+    wre: Vec<T>,
+    /// Imaginary parts, same layout as `wre`.
+    wim: Vec<T>,
 }
 
 /// Equality is over the time-domain weights only; the spectral cache is a
@@ -299,16 +314,23 @@ impl<T: Scalar> BlockCirculant<T> {
     pub fn prepare_spectra(&self) {
         self.spectra.get_or_init(|| {
             SPECTRA_BUILDS.inc();
-            self.blocks
-                .iter()
-                .map(|b| {
-                    if b.is_zero() {
-                        None
-                    } else {
-                        Some(HalfSpectrum::forward(b.defining_vector()))
-                    }
-                })
-                .collect()
+            let bins = self.block_size / 2 + 1;
+            let mut live = Vec::with_capacity(self.blocks.len());
+            let mut wre = vec![T::ZERO; self.blocks.len() * bins];
+            let mut wim = vec![T::ZERO; self.blocks.len() * bins];
+            for (b, blk) in self.blocks.iter().enumerate() {
+                if blk.is_zero() {
+                    live.push(false);
+                    continue;
+                }
+                live.push(true);
+                let spec = HalfSpectrum::forward(blk.defining_vector());
+                for (k, z) in spec.bins().iter().enumerate() {
+                    wre[b * bins + k] = z.re;
+                    wim[b * bins + k] = z.im;
+                }
+            }
+            SpectralCache { live, wre, wim }
         });
     }
 
@@ -318,7 +340,7 @@ impl<T: Scalar> BlockCirculant<T> {
     }
 
     /// The cached spectra, building them if needed.
-    fn cached_spectra(&self) -> &[Option<HalfSpectrum<T>>] {
+    fn cached_spectra(&self) -> &SpectralCache<T> {
         if self.spectra.get().is_some() {
             SPECTRA_HITS.inc();
         }
@@ -326,6 +348,24 @@ impl<T: Scalar> BlockCirculant<T> {
         self.spectra
             .get()
             .expect("prepare_spectra initializes the cache")
+    }
+
+    /// FFTs each input chunk once and scatters the bins into split re/im
+    /// planes (`[col_block][bin]`), the layout [`Self::row_matvec_into`]'s
+    /// lane loop reads.
+    fn x_split_spectra(&self, x: &[T]) -> (Vec<T>, Vec<T>) {
+        let bs = self.block_size;
+        let bins = bs / 2 + 1;
+        let mut xre = vec![T::ZERO; self.col_blocks * bins];
+        let mut xim = vec![T::ZERO; self.col_blocks * bins];
+        for bj in 0..self.col_blocks {
+            let spec = HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]);
+            for (k, z) in spec.bins().iter().enumerate() {
+                xre[bj * bins + k] = z.re;
+                xim[bj * bins + k] = z.im;
+            }
+        }
+        (xre, xim)
     }
 
     /// Matrix–vector product via "FFT → eMAC → IFFT" with spectrum-domain
@@ -379,46 +419,58 @@ impl<T: Scalar> BlockCirculant<T> {
         let bs = self.block_size;
         let spectra = self.cached_spectra();
         // FFT each input chunk once (input reuse — §II-B3's motivation).
-        let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
-            .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
-            .collect();
+        let (xre, xim) = self.x_split_spectra(x);
         let mut y = vec![T::ZERO; rows];
         parallel::par_chunk_map_with(workers, &mut y[..], bs, |bi, y_block| {
-            let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
-            Self::row_matvec_into(bs, row, &x_spectra, y_block);
+            Self::row_matvec_into(bs, self.col_blocks, spectra, bi, &xre, &xim, y_block);
         });
         y
     }
 
     /// One output-block row: accumulate the live blocks' eMACs, one IFFT.
     ///
-    /// Writes straight into the caller's output slice and accumulates in a
-    /// pooled scratch buffer ([`fft::workspace`]) — zero allocations per
-    /// row once the thread's arena is warm. Accumulation order and operand
-    /// order match [`HalfSpectrum::emac_accumulate`] exactly, so results
-    /// are bit-identical to the allocating path.
+    /// Lane form: weight and input bins live in flat split re/im planes and
+    /// the accumulator is a pair of pooled scalar planes
+    /// ([`fft::workspace::with_split_scratch`]) — contiguous inner loops the
+    /// autovectorizer widens, zero allocations per row once the thread's
+    /// arena is warm. Per bin, the expression tree is exactly
+    /// `acc += w * x` on complex values (the [`HalfSpectrum::emac_accumulate`]
+    /// order), so results are bit-identical to the AoS path.
+    #[allow(clippy::too_many_arguments)]
     fn row_matvec_into(
         bs: usize,
-        row_spectra: &[Option<HalfSpectrum<T>>],
-        x_spectra: &[HalfSpectrum<T>],
+        col_blocks: usize,
+        cache: &SpectralCache<T>,
+        bi: usize,
+        xre: &[T],
+        xim: &[T],
         out: &mut [T],
     ) {
         let _lat = ROW_MATVEC_NS.span();
-        fft::workspace::with_scratch::<T, _>(|acc| {
-            acc.resize(bs / 2 + 1, fft::Complex::zero());
+        let bins = bs / 2 + 1;
+        fft::workspace::with_split_scratch::<T, _>(|are, aim| {
+            are.resize(bins, T::ZERO);
+            aim.resize(bins, T::ZERO);
             let mut computed = 0u64;
-            for (w_spec, x_spec) in row_spectra.iter().zip(x_spectra) {
-                if let Some(w_spec) = w_spec {
-                    for ((a, &wb), &xb) in acc.iter_mut().zip(w_spec.bins()).zip(x_spec.bins()) {
-                        *a += wb * xb;
-                    }
-                    computed += 1;
+            for bj in 0..col_blocks {
+                let blk = bi * col_blocks + bj;
+                if !cache.live[blk] {
+                    continue; // skip-index hit
                 }
+                let wre = &cache.wre[blk * bins..(blk + 1) * bins];
+                let wim = &cache.wim[blk * bins..(blk + 1) * bins];
+                let bre = &xre[bj * bins..(bj + 1) * bins];
+                let bim = &xim[bj * bins..(bj + 1) * bins];
+                for k in 0..bins {
+                    are[k] += wre[k] * bre[k] - wim[k] * bim[k];
+                    aim[k] += wre[k] * bim[k] + wim[k] * bre[k];
+                }
+                computed += 1;
             }
             // Two adds per row (not per block) keep the probe off the inner loop.
             EMAC_COMPUTED.add(computed);
-            EMAC_SKIPPED.add(row_spectra.len() as u64 - computed);
-            fft::real::inverse_half_into(bs, acc, out);
+            EMAC_SKIPPED.add(col_blocks as u64 - computed);
+            fft::real::inverse_half_split_into(bs, are, aim, out);
         });
     }
 
@@ -485,12 +537,17 @@ impl<T: Scalar> BlockCirculant<T> {
         let mut out = vec![T::ZERO; batch * rows];
         parallel::par_chunk_map_with(workers, &mut out[..], rows, |s, y| {
             let x = &xs[s * cols..(s + 1) * cols];
-            let x_spectra: Vec<HalfSpectrum<T>> = (0..self.col_blocks)
-                .map(|bj| HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]))
-                .collect();
+            let (xre, xim) = self.x_split_spectra(x);
             for bi in 0..self.row_blocks {
-                let row = &spectra[bi * self.col_blocks..(bi + 1) * self.col_blocks];
-                Self::row_matvec_into(bs, row, &x_spectra, &mut y[bi * bs..(bi + 1) * bs]);
+                Self::row_matvec_into(
+                    bs,
+                    self.col_blocks,
+                    spectra,
+                    bi,
+                    &xre,
+                    &xim,
+                    &mut y[bi * bs..(bi + 1) * bs],
+                );
             }
         });
         out
@@ -724,6 +781,35 @@ mod tests {
         let want = bc.to_dense().matmul(&Tensor::from_vec(x.clone(), &[8, 1]));
         for i in 0..8 {
             assert!((fast[i] - want.as_slice()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_lane_matvec_is_bit_identical_to_uncached_oracle() {
+        // The lane-form cached path (split planes + split IFFT) must not
+        // just be close to the seed implementation — every f64 must match
+        // bit for bit, because the per-bin expression trees are identical.
+        for (seed, bs, rb, cb, prune) in [
+            (7u64, 4, 3, 2, false),
+            (8, 8, 2, 4, true),
+            (9, 16, 2, 2, true),
+        ] {
+            let mut bc = random_bc(seed, bs, rb, cb);
+            if prune {
+                for b in 0..rb * cb {
+                    if b % 2 == 1 {
+                        *bc.block_mut(b / cb, b % cb) = CirculantMatrix::zeros(bs);
+                    }
+                }
+            }
+            let x: Vec<f64> = (0..cb * bs)
+                .map(|i| (i as f64 * 0.31).cos() * 2.0)
+                .collect();
+            let fast = bc.matvec(&x);
+            let oracle = bc.matvec_uncached(&x);
+            for (i, (a, b)) in fast.iter().zip(&oracle).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "bs={bs} elem {i}");
+            }
         }
     }
 

@@ -5,6 +5,16 @@
 //! words, products are carried in `i32` and rounded-to-nearest on the way
 //! back down; all narrowing saturates rather than wraps (DSP48-style).
 
+/// Samples carried into the packed-i16 inference path per
+/// [`FxBatch::quantize_rows`]/[`FxBatch::from_rows`] ingress.
+static FX_BATCH_SAMPLES: telemetry::Counter = telemetry::Counter::new("hwsim.fx.batch.samples");
+/// `f32 → i16` words quantized at batch ingress.
+static FX_BATCH_QUANTIZE_WORDS: telemetry::Counter =
+    telemetry::Counter::new("hwsim.fx.batch.quantize_words");
+/// `i16 → f32` words dequantized at batch egress.
+static FX_BATCH_DEQUANTIZE_WORDS: telemetry::Counter =
+    telemetry::Counter::new("hwsim.fx.batch.dequantize_words");
+
 /// A 16-bit fixed-point format with `frac_bits` fractional bits
 /// (`Q(15−frac_bits).frac_bits` in Texas-Instruments notation).
 ///
@@ -252,6 +262,162 @@ impl ComplexAcc {
     }
 }
 
+/// A batch of packed-i16 samples — the first-class container of the
+/// serving fast path.
+///
+/// Carries `n` equal-length samples as one flat `i16` buffer in a single
+/// [`QFormat`], so a batch is quantized **once** at ingress
+/// ([`FxBatch::quantize_rows`]), flows through the batched fx kernels as
+/// raw 16-bit words with `i32` accumulators in between, and is dequantized
+/// **once** at egress ([`FxBatch::dequantize_rows`]) — no per-element f64
+/// round-trips anywhere in the pipeline.
+///
+/// Layout is sample-major (`data[s*sample_len ..][..sample_len]` is sample
+/// `s`, the wire layout of `rpbcm-serve`); the lane-form kernels in
+/// [`crate::inference`] transpose into split re/im sample-lane planes
+/// internally, where the structure-of-arrays inner loops run.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::fixed::{FxBatch, QFormat};
+///
+/// let q = QFormat::q8();
+/// let batch = FxBatch::quantize_rows(q, &[vec![0.5, -1.0], vec![2.0, 0.25]]);
+/// assert_eq!((batch.len(), batch.sample_len()), (2, 2));
+/// assert_eq!(batch.row(1)[0], q.from_f64(2.0));
+/// let back = batch.dequantize_rows();
+/// assert_eq!(back[0], vec![0.5, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FxBatch {
+    q: QFormat,
+    n: usize,
+    sample_len: usize,
+    data: Vec<i16>,
+}
+
+impl FxBatch {
+    /// Wraps an already-quantized flat buffer (`n * sample_len` words,
+    /// sample-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * sample_len`.
+    pub fn from_flat(q: QFormat, n: usize, sample_len: usize, data: Vec<i16>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * sample_len,
+            "flat buffer must be n*sample_len words"
+        );
+        FxBatch {
+            q,
+            n,
+            sample_len,
+            data,
+        }
+    }
+
+    /// Packs already-quantized rows (e.g. wire-format `i16` requests) into
+    /// one contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn from_rows(q: QFormat, rows: &[Vec<i16>]) -> Self {
+        let sample_len = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * sample_len);
+        for row in rows {
+            assert_eq!(row.len(), sample_len, "all rows must be the same length");
+            data.extend_from_slice(row);
+        }
+        FX_BATCH_SAMPLES.add(rows.len() as u64);
+        FxBatch {
+            q,
+            n: rows.len(),
+            sample_len,
+            data,
+        }
+    }
+
+    /// Quantizes float rows into a packed batch — the single ingress
+    /// conversion of the fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn quantize_rows(q: QFormat, rows: &[Vec<f32>]) -> Self {
+        let sample_len = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * sample_len);
+        for row in rows {
+            assert_eq!(row.len(), sample_len, "all rows must be the same length");
+            data.extend(row.iter().map(|&v| q.from_f32(v)));
+        }
+        FX_BATCH_SAMPLES.add(rows.len() as u64);
+        FX_BATCH_QUANTIZE_WORDS.add(data.len() as u64);
+        FxBatch {
+            q,
+            n: rows.len(),
+            sample_len,
+            data,
+        }
+    }
+
+    /// Dequantizes the whole batch back to float rows — the single egress
+    /// conversion of the fast path.
+    pub fn dequantize_rows(&self) -> Vec<Vec<f32>> {
+        FX_BATCH_DEQUANTIZE_WORDS.add(self.data.len() as u64);
+        (0..self.n)
+            .map(|s| {
+                self.row(s)
+                    .iter()
+                    .map(|&v| self.q.to_f64(v) as f32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Words per sample.
+    pub fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    /// The batch's fixed-point format.
+    pub fn format(&self) -> QFormat {
+        self.q
+    }
+
+    /// Sample `s` as a contiguous word slice.
+    pub fn row(&self, s: usize) -> &[i16] {
+        &self.data[s * self.sample_len..(s + 1) * self.sample_len]
+    }
+
+    /// The whole batch as one flat sample-major slice (kernel input form).
+    pub fn as_flat(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Mutable flat access (elementwise stages such as ReLU run here).
+    pub fn as_flat_mut(&mut self) -> &mut [i16] {
+        &mut self.data
+    }
+
+    /// Splits the batch back into per-sample rows (response form).
+    pub fn into_rows(self) -> Vec<Vec<i16>> {
+        (0..self.n).map(|s| self.row(s).to_vec()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +499,36 @@ mod tests {
         assert_eq!(c.conj(), ComplexFx::new(5, 7));
         // Saturating negation of i16::MIN stays in range.
         assert_eq!(ComplexFx::new(0, i16::MIN).conj().im, i16::MAX);
+    }
+
+    #[test]
+    fn fx_batch_round_trips_rows() {
+        let q = QFormat::q8();
+        let rows = vec![vec![0.5f32, -1.25, 3.0], vec![-0.004, 100.9, 0.0]];
+        let batch = FxBatch::quantize_rows(q, &rows);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.sample_len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.format(), q);
+        // Row packing matches per-row quantization exactly.
+        for (s, row) in rows.iter().enumerate() {
+            assert_eq!(batch.row(s), q.quantize_slice(row).as_slice());
+        }
+        // Egress matches per-row dequantization exactly.
+        for (s, back) in batch.dequantize_rows().iter().enumerate() {
+            assert_eq!(back.as_slice(), q.dequantize_slice(batch.row(s)).as_slice());
+        }
+        // i16 rows round-trip unchanged through from_rows/into_rows.
+        let rows16: Vec<Vec<i16>> = (0..2).map(|s| batch.row(s).to_vec()).collect();
+        let packed = FxBatch::from_rows(q, &rows16);
+        assert_eq!(packed, batch);
+        assert_eq!(packed.into_rows(), rows16);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn fx_batch_rejects_ragged_rows() {
+        FxBatch::from_rows(QFormat::q8(), &[vec![1i16, 2], vec![3]]);
     }
 
     proptest! {

@@ -129,6 +129,96 @@ impl FxFftPe {
         }
     }
 
+    /// In-place forward FFT over `lanes` independent signals held in split
+    /// SoA planes: `re`/`im` are `[BS][lanes]` row-major (lane innermost,
+    /// row `r` at `r*lanes..`). Lane `l` undergoes exactly the operation
+    /// sequence of [`FxFftPe::forward`] on its own signal, so results are
+    /// bit-identical per lane; the lane loops are flat i16/i32 arithmetic
+    /// the autovectorizer widens into SIMD butterflies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or either plane is not `BS * lanes` long.
+    pub fn forward_lanes(&self, re: &mut [i16], im: &mut [i16], lanes: usize) {
+        assert!(lanes > 0, "lane count must be positive");
+        assert_eq!(re.len(), self.bs * lanes, "re plane must be BS*lanes long");
+        assert_eq!(im.len(), self.bs * lanes, "im plane must be BS*lanes long");
+        for i in 0..self.bs {
+            let j = self.rev[i];
+            if i < j {
+                for l in 0..lanes {
+                    re.swap(i * lanes + l, j * lanes + l);
+                    im.swap(i * lanes + l, j * lanes + l);
+                }
+            }
+        }
+        let shift = self.rom_q.frac_bits();
+        let round = 1i32 << (shift - 1);
+        let mut len = 2;
+        while len <= self.bs {
+            let half = len / 2;
+            let step = self.bs / len;
+            for start in (0..self.bs).step_by(len) {
+                for k in 0..half {
+                    let w = self.rom[k * step];
+                    let (wre, wim) = (i32::from(w.re), i32::from(w.im));
+                    let urow = (start + k) * lanes;
+                    let vrow = (start + k + half) * lanes;
+                    // u and v rows never overlap (v = u + half·lanes), so a
+                    // split borrow gives four disjoint lane slices.
+                    let (re_lo, re_hi) = re.split_at_mut(vrow);
+                    let (im_lo, im_hi) = im.split_at_mut(vrow);
+                    let ure = &mut re_lo[urow..urow + lanes];
+                    let uim = &mut im_lo[urow..urow + lanes];
+                    let vre = &mut re_hi[..lanes];
+                    let vim = &mut im_hi[..lanes];
+                    for l in 0..lanes {
+                        // Same op sequence as `twiddle_mul` + `add`/`sub`.
+                        let bre = i32::from(vre[l]);
+                        let bim = i32::from(vim[l]);
+                        let tre = ((bre * wre - bim * wim + round) >> shift)
+                            .clamp(i32::from(i16::MIN), i32::from(i16::MAX))
+                            as i16;
+                        let tim = ((bre * wim + bim * wre + round) >> shift)
+                            .clamp(i32::from(i16::MIN), i32::from(i16::MAX))
+                            as i16;
+                        let are = ure[l];
+                        let aim = uim[l];
+                        ure[l] = are.saturating_add(tre);
+                        uim[l] = aim.saturating_add(tim);
+                        vre[l] = are.saturating_sub(tre);
+                        vim[l] = aim.saturating_sub(tim);
+                    }
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// In-place inverse FFT over split SoA lane planes (same layout as
+    /// [`FxFftPe::forward_lanes`]): conjugate → forward → conjugate → shift
+    /// divide, each step elementwise per lane, bit-identical to
+    /// [`FxFftPe::inverse`] applied lane by lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or either plane is not `BS * lanes` long.
+    pub fn inverse_lanes(&self, re: &mut [i16], im: &mut [i16], lanes: usize) {
+        assert!(lanes > 0, "lane count must be positive");
+        assert_eq!(re.len(), self.bs * lanes, "re plane must be BS*lanes long");
+        assert_eq!(im.len(), self.bs * lanes, "im plane must be BS*lanes long");
+        for v in im.iter_mut() {
+            *v = v.saturating_neg();
+        }
+        self.forward_lanes(re, im, lanes);
+        for v in re.iter_mut() {
+            *v = self.q.shift_divide(*v, self.bs);
+        }
+        for v in im.iter_mut() {
+            *v = self.q.shift_divide(v.saturating_neg(), self.bs);
+        }
+    }
+
     /// Forward transform of quantized real samples.
     pub fn forward_real(&self, x: &[i16]) -> Vec<ComplexFx> {
         assert_eq!(x.len(), self.bs, "buffer must be BS long");
@@ -251,5 +341,74 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         FxFftPe::new(6, QFormat::q8());
+    }
+
+    /// Deterministic pseudo-random i16 stream for lane tests (includes
+    /// large magnitudes so saturation paths are exercised).
+    fn lcg_words(seed: u64, count: usize) -> Vec<i16> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..count)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (s >> 48) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_forward_is_bit_identical_to_scalar() {
+        let q = QFormat::q8();
+        for &bs in &[2usize, 4, 8, 16, 32] {
+            let pe = FxFftPe::new(bs, q);
+            for lanes in [1usize, 3, 8, 9] {
+                let re0 = lcg_words(bs as u64 * 31 + lanes as u64, bs * lanes);
+                let im0 = lcg_words(bs as u64 * 77 + lanes as u64, bs * lanes);
+                let mut re = re0.clone();
+                let mut im = im0.clone();
+                pe.forward_lanes(&mut re, &mut im, lanes);
+                for l in 0..lanes {
+                    let mut x: Vec<ComplexFx> = (0..bs)
+                        .map(|r| ComplexFx::new(re0[r * lanes + l], im0[r * lanes + l]))
+                        .collect();
+                    pe.forward(&mut x);
+                    for r in 0..bs {
+                        assert_eq!(
+                            (re[r * lanes + l], im[r * lanes + l]),
+                            (x[r].re, x[r].im),
+                            "bs={bs} lanes={lanes} lane {l} row {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_inverse_is_bit_identical_to_scalar() {
+        let q = QFormat::q8();
+        for &bs in &[2usize, 4, 8, 16] {
+            let pe = FxFftPe::new(bs, q);
+            let lanes = 5; // ragged (not a multiple of the SIMD width)
+            let re0 = lcg_words(bs as u64 * 13, bs * lanes);
+            let im0 = lcg_words(bs as u64 * 17, bs * lanes);
+            let mut re = re0.clone();
+            let mut im = im0.clone();
+            pe.inverse_lanes(&mut re, &mut im, lanes);
+            for l in 0..lanes {
+                let mut x: Vec<ComplexFx> = (0..bs)
+                    .map(|r| ComplexFx::new(re0[r * lanes + l], im0[r * lanes + l]))
+                    .collect();
+                pe.inverse(&mut x);
+                for r in 0..bs {
+                    assert_eq!(
+                        (re[r * lanes + l], im[r * lanes + l]),
+                        (x[r].re, x[r].im),
+                        "bs={bs} lane {l} row {r}"
+                    );
+                }
+            }
+        }
     }
 }

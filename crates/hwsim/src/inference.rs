@@ -8,7 +8,7 @@
 //! 32-bit wide. This is what lets the repo measure the accuracy cost of
 //! the paper's "just 16-bit fixed-point computation" (§V-C2) end to end.
 
-use crate::fixed::{ComplexAcc, ComplexFx, QFormat};
+use crate::fixed::{ComplexAcc, ComplexFx, FxBatch, QFormat};
 use crate::fxfft::FxFftPe;
 use circulant::ConvBlockCirculant;
 use fft::real::HalfSpectrum;
@@ -424,14 +424,16 @@ fn finish_pixel(
     }
 }
 
-/// Batched variant of [`conv_forward_fx`]: runs `n` samples (`xs` is
-/// `[n, c_in, h, w]` row-major, the result `[n, c_out, h, w]`) through the
-/// datapath with the eMAC plans, twiddle ROM, and weight streams prepared
-/// **once per invocation** instead of once per sample — the software
-/// analogue of the accelerator amortizing its double-buffered weight
-/// streams across a batch (§IV-C). The interior fast path additionally
-/// runs entry-major across the whole batch, so each live block's weight
-/// bins are loaded once per row for all `n` samples.
+/// Reference scalar-scheduled batch kernel: runs `n` samples (`xs` is
+/// `[n, c_in, h, w]` row-major, the result `[n, c_out, h, w]`) element at
+/// a time over [`ComplexFx`]/[`ComplexAcc`] words, with the eMAC plans,
+/// twiddle ROM, and weight streams prepared once per invocation.
+///
+/// This is the **scalar oracle** of the vectorized
+/// [`conv_forward_fx_batch`]: it stays in the build (not test-gated) so
+/// the `exp_kernels`/`exp_speedup` benchmarks can measure scalar-vs-lane
+/// columns at runtime and the proptest suite can assert bit-identity, but
+/// production callers should use [`conv_forward_fx_batch`].
 ///
 /// Every sample's output is bit-identical to a separate
 /// [`conv_forward_fx`] call on that sample: per (sample, pixel, bin) the
@@ -441,7 +443,7 @@ fn finish_pixel(
 /// # Panics
 ///
 /// Panics if `xs.len() != n * c_in * h * w`.
-pub fn conv_forward_fx_batch(
+pub fn conv_forward_fx_batch_scalar(
     q: QFormat,
     weights: &FxWeights,
     xs: &[i16],
@@ -454,7 +456,7 @@ pub fn conv_forward_fx_batch(
     let c_out = weights.out_blocks * bs;
     assert_eq!(xs.len(), n * c_in * h * w, "batch input length mismatch");
     if h == 1 && w == 1 && weights.kh == 1 && weights.kw == 1 {
-        return fc_forward_fx_batch(q, weights, xs, n);
+        return fc_forward_fx_batch_scalar(q, weights, xs, n);
     }
     let pad = (weights.kh - 1) / 2;
     let pe = FxFftPe::new(bs, q);
@@ -588,20 +590,18 @@ pub fn conv_forward_fx_batch(
     out
 }
 
-/// The fully-connected (`k = 1`, `1×1` feature map) fast path of
-/// [`conv_forward_fx_batch`] — the shape of a folded block-circulant FC
-/// layer, where weight streaming is as large as one sample's whole eMAC
-/// and batching pays the most. Accumulators are laid out `[bin][sample]`
-/// so each weight word is loaded once and its four multiply/saturate
-/// chains run element-wise across the batch — the software analogue of
-/// the accelerator's parallel PE lanes sharing one weight stream.
+/// The fully-connected (`k = 1`, `1×1` feature map) path of the scalar
+/// oracle [`conv_forward_fx_batch_scalar`]. The eMAC already runs
+/// `[bin][sample]` lane loops; the input FFTs and output IFFTs stay
+/// scalar, which is what the vectorized [`conv_forward_fx_batch`]
+/// replaces with [`FxFftPe::forward_lanes`]/[`FxFftPe::inverse_lanes`].
 ///
 /// Per sample this performs exactly the operations of
 /// [`conv_forward_fx`] in exactly the per-bin order ([`ComplexAcc::mac`]
 /// unrolled: saturating add of `re·wre`, saturating sub of `im·wim`,
 /// saturating adds of `re·wim` and `im·wre`), so outputs stay
 /// bit-identical to the single-sample kernel.
-fn fc_forward_fx_batch(q: QFormat, weights: &FxWeights, xs: &[i16], n: usize) -> Vec<i16> {
+fn fc_forward_fx_batch_scalar(q: QFormat, weights: &FxWeights, xs: &[i16], n: usize) -> Vec<i16> {
     let bs = weights.bs;
     let bins = bs / 2 + 1;
     let ib = weights.in_blocks;
@@ -691,6 +691,382 @@ fn fc_forward_fx_batch(q: QFormat, weights: &FxWeights, xs: &[i16], n: usize) ->
         }
     }
     out
+}
+
+/// Computes every (sample, channel-block, pixel) input spectrum with the
+/// lane FFT, writing split re/im planes in
+/// `((bi·h + y)·w + x)·bins + k` bin order with the **sample lane
+/// innermost** (`[.. ][n]`). Per sample the arithmetic is exactly
+/// [`input_spectra`]'s (quantized words through [`FxFftPe::forward`]), so
+/// bins are bit-identical; the batch dimension just rides in SIMD lanes.
+fn input_spectra_lanes(
+    pe: &FxFftPe,
+    xs: &[i16],
+    n: usize,
+    in_blocks: usize,
+    h: usize,
+    w: usize,
+) -> (Vec<i16>, Vec<i16>) {
+    let bs = pe.block_size();
+    let bins = bs / 2 + 1;
+    let hw = h * w;
+    let chw = in_blocks * bs * hw;
+    let mut sre = vec![0i16; in_blocks * hw * bins * n];
+    let mut sim = vec![0i16; in_blocks * hw * bins * n];
+    let mut bre = vec![0i16; bs * n];
+    let mut bim = vec![0i16; bs * n];
+    for bi in 0..in_blocks {
+        for pix in 0..hw {
+            for ci in 0..bs {
+                let row = &mut bre[ci * n..(ci + 1) * n];
+                for (s, slot) in row.iter_mut().enumerate() {
+                    *slot = xs[s * chw + (bi * bs + ci) * hw + pix];
+                }
+            }
+            bim.fill(0);
+            pe.forward_lanes(&mut bre, &mut bim, n);
+            let base = (bi * hw + pix) * bins * n;
+            sre[base..base + bins * n].copy_from_slice(&bre[..bins * n]);
+            sim[base..base + bins * n].copy_from_slice(&bim[..bins * n]);
+        }
+    }
+    (sre, sim)
+}
+
+/// Narrows one pixel's `[bin][n]` accumulator planes, closes conjugate
+/// symmetry, runs the lane IFFT, and scatters each lane's real parts into
+/// its sample's out-block — [`finish_pixel`] for all `n` samples at once,
+/// bit-identical per lane.
+#[allow(clippy::too_many_arguments)]
+fn finish_pixels_lanes(
+    pe: &FxFftPe,
+    q: QFormat,
+    acc_re: &[i32],
+    acc_im: &[i32],
+    fre: &mut [i16],
+    fim: &mut [i16],
+    n: usize,
+    bo_slab: &mut [i16],
+    slab: usize,
+    hw: usize,
+    pix: usize,
+) {
+    let bs = fre.len() / n;
+    let bins = acc_re.len() / n;
+    for k in 0..bins {
+        let ar = &acc_re[k * n..(k + 1) * n];
+        let ai = &acc_im[k * n..(k + 1) * n];
+        let rr = &mut fre[k * n..(k + 1) * n];
+        let ri = &mut fim[k * n..(k + 1) * n];
+        for s in 0..n {
+            rr[s] = q.narrow(ar[s]);
+            ri[s] = q.narrow(ai[s]);
+        }
+    }
+    for k in 1..bs / 2 {
+        for s in 0..n {
+            fre[(bs - k) * n + s] = fre[k * n + s];
+            fim[(bs - k) * n + s] = fim[k * n + s].saturating_neg();
+        }
+    }
+    pe.inverse_lanes(fre, fim, n);
+    for oi in 0..bs {
+        let row = &fre[oi * n..(oi + 1) * n];
+        for (s, &v) in row.iter().enumerate() {
+            bo_slab[s * slab + oi * hw + pix] = v;
+        }
+    }
+}
+
+/// Batched variant of [`conv_forward_fx`] in fixed-width SoA lane form:
+/// runs `n` samples (`xs` is `[n, c_in, h, w]` row-major, the result
+/// `[n, c_out, h, w]`) with the **sample dimension innermost** everywhere —
+/// input spectra, `i32` eMAC accumulators, and IFFT buffers all live in
+/// flat split re/im planes whose inner loops the autovectorizer widens
+/// (`n = 8` fills a 128-bit vector of i16 lanes end to end).
+///
+/// The eMAC plans, twiddle ROM, and weight streams are prepared once per
+/// invocation, and the interior fast path runs entry-major across the
+/// whole batch, so each live block's weight bins are loaded once per row
+/// for all `n` samples — the software analogue of the accelerator's
+/// parallel PE lanes sharing one weight stream (§IV-C).
+///
+/// Every sample's output is **bit-identical** to a separate
+/// [`conv_forward_fx`] call on that sample (and to the scalar oracle
+/// [`conv_forward_fx_batch_scalar`]): per (sample, pixel, bin) the
+/// accumulation order over live entries and every fixed-point operation
+/// are unchanged; only cross-sample scheduling differs.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != n * c_in * h * w`.
+pub fn conv_forward_fx_batch(
+    q: QFormat,
+    weights: &FxWeights,
+    xs: &[i16],
+    n: usize,
+    h: usize,
+    w: usize,
+) -> Vec<i16> {
+    let bs = weights.bs;
+    let c_in = weights.in_blocks * bs;
+    let c_out = weights.out_blocks * bs;
+    assert_eq!(xs.len(), n * c_in * h * w, "batch input length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    if h == 1 && w == 1 && weights.kh == 1 && weights.kw == 1 {
+        return fc_forward_fx_batch(q, weights, xs, n);
+    }
+    let pad = (weights.kh - 1) / 2;
+    let pe = FxFftPe::new(bs, q);
+    let bins = bs / 2 + 1;
+    let hw = h * w;
+
+    let (sre, sim) = input_spectra_lanes(&pe, xs, n, weights.in_blocks, h, w);
+
+    let plans: Vec<EmacPlan> = (0..weights.out_blocks)
+        .map(|bo| {
+            emac_plan(
+                PlanDims {
+                    kh: weights.kh,
+                    kw: weights.kw,
+                    in_blocks: weights.in_blocks,
+                    h,
+                    w,
+                },
+                bo,
+                |p, qq, b, bi| weights.index(p, qq, b, bi),
+                |blk| weights.live[blk].then(|| (&weights.spectra[blk][..], 0)),
+            )
+        })
+        .collect();
+    for _ in 0..n {
+        record_fx_layer(&plans, weights.in_blocks, weights.out_blocks, h, w);
+    }
+
+    // Block-major staging `[bo][s][bs·h·w]`, scattered back to
+    // sample-major at the end (same scheme as the scalar oracle).
+    let slab = bs * hw;
+    let mut staged = vec![0i16; weights.out_blocks * n * slab];
+    parallel::par_chunk_map(&mut staged[..], n * slab, |bo, bo_slab| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_plan_batch_lanes", "hwsim.fx");
+        let plan = &plans[bo];
+        let x0 = pad.min(w);
+        let x1 = w.saturating_sub(weights.kw - 1 - pad).max(x0);
+        let row = (x1 - x0) * bins;
+        let mut racc_re = vec![0i32; row * n];
+        let mut racc_im = vec![0i32; row * n];
+        let mut acc_re = vec![0i32; bins * n];
+        let mut acc_im = vec![0i32; bins * n];
+        let mut fre = vec![0i16; bs * n];
+        let mut fim = vec![0i16; bs * n];
+        for y in 0..h {
+            let y_interior = y >= pad && y + (weights.kh - 1 - pad) < h;
+            if y_interior && x0 < x1 {
+                racc_re.fill(0);
+                racc_im.fill(0);
+                // Entry-major over the whole batch: one weight load per
+                // entry bin serves all samples and all interior pixels.
+                for e in &plan.entries {
+                    let ws = &plan.weights[e.w_off..e.w_off + bins];
+                    let base = ((e.in_base + y * w + x0) as isize + e.rel) as usize;
+                    for px in 0..x1 - x0 {
+                        let xoff = (base + px) * bins * n;
+                        let aoff = px * bins * n;
+                        let ar = &mut racc_re[aoff..aoff + bins * n];
+                        let ai = &mut racc_im[aoff..aoff + bins * n];
+                        let xr = &sre[xoff..xoff + bins * n];
+                        let xi = &sim[xoff..xoff + bins * n];
+                        for (k, wv) in ws.iter().enumerate() {
+                            let (wre, wim) = (i32::from(wv.re), i32::from(wv.im));
+                            let arr = &mut ar[k * n..(k + 1) * n];
+                            let aii = &mut ai[k * n..(k + 1) * n];
+                            let xrr = &xr[k * n..(k + 1) * n];
+                            let xii = &xi[k * n..(k + 1) * n];
+                            for s in 0..n {
+                                // [`ComplexAcc::mac`] unrolled, per lane.
+                                let re = i32::from(xrr[s]);
+                                let im = i32::from(xii[s]);
+                                arr[s] = arr[s].saturating_add(re * wre).saturating_sub(im * wim);
+                                aii[s] = aii[s].saturating_add(re * wim).saturating_add(im * wre);
+                            }
+                        }
+                    }
+                }
+                for px in 0..x1 - x0 {
+                    finish_pixels_lanes(
+                        &pe,
+                        q,
+                        &racc_re[px * bins * n..][..bins * n],
+                        &racc_im[px * bins * n..][..bins * n],
+                        &mut fre,
+                        &mut fim,
+                        n,
+                        bo_slab,
+                        slab,
+                        hw,
+                        y * w + x0 + px,
+                    );
+                }
+            }
+            let border: Vec<usize> = if y_interior && x0 < x1 {
+                (0..x0).chain(x1..w).collect()
+            } else {
+                (0..w).collect()
+            };
+            for &xx in &border {
+                acc_re.fill(0);
+                acc_im.fill(0);
+                for e in &plan.entries {
+                    let iy = y as isize + e.dy;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let ix = xx as isize + e.dx;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let idx = (e.in_base + iy as usize * w + ix as usize) * bins * n;
+                    let ws = &plan.weights[e.w_off..e.w_off + bins];
+                    crate::pe::emac_block_lanes(
+                        q,
+                        bs,
+                        ws,
+                        &sre[idx..idx + bins * n],
+                        &sim[idx..idx + bins * n],
+                        &mut acc_re,
+                        &mut acc_im,
+                        n,
+                    );
+                }
+                finish_pixels_lanes(
+                    &pe,
+                    q,
+                    &acc_re,
+                    &acc_im,
+                    &mut fre,
+                    &mut fim,
+                    n,
+                    bo_slab,
+                    slab,
+                    hw,
+                    y * w + xx,
+                );
+            }
+        }
+    });
+
+    let mut out = vec![0i16; n * c_out * hw];
+    for bo in 0..weights.out_blocks {
+        for s in 0..n {
+            let src = &staged[(bo * n + s) * slab..][..slab];
+            out[s * c_out * hw + bo * slab..][..slab].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// The fully-connected (`k = 1`, `1×1` feature map) fast path of
+/// [`conv_forward_fx_batch`], fully in lane form: lane FFTs over the
+/// batch at ingress, the shared-weight `[bin][sample]` eMAC
+/// ([`crate::pe::emac_block_lanes`]), and lane IFFTs at egress. Outputs
+/// are bit-identical to [`fc_forward_fx_batch_scalar`] and to per-sample
+/// [`conv_forward_fx`] calls.
+fn fc_forward_fx_batch(q: QFormat, weights: &FxWeights, xs: &[i16], n: usize) -> Vec<i16> {
+    let bs = weights.bs;
+    let bins = bs / 2 + 1;
+    let ib = weights.in_blocks;
+    let ob = weights.out_blocks;
+    let c_in = ib * bs;
+    let c_out = ob * bs;
+    let pe = FxFftPe::new(bs, q);
+
+    // Lane FFTs per in-block: gather `[ci][sample]`, one wide transform,
+    // bins land directly in the `[bi][bin][sample]` planes the eMAC reads.
+    let mut xre = vec![0i16; ib * bins * n];
+    let mut xim = vec![0i16; ib * bins * n];
+    let mut bre = vec![0i16; bs * n];
+    let mut bim = vec![0i16; bs * n];
+    for bi in 0..ib {
+        for ci in 0..bs {
+            let row = &mut bre[ci * n..(ci + 1) * n];
+            for (s, slot) in row.iter_mut().enumerate() {
+                *slot = xs[s * c_in + bi * bs + ci];
+            }
+        }
+        bim.fill(0);
+        pe.forward_lanes(&mut bre, &mut bim, n);
+        xre[bi * bins * n..][..bins * n].copy_from_slice(&bre[..bins * n]);
+        xim[bi * bins * n..][..bins * n].copy_from_slice(&bim[..bins * n]);
+    }
+    if telemetry::enabled() {
+        FX_INPUT_FFTS.add((n * ib) as u64);
+        FX_OUTPUT_IFFTS.add((n * ob) as u64);
+    }
+
+    // Block-major staging `[bo][s][bs]`, scattered to `[s][c_out]` below.
+    let mut staged = vec![0i16; ob * n * bs];
+    parallel::par_chunk_map(&mut staged[..], n * bs, |bo, bo_slab| {
+        let _lat = FX_PLAN_EXEC_NS.span();
+        let _trace = telemetry::trace_span("emac_fc_batch_lanes", "hwsim.fx");
+        let mut acc_re = vec![0i32; bins * n];
+        let mut acc_im = vec![0i32; bins * n];
+        let mut fre = vec![0i16; bs * n];
+        let mut fim = vec![0i16; bs * n];
+        let mut emacs = 0u64;
+        for bi in 0..ib {
+            let blk = weights.index(0, 0, bo, bi);
+            if !weights.live[blk] {
+                continue;
+            }
+            emacs += 1;
+            crate::pe::emac_block_lanes(
+                q,
+                bs,
+                &weights.spectra[blk],
+                &xre[bi * bins * n..][..bins * n],
+                &xim[bi * bins * n..][..bins * n],
+                &mut acc_re,
+                &mut acc_im,
+                n,
+            );
+        }
+        if telemetry::enabled() {
+            FX_EMAC_BLOCKS.add(emacs * n as u64);
+        }
+        finish_pixels_lanes(
+            &pe, q, &acc_re, &acc_im, &mut fre, &mut fim, n, bo_slab, bs, 1, 0,
+        );
+    });
+
+    let mut out = vec![0i16; n * c_out];
+    for bo in 0..ob {
+        for s in 0..n {
+            out[s * c_out + bo * bs..][..bs].copy_from_slice(&staged[(bo * n + s) * bs..][..bs]);
+        }
+    }
+    out
+}
+
+/// [`conv_forward_fx_batch`] over a packed [`FxBatch`] — the container
+/// form the serving fast path uses: `i16` lanes in, `i16` lanes out, no
+/// per-element float round-trips.
+///
+/// # Panics
+///
+/// Panics if the batch's sample length differs from `c_in · h · w`.
+pub fn conv_forward_fx_batch_packed(
+    weights: &FxWeights,
+    batch: &FxBatch,
+    h: usize,
+    w: usize,
+) -> FxBatch {
+    let q = batch.format();
+    let out = conv_forward_fx_batch(q, weights, batch.as_flat(), batch.len(), h, w);
+    let c_out = weights.out_blocks * weights.bs;
+    FxBatch::from_flat(q, batch.len(), c_out * h * w, out)
 }
 
 /// Per-block-scaled narrow weight spectra — the "fine-grained
@@ -1099,6 +1475,11 @@ mod tests {
                 .map(|&v| q.from_f32(v))
                 .collect();
             let batched = conv_forward_fx_batch(q, &weights, &xs, n, h, w);
+            let scalar = conv_forward_fx_batch_scalar(q, &weights, &xs, n, h, w);
+            assert_eq!(
+                batched, scalar,
+                "lane batch diverged from the scalar oracle (seed {seed})"
+            );
             for s in 0..n {
                 let single =
                     conv_forward_fx(q, &weights, &xs[s * c_in * h * w..][..c_in * h * w], h, w);
@@ -1109,6 +1490,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn packed_batch_wrapper_matches_flat_kernel() {
+        let q = QFormat::q8();
+        let conv = random_conv(21, 4, 2, 2, 3);
+        let weights = FxWeights::from_folded(q, &conv);
+        let (n, h, w) = (3, 4, 4);
+        let c_in = 2 * 4;
+        let mut rng = StdRng::seed_from_u64(121);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| init::gaussian::<f32>(&mut rng, &[c_in * h * w], 0.0, 0.5).into_vec())
+            .collect();
+        let batch = FxBatch::quantize_rows(q, &rows);
+        let out = conv_forward_fx_batch_packed(&weights, &batch, h, w);
+        let flat = conv_forward_fx_batch(q, &weights, batch.as_flat(), n, h, w);
+        assert_eq!(out.as_flat(), &flat[..]);
+        assert_eq!(out.sample_len(), 2 * 4 * h * w);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn batched_fx_empty_batch_is_empty() {
+        let q = QFormat::q8();
+        let conv = random_conv(22, 4, 1, 1, 3);
+        let weights = FxWeights::from_folded(q, &conv);
+        assert!(conv_forward_fx_batch(q, &weights, &[], 0, 3, 3).is_empty());
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub mod timeline;
 
 pub use dataflow::{CycleBreakdown, DataflowConfig, LayerShape};
 pub use device::Xc7z020;
-pub use fixed::{ComplexFx, QFormat};
+pub use fixed::{ComplexFx, FxBatch, QFormat};
 pub use resources::{AcceleratorConfig, ResourceEstimate};

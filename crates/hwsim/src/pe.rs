@@ -153,6 +153,71 @@ pub fn narrow_accumulator(q: QFormat, acc: &[ComplexAcc]) -> Vec<ComplexFx> {
     acc.iter().map(|a| a.narrow(q)).collect()
 }
 
+/// Lane-form eMAC: one weight block against `lanes` input spectra held in
+/// split SoA planes.
+///
+/// `xre`/`xim` hold the input bins as `[bin][lane]` (lane innermost, bin
+/// `k` at `k*lanes..`); `acc_re`/`acc_im` are the matching `i32`
+/// accumulator planes. Per (bin, lane) the operation sequence is exactly
+/// [`ComplexAcc::mac`] — saturating add of `re·wre`, saturating subtract of
+/// `im·wim`, then the two imaginary-part adds — so results are
+/// bit-identical to [`emac_block`]; the lane loop is flat i32 arithmetic
+/// the autovectorizer widens.
+///
+/// # Panics
+///
+/// Panics if `weight_bins.len() != BS/2+1` or any plane is not
+/// `(BS/2+1) * lanes` long.
+#[allow(clippy::too_many_arguments)]
+pub fn emac_block_lanes(
+    q: QFormat,
+    bs: usize,
+    weight_bins: &[ComplexFx],
+    xre: &[i16],
+    xim: &[i16],
+    acc_re: &mut [i32],
+    acc_im: &mut [i32],
+    lanes: usize,
+) {
+    let bins = bs / 2 + 1;
+    assert_eq!(weight_bins.len(), bins, "weight bins must be BS/2+1");
+    assert_eq!(
+        xre.len(),
+        bins * lanes,
+        "input planes must be (BS/2+1)*lanes"
+    );
+    assert_eq!(
+        xim.len(),
+        bins * lanes,
+        "input planes must be (BS/2+1)*lanes"
+    );
+    assert_eq!(
+        acc_re.len(),
+        bins * lanes,
+        "acc planes must be (BS/2+1)*lanes"
+    );
+    assert_eq!(
+        acc_im.len(),
+        bins * lanes,
+        "acc planes must be (BS/2+1)*lanes"
+    );
+    let _ = q; // the wide MAC never narrows, so the format is not consulted
+    for k in 0..bins {
+        let w = weight_bins[k];
+        let (wre, wim) = (i32::from(w.re), i32::from(w.im));
+        let xr = &xre[k * lanes..(k + 1) * lanes];
+        let xi = &xim[k * lanes..(k + 1) * lanes];
+        let ar = &mut acc_re[k * lanes..(k + 1) * lanes];
+        let ai = &mut acc_im[k * lanes..(k + 1) * lanes];
+        for l in 0..lanes {
+            let re = i32::from(xr[l]);
+            let im = i32::from(xi[l]);
+            ar[l] = ar[l].saturating_add(re * wre).saturating_sub(im * wim);
+            ai[l] = ai[l].saturating_add(re * wim).saturating_add(im * wre);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +331,51 @@ mod tests {
     fn emac_validates_bin_count() {
         let q = QFormat::q8();
         emac_block(q, 8, &[ComplexFx::zero(); 3], &[], &mut []);
+    }
+
+    #[test]
+    fn lane_emac_is_bit_identical_to_scalar() {
+        let q = QFormat::q8();
+        for &bs in &[2usize, 4, 8, 16] {
+            let bins = bs / 2 + 1;
+            for lanes in [1usize, 3, 8] {
+                // Deterministic words spanning the full i16 range so the
+                // saturating paths get exercised too.
+                let mut s = 0x9e3779b97f4a7c15u64 ^ (bs as u64);
+                let mut word = || {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (s >> 48) as i16
+                };
+                let w: Vec<ComplexFx> = (0..bins).map(|_| ComplexFx::new(word(), word())).collect();
+                let x: Vec<Vec<ComplexFx>> = (0..lanes)
+                    .map(|_| (0..bins).map(|_| ComplexFx::new(word(), word())).collect())
+                    .collect();
+                let mut acc = vec![vec![ComplexAcc::zero(); bins]; lanes];
+                // Run twice so accumulation across calls is covered.
+                emac_block(q, bs, &w, &x, &mut acc);
+                emac_block(q, bs, &w, &x, &mut acc);
+
+                let mut xre = vec![0i16; bins * lanes];
+                let mut xim = vec![0i16; bins * lanes];
+                for l in 0..lanes {
+                    for k in 0..bins {
+                        xre[k * lanes + l] = x[l][k].re;
+                        xim[k * lanes + l] = x[l][k].im;
+                    }
+                }
+                let mut are = vec![0i32; bins * lanes];
+                let mut aim = vec![0i32; bins * lanes];
+                emac_block_lanes(q, bs, &w, &xre, &xim, &mut are, &mut aim, lanes);
+                emac_block_lanes(q, bs, &w, &xre, &xim, &mut are, &mut aim, lanes);
+                for l in 0..lanes {
+                    for k in 0..bins {
+                        assert_eq!(are[k * lanes + l], acc[l][k].re, "bs={bs} l={l} k={k}");
+                        assert_eq!(aim[k * lanes + l], acc[l][k].im, "bs={bs} l={l} k={k}");
+                    }
+                }
+            }
+        }
     }
 }

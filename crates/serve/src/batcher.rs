@@ -238,15 +238,23 @@ fn execute(registry: &mut Registry, batch: Vec<Pending>) {
                 .collect()
         }
         Mode::Fx => {
-            let samples: Vec<Vec<i16>> = batch
-                .iter()
-                .map(|p| match &p.input {
-                    Payload::Fx(v) => v.clone(),
+            // Flatten the payloads straight into the packed container —
+            // no per-sample row clones; the i16 lanes ride the FxBatch
+            // through every layer and only split back into rows for the
+            // per-request replies.
+            let fx = model.fx().expect("fx mode unavailable");
+            let (q, sample_len) = (fx.qformat(), fx.input_len());
+            let mut flat = Vec::with_capacity(batch.len() * sample_len);
+            for p in &batch {
+                match &p.input {
+                    Payload::Fx(v) => flat.extend_from_slice(v),
                     Payload::F32(_) => unreachable!("mode/payload mismatch"),
-                })
-                .collect();
+                }
+            }
+            let packed = hwsim::FxBatch::from_flat(q, batch.len(), sample_len, flat);
             model
-                .forward_fx_batch(&samples)
+                .forward_fx_batch_packed(packed)
+                .into_rows()
                 .into_iter()
                 .map(Payload::Fx)
                 .collect()

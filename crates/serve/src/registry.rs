@@ -12,8 +12,10 @@
 //! each sample's fixed-point operation sequence exactly — batching only
 //! amortizes the per-dispatch plan build and weight streams.
 
-use hwsim::inference::{conv_forward_fx, conv_forward_fx_batch, FxWeights};
-use hwsim::QFormat;
+use hwsim::inference::{
+    conv_forward_fx, conv_forward_fx_batch_packed, conv_forward_fx_batch_scalar, FxWeights,
+};
+use hwsim::{FxBatch, QFormat};
 use nn::layers::checkpoint::LayerSnapshot;
 use nn::{CheckpointError, CheckpointMeta, Network};
 use tensor::Tensor;
@@ -126,12 +128,50 @@ impl FxModel {
         cur
     }
 
-    /// Runs a whole batch through the fixed-point stack via
-    /// [`conv_forward_fx_batch`], which prepares each layer's eMAC plans
-    /// and weight streams once per dispatch instead of once per sample —
-    /// the amortization micro-batching exists to buy. Outputs are
-    /// bit-identical per sample to [`FxModel::forward`].
+    /// Runs a packed batch through the fixed-point stack via the
+    /// vectorized lane kernels ([`conv_forward_fx_batch_packed`]): the
+    /// `i16` words stay in the [`FxBatch`] container end to end — one
+    /// flat buffer in, one flat buffer out, no per-sample row splits
+    /// between layers. Each layer's eMAC plans and weight streams are
+    /// prepared once per dispatch instead of once per sample — the
+    /// amortization micro-batching exists to buy — and the lane form
+    /// additionally shares each weight load across every sample in the
+    /// batch. Outputs are bit-identical per sample to
+    /// [`FxModel::forward`].
+    pub fn forward_batch_packed(&self, batch: FxBatch) -> FxBatch {
+        assert!(!batch.is_empty(), "empty fx batch");
+        assert_eq!(batch.sample_len(), self.input_len, "fx sample length");
+        assert_eq!(batch.format(), self.q, "fx batch format");
+        let mut cur = batch;
+        for stage in &self.stages {
+            match stage {
+                FxStage::Conv(wts) => {
+                    cur = conv_forward_fx_batch_packed(wts, &cur, self.h, self.w);
+                }
+                FxStage::Relu => {
+                    for v in cur.as_flat_mut() {
+                        *v = (*v).max(0);
+                    }
+                }
+            }
+        }
+        cur
+    }
+
+    /// Row-vector convenience over [`FxModel::forward_batch_packed`]:
+    /// packs the rows into an [`FxBatch`], runs the lane datapath, and
+    /// splits the result back into per-sample rows.
     pub fn forward_batch(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
+        self.forward_batch_packed(FxBatch::from_rows(self.q, samples))
+            .into_rows()
+    }
+
+    /// Reference batch execution on the **scalar oracle** kernel
+    /// ([`conv_forward_fx_batch_scalar`]). Bit-identical to
+    /// [`FxModel::forward_batch`]; kept callable (not test-gated) so
+    /// `exp_serve` can measure the engine-level scalar-vs-lane speedup at
+    /// runtime.
+    pub fn forward_batch_scalar(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
         let n = samples.len();
         assert!(n > 0, "empty fx batch");
         let mut cur = Vec::with_capacity(n * self.input_len);
@@ -142,7 +182,7 @@ impl FxModel {
         for stage in &self.stages {
             match stage {
                 FxStage::Conv(wts) => {
-                    cur = conv_forward_fx_batch(self.q, wts, &cur, n, self.h, self.w);
+                    cur = conv_forward_fx_batch_scalar(self.q, wts, &cur, n, self.h, self.w);
                 }
                 FxStage::Relu => {
                     for v in &mut cur {
@@ -259,6 +299,19 @@ impl Model {
     pub fn forward_fx_batch(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
         let fx = self.fx.as_ref().expect("fx mode unavailable");
         fx.forward_batch(samples)
+    }
+
+    /// Packed-container variant of [`Model::forward_fx_batch`] — the
+    /// batch worker's entry point: the request payloads are flattened
+    /// straight into an [`FxBatch`] and the `i16` lanes never leave it
+    /// until reply split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no fx mirror.
+    pub fn forward_fx_batch_packed(&self, batch: FxBatch) -> FxBatch {
+        let fx = self.fx.as_ref().expect("fx mode unavailable");
+        fx.forward_batch_packed(batch)
     }
 }
 
@@ -452,6 +505,26 @@ mod tests {
         for (s, b) in samples.iter().zip(&batched) {
             assert_eq!(&fx.forward(s), b);
         }
+    }
+
+    #[test]
+    fn fx_scalar_oracle_matches_lane_batch() {
+        let (net, meta) = conv_stack(10);
+        let model = Model::from_network("m", net, meta);
+        let fx = model.fx().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<i16>> = (0..6)
+            .map(|_| {
+                (0..fx.input_len())
+                    .map(|_| rand::Rng::gen_range(&mut rng, -256i16..256))
+                    .collect()
+            })
+            .collect();
+        let lane = fx.forward_batch(&samples);
+        let scalar = fx.forward_batch_scalar(&samples);
+        assert_eq!(lane, scalar, "lane engine diverged from scalar oracle");
+        let packed = fx.forward_batch_packed(FxBatch::from_rows(fx.qformat(), &samples));
+        assert_eq!(packed.into_rows(), lane);
     }
 
     #[test]

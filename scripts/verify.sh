@@ -22,6 +22,14 @@ echo "== serve smoke (loopback load test) =="
 # overwrite the committed results/BENCH_serve.json artifact.
 cargo run -q --release -p bench --bin exp_serve -- --smoke
 
+echo "== kernel smoke (lane bit-identity + datapath fingerprint) =="
+# Quick scalar-vs-lane run of every vectorized spectral kernel: asserts
+# word-for-word agreement with the scalar references and recomputes the
+# integer-only datapath fingerprint against the committed
+# results/BENCH_kernels.json (byte-identity across hosts and RUSTFLAGS).
+# Does not overwrite the committed artifact.
+cargo run -q --release -p bench --bin exp_kernels -- --smoke
+
 echo "== train scaling smoke (data-parallel determinism + shard profile) =="
 # Seconds-scale Trainer::fit sweep at 1 and 2 workers: asserts the final
 # weights are bit-identical across worker counts and that the shard
