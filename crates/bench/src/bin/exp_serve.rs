@@ -13,6 +13,10 @@
 //!   `127.0.0.1:7445`, port 0 for ephemeral) running the built-in demo
 //!   model plus any `--model <file.rpbcm>` checkpoints; exits when a
 //!   client sends the `shutdown` opcode.
+//! - `--drive <addr> <conns> <spread_ms> <infer_every>` — internal: the
+//!   10k-connection open-loop driver, run as a child process by the
+//!   benchmark so driver and server fds come from separate budgets.
+//!   Prints one JSON result line on stdout.
 
 use serve::{Registry, ServeConfig, Server};
 use std::process::ExitCode;
@@ -20,6 +24,9 @@ use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--drive") {
+        return run_drive(&args[1..]);
+    }
     let mut smoke = false;
     let mut listen: Option<String> = None;
     let mut models: Vec<String> = Vec::new();
@@ -72,13 +79,38 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_drive(rest: &[String]) -> ExitCode {
+    let (addr, conns, spread_ms, infer_every) = match rest {
+        [addr, conns, spread_ms, infer_every] => {
+            match (
+                addr.parse::<std::net::SocketAddr>(),
+                conns.parse::<usize>(),
+                spread_ms.parse::<u64>(),
+                infer_every.parse::<usize>(),
+            ) {
+                (Ok(a), Ok(c), Ok(s), Ok(i)) => (a, c, s, i),
+                _ => return usage("--drive arguments must be addr conns spread_ms infer_every"),
+            }
+        }
+        _ => return usage("--drive takes exactly addr conns spread_ms infer_every"),
+    };
+    let outcome = bench::experiments::serve::drive(
+        addr,
+        conns,
+        Duration::from_millis(spread_ms),
+        infer_every,
+    );
+    println!("{}", outcome.to_json_line());
+    ExitCode::SUCCESS
+}
+
 fn run_listen(addr: &str, models: &[String]) -> ExitCode {
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     let (net, meta) = bench::experiments::serve::demo_model(42);
     registry.insert(serve::Model::from_network("demo", net, meta));
     for path in models {
         match registry.load_file(std::path::Path::new(path)) {
-            Ok(idx) => println!("loaded {} as {:?}", path, registry.get(idx).name()),
+            Ok(entry) => println!("loaded {} as {:?} v{}", path, entry.name(), entry.version()),
             Err(e) => {
                 eprintln!("error: cannot load {path}: {e}");
                 return ExitCode::from(2);
@@ -106,7 +138,7 @@ fn run_listen(addr: &str, models: &[String]) -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "error: {msg}\nusage: exp_serve [--smoke] [--listen [addr] [--model <file.rpbcm>]...]"
+        "error: {msg}\nusage: exp_serve [--smoke] [--listen [addr] [--model <file.rpbcm>]...]\n       exp_serve --drive <addr> <conns> <spread_ms> <infer_every>"
     );
     ExitCode::from(2)
 }

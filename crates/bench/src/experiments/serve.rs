@@ -18,6 +18,15 @@
 //!    twice the measured B = 8 capacity against a small queue: admission
 //!    control must shed with explicit `overloaded` replies while served
 //!    requests keep a bounded p99.
+//! 4. **Open loop, 10k connections** — a child driver process (the fd
+//!    budget of server + 10,000 sockets on each side does not fit one
+//!    process under this kernel's 20,000-fd hard cap) holds ≥10,000
+//!    concurrent connections against a 4-shard server, firing pings plus
+//!    a sampled slice of fx infers on a staggered schedule. Checks the
+//!    event-driven core's scaling claims: every connection answered,
+//!    zero protocol errors, bounded p99, and per-shard connection
+//!    imbalance ≤ 1 (round-robin dealing makes that structural). The
+//!    driver is itself event-driven over [`serve::reactor`].
 //!
 //! A fourth, engine-level record (`engine_fx_lane`) times the demo
 //! model's fx stack directly — the scalar-scheduled batch oracle
@@ -37,8 +46,11 @@ use nn::layers::{BcmConv2d, ReLU};
 use nn::{CheckpointMeta, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serve::protocol::{encode_request, Payload, Request, HANDSHAKE};
+use serve::reactor::{stream_fd, Event, Interest, Poller};
 use serve::{Client, ClientError, Model, Registry, ServeConfig, Server, Status};
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// One scenario's aggregated outcome.
@@ -74,6 +86,33 @@ pub struct EngineMeasurement {
     pub speedup: f64,
 }
 
+/// The 10k-connection open-loop scenario's outcome (scenario 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenKMeasurement {
+    /// Concurrent connections the driver held open.
+    pub connections: u64,
+    /// Requests issued across all connections.
+    pub requests: u64,
+    /// `ok` replies.
+    pub served: u64,
+    /// Explicit `overloaded` replies.
+    pub shed: u64,
+    /// Other non-`ok` replies (must be zero).
+    pub rejected: u64,
+    /// Requests that never got a reply (must be zero).
+    pub lost: u64,
+    /// Wire-level protocol violations observed by the server.
+    pub protocol_errors: u64,
+    /// Median reply latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile reply latency, microseconds.
+    pub p99_us: f64,
+    /// Connections assigned per shard.
+    pub shard_conns: Vec<u64>,
+    /// `max - min` of [`TenKMeasurement::shard_conns`].
+    pub shard_imbalance: u64,
+}
+
 /// All measurements of the serving benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeResult {
@@ -83,6 +122,8 @@ pub struct ServeResult {
     pub batch_speedup: f64,
     /// Direct fx-engine timing, outside the server loop.
     pub engine: EngineMeasurement,
+    /// The 10k-connection open-loop scenario.
+    pub ten_k: TenKMeasurement,
 }
 
 impl ServeResult {
@@ -109,6 +150,22 @@ impl ServeResult {
                 m.p99_us,
             ));
         }
+        s.push_str(&format!(
+            "  {{\"config\": \"open_loop_10k_conns\", \"connections\": {}, \"requests\": {}, \
+             \"served\": {}, \"shed\": {}, \"rejected\": {}, \"lost\": {}, \
+             \"protocol_errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"shard_imbalance\": {}}},\n",
+            self.ten_k.connections,
+            self.ten_k.requests,
+            self.ten_k.served,
+            self.ten_k.shed,
+            self.ten_k.rejected,
+            self.ten_k.lost,
+            self.ten_k.protocol_errors,
+            self.ten_k.p50_us,
+            self.ten_k.p99_us,
+            self.ten_k.shard_imbalance,
+        ));
         s.push_str(&format!(
             "  {{\"config\": \"batch_scaling\", \"throughput_ratio_b8_over_b1\": {:.3}}},\n",
             self.batch_speedup
@@ -163,7 +220,7 @@ pub fn demo_model(seed: u64) -> (Network, CheckpointMeta) {
 /// Builds a registry holding the demo model.
 pub fn demo_registry(seed: u64) -> Registry {
     let (net, meta) = demo_model(seed);
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     registry.insert(Model::from_network("demo", net, meta));
     registry
 }
@@ -317,6 +374,404 @@ fn open_loop(
     (outcomes, start.elapsed())
 }
 
+// ---------------------------------------------------------------------
+// Scenario 4: 10k concurrent connections, open loop, child-process driver
+// ---------------------------------------------------------------------
+
+/// Connections the 10k scenario holds open.
+pub const TEN_K_CONNS: usize = 10_000;
+
+/// Raises the process soft fd limit to the hard cap (Linux). Both the
+/// serving parent and the driving child need ~10k fds; the default soft
+/// limit of 1024 would otherwise fail `accept`/`connect` long before the
+/// scenario's point.
+pub fn raise_fd_limit() {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct RLimit {
+            cur: u64,
+            max: u64,
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        unsafe extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        }
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // Best effort: a failure here surfaces later as connect errors.
+        unsafe {
+            if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < lim.max {
+                lim.cur = lim.max;
+                setrlimit(RLIMIT_NOFILE, &lim);
+            }
+        }
+    }
+}
+
+/// What the child driver reports back (one JSON line on stdout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Connections successfully established and held.
+    pub connections: u64,
+    /// Requests written (handshake excluded).
+    pub requests: u64,
+    /// `ok` replies.
+    pub served: u64,
+    /// Explicit `overloaded` replies.
+    pub shed: u64,
+    /// Other non-`ok` replies.
+    pub rejected: u64,
+    /// Requests with no reply by the deadline.
+    pub lost: u64,
+    /// Median reply latency, ns.
+    pub p50_ns: u64,
+    /// p99 reply latency, ns.
+    pub p99_ns: u64,
+    /// Driver wall clock, ms.
+    pub wall_ms: u64,
+}
+
+impl DriveOutcome {
+    /// The child's single-line stdout report.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"connections\": {}, \"requests\": {}, \"served\": {}, \"shed\": {}, \
+             \"rejected\": {}, \"lost\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"wall_ms\": {}}}",
+            self.connections,
+            self.requests,
+            self.served,
+            self.shed,
+            self.rejected,
+            self.lost,
+            self.p50_ns,
+            self.p99_ns,
+            self.wall_ms,
+        )
+    }
+
+    fn parse(line: &str) -> Option<DriveOutcome> {
+        let v = crate::json::parse(line).ok()?;
+        let num = |k: &str| v.get(k).and_then(crate::json::Json::as_num);
+        Some(DriveOutcome {
+            connections: num("connections")? as u64,
+            requests: num("requests")? as u64,
+            served: num("served")? as u64,
+            shed: num("shed")? as u64,
+            rejected: num("rejected")? as u64,
+            lost: num("lost")? as u64,
+            p50_ns: num("p50_ns")? as u64,
+            p99_ns: num("p99_ns")? as u64,
+            wall_ms: num("wall_ms")? as u64,
+        })
+    }
+}
+
+/// One driver-side connection's state machine.
+struct DriveConn {
+    stream: TcpStream,
+    /// Bytes still to write (handshake + every request frame).
+    wbuf: Vec<u8>,
+    woff: usize,
+    /// When this connection may start writing (open-loop stagger).
+    due: Duration,
+    /// Armed = writable interest registered (due reached).
+    armed: bool,
+    /// Set when the whole `wbuf` has been flushed.
+    sent: Option<Instant>,
+    expected: u32,
+    got: u32,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    dead: bool,
+}
+
+/// The event-driven load driver: holds `conns` concurrent connections,
+/// each writing its requests at a staggered `due` time across `spread`,
+/// then collects every reply. Runs in a **child process** (see the
+/// module docs for the fd budget); it reuses the server's own
+/// [`serve::reactor`] readiness layer, so one thread drives all 10k
+/// sockets.
+///
+/// Every connection sends `ping`; every `infer_every`-th also pipelines
+/// one fx infer behind it, exercising the batch engine through the same
+/// sockets.
+pub fn drive(addr: SocketAddr, conns: usize, spread: Duration, infer_every: usize) -> DriveOutcome {
+    raise_fd_limit();
+    let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(9000);
+    let sample: Vec<i16> = (0..DEMO_INPUT_LEN)
+        .map(|_| rng.gen_range(-256i16..256))
+        .collect();
+    let ping = frame(&encode_request(&Request::Ping));
+    let infer = frame(&encode_request(&Request::Infer {
+        model: "demo".into(),
+        input: Payload::Fx(sample),
+    }));
+
+    // Connect phase, parallelised: a single loopback connect costs
+    // multiple milliseconds on some kernels/sandboxes, so 10k serial
+    // connects would eat the whole measurement window. The latencies
+    // overlap across threads; the streams land back in index order.
+    let connect_threads = 32.min(conns.max(1));
+    let mut sockets: Vec<Option<TcpStream>> = (0..conns).map(|_| None).collect();
+    let chunk = conns.div_ceil(connect_threads).max(1);
+    std::thread::scope(|scope| {
+        for part in sockets.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for slot in part.iter_mut() {
+                    let stream = TcpStream::connect(addr).expect("driver connect");
+                    stream.set_nodelay(true).ok();
+                    stream.set_nonblocking(true).expect("nonblocking");
+                    *slot = Some(stream);
+                }
+            });
+        }
+    });
+
+    let mut poller = Poller::new().expect("driver poller");
+    let mut table: Vec<DriveConn> = Vec::with_capacity(conns);
+    let mut requests = 0u64;
+    for (i, slot) in sockets.into_iter().enumerate() {
+        let stream = slot.expect("connected stream");
+        let mut wbuf = HANDSHAKE.to_vec();
+        wbuf.extend_from_slice(&ping);
+        let mut expected = 1u32;
+        if infer_every > 0 && i % infer_every == 0 {
+            wbuf.extend_from_slice(&infer);
+            expected += 1;
+        }
+        requests += u64::from(expected);
+        poller
+            .add(stream_fd(&stream), i, Interest::READ)
+            .expect("register");
+        table.push(DriveConn {
+            stream,
+            wbuf,
+            woff: 0,
+            due: spread.mul_f64(i as f64 / conns as f64),
+            armed: false,
+            sent: None,
+            expected,
+            got: 0,
+            rbuf: Vec::new(),
+            rpos: 0,
+            dead: false,
+        });
+    }
+    let connections = table.len() as u64;
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests as usize);
+    let (mut served, mut shed, mut rejected) = (0u64, 0u64, 0u64);
+    let mut done = 0usize;
+    let mut next_arm = 0usize;
+    // The stagger offsets and the reply deadline are measured from the
+    // end of the connect phase, not from `t0`: connect time must not
+    // consume the measurement window.
+    let start = Instant::now();
+    let deadline = spread + Duration::from_secs(60);
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    while done < table.len() && start.elapsed() < deadline {
+        // Arm connections whose stagger offset has arrived (due is
+        // monotone in the index, so a cursor suffices).
+        let now = start.elapsed();
+        while next_arm < table.len() && table[next_arm].due <= now {
+            let c = &mut table[next_arm];
+            if !c.dead {
+                poller
+                    .modify(stream_fd(&c.stream), next_arm, Interest::READ_WRITE)
+                    .ok();
+                c.armed = true;
+            }
+            next_arm += 1;
+        }
+        let timeout = if next_arm < table.len() {
+            table[next_arm]
+                .due
+                .saturating_sub(now)
+                .min(Duration::from_millis(10))
+                .max(Duration::from_millis(1))
+        } else {
+            Duration::from_millis(20)
+        };
+        events.clear();
+        poller
+            .wait(&mut events, Some(timeout))
+            .expect("driver wait");
+        for ev in &events {
+            let i = ev.token;
+            let c = &mut table[i];
+            if c.dead {
+                continue;
+            }
+            if (ev.writable || ev.hangup) && c.armed && c.woff < c.wbuf.len() {
+                loop {
+                    match c.stream.write(&c.wbuf[c.woff..]) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            c.woff += n;
+                            if c.woff == c.wbuf.len() {
+                                c.sent = Some(Instant::now());
+                                poller.modify(stream_fd(&c.stream), i, Interest::READ).ok();
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ev.readable || ev.hangup {
+                loop {
+                    match c.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            c.dead = true;
+                            break;
+                        }
+                        Ok(n) => c.rbuf.extend_from_slice(&scratch[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+                // Parse complete reply frames: u32 length + status byte.
+                while c.rbuf.len() - c.rpos >= 4 {
+                    let len4: [u8; 4] = c.rbuf[c.rpos..c.rpos + 4].try_into().expect("4 bytes");
+                    let len = u32::from_le_bytes(len4) as usize;
+                    if c.rbuf.len() - c.rpos < 4 + len {
+                        break;
+                    }
+                    let status = c.rbuf[c.rpos + 4];
+                    c.rpos += 4 + len;
+                    c.got += 1;
+                    if let Some(sent) = c.sent {
+                        latencies.push(sent.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    }
+                    match status {
+                        0 => served += 1,
+                        1 => shed += 1,
+                        _ => rejected += 1,
+                    }
+                }
+                if c.rpos > 0 {
+                    c.rbuf.drain(..c.rpos);
+                    c.rpos = 0;
+                }
+            }
+            if c.dead || c.got >= c.expected {
+                poller.remove(stream_fd(&c.stream)).ok();
+                done += 1;
+                if !c.dead {
+                    c.dead = true; // fully answered; stop tracking events
+                }
+            }
+        }
+    }
+    // Connections stay open to here — concurrency held for the whole run.
+    let lost = requests - served - shed - rejected;
+    latencies.sort_unstable();
+    let pick = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() as f64 - 1.0) * p).round() as usize]
+        }
+    };
+    DriveOutcome {
+        connections,
+        requests,
+        served,
+        shed,
+        rejected,
+        lost,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        wall_ms: t0.elapsed().as_millis().min(u64::MAX as u128) as u64,
+    }
+}
+
+/// Length-prefixes one encoded request payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(4 + payload.len());
+    f.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("fits u32")
+            .to_le_bytes(),
+    );
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Runs the 10k-connection scenario: a 4-shard server in this process,
+/// the driver in a child process (`exp_serve --drive`).
+fn run_open_10k(quick: bool) -> TenKMeasurement {
+    raise_fd_limit();
+    let cfg = ServeConfig {
+        batch_size: 8,
+        max_wait: Duration::from_micros(2000),
+        // Roomy queue: this scenario checks connection scale, not
+        // shedding (scenario 3 covers overload).
+        queue_cap: 2048,
+        shards: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
+    let addr = server.local_addr();
+    let spread_ms: u64 = if quick { 1500 } else { 4000 };
+    let infer_every: usize = if quick { 32 } else { 8 };
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--drive",
+            &addr.to_string(),
+            &TEN_K_CONNS.to_string(),
+            &spread_ms.to_string(),
+            &infer_every.to_string(),
+        ])
+        .output()
+        .expect("spawn driver child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "driver child failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{'))
+        .expect("driver JSON line");
+    let d = DriveOutcome::parse(line).expect("parse driver outcome");
+
+    let errors = server.protocol_errors();
+    let shard_conns: Vec<u64> = server.shard_stats().iter().map(|&(c, _)| c).collect();
+    server.shutdown();
+    let imbalance = shard_conns.iter().max().copied().unwrap_or(0)
+        - shard_conns.iter().min().copied().unwrap_or(0);
+    TenKMeasurement {
+        connections: d.connections,
+        requests: d.requests,
+        served: d.served,
+        shed: d.shed,
+        rejected: d.rejected,
+        lost: d.lost,
+        protocol_errors: errors,
+        p50_us: d.p50_ns as f64 / 1e3,
+        p99_us: d.p99_ns as f64 / 1e3,
+        shard_conns,
+        shard_imbalance: imbalance,
+    }
+}
+
 /// Times the demo model's fx stack directly: the scalar-scheduled batch
 /// oracle vs the packed SoA lane path the batcher dispatches, on a full
 /// batch of 8. Asserts bit-identity before trusting either timing.
@@ -363,10 +818,15 @@ fn run_closed(
     clients: usize,
     per_client: usize,
 ) -> ServeMeasurement {
+    // One shard: the closed-loop scenarios measure *batching*, and
+    // batches form within a shard's queue — sharding the handful of
+    // clients would just starve the batches.
     let cfg = ServeConfig {
         batch_size,
         max_wait: Duration::from_micros(2000),
         queue_cap: 256,
+        shards: 1,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
     let (outcomes, wall) = closed_loop(server.local_addr(), clients, per_client, DEMO_INPUT_LEN);
@@ -397,6 +857,8 @@ pub fn run(quick: bool) -> ServeResult {
         batch_size: 8,
         max_wait: Duration::from_micros(2000),
         queue_cap: 16,
+        shards: 1,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
     let duration = Duration::from_millis(if quick { 400 } else { 1500 });
@@ -412,11 +874,13 @@ pub fn run(quick: bool) -> ServeResult {
     let overload = aggregate("open_loop_overload_2x", outcomes, wall, errors);
 
     let engine = measure_engine(if quick { 5 } else { 15 });
+    let ten_k = run_open_10k(quick);
 
     ServeResult {
         measurements: vec![b1, b8, overload],
         batch_speedup,
         engine,
+        ten_k,
     }
 }
 
@@ -463,6 +927,24 @@ pub fn print(r: &ServeResult) {
         "engine fx lane vs scalar oracle (batch 8): {} ns vs {} ns = {:.2}x",
         r.engine.lane_ns, r.engine.scalar_ns, r.engine.speedup
     );
+    let t = &r.ten_k;
+    println!(
+        "open loop, {} connections: {} requests, {} served / {} shed / {} rejected / {} lost, \
+         {} protocol errors, p50 {:.0} us, p99 {:.0} us",
+        t.connections,
+        t.requests,
+        t.served,
+        t.shed,
+        t.rejected,
+        t.lost,
+        t.protocol_errors,
+        t.p50_us,
+        t.p99_us,
+    );
+    println!(
+        "  shard connections {:?} (imbalance {})",
+        t.shard_conns, t.shard_imbalance
+    );
 }
 
 /// Smoke-checks a quick run: some throughput, no protocol errors, shed
@@ -508,12 +990,63 @@ pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
             r.engine.speedup
         ));
     }
+    let t = &r.ten_k;
+    if t.connections < TEN_K_CONNS as u64 {
+        fails.push(format!(
+            "open_loop_10k_conns: only {} concurrent connections",
+            t.connections
+        ));
+    }
+    if t.protocol_errors != 0 {
+        fails.push(format!(
+            "open_loop_10k_conns: {} protocol error(s)",
+            t.protocol_errors
+        ));
+    }
+    if t.rejected != 0 {
+        fails.push(format!(
+            "open_loop_10k_conns: {} rejected request(s)",
+            t.rejected
+        ));
+    }
+    if t.lost != 0 {
+        fails.push(format!("open_loop_10k_conns: {} lost request(s)", t.lost));
+    }
+    if t.p99_us >= 1_000_000.0 {
+        fails.push(format!(
+            "open_loop_10k_conns: unbounded p99 ({:.0} us)",
+            t.p99_us
+        ));
+    }
+    if t.shard_imbalance > 1 {
+        fails.push(format!(
+            "open_loop_10k_conns: shard connection imbalance {} (round-robin allows 1)",
+            t.shard_imbalance
+        ));
+    }
     fails
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A passing 10k-scenario measurement for result-literal tests.
+    fn good_ten_k() -> TenKMeasurement {
+        TenKMeasurement {
+            connections: TEN_K_CONNS as u64,
+            requests: 11_000,
+            served: 11_000,
+            shed: 0,
+            rejected: 0,
+            lost: 0,
+            protocol_errors: 0,
+            p50_us: 900.0,
+            p99_us: 40_000.0,
+            shard_conns: vec![2500, 2500, 2500, 2500],
+            shard_imbalance: 0,
+        }
+    }
 
     #[test]
     fn demo_model_has_fx_mirror_and_pruning() {
@@ -544,10 +1077,14 @@ mod tests {
                 lane_ns: 500,
                 speedup: 2.0,
             },
+            ten_k: good_ten_k(),
         };
         let j = r.to_json();
         assert!(j.contains("\"config\": \"x\""));
         assert!(j.contains("\"served\": 8"));
+        assert!(j.contains("\"config\": \"open_loop_10k_conns\""));
+        assert!(j.contains("\"connections\": 10000"));
+        assert!(j.contains("\"shard_imbalance\": 0"));
         assert!(j.contains("\"throughput_ratio_b8_over_b1\": 2.500"));
         assert!(j.contains("\"config\": \"engine_fx_lane\""));
         assert!(j.contains("\"lane_ns\": 500"));
@@ -589,6 +1126,7 @@ mod tests {
                 lane_ns: 500,
                 speedup: 2.0,
             },
+            ten_k: good_ten_k(),
         };
         assert!(smoke_failures(&r).is_empty());
 
@@ -599,5 +1137,29 @@ mod tests {
         bad.engine.speedup = 0.8;
         let fails = smoke_failures(&bad);
         assert_eq!(fails.len(), 4, "{fails:?}");
+
+        let mut bad10k = r.clone();
+        bad10k.ten_k.connections = 9_000;
+        bad10k.ten_k.lost = 3;
+        bad10k.ten_k.shard_imbalance = 7;
+        bad10k.ten_k.p99_us = 2e6;
+        let fails = smoke_failures(&bad10k);
+        assert_eq!(fails.len(), 4, "{fails:?}");
+    }
+
+    #[test]
+    fn drive_outcome_json_round_trips() {
+        let d = DriveOutcome {
+            connections: 10_000,
+            requests: 11_250,
+            served: 11_249,
+            shed: 1,
+            rejected: 0,
+            lost: 0,
+            p50_ns: 800_000,
+            p99_ns: 9_500_000,
+            wall_ms: 4_200,
+        };
+        assert_eq!(DriveOutcome::parse(&d.to_json_line()), Some(d));
     }
 }

@@ -1,8 +1,8 @@
-//! The dynamic micro-batching scheduler.
+//! The dynamic micro-batching scheduler — one instance per shard.
 //!
-//! Requests enter a bounded queue; a single worker thread groups
-//! same-model, same-mode neighbours into batches and runs them through
-//! the engine. A batch dispatches as soon as either
+//! Requests enter a bounded queue; the shard's batch worker thread
+//! groups same-entry, same-mode neighbours into batches and runs them
+//! through the engine. A batch dispatches as soon as either
 //!
 //! - it is **full** — `batch_size` compatible requests are queued, or
 //! - it is **stale** — `max_wait` has elapsed since its oldest request
@@ -13,9 +13,22 @@
 //! rather than buffered — the caller turns that into an explicit
 //! `overloaded` reply, keeping tail latency bounded under overload.
 //!
-//! Shutdown is graceful: [`Batcher::shutdown`] stops admissions, then the
-//! worker drains every queued request (still batched, no deadline waits)
-//! before exiting.
+//! Every queued request carries the `Arc<ModelEntry>` it resolved at
+//! admission, so a registry hot-swap mid-queue is harmless: the request
+//! executes on the version it was admitted against. Batches group by
+//! **entry identity** (the `Arc` pointer), not by name — requests
+//! straddling a version flip land in separate batches and never mix
+//! versions.
+//!
+//! Replies leave through a `ReplySink`: an `mpsc` channel for direct
+//! embedders and tests, or a connection's sequenced output buffer for
+//! the sharded server (the worker encodes the wire frame itself, off
+//! the event loop).
+//!
+//! Shutdown is graceful: [`Batcher::begin_drain`] stops admissions, the
+//! worker drains every queued request (still batched, no deadline
+//! waits), and [`Batcher::shutdown`] joins it — zero queued requests are
+//! dropped.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -23,9 +36,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::config::ServeConfig;
+use crate::conn::ConnShared;
 use crate::metrics;
-use crate::protocol::Payload;
-use crate::registry::{Mode, Registry};
+use crate::protocol::{self, Payload, Response};
+use crate::quota::QuotaGuard;
+use crate::registry::{Mode, ModelEntry};
 
 /// Why a request was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,13 +51,72 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// Where a completed request's output goes.
+pub(crate) enum ReplySink {
+    /// Hand the raw payload to a waiting thread (tests, embedders).
+    Channel(mpsc::Sender<Payload>),
+    /// Encode the wire response and deposit it in the connection's
+    /// sequenced output buffer.
+    Conn {
+        /// The connection's shared output half.
+        conn: Arc<ConnShared>,
+        /// The response slot allocated at parse time.
+        seq: u64,
+        /// Encode as a JSON line instead of a binary frame.
+        json: bool,
+    },
+}
+
+impl ReplySink {
+    /// Delivers a successful output through the sink.
+    fn deliver(self, output: Payload) {
+        match self {
+            ReplySink::Channel(tx) => {
+                // A receiver dropped mid-flight (client hung up) is fine.
+                let _ = tx.send(output);
+            }
+            ReplySink::Conn { conn, seq, json } => {
+                let resp = Response::Output(output);
+                conn.push_reply(seq, encode_for_wire(&resp, json));
+            }
+        }
+    }
+}
+
+/// Encodes a response as its on-the-wire bytes: a length-prefixed binary
+/// frame, or a newline-terminated JSON line.
+pub(crate) fn encode_for_wire(resp: &Response, json: bool) -> Vec<u8> {
+    if json {
+        let mut line = protocol::render_json_response(resp).into_bytes();
+        line.push(b'\n');
+        line
+    } else {
+        let body = protocol::encode_response(resp);
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(
+            &u32::try_from(body.len())
+                .expect("frame fits u32")
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&body);
+        frame
+    }
+}
+
 /// A queued request.
-struct Pending {
-    model: usize,
-    mode: Mode,
-    input: Payload,
-    reply: mpsc::Sender<Payload>,
-    enqueued: Instant,
+pub(crate) struct Pending {
+    pub(crate) entry: Arc<ModelEntry>,
+    pub(crate) mode: Mode,
+    pub(crate) input: Payload,
+    pub(crate) sink: ReplySink,
+    /// Held until the reply is delivered; releases the tenant's slot.
+    pub(crate) quota: Option<QuotaGuard>,
+    pub(crate) enqueued: Instant,
+}
+
+/// Batch compatibility key: the *entry identity* (pointer) and mode.
+fn key(p: &Pending) -> (usize, Mode) {
+    (Arc::as_ptr(&p.entry) as usize, p.mode)
 }
 
 struct State {
@@ -56,15 +130,17 @@ struct Shared {
     cv: Condvar,
 }
 
-/// Handle to the scheduler: submit requests, then shut down gracefully.
+/// Handle to one shard's scheduler: submit requests, then drain and join.
 pub struct Batcher {
     shared: Arc<Shared>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Batcher {
-    /// Spawns the batch worker over `registry`.
-    pub fn start(cfg: ServeConfig, registry: Registry) -> Batcher {
+    /// Spawns the batch worker. Models arrive per request as resolved
+    /// [`ModelEntry`] references, so the batcher itself holds no
+    /// registry state.
+    pub fn start(cfg: ServeConfig) -> Batcher {
         let shared = Arc::new(Shared {
             cfg,
             state: Mutex::new(State {
@@ -76,7 +152,7 @@ impl Batcher {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("serve-batcher".into())
-            .spawn(move || worker_loop(&worker_shared, registry))
+            .spawn(move || worker_loop(&worker_shared))
             .expect("spawn batch worker");
         Batcher {
             shared,
@@ -84,21 +160,36 @@ impl Batcher {
         }
     }
 
-    /// Submits one request. On admission, the reply (the model output,
-    /// same payload variant as the input) arrives on the returned
-    /// receiver; a receiver whose sender was dropped means the batcher
-    /// shut down before executing the request.
+    /// Submits one request with a channel reply. On admission, the reply
+    /// (the model output, same payload variant as the input) arrives on
+    /// the returned receiver; a receiver whose sender was dropped means
+    /// the batcher shut down before executing the request.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the queue is at capacity,
-    /// [`SubmitError::ShuttingDown`] after [`Batcher::shutdown`] began.
+    /// [`SubmitError::ShuttingDown`] after draining began.
     pub fn submit(
         &self,
-        model: usize,
+        entry: Arc<ModelEntry>,
         mode: Mode,
         input: Payload,
     ) -> Result<mpsc::Receiver<Payload>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_sink(entry, mode, input, ReplySink::Channel(tx), None)?;
+        Ok(rx)
+    }
+
+    /// Submits one request with an arbitrary sink (the sharded server's
+    /// entry point).
+    pub(crate) fn submit_sink(
+        &self,
+        entry: Arc<ModelEntry>,
+        mode: Mode,
+        input: Payload,
+        sink: ReplySink,
+        quota: Option<QuotaGuard>,
+    ) -> Result<(), SubmitError> {
         let mut st = self.shared.state.lock().expect("batcher lock");
         if st.shutting_down {
             return Err(SubmitError::ShuttingDown);
@@ -107,12 +198,12 @@ impl Batcher {
             metrics::SHED.add(1);
             return Err(SubmitError::Overloaded);
         }
-        let (tx, rx) = mpsc::channel();
         st.queue.push_back(Pending {
-            model,
+            entry,
             mode,
             input,
-            reply: tx,
+            sink,
+            quota,
             enqueued: Instant::now(),
         });
         metrics::ACCEPTED.add(1);
@@ -121,7 +212,7 @@ impl Batcher {
         metrics::QUEUE_PEAK.set_max(depth);
         drop(st);
         self.shared.cv.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Current queue depth (for tests and load generators).
@@ -129,14 +220,30 @@ impl Batcher {
         self.shared.state.lock().expect("batcher lock").queue.len()
     }
 
-    /// Stops admissions, drains every queued request through the engine,
-    /// and joins the worker. Idempotent.
-    pub fn shutdown(&self) {
+    /// Stops admissions and tells the worker to drain without deadline
+    /// waits. Non-blocking and idempotent; pair with
+    /// [`Batcher::is_drained`] / [`Batcher::shutdown`].
+    pub fn begin_drain(&self) {
         {
             let mut st = self.shared.state.lock().expect("batcher lock");
             st.shutting_down = true;
         }
         self.shared.cv.notify_all();
+    }
+
+    /// Whether the worker has finished draining and exited.
+    pub fn is_drained(&self) -> bool {
+        self.worker
+            .lock()
+            .expect("worker lock")
+            .as_ref()
+            .is_none_or(std::thread::JoinHandle::is_finished)
+    }
+
+    /// Stops admissions, drains every queued request through the engine,
+    /// and joins the worker. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_drain();
         if let Some(handle) = self.worker.lock().expect("worker lock").take() {
             handle.join().expect("batch worker panicked");
         }
@@ -150,17 +257,17 @@ impl Drop for Batcher {
 }
 
 /// Takes up to `cap` requests compatible with the queue front's
-/// (model, mode) key, preserving arrival order and leaving incompatible
+/// (entry, mode) key, preserving arrival order and leaving incompatible
 /// requests queued.
 fn take_batch(queue: &mut VecDeque<Pending>, cap: usize) -> Vec<Pending> {
     let Some(front) = queue.front() else {
         return Vec::new();
     };
-    let key = (front.model, front.mode);
+    let k = key(front);
     let mut batch = Vec::new();
     let mut i = 0;
     while i < queue.len() && batch.len() < cap {
-        if (queue[i].model, queue[i].mode) == key {
+        if key(&queue[i]) == k {
             batch.push(queue.remove(i).expect("index in bounds"));
         } else {
             i += 1;
@@ -169,18 +276,18 @@ fn take_batch(queue: &mut VecDeque<Pending>, cap: usize) -> Vec<Pending> {
     batch
 }
 
-/// Counts queued requests matching the queue front's (model, mode) key.
+/// Counts queued requests matching the queue front's (entry, mode) key.
 fn matching_front(queue: &VecDeque<Pending>) -> usize {
     match queue.front() {
         None => 0,
         Some(front) => {
-            let key = (front.model, front.mode);
-            queue.iter().filter(|p| (p.model, p.mode) == key).count()
+            let k = key(front);
+            queue.iter().filter(|p| key(p) == k).count()
         }
     }
 }
 
-fn worker_loop(shared: &Shared, mut registry: Registry) {
+fn worker_loop(shared: &Shared) {
     let cfg = shared.cfg;
     loop {
         let batch = {
@@ -210,17 +317,17 @@ fn worker_loop(shared: &Shared, mut registry: Registry) {
                 st = guard;
             }
         };
-        execute(&mut registry, batch);
+        execute(batch);
     }
 }
 
 /// Runs one batch through the engine and delivers the replies.
-fn execute(registry: &mut Registry, batch: Vec<Pending>) {
+pub(crate) fn execute(batch: Vec<Pending>) {
     if batch.is_empty() {
         return;
     }
     metrics::BATCH_SIZE.record(batch.len() as u64);
-    let model = registry.get_mut(batch[0].model);
+    let entry = Arc::clone(&batch[0].entry);
     let start = Instant::now();
     let outputs: Vec<Payload> = match batch[0].mode {
         Mode::F32 => {
@@ -231,7 +338,7 @@ fn execute(registry: &mut Registry, batch: Vec<Pending>) {
                     Payload::Fx(_) => unreachable!("mode/payload mismatch"),
                 })
                 .collect();
-            model
+            entry
                 .forward_f32_batch(&samples)
                 .into_iter()
                 .map(Payload::F32)
@@ -242,7 +349,7 @@ fn execute(registry: &mut Registry, batch: Vec<Pending>) {
             // no per-sample row clones; the i16 lanes ride the FxBatch
             // through every layer and only split back into rows for the
             // per-request replies.
-            let fx = model.fx().expect("fx mode unavailable");
+            let fx = entry.fx().expect("fx mode unavailable");
             let (q, sample_len) = (fx.qformat(), fx.input_len());
             let mut flat = Vec::with_capacity(batch.len() * sample_len);
             for p in &batch {
@@ -252,7 +359,7 @@ fn execute(registry: &mut Registry, batch: Vec<Pending>) {
                 }
             }
             let packed = hwsim::FxBatch::from_flat(q, batch.len(), sample_len, flat);
-            model
+            entry
                 .forward_fx_batch_packed(packed)
                 .into_rows()
                 .into_iter()
@@ -266,21 +373,23 @@ fn execute(registry: &mut Registry, batch: Vec<Pending>) {
         let latency = pending.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         metrics::LATENCY.record(latency);
         metrics::COMPLETED.add(1);
-        // A receiver dropped mid-flight (client hung up) is not an error.
-        let _ = pending.reply.send(output);
+        pending.sink.deliver(output);
+        // The quota guard drops here: the slot frees as the reply lands.
+        drop(pending.quota);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{Model, Registry};
     use nn::layers::{BcmConv2d, ReLU};
     use nn::{CheckpointMeta, Network};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::time::Duration;
 
-    fn tiny_registry(seed: u64) -> (Registry, usize, usize) {
+    fn tiny_entry(seed: u64) -> (Arc<ModelEntry>, usize, usize) {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Network::new(
             "tiny",
@@ -293,22 +402,25 @@ mod tests {
             input_dims: vec![4, 4, 4],
             frac_bits: 8,
         };
-        let model = crate::registry::Model::from_network("tiny", net, meta);
-        let input_len = model.input_len();
-        let output_len = model.output_len();
-        let mut reg = Registry::new();
-        reg.insert(model);
-        (reg, input_len, output_len)
+        let reg = Registry::new();
+        let entry = reg.publish(Model::from_network("tiny", net, meta));
+        let input_len = entry.input_len();
+        let output_len = entry.output_len();
+        (entry, input_len, output_len)
     }
 
     #[test]
     fn requests_get_replies() {
-        let (reg, input_len, output_len) = tiny_registry(1);
-        let batcher = Batcher::start(ServeConfig::default(), reg);
+        let (entry, input_len, output_len) = tiny_entry(1);
+        let batcher = Batcher::start(ServeConfig::default());
         let rxs: Vec<_> = (0..5)
             .map(|i| {
                 batcher
-                    .submit(0, Mode::F32, Payload::F32(vec![i as f32 * 0.1; input_len]))
+                    .submit(
+                        Arc::clone(&entry),
+                        Mode::F32,
+                        Payload::F32(vec![i as f32 * 0.1; input_len]),
+                    )
                     .unwrap()
             })
             .collect();
@@ -321,19 +433,24 @@ mod tests {
 
     #[test]
     fn overload_sheds_instead_of_buffering() {
-        let (reg, input_len, _) = tiny_registry(2);
+        let (entry, input_len, _) = tiny_entry(2);
         let cfg = ServeConfig {
             batch_size: 4,
             max_wait: Duration::from_millis(50),
             queue_cap: 4,
+            ..ServeConfig::default()
         };
-        let batcher = Batcher::start(cfg, reg);
+        let batcher = Batcher::start(cfg);
         // Far more than queue_cap submissions in a tight loop: some must
         // shed (the worker can't drain 64 batches instantly).
         let mut shed = 0;
         let mut rxs = Vec::new();
         for _ in 0..64 {
-            match batcher.submit(0, Mode::F32, Payload::F32(vec![0.5; input_len])) {
+            match batcher.submit(
+                Arc::clone(&entry),
+                Mode::F32,
+                Payload::F32(vec![0.5; input_len]),
+            ) {
                 Ok(rx) => rxs.push(rx),
                 Err(SubmitError::Overloaded) => shed += 1,
                 Err(SubmitError::ShuttingDown) => unreachable!(),
@@ -348,18 +465,23 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_requests() {
-        let (reg, input_len, _) = tiny_registry(3);
+        let (entry, input_len, _) = tiny_entry(3);
         let cfg = ServeConfig {
             batch_size: 4,
             // Long deadline: queued singles would otherwise linger.
             max_wait: Duration::from_secs(5),
             queue_cap: 64,
+            ..ServeConfig::default()
         };
-        let batcher = Batcher::start(cfg, reg);
+        let batcher = Batcher::start(cfg);
         let rxs: Vec<_> = (0..7)
             .map(|_| {
                 batcher
-                    .submit(0, Mode::F32, Payload::F32(vec![0.25; input_len]))
+                    .submit(
+                        Arc::clone(&entry),
+                        Mode::F32,
+                        Payload::F32(vec![0.25; input_len]),
+                    )
                     .unwrap()
             })
             .collect();
@@ -368,22 +490,23 @@ mod tests {
             rx.recv().expect("shutdown drains in-flight requests");
         }
         assert!(matches!(
-            batcher.submit(0, Mode::F32, Payload::F32(vec![0.0; input_len])),
+            batcher.submit(entry, Mode::F32, Payload::F32(vec![0.0; input_len])),
             Err(SubmitError::ShuttingDown)
         ));
     }
 
     #[test]
     fn stale_singles_dispatch_at_the_deadline() {
-        let (reg, input_len, _) = tiny_registry(4);
+        let (entry, input_len, _) = tiny_entry(4);
         let cfg = ServeConfig {
             batch_size: 64,
             max_wait: Duration::from_millis(5),
             queue_cap: 64,
+            ..ServeConfig::default()
         };
-        let batcher = Batcher::start(cfg, reg);
+        let batcher = Batcher::start(cfg);
         let rx = batcher
-            .submit(0, Mode::F32, Payload::F32(vec![0.1; input_len]))
+            .submit(entry, Mode::F32, Payload::F32(vec![0.1; input_len]))
             .unwrap();
         // A single request must complete despite never filling the batch.
         let out = rx
@@ -391,5 +514,31 @@ mod tests {
             .expect("deadline dispatch");
         assert!(!out.is_empty());
         batcher.shutdown();
+    }
+
+    #[test]
+    fn batches_never_mix_entry_versions() {
+        // Two versions of the same name: jobs group by entry identity.
+        let (v1, input_len, _) = tiny_entry(5);
+        let (v2, _, _) = tiny_entry(6);
+        let mut queue: VecDeque<Pending> = VecDeque::new();
+        for entry in [&v1, &v2, &v1, &v2] {
+            let (tx, _rx) = mpsc::channel();
+            queue.push_back(Pending {
+                entry: Arc::clone(entry),
+                mode: Mode::F32,
+                input: Payload::F32(vec![0.0; input_len]),
+                sink: ReplySink::Channel(tx),
+                quota: None,
+                enqueued: Instant::now(),
+            });
+        }
+        let batch = take_batch(&mut queue, 8);
+        assert_eq!(batch.len(), 2, "only same-version jobs batch together");
+        assert!(
+            batch.iter().all(|p| Arc::ptr_eq(&p.entry, &v1)),
+            "front key wins"
+        );
+        assert_eq!(queue.len(), 2);
     }
 }

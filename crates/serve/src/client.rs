@@ -121,6 +121,20 @@ impl Client {
         }
     }
 
+    /// Declares this connection's tenant for quota accounting. Connections
+    /// that never say hello are accounted under the anonymous tenant `""`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a non-`ok` reply.
+    pub fn hello(&mut self, tenant: &str) -> Result<(), ClientError> {
+        let req = Request::Hello {
+            tenant: tenant.to_string(),
+        };
+        let resp = self.round_trip(&req, false)?;
+        Self::expect_output(resp).map(|_| ())
+    }
+
     /// Asks the server to shut down (the host decides when to act on it).
     ///
     /// # Errors

@@ -2,18 +2,20 @@
 
 use std::time::Duration;
 
-/// Tunables of the micro-batching scheduler and admission control.
+/// Tunables of the sharded reactor and micro-batching scheduler.
 ///
 /// Defaults come from [`ServeConfig::default`]; [`ServeConfig::from_env`]
 /// overlays the `RPBCM_SERVE_*` environment variables (parsed through
 /// [`telemetry::env`], so malformed values fall back with a one-line
 /// warning instead of panicking):
 ///
-/// | Variable                 | Meaning                           | Default |
-/// |--------------------------|-----------------------------------|---------|
-/// | `RPBCM_SERVE_BATCH`      | max batch size B                  | 8       |
-/// | `RPBCM_SERVE_MAX_WAIT_US`| batch-fill deadline T (µs)        | 2000    |
-/// | `RPBCM_SERVE_QUEUE_CAP`  | admission-control queue bound     | 64      |
+/// | Variable                   | Meaning                             | Default |
+/// |----------------------------|-------------------------------------|---------|
+/// | `RPBCM_SERVE_BATCH`        | max batch size B                    | 8       |
+/// | `RPBCM_SERVE_MAX_WAIT_US`  | batch-fill deadline T (µs)          | 2000    |
+/// | `RPBCM_SERVE_QUEUE_CAP`    | per-shard admission queue bound     | 64      |
+/// | `RPBCM_SERVE_SHARDS`       | reactor shard count                 | cores, capped at 8 |
+/// | `RPBCM_SERVE_TENANT_QUOTA` | per-tenant in-flight cap (0 = none) | 0       |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Maximum requests per dispatched batch (B). A batch launches as
@@ -22,10 +24,18 @@ pub struct ServeConfig {
     /// How long the scheduler holds an incomplete batch open after its
     /// first request arrives (T) before dispatching it short.
     pub max_wait: Duration,
-    /// Bounded-queue admission limit: a request arriving while the queue
-    /// holds this many entries is shed with an explicit `overloaded`
-    /// reply instead of being buffered.
+    /// Bounded-queue admission limit **per shard**: a request arriving
+    /// while the shard's queue holds this many entries is shed with an
+    /// explicit `overloaded` reply instead of being buffered.
     pub queue_cap: usize,
+    /// Reactor shard count. Each shard is one event-loop thread plus
+    /// one batch worker; connections are dealt to shards round-robin.
+    /// Clamped to at least 1.
+    pub shards: usize,
+    /// Per-tenant in-flight request cap. `0` disables enforcement
+    /// (in-flight counts are still tracked); a positive value makes the
+    /// `quota_exceeded` status live (see [`crate::quota`]).
+    pub tenant_quota: usize,
 }
 
 impl Default for ServeConfig {
@@ -34,8 +44,19 @@ impl Default for ServeConfig {
             batch_size: 8,
             max_wait: Duration::from_micros(2000),
             queue_cap: 64,
+            shards: default_shards(),
+            tenant_quota: 0,
         }
     }
+}
+
+/// One shard per available core, capped at 8 — past that, loopback
+/// serving is batcher-bound, not reactor-bound.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
 }
 
 impl ServeConfig {
@@ -50,6 +71,8 @@ impl ServeConfig {
                 d.max_wait.subsec_micros() as usize,
             ) as u64),
             queue_cap: telemetry::env::usize_or("RPBCM_SERVE_QUEUE_CAP", d.queue_cap).max(1),
+            shards: telemetry::env::usize_or("RPBCM_SERVE_SHARDS", d.shards).max(1),
+            tenant_quota: telemetry::env::usize_or("RPBCM_SERVE_TENANT_QUOTA", d.tenant_quota),
         }
     }
 }
@@ -64,5 +87,7 @@ mod tests {
         assert!(c.batch_size >= 1);
         assert!(c.queue_cap >= c.batch_size);
         assert!(c.max_wait > Duration::ZERO);
+        assert!(c.shards >= 1);
+        assert_eq!(c.tenant_quota, 0);
     }
 }

@@ -1,0 +1,213 @@
+//! Per-connection response sequencing, shared between a shard's event
+//! loop and the batch workers that complete its requests.
+//!
+//! The RPBS protocol promises clients that **responses arrive in request
+//! order** — that is what lets them pipeline without request ids. In the
+//! sharded server a connection's requests finish out of order (an inline
+//! validation error is ready instantly; a batched inference lands
+//! whenever its batch executes), so every request is assigned a sequence
+//! number at parse time and its encoded reply is buffered in a
+//! `ConnShared` until all earlier replies are buffered too. Only the
+//! contiguous run from the front is ever written to the socket.
+//!
+//! All socket *writes* stay on the shard thread that owns the
+//! connection; batch workers only deposit bytes here and ring the
+//! shard's `Notifier`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::reactor::Waker;
+
+/// Compact the write buffer once this many consumed bytes accumulate at
+/// its front.
+const COMPACT_AT: usize = 64 << 10;
+
+/// A shard's cross-thread completion mailbox: batch workers mark the
+/// connections they completed replies for, then wake the shard's poller.
+pub(crate) struct Notifier {
+    dirty: Mutex<Vec<usize>>,
+    waker: Waker,
+}
+
+impl Notifier {
+    pub(crate) fn new(waker: Waker) -> Arc<Notifier> {
+        Arc::new(Notifier {
+            dirty: Mutex::new(Vec::new()),
+            waker,
+        })
+    }
+
+    /// Records that `token`'s connection has new bytes to flush and wakes
+    /// the shard. Duplicate marks coalesce at drain time.
+    pub(crate) fn mark_dirty(&self, token: usize) {
+        self.dirty.lock().expect("notifier lock").push(token);
+        self.waker.wake();
+    }
+
+    /// Takes the set of connections marked since the last drain.
+    pub(crate) fn take_dirty(&self) -> Vec<usize> {
+        std::mem::take(&mut *self.dirty.lock().expect("notifier lock"))
+    }
+
+    /// Wakes the shard without marking any connection (used for shutdown
+    /// and new-connection handoff).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Drains coalesced wake bytes (shard thread only).
+    pub(crate) fn drain_wakes(&self) {
+        self.waker.drain();
+    }
+}
+
+struct OutQueue {
+    /// Next sequence number to hand out at request parse time.
+    next_seq: u64,
+    /// The sequence number the next flushed reply must carry.
+    next_flush: u64,
+    /// Completed replies waiting for their predecessors.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Wire-ready bytes in send order.
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    off: usize,
+}
+
+/// The half of a connection that batch workers can touch: sequence
+/// allocation and ordered reply buffering. The shard thread keeps the
+/// socket itself and is the only writer.
+pub(crate) struct ConnShared {
+    token: usize,
+    notifier: Arc<Notifier>,
+    out: Mutex<OutQueue>,
+}
+
+impl ConnShared {
+    pub(crate) fn new(token: usize, notifier: Arc<Notifier>) -> Arc<ConnShared> {
+        Arc::new(ConnShared {
+            token,
+            notifier,
+            out: Mutex::new(OutQueue {
+                next_seq: 0,
+                next_flush: 0,
+                pending: BTreeMap::new(),
+                buf: Vec::new(),
+                off: 0,
+            }),
+        })
+    }
+
+    /// The poller token of the owning connection.
+    pub(crate) fn token(&self) -> usize {
+        self.token
+    }
+
+    /// Assigns the next response slot. Every allocated slot must
+    /// eventually receive exactly one [`ConnShared::push_reply`], or the
+    /// connection's output wedges behind the gap.
+    pub(crate) fn alloc_seq(&self) -> u64 {
+        let mut out = self.out.lock().expect("conn out lock");
+        let seq = out.next_seq;
+        out.next_seq += 1;
+        seq
+    }
+
+    /// Deposits the encoded reply for slot `seq`, moves the contiguous
+    /// run into the write buffer, and marks the connection dirty.
+    pub(crate) fn push_reply(&self, seq: u64, frame: Vec<u8>) {
+        {
+            let mut out = self.out.lock().expect("conn out lock");
+            out.pending.insert(seq, frame);
+            while let Some(frame) = {
+                let next = out.next_flush;
+                out.pending.remove(&next)
+            } {
+                out.buf.extend_from_slice(&frame);
+                out.next_flush += 1;
+            }
+        }
+        self.notifier.mark_dirty(self.token);
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    /// Returns `Ok(true)` when the buffer emptied, `Ok(false)` when the
+    /// socket backpressured (`WouldBlock`) — the caller should add
+    /// writable interest and retry on the writable event.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors other than `WouldBlock` (the connection is dead).
+    pub(crate) fn flush(&self, stream: &mut impl Write) -> io::Result<bool> {
+        let mut out = self.out.lock().expect("conn out lock");
+        while out.off < out.buf.len() {
+            match stream.write(&out.buf[out.off..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => out.off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if out.off == out.buf.len() {
+            out.buf.clear();
+            out.off = 0;
+            Ok(true)
+        } else {
+            if out.off >= COMPACT_AT {
+                let off = out.off;
+                out.buf.drain(..off);
+                out.off = 0;
+            }
+            Ok(false)
+        }
+    }
+
+    /// Whether any reply is still buffered or still owed to an allocated
+    /// slot — i.e. the connection cannot be closed without dropping a
+    /// response.
+    pub(crate) fn has_backlog(&self) -> bool {
+        let out = self.out.lock().expect("conn out lock");
+        out.off < out.buf.len() || !out.pending.is_empty() || out.next_flush < out.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reactor::Poller;
+
+    fn shared() -> Arc<ConnShared> {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new(&mut poller).unwrap();
+        ConnShared::new(1, Notifier::new(waker))
+    }
+
+    #[test]
+    fn out_of_order_replies_flush_in_sequence_order() {
+        let conn = shared();
+        let a = conn.alloc_seq();
+        let b = conn.alloc_seq();
+        let c = conn.alloc_seq();
+        conn.push_reply(c, vec![3]);
+        conn.push_reply(a, vec![1]);
+        assert!(conn.has_backlog());
+        let mut wire = Vec::new();
+        // Only the contiguous run (reply 1) may flush while 2 is owed.
+        assert!(conn.flush(&mut wire).unwrap());
+        assert_eq!(wire, vec![1]);
+        conn.push_reply(b, vec![2]);
+        assert!(conn.flush(&mut wire).unwrap());
+        assert_eq!(wire, vec![1, 2, 3]);
+        assert!(!conn.has_backlog());
+    }
+
+    #[test]
+    fn allocated_but_unanswered_slots_count_as_backlog() {
+        let conn = shared();
+        let _gap = conn.alloc_seq();
+        assert!(conn.has_backlog());
+    }
+}

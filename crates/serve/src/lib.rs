@@ -1,12 +1,15 @@
-//! rpbcm-serve: a batched inference serving engine over the pruned-BCM
-//! fast path.
+//! rpbcm-serve: an event-driven, sharded inference serving engine over
+//! the pruned-BCM fast path.
 //!
 //! The RP-BCM accelerator's throughput story (§V) assumes work arrives in
 //! batches that keep the datapath busy; this crate supplies the software
-//! side of that story. A multi-threaded TCP server admits single-sample
-//! inference requests, a dynamic micro-batching scheduler groups them
-//! (dispatching when a batch fills to `B` or its oldest request has
-//! waited `T`), and batches execute through either
+//! side of that story at production connection counts. A nonblocking
+//! acceptor deals connections to thread-per-core **reactor shards**
+//! (readiness loops over `epoll`/`poll` — see [`reactor`]); each shard
+//! parses requests zero-copy out of pooled per-connection buffers and
+//! feeds its own dynamic micro-batching scheduler (dispatching when a
+//! batch fills to `B` or its oldest request has waited `T`). Batches
+//! execute through either
 //!
 //! - the **float fast path** — the cached spectral-weight
 //!   `Network::forward` inference route, or
@@ -21,45 +24,69 @@
 //!
 //! - [`protocol`] — the wire format: length-prefixed binary frames
 //!   behind an `RPBS` handshake, plus a line-delimited JSON debug mode.
+//!   The normative byte-level spec lives in [`spec`] (compiled from
+//!   `docs/PROTOCOL.md`, so its examples cannot rot).
 //! - [`registry`] — deployed [`Model`]s (loaded from `.rpbcm`
-//!   checkpoints or wrapped in process) and the batch execution engine.
+//!   checkpoints or wrapped in process) with **versioned hot swap**:
+//!   publishing under an existing name atomically flips which weights
+//!   new requests resolve while in-flight requests finish on the old
+//!   version.
+//! - [`reactor`] — the std-only readiness layer (`epoll` on Linux,
+//!   `poll` elsewhere on Unix) plus its cross-thread [`reactor::Waker`].
 //! - [`batcher`] — the bounded-queue micro-batching scheduler with
-//!   explicit `overloaded` shedding and graceful drain.
-//! - [`server`] / [`client`] — the TCP front end and its reference
-//!   client.
-//! - [`config`] — `RPBCM_SERVE_*` environment knobs.
+//!   explicit `overloaded` shedding and graceful drain; one per shard.
+//! - [`quota`] — per-tenant in-flight admission quotas behind the
+//!   `hello` opcode.
+//! - [`server`] / [`client`] — the sharded TCP front end and its
+//!   blocking reference client.
+//! - [`config`] — `RPBCM_SERVE_*` environment knobs (operator guide:
+//!   `docs/OPERATIONS.md`).
 //!
 //! Telemetry probes (`serve.*` counters, queue-depth gauge, batch-size
-//! and latency histograms) flow through the workspace [`telemetry`]
-//! registry and surface in the bench harness dumps.
+//! and latency histograms, per-shard `serve.shard.*` load counters) flow
+//! through the workspace [`telemetry`] registry and surface in the bench
+//! harness dumps.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use serve::{Client, Model, Registry, ServeConfig, Server};
 //!
-//! let mut registry = Registry::new();
+//! let registry = Registry::new();
 //! registry.load_file(std::path::Path::new("model.rpbcm")).unwrap();
 //! let server = Server::bind("127.0.0.1:0", ServeConfig::from_env(), registry).unwrap();
 //!
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! let output = client.infer_f32("model", &vec![0.0; 3 * 16 * 16]).unwrap();
 //! println!("{} logits", output.len());
+//!
+//! // Hot swap: publish a new version under the same name. In-flight
+//! // requests finish on the old weights; new requests get the new ones.
+//! let v2 = Model::load_file(std::path::Path::new("model-v2.rpbcm")).unwrap();
+//! server.registry().publish(v2);
 //! server.shutdown();
 //! ```
 
+#![deny(missing_docs)]
+
 mod metrics;
+mod shard;
 
 pub mod batcher;
 pub mod client;
 pub mod config;
+pub mod conn;
 pub mod protocol;
+pub mod quota;
+pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod spec;
 
 pub use batcher::{Batcher, SubmitError};
 pub use client::{Client, ClientError};
 pub use config::ServeConfig;
 pub use protocol::{Payload, Request, Response, Status};
-pub use registry::{FxModel, Mode, Model, ModelInfo, Registry};
+pub use quota::{QuotaGuard, QuotaTable};
+pub use registry::{FxModel, Mode, Model, ModelEntry, ModelInfo, Registry};
 pub use server::Server;

@@ -35,3 +35,14 @@ pub(crate) static BATCH_EXEC: telemetry::Histogram =
 /// End-to-end queue latency per request: enqueue to reply (nanoseconds).
 pub(crate) static LATENCY: telemetry::Histogram =
     telemetry::Histogram::new("serve.request.latency_ns");
+
+/// Connections registered with a reactor shard.
+pub(crate) static CONNS_ACCEPTED: telemetry::Counter =
+    telemetry::Counter::new("serve.conns.accepted");
+
+/// Connections torn down (clean close, violation, or drain deadline).
+pub(crate) static CONNS_CLOSED: telemetry::Counter = telemetry::Counter::new("serve.conns.closed");
+
+/// Requests denied because their tenant was at its in-flight quota.
+pub(crate) static QUOTA_DENIED: telemetry::Counter =
+    telemetry::Counter::new("serve.requests.quota_denied");

@@ -1,5 +1,10 @@
-//! The rpbcm-serve wire protocol: length-prefixed binary frames, plus a
-//! line-delimited JSON mode for debugging.
+//! The rpbcm-serve wire protocol (RPBS): length-prefixed binary frames,
+//! plus a line-delimited JSON mode for debugging.
+//!
+//! The **normative byte-level specification** lives in
+//! `docs/PROTOCOL.md` (compiled into the crate docs as [`crate::spec`],
+//! so its examples are checked by `cargo test`). This module is the
+//! reference codec.
 //!
 //! # Handshake
 //!
@@ -16,25 +21,62 @@
 //!
 //! ```text
 //! u8 opcode            0 = ping, 1 = infer (f32), 2 = infer (fx/i16),
-//!                      3 = shutdown
+//!                      3 = shutdown, 4 = hello
 //! infer only:
 //!   u8    model name length, then UTF-8 name bytes
 //!   u32   element count
 //!   values  f32 LE (opcode 1) or i16 LE (opcode 2)
+//! hello only:
+//!   u8    tenant name length, then UTF-8 tenant bytes
 //! ```
 //!
 //! Response payloads:
 //!
 //! ```text
 //! u8 status            0 ok, 1 overloaded, 2 bad_request,
-//!                      3 shutting_down, 4 unknown_model
+//!                      3 shutting_down, 4 unknown_model,
+//!                      5 quota_exceeded
 //! ok infer:   u32 element count + values (same scalar type as request)
 //! non-ok:     u32 message length + UTF-8 diagnostic
 //! ```
 //!
+//! The exact bytes, cross-checked (an fx infer of two words against
+//! model `"m"`, and its ok reply):
+//!
+//! ```
+//! use serve::protocol::{decode_request, decode_response, encode_request,
+//!     encode_response, Payload, Request, Response};
+//!
+//! let req = Request::Infer { model: "m".into(), input: Payload::Fx(vec![7, -1]) };
+//! let bytes = encode_request(&req);
+//! assert_eq!(bytes, [
+//!     2,                      // opcode: infer (fx)
+//!     1, b'm',                // name length + name
+//!     2, 0, 0, 0,             // element count, u32 LE
+//!     7, 0,                   // 7_i16 LE
+//!     0xFF, 0xFF,             // -1_i16 LE
+//! ]);
+//! assert_eq!(decode_request(&bytes).unwrap(), req);
+//!
+//! let resp = Response::Output(Payload::Fx(vec![42]));
+//! let bytes = encode_response(&resp);
+//! assert_eq!(bytes, [
+//!     0,                      // status: ok
+//!     1, 0, 0, 0,             // element count, u32 LE
+//!     42, 0,                  // 42_i16 LE
+//! ]);
+//! assert_eq!(decode_response(&bytes, true).unwrap(), resp);
+//! ```
+//!
+//! # Ordering
+//!
+//! Responses are delivered **in request order** on each connection;
+//! there are no request ids. Clients may pipeline freely.
+//!
 //! # JSON mode
 //!
-//! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`, or
+//! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`,
+//! `{"op":"hello","tenant":"<name>"}`, or
 //! `{"op":"infer","model":"<name>","mode":"f32"|"fx","input":[...]}`.
 //! Responses: `{"status":"ok","output":[...]}` or
 //! `{"status":"<error>","error":"<diagnostic>"}`. The parser accepts
@@ -63,6 +105,8 @@ pub enum Status {
     ShuttingDown,
     /// The named model is not in the registry.
     UnknownModel,
+    /// The connection's tenant is at its in-flight quota.
+    QuotaExceeded,
 }
 
 impl Status {
@@ -74,6 +118,7 @@ impl Status {
             Status::BadRequest => 2,
             Status::ShuttingDown => 3,
             Status::UnknownModel => 4,
+            Status::QuotaExceeded => 5,
         }
     }
 
@@ -85,6 +130,7 @@ impl Status {
             2 => Status::BadRequest,
             3 => Status::ShuttingDown,
             4 => Status::UnknownModel,
+            5 => Status::QuotaExceeded,
             _ => return None,
         })
     }
@@ -97,6 +143,7 @@ impl Status {
             Status::BadRequest => "bad_request",
             Status::ShuttingDown => "shutting_down",
             Status::UnknownModel => "unknown_model",
+            Status::QuotaExceeded => "quota_exceeded",
         }
     }
 }
@@ -141,6 +188,12 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Declare the connection's tenant for admission quotas.
+    Hello {
+        /// Tenant name the connection's subsequent requests count
+        /// against.
+        tenant: String,
+    },
 }
 
 /// A decoded response.
@@ -262,6 +315,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Shutdown => out.push(3),
+        Request::Hello { tenant } => {
+            out.push(4);
+            out.push(u8::try_from(tenant.len()).expect("tenant name fits u8"));
+            out.extend_from_slice(tenant.as_bytes());
+        }
     }
     out
 }
@@ -288,6 +346,16 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             } else {
                 Err(bad("trailing bytes after shutdown"))
             }
+        }
+        4 => {
+            let (&tenant_len, rest) = rest.split_first().ok_or_else(|| bad("missing tenant"))?;
+            if rest.len() != tenant_len as usize {
+                return Err(bad("tenant length disagrees with body"));
+            }
+            let tenant = std::str::from_utf8(rest)
+                .map_err(|_| bad("non-UTF-8 tenant name"))?
+                .to_string();
+            Ok(Request::Hello { tenant })
         }
         1 | 2 => {
             let (&name_len, rest) = rest.split_first().ok_or_else(|| bad("missing name"))?;
@@ -420,6 +488,10 @@ pub fn parse_json_request(line: &str) -> Result<Request, WireError> {
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "hello" => {
+            let tenant = json_string(&obj, "tenant").ok_or_else(|| bad("missing \"tenant\""))?;
+            Ok(Request::Hello { tenant })
+        }
         "infer" => {
             let model = json_string(&obj, "model").ok_or_else(|| bad("missing \"model\""))?;
             let mode = json_string(&obj, "mode").unwrap_or_else(|| "f32".to_string());
@@ -563,6 +635,9 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Shutdown,
+            Request::Hello {
+                tenant: "team-a".into(),
+            },
             Request::Infer {
                 model: "mlp".into(),
                 input: Payload::F32(vec![1.5, -2.25, 0.0]),
@@ -588,6 +663,10 @@ mod tests {
         let err = Response::Error(Status::Overloaded, "queue full".into());
         let bytes = encode_response(&err);
         assert_eq!(decode_response(&bytes, false).unwrap(), err);
+        let quota = Response::Error(Status::QuotaExceeded, "tenant at limit".into());
+        let bytes = encode_response(&quota);
+        assert_eq!(bytes[0], 5);
+        assert_eq!(decode_response(&bytes, false).unwrap(), quota);
     }
 
     #[test]
@@ -646,6 +725,13 @@ mod tests {
         .is_err());
         assert!(parse_json_request("not json").is_err());
         assert!(parse_json_request("{\"op\":\"explode\"}").is_err());
+        assert_eq!(
+            parse_json_request("{\"op\":\"hello\",\"tenant\":\"t0\"}").unwrap(),
+            Request::Hello {
+                tenant: "t0".into()
+            }
+        );
+        assert!(parse_json_request("{\"op\":\"hello\"}").is_err());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Per-tenant admission quotas.
+//!
+//! A connection declares its tenant with the `hello` opcode (connections
+//! that never do share the anonymous tenant `""`). Each tenant may hold
+//! at most `RPBCM_SERVE_TENANT_QUOTA` requests in flight across the
+//! whole server — counted from admission until the reply is delivered —
+//! so one chatty tenant cannot monopolize every shard's batch queue. A
+//! request over quota is answered with an explicit `quota_exceeded`
+//! status and costs the server nothing downstream.
+//!
+//! A limit of `0` (the default) disables enforcement; in-flight counts
+//! are still tracked so the probe surface stays meaningful.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Server-wide per-tenant in-flight accounting.
+pub struct QuotaTable {
+    limit: usize,
+    tenants: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+}
+
+impl QuotaTable {
+    /// A table enforcing `limit` in-flight requests per tenant
+    /// (`0` = track but never deny).
+    pub fn new(limit: usize) -> QuotaTable {
+        QuotaTable {
+            limit,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured per-tenant limit (`0` = unlimited).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    fn cell(&self, tenant: &str) -> Arc<AtomicUsize> {
+        let mut map = self.tenants.lock().expect("quota lock");
+        match map.get(tenant) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(AtomicUsize::new(0));
+                map.insert(tenant.to_string(), Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+
+    /// Claims one in-flight slot for `tenant`. `None` means the tenant is
+    /// at its limit and the request must be denied. The slot is released
+    /// when the returned guard drops (reply delivered — or abandoned).
+    pub fn try_acquire(&self, tenant: &str) -> Option<QuotaGuard> {
+        let cell = self.cell(tenant);
+        let limit = self.limit;
+        cell.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            if limit > 0 && cur >= limit {
+                None
+            } else {
+                Some(cur + 1)
+            }
+        })
+        .ok()?;
+        Some(QuotaGuard { cell })
+    }
+
+    /// Current in-flight count for `tenant`.
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        self.cell(tenant).load(Ordering::Acquire)
+    }
+}
+
+/// RAII in-flight slot: dropping it returns the slot to the tenant.
+pub struct QuotaGuard {
+    cell: Arc<AtomicUsize>,
+}
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        self.cell.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_denies_at_the_limit_and_releases_on_drop() {
+        let table = QuotaTable::new(2);
+        let a = table.try_acquire("t").expect("slot 1");
+        let _b = table.try_acquire("t").expect("slot 2");
+        assert!(table.try_acquire("t").is_none(), "limit reached");
+        assert_eq!(table.in_flight("t"), 2);
+        // Other tenants are unaffected.
+        assert!(table.try_acquire("u").is_some());
+        drop(a);
+        assert!(table.try_acquire("t").is_some(), "slot freed by drop");
+    }
+
+    #[test]
+    fn zero_limit_tracks_without_denying() {
+        let table = QuotaTable::new(0);
+        let guards: Vec<_> = (0..64).map(|_| table.try_acquire("t").unwrap()).collect();
+        assert_eq!(table.in_flight("t"), 64);
+        drop(guards);
+        assert_eq!(table.in_flight("t"), 0);
+    }
+}

@@ -1,0 +1,679 @@
+//! Std-only readiness polling over raw file descriptors.
+//!
+//! The serving tier's event loop needs exactly three primitives: register
+//! a socket for readable/writable interest, block until something is
+//! ready, and wake the loop from another thread. This module supplies
+//! them with no dependencies beyond `std` and the platform's C library
+//! (which every `std` program already links):
+//!
+//! - **Linux** — `epoll` via direct FFI (`epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait`), the same O(ready) readiness machinery
+//!   every production event loop on Linux sits on. Level-triggered, so a
+//!   handler that does not drain a socket is re-notified instead of
+//!   silently stalled.
+//! - **Other Unix** — `poll(2)` over the registered fd set. O(n) per
+//!   wait, still correct; the shard fd counts this fallback sees in
+//!   practice keep n small.
+//! - **Non-Unix** — a documented busy-poll: every registered token is
+//!   reported ready after a short sleep, and the nonblocking sockets
+//!   sort out truth via `WouldBlock`. Correct everywhere, efficient
+//!   nowhere; only the build portability matters on such hosts.
+//!
+//! The [`Waker`] is a nonblocking self-pipe registered like any other
+//! fd: cross-thread code (batch workers finishing a reply, the server
+//! initiating shutdown) writes one byte and the blocked [`Poller::wait`]
+//! returns. Wakes coalesce — the pipe is drained, not counted.
+//!
+//! Everything here is deliberately oblivious to *what* the fds are;
+//! `shard.rs` owns the connection semantics. The module is public so the
+//! bench crate's multiplexed load generator can drive ten thousand
+//! client sockets through the same machinery the server uses.
+
+use std::io;
+use std::time::Duration;
+
+/// Token value reserved by convention for the [`Waker`]'s read end.
+pub const WAKER_TOKEN: usize = usize::MAX;
+
+/// What a registered fd wants to be notified about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Notify when a read would make progress (or the peer hung up).
+    pub readable: bool,
+    /// Notify when a write would make progress.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest — a connection with backpressured output.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// A read would make progress.
+    pub readable: bool,
+    /// A write would make progress.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the owner should read to EOF
+    /// (level-triggered readiness keeps reporting it) and close.
+    pub hangup: bool,
+}
+
+/// The raw descriptor type registrations use.
+#[cfg(unix)]
+pub type Fd = std::os::fd::RawFd;
+
+/// The raw descriptor type registrations use (ignored by the non-Unix
+/// busy-poll fallback).
+#[cfg(not(unix))]
+pub type Fd = i64;
+
+/// Returns the registrable descriptor of a TCP stream.
+pub fn stream_fd(stream: &std::net::TcpStream) -> Fd {
+    #[cfg(unix)]
+    {
+        std::os::fd::AsRawFd::as_raw_fd(stream)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        0
+    }
+}
+
+/// Returns the registrable descriptor of a TCP listener.
+pub fn listener_fd(listener: &std::net::TcpListener) -> Fd {
+    #[cfg(unix)]
+    {
+        std::os::fd::AsRawFd::as_raw_fd(listener)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = listener;
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linux: epoll
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Fd, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`. x86-64 declares it packed in
+    /// the UAPI headers; other architectures use natural layout.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// epoll-backed readiness queue.
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&mut self, fd: Fd) -> io::Result<()> {
+            // The event argument is ignored for DEL on modern kernels but
+            // must be non-null on pre-2.6.9 ones; pass a dummy.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+            };
+            let n = loop {
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Other Unix: poll(2)
+// ---------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Fd, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> i16 {
+        let mut m = 0;
+        if interest.readable {
+            m |= POLLIN;
+        }
+        if interest.writable {
+            m |= POLLOUT;
+        }
+        m
+    }
+
+    /// poll(2)-backed readiness queue: the registered set is rebuilt into
+    /// a `pollfd` array on every wait.
+    pub struct Poller {
+        entries: Vec<(Fd, usize, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                entries: Vec::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            self.entries.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            for e in &mut self.entries {
+                if e.0 == fd {
+                    *e = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn remove(&mut self, fd: Fd) -> io::Result<()> {
+            self.entries.retain(|e| e.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .entries
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: mask(interest),
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+            };
+            loop {
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                if ret >= 0 {
+                    break;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(&self.entries) {
+                if pfd.revents != 0 {
+                    out.push(Event {
+                        token,
+                        readable: pfd.revents & POLLIN != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Non-Unix: busy-poll fallback
+// ---------------------------------------------------------------------
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Fd, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    /// Busy-poll fallback: reports every registered token ready after a
+    /// short sleep; the nonblocking sockets resolve truth via
+    /// `WouldBlock`. Keeps non-Unix builds compiling and correct.
+    pub struct Poller {
+        entries: Vec<(Fd, usize, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                entries: Vec::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            self.entries.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+            for e in &mut self.entries {
+                if e.0 == fd {
+                    *e = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn remove(&mut self, fd: Fd) -> io::Result<()> {
+            self.entries.retain(|e| e.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(1))
+                .min(Duration::from_millis(1));
+            std::thread::sleep(nap);
+            for &(_, token, interest) in &self.entries {
+                out.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A readiness queue over raw fds (see the module docs for the backend
+/// selected per platform).
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the platform's queue-creation failure (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the platform registration failure (bad fd, duplicate
+    /// registration on epoll).
+    pub fn add(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+        self.inner.add(fd, token, interest)
+    }
+
+    /// Updates the interest set of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `fd` was never registered.
+    pub fn modify(&mut self, fd: Fd, token: usize, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, token, interest)
+    }
+
+    /// Deregisters `fd`. Must be called *before* closing the descriptor
+    /// (a closed fd deregisters itself from epoll, but the poll fallback
+    /// keeps polling it and would see `POLLNVAL`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the platform deregistration failure.
+    pub fn remove(&mut self, fd: Fd) -> io::Result<()> {
+        self.inner.remove(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = block indefinitely), appending the readiness
+    /// events to `out`. `out` is *not* cleared first. `EINTR` is retried
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform wait failures other than interruption.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.wait(out, timeout)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod waker_sys {
+    use std::io;
+
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    pub struct Pipe {
+        pub read_fd: i32,
+        write_fd: i32,
+    }
+
+    impl Pipe {
+        pub fn new() -> io::Result<Pipe> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let e = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(Pipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn wake(&self) {
+            // A full pipe means a wake is already pending; both outcomes
+            // leave the poller due to return, so errors are ignorable.
+            let byte = 1u8;
+            unsafe { write(self.write_fd, &byte, 1) };
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Pipe {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poller::wait`].
+///
+/// On Unix this is a nonblocking self-pipe whose read end is registered
+/// in the poller under [`WAKER_TOKEN`]; [`Waker::wake`] writes one byte.
+/// On other platforms the busy-poll backend's short timeout substitutes
+/// and [`Waker::wake`] is a no-op.
+pub struct Waker {
+    #[cfg(unix)]
+    pipe: waker_sys::Pipe,
+}
+
+impl Waker {
+    /// Creates the waker and registers its read end in `poller` under
+    /// [`WAKER_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe-creation or registration failure.
+    pub fn new(poller: &mut Poller) -> io::Result<Waker> {
+        #[cfg(unix)]
+        {
+            let pipe = waker_sys::Pipe::new()?;
+            poller.add(pipe.read_fd, WAKER_TOKEN, Interest::READ)?;
+            Ok(Waker { pipe })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = poller;
+            Ok(Waker {})
+        }
+    }
+
+    /// Makes the owning poller's current (or next) wait return promptly.
+    /// Callable from any thread; wakes coalesce.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        self.pipe.wake();
+    }
+
+    /// Drains pending wake bytes. The event loop calls this when it sees
+    /// [`WAKER_TOKEN`] so level-triggered readiness does not spin.
+    pub fn drain(&self) {
+        #[cfg(unix)]
+        self.pipe.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_sees_readable_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .add(stream_fd(&server_side), 7, Interest::READ)
+            .unwrap();
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+
+        let mut events = Vec::new();
+        // Generous timeout: loopback delivery is immediate in practice.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "expected readable event, got {events:?}"
+        );
+        poller.remove(stream_fd(&server_side)).unwrap();
+    }
+
+    #[test]
+    fn waker_unblocks_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&mut poller).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        // Unix: the wake byte arrives as WAKER_TOKEN readability. The
+        // busy-poll fallback returns on timeout with no events; both are
+        // prompt returns, which is the contract.
+        #[cfg(unix)]
+        {
+            assert!(events.iter().any(|e| e.token == WAKER_TOKEN));
+            waker.drain();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .add(stream_fd(&server_side), 3, Interest::READ)
+            .unwrap();
+        drop(client);
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        // A close is surfaced as hangup and/or readable-EOF depending on
+        // the backend; either lets the owner discover the close by
+        // reading.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token == 3 && (e.hangup || e.readable)),
+            "expected close notification, got {events:?}"
+        );
+    }
+}

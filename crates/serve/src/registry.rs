@@ -1,4 +1,5 @@
-//! Deployed-model registry and the batch execution engine.
+//! Deployed-model registry with versioned hot-swap, and the batch
+//! execution engine.
 //!
 //! A [`Model`] wraps one deployed (folded, pruned) [`nn::Network`] plus
 //! everything the scheduler needs to run it: the per-sample input/output
@@ -6,11 +7,32 @@
 //! fx-compatible conv stack — a pre-quantized [`FxModel`] mirroring it on
 //! the hwsim fixed-point datapath ("FPGA mode").
 //!
+//! # Hot-swap
+//!
+//! Publishing a [`Model`] into the [`Registry`] wraps it in a versioned,
+//! immutable [`ModelEntry`] behind an [`Arc`]. Request admission calls
+//! [`Registry::resolve`], which returns the *newest* entry under the
+//! name — and that `Arc` rides with the request through the batch queue,
+//! so a version flip is atomic from the traffic's point of view:
+//!
+//! - requests admitted before the flip execute on the old entry they
+//!   already hold (never a mix of versions inside one request),
+//! - requests admitted after the flip resolve the new entry,
+//! - the old version's weights are freed exactly when its last in-flight
+//!   request completes (the `Arc` strong count hits zero) — a lossless
+//!   drain with no coordination beyond reference counting.
+//!
 //! Batch execution is bit-identical to per-request execution on both
 //! paths: every float forward op treats batch rows independently, and the
-//! fx batch kernel ([`hwsim::inference::conv_forward_fx_batch`]) preserves
-//! each sample's fixed-point operation sequence exactly — batching only
-//! amortizes the per-dispatch plan build and weight streams.
+//! fx batch kernel ([`hwsim::inference::conv_forward_fx_batch_packed`])
+//! preserves each sample's fixed-point operation sequence exactly —
+//! batching only amortizes the per-dispatch plan build and weight
+//! streams. The float path locks its `Network` per dispatch
+//! (`Network::forward` takes `&mut self` for workspace reuse); the fx
+//! path is lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use hwsim::inference::{
     conv_forward_fx, conv_forward_fx_batch_packed, conv_forward_fx_batch_scalar, FxWeights,
@@ -196,7 +218,9 @@ impl FxModel {
     }
 }
 
-/// A deployed model plus the metadata the server validates against.
+/// A loaded model artifact: the network, its checkpoint metadata, and
+/// (when fx-compatible) its fixed-point mirror. Publish it into a
+/// [`Registry`] to serve it.
 pub struct Model {
     name: String,
     net: Network,
@@ -268,12 +292,72 @@ impl Model {
     pub fn fx(&self) -> Option<&FxModel> {
         self.fx.as_ref()
     }
+}
 
-    /// Runs a float batch: `samples` are `batch` concatenated samples of
-    /// `input_len` values each; returns the per-sample output rows.
+/// One published, immutable version of a model — what requests actually
+/// execute against. Admission resolves an `Arc<ModelEntry>` and the
+/// request carries it to execution, so a registry flip never changes the
+/// version an in-flight request runs on.
+pub struct ModelEntry {
+    name: String,
+    version: u64,
+    meta: CheckpointMeta,
+    input_len: usize,
+    output_len: usize,
+    /// `Network::forward` needs `&mut self` (workspace reuse), so the
+    /// float path serializes per entry. The fx path below is lock-free.
+    net: Mutex<Network>,
+    fx: Option<FxModel>,
+}
+
+impl ModelEntry {
+    fn new(model: Model, version: u64) -> ModelEntry {
+        ModelEntry {
+            name: model.name,
+            version,
+            meta: model.meta,
+            input_len: model.input_len,
+            output_len: model.output_len,
+            net: Mutex::new(model.net),
+            fx: model.fx,
+        }
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registry-assigned publication version (monotonic across the
+    /// whole registry, so later publications always compare greater).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Checkpoint metadata (input shape, Q-format).
+    pub fn meta(&self) -> &CheckpointMeta {
+        &self.meta
+    }
+
+    /// Per-sample float input length.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Per-sample float output length.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// The fixed-point mirror, when the stack is fx-compatible.
+    pub fn fx(&self) -> Option<&FxModel> {
+        self.fx.as_ref()
+    }
+
+    /// Runs a float batch: returns the per-sample output rows.
     /// Bit-identical to forwarding each sample alone — every layer in the
     /// stack treats batch rows independently in inference mode.
-    pub fn forward_f32_batch(&mut self, samples: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    pub fn forward_f32_batch(&self, samples: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let n = samples.len();
         assert!(n > 0, "empty batch");
         let mut flat = Vec::with_capacity(n * self.input_len);
@@ -283,7 +367,10 @@ impl Model {
         }
         let mut dims = vec![n];
         dims.extend_from_slice(&self.meta.input_dims);
-        let out = self.net.forward(&Tensor::from_vec(flat, &dims), false);
+        let out = {
+            let mut net = self.net.lock().expect("model net lock");
+            net.forward(&Tensor::from_vec(flat, &dims), false)
+        };
         let row = self.output_len;
         out.as_slice().chunks(row).map(<[f32]>::to_vec).collect()
     }
@@ -295,13 +382,13 @@ impl Model {
     /// # Panics
     ///
     /// Panics if the model has no fx mirror — callers gate on
-    /// [`Model::fx`] at admission time.
+    /// [`ModelEntry::fx`] at admission time.
     pub fn forward_fx_batch(&self, samples: &[Vec<i16>]) -> Vec<Vec<i16>> {
         let fx = self.fx.as_ref().expect("fx mode unavailable");
         fx.forward_batch(samples)
     }
 
-    /// Packed-container variant of [`Model::forward_fx_batch`] — the
+    /// Packed-container variant of [`ModelEntry::forward_fx_batch`] — the
     /// batch worker's entry point: the request payloads are flattened
     /// straight into an [`FxBatch`] and the `i16` lanes never leave it
     /// until reply split.
@@ -315,22 +402,29 @@ impl Model {
     }
 }
 
-/// Descriptor the server threads validate requests against without
-/// touching the engine-owned [`Model`].
+/// Descriptor the server validates requests against without touching the
+/// engine-owned entries.
 #[derive(Debug, Clone)]
 pub struct ModelInfo {
     /// Registry name.
     pub name: String,
+    /// Publication version of the newest entry under this name.
+    pub version: u64,
     /// Per-sample float input length.
     pub input_len: usize,
+    /// Per-sample float output length.
+    pub output_len: usize,
     /// Per-sample fx input length, when fx mode is available.
     pub fx_input_len: Option<usize>,
 }
 
-/// The set of deployed models a server instance offers.
+/// The set of deployed models a server instance offers, with versioned
+/// hot-swap (see the module docs). All methods take `&self`: the
+/// registry is shared across shards and mutated live.
 #[derive(Default)]
 pub struct Registry {
-    models: Vec<Model>,
+    entries: Mutex<Vec<Arc<ModelEntry>>>,
+    next_version: AtomicU64,
 }
 
 impl Registry {
@@ -339,55 +433,71 @@ impl Registry {
         Registry::default()
     }
 
-    /// Adds a model, returning its index. Last insert wins on name
-    /// collisions (lookup scans from the back).
-    pub fn insert(&mut self, model: Model) -> usize {
-        self.models.push(model);
-        self.models.len() - 1
+    /// Publishes a model version, returning its entry. A publication
+    /// under an existing name **is** the hot-swap: [`Registry::resolve`]
+    /// returns the new entry from this call on, requests already holding
+    /// the old entry finish on it, and the old version is dropped from
+    /// the registry immediately (its weights are freed once the last
+    /// in-flight reference releases).
+    pub fn publish(&self, model: Model) -> Arc<ModelEntry> {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(ModelEntry::new(model, version));
+        let mut entries = self.entries.lock().expect("registry lock");
+        // Retire prior versions of the same name in place so the catalog
+        // keeps publication order for distinct names.
+        match entries.iter().position(|e| e.name() == entry.name()) {
+            Some(i) => entries[i] = Arc::clone(&entry),
+            None => entries.push(Arc::clone(&entry)),
+        }
+        entry
     }
 
-    /// Loads a `.rpbcm` checkpoint into the registry.
+    /// [`Registry::publish`] under its historical name.
+    pub fn insert(&self, model: Model) -> Arc<ModelEntry> {
+        self.publish(model)
+    }
+
+    /// Loads a `.rpbcm` checkpoint and publishes it.
     ///
     /// # Errors
     ///
     /// Propagates [`CheckpointError`] from [`Model::load_file`].
-    pub fn load_file(&mut self, path: &std::path::Path) -> Result<usize, CheckpointError> {
-        Ok(self.insert(Model::load_file(path)?))
+    pub fn load_file(&self, path: &std::path::Path) -> Result<Arc<ModelEntry>, CheckpointError> {
+        Ok(self.publish(Model::load_file(path)?))
     }
 
-    /// Index of the named model.
-    pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.models.iter().rposition(|m| m.name() == name)
-    }
-
-    /// The model at `idx`.
-    pub fn get(&self, idx: usize) -> &Model {
-        &self.models[idx]
-    }
-
-    /// Mutable model access (the batch worker's entry point).
-    pub fn get_mut(&mut self, idx: usize) -> &mut Model {
-        &mut self.models[idx]
-    }
-
-    /// Number of registered models.
-    pub fn len(&self) -> usize {
-        self.models.len()
-    }
-
-    /// Whether the registry is empty.
-    pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
-    }
-
-    /// Immutable descriptors for request validation in server threads.
-    pub fn catalog(&self) -> Vec<ModelInfo> {
-        self.models
+    /// The current entry under `name` — the newest published version.
+    pub fn resolve(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.entries
+            .lock()
+            .expect("registry lock")
             .iter()
-            .map(|m| ModelInfo {
-                name: m.name().to_string(),
-                input_len: m.input_len(),
-                fx_input_len: m.fx().map(FxModel::input_len),
+            .find(|e| e.name() == name)
+            .map(Arc::clone)
+    }
+
+    /// Number of served names.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry lock").len()
+    }
+
+    /// Whether the registry serves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().expect("registry lock").is_empty()
+    }
+
+    /// Immutable descriptors of every served name (newest versions).
+    pub fn catalog(&self) -> Vec<ModelInfo> {
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|e| ModelInfo {
+                name: e.name().to_string(),
+                version: e.version(),
+                input_len: e.input_len(),
+                output_len: e.output_len(),
+                fx_input_len: e.fx().map(FxModel::input_len),
             })
             .collect()
     }
@@ -470,18 +580,19 @@ mod tests {
     #[test]
     fn f32_batches_are_bit_identical_to_single_samples() {
         let (net, meta) = conv_stack(4);
-        let mut model = Model::from_network("m", net, meta);
+        let reg = Registry::new();
+        let entry = reg.publish(Model::from_network("m", net, meta));
         let mut rng = StdRng::seed_from_u64(5);
         let samples: Vec<Vec<f32>> = (0..5)
             .map(|_| {
-                (0..model.input_len())
+                (0..entry.input_len())
                     .map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0))
                     .collect()
             })
             .collect();
-        let batched = model.forward_f32_batch(&samples);
+        let batched = entry.forward_f32_batch(&samples);
         for (s, b) in samples.iter().zip(&batched) {
-            let single = &model.forward_f32_batch(std::slice::from_ref(s))[0];
+            let single = &entry.forward_f32_batch(std::slice::from_ref(s))[0];
             let a: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
             let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
             assert_eq!(a, bb);
@@ -491,8 +602,9 @@ mod tests {
     #[test]
     fn fx_batches_match_direct_hwsim_inference() {
         let (net, meta) = conv_stack(6);
-        let model = Model::from_network("m", net, meta);
-        let fx = model.fx().unwrap();
+        let reg = Registry::new();
+        let entry = reg.publish(Model::from_network("m", net, meta));
+        let fx = entry.fx().unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let samples: Vec<Vec<i16>> = (0..4)
             .map(|_| {
@@ -501,7 +613,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let batched = model.forward_fx_batch(&samples);
+        let batched = entry.forward_fx_batch(&samples);
         for (s, b) in samples.iter().zip(&batched) {
             assert_eq!(&fx.forward(s), b);
         }
@@ -528,16 +640,25 @@ mod tests {
     }
 
     #[test]
-    fn registry_lookup_prefers_latest_insert() {
-        let mut reg = Registry::new();
+    fn publish_hot_swaps_resolution_and_keeps_old_arcs_alive() {
+        let reg = Registry::new();
         let (net, meta) = conv_stack(8);
-        reg.insert(Model::from_network("a", net, meta));
+        let v1 = reg.publish(Model::from_network("a", net, meta));
+        assert_eq!(v1.version(), 1);
+        // A request in flight holds v1 across the flip.
+        let in_flight = reg.resolve("a").unwrap();
         let (net, meta) = conv_stack(9);
-        let idx = reg.insert(Model::from_network("a", net, meta));
-        assert_eq!(reg.index_of("a"), Some(idx));
-        assert_eq!(reg.len(), 2);
+        let v2 = reg.publish(Model::from_network("a", net, meta));
+        assert_eq!(v2.version(), 2);
+        assert_eq!(reg.resolve("a").unwrap().version(), 2);
+        assert_eq!(in_flight.version(), 1, "in-flight ref still runs v1");
+        assert_eq!(reg.len(), 1, "old version retired from the catalog");
         let cat = reg.catalog();
-        assert_eq!(cat.len(), 2);
-        assert!(cat.iter().all(|m| m.fx_input_len.is_some()));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat[0].version, 2);
+        assert!(cat[0].fx_input_len.is_some());
+        // The registry no longer pins v1: only local refs keep it alive.
+        drop(v2);
+        assert_eq!(Arc::strong_count(&v1), 2, "v1 + in_flight only");
     }
 }

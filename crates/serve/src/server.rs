@@ -1,53 +1,80 @@
-//! The TCP front end: connection handling, request validation, and
-//! graceful shutdown.
+//! The TCP front end: a dedicated acceptor feeding thread-per-core
+//! reactor shards.
 //!
-//! One thread accepts connections (non-blocking listener polled every
-//! ~10 ms so shutdown is responsive without platform-specific unblocking
-//! tricks); each connection gets its own thread that speaks either the
-//! binary or the JSON mode (see [`crate::protocol`]). Connection threads
-//! validate requests against the registry catalog *before* queueing, so
-//! malformed traffic never consumes a batch slot.
+//! [`Server::bind`] starts one acceptor thread (nonblocking listener on
+//! its own [`Poller`]) and `cfg.shards` shard
+//! threads (the `shard` module). The acceptor deals accepted sockets
+//! to shards round-robin, so connection counts stay balanced by
+//! construction; each shard owns its connections' I/O, its own batcher,
+//! and its slice of admission control. The process never spawns a
+//! thread per connection — thread count is `1 + shards + shards`
+//! (acceptor, reactors, batch workers) regardless of connection count.
+//!
+//! # Hot swap
+//!
+//! The model registry lives behind [`Server::registry`] and stays fully
+//! shared and mutable-through-`&self` while the server runs: publishing
+//! a new [`Model`](crate::Model) under an existing name atomically
+//! flips which version new requests resolve, while requests already
+//! admitted ride their `Arc<ModelEntry>` and finish on the old weights
+//! (see [`crate::registry`]). No pause, no drain, no dropped request.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] stops the acceptor first (no new connections),
+//! then asks every shard to drain: queued requests still execute and
+//! answer, responses flush, and late requests get explicit
+//! `shutting_down` replies. A request that got `ok` on the wire was
+//! really executed; one that got `shutting_down` was really not.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::batcher::{Batcher, SubmitError};
+use crate::batcher::Batcher;
 use crate::config::ServeConfig;
-use crate::metrics;
-use crate::protocol::{self, Payload, Request, Response, Status, WireError, HANDSHAKE};
-use crate::registry::{Mode, ModelInfo, Registry};
+use crate::conn::Notifier;
+use crate::quota::QuotaTable;
+use crate::reactor::{self, Event, Interest, Poller, Waker};
+use crate::registry::Registry;
+use crate::shard::{ShardHandle, ShardStats};
 
-/// How often blocked accept/read loops re-check the stop flag.
-const POLL: Duration = Duration::from_millis(10);
+/// How long the acceptor blocks before re-checking the stop flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
 
-struct Inner {
-    batcher: Batcher,
-    catalog: Vec<ModelInfo>,
-    stop: AtomicBool,
+/// State shared by the acceptor, the shards and the [`Server`] handle.
+pub(crate) struct ServerShared {
+    /// The live model catalog; resolved per request, hot-swappable.
+    pub registry: Arc<Registry>,
+    /// Per-tenant in-flight admission quotas.
+    pub quotas: QuotaTable,
+    /// Set by [`Server::shutdown`]; every loop polls it.
+    pub stop: AtomicBool,
     /// Set by a remote `shutdown` request; hosts poll it via
     /// [`Server::shutdown_requested`].
-    remote_shutdown: AtomicBool,
+    pub remote_shutdown: AtomicBool,
     /// Wire-level violations observed (handshake, framing, decode).
-    protocol_errors: AtomicU64,
+    pub protocol_errors: AtomicU64,
 }
 
 /// A running serve instance.
 pub struct Server {
-    inner: Arc<Inner>,
+    shared: Arc<ServerShared>,
+    shards: Vec<Arc<ShardHandle>>,
     local_addr: SocketAddr,
-    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and batch worker.
+    /// acceptor and `cfg.shards` reactor shards, each with its own
+    /// batch worker.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding.
+    /// Propagates socket and poller errors from binding and shard
+    /// setup.
     pub fn bind(
         addr: impl ToSocketAddrs,
         cfg: ServeConfig,
@@ -56,23 +83,52 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let catalog = registry.catalog();
-        let inner = Arc::new(Inner {
-            batcher: Batcher::start(cfg, registry),
-            catalog,
+        let shared = Arc::new(ServerShared {
+            registry: Arc::new(registry),
+            quotas: QuotaTable::new(cfg.tenant_quota),
             stop: AtomicBool::new(false),
             remote_shutdown: AtomicBool::new(false),
             protocol_errors: AtomicU64::new(0),
         });
-        let accept_inner = Arc::clone(&inner);
-        let accept = std::thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_inner))
-            .expect("spawn accept loop");
+
+        let n_shards = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut threads = Vec::with_capacity(n_shards + 1);
+        for index in 0..n_shards {
+            let mut poller = Poller::new()?;
+            let waker = Waker::new(&mut poller)?;
+            let handle = Arc::new(ShardHandle {
+                index,
+                inbox: Mutex::new(Vec::new()),
+                notifier: Notifier::new(waker),
+                batcher: Batcher::start(cfg),
+                stats: ShardStats::default(),
+            });
+            let thread_handle = Arc::clone(&handle);
+            let thread_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{index}"))
+                    .spawn(move || crate::shard::run(&thread_handle, &thread_shared, poller))
+                    .expect("spawn shard thread"),
+            );
+            shards.push(handle);
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_shards = shards.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &accept_shared, &accept_shards))
+                .expect("spawn accept loop"),
+        );
+
         Ok(Server {
-            inner,
+            shared,
+            shards,
             local_addr,
-            accept: Mutex::new(Some(accept)),
+            threads: Mutex::new(threads),
         })
     }
 
@@ -81,29 +137,52 @@ impl Server {
         self.local_addr
     }
 
+    /// The live model registry. Publishing a model under an existing
+    /// name hot-swaps it: requests admitted after the publish run the
+    /// new version, requests already in flight finish on the old one.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
     /// Whether a client sent the `shutdown` opcode. Hosts embedding the
     /// server (e.g. `exp_serve --listen`) poll this to decide when to
     /// call [`Server::shutdown`].
     pub fn shutdown_requested(&self) -> bool {
-        self.inner.remote_shutdown.load(Ordering::SeqCst)
+        self.shared.remote_shutdown.load(Ordering::SeqCst)
     }
 
     /// Wire-level protocol violations seen so far.
     pub fn protocol_errors(&self) -> u64 {
-        self.inner.protocol_errors.load(Ordering::SeqCst)
+        self.shared.protocol_errors.load(Ordering::SeqCst)
     }
 
-    /// Graceful shutdown: stops accepting, lets connection threads wind
-    /// down, then drains every queued request through the engine before
-    /// returning. Idempotent.
+    /// Per-shard `(connections_assigned, requests_parsed)` counters,
+    /// indexed by shard. The bench harness derives its load-imbalance
+    /// metric from these.
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.stats.conns.load(Ordering::Relaxed),
+                    s.stats.requests.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Graceful shutdown: stops accepting, then drains every shard —
+    /// queued requests execute and their replies flush before the
+    /// shard exits. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.lock().expect("accept lock").take() {
-            handle.join().expect("accept loop panicked");
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.notifier.wake();
         }
-        // The accept loop joined its connection threads; now drain the
-        // batch queue.
-        self.inner.batcher.shutdown();
+        let threads = std::mem::take(&mut *self.threads.lock().expect("threads lock"));
+        for handle in threads {
+            handle.join().expect("serve thread panicked");
+        }
     }
 }
 
@@ -113,216 +192,39 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !inner.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let conn_inner = Arc::clone(inner);
-                let handle = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || {
-                        match serve_connection(stream, &conn_inner) {
-                            // Clean hang-ups (including idle connections cut
-                            // off by shutdown) are not protocol violations.
-                            Ok(()) | Err(WireError::Closed) => {}
-                            Err(_) => {
-                                conn_inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                                metrics::REJECTED.add(1);
-                            }
-                        }
-                    })
-                    .expect("spawn connection thread");
-                conns.push(handle);
-                conns.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-            }
-            Err(_) => std::thread::sleep(POLL),
+/// Accepts connections and deals them to shards round-robin.
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>, shards: &[Arc<ShardHandle>]) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let fd = reactor::listener_fd(listener);
+    let registered = poller.add(fd, 0, Interest::READ).is_ok();
+    let mut events: Vec<Event> = Vec::new();
+    let mut next = 0usize;
+    while !shared.stop.load(Ordering::SeqCst) {
+        events.clear();
+        if registered {
+            poller.wait(&mut events, Some(ACCEPT_TICK)).ok();
+        } else {
+            // Registration failed: degrade to plain interval polling.
+            std::thread::sleep(ACCEPT_TICK);
         }
-    }
-    for handle in conns {
-        handle.join().expect("connection thread panicked");
-    }
-}
-
-/// Reads the first 4 bytes to pick the protocol mode, then serves the
-/// connection until the peer hangs up or the server stops.
-fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), WireError> {
-    stream.set_read_timeout(Some(POLL))?;
-    stream.set_nodelay(true).ok();
-    let mut preamble = [0u8; 4];
-    read_with_stop(&stream, &mut preamble, inner)?;
-    if preamble == HANDSHAKE {
-        serve_binary(stream, inner)
-    } else if preamble[0] == b'{' {
-        serve_json(stream, &preamble, inner)
-    } else {
-        Err(WireError::Malformed("unknown handshake".into()))
-    }
-}
-
-/// `read_exact` that tolerates the poll-interval read timeout while the
-/// server is live and bails once it stops.
-fn read_with_stop(mut stream: &TcpStream, buf: &mut [u8], inner: &Inner) -> Result<(), WireError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if inner.stop.load(Ordering::SeqCst) {
-            return Err(WireError::Closed);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Err(WireError::Closed)
-                } else {
-                    Err(WireError::Malformed("eof inside frame".into()))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(WireError::Io(e)),
-        }
-    }
-    Ok(())
-}
-
-fn serve_binary(stream: TcpStream, inner: &Arc<Inner>) -> Result<(), WireError> {
-    let mut write_half = stream.try_clone()?;
-    loop {
-        // Length prefix + payload, both tolerant of poll timeouts.
-        let mut len4 = [0u8; 4];
-        match read_with_stop(&stream, &mut len4, inner) {
-            Ok(()) => {}
-            Err(WireError::Closed) => return Ok(()),
-            Err(e) => return Err(e),
-        }
-        let len = u32::from_le_bytes(len4) as usize;
-        if len > protocol::MAX_FRAME {
-            return Err(WireError::Malformed(format!("frame of {len} bytes")));
-        }
-        let mut payload = vec![0u8; len];
-        read_with_stop(&stream, &mut payload, inner)?;
-        let response = match protocol::decode_request(&payload) {
-            Ok(req) => handle_request(req, inner),
-            Err(e) => {
-                inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                metrics::REJECTED.add(1);
-                Response::Error(Status::BadRequest, e.to_string())
-            }
-        };
-        protocol::write_frame(&mut write_half, &protocol::encode_response(&response))?;
-    }
-}
-
-fn serve_json(stream: TcpStream, preamble: &[u8; 4], inner: &Arc<Inner>) -> Result<(), WireError> {
-    let mut write_half = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line_buf = preamble.to_vec();
-    loop {
-        // Finish the current line (the preamble already holds its head).
-        if !read_line_with_stop(&mut reader, &mut line_buf, inner)? {
-            return Ok(());
-        }
-        let line = String::from_utf8_lossy(&line_buf).into_owned();
-        line_buf.clear();
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match protocol::parse_json_request(&line) {
-            Ok(req) => handle_request(req, inner),
-            Err(e) => {
-                inner.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                metrics::REJECTED.add(1);
-                Response::Error(Status::BadRequest, e.to_string())
-            }
-        };
-        let mut out = protocol::render_json_response(&response).into_bytes();
-        out.push(b'\n');
-        write_half.write_all(&out)?;
-        write_half.flush()?;
-    }
-}
-
-/// Appends bytes up to (not including) the next `\n` to `buf`. Returns
-/// `false` on a clean hang-up before any new byte.
-fn read_line_with_stop(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    inner: &Inner,
-) -> Result<bool, WireError> {
-    loop {
-        if inner.stop.load(Ordering::SeqCst) {
-            return Ok(false);
-        }
-        match reader.read_until(b'\n', buf) {
-            // EOF: process a final unterminated line if one accumulated.
-            Ok(0) => return Ok(!buf.is_empty()),
-            Ok(_) => {
-                if buf.last() == Some(&b'\n') {
-                    buf.pop();
-                    return Ok(true);
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shard = &shards[next % shards.len()];
+                    next = next.wrapping_add(1);
+                    shard.inbox.lock().expect("shard inbox").push(stream);
+                    shard.notifier.wake();
                 }
-                // Timed out mid-line with partial data; keep reading.
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(WireError::Io(e)),
         }
     }
-}
-
-/// Validates a decoded request against the catalog, routes it through
-/// the batcher, and waits for the reply.
-fn handle_request(req: Request, inner: &Inner) -> Response {
-    match req {
-        Request::Ping => Response::Output(Payload::F32(Vec::new())),
-        Request::Shutdown => {
-            inner.remote_shutdown.store(true, Ordering::SeqCst);
-            Response::Output(Payload::F32(Vec::new()))
-        }
-        Request::Infer { model, input } => {
-            let Some(idx) = inner.catalog.iter().rposition(|m| m.name == model) else {
-                metrics::REJECTED.add(1);
-                return Response::Error(Status::UnknownModel, format!("no model {model:?}"));
-            };
-            let info = &inner.catalog[idx];
-            let (mode, expect) = match &input {
-                Payload::F32(_) => (Mode::F32, Some(info.input_len)),
-                Payload::Fx(_) => (Mode::Fx, info.fx_input_len),
-            };
-            let Some(expect) = expect else {
-                metrics::REJECTED.add(1);
-                return Response::Error(
-                    Status::BadRequest,
-                    format!("model {model:?} has no fixed-point mode"),
-                );
-            };
-            if input.len() != expect {
-                metrics::REJECTED.add(1);
-                return Response::Error(
-                    Status::BadRequest,
-                    format!("input length {} != expected {expect}", input.len()),
-                );
-            }
-            match inner.batcher.submit(idx, mode, input) {
-                Ok(rx) => match rx.recv() {
-                    Ok(output) => Response::Output(output),
-                    Err(_) => Response::Error(
-                        Status::ShuttingDown,
-                        "server stopped before executing the request".into(),
-                    ),
-                },
-                Err(SubmitError::Overloaded) => {
-                    Response::Error(Status::Overloaded, "queue at capacity".into())
-                }
-                Err(SubmitError::ShuttingDown) => {
-                    Response::Error(Status::ShuttingDown, "server is draining".into())
-                }
-            }
-        }
+    if registered {
+        poller.remove(fd).ok();
     }
 }

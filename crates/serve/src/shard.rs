@@ -1,0 +1,523 @@
+//! A reactor shard: one event-loop thread owning a slice of the
+//! server's connections, plus its dedicated batch worker.
+//!
+//! Each shard runs a level-triggered readiness loop over its own
+//! [`Poller`]. The acceptor hands freshly accepted sockets to a shard's
+//! inbox (round-robin, so load balance is deterministic) and rings its
+//! [`Notifier`]; the shard registers them and from then on owns all
+//! their socket I/O. Request bytes accumulate in a per-connection read
+//! buffer and are parsed **in place** — a frame is only copied when it
+//! becomes a decoded `Payload`, and consumed bytes are reclaimed with a
+//! single `drain` compaction per readiness burst.
+//!
+//! Admission (catalog resolution, length validation, tenant quota) runs
+//! on the shard thread; admitted requests go to the shard's own
+//! [`Batcher`] with a connection sink, and the batch worker deposits
+//! encoded replies back into the connection's sequenced output buffer
+//! (see [`crate::conn`]), waking the shard to flush. The shard is the
+//! only thread that ever writes to its sockets.
+//!
+//! Shutdown: the server sets its stop flag and wakes every shard. A
+//! shard then stops admitting (its batcher drains — queued requests
+//! still execute and answer), keeps the loop alive to flush every owed
+//! reply, answers any late-parsed requests with `shutting_down`, and
+//! exits once the batcher is drained and no connection has backlog
+//! (with a hard deadline against peers that stop reading).
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::batcher::{encode_for_wire, Batcher, ReplySink, SubmitError};
+use crate::conn::{ConnShared, Notifier};
+use crate::metrics;
+use crate::protocol::{self, Payload, Request, Response, Status, HANDSHAKE, MAX_FRAME};
+use crate::reactor::{self, Event, Interest, Poller, WAKER_TOKEN};
+use crate::registry::Mode;
+use crate::server::ServerShared;
+
+/// How long a shard blocks in the poller before re-checking stop state.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Hard ceiling on the drain phase: after this, connections whose peers
+/// stopped reading are closed with replies still buffered.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-shard load counters, read by [`crate::server::Server::shard_stats`]
+/// for the imbalance metric.
+#[derive(Default)]
+pub(crate) struct ShardStats {
+    /// Connections ever assigned to this shard.
+    pub conns: AtomicU64,
+    /// Requests parsed by this shard (all opcodes).
+    pub requests: AtomicU64,
+}
+
+/// The cross-thread face of one shard.
+pub(crate) struct ShardHandle {
+    pub index: usize,
+    /// Freshly accepted sockets awaiting registration.
+    pub inbox: Mutex<Vec<TcpStream>>,
+    pub notifier: Arc<Notifier>,
+    pub batcher: Batcher,
+    pub stats: ShardStats,
+}
+
+enum ConnMode {
+    /// Awaiting the first bytes that pick binary vs JSON.
+    Handshake,
+    Binary,
+    Json,
+}
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Unparsed request bytes; `rpos` is the parse cursor.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    mode: ConnMode,
+    tenant: String,
+    /// Current poller interest includes writable.
+    wants_write: bool,
+    /// Peer sent EOF; close once the output backlog flushes.
+    eof: bool,
+}
+
+/// Why a connection must be torn down.
+enum ConnFate {
+    /// Keep serving.
+    Alive,
+    /// Clean close (EOF with nothing owed).
+    Closed,
+    /// Protocol violation: count it and close.
+    Violation,
+}
+
+/// Per-shard owned-name probes (`serve.shard.<i>.*`).
+struct ShardProbes {
+    requests: telemetry::OwnedCounter,
+    conns: telemetry::OwnedGauge,
+}
+
+/// The shard event loop. Runs until the server's stop flag is set and
+/// the drain completes.
+pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut poller: Poller) {
+    let probes = ShardProbes {
+        requests: telemetry::OwnedCounter::new(&format!("serve.shard.{}.requests", handle.index)),
+        conns: telemetry::OwnedGauge::new(&format!("serve.shard.{}.conns", handle.index)),
+    };
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut draining = false;
+    let mut drain_started = Instant::now();
+
+    loop {
+        events.clear();
+        if poller.wait(&mut events, Some(TICK)).is_err() {
+            // A failing poller would spin; a short sleep keeps the loop
+            // making progress (stop checks, inbox, dirty flushes).
+            std::thread::sleep(TICK);
+        }
+        handle.notifier.drain_wakes();
+
+        // Register newly accepted connections.
+        let newcomers = std::mem::take(&mut *handle.inbox.lock().expect("shard inbox"));
+        for stream in newcomers {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let token = next_token;
+            next_token = next_token.wrapping_add(1);
+            if poller
+                .add(reactor::stream_fd(&stream), token, Interest::READ)
+                .is_err()
+            {
+                continue;
+            }
+            handle.stats.conns.fetch_add(1, Ordering::Relaxed);
+            metrics::CONNS_ACCEPTED.add(1);
+            conns.insert(
+                token,
+                Conn {
+                    stream,
+                    shared: ConnShared::new(token, Arc::clone(&handle.notifier)),
+                    rbuf: Vec::new(),
+                    rpos: 0,
+                    mode: ConnMode::Handshake,
+                    tenant: String::new(),
+                    wants_write: false,
+                    eof: false,
+                },
+            );
+        }
+
+        // Readiness events.
+        for ev in &events {
+            if ev.token == WAKER_TOKEN {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            let mut fate = ConnFate::Alive;
+            if ev.readable || ev.hangup {
+                fate = on_readable(conn, &mut scratch, handle, server, &probes);
+            }
+            if matches!(fate, ConnFate::Alive) && (ev.writable || ev.hangup) {
+                fate = settle_output(conn, &mut poller);
+            }
+            finish_event(&mut conns, &mut poller, ev.token, fate);
+        }
+
+        // Cross-thread completions (batch workers deposited replies).
+        let mut dirty = handle.notifier.take_dirty();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for token in dirty {
+            if let Some(conn) = conns.get_mut(&token) {
+                let fate = settle_output(conn, &mut poller);
+                finish_event(&mut conns, &mut poller, token, fate);
+            }
+        }
+        probes.conns.set(conns.len() as f64);
+
+        // Shutdown and drain.
+        if server.stop.load(Ordering::SeqCst) {
+            if !draining {
+                draining = true;
+                drain_started = Instant::now();
+                handle.batcher.begin_drain();
+            }
+            let backlog = conns.values().any(|c| c.shared.has_backlog());
+            if (handle.batcher.is_drained() && !backlog) || drain_started.elapsed() > DRAIN_DEADLINE
+            {
+                break;
+            }
+        }
+    }
+
+    handle.batcher.shutdown();
+    for (_token, conn) in conns.drain() {
+        poller.remove(reactor::stream_fd(&conn.stream)).ok();
+        metrics::CONNS_CLOSED.add(1);
+    }
+}
+
+/// Applies a connection's fate after an event: tears it down and
+/// deregisters it unless it stays alive.
+fn finish_event(
+    conns: &mut HashMap<usize, Conn>,
+    poller: &mut Poller,
+    token: usize,
+    fate: ConnFate,
+) {
+    match fate {
+        ConnFate::Alive => {}
+        ConnFate::Closed | ConnFate::Violation => {
+            if matches!(fate, ConnFate::Violation) {
+                metrics::REJECTED.add(1);
+            }
+            if let Some(conn) = conns.remove(&token) {
+                poller.remove(reactor::stream_fd(&conn.stream)).ok();
+                metrics::CONNS_CLOSED.add(1);
+            }
+        }
+    }
+}
+
+/// Drains the socket into the read buffer and parses every complete
+/// request.
+fn on_readable(
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    handle: &Arc<ShardHandle>,
+    server: &Arc<ServerShared>,
+    probes: &ShardProbes,
+) -> ConnFate {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => conn.rbuf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.eof = true;
+                break;
+            }
+        }
+    }
+    let fate = parse_ready(conn, handle, server, probes);
+    if !matches!(fate, ConnFate::Alive) {
+        return fate;
+    }
+    if conn.eof {
+        let partial = conn.rpos < conn.rbuf.len();
+        if partial && !matches!(conn.mode, ConnMode::Json) {
+            // EOF inside a frame or an unfinished handshake.
+            server.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            return ConnFate::Violation;
+        }
+        if !conn.shared.has_backlog() {
+            return ConnFate::Closed;
+        }
+        // Replies are still owed or buffered: linger write-only until the
+        // backlog flushes (settle_output closes it then).
+    }
+    ConnFate::Alive
+}
+
+/// Parses every complete request currently buffered, handling each.
+fn parse_ready(
+    conn: &mut Conn,
+    handle: &Arc<ShardHandle>,
+    server: &Arc<ServerShared>,
+    probes: &ShardProbes,
+) -> ConnFate {
+    loop {
+        match conn.mode {
+            ConnMode::Handshake => {
+                if conn.rbuf.is_empty() {
+                    return ConnFate::Alive;
+                }
+                if conn.rbuf[0] == b'{' {
+                    conn.mode = ConnMode::Json;
+                    continue;
+                }
+                if conn.rbuf.len() < HANDSHAKE.len() {
+                    return ConnFate::Alive; // need more bytes
+                }
+                if conn.rbuf[..4] == HANDSHAKE {
+                    conn.mode = ConnMode::Binary;
+                    conn.rpos = 4;
+                    continue;
+                }
+                server.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                return ConnFate::Violation;
+            }
+            ConnMode::Binary => {
+                while conn.rbuf.len() - conn.rpos >= 4 {
+                    let len4: [u8; 4] = conn.rbuf[conn.rpos..conn.rpos + 4]
+                        .try_into()
+                        .expect("4 bytes");
+                    let len = u32::from_le_bytes(len4) as usize;
+                    if len > MAX_FRAME {
+                        server.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                        return ConnFate::Violation;
+                    }
+                    if conn.rbuf.len() - conn.rpos < 4 + len {
+                        break; // incomplete frame
+                    }
+                    let start = conn.rpos + 4;
+                    let seq = conn.shared.alloc_seq();
+                    let decoded = protocol::decode_request(&conn.rbuf[start..start + len]);
+                    conn.rpos = start + len;
+                    match decoded {
+                        Ok(req) => process_request(conn, req, false, seq, handle, server, probes),
+                        Err(e) => {
+                            // Malformed request: explicit reply, count it,
+                            // connection survives.
+                            server.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                            metrics::REJECTED.add(1);
+                            reply_now(
+                                conn,
+                                seq,
+                                &Response::Error(Status::BadRequest, e.to_string()),
+                                false,
+                            );
+                        }
+                    }
+                }
+                compact(conn);
+                return ConnFate::Alive;
+            }
+            ConnMode::Json => {
+                loop {
+                    let Some(nl) = conn.rbuf[conn.rpos..].iter().position(|&b| b == b'\n') else {
+                        // EOF: a final unterminated line is still a request.
+                        if conn.eof && conn.rpos < conn.rbuf.len() {
+                            let line = conn.rbuf[conn.rpos..].to_vec();
+                            conn.rpos = conn.rbuf.len();
+                            handle_json_line(conn, &line, handle, server, probes);
+                        }
+                        break;
+                    };
+                    let line = conn.rbuf[conn.rpos..conn.rpos + nl].to_vec();
+                    conn.rpos += nl + 1;
+                    handle_json_line(conn, &line, handle, server, probes);
+                }
+                compact(conn);
+                return ConnFate::Alive;
+            }
+        }
+    }
+}
+
+/// Reclaims consumed bytes from the front of the read buffer.
+fn compact(conn: &mut Conn) {
+    if conn.rpos > 0 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+}
+
+fn handle_json_line(
+    conn: &mut Conn,
+    line: &[u8],
+    handle: &Arc<ShardHandle>,
+    server: &Arc<ServerShared>,
+    probes: &ShardProbes,
+) {
+    let text = String::from_utf8_lossy(line);
+    if text.trim().is_empty() {
+        return;
+    }
+    let seq = conn.shared.alloc_seq();
+    match protocol::parse_json_request(&text) {
+        Ok(req) => process_request(conn, req, true, seq, handle, server, probes),
+        Err(e) => {
+            server.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            metrics::REJECTED.add(1);
+            reply_now(
+                conn,
+                seq,
+                &Response::Error(Status::BadRequest, e.to_string()),
+                true,
+            );
+        }
+    }
+}
+
+/// Deposits an immediate (non-batched) reply into the sequenced output.
+fn reply_now(conn: &Conn, seq: u64, resp: &Response, json: bool) {
+    conn.shared.push_reply(seq, encode_for_wire(resp, json));
+}
+
+/// Validates and routes one decoded request.
+fn process_request(
+    conn: &mut Conn,
+    req: Request,
+    json: bool,
+    seq: u64,
+    handle: &Arc<ShardHandle>,
+    server: &Arc<ServerShared>,
+    probes: &ShardProbes,
+) {
+    handle.stats.requests.fetch_add(1, Ordering::Relaxed);
+    probes.requests.inc();
+    match req {
+        Request::Ping => reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json),
+        Request::Shutdown => {
+            server.remote_shutdown.store(true, Ordering::SeqCst);
+            reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
+        }
+        Request::Hello { tenant } => {
+            conn.tenant = tenant;
+            reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
+        }
+        Request::Infer { model, input } => {
+            let Some(entry) = server.registry.resolve(&model) else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(Status::UnknownModel, format!("no model {model:?}"));
+                return reply_now(conn, seq, &resp, json);
+            };
+            let (mode, expect) = match &input {
+                Payload::F32(_) => (Mode::F32, Some(entry.input_len())),
+                Payload::Fx(_) => (Mode::Fx, entry.fx().map(|fx| fx.input_len())),
+            };
+            let Some(expect) = expect else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::BadRequest,
+                    format!("model {model:?} has no fixed-point mode"),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            if input.len() != expect {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::BadRequest,
+                    format!("input length {} != expected {expect}", input.len()),
+                );
+                return reply_now(conn, seq, &resp, json);
+            }
+            let Some(guard) = server.quotas.try_acquire(&conn.tenant) else {
+                metrics::QUOTA_DENIED.add(1);
+                let resp = Response::Error(
+                    Status::QuotaExceeded,
+                    format!(
+                        "tenant {:?} at its in-flight quota ({})",
+                        conn.tenant,
+                        server.quotas.limit()
+                    ),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            let sink = ReplySink::Conn {
+                conn: Arc::clone(&conn.shared),
+                seq,
+                json,
+            };
+            match handle
+                .batcher
+                .submit_sink(entry, mode, input, sink, Some(guard))
+            {
+                Ok(()) => {} // the batch worker owes the reply
+                Err(SubmitError::Overloaded) => reply_now(
+                    conn,
+                    seq,
+                    &Response::Error(Status::Overloaded, "queue at capacity".into()),
+                    json,
+                ),
+                Err(SubmitError::ShuttingDown) => reply_now(
+                    conn,
+                    seq,
+                    &Response::Error(Status::ShuttingDown, "server is draining".into()),
+                    json,
+                ),
+            }
+        }
+    }
+}
+
+/// Flushes buffered output and reconciles writable interest. Closes the
+/// connection when the peer already sent EOF and nothing is owed.
+fn settle_output(conn: &mut Conn, poller: &mut Poller) -> ConnFate {
+    match conn.shared.flush(&mut conn.stream) {
+        Ok(emptied) => {
+            let want = !emptied;
+            if want != conn.wants_write {
+                let interest = if want {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if poller
+                    .modify(
+                        reactor::stream_fd(&conn.stream),
+                        conn.shared.token(),
+                        interest,
+                    )
+                    .is_ok()
+                {
+                    conn.wants_write = want;
+                }
+            }
+            if conn.eof && !conn.shared.has_backlog() {
+                ConnFate::Closed
+            } else {
+                ConnFate::Alive
+            }
+        }
+        Err(_) => ConnFate::Closed, // peer gone; replies are undeliverable
+    }
+}

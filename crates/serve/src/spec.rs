@@ -1,0 +1,12 @@
+//! The normative protocol and operations documents, compiled.
+//!
+//! The module docs below are `docs/PROTOCOL.md` verbatim
+//! (`include_str!`), and [`operations`] is `docs/OPERATIONS.md` — so the
+//! rendered crate documentation carries the full specs, and every fenced
+//! Rust example in them is built and run by `cargo test`. Editing a byte
+//! diagram out of sync with the codec breaks the build, not a reader.
+#![doc = include_str!("../../../docs/PROTOCOL.md")]
+
+/// The operator runbook, compiled from `docs/OPERATIONS.md`.
+#[doc = include_str!("../../../docs/OPERATIONS.md")]
+pub mod operations {}

@@ -67,7 +67,7 @@ fn serve_one(net: Network, meta: CheckpointMeta, cfg: ServeConfig) -> (Server, S
     let net_name = net.name().to_string();
     let model = Model::from_network(&net_name, net, meta);
     let name = model.name().to_string();
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     registry.insert(model);
     let server = Server::bind("127.0.0.1:0", cfg, registry).expect("bind");
     (server, name)
@@ -153,7 +153,7 @@ fn served_checkpoint_round_trips_through_a_file() {
     ));
     net.save(&path, &meta).expect("save checkpoint");
 
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     registry.load_file(&path).expect("load checkpoint");
     let server = Server::bind("127.0.0.1:0", ServeConfig::default(), registry).expect("bind");
 
@@ -178,6 +178,8 @@ fn overload_sheds_with_explicit_replies() {
         batch_size: 2,
         max_wait: Duration::from_millis(1),
         queue_cap: 2,
+        shards: 1,
+        ..ServeConfig::default()
     };
     let (server, name) = serve_one(net, meta.clone(), cfg);
     let addr = server.local_addr();
@@ -261,6 +263,8 @@ fn graceful_shutdown_drains_in_flight_requests() {
         batch_size: 4,
         max_wait: Duration::from_millis(200),
         queue_cap: 64,
+        shards: 4,
+        ..ServeConfig::default()
     };
     let (server, name) = serve_one(net, meta.clone(), cfg);
     let addr = server.local_addr();

@@ -108,7 +108,9 @@ mod report;
 mod trace;
 
 #[cfg(feature = "capture")]
-pub use probe::{Counter, Gauge, Histogram, HistogramSpan, Span, Timer};
+pub use probe::{
+    Counter, Gauge, Histogram, HistogramSpan, OwnedCounter, OwnedGauge, OwnedHistogram, Span, Timer,
+};
 #[cfg(feature = "capture")]
 pub use registry::{
     clear_override, enabled, record_counter, record_gauge, record_histogram, record_timer_ns,
@@ -132,5 +134,6 @@ pub use noop::{
     record_histogram, record_timer_ns, report_json, reset, reset_trace, set_enabled,
     set_trace_enabled, snapshot, trace_complete_cycles, trace_cycle_process, trace_dropped,
     trace_enabled, trace_json, trace_span, write_report, write_trace, Counter, Gauge, Histogram,
-    HistogramSpan, HistogramStat, Snapshot, Span, Timer, TimerStat, TraceSpan,
+    HistogramSpan, HistogramStat, OwnedCounter, OwnedGauge, OwnedHistogram, Snapshot, Span, Timer,
+    TimerStat, TraceSpan,
 };

@@ -128,6 +128,76 @@ impl Histogram {
 /// Inert guard returned by [`Histogram::span`] in a compiled-out build.
 pub struct HistogramSpan;
 
+/// A counter with a runtime-constructed name (compiled-out variant).
+pub struct OwnedCounter;
+
+impl OwnedCounter {
+    /// Creates a probe for the metric `name` (compiled out).
+    pub fn new(_name: &str) -> Self {
+        OwnedCounter
+    }
+
+    /// Adds `n` to the counter (compiled out).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Adds one to the counter (compiled out).
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// A gauge with a runtime-constructed name (compiled-out variant).
+pub struct OwnedGauge;
+
+impl OwnedGauge {
+    /// Creates a probe for the metric `name` (compiled out).
+    pub fn new(_name: &str) -> Self {
+        OwnedGauge
+    }
+
+    /// Sets the gauge (compiled out).
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A histogram with a runtime-constructed name (compiled-out variant).
+pub struct OwnedHistogram;
+
+impl OwnedHistogram {
+    /// Creates a probe for the metric `name` (compiled out).
+    pub fn new(_name: &str) -> Self {
+        OwnedHistogram
+    }
+
+    /// Records one observation (compiled out).
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
 /// Always `false` in a compiled-out build.
 #[inline(always)]
 pub fn enabled() -> bool {
@@ -300,6 +370,9 @@ mod tests {
         assert_eq!(std::mem::size_of::<Histogram>(), 0);
         assert_eq!(std::mem::size_of::<HistogramSpan>(), 0);
         assert_eq!(std::mem::size_of::<TraceSpan>(), 0);
+        assert_eq!(std::mem::size_of::<OwnedCounter>(), 0);
+        assert_eq!(std::mem::size_of::<OwnedGauge>(), 0);
+        assert_eq!(std::mem::size_of::<OwnedHistogram>(), 0);
     }
 
     #[test]

@@ -254,3 +254,100 @@ impl Drop for HistogramSpan<'_> {
         }
     }
 }
+
+/// A counter with a runtime-constructed name, for metric families whose
+/// cardinality is only known at startup (per-shard serving probes, per-
+/// worker pools). The registry cell is resolved **once** at construction,
+/// so the steady-state cost matches the `static` [`Counter`]: one
+/// enabled-check plus one relaxed `fetch_add`.
+pub struct OwnedCounter {
+    cell: Arc<AtomicU64>,
+}
+
+impl OwnedCounter {
+    /// Creates (and registers) a probe for the metric `name`.
+    pub fn new(name: &str) -> Self {
+        OwnedCounter {
+            cell: registry().counter(name),
+        }
+    }
+
+    /// Adds `n` to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The counter's current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge with a runtime-constructed name (see [`OwnedCounter`]).
+pub struct OwnedGauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl OwnedGauge {
+    /// Creates (and registers) a probe for the metric `name`.
+    pub fn new(name: &str) -> Self {
+        OwnedGauge {
+            cell: registry().gauge(name),
+        }
+    }
+
+    /// Sets the gauge (no-op while telemetry is disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.cell.store(gauge_bits(v), Ordering::Relaxed);
+        }
+    }
+
+    /// The gauge's current value (`0.0` if never written).
+    pub fn value(&self) -> f64 {
+        gauge_value(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with a runtime-constructed name (see [`OwnedCounter`]).
+pub struct OwnedHistogram {
+    cell: Arc<HistCell>,
+}
+
+impl OwnedHistogram {
+    /// Creates (and registers) a probe for the metric `name`.
+    pub fn new(name: &str) -> Self {
+        OwnedHistogram {
+            cell: registry().histogram(name),
+        }
+    }
+
+    /// Records one observation of `v` (no-op while telemetry is
+    /// disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.cell.record(v);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+}

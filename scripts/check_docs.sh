@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Link checker for the repo's markdown: every relative link target in
+# docs/, README.md, ARCHITECTURE.md, EXPERIMENTS.md and results/README.md
+# must exist in the tree. External (http) and intra-page (#) links are
+# skipped. The normative spec prose itself is checked by `cargo test` —
+# docs/PROTOCOL.md and docs/OPERATIONS.md compile into the serve crate's
+# rustdoc, so their Rust examples execute as doctests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=(README.md ARCHITECTURE.md docs/*.md)
+[ -f EXPERIMENTS.md ] && files+=(EXPERIMENTS.md)
+[ -f results/README.md ] && files+=(results/README.md)
+
+fails=0
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    # Markdown inline links: capture the (...) target of ](...).
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "check_docs: $f: broken link -> $target" >&2
+            fails=$((fails + 1))
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' | sort -u)
+done
+
+if [ "$fails" -ne 0 ]; then
+    echo "check_docs: $fails broken link(s)" >&2
+    exit 1
+fi
+echo "check_docs: all links resolve (${#files[@]} file(s))"

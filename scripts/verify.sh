@@ -16,10 +16,13 @@ cargo test --workspace -q
 echo "== telemetry crate without the capture feature =="
 cargo test -q -p telemetry --no-default-features
 
-echo "== serve smoke (loopback load test) =="
-# Quick burst against an in-process server: asserts non-zero throughput,
-# zero protocol errors, and shedding only under overload. Does not
-# overwrite the committed results/BENCH_serve.json artifact.
+echo "== serve smoke (loopback load test + 10k-connection open loop) =="
+# Quick burst against an in-process sharded server: asserts non-zero
+# throughput, zero protocol errors, shedding only under overload, and —
+# via a child-process driver — that 10,000 concurrent connections are
+# served with bounded p99, zero lost replies and per-shard connection
+# imbalance <= 1. Does not overwrite the committed
+# results/BENCH_serve.json artifact.
 cargo run -q --release -p bench --bin exp_serve -- --smoke
 
 echo "== kernel smoke (lane bit-identity + datapath fingerprint) =="
@@ -50,7 +53,13 @@ RPBCM_TELEMETRY=1 RPBCM_TRACE=target/verify_trace.json \
 cargo run -q --release -p bench --bin exp_report -- --check
 
 echo "== rustdoc (deny warnings) =="
+# Also keeps docs/PROTOCOL.md and docs/OPERATIONS.md honest: both are
+# compiled into the serve crate's rustdoc (serve::spec), so broken
+# intra-doc links or stale Rust examples fail here / under cargo test.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== markdown link check =="
+./scripts/check_docs.sh
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
