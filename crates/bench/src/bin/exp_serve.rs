@@ -7,18 +7,26 @@
 //! - *(default)* — full benchmark: closed-loop B=1 vs B=8 plus the 2×
 //!   open-loop overload scenario; writes `results/BENCH_serve.json`.
 //! - `--smoke` — quick burst with hard assertions (non-zero throughput,
-//!   zero protocol errors, shedding only under overload); exits non-zero
-//!   on any failure and does not overwrite the committed artifact.
+//!   zero protocol errors, shedding only under overload) plus the
+//!   observability checks (bit-identical replies with tracing on/off,
+//!   a parseable `stats` snapshot over the wire, complete seven-stamp
+//!   traces for every served request, and a validated flight-recorder
+//!   dump pair from a forced SLO violation); exits non-zero on any
+//!   failure and does not overwrite the committed artifact.
 //! - `--listen [addr]` — standalone server on `addr` (default
 //!   `127.0.0.1:7445`, port 0 for ephemeral) running the built-in demo
 //!   model plus any `--model <file.rpbcm>` checkpoints; exits when a
 //!   client sends the `shutdown` opcode.
+//! - `--stat [addr]` — one-shot introspection: sends the `stats` opcode
+//!   to a running server (default `127.0.0.1:7445`) and prints the
+//!   versioned JSON snapshot (config, models, quota, per-shard queue
+//!   and stage-latency state, telemetry report) to stdout.
 //! - `--drive <addr> <conns> <spread_ms> <infer_every>` — internal: the
 //!   10k-connection open-loop driver, run as a child process by the
 //!   benchmark so driver and server fds come from separate budgets.
 //!   Prints one JSON result line on stdout.
 
-use serve::{Registry, ServeConfig, Server};
+use serve::{Client, Registry, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -29,6 +37,7 @@ fn main() -> ExitCode {
     }
     let mut smoke = false;
     let mut listen: Option<String> = None;
+    let mut stat: Option<String> = None;
     let mut models: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -36,6 +45,15 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--listen" => {
                 listen = Some(match it.clone().next() {
+                    Some(addr) if !addr.starts_with("--") => {
+                        it.next();
+                        addr.clone()
+                    }
+                    _ => "127.0.0.1:7445".to_string(),
+                });
+            }
+            "--stat" => {
+                stat = Some(match it.clone().next() {
                     Some(addr) if !addr.starts_with("--") => {
                         it.next();
                         addr.clone()
@@ -51,6 +69,12 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(addr) = stat {
+        if smoke || listen.is_some() || !models.is_empty() {
+            return usage("--stat is a standalone mode");
+        }
+        return run_stat(&addr);
+    }
     if let Some(addr) = listen {
         return run_listen(&addr, &models);
     }
@@ -61,7 +85,8 @@ fn main() -> ExitCode {
     let result = bench::experiments::serve::run(smoke);
     bench::experiments::serve::print(&result);
     if smoke {
-        let fails = bench::experiments::serve::smoke_failures(&result);
+        let mut fails = bench::experiments::serve::smoke_failures(&result);
+        fails.extend(bench::experiments::serve::observability_smoke());
         if fails.is_empty() {
             println!("serve smoke: ok");
             return ExitCode::SUCCESS;
@@ -104,6 +129,26 @@ fn run_drive(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_stat(addr: &str) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match client.stats() {
+        Ok(doc) => {
+            print!("{doc}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: stats request failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn run_listen(addr: &str, models: &[String]) -> ExitCode {
     let registry = Registry::new();
     let (net, meta) = bench::experiments::serve::demo_model(42);
@@ -138,7 +183,7 @@ fn run_listen(addr: &str, models: &[String]) -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!(
-        "error: {msg}\nusage: exp_serve [--smoke] [--listen [addr] [--model <file.rpbcm>]...]\n       exp_serve --drive <addr> <conns> <spread_ms> <infer_every>"
+        "error: {msg}\nusage: exp_serve [--smoke] [--listen [addr] [--model <file.rpbcm>]...]\n       exp_serve --stat [addr]\n       exp_serve --drive <addr> <conns> <spread_ms> <infer_every>"
     );
     ExitCode::from(2)
 }

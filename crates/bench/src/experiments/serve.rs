@@ -1027,6 +1027,195 @@ pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
     fails
 }
 
+/// Observability smoke checks, run alongside [`smoke_failures`] by
+/// `exp_serve --smoke`. Exercises the PR's three tracing surfaces
+/// against live loopback servers and returns the failures:
+///
+/// 1. **Bit-exactness** — the same request stream served with tracing
+///    off and on must produce bit-identical replies (the compiled-out
+///    case is covered by the telemetry crate's no-default-features CI
+///    run).
+/// 2. **Trace completeness + stats round-trip** — after `n` served
+///    requests, the `stats` opcode must return a parseable versioned
+///    snapshot over the wire, and a flight dump must hold exactly `n`
+///    complete seven-stamp traces with non-decreasing stamps.
+/// 3. **SLO violation** — a server armed with an absurd 1 µs p99 SLO
+///    must produce a flight-recorder dump pair (JSON + Chrome trace)
+///    that both parse.
+pub fn observability_smoke() -> Vec<String> {
+    let mut fails = Vec::new();
+    let sample: Vec<f32> = (0..DEMO_INPUT_LEN)
+        .map(|i| (i % 13) as f32 * 0.05)
+        .collect();
+    let cfg = ServeConfig {
+        batch_size: 4,
+        max_wait: Duration::from_micros(500),
+        queue_cap: 64,
+        shards: 1,
+        ..ServeConfig::default()
+    };
+
+    // 1. Bit-exactness across the tracing toggle.
+    let serve_bits = |fails: &mut Vec<String>| -> Vec<Vec<u32>> {
+        let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
+        let mut outs = Vec::new();
+        match Client::connect(server.local_addr()) {
+            Ok(mut client) => {
+                for _ in 0..8 {
+                    match client.infer_f32("demo", &sample) {
+                        Ok(out) => outs.push(out.iter().map(|x| x.to_bits()).collect()),
+                        Err(e) => fails.push(format!("observability: infer failed: {e}")),
+                    }
+                }
+            }
+            Err(e) => fails.push(format!("observability: connect failed: {e}")),
+        }
+        server.shutdown();
+        outs
+    };
+    telemetry::set_enabled(false);
+    let bits_off = serve_bits(&mut fails);
+    telemetry::set_enabled(true);
+    let bits_on = serve_bits(&mut fails);
+    if bits_off != bits_on {
+        fails.push("observability: tracing changed served outputs (bit-exactness broken)".into());
+    }
+
+    // 2. Stats round-trip and per-request trace completeness.
+    let n = 12usize;
+    let server = Server::bind("127.0.0.1:0", cfg, demo_registry(42)).expect("bind");
+    match Client::connect(server.local_addr()) {
+        Ok(mut client) => {
+            for _ in 0..n {
+                if let Err(e) = client.infer_f32("demo", &sample) {
+                    fails.push(format!("observability: traced infer failed: {e}"));
+                }
+            }
+            match client.stats() {
+                Ok(doc) => match crate::json::parse(&doc) {
+                    Ok(v) => {
+                        if v.get("stats_version").and_then(crate::json::Json::as_num) != Some(1.0) {
+                            fails.push("observability: stats_version missing or not 1".into());
+                        }
+                        if v.get("shards")
+                            .and_then(crate::json::Json::as_arr)
+                            .is_none()
+                        {
+                            fails.push("observability: stats snapshot lacks shards array".into());
+                        }
+                    }
+                    Err(e) => fails.push(format!("observability: stats doc unparseable: {e}")),
+                },
+                Err(e) => fails.push(format!("observability: stats opcode failed: {e}")),
+            }
+        }
+        Err(e) => fails.push(format!("observability: connect failed: {e}")),
+    }
+    let dump_dir = std::env::temp_dir().join(format!("rpbcm-smoke-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).ok();
+    std::env::set_var("RPBCM_SERVE_SLO_DIR", &dump_dir);
+    match server.dump_flight("smoke completeness check") {
+        Ok((json_path, _trace_path)) => {
+            let doc = std::fs::read_to_string(&json_path).unwrap_or_default();
+            match crate::json::parse(&doc) {
+                Ok(v) => check_dump_traces(&v, n, &mut fails),
+                Err(e) => fails.push(format!("observability: flight dump unparseable: {e}")),
+            }
+        }
+        Err(e) => fails.push(format!("observability: forced flight dump failed: {e}")),
+    }
+    server.shutdown();
+
+    // 3. A violated SLO must produce a validated dump pair.
+    let slo_cfg = ServeConfig {
+        slo_p99_us: 1,
+        ..cfg
+    };
+    let server = Server::bind("127.0.0.1:0", slo_cfg, demo_registry(42)).expect("bind");
+    if let Ok(mut client) = Client::connect(server.local_addr()) {
+        for _ in 0..4 {
+            client.infer_f32("demo", &sample).ok();
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let dumps = loop {
+        let dumps = server.flight_dumps();
+        if !dumps.is_empty() || Instant::now() >= deadline {
+            break dumps;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    match dumps.first() {
+        None => fails.push("observability: SLO watchdog produced no dump within 5s".into()),
+        Some((json_path, trace_path)) => {
+            let doc = std::fs::read_to_string(json_path).unwrap_or_default();
+            match crate::json::parse(&doc) {
+                Ok(v) => {
+                    let reason = v
+                        .get("reason")
+                        .and_then(crate::json::Json::as_str)
+                        .unwrap_or("");
+                    if !reason.contains("exceeds SLO") {
+                        fails.push(format!(
+                            "observability: SLO dump reason does not name the violation: {reason:?}"
+                        ));
+                    }
+                }
+                Err(e) => fails.push(format!("observability: SLO dump unparseable: {e}")),
+            }
+            let trace = std::fs::read_to_string(trace_path).unwrap_or_default();
+            match crate::json::parse(&trace) {
+                Ok(v) => {
+                    if v.get("traceEvents")
+                        .and_then(crate::json::Json::as_arr)
+                        .is_none_or(<[crate::json::Json]>::is_empty)
+                    {
+                        fails.push("observability: SLO chrome trace has no events".into());
+                    }
+                }
+                Err(e) => fails.push(format!("observability: chrome trace unparseable: {e}")),
+            }
+        }
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dump_dir).ok();
+    fails
+}
+
+/// Validates the `"traces"` array of a flight dump: exactly `n` records,
+/// each with all seven stamps present, positive, and non-decreasing.
+fn check_dump_traces(dump: &crate::json::Json, n: usize, fails: &mut Vec<String>) {
+    let Some(traces) = dump.get("traces").and_then(crate::json::Json::as_arr) else {
+        fails.push("observability: flight dump lacks a traces array".into());
+        return;
+    };
+    if traces.len() != n {
+        fails.push(format!(
+            "observability: expected {n} complete traces, dump holds {}",
+            traces.len()
+        ));
+    }
+    for t in traces {
+        let mut prev = 0.0f64;
+        for stage in telemetry::flight::STAGE_NAMES {
+            let key = format!("{stage}_ns");
+            match t.get(&key).and_then(crate::json::Json::as_num) {
+                Some(v) if v > 0.0 && v >= prev => prev = v,
+                Some(v) => {
+                    fails.push(format!(
+                        "observability: trace stamp {key} = {v} out of order (prev {prev})"
+                    ));
+                    break;
+                }
+                None => {
+                    fails.push(format!("observability: trace lacks stamp {key}"));
+                    break;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,9 +31,14 @@
 //! dropped.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+use telemetry::flight::{
+    FlightRecord, STAMP_BATCH, STAMP_ENQUEUE, STAMP_FLUSH, STAMP_INFER_END, STAMP_INFER_START,
+};
 
 use crate::config::ServeConfig;
 use crate::conn::ConnShared;
@@ -68,16 +73,23 @@ pub(crate) enum ReplySink {
 }
 
 impl ReplySink {
-    /// Delivers a successful output through the sink.
-    fn deliver(self, output: Payload) {
+    /// Delivers a successful output through the sink, carrying the
+    /// request's flight record along. A connection sink finalizes the
+    /// trace when the bytes actually flush; a channel sink has no socket,
+    /// so the trace completes (and feeds the stage histograms) at send.
+    fn deliver(self, output: Payload, trace: Option<FlightRecord>) {
         match self {
             ReplySink::Channel(tx) => {
+                if let Some(mut rec) = trace {
+                    rec.stamps_ns[STAMP_FLUSH] = telemetry::flight::now_ns();
+                    metrics::record_stages(&rec);
+                }
                 // A receiver dropped mid-flight (client hung up) is fine.
                 let _ = tx.send(output);
             }
             ReplySink::Conn { conn, seq, json } => {
                 let resp = Response::Output(output);
-                conn.push_reply(seq, encode_for_wire(&resp, json));
+                conn.push_reply(seq, encode_for_wire(&resp, json), trace);
             }
         }
     }
@@ -112,6 +124,9 @@ pub(crate) struct Pending {
     /// Held until the reply is delivered; releases the tenant's slot.
     pub(crate) quota: Option<QuotaGuard>,
     pub(crate) enqueued: Instant,
+    /// Lifecycle trace, stamped as the request moves through the
+    /// scheduler. `None` when telemetry is off or the caller untraced.
+    pub(crate) trace: Option<FlightRecord>,
 }
 
 /// Batch compatibility key: the *entry identity* (pointer) and mode.
@@ -119,15 +134,29 @@ fn key(p: &Pending) -> (usize, Mode) {
     (Arc::as_ptr(&p.entry) as usize, p.mode)
 }
 
+/// Publish the queue-depth gauges once per this many admissions. The
+/// local high-water mark is still tracked on **every** admission (under
+/// the already-held queue lock), so the published peak never misses the
+/// true maximum — it just reaches the registry a little later.
+const GAUGE_SAMPLE: u64 = 16;
+
 struct State {
     queue: VecDeque<Pending>,
     shutting_down: bool,
+    /// Admissions since start; drives gauge sampling.
+    admitted: u64,
+    /// High-water mark of the queue, tracked locally per admission and
+    /// published to [`metrics::QUEUE_PEAK`] every [`GAUGE_SAMPLE`]
+    /// admissions and at every dispatch.
+    peak: usize,
 }
 
 struct Shared {
     cfg: ServeConfig,
     state: Mutex<State>,
     cv: Condvar,
+    /// Batch ids handed out at formation time, tagged into traces.
+    batch_seq: AtomicU32,
 }
 
 /// Handle to one shard's scheduler: submit requests, then drain and join.
@@ -146,8 +175,11 @@ impl Batcher {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutting_down: false,
+                admitted: 0,
+                peak: 0,
             }),
             cv: Condvar::new(),
+            batch_seq: AtomicU32::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -176,12 +208,12 @@ impl Batcher {
         input: Payload,
     ) -> Result<mpsc::Receiver<Payload>, SubmitError> {
         let (tx, rx) = mpsc::channel();
-        self.submit_sink(entry, mode, input, ReplySink::Channel(tx), None)?;
+        self.submit_sink(entry, mode, input, ReplySink::Channel(tx), None, None)?;
         Ok(rx)
     }
 
     /// Submits one request with an arbitrary sink (the sharded server's
-    /// entry point).
+    /// entry point). A traced request gets its `enqueue` stamp here.
     pub(crate) fn submit_sink(
         &self,
         entry: Arc<ModelEntry>,
@@ -189,6 +221,7 @@ impl Batcher {
         input: Payload,
         sink: ReplySink,
         quota: Option<QuotaGuard>,
+        mut trace: Option<FlightRecord>,
     ) -> Result<(), SubmitError> {
         let mut st = self.shared.state.lock().expect("batcher lock");
         if st.shutting_down {
@@ -198,6 +231,9 @@ impl Batcher {
             metrics::SHED.add(1);
             return Err(SubmitError::Overloaded);
         }
+        if let Some(rec) = trace.as_mut() {
+            rec.stamps_ns[STAMP_ENQUEUE] = telemetry::flight::now_ns();
+        }
         st.queue.push_back(Pending {
             entry,
             mode,
@@ -205,11 +241,19 @@ impl Batcher {
             sink,
             quota,
             enqueued: Instant::now(),
+            trace,
         });
         metrics::ACCEPTED.add(1);
-        let depth = st.queue.len() as f64;
-        metrics::QUEUE_DEPTH.set(depth);
-        metrics::QUEUE_PEAK.set_max(depth);
+        let depth = st.queue.len();
+        st.peak = st.peak.max(depth);
+        st.admitted += 1;
+        // Keep the gauge updates off the per-enqueue hot path: publish
+        // every GAUGE_SAMPLE admissions (the worker also publishes at
+        // every dispatch, so the high-water mark always lands).
+        if st.admitted.is_multiple_of(GAUGE_SAMPLE) {
+            metrics::QUEUE_DEPTH.set(depth as f64);
+            metrics::QUEUE_PEAK.set_max(st.peak as f64);
+        }
         drop(st);
         self.shared.cv.notify_one();
         Ok(())
@@ -305,8 +349,17 @@ fn worker_loop(shared: &Shared) {
                 let oldest = st.queue.front().expect("non-empty").enqueued;
                 let age = oldest.elapsed();
                 if full || st.shutting_down || age >= cfg.max_wait {
-                    let batch = take_batch(&mut st.queue, cfg.batch_size);
+                    let mut batch = take_batch(&mut st.queue, cfg.batch_size);
                     metrics::QUEUE_DEPTH.set(st.queue.len() as f64);
+                    metrics::QUEUE_PEAK.set_max(st.peak as f64);
+                    if batch.iter().any(|p| p.trace.is_some()) {
+                        let bid = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+                        let formed = telemetry::flight::now_ns();
+                        for rec in batch.iter_mut().filter_map(|p| p.trace.as_mut()) {
+                            rec.batch = bid;
+                            rec.stamps_ns[STAMP_BATCH] = formed;
+                        }
+                    }
                     break batch;
                 }
                 // Sleep until the front request's deadline; a new arrival
@@ -322,12 +375,18 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Runs one batch through the engine and delivers the replies.
-pub(crate) fn execute(batch: Vec<Pending>) {
+pub(crate) fn execute(mut batch: Vec<Pending>) {
     if batch.is_empty() {
         return;
     }
     metrics::BATCH_SIZE.record(batch.len() as u64);
     let entry = Arc::clone(&batch[0].entry);
+    if batch.iter().any(|p| p.trace.is_some()) {
+        let t = telemetry::flight::now_ns();
+        for rec in batch.iter_mut().filter_map(|p| p.trace.as_mut()) {
+            rec.stamps_ns[STAMP_INFER_START] = t;
+        }
+    }
     let start = Instant::now();
     let outputs: Vec<Payload> = match batch[0].mode {
         Mode::F32 => {
@@ -369,11 +428,17 @@ pub(crate) fn execute(batch: Vec<Pending>) {
     };
     let exec_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     metrics::BATCH_EXEC.record(exec_ns);
+    if batch.iter().any(|p| p.trace.is_some()) {
+        let t = telemetry::flight::now_ns();
+        for rec in batch.iter_mut().filter_map(|p| p.trace.as_mut()) {
+            rec.stamps_ns[STAMP_INFER_END] = t;
+        }
+    }
     for (pending, output) in batch.into_iter().zip(outputs) {
         let latency = pending.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         metrics::LATENCY.record(latency);
         metrics::COMPLETED.add(1);
-        pending.sink.deliver(output);
+        pending.sink.deliver(output, pending.trace);
         // The quota guard drops here: the slot frees as the reply lands.
         drop(pending.quota);
     }
@@ -531,6 +596,7 @@ mod tests {
                 sink: ReplySink::Channel(tx),
                 quota: None,
                 enqueued: Instant::now(),
+                trace: None,
             });
         }
         let batch = take_batch(&mut queue, 8);
@@ -540,5 +606,48 @@ mod tests {
             "front key wins"
         );
         assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn sampled_gauges_still_capture_the_queue_high_water_mark() {
+        telemetry::set_enabled(true);
+        let (entry, input_len, _) = tiny_entry(7);
+        let cfg = ServeConfig {
+            // The batch never fills and never goes stale, so the queue
+            // holds every submission until drain dispatches them.
+            batch_size: 64,
+            max_wait: Duration::from_secs(30),
+            queue_cap: 64,
+            ..ServeConfig::default()
+        };
+        let batcher = Batcher::start(cfg);
+        // Fewer submissions than GAUGE_SAMPLE: the per-enqueue sampled
+        // publish never fires, so only the dispatch-time publish can
+        // surface the peak — which must still be the true high water.
+        let depth = 5;
+        assert!((depth as u64) < GAUGE_SAMPLE);
+        let rxs: Vec<_> = (0..depth)
+            .map(|_| {
+                batcher
+                    .submit(
+                        Arc::clone(&entry),
+                        Mode::F32,
+                        Payload::F32(vec![0.5; input_len]),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(batcher.queue_depth(), depth);
+        batcher.shutdown();
+        for rx in rxs {
+            rx.recv().expect("drain executes queued requests");
+        }
+        if telemetry::enabled() {
+            assert!(
+                metrics::QUEUE_PEAK.value() >= depth as f64,
+                "dispatch-time publish must land the high-water mark \
+                 even when the admission sampling never fired"
+            );
+        }
     }
 }

@@ -70,6 +70,9 @@ impl Client {
         match resp {
             Response::Output(p) => Ok(p),
             Response::Error(status, msg) => Err(ClientError::Rejected(status, msg)),
+            Response::Stats(_) => Err(ClientError::Wire(WireError::Malformed(
+                "stats reply to payload request".into(),
+            ))),
         }
     }
 
@@ -143,6 +146,26 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         let resp = self.round_trip(&Request::Shutdown, false)?;
         Self::expect_output(resp).map(|_| ())
+    }
+
+    /// Fetches the server's versioned stats snapshot — a JSON document
+    /// with the configuration, model catalog, quota state, per-shard
+    /// queue depth and stage-latency summaries, and the full telemetry
+    /// report (see `docs/PROTOCOL.md` §3.4).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a non-`ok` reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(&Request::Stats))?;
+        let reply = protocol::read_frame(&mut self.stream)?;
+        match protocol::decode_stats_response(&reply)? {
+            Response::Stats(doc) => Ok(doc),
+            Response::Error(status, msg) => Err(ClientError::Rejected(status, msg)),
+            Response::Output(_) => Err(ClientError::Wire(WireError::Malformed(
+                "payload reply to stats request".into(),
+            ))),
+        }
     }
 }
 

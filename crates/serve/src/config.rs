@@ -16,6 +16,9 @@ use std::time::Duration;
 /// | `RPBCM_SERVE_QUEUE_CAP`    | per-shard admission queue bound     | 64      |
 /// | `RPBCM_SERVE_SHARDS`       | reactor shard count                 | cores, capped at 8 |
 /// | `RPBCM_SERVE_TENANT_QUOTA` | per-tenant in-flight cap (0 = none) | 0       |
+/// | `RPBCM_SERVE_SLO_P99_US`   | p99 latency SLO (µs, 0 = off)       | 0       |
+/// | `RPBCM_SERVE_SLO_SHED_PCT` | shed-rate SLO (%, 0 = off)          | 0       |
+/// | `RPBCM_SERVE_SLO_DIR`      | flight-recorder dump directory      | `.`     |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Maximum requests per dispatched batch (B). A batch launches as
@@ -36,6 +39,19 @@ pub struct ServeConfig {
     /// (in-flight counts are still tracked); a positive value makes the
     /// `quota_exceeded` status live (see [`crate::quota`]).
     pub tenant_quota: usize,
+    /// p99 request-latency SLO in microseconds. `0` disables the
+    /// watchdog check; a positive value arms the SLO watchdog thread,
+    /// which dumps a flight-recorder snapshot when the observed p99
+    /// (over recent completed traces) exceeds it. Requires telemetry
+    /// (`RPBCM_TELEMETRY=1`) — without it no traces are recorded and
+    /// the watchdog sees nothing.
+    pub slo_p99_us: usize,
+    /// Shed-rate SLO in percent (shed / offered over the watchdog
+    /// window). `0` disables the check; see [`ServeConfig::slo_p99_us`]
+    /// for the telemetry requirement. The dump directory comes from
+    /// `RPBCM_SERVE_SLO_DIR` (default: the working directory), read at
+    /// dump time.
+    pub slo_shed_pct: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +62,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             shards: default_shards(),
             tenant_quota: 0,
+            slo_p99_us: 0,
+            slo_shed_pct: 0,
         }
     }
 }
@@ -73,6 +91,8 @@ impl ServeConfig {
             queue_cap: telemetry::env::usize_or("RPBCM_SERVE_QUEUE_CAP", d.queue_cap).max(1),
             shards: telemetry::env::usize_or("RPBCM_SERVE_SHARDS", d.shards).max(1),
             tenant_quota: telemetry::env::usize_or("RPBCM_SERVE_TENANT_QUOTA", d.tenant_quota),
+            slo_p99_us: telemetry::env::usize_or("RPBCM_SERVE_SLO_P99_US", d.slo_p99_us),
+            slo_shed_pct: telemetry::env::usize_or("RPBCM_SERVE_SLO_SHED_PCT", d.slo_shed_pct),
         }
     }
 }
@@ -89,5 +109,7 @@ mod tests {
         assert!(c.max_wait > Duration::ZERO);
         assert!(c.shards >= 1);
         assert_eq!(c.tenant_quota, 0);
+        assert_eq!(c.slo_p99_us, 0, "SLO watchdog is off by default");
+        assert_eq!(c.slo_shed_pct, 0, "SLO watchdog is off by default");
     }
 }

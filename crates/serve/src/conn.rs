@@ -14,10 +14,13 @@
 //! connection; batch workers only deposit bytes here and ring the
 //! shard's `Notifier`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 
+use telemetry::flight::{FlightRecord, FlightRing, STAMP_FLUSH};
+
+use crate::metrics;
 use crate::reactor::Waker;
 
 /// Compact the write buffer once this many consumed bytes accumulate at
@@ -68,12 +71,21 @@ struct OutQueue {
     next_seq: u64,
     /// The sequence number the next flushed reply must carry.
     next_flush: u64,
-    /// Completed replies waiting for their predecessors.
-    pending: BTreeMap<u64, Vec<u8>>,
+    /// Completed replies waiting for their predecessors, each with the
+    /// flight record to finalize once its bytes hit the socket.
+    pending: BTreeMap<u64, (Vec<u8>, Option<FlightRecord>)>,
     /// Wire-ready bytes in send order.
     buf: Vec<u8>,
     /// Bytes of `buf` already written to the socket.
     off: usize,
+    /// Absolute stream offset of `buf[0]` (total bytes ever promoted
+    /// minus what `buf` still holds) — lets traced replies be matched
+    /// against flush progress across compactions.
+    base: u64,
+    /// Traced replies promoted into `buf`, in send order: the absolute
+    /// stream offset at which each reply's last byte will have been
+    /// written, and its flight record awaiting the final stamp.
+    inflight: VecDeque<(u64, FlightRecord)>,
 }
 
 /// The half of a connection that batch workers can touch: sequence
@@ -82,20 +94,30 @@ struct OutQueue {
 pub(crate) struct ConnShared {
     token: usize,
     notifier: Arc<Notifier>,
+    /// The owning shard's flight-recorder ring; completed traces land
+    /// here once their reply bytes reach the socket.
+    ring: Arc<FlightRing>,
     out: Mutex<OutQueue>,
 }
 
 impl ConnShared {
-    pub(crate) fn new(token: usize, notifier: Arc<Notifier>) -> Arc<ConnShared> {
+    pub(crate) fn new(
+        token: usize,
+        notifier: Arc<Notifier>,
+        ring: Arc<FlightRing>,
+    ) -> Arc<ConnShared> {
         Arc::new(ConnShared {
             token,
             notifier,
+            ring,
             out: Mutex::new(OutQueue {
                 next_seq: 0,
                 next_flush: 0,
                 pending: BTreeMap::new(),
                 buf: Vec::new(),
                 off: 0,
+                base: 0,
+                inflight: VecDeque::new(),
             }),
         })
     }
@@ -115,18 +137,25 @@ impl ConnShared {
         seq
     }
 
-    /// Deposits the encoded reply for slot `seq`, moves the contiguous
-    /// run into the write buffer, and marks the connection dirty.
-    pub(crate) fn push_reply(&self, seq: u64, frame: Vec<u8>) {
+    /// Deposits the encoded reply for slot `seq` (with the request's
+    /// flight record, if it is being traced), moves the contiguous run
+    /// into the write buffer, and marks the connection dirty. Traced
+    /// replies get their `reply_flushed` stamp when [`ConnShared::flush`]
+    /// later confirms the bytes left for the socket.
+    pub(crate) fn push_reply(&self, seq: u64, frame: Vec<u8>, trace: Option<FlightRecord>) {
         {
             let mut out = self.out.lock().expect("conn out lock");
-            out.pending.insert(seq, frame);
-            while let Some(frame) = {
+            out.pending.insert(seq, (frame, trace));
+            while let Some((frame, trace)) = {
                 let next = out.next_flush;
                 out.pending.remove(&next)
             } {
                 out.buf.extend_from_slice(&frame);
                 out.next_flush += 1;
+                if let Some(rec) = trace {
+                    let end = out.base + out.buf.len() as u64;
+                    out.inflight.push_back((end, rec));
+                }
             }
         }
         self.notifier.mark_dirty(self.token);
@@ -151,7 +180,10 @@ impl ConnShared {
                 Err(e) => return Err(e),
             }
         }
+        self.finalize_flushed(&mut out);
         if out.off == out.buf.len() {
+            let len = out.buf.len() as u64;
+            out.base += len;
             out.buf.clear();
             out.off = 0;
             Ok(true)
@@ -159,9 +191,25 @@ impl ConnShared {
             if out.off >= COMPACT_AT {
                 let off = out.off;
                 out.buf.drain(..off);
+                out.base += off as u64;
                 out.off = 0;
             }
             Ok(false)
+        }
+    }
+
+    /// Stamps `reply_flushed` on every traced reply whose bytes have now
+    /// been handed to the socket, feeds the completed record into the
+    /// `serve.stage.*` histograms, and pushes it into the shard's flight
+    /// ring. Replies still owed to a dead connection never get here, so
+    /// incomplete traces are dropped rather than recorded.
+    fn finalize_flushed(&self, out: &mut OutQueue) {
+        let flushed = out.base + out.off as u64;
+        while out.inflight.front().is_some_and(|(end, _)| *end <= flushed) {
+            let (_, mut rec) = out.inflight.pop_front().expect("checked front");
+            rec.stamps_ns[STAMP_FLUSH] = telemetry::flight::now_ns();
+            metrics::record_stages(&rec);
+            self.ring.push(&rec);
         }
     }
 
@@ -182,7 +230,8 @@ mod tests {
     fn shared() -> Arc<ConnShared> {
         let mut poller = Poller::new().unwrap();
         let waker = Waker::new(&mut poller).unwrap();
-        ConnShared::new(1, Notifier::new(waker))
+        let ring = Arc::new(FlightRing::new(16));
+        ConnShared::new(1, Notifier::new(waker), ring)
     }
 
     #[test]
@@ -191,14 +240,14 @@ mod tests {
         let a = conn.alloc_seq();
         let b = conn.alloc_seq();
         let c = conn.alloc_seq();
-        conn.push_reply(c, vec![3]);
-        conn.push_reply(a, vec![1]);
+        conn.push_reply(c, vec![3], None);
+        conn.push_reply(a, vec![1], None);
         assert!(conn.has_backlog());
         let mut wire = Vec::new();
         // Only the contiguous run (reply 1) may flush while 2 is owed.
         assert!(conn.flush(&mut wire).unwrap());
         assert_eq!(wire, vec![1]);
-        conn.push_reply(b, vec![2]);
+        conn.push_reply(b, vec![2], None);
         assert!(conn.flush(&mut wire).unwrap());
         assert_eq!(wire, vec![1, 2, 3]);
         assert!(!conn.has_backlog());
@@ -209,5 +258,40 @@ mod tests {
         let conn = shared();
         let _gap = conn.alloc_seq();
         assert!(conn.has_backlog());
+    }
+
+    #[test]
+    fn traced_replies_land_in_the_ring_only_after_their_bytes_flush() {
+        telemetry::set_enabled(true);
+        let conn = shared();
+        let a = conn.alloc_seq();
+        let b = conn.alloc_seq();
+        let mut rec = FlightRecord {
+            trace_id: 42,
+            ..FlightRecord::default()
+        };
+        for s in 0..STAMP_FLUSH {
+            rec.stamps_ns[s] = (s + 1) as u64;
+        }
+        // Reply `b` is traced but sequenced behind the untraced `a`, so
+        // nothing may finalize until both frames reach the socket.
+        conn.push_reply(b, vec![9, 9], Some(rec));
+        let mut wire = Vec::new();
+        assert!(conn.flush(&mut wire).unwrap());
+        assert!(wire.is_empty());
+        if telemetry::enabled() {
+            assert_eq!(conn.ring.snapshot().len(), 0);
+        }
+        conn.push_reply(a, vec![7], None);
+        assert!(conn.flush(&mut wire).unwrap());
+        assert_eq!(wire, vec![7, 9, 9]);
+        if telemetry::enabled() {
+            let recs = conn.ring.snapshot();
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].trace_id, 42);
+            assert!(recs[0].is_complete(), "flush stamped the final stage");
+        }
+        // Leave telemetry enabled: other tests in this binary assert
+        // monotonic gauges and clearing the override mid-run would race.
     }
 }

@@ -42,10 +42,33 @@
 //! - [`config`] — `RPBCM_SERVE_*` environment knobs (operator guide:
 //!   `docs/OPERATIONS.md`).
 //!
-//! Telemetry probes (`serve.*` counters, queue-depth gauge, batch-size
-//! and latency histograms, per-shard `serve.shard.*` load counters) flow
-//! through the workspace [`telemetry`] registry and surface in the bench
-//! harness dumps.
+//! # Observability
+//!
+//! Every admitted request carries a [`telemetry::flight::FlightRecord`]:
+//! a trace id plus seven lifecycle stamps (parse, admit, enqueue,
+//! batch-formed, infer-start, infer-end, reply-flushed) taken as it
+//! moves shard → batcher → socket, finalized into per-shard bounded
+//! lock-free flight rings when the reply bytes actually flush. Three
+//! surfaces expose them:
+//!
+//! - the **`stats` opcode** — a versioned JSON snapshot (config, model
+//!   catalog, quota state, per-shard queue depth and stage-latency
+//!   summaries, full telemetry report) over the wire via
+//!   [`Client::stats`] or [`Server::stats_snapshot`];
+//! - the **SLO watchdog** — armed by `RPBCM_SERVE_SLO_P99_US` /
+//!   `RPBCM_SERVE_SLO_SHED_PCT`, it dumps the recent traces plus a
+//!   stats snapshot to a timestamped JSON file and a Perfetto-openable
+//!   Chrome-trace twin on violation ([`Server::dump_flight`] forces
+//!   one);
+//! - the **`serve.stage.*` histograms** — per-interval lifecycle
+//!   latencies in the workspace [`telemetry`] registry, next to the
+//!   existing `serve.*` counters, queue gauges and per-shard
+//!   `serve.shard.*` load counters, all surfaced in the bench harness
+//!   dumps.
+//!
+//! Tracing obeys the workspace telemetry contract: it only ever counts
+//! and stamps — replies are bit-identical with tracing on, off, or
+//! compiled out.
 //!
 //! # Example
 //!
@@ -71,6 +94,7 @@
 
 mod metrics;
 mod shard;
+mod stats;
 
 pub mod batcher;
 pub mod client;

@@ -46,3 +46,64 @@ pub(crate) static CONNS_CLOSED: telemetry::Counter = telemetry::Counter::new("se
 /// Requests denied because their tenant was at its in-flight quota.
 pub(crate) static QUOTA_DENIED: telemetry::Counter =
     telemetry::Counter::new("serve.requests.quota_denied");
+
+// ---------------------------------------------------------------------
+// Per-stage lifecycle latency (fed from completed flight records; see
+// `telemetry::flight` and the stamping sites in shard/batcher/conn).
+// ---------------------------------------------------------------------
+
+/// parse → admit: request validation and quota acquisition.
+pub(crate) static STAGE_ADMIT: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.admit_ns");
+
+/// admit → enqueue: batcher submission (queue lock + capacity check).
+pub(crate) static STAGE_ENQUEUE: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.enqueue_ns");
+
+/// enqueue → batch-formed: time waiting in the queue for a batch.
+pub(crate) static STAGE_BATCH_WAIT: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.batch_wait_ns");
+
+/// batch-formed → infer-start: batch assembly before the engine call.
+pub(crate) static STAGE_DISPATCH: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.dispatch_ns");
+
+/// infer-start → infer-end: engine execution of the whole batch.
+pub(crate) static STAGE_INFER: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.infer_ns");
+
+/// infer-end → reply-flushed: reply encode, sequencing and socket write.
+pub(crate) static STAGE_REPLY: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.reply_ns");
+
+/// parse → reply-flushed: the whole request lifecycle.
+pub(crate) static STAGE_TOTAL: telemetry::Histogram =
+    telemetry::Histogram::new("serve.stage.total_ns");
+
+/// SLO watchdog violations that produced a flight-recorder dump.
+pub(crate) static SLO_VIOLATIONS: telemetry::Counter =
+    telemetry::Counter::new("serve.slo.violations");
+
+/// The six interval histograms, indexed like
+/// [`telemetry::flight::INTERVAL_NAMES`].
+pub(crate) static STAGE_INTERVALS: [&telemetry::Histogram; 6] = [
+    &STAGE_ADMIT,
+    &STAGE_ENQUEUE,
+    &STAGE_BATCH_WAIT,
+    &STAGE_DISPATCH,
+    &STAGE_INFER,
+    &STAGE_REPLY,
+];
+
+/// Feeds one completed flight record into the `serve.stage.*`
+/// histograms. Incomplete records (a stamp lost to a dead connection)
+/// are skipped rather than recorded as garbage deltas.
+pub(crate) fn record_stages(rec: &telemetry::flight::FlightRecord) {
+    if !rec.is_complete() {
+        return;
+    }
+    for (i, h) in STAGE_INTERVALS.iter().enumerate() {
+        h.record(rec.interval_ns(i));
+    }
+    STAGE_TOTAL.record(rec.total_ns());
+}

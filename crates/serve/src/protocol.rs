@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! u8 opcode            0 = ping, 1 = infer (f32), 2 = infer (fx/i16),
-//!                      3 = shutdown, 4 = hello
+//!                      3 = shutdown, 4 = hello, 5 = stats
 //! infer only:
 //!   u8    model name length, then UTF-8 name bytes
 //!   u32   element count
@@ -37,8 +37,13 @@
 //!                      3 shutting_down, 4 unknown_model,
 //!                      5 quota_exceeded
 //! ok infer:   u32 element count + values (same scalar type as request)
+//! ok stats:   u32 byte length + UTF-8 JSON snapshot document
 //! non-ok:     u32 message length + UTF-8 diagnostic
 //! ```
+//!
+//! There are no request ids, so an `ok` body is typed by the request it
+//! answers: clients decode infer replies with [`decode_response`] and
+//! stats replies with [`decode_stats_response`].
 //!
 //! The exact bytes, cross-checked (an fx infer of two words against
 //! model `"m"`, and its ok reply):
@@ -75,10 +80,11 @@
 //!
 //! # JSON mode
 //!
-//! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`,
+//! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`, `{"op":"stats"}`,
 //! `{"op":"hello","tenant":"<name>"}`, or
 //! `{"op":"infer","model":"<name>","mode":"f32"|"fx","input":[...]}`.
-//! Responses: `{"status":"ok","output":[...]}` or
+//! Responses: `{"status":"ok","output":[...]}`,
+//! `{"status":"ok","stats":{...}}` (stats only) or
 //! `{"status":"<error>","error":"<diagnostic>"}`. The parser accepts
 //! exactly this shape — it is a debugging convenience, not a general
 //! JSON implementation.
@@ -194,6 +200,9 @@ pub enum Request {
         /// against.
         tenant: String,
     },
+    /// Ask for a versioned introspection snapshot (registry metrics,
+    /// per-shard stage-latency histograms, queue/quota state).
+    Stats,
 }
 
 /// A decoded response.
@@ -201,6 +210,8 @@ pub enum Request {
 pub enum Response {
     /// Served: the model output, same scalar type as the request.
     Output(Payload),
+    /// A `stats` reply: the snapshot as one UTF-8 JSON document.
+    Stats(String),
     /// Not served; carries the status and a short diagnostic.
     Error(Status, String),
 }
@@ -320,6 +331,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(u8::try_from(tenant.len()).expect("tenant name fits u8"));
             out.extend_from_slice(tenant.as_bytes());
         }
+        Request::Stats => out.push(5),
     }
     out
 }
@@ -345,6 +357,13 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
                 Ok(Request::Shutdown)
             } else {
                 Err(bad("trailing bytes after shutdown"))
+            }
+        }
+        5 => {
+            if rest.is_empty() {
+                Ok(Request::Stats)
+            } else {
+                Err(bad("trailing bytes after stats"))
             }
         }
         4 => {
@@ -412,6 +431,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::Stats(doc) => {
+            out.push(Status::Ok.code());
+            put_u32(&mut out, doc.len());
+            out.extend_from_slice(doc.as_bytes());
+        }
         Response::Error(status, msg) => {
             out.push(status.code());
             put_u32(&mut out, msg.len());
@@ -423,6 +447,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 
 /// Decodes a response payload. `fx` tells the decoder which scalar type
 /// an `ok` body carries (the protocol echoes the request's type).
+///
+/// Only for replies to *infer-shaped* requests — a `stats` reply's `ok`
+/// body is a JSON document, decoded by [`decode_stats_response`].
 ///
 /// # Errors
 ///
@@ -470,6 +497,35 @@ pub fn decode_response(buf: &[u8], fx: bool) -> Result<Response, WireError> {
     }
 }
 
+/// Decodes a reply to a `stats` request: an `ok` body is `u32` byte
+/// length + a UTF-8 JSON snapshot document ([`Response::Stats`]); a
+/// non-ok body is the usual diagnostic ([`Response::Error`]).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on unknown status codes or inconsistent
+/// lengths.
+pub fn decode_stats_response(buf: &[u8]) -> Result<Response, WireError> {
+    let bad = |m: &str| WireError::Malformed(m.into());
+    let (&code, rest) = buf.split_first().ok_or_else(|| bad("empty response"))?;
+    let status = Status::from_code(code).ok_or_else(|| bad("unknown status"))?;
+    if rest.len() < 4 {
+        return Err(bad("truncated response"));
+    }
+    let count = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let rest = &rest[4..];
+    if rest.len() != count {
+        return Err(bad("body length disagrees with count"));
+    }
+    let text = std::str::from_utf8(rest)
+        .map_err(|_| bad("non-UTF-8 body"))?
+        .to_string();
+    match status {
+        Status::Ok => Ok(Response::Stats(text)),
+        _ => Ok(Response::Error(status, text)),
+    }
+}
+
 // ---------------------------------------------------------------------
 // JSON debug mode
 // ---------------------------------------------------------------------
@@ -488,6 +544,7 @@ pub fn parse_json_request(line: &str) -> Result<Request, WireError> {
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
+        "stats" => Ok(Request::Stats),
         "hello" => {
             let tenant = json_string(&obj, "tenant").ok_or_else(|| bad("missing \"tenant\""))?;
             Ok(Request::Hello { tenant })
@@ -545,6 +602,14 @@ pub fn render_json_response(resp: &Response) -> String {
             }
             s.push_str("]}");
             s
+        }
+        Response::Stats(doc) => {
+            // The snapshot is itself JSON; embed it raw, folding any
+            // pretty-printing newlines so the reply stays one line.
+            format!(
+                "{{\"status\":\"ok\",\"stats\":{}}}",
+                doc.replace('\n', " ").trim()
+            )
         }
         Response::Error(status, msg) => {
             format!(
@@ -646,10 +711,28 @@ mod tests {
                 model: "conv".into(),
                 input: Payload::Fx(vec![-7, 0, 1234]),
             },
+            Request::Stats,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn stats_round_trips_and_rejects_trailing_bytes() {
+        assert_eq!(encode_request(&Request::Stats), [5]);
+        assert!(decode_request(&[5, 0]).is_err());
+
+        let resp = Response::Stats("{\"stats_version\":1}".into());
+        let bytes = encode_response(&resp);
+        assert_eq!(bytes[0], 0, "a stats reply is an ok-status body");
+        assert_eq!(decode_stats_response(&bytes).unwrap(), resp);
+        // Errors decode identically on both reply paths.
+        let err = Response::Error(Status::ShuttingDown, "draining".into());
+        assert_eq!(decode_stats_response(&encode_response(&err)).unwrap(), err);
+        // Truncated body.
+        assert!(decode_stats_response(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_stats_response(&[]).is_err());
     }
 
     #[test]
@@ -740,6 +823,13 @@ mod tests {
             render_json_response(&Response::Output(Payload::Fx(vec![1, -2]))),
             "{\"status\":\"ok\",\"output\":[1,-2]}"
         );
+        assert_eq!(
+            parse_json_request("{\"op\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        let rendered = render_json_response(&Response::Stats("{\"a\":\n1}".into()));
+        assert_eq!(rendered, "{\"status\":\"ok\",\"stats\":{\"a\": 1}}");
+        assert!(!rendered.contains('\n'), "JSON mode replies are one line");
         assert_eq!(
             render_json_response(&Response::Error(Status::ShuttingDown, "draining".into())),
             "{\"status\":\"shutting_down\",\"error\":\"draining\"}"

@@ -69,6 +69,18 @@ impl QuotaTable {
     pub fn in_flight(&self, tenant: &str) -> usize {
         self.cell(tenant).load(Ordering::Acquire)
     }
+
+    /// Every known tenant with its current in-flight count, sorted by
+    /// tenant name (for the `stats` snapshot).
+    pub fn snapshot(&self) -> Vec<(String, usize)> {
+        let map = self.tenants.lock().expect("quota lock");
+        let mut rows: Vec<(String, usize)> = map
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Acquire)))
+            .collect();
+        rows.sort();
+        rows
+    }
 }
 
 /// RAII in-flight slot: dropping it returns the slot to the tenant.

@@ -28,8 +28,9 @@
 //! really executed; one that got `shutting_down` was really not.
 
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use crate::batcher::Batcher;
@@ -43,8 +44,13 @@ use crate::shard::{ShardHandle, ShardStats};
 /// How long the acceptor blocks before re-checking the stop flag.
 const ACCEPT_TICK: Duration = Duration::from_millis(50);
 
+/// Flight-recorder ring capacity per shard (completed traces kept).
+const FLIGHT_CAPACITY: usize = 1024;
+
 /// State shared by the acceptor, the shards and the [`Server`] handle.
 pub(crate) struct ServerShared {
+    /// The configuration the server was started with.
+    pub cfg: ServeConfig,
     /// The live model catalog; resolved per request, hot-swappable.
     pub registry: Arc<Registry>,
     /// Per-tenant in-flight admission quotas.
@@ -56,6 +62,20 @@ pub(crate) struct ServerShared {
     pub remote_shutdown: AtomicBool,
     /// Wire-level violations observed (handshake, framing, decode).
     pub protocol_errors: AtomicU64,
+    /// Every shard's cross-thread face, set once during bind (before
+    /// any shard thread starts) so request handlers can assemble
+    /// cross-shard `stats` snapshots.
+    pub shards: OnceLock<Vec<Arc<ShardHandle>>>,
+    /// Flight-recorder dumps written so far (`(json, chrome_trace)`
+    /// path pairs), newest last.
+    pub flight_dumps: Mutex<Vec<(PathBuf, PathBuf)>>,
+}
+
+impl ServerShared {
+    /// The shard handles (always set after [`Server::bind`] returns).
+    pub(crate) fn shard_handles(&self) -> &[Arc<ShardHandle>] {
+        self.shards.get().map_or(&[], Vec::as_slice)
+    }
 }
 
 /// A running serve instance.
@@ -84,16 +104,22 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
+            cfg,
             registry: Arc::new(registry),
             quotas: QuotaTable::new(cfg.tenant_quota),
             stop: AtomicBool::new(false),
             remote_shutdown: AtomicBool::new(false),
             protocol_errors: AtomicU64::new(0),
+            shards: OnceLock::new(),
+            flight_dumps: Mutex::new(Vec::new()),
         });
 
+        // Build every shard handle (and its poller) before spawning any
+        // thread, so the shared handle list is complete by the time the
+        // first request can ask for a cross-shard stats snapshot.
         let n_shards = cfg.shards.max(1);
         let mut shards = Vec::with_capacity(n_shards);
-        let mut threads = Vec::with_capacity(n_shards + 1);
+        let mut pollers = Vec::with_capacity(n_shards);
         for index in 0..n_shards {
             let mut poller = Poller::new()?;
             let waker = Waker::new(&mut poller)?;
@@ -103,16 +129,26 @@ impl Server {
                 notifier: Notifier::new(waker),
                 batcher: Batcher::start(cfg),
                 stats: ShardStats::default(),
+                ring: Arc::new(telemetry::flight::FlightRing::new(FLIGHT_CAPACITY)),
             });
-            let thread_handle = Arc::clone(&handle);
+            shards.push(handle);
+            pollers.push(poller);
+        }
+        shared
+            .shards
+            .set(shards.clone())
+            .unwrap_or_else(|_| unreachable!("shards set once during bind"));
+
+        let mut threads = Vec::with_capacity(n_shards + 2);
+        for (handle, poller) in shards.iter().zip(pollers) {
+            let thread_handle = Arc::clone(handle);
             let thread_shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("serve-shard-{index}"))
+                    .name(format!("serve-shard-{}", handle.index))
                     .spawn(move || crate::shard::run(&thread_handle, &thread_shared, poller))
                     .expect("spawn shard thread"),
             );
-            shards.push(handle);
         }
 
         let accept_shared = Arc::clone(&shared);
@@ -123,6 +159,16 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &accept_shared, &accept_shards))
                 .expect("spawn accept loop"),
         );
+
+        if cfg.slo_p99_us > 0 || cfg.slo_shed_pct > 0 {
+            let watch_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-slo-watchdog".into())
+                    .spawn(move || crate::stats::watchdog_loop(&watch_shared))
+                    .expect("spawn SLO watchdog"),
+            );
+        }
 
         Ok(Server {
             shared,
@@ -154,6 +200,35 @@ impl Server {
     /// Wire-level protocol violations seen so far.
     pub fn protocol_errors(&self) -> u64 {
         self.shared.protocol_errors.load(Ordering::SeqCst)
+    }
+
+    /// The per-tenant quota table (in-flight counts and the limit).
+    pub fn quotas(&self) -> &QuotaTable {
+        &self.shared.quotas
+    }
+
+    /// The versioned stats snapshot — the same JSON document the `stats`
+    /// opcode returns over the wire (see `docs/PROTOCOL.md` §3.4).
+    pub fn stats_snapshot(&self) -> String {
+        crate::stats::stats_json(&self.shared)
+    }
+
+    /// Forces a flight-recorder dump right now (as the SLO watchdog
+    /// would on a violation) and returns the `(json, chrome_trace)`
+    /// path pair. Files land in `RPBCM_SERVE_SLO_DIR` (default: the
+    /// working directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing either file.
+    pub fn dump_flight(&self, reason: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+        crate::stats::dump_flight(&self.shared, reason)
+    }
+
+    /// Every flight-recorder dump written so far (watchdog-triggered or
+    /// forced), as `(json, chrome_trace)` path pairs, oldest first.
+    pub fn flight_dumps(&self) -> Vec<(PathBuf, PathBuf)> {
+        self.shared.flight_dumps.lock().expect("dump lock").clone()
     }
 
     /// Per-shard `(connections_assigned, requests_parsed)` counters,

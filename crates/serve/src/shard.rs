@@ -31,6 +31,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use telemetry::flight::{FlightRecord, FlightRing, STAMP_ADMIT, STAMP_PARSE};
+
 use crate::batcher::{encode_for_wire, Batcher, ReplySink, SubmitError};
 use crate::conn::{ConnShared, Notifier};
 use crate::metrics;
@@ -64,6 +66,8 @@ pub(crate) struct ShardHandle {
     pub notifier: Arc<Notifier>,
     pub batcher: Batcher,
     pub stats: ShardStats,
+    /// Flight-recorder ring holding this shard's completed traces.
+    pub ring: Arc<FlightRing>,
 }
 
 enum ConnMode {
@@ -147,7 +151,11 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
                 token,
                 Conn {
                     stream,
-                    shared: ConnShared::new(token, Arc::clone(&handle.notifier)),
+                    shared: ConnShared::new(
+                        token,
+                        Arc::clone(&handle.notifier),
+                        Arc::clone(&handle.ring),
+                    ),
                     rbuf: Vec::new(),
                     rpos: 0,
                     mode: ConnMode::Handshake,
@@ -322,7 +330,10 @@ fn parse_ready(
                     let decoded = protocol::decode_request(&conn.rbuf[start..start + len]);
                     conn.rpos = start + len;
                     match decoded {
-                        Ok(req) => process_request(conn, req, false, seq, handle, server, probes),
+                        Ok(req) => {
+                            let trace = begin_trace(handle.index);
+                            process_request(conn, req, false, seq, handle, server, probes, trace);
+                        }
                         Err(e) => {
                             // Malformed request: explicit reply, count it,
                             // connection survives.
@@ -383,7 +394,10 @@ fn handle_json_line(
     }
     let seq = conn.shared.alloc_seq();
     match protocol::parse_json_request(&text) {
-        Ok(req) => process_request(conn, req, true, seq, handle, server, probes),
+        Ok(req) => {
+            let trace = begin_trace(handle.index);
+            process_request(conn, req, true, seq, handle, server, probes, trace);
+        }
         Err(e) => {
             server.protocol_errors.fetch_add(1, Ordering::SeqCst);
             metrics::REJECTED.add(1);
@@ -399,10 +413,39 @@ fn handle_json_line(
 
 /// Deposits an immediate (non-batched) reply into the sequenced output.
 fn reply_now(conn: &Conn, seq: u64, resp: &Response, json: bool) {
-    conn.shared.push_reply(seq, encode_for_wire(resp, json));
+    conn.shared
+        .push_reply(seq, encode_for_wire(resp, json), None);
+}
+
+/// Opens a lifecycle trace for a freshly parsed request: allocates the
+/// trace id, tags the shard, and takes the `parse` stamp. Returns `None`
+/// while telemetry is disabled, so the hot path pays one branch.
+fn begin_trace(shard: usize) -> Option<FlightRecord> {
+    if !telemetry::enabled() {
+        return None;
+    }
+    let mut rec = FlightRecord {
+        trace_id: telemetry::flight::next_trace_id(),
+        shard: shard as u32,
+        ..FlightRecord::default()
+    };
+    rec.stamps_ns[STAMP_PARSE] = telemetry::flight::now_ns();
+    Some(rec)
+}
+
+/// FNV-1a hash of a tenant name — a stable, allocation-free tag small
+/// enough for a flight-record word.
+fn tenant_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 /// Validates and routes one decoded request.
+#[allow(clippy::too_many_arguments)]
 fn process_request(
     conn: &mut Conn,
     req: Request,
@@ -411,6 +454,7 @@ fn process_request(
     handle: &Arc<ShardHandle>,
     server: &Arc<ServerShared>,
     probes: &ShardProbes,
+    mut trace: Option<FlightRecord>,
 ) {
     handle.stats.requests.fetch_add(1, Ordering::Relaxed);
     probes.requests.inc();
@@ -423,6 +467,10 @@ fn process_request(
         Request::Hello { tenant } => {
             conn.tenant = tenant;
             reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
+        }
+        Request::Stats => {
+            let doc = crate::stats::stats_json(server);
+            reply_now(conn, seq, &Response::Stats(doc), json);
         }
         Request::Infer { model, input } => {
             let Some(entry) = server.registry.resolve(&model) else {
@@ -462,6 +510,11 @@ fn process_request(
                 );
                 return reply_now(conn, seq, &resp, json);
             };
+            if let Some(rec) = trace.as_mut() {
+                rec.tenant_hash = tenant_hash(&conn.tenant);
+                rec.model_version = entry.version();
+                rec.stamps_ns[STAMP_ADMIT] = telemetry::flight::now_ns();
+            }
             let sink = ReplySink::Conn {
                 conn: Arc::clone(&conn.shared),
                 seq,
@@ -469,7 +522,7 @@ fn process_request(
             };
             match handle
                 .batcher
-                .submit_sink(entry, mode, input, sink, Some(guard))
+                .submit_sink(entry, mode, input, sink, Some(guard), trace)
             {
                 Ok(()) => {} // the batch worker owes the reply
                 Err(SubmitError::Overloaded) => reply_now(

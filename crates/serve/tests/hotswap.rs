@@ -199,6 +199,7 @@ fn tenant_quota_denies_excess_in_flight_and_frees_on_completion() {
         queue_cap: 64,
         shards: 1,
         tenant_quota: 1,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg, registry).expect("bind");
     let addr = server.local_addr();

@@ -1,0 +1,460 @@
+//! Flight recorder: per-request lifecycle trace records in bounded
+//! lock-free rings.
+//!
+//! The serving tier stamps every admitted request at seven lifecycle
+//! points (parse, admit, enqueue, batch-formed, infer-start, infer-end,
+//! reply-flushed) into a fixed-size [`FlightRecord`] that travels with
+//! the request, then pushes the completed record into its shard's
+//! [`FlightRing`]. The rings are the raw material for the `stats` wire
+//! opcode and the SLO flight-recorder dump: "what did the last N
+//! requests look like, stage by stage, at the moment p99 breached?"
+//!
+//! Design constraints, in order:
+//!
+//! - **Bounded.** A ring holds a fixed number of slots; a push beyond
+//!   capacity overwrites the oldest slot. Memory is allocated once at
+//!   ring construction, never on the push path.
+//! - **Lock-free.** Writers claim a slot by ticket
+//!   (`fetch_add`) and guard it with a per-slot sequence counter
+//!   (seqlock): readers that observe a torn or in-progress slot simply
+//!   skip it. A writer that collides with a lapped writer on the same
+//!   slot drops its record and counts it — nothing ever blocks.
+//! - **Bit-exactness preserved.** Records only *observe* ticks; nothing
+//!   here feeds back into request processing. The serving tier
+//!   additionally gates all stamping on [`crate::enabled`], so a
+//!   disabled process never reads a clock.
+//!
+//! Timestamps are nanoseconds since the process's flight epoch (first
+//! [`now_ns`] call), `0` meaning "stamp missing". [`trace_json`]
+//! renders completed records in the same Chrome trace-event format as
+//! the `RPBCM_TRACE` exporter — one process track per shard, one lane
+//! per request — so a flight dump opens directly in Perfetto.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Number of lifecycle stamps in a record.
+pub const STAGES: usize = 7;
+
+/// Stamp index: binary/JSON frame decoded into a request.
+pub const STAMP_PARSE: usize = 0;
+/// Stamp index: request validated and admitted (quota acquired).
+pub const STAMP_ADMIT: usize = 1;
+/// Stamp index: request enqueued into the shard batcher.
+pub const STAMP_ENQUEUE: usize = 2;
+/// Stamp index: the batch containing the request was formed.
+pub const STAMP_BATCH: usize = 3;
+/// Stamp index: engine execution of the batch began.
+pub const STAMP_INFER_START: usize = 4;
+/// Stamp index: engine execution of the batch finished.
+pub const STAMP_INFER_END: usize = 5;
+/// Stamp index: the reply bytes reached the socket (or the embedder).
+pub const STAMP_FLUSH: usize = 6;
+
+/// Stamp names, indexed by the `STAMP_*` constants.
+pub const STAGE_NAMES: [&str; STAGES] = [
+    "parse",
+    "admit",
+    "enqueue",
+    "batch_formed",
+    "infer_start",
+    "infer_end",
+    "reply_flushed",
+];
+
+/// Names of the six intervals between consecutive stamps (interval `i`
+/// spans `stamps_ns[i] .. stamps_ns[i + 1]`).
+pub const INTERVAL_NAMES: [&str; STAGES - 1] = [
+    "admit",
+    "enqueue",
+    "batch_wait",
+    "dispatch",
+    "infer",
+    "reply",
+];
+
+/// One request's fixed-size lifecycle trace.
+///
+/// Plain data: the record travels by value with the request through the
+/// shard and batch-worker threads, each stamping its stages, and is
+/// pushed into a [`FlightRing`] once the final stamp lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightRecord {
+    /// Process-unique id allocated at admission ([`next_trace_id`]).
+    pub trace_id: u64,
+    /// Index of the shard that owned the connection.
+    pub shard: u32,
+    /// Size of the batch the request was executed in.
+    pub batch: u32,
+    /// FNV-1a hash of the tenant name (`0` = anonymous).
+    pub tenant_hash: u64,
+    /// Version of the model entry resolved at admission.
+    pub model_version: u64,
+    /// Lifecycle ticks, nanoseconds since the flight epoch; `0` =
+    /// stamp missing. Indexed by the `STAMP_*` constants.
+    pub stamps_ns: [u64; STAGES],
+}
+
+impl FlightRecord {
+    /// `true` when every stamp landed and ticks are non-decreasing.
+    pub fn is_complete(&self) -> bool {
+        self.stamps_ns[0] != 0 && self.stamps_ns.windows(2).all(|w| w[0] <= w[1] && w[1] != 0)
+    }
+
+    /// Duration of interval `i` (see [`INTERVAL_NAMES`]), saturating.
+    pub fn interval_ns(&self, i: usize) -> u64 {
+        self.stamps_ns[i + 1].saturating_sub(self.stamps_ns[i])
+    }
+
+    /// Total parse→reply-flushed duration, saturating.
+    pub fn total_ns(&self) -> u64 {
+        self.stamps_ns[STAMP_FLUSH].saturating_sub(self.stamps_ns[STAMP_PARSE])
+    }
+
+    /// Renders the record as one flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"trace_id\":{},\"shard\":{},\"batch\":{},\"tenant_hash\":{},\"model_version\":{}",
+            self.trace_id, self.shard, self.batch, self.tenant_hash, self.model_version
+        );
+        for (name, ns) in STAGE_NAMES.iter().zip(self.stamps_ns) {
+            s.push_str(&format!(",\"{name}_ns\":{ns}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Nanoseconds since the process flight epoch; never `0` (a real stamp
+/// is always distinguishable from a missing one).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    (EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64).max(1)
+}
+
+/// Allocates a process-unique trace id (starting at 1).
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Words per seqlock slot: the five tag fields plus the stamps.
+const SLOT_WORDS: usize = 4 + STAGES;
+
+/// One seqlock-guarded record slot.
+struct Slot {
+    /// Even = stable, odd = write in progress. A reader that sees the
+    /// same even value before and after reading the words got a
+    /// consistent record.
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn pack(rec: &FlightRecord) -> [u64; SLOT_WORDS] {
+    let mut w = [0u64; SLOT_WORDS];
+    w[0] = rec.trace_id;
+    w[1] = (u64::from(rec.shard) << 32) | u64::from(rec.batch);
+    w[2] = rec.tenant_hash;
+    w[3] = rec.model_version;
+    w[4..].copy_from_slice(&rec.stamps_ns);
+    w
+}
+
+fn unpack(w: &[u64; SLOT_WORDS]) -> FlightRecord {
+    let mut stamps_ns = [0u64; STAGES];
+    stamps_ns.copy_from_slice(&w[4..]);
+    FlightRecord {
+        trace_id: w[0],
+        shard: (w[1] >> 32) as u32,
+        batch: w[1] as u32,
+        tenant_hash: w[2],
+        model_version: w[3],
+        stamps_ns,
+    }
+}
+
+/// A bounded lock-free ring of completed [`FlightRecord`]s.
+///
+/// Writers overwrite the oldest slot once full; [`FlightRing::snapshot`]
+/// returns every consistent record, oldest first by reply-flushed tick.
+pub struct FlightRing {
+    slots: Box<[Slot]>,
+    /// Total push attempts; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+    /// Pushes abandoned because a lapping writer held the slot.
+    dropped: AtomicU64,
+}
+
+impl FlightRing {
+    /// Creates a ring holding up to `capacity` records (min 1). All
+    /// memory is allocated here; pushes never allocate.
+    pub fn new(capacity: usize) -> FlightRing {
+        let cap = capacity.max(1);
+        FlightRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records pushed (including ones since overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Pushes abandoned under writer collision (lapped ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records `rec`, overwriting the oldest slot when full. Lock-free:
+    /// if another writer has lapped the ring and holds the same slot,
+    /// the record is dropped and counted instead of blocking.
+    pub fn push(&self, rec: &FlightRecord) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if !seq.is_multiple_of(2)
+            || slot
+                .seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (w, v) in slot.words.iter().zip(pack(rec)) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Copies out every consistent record, sorted by reply-flushed tick
+    /// then trace id (oldest first). Slots mid-write are skipped.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || !before.is_multiple_of(2) {
+                continue;
+            }
+            let mut w = [0u64; SLOT_WORDS];
+            for (dst, src) in w.iter_mut().zip(slot.words.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) == before {
+                out.push(unpack(&w));
+            }
+        }
+        out.sort_by_key(|r| (r.stamps_ns[STAMP_FLUSH], r.trace_id));
+        out
+    }
+}
+
+/// Renders `records` as a JSON array of flat record objects (see
+/// [`FlightRecord::to_json`]).
+pub fn records_json(records: &[FlightRecord]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(&r.to_json());
+    }
+    if !records.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+/// Renders `records` as a Chrome trace-event JSON document in the same
+/// format as the `RPBCM_TRACE` exporter: one process track per shard
+/// (`pid` = shard + 1), one lane per request (`tid` = trace id), one
+/// `ph:"X"` complete event per lifecycle interval. Opens directly in
+/// Perfetto / `chrome://tracing`. Incomplete records are skipped.
+pub fn trace_json(records: &[FlightRecord]) -> String {
+    let mut shards: Vec<u32> = records.iter().map(|r| r.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for shard in shards {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"serve shard {shard}\"}}}}",
+            shard + 1
+        ));
+    }
+    let mut events: Vec<(u32, u64, u64, u64, &'static str)> = Vec::new();
+    for r in records.iter().filter(|r| r.is_complete()) {
+        for (i, name) in INTERVAL_NAMES.iter().enumerate() {
+            events.push((
+                r.shard + 1,
+                r.trace_id,
+                r.stamps_ns[i],
+                r.interval_ns(i),
+                name,
+            ));
+        }
+    }
+    events.sort_unstable_by_key(|&(pid, tid, ts, dur, _)| (pid, tid, ts, dur));
+    for (pid, tid, ts_ns, dur_ns, name) in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"name\":\"{name}\",\"cat\":\"flight\",\"pid\":{pid},\"tid\":{tid},\"ts\":"
+        ));
+        crate::trace::push_us(&mut out, ts_ns);
+        out.push_str(",\"dur\":");
+        crate::trace::push_us(&mut out, dur_ns);
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, base: u64) -> FlightRecord {
+        FlightRecord {
+            trace_id: id,
+            shard: (id % 2) as u32,
+            batch: 4,
+            tenant_hash: 99,
+            model_version: 1,
+            stamps_ns: std::array::from_fn(|i| base + i as u64 * 10),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_ring() {
+        let ring = FlightRing::new(8);
+        for i in 0..5 {
+            ring.push(&rec(i + 1, 100 * (i + 1)));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0], rec(1, 100));
+        assert_eq!(got[4], rec(5, 500));
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let ring = FlightRing::new(4);
+        for i in 0..10 {
+            ring.push(&rec(i + 1, 100 * (i + 1)));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 4);
+        let ids: Vec<u64> = got.iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear_records() {
+        let ring = std::sync::Arc::new(FlightRing::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        ring.push(&rec(t * 1000 + i + 1, (i + 1) * 7));
+                    }
+                });
+            }
+        });
+        // Every surviving record must be internally consistent — the
+        // stamps ladder of `rec` with matching tags.
+        for r in ring.snapshot() {
+            let base = r.stamps_ns[0];
+            assert_eq!(r.stamps_ns, std::array::from_fn(|i| base + i as u64 * 10));
+            assert_eq!(r.tenant_hash, 99);
+            assert!(r.is_complete());
+        }
+        assert_eq!(
+            ring.pushed(),
+            4000,
+            "every push attempt is counted, kept or dropped"
+        );
+    }
+
+    #[test]
+    fn completeness_requires_every_stamp_in_order() {
+        let mut r = rec(1, 100);
+        assert!(r.is_complete());
+        r.stamps_ns[STAMP_BATCH] = 0;
+        assert!(!r.is_complete());
+        let mut r = rec(2, 100);
+        r.stamps_ns[STAMP_FLUSH] = r.stamps_ns[STAMP_INFER_END] - 1;
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn intervals_and_total_derive_from_stamps() {
+        let r = rec(1, 100);
+        for i in 0..STAGES - 1 {
+            assert_eq!(r.interval_ns(i), 10);
+        }
+        assert_eq!(r.total_ns(), 60);
+    }
+
+    #[test]
+    fn json_and_trace_renderings_are_wellformed() {
+        let records = vec![rec(1, 100), rec(2, 200)];
+        let j = records_json(&records);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"trace_id\":1"));
+        assert!(j.contains("\"reply_flushed_ns\":160"));
+
+        let t = trace_json(&records);
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"serve shard 0\""));
+        assert!(t.contains("\"serve shard 1\""));
+        assert!(t.contains("\"name\":\"infer\""));
+        // 2 shard metadata lines + 2 records x 6 intervals.
+        assert_eq!(t.matches("\"ph\":\"X\"").count(), 12);
+    }
+
+    #[test]
+    fn empty_renderings_stay_valid() {
+        assert_eq!(records_json(&[]), "[]");
+        let t = trace_json(&[]);
+        assert!(t.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a != 0 && b != 0 && a != b);
+        assert!(now_ns() > 0);
+    }
+}

@@ -93,11 +93,21 @@
 //! replayed as a second clock domain (1 cycle = 1 µs). Enabled by setting
 //! `RPBCM_TRACE=<path>`; the `exp_*` binaries call [`flush_trace`] on exit
 //! to write the file.
+//!
+//! # Flight recorder
+//!
+//! The [`mod@flight`] module holds per-request lifecycle trace records
+//! for the serving tier: a fixed-size seven-stamp
+//! [`flight::FlightRecord`] per admitted request, pushed into bounded
+//! lock-free per-shard [`flight::FlightRing`]s, rendered as JSON or as
+//! a Perfetto-openable Chrome trace for the SLO flight-recorder dump.
 
 #![deny(missing_docs)]
 
 pub mod env;
 
+#[cfg(feature = "capture")]
+pub mod flight;
 #[cfg(feature = "capture")]
 mod probe;
 #[cfg(feature = "capture")]
@@ -128,6 +138,8 @@ pub use trace::{
 #[cfg(not(feature = "capture"))]
 mod noop;
 
+#[cfg(not(feature = "capture"))]
+pub use noop::flight;
 #[cfg(not(feature = "capture"))]
 pub use noop::{
     clear_override, clear_trace_override, enabled, flush_trace, record_counter, record_gauge,

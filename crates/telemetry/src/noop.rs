@@ -357,6 +357,162 @@ pub fn write_report<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
     std::fs::write(path, report_json() + "\n")
 }
 
+/// Flight recorder (compiled-out variant): the record type keeps its
+/// fields (request-path code embeds and stamps it unconditionally — the
+/// stamping sites themselves are gated on [`enabled`], which is always
+/// `false` here), while the ring and renderers are inert.
+pub mod flight {
+    /// Number of lifecycle stamps in a record.
+    pub const STAGES: usize = 7;
+
+    /// Stamp index: binary/JSON frame decoded into a request.
+    pub const STAMP_PARSE: usize = 0;
+    /// Stamp index: request validated and admitted (quota acquired).
+    pub const STAMP_ADMIT: usize = 1;
+    /// Stamp index: request enqueued into the shard batcher.
+    pub const STAMP_ENQUEUE: usize = 2;
+    /// Stamp index: the batch containing the request was formed.
+    pub const STAMP_BATCH: usize = 3;
+    /// Stamp index: engine execution of the batch began.
+    pub const STAMP_INFER_START: usize = 4;
+    /// Stamp index: engine execution of the batch finished.
+    pub const STAMP_INFER_END: usize = 5;
+    /// Stamp index: the reply bytes reached the socket (or embedder).
+    pub const STAMP_FLUSH: usize = 6;
+
+    /// Stamp names, indexed by the `STAMP_*` constants.
+    pub const STAGE_NAMES: [&str; STAGES] = [
+        "parse",
+        "admit",
+        "enqueue",
+        "batch_formed",
+        "infer_start",
+        "infer_end",
+        "reply_flushed",
+    ];
+
+    /// Names of the six intervals between consecutive stamps.
+    pub const INTERVAL_NAMES: [&str; STAGES - 1] = [
+        "admit",
+        "enqueue",
+        "batch_wait",
+        "dispatch",
+        "infer",
+        "reply",
+    ];
+
+    /// One request's fixed-size lifecycle trace (plain data; identical
+    /// layout to the capture build so request-path code compiles
+    /// unchanged).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct FlightRecord {
+        /// Process-unique id allocated at admission (always 0 here).
+        pub trace_id: u64,
+        /// Index of the shard that owned the connection.
+        pub shard: u32,
+        /// Size of the batch the request was executed in.
+        pub batch: u32,
+        /// FNV-1a hash of the tenant name (`0` = anonymous).
+        pub tenant_hash: u64,
+        /// Version of the model entry resolved at admission.
+        pub model_version: u64,
+        /// Lifecycle ticks; `0` = stamp missing.
+        pub stamps_ns: [u64; STAGES],
+    }
+
+    impl FlightRecord {
+        /// `true` when every stamp landed and ticks are non-decreasing.
+        pub fn is_complete(&self) -> bool {
+            self.stamps_ns[0] != 0 && self.stamps_ns.windows(2).all(|w| w[0] <= w[1] && w[1] != 0)
+        }
+
+        /// Duration of interval `i` (see [`INTERVAL_NAMES`]), saturating.
+        pub fn interval_ns(&self, i: usize) -> u64 {
+            self.stamps_ns[i + 1].saturating_sub(self.stamps_ns[i])
+        }
+
+        /// Total parse→reply-flushed duration, saturating.
+        pub fn total_ns(&self) -> u64 {
+            self.stamps_ns[STAMP_FLUSH].saturating_sub(self.stamps_ns[STAMP_PARSE])
+        }
+
+        /// Renders the record as one flat JSON object.
+        pub fn to_json(&self) -> String {
+            let mut s = format!(
+                "{{\"trace_id\":{},\"shard\":{},\"batch\":{},\"tenant_hash\":{},\
+                 \"model_version\":{}",
+                self.trace_id, self.shard, self.batch, self.tenant_hash, self.model_version
+            );
+            for (name, ns) in STAGE_NAMES.iter().zip(self.stamps_ns) {
+                s.push_str(&format!(",\"{name}_ns\":{ns}"));
+            }
+            s.push('}');
+            s
+        }
+    }
+
+    /// Always zero in a compiled-out build (`0` = "no stamp").
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    /// Always zero in a compiled-out build.
+    #[inline(always)]
+    pub fn next_trace_id() -> u64 {
+        0
+    }
+
+    /// A bounded ring of flight records (compiled-out variant: holds
+    /// nothing, allocates nothing).
+    pub struct FlightRing;
+
+    impl FlightRing {
+        /// Creates an inert ring; `capacity` is ignored.
+        pub fn new(_capacity: usize) -> FlightRing {
+            FlightRing
+        }
+
+        /// Always zero in a compiled-out build.
+        #[inline(always)]
+        pub fn capacity(&self) -> usize {
+            0
+        }
+
+        /// Always zero in a compiled-out build.
+        #[inline(always)]
+        pub fn pushed(&self) -> u64 {
+            0
+        }
+
+        /// Always zero in a compiled-out build.
+        #[inline(always)]
+        pub fn dropped(&self) -> u64 {
+            0
+        }
+
+        /// No-op in a compiled-out build.
+        #[inline(always)]
+        pub fn push(&self, _rec: &FlightRecord) {}
+
+        /// Always empty in a compiled-out build.
+        #[inline(always)]
+        pub fn snapshot(&self) -> Vec<FlightRecord> {
+            Vec::new()
+        }
+    }
+
+    /// The empty record array in a compiled-out build.
+    pub fn records_json(_records: &[FlightRecord]) -> String {
+        "[]".to_string()
+    }
+
+    /// The empty (but valid) trace document in a compiled-out build.
+    pub fn trace_json(_records: &[FlightRecord]) -> String {
+        "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +529,26 @@ mod tests {
         assert_eq!(std::mem::size_of::<OwnedCounter>(), 0);
         assert_eq!(std::mem::size_of::<OwnedGauge>(), 0);
         assert_eq!(std::mem::size_of::<OwnedHistogram>(), 0);
+        assert_eq!(std::mem::size_of::<flight::FlightRing>(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_is_inert() {
+        let ring = flight::FlightRing::new(64);
+        let rec = flight::FlightRecord {
+            trace_id: 1,
+            stamps_ns: [1, 2, 3, 4, 5, 6, 7],
+            ..Default::default()
+        };
+        assert!(rec.is_complete());
+        ring.push(&rec);
+        assert_eq!(ring.capacity(), 0);
+        assert_eq!(ring.pushed(), 0);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(flight::next_trace_id(), 0);
+        assert_eq!(flight::now_ns(), 0);
+        assert_eq!(flight::records_json(&[rec]), "[]");
+        assert!(flight::trace_json(&[rec]).contains("\"traceEvents\""));
     }
 
     #[test]

@@ -247,7 +247,8 @@ fn push_json_escaped(out: &mut String, s: &str) {
 }
 
 /// Microseconds with three decimals — the trace-event `ts`/`dur` unit.
-fn push_us(out: &mut String, ns: u64) {
+/// Shared with the flight recorder's Chrome-trace rendering.
+pub(crate) fn push_us(out: &mut String, ns: u64) {
     out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
 }
 

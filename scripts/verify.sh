@@ -16,6 +16,13 @@ cargo test --workspace -q
 echo "== telemetry crate without the capture feature =="
 cargo test -q -p telemetry --no-default-features
 
+echo "== serve tests with telemetry enabled (flight tracing live) =="
+# Re-runs the serve suite with the metrics registry and per-request
+# flight tracing switched on, so the traced code paths (stage stamps,
+# ring pushes, stats snapshots, SLO watchdog) are exercised for real —
+# with RPBCM_TELEMETRY unset they compile to near-no-ops.
+RPBCM_TELEMETRY=1 cargo test -q -p serve
+
 echo "== serve smoke (loopback load test + 10k-connection open loop) =="
 # Quick burst against an in-process sharded server: asserts non-zero
 # throughput, zero protocol errors, shedding only under overload, and —
