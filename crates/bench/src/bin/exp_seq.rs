@@ -1,0 +1,44 @@
+//! Sequence-workload experiment: train + Algorithm 1-prune a BCM-LSTM
+//! on delayed recall, then prove streaming-session parity against the
+//! offline full-sequence forward over a real loopback server.
+//!
+//! Run: `cargo run -p bench --release --bin exp_seq [-- --smoke]`.
+//!
+//! - *(default)* — full training budget; writes `results/BENCH_seq.json`.
+//! - `--smoke` — reduced budget with hard assertions (above-chance
+//!   accuracy, blocks actually pruned, bounded accuracy loss, and
+//!   bit-identical float + fixed-point session steps); exits non-zero
+//!   on any failure and does not overwrite the committed artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = match args.as_slice() {
+        [] => false,
+        [a] if a == "--smoke" => true,
+        other => {
+            eprintln!("error: unknown arguments {other:?}\nusage: exp_seq [--smoke]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = bench::experiments::seq::run(smoke);
+    bench::experiments::seq::print(&result);
+    if smoke {
+        let fails = bench::experiments::seq::smoke_failures(&result);
+        if fails.is_empty() {
+            println!("seq smoke: ok");
+            return ExitCode::SUCCESS;
+        }
+        for f in &fails {
+            eprintln!("seq smoke FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    match bench::experiments::seq::write_json(&result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_seq.json: {e}"),
+    }
+    ExitCode::SUCCESS
+}

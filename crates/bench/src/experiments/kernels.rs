@@ -334,14 +334,11 @@ pub fn fingerprint() -> u64 {
     let weights = FxWeights::from_parts(bs, k, ob, ib, &skip, &words);
     let xs = lcg_words(98, n * ib * bs * h * w);
     let out = conv_forward_fx_batch(q, &weights, &xs, n, h, w);
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = telemetry::fnv::Fnv1a::new();
     for v in out {
-        for b in (v as u16).to_le_bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        hash.write_u16(v as u16);
     }
-    hash
+    hash.finish()
 }
 
 /// Runs every microbenchmark. `quick` shrinks sizes for smoke runs while

@@ -11,6 +11,7 @@ pub mod fig9bc;
 pub mod kernels;
 pub mod layers;
 pub mod quant;
+pub mod seq;
 pub mod serve;
 pub mod speedup;
 pub mod table1;

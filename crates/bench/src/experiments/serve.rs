@@ -27,6 +27,13 @@
 //!    zero protocol errors, bounded p99, and per-shard connection
 //!    imbalance ≤ 1 (round-robin dealing makes that structural). The
 //!    driver is itself event-driven over [`serve::reactor`].
+//! 5. **Streaming sessions** — eight concurrent stateful sessions (half
+//!    float, half fixed-point) against a pruned BCM-LSTM, each stepped
+//!    closed-loop with every per-step reply compared bit for bit against
+//!    the offline reference of the same checkpoint. Measures the
+//!    per-step round-trip floor of the session path (steps run inline on
+//!    the pinned shard, below batching granularity) and asserts the
+//!    stateful tier's bit-identity contract under concurrency.
 //!
 //! A fourth, engine-level record (`engine_fx_lane`) times the demo
 //! model's fx stack directly — the scalar-scheduled batch oracle
@@ -86,6 +93,30 @@ pub struct EngineMeasurement {
     pub speedup: f64,
 }
 
+/// The streaming-session scenario's outcome (scenario 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingMeasurement {
+    /// Sessions opened (half float, half fixed-point).
+    pub sessions: u64,
+    /// `session_step` requests issued.
+    pub steps: u64,
+    /// Steps served with an `ok` reply.
+    pub served: u64,
+    /// Wire-level protocol violations observed by the server.
+    pub protocol_errors: u64,
+    /// Served steps per second of wall time.
+    pub throughput_sps: f64,
+    /// Median step round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile step round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// 1 when every float session's per-step outputs were bit-identical
+    /// to the offline full-sequence forward of the same checkpoint.
+    pub float_bit_identical: u64,
+    /// 1 when every fixed-point session matched the offline fx fold.
+    pub fx_bit_identical: u64,
+}
+
 /// The 10k-connection open-loop scenario's outcome (scenario 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenKMeasurement {
@@ -124,6 +155,8 @@ pub struct ServeResult {
     pub engine: EngineMeasurement,
     /// The 10k-connection open-loop scenario.
     pub ten_k: TenKMeasurement,
+    /// The streaming-session scenario.
+    pub streaming: StreamingMeasurement,
 }
 
 impl ServeResult {
@@ -165,6 +198,21 @@ impl ServeResult {
             self.ten_k.p50_us,
             self.ten_k.p99_us,
             self.ten_k.shard_imbalance,
+        ));
+        s.push_str(&format!(
+            "  {{\"config\": \"streaming_sessions\", \"sessions\": {}, \"steps\": {}, \
+             \"served\": {}, \"protocol_errors\": {}, \"throughput_sps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"float_bit_identical\": {}, \
+             \"fx_bit_identical\": {}}},\n",
+            self.streaming.sessions,
+            self.streaming.steps,
+            self.streaming.served,
+            self.streaming.protocol_errors,
+            self.streaming.throughput_sps,
+            self.streaming.p50_us,
+            self.streaming.p99_us,
+            self.streaming.float_bit_identical,
+            self.streaming.fx_bit_identical,
         ));
         s.push_str(&format!(
             "  {{\"config\": \"batch_scaling\", \"throughput_ratio_b8_over_b1\": {:.3}}},\n",
@@ -213,6 +261,26 @@ pub fn demo_model(seed: u64) -> (Network, CheckpointMeta) {
     let meta = CheckpointMeta {
         input_dims: vec![c, 1, 1],
         frac_bits: 8,
+    };
+    (net, meta)
+}
+
+/// Per-step input length of the streaming demo model.
+pub const SEQ_DEMO_INPUT_LEN: usize = 8;
+
+/// The built-in streaming demo model: a half-pruned BCM-LSTM classifier
+/// (the C-LSTM/E-RNN shape: block-circulant gate grids with the
+/// least-important half of the blocks eliminated), streamable on both
+/// the float and the fixed-point path.
+pub fn seq_demo_model(seed: u64) -> (Network, CheckpointMeta) {
+    let mut net = nn::models::lstm_classifier(SEQ_DEMO_INPUT_LEN, 16, 8, 4, seed);
+    let importances = net.bcm_importances();
+    let mut order: Vec<usize> = (0..importances.len()).collect();
+    order.sort_by(|&a, &b| importances[a].total_cmp(&importances[b]));
+    net.bcm_eliminate(&order[..importances.len() / 2]);
+    let meta = CheckpointMeta {
+        input_dims: vec![SEQ_DEMO_INPUT_LEN, 16, 1],
+        frac_bits: 12,
     };
     (net, meta)
 }
@@ -372,6 +440,127 @@ fn open_loop(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     (outcomes, start.elapsed())
+}
+
+/// Scenario 5: concurrent streaming sessions. `clients` threads each
+/// open one session against the pruned BCM-LSTM demo (even threads
+/// float, odd threads fixed-point), step it `steps` times closed-loop,
+/// and compare every per-step reply bit for bit against the offline
+/// reference of the same checkpoint (the float full-sequence forward's
+/// per-step head outputs; the fx fold of the same step inputs). Steps
+/// run inline on the session's shard — this measures the per-step
+/// round-trip floor of the stateful path, below batching granularity.
+fn run_streaming(quick: bool) -> StreamingMeasurement {
+    let clients = 8usize;
+    let steps = if quick { 16 } else { 64 };
+    let (net, meta) = seq_demo_model(77);
+    let reference = Model::from_network("seq-ref", net.clone(), meta.clone());
+    let seq = reference.seq().expect("streaming demo is streamable");
+    let registry = Registry::new();
+    registry.insert(Model::from_network("seq", net, meta));
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default(), registry).expect("bind");
+    let addr = server.local_addr();
+
+    struct SessionOutcome {
+        latencies_ns: Vec<u64>,
+        steps: u64,
+        fx: bool,
+        bit_identical: bool,
+    }
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let (outcomes, wall) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                let seq = &seq;
+                scope.spawn(move || {
+                    let fx = c % 2 == 1;
+                    let mut rng = StdRng::seed_from_u64(500 + c as u64);
+                    let inputs: Vec<Vec<f32>> = (0..steps)
+                        .map(|_| {
+                            (0..SEQ_DEMO_INPUT_LEN)
+                                .map(|_| rng.gen_range(-1.0f32..1.0))
+                                .collect()
+                        })
+                        .collect();
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = SessionOutcome {
+                        latencies_ns: Vec::with_capacity(steps),
+                        steps: 0,
+                        fx,
+                        bit_identical: true,
+                    };
+                    barrier.wait();
+                    let (sid, _version) = client.open_session("seq", fx).expect("open session");
+                    if fx {
+                        let mut offline = seq.new_fx().expect("fx streaming form");
+                        let q = offline.qformat();
+                        for x in &inputs {
+                            let xq = q.quantize_slice(x);
+                            out.steps += 1;
+                            let t = Instant::now();
+                            let got = client.session_step_fx(sid, &xq).expect("fx step");
+                            out.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                            if got != offline.step(&xq) {
+                                out.bit_identical = false;
+                            }
+                        }
+                    } else {
+                        let mut offline = seq.new_f32();
+                        for x in &inputs {
+                            out.steps += 1;
+                            let t = Instant::now();
+                            let got = client.session_step_f32(sid, x).expect("float step");
+                            out.latencies_ns.push(t.elapsed().as_nanos() as u64);
+                            let want = offline.step(x);
+                            if got
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .ne(want.iter().map(|v| v.to_bits()))
+                            {
+                                out.bit_identical = false;
+                            }
+                        }
+                    }
+                    client.close_session(sid).expect("close session");
+                    out
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let outcomes: Vec<SessionOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (outcomes, start.elapsed())
+    });
+    let errors = server.protocol_errors();
+    server.shutdown();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut issued = 0u64;
+    let mut float_ok = true;
+    let mut fx_ok = true;
+    for o in &outcomes {
+        latencies.extend(&o.latencies_ns);
+        issued += o.steps;
+        if o.fx {
+            fx_ok &= o.bit_identical;
+        } else {
+            float_ok &= o.bit_identical;
+        }
+    }
+    latencies.sort_unstable();
+    StreamingMeasurement {
+        sessions: clients as u64,
+        steps: issued,
+        served: latencies.len() as u64,
+        protocol_errors: errors,
+        throughput_sps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        float_bit_identical: u64::from(float_ok),
+        fx_bit_identical: u64::from(fx_ok),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -875,12 +1064,14 @@ pub fn run(quick: bool) -> ServeResult {
 
     let engine = measure_engine(if quick { 5 } else { 15 });
     let ten_k = run_open_10k(quick);
+    let streaming = run_streaming(quick);
 
     ServeResult {
         measurements: vec![b1, b8, overload],
         batch_speedup,
         engine,
         ten_k,
+        streaming,
     }
 }
 
@@ -944,6 +1135,20 @@ pub fn print(r: &ServeResult) {
     println!(
         "  shard connections {:?} (imbalance {})",
         t.shard_conns, t.shard_imbalance
+    );
+    let s = &r.streaming;
+    println!(
+        "streaming sessions: {} sessions x {} steps, {} served, {} protocol errors, \
+         {:.0} steps/s, p50 {:.0} us, p99 {:.0} us, float parity {}, fx parity {}",
+        s.sessions,
+        s.steps / s.sessions.max(1),
+        s.served,
+        s.protocol_errors,
+        s.throughput_sps,
+        s.p50_us,
+        s.p99_us,
+        s.float_bit_identical,
+        s.fx_bit_identical,
     );
 }
 
@@ -1023,6 +1228,25 @@ pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
             "open_loop_10k_conns: shard connection imbalance {} (round-robin allows 1)",
             t.shard_imbalance
         ));
+    }
+    let s = &r.streaming;
+    if s.served == 0 || s.served != s.steps {
+        fails.push(format!(
+            "streaming_sessions: {} of {} steps served",
+            s.served, s.steps
+        ));
+    }
+    if s.protocol_errors != 0 {
+        fails.push(format!(
+            "streaming_sessions: {} protocol error(s)",
+            s.protocol_errors
+        ));
+    }
+    if s.float_bit_identical != 1 {
+        fails.push("streaming_sessions: float session diverged from the offline forward".into());
+    }
+    if s.fx_bit_identical != 1 {
+        fails.push("streaming_sessions: fx session diverged from the offline fold".into());
     }
     fails
 }
@@ -1220,6 +1444,21 @@ fn check_dump_traces(dump: &crate::json::Json, n: usize, fails: &mut Vec<String>
 mod tests {
     use super::*;
 
+    /// A passing streaming-scenario measurement for result-literal tests.
+    fn good_streaming() -> StreamingMeasurement {
+        StreamingMeasurement {
+            sessions: 8,
+            steps: 512,
+            served: 512,
+            protocol_errors: 0,
+            throughput_sps: 4000.0,
+            p50_us: 200.0,
+            p99_us: 900.0,
+            float_bit_identical: 1,
+            fx_bit_identical: 1,
+        }
+    }
+
     /// A passing 10k-scenario measurement for result-literal tests.
     fn good_ten_k() -> TenKMeasurement {
         TenKMeasurement {
@@ -1267,6 +1506,7 @@ mod tests {
                 speedup: 2.0,
             },
             ten_k: good_ten_k(),
+            streaming: good_streaming(),
         };
         let j = r.to_json();
         assert!(j.contains("\"config\": \"x\""));
@@ -1274,6 +1514,9 @@ mod tests {
         assert!(j.contains("\"config\": \"open_loop_10k_conns\""));
         assert!(j.contains("\"connections\": 10000"));
         assert!(j.contains("\"shard_imbalance\": 0"));
+        assert!(j.contains("\"config\": \"streaming_sessions\""));
+        assert!(j.contains("\"float_bit_identical\": 1"));
+        assert!(j.contains("\"fx_bit_identical\": 1"));
         assert!(j.contains("\"throughput_ratio_b8_over_b1\": 2.500"));
         assert!(j.contains("\"config\": \"engine_fx_lane\""));
         assert!(j.contains("\"lane_ns\": 500"));
@@ -1316,6 +1559,7 @@ mod tests {
                 speedup: 2.0,
             },
             ten_k: good_ten_k(),
+            streaming: good_streaming(),
         };
         assert!(smoke_failures(&r).is_empty());
 
@@ -1333,6 +1577,14 @@ mod tests {
         bad10k.ten_k.shard_imbalance = 7;
         bad10k.ten_k.p99_us = 2e6;
         let fails = smoke_failures(&bad10k);
+        assert_eq!(fails.len(), 4, "{fails:?}");
+
+        let mut badstream = r.clone();
+        badstream.streaming.served = 500;
+        badstream.streaming.protocol_errors = 2;
+        badstream.streaming.float_bit_identical = 0;
+        badstream.streaming.fx_bit_identical = 0;
+        let fails = smoke_failures(&badstream);
         assert_eq!(fails.len(), 4, "{fails:?}");
     }
 

@@ -127,16 +127,13 @@ impl TrainScalingResult {
 
 /// FNV-1a over every parameter's bit pattern.
 fn weight_fingerprint(net: &Network) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = telemetry::fnv::Fnv1a::new();
     for p in net.params() {
         for &v in p.value.as_slice() {
-            for b in v.to_bits().to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
+            h.write_u32(v.to_bits());
         }
     }
-    h
+    h.finish()
 }
 
 /// Sum of one `nn.train.parallel.*` histogram from the live registry.

@@ -89,6 +89,15 @@ pub fn cached_plan_count() -> usize {
     PLANS.with(|cache| cache.borrow().len())
 }
 
+/// Process-wide count of wholesale evictions triggered by the
+/// [`MAX_CACHED_PLANS`] bound (the `fft.plan_cache.evictions` counter).
+/// Requires telemetry to be enabled; always 0 in probe-free builds.
+/// Per-timestep recurrent workloads sweeping many transform sizes can
+/// watch this to confirm the cache evicts rather than grows.
+pub fn plan_evictions() -> u64 {
+    CACHE_EVICTIONS.value()
+}
+
 /// Drops every plan cached on the current thread. Long-lived threads that
 /// are done with FFT work can call this to release the twiddle tables.
 pub fn clear_plans() {
@@ -132,6 +141,38 @@ mod tests {
         assert!((x[0].re - 1.0).abs() < 1e-12);
         clear_plans();
         assert_eq!(cached_plan_count(), 0);
+    }
+
+    #[test]
+    fn per_timestep_size_sweep_evicts_instead_of_growing() {
+        // A recurrent workload transforming a different power-of-two
+        // length every timestep is the worst case for the plan cache:
+        // no size ever repeats within a window larger than the bound.
+        // The cache must stay bounded and report evictions.
+        telemetry::set_enabled(true);
+        if !telemetry::enabled() {
+            // Probe-free build: eviction counting is compiled out.
+            return;
+        }
+        clear_plans();
+        let before = plan_evictions();
+        for step in 0..4 * MAX_CACHED_PLANS {
+            // 17 sizes × 2 scalar types = 34 distinct keys > the bound.
+            let n = 1usize << (1 + step % 17);
+            with_plan::<f32, _>(n, |p| assert_eq!(p.len(), n));
+            with_plan::<f64, _>(n, |p| assert_eq!(p.len(), n));
+            assert!(
+                cached_plan_count() <= MAX_CACHED_PLANS,
+                "cache grew to {} entries at step {step}",
+                cached_plan_count()
+            );
+        }
+        assert!(
+            plan_evictions() > before,
+            "size sweep past the bound must record evictions"
+        );
+        telemetry::clear_override();
+        clear_plans();
     }
 
     #[test]

@@ -139,6 +139,33 @@ impl QFormat {
         (((i32::from(v)) + rounding) >> k) as i16
     }
 
+    /// The raw word for `1.0` (`2^frac_bits`), the saturation rail of the
+    /// hard activations. Saturates to `i16::MAX` in Q0.15, where `1.0`
+    /// itself is not representable.
+    pub fn one(&self) -> i16 {
+        if self.frac_bits == 15 {
+            i16::MAX
+        } else {
+            1i16 << self.frac_bits
+        }
+    }
+
+    /// Hard sigmoid `clamp(x/4 + 1/2, 0, 1)` — the piecewise-linear gate
+    /// activation of fixed-point RNN accelerators (E-RNN §V): one
+    /// arithmetic shift, one constant add, two comparisons. No LUT, no
+    /// exponential. Integer-only: reuses the §IV-B round-to-nearest shift
+    /// divider for `x/4`.
+    pub fn hard_sigmoid(&self, v: i16) -> i16 {
+        let half = 1i16 << (self.frac_bits - 1);
+        let shifted = i32::from(self.shift_divide(v, 4)) + i32::from(half);
+        shifted.clamp(0, i32::from(self.one())) as i16
+    }
+
+    /// Hard tanh `clamp(x, -1, 1)`: two comparisons against the ±1 rails.
+    pub fn hard_tanh(&self, v: i16) -> i16 {
+        v.clamp(-self.one(), self.one())
+    }
+
     /// Quantization of a whole slice (for loading feature maps).
     pub fn quantize_slice(&self, vs: &[f32]) -> Vec<i16> {
         vs.iter().map(|&v| self.from_f32(v)).collect()

@@ -43,6 +43,7 @@ pub mod fxfft;
 pub mod inference;
 pub mod pe;
 pub mod power;
+pub mod recurrent;
 pub mod resources;
 pub mod tiling;
 pub mod timeline;
@@ -50,4 +51,5 @@ pub mod timeline;
 pub use dataflow::{CycleBreakdown, DataflowConfig, LayerShape};
 pub use device::Xc7z020;
 pub use fixed::{ComplexFx, FxBatch, QFormat};
+pub use recurrent::{FxGruCell, FxLinear, FxLstmCell};
 pub use resources::{AcceleratorConfig, ResourceEstimate};

@@ -1,0 +1,412 @@
+//! Fixed-point recurrent cells over the eMAC datapath.
+//!
+//! A BCM recurrent layer folds to a 1×1-kernel block-circulant grid, so a
+//! cell step *is* [`conv_forward_fx`] on a 1×1 feature map: the same
+//! FFT→eMAC→IFFT lanes that serve conv and FC layers also serve the gate
+//! stacks — the paper's point that one PE array covers every layer type.
+//!
+//! Gate nonlinearities use the hardware-style piecewise-linear forms
+//! ([`QFormat::hard_sigmoid`], [`QFormat::hard_tanh`]) — shift, add,
+//! clamp; no LUT, no exponential. State (`h`, and `c` for LSTM) is held
+//! in format words, so a step is a pure function of quantized state and
+//! quantized input: replaying the same inputs through [`FxLstmCell::step`]
+//! one at a time is **bit-identical** to an offline pass over the whole
+//! sequence, which is what lets the serving tier stream sessions without
+//! an accuracy story separate from batch inference.
+
+use crate::fixed::QFormat;
+use crate::inference::{conv_forward_fx, FxWeights};
+
+/// Per-step state words carried by a streaming session.
+static FX_CELL_STEPS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.cell.steps");
+
+/// A fixed-point LSTM cell: one fused `[4H, F+H]` gate grid over the
+/// concatenated `[x; h]` input, gate order `i, f, g, o`.
+#[derive(Debug, Clone)]
+pub struct FxLstmCell {
+    q: QFormat,
+    in_features: usize,
+    hidden: usize,
+    weights: FxWeights,
+    bias: Vec<i16>,
+    h: Vec<i16>,
+    c: Vec<i16>,
+    scratch: Vec<i16>,
+}
+
+impl FxLstmCell {
+    /// Builds a cell from a folded 1×1 `[4H, F+H]` gate grid and a
+    /// quantized bias (length `4H`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is not 1×1-kernel with `4H` output channels and
+    /// `F + H` input channels, or the bias length is not `4H`.
+    pub fn new(q: QFormat, weights: FxWeights, bias: Vec<i16>, in_features: usize) -> Self {
+        assert_eq!(weights.kernel(), 1, "gate grid must be 1x1-kernel");
+        let bs = weights.block_size();
+        let cols = weights.in_blocks() * bs;
+        let rows = weights.out_blocks() * bs;
+        assert!(
+            cols > in_features && (cols - in_features) * 4 == rows,
+            "grid {rows}x{cols} is not [4H, F+H] for F={in_features}"
+        );
+        let hidden = cols - in_features;
+        assert_eq!(bias.len(), rows, "bias length");
+        FxLstmCell {
+            q,
+            in_features,
+            hidden,
+            weights,
+            bias,
+            h: vec![0; hidden],
+            c: vec![0; hidden],
+            scratch: vec![0; cols],
+        }
+    }
+
+    /// Per-step input width `F`.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Clears `h` and `c` to zero words.
+    pub fn reset(&mut self) {
+        self.h.fill(0);
+        self.c.fill(0);
+    }
+
+    /// One step: consumes `x_t` (length `F`), returns the new hidden
+    /// state (length `H`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != F`.
+    pub fn step(&mut self, x: &[i16]) -> &[i16] {
+        assert_eq!(x.len(), self.in_features, "step input length");
+        FX_CELL_STEPS.inc();
+        let q = self.q;
+        let hd = self.hidden;
+        self.scratch[..self.in_features].copy_from_slice(x);
+        self.scratch[self.in_features..].copy_from_slice(&self.h);
+        let mut pre = conv_forward_fx(q, &self.weights, &self.scratch, 1, 1);
+        for (p, &b) in pre.iter_mut().zip(&self.bias) {
+            *p = q.add(*p, b);
+        }
+        for j in 0..hd {
+            let i_g = q.hard_sigmoid(pre[j]);
+            let f_g = q.hard_sigmoid(pre[hd + j]);
+            let g_g = q.hard_tanh(pre[2 * hd + j]);
+            let o_g = q.hard_sigmoid(pre[3 * hd + j]);
+            let c = q.add(q.mul(f_g, self.c[j]), q.mul(i_g, g_g));
+            self.c[j] = c;
+            self.h[j] = q.mul(o_g, q.hard_tanh(c));
+        }
+        &self.h
+    }
+}
+
+/// A fixed-point GRU cell: input stack `w: [3H, F]`, recurrent stack
+/// `u: [3H, H]`, gate order `r, z, n` (reset, update, candidate).
+#[derive(Debug, Clone)]
+pub struct FxGruCell {
+    q: QFormat,
+    in_features: usize,
+    hidden: usize,
+    w: FxWeights,
+    u: FxWeights,
+    bias_w: Vec<i16>,
+    bias_u: Vec<i16>,
+    h: Vec<i16>,
+}
+
+impl FxGruCell {
+    /// Builds a cell from folded 1×1 `[3H, F]` / `[3H, H]` stacks and
+    /// their quantized biases (length `3H` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn new(q: QFormat, w: FxWeights, u: FxWeights, bias_w: Vec<i16>, bias_u: Vec<i16>) -> Self {
+        assert_eq!(w.kernel(), 1, "input stack must be 1x1-kernel");
+        assert_eq!(u.kernel(), 1, "recurrent stack must be 1x1-kernel");
+        let in_features = w.in_blocks() * w.block_size();
+        let hidden = u.in_blocks() * u.block_size();
+        assert_eq!(
+            w.out_blocks() * w.block_size(),
+            3 * hidden,
+            "input stack is not [3H, F]"
+        );
+        assert_eq!(
+            u.out_blocks() * u.block_size(),
+            3 * hidden,
+            "recurrent stack is not [3H, H]"
+        );
+        assert_eq!(bias_w.len(), 3 * hidden, "input bias length");
+        assert_eq!(bias_u.len(), 3 * hidden, "recurrent bias length");
+        FxGruCell {
+            q,
+            in_features,
+            hidden,
+            w,
+            u,
+            bias_w,
+            bias_u,
+            h: vec![0; hidden],
+        }
+    }
+
+    /// Per-step input width `F`.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Clears `h` to zero words.
+    pub fn reset(&mut self) {
+        self.h.fill(0);
+    }
+
+    /// One step: consumes `x_t` (length `F`), returns the new hidden
+    /// state (length `H`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != F`.
+    pub fn step(&mut self, x: &[i16]) -> &[i16] {
+        assert_eq!(x.len(), self.in_features, "step input length");
+        FX_CELL_STEPS.inc();
+        let q = self.q;
+        let hd = self.hidden;
+        let mut pre_w = conv_forward_fx(q, &self.w, x, 1, 1);
+        let mut pre_u = conv_forward_fx(q, &self.u, &self.h, 1, 1);
+        for (p, &b) in pre_w.iter_mut().zip(&self.bias_w) {
+            *p = q.add(*p, b);
+        }
+        for (p, &b) in pre_u.iter_mut().zip(&self.bias_u) {
+            *p = q.add(*p, b);
+        }
+        for j in 0..hd {
+            let r = q.hard_sigmoid(q.add(pre_w[j], pre_u[j]));
+            let z = q.hard_sigmoid(q.add(pre_w[hd + j], pre_u[hd + j]));
+            let n = q.hard_tanh(q.add(pre_w[2 * hd + j], q.mul(r, pre_u[2 * hd + j])));
+            // h = (1 - z)·n + z·h_prev
+            let one_minus_z = q.sub(q.one(), z);
+            self.h[j] = q.add(q.mul(one_minus_z, n), q.mul(z, self.h[j]));
+        }
+        &self.h
+    }
+}
+
+/// A fixed-point dense head: `y = W·x + b` with wide accumulation and a
+/// single narrowing per output — the classifier tail after the last cell.
+#[derive(Debug, Clone)]
+pub struct FxLinear {
+    q: QFormat,
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `[out, in]` weight words.
+    w: Vec<i16>,
+    bias: Vec<i16>,
+}
+
+impl FxLinear {
+    /// Quantizes a dense `[out, in]` weight matrix and bias into `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != out·in` or `bias.len() != out`.
+    pub fn quantize(q: QFormat, w: &[f32], bias: &[f32], out: usize, inf: usize) -> Self {
+        assert_eq!(w.len(), out * inf, "weight length");
+        assert_eq!(bias.len(), out, "bias length");
+        FxLinear {
+            q,
+            in_features: inf,
+            out_features: out,
+            w: q.quantize_slice(w),
+            bias: q.quantize_slice(bias),
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the head to one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` disagrees with the input width.
+    pub fn apply(&self, x: &[i16]) -> Vec<i16> {
+        assert_eq!(x.len(), self.in_features, "head input length");
+        let q = self.q;
+        (0..self.out_features)
+            .map(|o| {
+                let row = &self.w[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = 0i32;
+                for (&wv, &xv) in row.iter().zip(x) {
+                    acc = q.mac_wide(acc, wv, xv);
+                }
+                q.add(q.narrow(acc), self.bias[o])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+
+    fn grid_1x1(bs: usize, rows: usize, cols: usize, seed: u64) -> ConvBlockCirculant<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        let blocks = (0..(rows / bs) * (cols / bs))
+            .map(|_| CirculantMatrix::new((0..bs).map(|_| next()).collect()))
+            .collect();
+        let grid = BlockCirculant::from_blocks(bs, rows / bs, cols / bs, blocks);
+        ConvBlockCirculant::from_grids(1, 1, vec![grid])
+    }
+
+    #[test]
+    fn hard_activations_are_integer_exact() {
+        let q = QFormat::q8();
+        // Saturation rails.
+        assert_eq!(q.hard_sigmoid(q.from_f64(10.0)), q.one());
+        assert_eq!(q.hard_sigmoid(q.from_f64(-10.0)), 0);
+        assert_eq!(q.hard_tanh(q.from_f64(5.0)), q.one());
+        assert_eq!(q.hard_tanh(q.from_f64(-5.0)), -q.one());
+        // Linear region: σ̂(0) = 1/2, σ̂(1) = 3/4, both exact in Q7.8.
+        assert_eq!(q.hard_sigmoid(0), q.from_f64(0.5));
+        assert_eq!(q.hard_sigmoid(q.from_f64(1.0)), q.from_f64(0.75));
+        assert_eq!(q.hard_tanh(q.from_f64(0.25)), q.from_f64(0.25));
+        // Monotone over the whole word range (spot-sweep).
+        let mut prev = q.hard_sigmoid(i16::MIN);
+        for v in (i16::MIN..=i16::MAX).step_by(257) {
+            let cur = q.hard_sigmoid(v);
+            assert!(cur >= prev, "hard_sigmoid not monotone at {v}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn lstm_streaming_replay_is_bit_identical() {
+        let q = QFormat::q8();
+        let (f, h, bs) = (4, 8, 4);
+        let conv = grid_1x1(bs, 4 * h, f + h, 1);
+        let weights = FxWeights::from_folded(q, &conv);
+        let bias: Vec<i16> = (0..4 * h).map(|i| q.from_f64(0.01 * i as f64)).collect();
+        let mut a = FxLstmCell::new(q, weights.clone(), bias.clone(), f);
+        let mut b = FxLstmCell::new(q, weights, bias, f);
+        let steps: Vec<Vec<i16>> = (0..6)
+            .map(|t| {
+                (0..f)
+                    .map(|j| q.from_f64(0.1 * (t * f + j) as f64 - 1.0))
+                    .collect()
+            })
+            .collect();
+        // One continuous run vs a run replayed after reset: identical words.
+        let run_a: Vec<Vec<i16>> = steps.iter().map(|s| a.step(s).to_vec()).collect();
+        let warmup: Vec<i16> = vec![q.from_f64(0.5); f];
+        b.step(&warmup);
+        b.reset();
+        for (t, s) in steps.iter().enumerate() {
+            assert_eq!(b.step(s), &run_a[t][..], "step {t} diverged");
+        }
+    }
+
+    #[test]
+    fn gru_state_stays_bounded_by_the_rails() {
+        let q = QFormat::q8();
+        let (f, h, bs) = (4, 4, 4);
+        let w = FxWeights::from_folded(q, &grid_1x1(bs, 3 * h, f, 2));
+        let u = FxWeights::from_folded(q, &grid_1x1(bs, 3 * h, h, 3));
+        let mut cell = FxGruCell::new(q, w, u, vec![0; 3 * h], vec![0; 3 * h]);
+        // h is a convex combination of hard_tanh outputs, so it can never
+        // leave [-1, 1] no matter how hot the inputs run.
+        for t in 0..50 {
+            let x: Vec<i16> = (0..f)
+                .map(|j| q.from_f64(((t + j) % 7) as f64 - 3.0))
+                .collect();
+            let hs = cell.step(&x);
+            for &v in hs {
+                assert!(v.abs() <= q.one(), "state escaped the rails: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_blocks_contribute_nothing() {
+        let q = QFormat::q8();
+        let (f, h, bs) = (4, 4, 4);
+        let full = grid_1x1(bs, 4 * h, f + h, 4);
+        // Zero the block column that reads the input: the cell then
+        // ignores x entirely.
+        let (ob, ib) = full.grid_dims();
+        let mut blocks = Vec::new();
+        for bo in 0..ob {
+            for bi in 0..ib {
+                if bi == 0 {
+                    blocks.push(CirculantMatrix::zeros(bs));
+                } else {
+                    blocks.push(full.grid(0, 0).block(bo, bi).clone());
+                }
+            }
+        }
+        let pruned = ConvBlockCirculant::from_grids(
+            1,
+            1,
+            vec![BlockCirculant::from_blocks(bs, ob, ib, blocks)],
+        );
+        let weights = FxWeights::from_folded(q, &pruned);
+        let mut a = FxLstmCell::new(q, weights.clone(), vec![0; 4 * h], f);
+        let mut b = FxLstmCell::new(q, weights, vec![0; 4 * h], f);
+        let x1: Vec<i16> = (0..f).map(|j| q.from_f64(j as f64)).collect();
+        let x2 = vec![0i16; f];
+        for _ in 0..3 {
+            assert_eq!(a.step(&x1), b.step(&x2));
+        }
+    }
+
+    #[test]
+    fn head_matches_a_float_reference_closely() {
+        let q = QFormat::q8();
+        let (out, inf) = (3, 8);
+        let w: Vec<f32> = (0..out * inf)
+            .map(|i| (i as f32 * 0.37).sin() * 0.5)
+            .collect();
+        let bias = vec![0.125f32, -0.25, 0.5];
+        let head = FxLinear::quantize(q, &w, &bias, out, inf);
+        let x: Vec<f32> = (0..inf).map(|i| (i as f32 * 0.77).cos()).collect();
+        let xq = q.quantize_slice(&x);
+        let got = head.apply(&xq);
+        for o in 0..out {
+            let want: f32 = (0..inf).map(|i| w[o * inf + i] * x[i]).sum::<f32>() + bias[o];
+            let got_f = q.to_f64(got[o]) as f32;
+            assert!(
+                (want - got_f).abs() < 0.05,
+                "head row {o}: float {want} vs fx {got_f}"
+            );
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Deterministic synthetic vision datasets.
+//! Deterministic synthetic datasets (vision and sequence).
 //!
 //! The paper trains on CIFAR-10, CIFAR-100 and ImageNet; those datasets are
 //! not shipped here, so this module provides a seeded synthetic substitute
@@ -8,10 +8,40 @@
 //! separable-but-not-trivially, so convolutional capacity and compression
 //! damage both show up in test accuracy — the property the paper's
 //! accuracy-vs-compression curves need.
+//!
+//! For the recurrent layers (C-LSTM / E-RNN lineage) there is an analogous
+//! sequence task: [`SyntheticSequence`] is a delayed-recall problem where
+//! one marked symbol early in the stream is the label and everything after
+//! it is distraction — solvable only by carrying state across timesteps,
+//! so recurrent capacity and pruning damage show up in test accuracy.
+//! Both datasets implement [`TrainData`], the surface the trainer needs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tensor::Tensor;
+
+/// The dataset surface [`crate::train::Trainer`] consumes: shuffled
+/// training mini-batches and a test split, all as 4-D tensors plus class
+/// labels. Vision data is `[N, C, H, W]`; sequence data is `[N, F, T, 1]`
+/// (features as channels, time along the H axis) — the trainer's shard
+/// slicing is layout-agnostic across both.
+pub trait TrainData: Send + Sync {
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// Number of training samples.
+    fn train_len(&self) -> usize;
+
+    /// Number of test samples.
+    fn test_len(&self) -> usize;
+
+    /// Assembles shuffled training mini-batches for one epoch; the shuffle
+    /// must derive from `epoch_seed` only so runs are reproducible.
+    fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor<f32>, Vec<usize>)>;
+
+    /// The whole test split as one batch.
+    fn test_set(&self) -> (Tensor<f32>, Vec<usize>);
+}
 
 /// Configuration of a synthetic dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -266,6 +296,221 @@ impl SyntheticVision {
     }
 }
 
+impl TrainData for SyntheticVision {
+    fn num_classes(&self) -> usize {
+        self.num_classes()
+    }
+
+    fn train_len(&self) -> usize {
+        self.train_len()
+    }
+
+    fn test_len(&self) -> usize {
+        self.test_len()
+    }
+
+    fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor<f32>, Vec<usize>)> {
+        self.train_batches(batch_size, epoch_seed)
+    }
+
+    fn test_set(&self) -> (Tensor<f32>, Vec<usize>) {
+        self.test_set()
+    }
+}
+
+/// Configuration of a synthetic sequence dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqDatasetConfig {
+    /// Number of symbol classes (= output classes).
+    pub classes: usize,
+    /// Sequence length T.
+    pub seq_len: usize,
+    /// Training sequences per class.
+    pub train_per_class: usize,
+    /// Test sequences per class.
+    pub test_per_class: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Per-element Gaussian noise std added on top of the one-hot codes;
+    /// higher is harder.
+    pub noise_std: f64,
+}
+
+/// Delayed-recall sequence classification, materialized as `[N, F, T, 1]`
+/// tensors with `F = classes + 1` channels (one-hot symbol channels plus
+/// a marker channel).
+///
+/// Each sequence carries one *marked* symbol (marker channel = 1) at a
+/// random position in the first half; that symbol's class is the label.
+/// Every other position holds a random distractor symbol with marker 0.
+/// A model can only solve the task by latching the marked symbol into
+/// recurrent state and holding it through the distractors — the sequence
+/// analogue of the vision textures: recurrent capacity and BCM pruning
+/// damage both show up in test accuracy.
+#[derive(Debug, Clone)]
+pub struct SyntheticSequence {
+    config: SeqDatasetConfig,
+    train_xs: Vec<f32>,
+    train_labels: Vec<usize>,
+    test_xs: Vec<f32>,
+    test_labels: Vec<usize>,
+}
+
+impl SyntheticSequence {
+    /// Generates a dataset from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `seq_len < 2` (the recall gap
+    /// needs at least one distractor step).
+    pub fn new(config: SeqDatasetConfig) -> Self {
+        assert!(config.classes > 0, "need at least one class");
+        assert!(config.seq_len >= 2, "sequence must have a recall gap");
+        assert!(config.train_per_class > 0 && config.test_per_class > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (train_xs, train_labels) = Self::sample_split(&mut rng, config, config.train_per_class);
+        let (test_xs, test_labels) = Self::sample_split(&mut rng, config, config.test_per_class);
+        SyntheticSequence {
+            config,
+            train_xs,
+            train_labels,
+            test_xs,
+            test_labels,
+        }
+    }
+
+    /// A small default instance: `classes` symbol classes over sequences
+    /// of length `seq_len`, light noise.
+    pub fn delayed_recall(
+        classes: usize,
+        seq_len: usize,
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> Self {
+        Self::new(SeqDatasetConfig {
+            classes,
+            seq_len,
+            train_per_class,
+            test_per_class,
+            seed,
+            noise_std: 0.05,
+        })
+    }
+
+    fn sample_split(
+        rng: &mut StdRng,
+        cfg: SeqDatasetConfig,
+        per_class: usize,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let f = cfg.classes + 1;
+        let sample_len = f * cfg.seq_len;
+        let mut xs = Vec::with_capacity(cfg.classes * per_class * sample_len);
+        let mut labels = Vec::with_capacity(cfg.classes * per_class);
+        for label in 0..cfg.classes {
+            for _ in 0..per_class {
+                // Marked position in the first half, so at least half the
+                // sequence is recall gap.
+                let marked = rng.gen_range(0..(cfg.seq_len / 2).max(1));
+                let base = xs.len();
+                xs.resize(base + sample_len, 0.0);
+                for t in 0..cfg.seq_len {
+                    let symbol = if t == marked {
+                        label
+                    } else {
+                        rng.gen_range(0..cfg.classes)
+                    };
+                    // Layout [F, T]: channel-major, matching [N, F, T, 1].
+                    xs[base + symbol * cfg.seq_len + t] = 1.0;
+                    if t == marked {
+                        xs[base + cfg.classes * cfg.seq_len + t] = 1.0;
+                    }
+                }
+                if cfg.noise_std > 0.0 {
+                    for v in &mut xs[base..base + sample_len] {
+                        // Box-Muller, inline to stay on one RNG.
+                        let u1: f64 = 1.0 - rng.gen::<f64>();
+                        let u2: f64 = rng.gen();
+                        let noise = (-2.0 * u1.ln()).sqrt()
+                            * (std::f64::consts::TAU * u2).cos()
+                            * cfg.noise_std;
+                        *v += noise as f32;
+                    }
+                }
+                labels.push(label);
+            }
+        }
+        (xs, labels)
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> SeqDatasetConfig {
+        self.config
+    }
+
+    /// Per-step feature count `F = classes + 1`.
+    pub fn features(&self) -> usize {
+        self.config.classes + 1
+    }
+
+    /// Sequence length T.
+    pub fn seq_len(&self) -> usize {
+        self.config.seq_len
+    }
+
+    fn sample_len(&self) -> usize {
+        self.features() * self.config.seq_len
+    }
+
+    fn gather(&self, xs: &[f32], labels: &[usize], idx: &[usize]) -> (Tensor<f32>, Vec<usize>) {
+        let sl = self.sample_len();
+        let mut data = Vec::with_capacity(idx.len() * sl);
+        let mut lab = Vec::with_capacity(idx.len());
+        for &i in idx {
+            data.extend_from_slice(&xs[i * sl..(i + 1) * sl]);
+            lab.push(labels[i]);
+        }
+        let t = Tensor::from_vec(data, &[idx.len(), self.features(), self.config.seq_len, 1]);
+        (t, lab)
+    }
+}
+
+impl TrainData for SyntheticSequence {
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn train_len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor<f32>, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        let n = self.train_labels.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
+        // Fisher-Yates, the same idiom as the vision split.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(&self.train_xs, &self.train_labels, chunk))
+            .collect()
+    }
+
+    fn test_set(&self) -> (Tensor<f32>, Vec<usize>) {
+        let idx: Vec<usize> = (0..self.test_labels.len()).collect();
+        self.gather(&self.test_xs, &self.test_labels, &idx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +612,55 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         SyntheticVision::cifar10_like(1, 1, 0).train_batches(0, 0);
+    }
+
+    #[test]
+    fn sequence_generation_is_deterministic() {
+        let a = SyntheticSequence::delayed_recall(4, 8, 3, 2, 7);
+        let b = SyntheticSequence::delayed_recall(4, 8, 3, 2, 7);
+        assert_eq!(a.train_xs, b.train_xs);
+        assert_eq!(a.test_labels, b.test_labels);
+        let c = SyntheticSequence::delayed_recall(4, 8, 3, 2, 8);
+        assert_ne!(a.train_xs, c.train_xs);
+    }
+
+    #[test]
+    fn sequence_shapes_and_marker_semantics() {
+        let d = SyntheticSequence::new(SeqDatasetConfig {
+            classes: 4,
+            seq_len: 8,
+            train_per_class: 3,
+            test_per_class: 2,
+            seed: 1,
+            noise_std: 0.0, // exact one-hots so the marker is inspectable
+        });
+        assert_eq!(d.train_len(), 12);
+        assert_eq!(d.test_len(), 8);
+        assert_eq!(d.features(), 5);
+        let (x, y) = d.test_set();
+        assert_eq!(x.dims(), &[8, 5, 8, 1]);
+        let xs = x.as_slice();
+        for (s, &label) in y.iter().enumerate() {
+            let sample = &xs[s * 5 * 8..(s + 1) * 5 * 8];
+            // Exactly one marked timestep, in the first half, and its
+            // symbol channel is the label.
+            let marked: Vec<usize> = (0..8).filter(|&t| sample[4 * 8 + t] == 1.0).collect();
+            assert_eq!(marked.len(), 1, "sample {s}");
+            let t = marked[0];
+            assert!(t < 4, "marker must sit in the first half");
+            assert_eq!(sample[label * 8 + t], 1.0, "marked symbol is the label");
+        }
+    }
+
+    #[test]
+    fn sequence_batches_cover_every_sample_once() {
+        let d = SyntheticSequence::delayed_recall(4, 8, 5, 1, 3);
+        let batches = d.train_batches(7, 2);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 20);
+        let b1 = d.train_batches(7, 0);
+        let b2 = d.train_batches(7, 1);
+        assert_ne!(b1[0].1, b2[0].1, "different epochs shuffle differently");
+        assert_eq!(b1[0].1, d.train_batches(7, 0)[0].1, "same epoch is stable");
     }
 }

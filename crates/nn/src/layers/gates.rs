@@ -1,0 +1,242 @@
+//! Shared block-circulant weight stack for multi-gate layers.
+//!
+//! `BcmLstm`, `BcmGru` and `BcmAttention` all own one or more `[out, in]`
+//! weight matrices whose `BS×BS` blocks are circulant — exactly the
+//! structure `BcmLinear` uses, factored out here (without the bias) so the
+//! recurrent/attention layers can hold several independent stacks while
+//! sharing the expansion, gradient-projection, pruning and spectral-cache
+//! machinery. C-LSTM (FPGA'18) and E-RNN (HPCA'19) compress LSTM/GRU gate
+//! matrices with this exact parameterization.
+
+use crate::layers::Param;
+use crate::optim::SgdUpdate;
+use circulant::{BlockCirculant, CirculantMatrix};
+use rand::Rng;
+use tensor::{init, Tensor};
+
+/// One block-circulant `[out, in]` weight matrix: defining vectors, a
+/// per-block pruning mask, and lazily-built dense/spectral caches.
+#[derive(Debug, Clone)]
+pub(crate) struct GateStack {
+    bs: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    /// Defining vectors, flat `[out_blocks·in_blocks, bs]`, row-major over
+    /// (out-block, in-block).
+    pub(crate) vecs: Param,
+    pruned: Vec<bool>,
+    /// Dense expansion reused between `forward` and `backward` of the same
+    /// step; dropped by `step`/`eliminate`.
+    cached_dense: Option<Tensor<f32>>,
+    /// Folded grid with prepared weight spectra for the inference path;
+    /// invalidated whenever the weights change.
+    cached_grid: Option<BlockCirculant<f32>>,
+}
+
+impl GateStack {
+    /// Kaiming-scaled stack for an `[out_features, in_features]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if features are not divisible by `bs` or `bs` is not a power
+    /// of two ≥ 2.
+    pub(crate) fn new(
+        rng: &mut impl Rng,
+        in_features: usize,
+        out_features: usize,
+        bs: usize,
+    ) -> Self {
+        Self::check_shape(in_features, out_features, bs);
+        let (ob, ib) = (out_features / bs, in_features / bs);
+        let std = (2.0 / in_features as f64).sqrt();
+        GateStack {
+            bs,
+            out_blocks: ob,
+            in_blocks: ib,
+            vecs: Param::new(init::gaussian(rng, &[ob * ib, bs], 0.0, std)),
+            pruned: vec![false; ob * ib],
+            cached_dense: None,
+            cached_grid: None,
+        }
+    }
+
+    /// Rebuilds a stack from checkpointed parts: `vecs` is the full
+    /// `[block_count, bs]` defining-vector layout (zeros at pruned blocks)
+    /// and `live` the skip index.
+    pub(crate) fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        bs: usize,
+        vecs: Vec<f32>,
+        live: &[bool],
+    ) -> Self {
+        Self::check_shape(in_features, out_features, bs);
+        let (ob, ib) = (out_features / bs, in_features / bs);
+        assert_eq!(live.len(), ob * ib, "skip index length");
+        assert_eq!(vecs.len(), ob * ib * bs, "defining vectors");
+        GateStack {
+            bs,
+            out_blocks: ob,
+            in_blocks: ib,
+            vecs: Param::new(Tensor::from_vec(vecs, &[ob * ib, bs])),
+            pruned: live.iter().map(|&l| !l).collect(),
+            cached_dense: None,
+            cached_grid: None,
+        }
+    }
+
+    fn check_shape(in_features: usize, out_features: usize, bs: usize) {
+        assert!(
+            bs.is_power_of_two() && bs >= 2,
+            "BS must be a power of two >= 2"
+        );
+        assert_eq!(in_features % bs, 0, "in_features not divisible by BS");
+        assert_eq!(out_features % bs, 0, "out_features not divisible by BS");
+    }
+
+    pub(crate) fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    pub(crate) fn in_features(&self) -> usize {
+        self.in_blocks * self.bs
+    }
+
+    pub(crate) fn out_features(&self) -> usize {
+        self.out_blocks * self.bs
+    }
+
+    /// Expands to the dense `[out, in]` matrix, caching the result for the
+    /// matching `backward`.
+    pub(crate) fn dense(&mut self) -> Tensor<f32> {
+        if let Some(w) = &self.cached_dense {
+            return w.clone();
+        }
+        let w = self.expand();
+        self.cached_dense = Some(w.clone());
+        w
+    }
+
+    fn expand(&self) -> Tensor<f32> {
+        let (inf, outf) = (self.in_features(), self.out_features());
+        let mut w = Tensor::zeros(&[outf, inf]);
+        let ws = w.as_mut_slice();
+        let vs = self.vecs.value.as_slice();
+        for bo in 0..self.out_blocks {
+            for bi in 0..self.in_blocks {
+                let blk = bo * self.in_blocks + bi;
+                let v = &vs[blk * self.bs..(blk + 1) * self.bs];
+                for oi in 0..self.bs {
+                    let o = bo * self.bs + oi;
+                    for ii in 0..self.bs {
+                        let i = bi * self.bs + ii;
+                        ws[o * inf + i] = v[(oi + self.bs - ii) % self.bs];
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Projects a dense `[out, in]` gradient onto the circulant subspace:
+    /// `dvec[k] += dW[o][i]` where `(o−i) ≡ k (mod BS)` within the block,
+    /// skipping pruned blocks so eliminated weights stay frozen.
+    pub(crate) fn project_grad(&mut self, dw: &Tensor<f32>) {
+        let inf = self.in_features();
+        assert_eq!(dw.dims(), &[self.out_features(), inf], "gradient shape");
+        let dv = self.vecs.grad.as_mut_slice();
+        let ds = dw.as_slice();
+        for bo in 0..self.out_blocks {
+            for bi in 0..self.in_blocks {
+                let blk = bo * self.in_blocks + bi;
+                if self.pruned[blk] {
+                    continue;
+                }
+                let g = &mut dv[blk * self.bs..(blk + 1) * self.bs];
+                for oi in 0..self.bs {
+                    let o = bo * self.bs + oi;
+                    for ii in 0..self.bs {
+                        let i = bi * self.bs + ii;
+                        g[(oi + self.bs - ii) % self.bs] += ds[o * inf + i];
+                    }
+                }
+            }
+        }
+    }
+
+    /// The folded grid (zero circulants at pruned blocks).
+    pub(crate) fn folded_grid(&self) -> BlockCirculant<f32> {
+        let blocks = (0..self.out_blocks * self.in_blocks)
+            .map(|blk| {
+                if self.pruned[blk] {
+                    CirculantMatrix::zeros(self.bs)
+                } else {
+                    CirculantMatrix::new(
+                        self.vecs.value.as_slice()[blk * self.bs..(blk + 1) * self.bs].to_vec(),
+                    )
+                }
+            })
+            .collect();
+        BlockCirculant::from_blocks(self.bs, self.out_blocks, self.in_blocks, blocks)
+    }
+
+    /// The folded grid with prepared spectra, cached until the weights
+    /// change — the batched "FFT → eMAC → IFFT" inference path.
+    pub(crate) fn grid(&mut self) -> &BlockCirculant<f32> {
+        if self.cached_grid.is_none() {
+            let grid = self.folded_grid();
+            grid.prepare_spectra();
+            self.cached_grid = Some(grid);
+        }
+        self.cached_grid.as_ref().expect("grid cached above")
+    }
+
+    /// Applies one SGD update, drops caches, and re-zeroes pruned regions
+    /// for exactness against momentum drift.
+    pub(crate) fn step(&mut self, update: &SgdUpdate) {
+        self.cached_dense = None;
+        self.cached_grid = None;
+        self.vecs.step(update);
+        for (blk, &p) in self.pruned.iter().enumerate() {
+            if p {
+                self.vecs.reset_region(blk * self.bs..(blk + 1) * self.bs);
+            }
+        }
+    }
+
+    // --- BcmLayer building blocks -----------------------------------
+
+    pub(crate) fn block_count(&self) -> usize {
+        self.out_blocks * self.in_blocks
+    }
+
+    pub(crate) fn importances(&self) -> Vec<f64> {
+        (0..self.block_count())
+            .map(|blk| {
+                self.vecs.value.as_slice()[blk * self.bs..(blk + 1) * self.bs]
+                    .iter()
+                    .map(|&v| f64::from(v) * f64::from(v))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect()
+    }
+
+    pub(crate) fn eliminate(&mut self, local_indices: &[usize]) {
+        self.cached_dense = None;
+        self.cached_grid = None;
+        for &blk in local_indices {
+            assert!(blk < self.pruned.len(), "block index out of range");
+            self.pruned[blk] = true;
+            self.vecs.reset_region(blk * self.bs..(blk + 1) * self.bs);
+        }
+    }
+
+    pub(crate) fn live_blocks(&self) -> usize {
+        self.pruned.iter().filter(|&&p| !p).count()
+    }
+
+    pub(crate) fn skip_index(&self) -> Vec<bool> {
+        self.pruned.iter().map(|&p| !p).collect()
+    }
+}

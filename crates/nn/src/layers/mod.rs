@@ -1,17 +1,21 @@
 //! Layers with hand-derived forward/backward passes.
 
 mod act;
+mod attention;
 mod bcm;
 mod bcmlinear;
 pub mod checkpoint;
 mod conv;
+mod gates;
 mod linear;
 mod network;
 mod norm;
 mod param;
 mod pool;
+mod recurrent;
 
 pub use act::{Flatten, ReLU};
+pub use attention::BcmAttention;
 pub use bcm::{BcmConv2d, BcmLayer, HadaBcmConv2d};
 pub use bcmlinear::BcmLinear;
 pub use conv::Conv2d;
@@ -20,6 +24,7 @@ pub use network::{Network, ResidualBlock};
 pub use norm::BatchNorm2d;
 pub use param::Param;
 pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use recurrent::{BcmGru, BcmLstm};
 
 use crate::optim::SgdUpdate;
 use tensor::Tensor;

@@ -47,6 +47,7 @@ pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod optim;
+pub mod seq;
 pub mod train;
 
 pub use layers::checkpoint::{CheckpointError, CheckpointMeta};

@@ -9,8 +9,8 @@
 //! exactly the controlled comparison Figs. 9b/9c make.
 
 use crate::layers::{
-    BatchNorm2d, BcmConv2d, Conv2d, GlobalAvgPool, HadaBcmConv2d, Layer, Linear, MaxPool2d,
-    Network, ReLU, ResidualBlock,
+    BatchNorm2d, BcmAttention, BcmConv2d, BcmGru, BcmLstm, Conv2d, GlobalAvgPool, HadaBcmConv2d,
+    Layer, Linear, MaxPool2d, Network, ReLU, ResidualBlock,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -255,6 +255,84 @@ pub fn resnet18_tiny(mode: ConvMode, num_classes: usize, seed: u64) -> Network {
     layers.push(Box::new(GlobalAvgPool::new()));
     layers.push(Box::new(Linear::new(&mut rng, 64, num_classes)));
     Network::new("resnet18-tiny", layers)
+}
+
+/// Sequence classifier in the C-LSTM mold: one [`BcmLstm`] cell over
+/// `[N, F, T, 1]`, mean-pooled hidden states, dense head. The whole stack
+/// streams through `seq::SeqRunner` (GAP is the per-step identity), so a
+/// trained instance serves over stateful sessions bit-identically to its
+/// offline forward.
+///
+/// # Panics
+///
+/// Panics if `in_features` or `hidden` is not divisible by `bs`.
+pub fn lstm_classifier(
+    in_features: usize,
+    hidden: usize,
+    num_classes: usize,
+    bs: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "bcm-lstm",
+        vec![
+            Box::new(BcmLstm::new(&mut rng, in_features, hidden, bs)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(&mut rng, hidden, num_classes)),
+        ],
+    )
+}
+
+/// Sequence classifier in the E-RNN mold: one [`BcmGru`] cell, mean-pooled
+/// hidden states, dense head. Streams like [`lstm_classifier`].
+///
+/// # Panics
+///
+/// Panics if `in_features` or `hidden` is not divisible by `bs`.
+pub fn gru_classifier(
+    in_features: usize,
+    hidden: usize,
+    num_classes: usize,
+    bs: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "bcm-gru",
+        vec![
+            Box::new(BcmGru::new(&mut rng, in_features, hidden, bs)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(&mut rng, hidden, num_classes)),
+        ],
+    )
+}
+
+/// Sequence classifier with a BCM-projected attention layer over the LSTM
+/// hidden states. Attention is non-causal (every step attends to the whole
+/// sequence), so this stack trains and evaluates offline only — it has no
+/// streaming form and `seq::SeqRunner` rejects it.
+///
+/// # Panics
+///
+/// Panics if `in_features` or `hidden` is not divisible by `bs`.
+pub fn attn_lstm_classifier(
+    in_features: usize,
+    hidden: usize,
+    num_classes: usize,
+    bs: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::new(
+        "bcm-attn-lstm",
+        vec![
+            Box::new(BcmLstm::new(&mut rng, in_features, hidden, bs)),
+            Box::new(BcmAttention::new(&mut rng, hidden, bs)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(&mut rng, hidden, num_classes)),
+        ],
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,602 @@
+//! Sequence-model runtime: shared recurrent cell math and a per-step
+//! streaming stepper.
+//!
+//! The BCM-compressed recurrent layers ([`crate::layers::BcmLstm`],
+//! [`crate::layers::BcmGru`]) and the serving tier's streaming sessions
+//! must produce **bit-identical** hidden states for the same weights —
+//! a full-sequence eval forward and a step-at-a-time [`SeqRunner`] replay
+//! the exact same arithmetic. That property rests on two pillars:
+//!
+//! 1. `BlockCirculant::matmat` is documented (and tested) to be
+//!    per-sample bit-identical to `matvec`, so the batched layer forward
+//!    and the single-sample stepper share the spectral kernel exactly.
+//! 2. Everything after the matvec — bias addition and the nonlinear cell
+//!    update — goes through the free functions in this module
+//!    ([`add_bias`], [`lstm_cell`], [`gru_cell`]), in the same order on
+//!    both paths.
+//!
+//! [`SeqRunner`] is the float stepper the serving tier pins per session:
+//! it is built once from a network (or checkpoint), holds the hidden
+//! state server-side, and advances one timestep per `session_step`.
+
+use crate::layers::checkpoint::LayerSnapshot;
+use crate::layers::Network;
+use circulant::{BlockCirculant, CirculantMatrix};
+
+/// Logistic sigmoid — the gate nonlinearity of both cells.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Adds a bias vector to gate pre-activations, in index order (both the
+/// batched layer forward and the stepper must add bias through this
+/// function so the f32 rounding matches bit for bit).
+#[inline]
+pub fn add_bias(pre: &mut [f32], bias: &[f32]) {
+    debug_assert_eq!(pre.len(), bias.len());
+    for (p, &b) in pre.iter_mut().zip(bias) {
+        *p += b;
+    }
+}
+
+/// One LSTM cell update.
+///
+/// `pre` holds the `4H` gate pre-activations in `i, f, g, o` order
+/// (already including bias); `h`/`c` are the `H`-element previous hidden
+/// and cell states, updated in place. On return `pre` holds the
+/// post-activation gate values (the training path caches them for
+/// backprop).
+pub fn lstm_cell(pre: &mut [f32], h: &mut [f32], c: &mut [f32]) {
+    let hd = h.len();
+    debug_assert_eq!(pre.len(), 4 * hd);
+    debug_assert_eq!(c.len(), hd);
+    for j in 0..hd {
+        let i = sigmoid(pre[j]);
+        let f = sigmoid(pre[hd + j]);
+        let g = pre[2 * hd + j].tanh();
+        let o = sigmoid(pre[3 * hd + j]);
+        let cj = f * c[j] + i * g;
+        let tc = cj.tanh();
+        c[j] = cj;
+        h[j] = o * tc;
+        pre[j] = i;
+        pre[hd + j] = f;
+        pre[2 * hd + j] = g;
+        pre[3 * hd + j] = o;
+    }
+}
+
+/// One GRU cell update (PyTorch gate convention, `r, z, n` order).
+///
+/// `pre_w` holds `W·x + b_w` and `pre_u` holds `U·h + b_u`, both `3H`.
+/// `h` is updated in place:
+/// `r = σ(w_r + u_r)`, `z = σ(w_z + u_z)`, `n = tanh(w_n + r⊙u_n)`,
+/// `h ← (1−z)⊙n + z⊙h`. On return `pre_w` holds the post-activation
+/// `r, z, n` values; `pre_u`'s `n` third is left as the `u_n`
+/// pre-activation (backprop needs it).
+pub fn gru_cell(pre_w: &mut [f32], pre_u: &mut [f32], h: &mut [f32]) {
+    let hd = h.len();
+    debug_assert_eq!(pre_w.len(), 3 * hd);
+    debug_assert_eq!(pre_u.len(), 3 * hd);
+    for j in 0..hd {
+        let r = sigmoid(pre_w[j] + pre_u[j]);
+        let z = sigmoid(pre_w[hd + j] + pre_u[hd + j]);
+        let n = (pre_w[2 * hd + j] + r * pre_u[2 * hd + j]).tanh();
+        h[j] = (1.0 - z) * n + z * h[j];
+        pre_w[j] = r;
+        pre_w[hd + j] = z;
+        pre_w[2 * hd + j] = n;
+    }
+}
+
+/// Rebuilds a spectra-prepared [`BlockCirculant`] grid from checkpointed
+/// defining vectors (full layout, zeros at pruned blocks) and a skip
+/// index.
+pub(crate) fn grid_from_vecs(
+    bs: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    vecs: &[f32],
+    live: &[bool],
+) -> BlockCirculant<f32> {
+    assert_eq!(live.len(), out_blocks * in_blocks, "skip index length");
+    assert_eq!(vecs.len(), live.len() * bs, "defining vectors");
+    let blocks = live
+        .iter()
+        .enumerate()
+        .map(|(blk, &l)| {
+            if l {
+                CirculantMatrix::new(vecs[blk * bs..(blk + 1) * bs].to_vec())
+            } else {
+                CirculantMatrix::zeros(bs)
+            }
+        })
+        .collect();
+    let grid = BlockCirculant::from_blocks(bs, out_blocks, in_blocks, blocks);
+    grid.prepare_spectra();
+    grid
+}
+
+/// Why a network cannot be driven as a streaming sequence model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A layer in the stack has no per-step streaming semantics.
+    Unsupported(String),
+    /// The stack contains no recurrent cell at all.
+    NoRecurrentLayer,
+}
+
+impl std::fmt::Display for SeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeqError::Unsupported(what) => {
+                write!(f, "layer has no streaming semantics: {what}")
+            }
+            SeqError::NoRecurrentLayer => write!(f, "network has no recurrent layer"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+/// One recurrent cell of a [`SeqRunner`], with its server-side state.
+#[derive(Debug, Clone)]
+enum Cell {
+    /// LSTM over the concatenated `[x; h]` input.
+    Lstm {
+        /// `[4H, F+H]` gate grid.
+        grid: BlockCirculant<f32>,
+        bias: Vec<f32>,
+        in_features: usize,
+        hidden: usize,
+        h: Vec<f32>,
+        c: Vec<f32>,
+    },
+    /// GRU with separate input/recurrent grids.
+    Gru {
+        /// `[3H, F]` input grid.
+        w: BlockCirculant<f32>,
+        /// `[3H, H]` recurrent grid.
+        u: BlockCirculant<f32>,
+        bias_w: Vec<f32>,
+        bias_u: Vec<f32>,
+        in_features: usize,
+        hidden: usize,
+        h: Vec<f32>,
+    },
+}
+
+impl Cell {
+    fn in_features(&self) -> usize {
+        match self {
+            Cell::Lstm { in_features, .. } | Cell::Gru { in_features, .. } => *in_features,
+        }
+    }
+
+    fn hidden(&self) -> usize {
+        match self {
+            Cell::Lstm { hidden, .. } | Cell::Gru { hidden, .. } => *hidden,
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Cell::Lstm { h, c, .. } => {
+                h.iter_mut().for_each(|v| *v = 0.0);
+                c.iter_mut().for_each(|v| *v = 0.0);
+            }
+            Cell::Gru { h, .. } => h.iter_mut().for_each(|v| *v = 0.0),
+        }
+    }
+
+    /// Advances one timestep; returns the new hidden state.
+    fn step(&mut self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Cell::Lstm {
+                grid,
+                bias,
+                in_features,
+                h,
+                c,
+                ..
+            } => {
+                debug_assert_eq!(x.len(), *in_features);
+                let mut z = Vec::with_capacity(x.len() + h.len());
+                z.extend_from_slice(x);
+                z.extend_from_slice(h);
+                let mut pre = grid.matvec(&z);
+                add_bias(&mut pre, bias);
+                lstm_cell(&mut pre, h, c);
+                h.clone()
+            }
+            Cell::Gru {
+                w,
+                u,
+                bias_w,
+                bias_u,
+                in_features,
+                h,
+                ..
+            } => {
+                debug_assert_eq!(x.len(), *in_features);
+                let mut pre_w = w.matvec(x);
+                add_bias(&mut pre_w, bias_w);
+                let mut pre_u = u.matvec(h);
+                add_bias(&mut pre_u, bias_u);
+                gru_cell(&mut pre_w, &mut pre_u, h);
+                h.clone()
+            }
+        }
+    }
+}
+
+/// The per-step classifier head (a dense `Linear` applied to the last
+/// cell's hidden state each step).
+#[derive(Debug, Clone)]
+struct Head {
+    /// Flat `[out, in]`.
+    w: Vec<f32>,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Head {
+    /// `y[o] = Σ_j w[o][j]·h[j] + b[o]`, ascending `j` — the same
+    /// accumulation order as `Tensor::matmul`, so the per-step head output
+    /// is bit-identical to the offline `Linear` forward.
+    fn apply(&self, h: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(h.len(), self.in_features);
+        let mut y = vec![0.0f32; self.out_features];
+        for (o, out) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = 0.0f32;
+            for (&wv, &hv) in row.iter().zip(h) {
+                acc += wv * hv;
+            }
+            *out = acc + self.bias[o];
+        }
+        y
+    }
+}
+
+/// A step-at-a-time evaluator of a recurrent checkpoint: the streaming
+/// form the serving tier pins per session.
+///
+/// Supported stacks: one or more [`crate::layers::BcmLstm`] /
+/// [`crate::layers::BcmGru`] cells, optionally followed by
+/// `GlobalAvgPool` and a final dense `Linear` head. Per step, the head is
+/// applied directly to the last cell's hidden state — `GlobalAvgPool`
+/// over a single timestep is the identity, so the per-step outputs of a
+/// streamed session equal the per-step head outputs of the offline
+/// full-sequence forward, bit for bit (the `BcmAttention` layer is
+/// non-causal and therefore has no streaming form; stacks containing it
+/// are rejected).
+#[derive(Debug, Clone)]
+pub struct SeqRunner {
+    cells: Vec<Cell>,
+    head: Option<Head>,
+    steps: u64,
+}
+
+impl SeqRunner {
+    /// Builds a runner from a network's layer snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`SeqError::Unsupported`] for layers without streaming semantics
+    /// (including any layer that cannot snapshot), and
+    /// [`SeqError::NoRecurrentLayer`] when the stack has no cell.
+    pub fn from_network(net: &Network) -> Result<Self, SeqError> {
+        let mut cells = Vec::new();
+        let mut head = None;
+        for layer in net.layers() {
+            let snap = layer
+                .snapshot()
+                .ok_or_else(|| SeqError::Unsupported(layer.name().to_string()))?;
+            if head.is_some() {
+                return Err(SeqError::Unsupported(
+                    "layers after the Linear head".to_string(),
+                ));
+            }
+            match snap {
+                LayerSnapshot::BcmLstm {
+                    in_features,
+                    hidden,
+                    bs,
+                    live,
+                    vecs,
+                    bias,
+                } => {
+                    let grid = grid_from_vecs(
+                        bs,
+                        4 * hidden / bs,
+                        (in_features + hidden) / bs,
+                        &vecs,
+                        &live,
+                    );
+                    cells.push(Cell::Lstm {
+                        grid,
+                        bias,
+                        in_features,
+                        hidden,
+                        h: vec![0.0; hidden],
+                        c: vec![0.0; hidden],
+                    });
+                }
+                LayerSnapshot::BcmGru {
+                    in_features,
+                    hidden,
+                    bs,
+                    w_live,
+                    w_vecs,
+                    u_live,
+                    u_vecs,
+                    bias_w,
+                    bias_u,
+                } => {
+                    let w = grid_from_vecs(bs, 3 * hidden / bs, in_features / bs, &w_vecs, &w_live);
+                    let u = grid_from_vecs(bs, 3 * hidden / bs, hidden / bs, &u_vecs, &u_live);
+                    cells.push(Cell::Gru {
+                        w,
+                        u,
+                        bias_w,
+                        bias_u,
+                        in_features,
+                        hidden,
+                        h: vec![0.0; hidden],
+                    });
+                }
+                // Identity per step: pooling one timestep averages one value.
+                LayerSnapshot::GlobalAvgPool => {}
+                LayerSnapshot::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    bias,
+                } => {
+                    if cells.is_empty() {
+                        return Err(SeqError::NoRecurrentLayer);
+                    }
+                    head = Some(Head {
+                        w: weight,
+                        bias,
+                        in_features,
+                        out_features,
+                    });
+                }
+                other => {
+                    return Err(SeqError::Unsupported(format!("{other:?}")));
+                }
+            }
+        }
+        if cells.is_empty() {
+            return Err(SeqError::NoRecurrentLayer);
+        }
+        // Shape-check the chain once so a malformed checkpoint fails at
+        // session open, not mid-stream.
+        for pair in cells.windows(2) {
+            if pair[1].in_features() != pair[0].hidden() {
+                return Err(SeqError::Unsupported(format!(
+                    "cell chain mismatch: {} -> {}",
+                    pair[0].hidden(),
+                    pair[1].in_features()
+                )));
+            }
+        }
+        if let Some(h) = &head {
+            let last = cells.last().expect("non-empty").hidden();
+            if h.in_features != last {
+                return Err(SeqError::Unsupported(format!(
+                    "head expects {} features, last cell yields {last}",
+                    h.in_features
+                )));
+            }
+        }
+        Ok(SeqRunner {
+            cells,
+            head,
+            steps: 0,
+        })
+    }
+
+    /// Per-step input width.
+    pub fn input_len(&self) -> usize {
+        self.cells[0].in_features()
+    }
+
+    /// Per-step output width (head outputs, or the last hidden size).
+    pub fn output_len(&self) -> usize {
+        match &self.head {
+            Some(h) => h.out_features,
+            None => self.cells.last().expect("non-empty").hidden(),
+        }
+    }
+
+    /// Steps taken since construction or the last [`SeqRunner::reset`].
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Zeroes all hidden state, starting a fresh sequence.
+    pub fn reset(&mut self) {
+        for c in &mut self.cells {
+            c.reset();
+        }
+        self.steps = 0;
+    }
+
+    /// Advances one timestep and returns the per-step output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_len()` (the serving tier validates
+    /// lengths before stepping).
+    pub fn step(&mut self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_len(), "step input length");
+        let mut cur = x.to_vec();
+        for cell in &mut self.cells {
+            cur = cell.step(&cur);
+        }
+        self.steps += 1;
+        match &self.head {
+            Some(h) => h.apply(&cur),
+            None => cur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BcmGru, BcmLstm, GlobalAvgPool, Layer, Linear};
+    use crate::models::{
+        attn_lstm_classifier, gru_classifier, lstm_classifier, vgg_tiny, ConvMode,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::{init, Tensor};
+
+    /// Offline reference: run the recurrent stack's eval forward over the
+    /// full sequence, then apply the final `Linear` layer to each
+    /// timestep's last-cell hidden state through its own `forward` — the
+    /// exact arithmetic a batched deployment would run.
+    fn offline_per_step(net: &Network, x: &Tensor<f32>) -> Vec<Vec<f32>> {
+        let mut cur = x.clone();
+        let mut layers: Vec<Box<dyn Layer>> = net.layers().to_vec();
+        let t_len = x.dims()[2];
+        for layer in &mut layers {
+            match layer.snapshot() {
+                Some(LayerSnapshot::BcmLstm { .. }) | Some(LayerSnapshot::BcmGru { .. }) => {
+                    cur = layer.forward(&cur, false);
+                }
+                _ => {}
+            }
+        }
+        let hd = cur.dims()[1];
+        let head_idx = layers
+            .iter()
+            .position(|l| matches!(l.snapshot(), Some(LayerSnapshot::Linear { .. })));
+        (0..t_len)
+            .map(|t| {
+                let hs = cur.as_slice();
+                let h: Vec<f32> = (0..hd).map(|j| hs[j * t_len + t]).collect();
+                match head_idx {
+                    Some(i) => layers[i]
+                        .forward(&Tensor::from_vec(h, &[1, hd]), false)
+                        .as_slice()
+                        .to_vec(),
+                    None => h,
+                }
+            })
+            .collect()
+    }
+
+    fn assert_streaming_matches(net: &Network, seed: u64) {
+        let mut runner = SeqRunner::from_network(net).expect("streamable");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (f, t_len) = (runner.input_len(), 7);
+        let x: Tensor<f32> = init::gaussian(&mut rng, &[1, f, t_len, 1], 0.0, 1.0);
+        let want = offline_per_step(net, &x);
+        let xs = x.as_slice();
+        for (t, want_t) in want.iter().enumerate() {
+            let step_in: Vec<f32> = (0..f).map(|j| xs[j * t_len + t]).collect();
+            let got = runner.step(&step_in);
+            assert_eq!(got.len(), runner.output_len());
+            for (a, b) in got.iter().zip(want_t) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {t}: streamed {a} vs offline {b}"
+                );
+            }
+        }
+        assert_eq!(runner.steps(), t_len as u64);
+    }
+
+    #[test]
+    fn lstm_streaming_is_bit_identical_to_offline_forward() {
+        let net = lstm_classifier(6, 8, 4, 2, 11);
+        assert_streaming_matches(&net, 0);
+    }
+
+    #[test]
+    fn gru_streaming_is_bit_identical_to_offline_forward() {
+        let net = gru_classifier(6, 8, 4, 2, 12);
+        assert_streaming_matches(&net, 1);
+    }
+
+    #[test]
+    fn pruned_stacked_cells_stream_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Network::new(
+            "stack",
+            vec![
+                Box::new(BcmLstm::new(&mut rng, 4, 8, 2)) as Box<dyn Layer>,
+                Box::new(BcmGru::new(&mut rng, 8, 8, 4)),
+                Box::new(GlobalAvgPool::new()),
+                Box::new(Linear::new(&mut rng, 8, 3)),
+            ],
+        );
+        // Prune a few blocks in each cell; streaming must follow the skip
+        // index exactly.
+        net.bcm_eliminate(&[0, 7, 30]);
+        assert_streaming_matches(&net, 2);
+    }
+
+    #[test]
+    fn reset_restarts_the_sequence_exactly() {
+        let net = lstm_classifier(4, 4, 2, 2, 14);
+        let mut runner = SeqRunner::from_network(&net).expect("streamable");
+        let step_in = vec![0.5f32, -0.25, 1.0, 0.0];
+        let first: Vec<Vec<f32>> = (0..3).map(|_| runner.step(&step_in)).collect();
+        runner.reset();
+        assert_eq!(runner.steps(), 0);
+        for want in &first {
+            let got = runner.step(&step_in);
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn non_streamable_stacks_are_rejected() {
+        // Attention is non-causal: no streaming form.
+        let attn = attn_lstm_classifier(4, 4, 2, 2, 15);
+        assert!(matches!(
+            SeqRunner::from_network(&attn),
+            Err(SeqError::Unsupported(_))
+        ));
+        // A CNN has no recurrent cell (conv has no streaming semantics).
+        let cnn = vgg_tiny(ConvMode::Dense, 10, 16);
+        assert!(SeqRunner::from_network(&cnn).is_err());
+        // A head with no cell in front of it.
+        let mut rng = StdRng::seed_from_u64(17);
+        let headless = Network::new(
+            "fc",
+            vec![Box::new(Linear::new(&mut rng, 4, 2)) as Box<dyn Layer>],
+        );
+        assert!(matches!(
+            SeqRunner::from_network(&headless),
+            Err(SeqError::NoRecurrentLayer)
+        ));
+    }
+
+    #[test]
+    fn runner_validates_the_cell_chain() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let bad = Network::new(
+            "mismatch",
+            vec![
+                Box::new(BcmLstm::new(&mut rng, 4, 8, 2)) as Box<dyn Layer>,
+                Box::new(BcmGru::new(&mut rng, 4, 4, 2)),
+            ],
+        );
+        assert!(matches!(
+            SeqRunner::from_network(&bad),
+            Err(SeqError::Unsupported(_))
+        ));
+    }
+}

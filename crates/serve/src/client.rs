@@ -70,9 +70,9 @@ impl Client {
         match resp {
             Response::Output(p) => Ok(p),
             Response::Error(status, msg) => Err(ClientError::Rejected(status, msg)),
-            Response::Stats(_) => Err(ClientError::Wire(WireError::Malformed(
-                "stats reply to payload request".into(),
-            ))),
+            Response::Stats(_) | Response::Session { .. } => Err(ClientError::Wire(
+                WireError::Malformed("mistyped reply to payload request".into()),
+            )),
         }
     }
 
@@ -162,10 +162,85 @@ impl Client {
         match protocol::decode_stats_response(&reply)? {
             Response::Stats(doc) => Ok(doc),
             Response::Error(status, msg) => Err(ClientError::Rejected(status, msg)),
-            Response::Output(_) => Err(ClientError::Wire(WireError::Malformed(
-                "payload reply to stats request".into(),
+            _ => Err(ClientError::Wire(WireError::Malformed(
+                "mistyped reply to stats request".into(),
             ))),
         }
+    }
+
+    /// Opens a stateful streaming session against `model`. Returns the
+    /// session id and the model version the session is pinned to — later
+    /// hot swaps (`Registry::publish`) never affect an open session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with `bad_request` when the model has no
+    /// streaming form (e.g. a convolutional stack), `unknown_model`,
+    /// `overloaded` at the session cap, or `quota_exceeded`.
+    pub fn open_session(&mut self, model: &str, fx: bool) -> Result<(u64, u64), ClientError> {
+        let req = Request::SessionOpen {
+            model: model.to_string(),
+            fx,
+        };
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(&req))?;
+        let reply = protocol::read_frame(&mut self.stream)?;
+        match protocol::decode_session_response(&reply)? {
+            Response::Session { session, version } => Ok((session, version)),
+            Response::Error(status, msg) => Err(ClientError::Rejected(status, msg)),
+            _ => Err(ClientError::Wire(WireError::Malformed(
+                "mistyped reply to session_open".into(),
+            ))),
+        }
+    }
+
+    /// Advances a float session by one timestep and returns the per-step
+    /// output (head logits, or the last hidden state for headless nets).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with `bad_request` on unknown/expired
+    /// session ids, mode mismatches, or a wrong input width.
+    pub fn session_step_f32(&mut self, session: u64, x: &[f32]) -> Result<Vec<f32>, ClientError> {
+        let req = Request::SessionStep {
+            session,
+            input: Payload::F32(x.to_vec()),
+        };
+        match Self::expect_output(self.round_trip(&req, false)?)? {
+            Payload::F32(v) => Ok(v),
+            Payload::Fx(_) => Err(ClientError::Wire(WireError::Malformed(
+                "fx reply to f32 session step".into(),
+            ))),
+        }
+    }
+
+    /// Advances a fixed-point session by one timestep.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with `bad_request` on unknown/expired
+    /// session ids, mode mismatches, or a wrong input width.
+    pub fn session_step_fx(&mut self, session: u64, x: &[i16]) -> Result<Vec<i16>, ClientError> {
+        let req = Request::SessionStep {
+            session,
+            input: Payload::Fx(x.to_vec()),
+        };
+        match Self::expect_output(self.round_trip(&req, true)?)? {
+            Payload::Fx(v) => Ok(v),
+            Payload::F32(_) => Err(ClientError::Wire(WireError::Malformed(
+                "f32 reply to fx session step".into(),
+            ))),
+        }
+    }
+
+    /// Closes a session, releasing its server-side state and quota slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with `bad_request` when the id is
+    /// unknown (or already expired).
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        let resp = self.round_trip(&Request::SessionClose { session }, false)?;
+        Self::expect_output(resp).map(|_| ())
     }
 }
 

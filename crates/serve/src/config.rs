@@ -19,6 +19,8 @@ use std::time::Duration;
 /// | `RPBCM_SERVE_SLO_P99_US`   | p99 latency SLO (µs, 0 = off)       | 0       |
 /// | `RPBCM_SERVE_SLO_SHED_PCT` | shed-rate SLO (%, 0 = off)          | 0       |
 /// | `RPBCM_SERVE_SLO_DIR`      | flight-recorder dump directory      | `.`     |
+/// | `RPBCM_SERVE_SESSION_TTL_MS` | idle-session expiry (ms, 0 = never) | 60000 |
+/// | `RPBCM_SERVE_SESSION_CAP`  | max open sessions server-wide       | 1024    |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Maximum requests per dispatched batch (B). A batch launches as
@@ -52,6 +54,15 @@ pub struct ServeConfig {
     /// `RPBCM_SERVE_SLO_DIR` (default: the working directory), read at
     /// dump time.
     pub slo_shed_pct: usize,
+    /// Idle streaming-session time-to-live: a session untouched for this
+    /// long is expired by its shard's sweep (its next `session_step`
+    /// answers `bad_request`, and its quota slot is released). `0`
+    /// disables expiry — sessions then live until closed or their
+    /// connection drops.
+    pub session_ttl: Duration,
+    /// Server-wide cap on concurrently open streaming sessions; an open
+    /// past the cap is refused with `overloaded`. Clamped to at least 1.
+    pub session_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +75,8 @@ impl Default for ServeConfig {
             tenant_quota: 0,
             slo_p99_us: 0,
             slo_shed_pct: 0,
+            session_ttl: Duration::from_millis(60_000),
+            session_cap: 1024,
         }
     }
 }
@@ -93,6 +106,11 @@ impl ServeConfig {
             tenant_quota: telemetry::env::usize_or("RPBCM_SERVE_TENANT_QUOTA", d.tenant_quota),
             slo_p99_us: telemetry::env::usize_or("RPBCM_SERVE_SLO_P99_US", d.slo_p99_us),
             slo_shed_pct: telemetry::env::usize_or("RPBCM_SERVE_SLO_SHED_PCT", d.slo_shed_pct),
+            session_ttl: Duration::from_millis(telemetry::env::usize_or(
+                "RPBCM_SERVE_SESSION_TTL_MS",
+                d.session_ttl.as_millis() as usize,
+            ) as u64),
+            session_cap: telemetry::env::usize_or("RPBCM_SERVE_SESSION_CAP", d.session_cap).max(1),
         }
     }
 }
@@ -111,5 +129,7 @@ mod tests {
         assert_eq!(c.tenant_quota, 0);
         assert_eq!(c.slo_p99_us, 0, "SLO watchdog is off by default");
         assert_eq!(c.slo_shed_pct, 0, "SLO watchdog is off by default");
+        assert_eq!(c.session_ttl, Duration::from_millis(60_000));
+        assert!(c.session_cap >= 1);
     }
 }

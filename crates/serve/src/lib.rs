@@ -105,6 +105,7 @@ pub mod quota;
 pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod session;
 pub mod spec;
 
 pub use batcher::{Batcher, SubmitError};
@@ -114,3 +115,4 @@ pub use protocol::{Payload, Request, Response, Status};
 pub use quota::{QuotaGuard, QuotaTable};
 pub use registry::{FxModel, Mode, Model, ModelEntry, ModelInfo, Registry};
 pub use server::Server;
+pub use session::{FxSeqRunner, SeqModel};

@@ -47,6 +47,22 @@ pub(crate) static CONNS_CLOSED: telemetry::Counter = telemetry::Counter::new("se
 pub(crate) static QUOTA_DENIED: telemetry::Counter =
     telemetry::Counter::new("serve.requests.quota_denied");
 
+/// Streaming sessions opened (`session_open` accepted).
+pub(crate) static SESSIONS_OPENED: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.opened");
+
+/// Streaming sessions closed by the client (`session_close`).
+pub(crate) static SESSIONS_CLOSED: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.closed");
+
+/// Streaming sessions expired by the idle-TTL sweep.
+pub(crate) static SESSIONS_EXPIRED: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.expired");
+
+/// Timesteps served across all streaming sessions (`session_step` ok).
+pub(crate) static SESSION_STEPS: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.steps");
+
 // ---------------------------------------------------------------------
 // Per-stage lifecycle latency (fed from completed flight records; see
 // `telemetry::flight` and the stamping sites in shard/batcher/conn).

@@ -21,13 +21,25 @@
 //!
 //! ```text
 //! u8 opcode            0 = ping, 1 = infer (f32), 2 = infer (fx/i16),
-//!                      3 = shutdown, 4 = hello, 5 = stats
+//!                      3 = shutdown, 4 = hello, 5 = stats,
+//!                      6 = session_open, 7 = session_step,
+//!                      8 = session_close
 //! infer only:
 //!   u8    model name length, then UTF-8 name bytes
 //!   u32   element count
 //!   values  f32 LE (opcode 1) or i16 LE (opcode 2)
 //! hello only:
 //!   u8    tenant name length, then UTF-8 tenant bytes
+//! session_open only:
+//!   u8    mode: 0 = f32, 1 = fx
+//!   u8    model name length, then UTF-8 name bytes
+//! session_step only:
+//!   u8    mode: 0 = f32, 1 = fx (must match the session's mode)
+//!   u64   session id, LE
+//!   u32   element count
+//!   values  f32 LE (mode 0) or i16 LE (mode 1)
+//! session_close only:
+//!   u64   session id, LE
 //! ```
 //!
 //! Response payloads:
@@ -36,14 +48,19 @@
 //! u8 status            0 ok, 1 overloaded, 2 bad_request,
 //!                      3 shutting_down, 4 unknown_model,
 //!                      5 quota_exceeded
-//! ok infer:   u32 element count + values (same scalar type as request)
+//! ok infer / session_step / session_close:
+//!             u32 element count + values (same scalar type as request;
+//!             a session_close ok body is an empty f32 payload)
 //! ok stats:   u32 byte length + UTF-8 JSON snapshot document
+//! ok session_open:
+//!             u64 session id + u64 pinned model version, both LE
 //! non-ok:     u32 message length + UTF-8 diagnostic
 //! ```
 //!
 //! There are no request ids, so an `ok` body is typed by the request it
-//! answers: clients decode infer replies with [`decode_response`] and
-//! stats replies with [`decode_stats_response`].
+//! answers: clients decode infer replies with [`decode_response`], stats
+//! replies with [`decode_stats_response`], and session-open replies with
+//! [`decode_session_response`].
 //!
 //! The exact bytes, cross-checked (an fx infer of two words against
 //! model `"m"`, and its ok reply):
@@ -81,10 +98,14 @@
 //! # JSON mode
 //!
 //! Requests: `{"op":"ping"}`, `{"op":"shutdown"}`, `{"op":"stats"}`,
-//! `{"op":"hello","tenant":"<name>"}`, or
-//! `{"op":"infer","model":"<name>","mode":"f32"|"fx","input":[...]}`.
+//! `{"op":"hello","tenant":"<name>"}`,
+//! `{"op":"infer","model":"<name>","mode":"f32"|"fx","input":[...]}`,
+//! `{"op":"session_open","model":"<name>","mode":"f32"|"fx"}`,
+//! `{"op":"session_step","session":<id>,"mode":"f32"|"fx","input":[...]}`,
+//! or `{"op":"session_close","session":<id>}`.
 //! Responses: `{"status":"ok","output":[...]}`,
-//! `{"status":"ok","stats":{...}}` (stats only) or
+//! `{"status":"ok","stats":{...}}` (stats only),
+//! `{"status":"ok","session":<id>,"version":<v>}` (session_open only) or
 //! `{"status":"<error>","error":"<diagnostic>"}`. The parser accepts
 //! exactly this shape — it is a debugging convenience, not a general
 //! JSON implementation.
@@ -203,6 +224,29 @@ pub enum Request {
     /// Ask for a versioned introspection snapshot (registry metrics,
     /// per-shard stage-latency histograms, queue/quota state).
     Stats,
+    /// Open a stateful streaming session against a model. The server
+    /// pins the session to the handling shard, resolves the model
+    /// version **once**, and holds the recurrent hidden state
+    /// server-side until close or idle expiry.
+    SessionOpen {
+        /// Registry model name.
+        model: String,
+        /// `true` for the fixed-point datapath, `false` for float.
+        fx: bool,
+    },
+    /// Advance an open session by one timestep.
+    SessionStep {
+        /// Session id from the open reply.
+        session: u64,
+        /// One timestep of input; its variant must match the session's
+        /// mode.
+        input: Payload,
+    },
+    /// Close a session and release its state and quota slot.
+    SessionClose {
+        /// Session id from the open reply.
+        session: u64,
+    },
 }
 
 /// A decoded response.
@@ -212,6 +256,14 @@ pub enum Response {
     Output(Payload),
     /// A `stats` reply: the snapshot as one UTF-8 JSON document.
     Stats(String),
+    /// A `session_open` reply: the session id and the model version the
+    /// session is pinned to (hot swaps never change it mid-session).
+    Session {
+        /// Server-assigned session id, unique per connection lifetime.
+        session: u64,
+        /// The registry version resolved at open.
+        version: u64,
+    },
     /// Not served; carries the status and a short diagnostic.
     Error(Status, String),
 }
@@ -332,6 +384,37 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(tenant.as_bytes());
         }
         Request::Stats => out.push(5),
+        Request::SessionOpen { model, fx } => {
+            out.push(6);
+            out.push(u8::from(*fx));
+            out.push(u8::try_from(model.len()).expect("model name fits u8"));
+            out.extend_from_slice(model.as_bytes());
+        }
+        Request::SessionStep { session, input } => {
+            out.push(7);
+            out.push(match input {
+                Payload::F32(_) => 0,
+                Payload::Fx(_) => 1,
+            });
+            out.extend_from_slice(&session.to_le_bytes());
+            put_u32(&mut out, input.len());
+            match input {
+                Payload::F32(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Payload::Fx(vs) => {
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Request::SessionClose { session } => {
+            out.push(8);
+            out.extend_from_slice(&session.to_le_bytes());
+        }
     }
     out
 }
@@ -407,6 +490,62 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             };
             Ok(Request::Infer { model, input })
         }
+        6 => {
+            let (&mode, rest) = rest.split_first().ok_or_else(|| bad("missing mode"))?;
+            let fx = match mode {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("unknown session mode")),
+            };
+            let (&name_len, rest) = rest.split_first().ok_or_else(|| bad("missing name"))?;
+            if rest.len() != name_len as usize {
+                return Err(bad("model name length disagrees with body"));
+            }
+            let model = std::str::from_utf8(rest)
+                .map_err(|_| bad("non-UTF-8 model name"))?
+                .to_string();
+            Ok(Request::SessionOpen { model, fx })
+        }
+        7 => {
+            let (&mode, rest) = rest.split_first().ok_or_else(|| bad("missing mode"))?;
+            if rest.len() < 12 {
+                return Err(bad("truncated session_step header"));
+            }
+            let session = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            let count = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+            let rest = &rest[12..];
+            let input = match mode {
+                0 => {
+                    if rest.len() != count * 4 {
+                        return Err(bad("input length disagrees with count"));
+                    }
+                    Payload::F32(
+                        rest.chunks_exact(4)
+                            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                            .collect(),
+                    )
+                }
+                1 => {
+                    if rest.len() != count * 2 {
+                        return Err(bad("input length disagrees with count"));
+                    }
+                    Payload::Fx(
+                        rest.chunks_exact(2)
+                            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                            .collect(),
+                    )
+                }
+                _ => return Err(bad("unknown session mode")),
+            };
+            Ok(Request::SessionStep { session, input })
+        }
+        8 => {
+            if rest.len() != 8 {
+                return Err(bad("session_close wants exactly a u64 id"));
+            }
+            let session = u64::from_le_bytes(rest.try_into().expect("8 bytes"));
+            Ok(Request::SessionClose { session })
+        }
         other => Err(bad(&format!("unknown opcode {other}"))),
     }
 }
@@ -435,6 +574,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(Status::Ok.code());
             put_u32(&mut out, doc.len());
             out.extend_from_slice(doc.as_bytes());
+        }
+        Response::Session { session, version } => {
+            out.push(Status::Ok.code());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&version.to_le_bytes());
         }
         Response::Error(status, msg) => {
             out.push(status.code());
@@ -526,6 +670,44 @@ pub fn decode_stats_response(buf: &[u8]) -> Result<Response, WireError> {
     }
 }
 
+/// Decodes a reply to a `session_open` request: an `ok` body is two
+/// `u64` LE words — session id then pinned model version
+/// ([`Response::Session`]); a non-ok body is the usual diagnostic.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on unknown status codes or inconsistent
+/// lengths.
+pub fn decode_session_response(buf: &[u8]) -> Result<Response, WireError> {
+    let bad = |m: &str| WireError::Malformed(m.into());
+    let (&code, rest) = buf.split_first().ok_or_else(|| bad("empty response"))?;
+    let status = Status::from_code(code).ok_or_else(|| bad("unknown status"))?;
+    match status {
+        Status::Ok => {
+            if rest.len() != 16 {
+                return Err(bad("session_open ok body wants two u64 words"));
+            }
+            let session = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            let version = u64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
+            Ok(Response::Session { session, version })
+        }
+        _ => {
+            if rest.len() < 4 {
+                return Err(bad("truncated response"));
+            }
+            let count = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let rest = &rest[4..];
+            if rest.len() != count {
+                return Err(bad("diagnostic length disagrees with count"));
+            }
+            let msg = std::str::from_utf8(rest)
+                .map_err(|_| bad("non-UTF-8 diagnostic"))?
+                .to_string();
+            Ok(Response::Error(status, msg))
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // JSON debug mode
 // ---------------------------------------------------------------------
@@ -571,6 +753,42 @@ pub fn parse_json_request(line: &str) -> Result<Request, WireError> {
             };
             Ok(Request::Infer { model, input })
         }
+        "session_open" => {
+            let model = json_string(&obj, "model").ok_or_else(|| bad("missing \"model\""))?;
+            let mode = json_string(&obj, "mode").unwrap_or_else(|| "f32".to_string());
+            let fx = match mode.as_str() {
+                "f32" => false,
+                "fx" => true,
+                other => return Err(bad(&format!("unknown mode {other:?}"))),
+            };
+            Ok(Request::SessionOpen { model, fx })
+        }
+        "session_step" => {
+            let session = json_u64(&obj, "session").ok_or_else(|| bad("missing \"session\""))?;
+            let mode = json_string(&obj, "mode").unwrap_or_else(|| "f32".to_string());
+            let nums = json_numbers(&obj, "input").ok_or_else(|| bad("missing \"input\""))?;
+            let input = match mode.as_str() {
+                "f32" => Payload::F32(nums.iter().map(|&v| v as f32).collect()),
+                "fx" => {
+                    let mut words = Vec::with_capacity(nums.len());
+                    for &v in &nums {
+                        if v.fract() != 0.0
+                            || !(f64::from(i16::MIN)..=f64::from(i16::MAX)).contains(&v)
+                        {
+                            return Err(bad("fx input values must be i16 integers"));
+                        }
+                        words.push(v as i16);
+                    }
+                    Payload::Fx(words)
+                }
+                other => return Err(bad(&format!("unknown mode {other:?}"))),
+            };
+            Ok(Request::SessionStep { session, input })
+        }
+        "session_close" => {
+            let session = json_u64(&obj, "session").ok_or_else(|| bad("missing \"session\""))?;
+            Ok(Request::SessionClose { session })
+        }
         other => Err(bad(&format!("unknown op {other:?}"))),
     }
 }
@@ -611,6 +829,9 @@ pub fn render_json_response(resp: &Response) -> String {
                 doc.replace('\n', " ").trim()
             )
         }
+        Response::Session { session, version } => {
+            format!("{{\"status\":\"ok\",\"session\":{session},\"version\":{version}}}")
+        }
         Response::Error(status, msg) => {
             format!(
                 "{{\"status\":\"{}\",\"error\":\"{}\"}}",
@@ -628,6 +849,7 @@ type JsonObj = Vec<(String, JsonValue)>;
 enum JsonValue {
     Str(String),
     Array(Vec<f64>),
+    Num(f64),
 }
 
 fn json_string(obj: &JsonObj, key: &str) -> Option<String> {
@@ -642,6 +864,23 @@ fn json_numbers(obj: &JsonObj, key: &str) -> Option<Vec<f64>> {
         JsonValue::Array(a) if k == key => Some(a.clone()),
         _ => None,
     })
+}
+
+fn json_number(obj: &JsonObj, key: &str) -> Option<f64> {
+    obj.iter().find_map(|(k, v)| match v {
+        JsonValue::Num(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// Parses a non-negative integer field that must fit a `u64` exactly
+/// (session ids on the JSON path).
+fn json_u64(obj: &JsonObj, key: &str) -> Option<u64> {
+    let n = json_number(obj, key)?;
+    if n.fract() != 0.0 || !(0.0..=u64::MAX as f64).contains(&n) {
+        return None;
+    }
+    Some(n as u64)
 }
 
 /// Hand-rolled parser for one flat object of string and numeric-array
@@ -674,7 +913,11 @@ fn json_object(line: &str) -> Option<JsonObj> {
             obj.push((key, JsonValue::Array(nums)));
             rest = &tail[end + 1..];
         } else {
-            return None;
+            // A bare number runs to the next comma or the object end.
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            let n = rest[..end].trim().parse::<f64>().ok()?;
+            obj.push((key, JsonValue::Num(n)));
+            rest = &rest[end..];
         }
         rest = rest.trim_start();
         rest = match rest.strip_prefix(',') {
@@ -712,10 +955,73 @@ mod tests {
                 input: Payload::Fx(vec![-7, 0, 1234]),
             },
             Request::Stats,
+            Request::SessionOpen {
+                model: "lstm".into(),
+                fx: false,
+            },
+            Request::SessionOpen {
+                model: "lstm".into(),
+                fx: true,
+            },
+            Request::SessionStep {
+                session: u64::MAX - 1,
+                input: Payload::F32(vec![0.5, -0.25]),
+            },
+            Request::SessionStep {
+                session: 3,
+                input: Payload::Fx(vec![-7, 0, 1234]),
+            },
+            Request::SessionClose { session: 42 },
         ] {
             let bytes = encode_request(&req);
             assert_eq!(decode_request(&bytes).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn session_frames_have_the_documented_layout() {
+        let open = encode_request(&Request::SessionOpen {
+            model: "m".into(),
+            fx: true,
+        });
+        assert_eq!(open, [6, 1, 1, b'm']);
+        let step = encode_request(&Request::SessionStep {
+            session: 0x0102,
+            input: Payload::Fx(vec![7]),
+        });
+        assert_eq!(step, [7, 1, 2, 1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 7, 0]);
+        let close = encode_request(&Request::SessionClose { session: 9 });
+        assert_eq!(close, [8, 9, 0, 0, 0, 0, 0, 0, 0]);
+
+        let opened = Response::Session {
+            session: 9,
+            version: 2,
+        };
+        let bytes = encode_response(&opened);
+        assert_eq!(bytes, [0, 9, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(decode_session_response(&bytes).unwrap(), opened);
+    }
+
+    #[test]
+    fn malformed_session_frames_are_rejected() {
+        // Unknown mode byte.
+        assert!(decode_request(&[6, 2, 1, b'm']).is_err());
+        // Name length disagrees with body.
+        assert!(decode_request(&[6, 0, 4, b'm']).is_err());
+        // Truncated step header.
+        assert!(decode_request(&[7, 0, 1, 0, 0]).is_err());
+        // Count says one fx word, body holds none.
+        assert!(decode_request(&[7, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0]).is_err());
+        // Close with a short id.
+        assert!(decode_request(&[8, 1, 2, 3]).is_err());
+        // Session-open ok reply must be exactly two u64 words.
+        assert!(decode_session_response(&[0, 1, 2, 3]).is_err());
+        // Errors decode on the session reply path too.
+        let err = Response::Error(Status::UnknownModel, "no such model".into());
+        assert_eq!(
+            decode_session_response(&encode_response(&err)).unwrap(),
+            err
+        );
     }
 
     #[test]
@@ -815,6 +1121,58 @@ mod tests {
             }
         );
         assert!(parse_json_request("{\"op\":\"hello\"}").is_err());
+    }
+
+    #[test]
+    fn json_session_requests_parse() {
+        assert_eq!(
+            parse_json_request("{\"op\":\"session_open\",\"model\":\"lstm\",\"mode\":\"fx\"}")
+                .unwrap(),
+            Request::SessionOpen {
+                model: "lstm".into(),
+                fx: true,
+            }
+        );
+        assert_eq!(
+            parse_json_request("{\"op\":\"session_open\",\"model\":\"lstm\"}").unwrap(),
+            Request::SessionOpen {
+                model: "lstm".into(),
+                fx: false,
+            }
+        );
+        assert_eq!(
+            parse_json_request("{\"op\":\"session_step\",\"session\":7,\"input\":[1.5,-2]}")
+                .unwrap(),
+            Request::SessionStep {
+                session: 7,
+                input: Payload::F32(vec![1.5, -2.0]),
+            }
+        );
+        assert_eq!(
+            parse_json_request(
+                "{\"op\":\"session_step\",\"session\":7,\"mode\":\"fx\",\"input\":[3,-4]}"
+            )
+            .unwrap(),
+            Request::SessionStep {
+                session: 7,
+                input: Payload::Fx(vec![3, -4]),
+            }
+        );
+        assert_eq!(
+            parse_json_request("{\"op\":\"session_close\",\"session\":12}").unwrap(),
+            Request::SessionClose { session: 12 }
+        );
+        // Fractional and negative session ids are rejected.
+        assert!(parse_json_request("{\"op\":\"session_close\",\"session\":1.5}").is_err());
+        assert!(parse_json_request("{\"op\":\"session_close\",\"session\":-1}").is_err());
+        assert!(parse_json_request("{\"op\":\"session_step\",\"session\":1}").is_err());
+        assert_eq!(
+            render_json_response(&Response::Session {
+                session: 3,
+                version: 1
+            }),
+            "{\"status\":\"ok\",\"session\":3,\"version\":1}"
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@ use nn::layers::checkpoint::LayerSnapshot;
 use nn::{CheckpointError, CheckpointMeta, Network};
 use tensor::Tensor;
 
+use crate::session::SeqModel;
+
 /// Which engine path a request wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
@@ -228,6 +230,7 @@ pub struct Model {
     input_len: usize,
     output_len: usize,
     fx: Option<FxModel>,
+    seq: Option<SeqModel>,
 }
 
 impl Model {
@@ -246,6 +249,7 @@ impl Model {
         let output_len = warm.len();
         let input_len = meta.sample_len();
         let fx = FxModel::build(&net, &meta);
+        let seq = SeqModel::build(&net, &meta);
         Model {
             name: name.to_string(),
             net,
@@ -253,6 +257,7 @@ impl Model {
             input_len,
             output_len,
             fx,
+            seq,
         }
     }
 
@@ -292,6 +297,12 @@ impl Model {
     pub fn fx(&self) -> Option<&FxModel> {
         self.fx.as_ref()
     }
+
+    /// The streaming-session templates, when the stack is a recurrent
+    /// sequence model (see [`crate::session`]).
+    pub fn seq(&self) -> Option<&SeqModel> {
+        self.seq.as_ref()
+    }
 }
 
 /// One published, immutable version of a model — what requests actually
@@ -308,6 +319,7 @@ pub struct ModelEntry {
     /// float path serializes per entry. The fx path below is lock-free.
     net: Mutex<Network>,
     fx: Option<FxModel>,
+    seq: Option<SeqModel>,
 }
 
 impl ModelEntry {
@@ -320,6 +332,7 @@ impl ModelEntry {
             output_len: model.output_len,
             net: Mutex::new(model.net),
             fx: model.fx,
+            seq: model.seq,
         }
     }
 
@@ -352,6 +365,13 @@ impl ModelEntry {
     /// The fixed-point mirror, when the stack is fx-compatible.
     pub fn fx(&self) -> Option<&FxModel> {
         self.fx.as_ref()
+    }
+
+    /// The streaming-session templates, when the stack is a recurrent
+    /// sequence model. Sessions opened against this entry hold its `Arc`,
+    /// so a hot swap never changes the weights mid-session.
+    pub fn seq(&self) -> Option<&SeqModel> {
+        self.seq.as_ref()
     }
 
     /// Runs a float batch: returns the per-sample output rows.
@@ -416,6 +436,8 @@ pub struct ModelInfo {
     pub output_len: usize,
     /// Per-sample fx input length, when fx mode is available.
     pub fx_input_len: Option<usize>,
+    /// Whether streaming sessions can be opened against this model.
+    pub streamable: bool,
 }
 
 /// The set of deployed models a server instance offers, with versioned
@@ -498,6 +520,7 @@ impl Registry {
                 input_len: e.input_len(),
                 output_len: e.output_len(),
                 fx_input_len: e.fx().map(FxModel::input_len),
+                streamable: e.seq().is_some(),
             })
             .collect()
     }

@@ -69,6 +69,9 @@ pub(crate) struct ServerShared {
     /// Flight-recorder dumps written so far (`(json, chrome_trace)`
     /// path pairs), newest last.
     pub flight_dumps: Mutex<Vec<(PathBuf, PathBuf)>>,
+    /// Streaming sessions currently open across all shards, checked
+    /// against `cfg.session_cap` at `session_open`.
+    pub active_sessions: AtomicU64,
 }
 
 impl ServerShared {
@@ -112,6 +115,7 @@ impl Server {
             protocol_errors: AtomicU64::new(0),
             shards: OnceLock::new(),
             flight_dumps: Mutex::new(Vec::new()),
+            active_sessions: AtomicU64::new(0),
         });
 
         // Build every shard handle (and its poller) before spawning any
@@ -200,6 +204,11 @@ impl Server {
     /// Wire-level protocol violations seen so far.
     pub fn protocol_errors(&self) -> u64 {
         self.shared.protocol_errors.load(Ordering::SeqCst)
+    }
+
+    /// Streaming sessions currently open across all shards.
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.active_sessions.load(Ordering::SeqCst)
     }
 
     /// The per-tenant quota table (in-flight counts and the limit).

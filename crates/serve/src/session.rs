@@ -1,0 +1,390 @@
+//! Streaming-session runtimes: the per-session steppers a shard pins
+//! when a client opens a stateful session (`session_open`, opcode 6).
+//!
+//! A session's hidden state lives server-side and advances one timestep
+//! per `session_step`. Two datapaths mirror the batch engine's split:
+//!
+//! - **float** — [`nn::seq::SeqRunner`], whose per-step outputs are
+//!   bit-identical to the offline full-sequence `Network::forward` (the
+//!   shared-cell-math contract proven in `nn::seq`);
+//! - **fixed-point** — [`FxSeqRunner`] below, a stack of
+//!   [`hwsim::FxLstmCell`] / [`hwsim::FxGruCell`] cells plus an optional
+//!   [`hwsim::FxLinear`] head, rebuilt from the same layer snapshots.
+//!   The fx cells are pure functions of quantized state and input, so a
+//!   streamed replay is trivially bit-identical to an offline fold of
+//!   the same step sequence.
+//!
+//! Both runners are built **once per published model version** as
+//! zero-state templates inside [`SeqModel`] (carried by the registry's
+//! `ModelEntry`), and cloned per session — so `session_open` never
+//! re-quantizes weights or re-plans FFTs, and the template's `Arc` rides
+//! the entry that the session pinned, giving hot-swap isolation for
+//! free.
+
+use circulant::{BlockCirculant, CirculantMatrix, ConvBlockCirculant};
+use hwsim::inference::FxWeights;
+use hwsim::{FxGruCell, FxLinear, FxLstmCell, QFormat};
+use nn::layers::checkpoint::LayerSnapshot;
+use nn::seq::SeqRunner;
+use nn::{CheckpointMeta, Network};
+
+/// One fixed-point recurrent cell of an [`FxSeqRunner`].
+#[derive(Debug, Clone)]
+enum FxCell {
+    Lstm(FxLstmCell),
+    Gru(FxGruCell),
+}
+
+impl FxCell {
+    fn in_features(&self) -> usize {
+        match self {
+            FxCell::Lstm(c) => c.in_features(),
+            FxCell::Gru(c) => c.in_features(),
+        }
+    }
+
+    fn hidden(&self) -> usize {
+        match self {
+            FxCell::Lstm(c) => c.hidden(),
+            FxCell::Gru(c) => c.hidden(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            FxCell::Lstm(c) => c.reset(),
+            FxCell::Gru(c) => c.reset(),
+        }
+    }
+
+    fn step(&mut self, x: &[i16]) -> Vec<i16> {
+        match self {
+            FxCell::Lstm(c) => c.step(x).to_vec(),
+            FxCell::Gru(c) => c.step(x).to_vec(),
+        }
+    }
+}
+
+/// Quantizes one checkpointed BCM grid (defining vectors + skip index)
+/// into the eMAC spectra form the fx cells consume.
+fn fx_weights(
+    q: QFormat,
+    bs: usize,
+    out_blocks: usize,
+    in_blocks: usize,
+    vecs: &[f32],
+    live: &[bool],
+) -> FxWeights {
+    let blocks = live
+        .iter()
+        .enumerate()
+        .map(|(blk, &l)| {
+            if l {
+                CirculantMatrix::new(vecs[blk * bs..(blk + 1) * bs].to_vec())
+            } else {
+                CirculantMatrix::zeros(bs)
+            }
+        })
+        .collect();
+    let grid = BlockCirculant::from_blocks(bs, out_blocks, in_blocks, blocks);
+    grid.prepare_spectra();
+    FxWeights::from_folded(q, &ConvBlockCirculant::from_grids(1, 1, vec![grid]))
+}
+
+/// The fixed-point streaming stepper: the "FPGA mode" twin of
+/// [`SeqRunner`], running every gate matvec through the same
+/// [`hwsim::inference::conv_forward_fx`] eMAC kernels as batch fx
+/// inference.
+#[derive(Debug, Clone)]
+pub struct FxSeqRunner {
+    q: QFormat,
+    cells: Vec<FxCell>,
+    head: Option<FxLinear>,
+}
+
+impl FxSeqRunner {
+    /// Builds the fx stepper from a network's layer snapshots, quantized
+    /// to the checkpoint's Q-format. Returns `None` when the stack has no
+    /// streaming form (same acceptance rule as [`SeqRunner`]: one or more
+    /// `BcmLstm` / `BcmGru` cells, optional `GlobalAvgPool`, optional
+    /// dense `Linear` head, nothing else).
+    pub(crate) fn build(net: &Network, meta: &CheckpointMeta) -> Option<FxSeqRunner> {
+        let q = QFormat::new(meta.frac_bits as u32);
+        let mut cells: Vec<FxCell> = Vec::new();
+        let mut head: Option<FxLinear> = None;
+        for layer in net.layers() {
+            let snap = layer.snapshot()?;
+            if head.is_some() {
+                return None;
+            }
+            match snap {
+                LayerSnapshot::BcmLstm {
+                    in_features,
+                    hidden,
+                    bs,
+                    live,
+                    vecs,
+                    bias,
+                } => {
+                    let wts = fx_weights(
+                        q,
+                        bs,
+                        4 * hidden / bs,
+                        (in_features + hidden) / bs,
+                        &vecs,
+                        &live,
+                    );
+                    cells.push(FxCell::Lstm(FxLstmCell::new(
+                        q,
+                        wts,
+                        q.quantize_slice(&bias),
+                        in_features,
+                    )));
+                }
+                LayerSnapshot::BcmGru {
+                    in_features,
+                    hidden,
+                    bs,
+                    w_live,
+                    w_vecs,
+                    u_live,
+                    u_vecs,
+                    bias_w,
+                    bias_u,
+                } => {
+                    let w = fx_weights(q, bs, 3 * hidden / bs, in_features / bs, &w_vecs, &w_live);
+                    let u = fx_weights(q, bs, 3 * hidden / bs, hidden / bs, &u_vecs, &u_live);
+                    cells.push(FxCell::Gru(FxGruCell::new(
+                        q,
+                        w,
+                        u,
+                        q.quantize_slice(&bias_w),
+                        q.quantize_slice(&bias_u),
+                    )));
+                }
+                LayerSnapshot::GlobalAvgPool => {}
+                LayerSnapshot::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    bias,
+                } => {
+                    if cells.is_empty() {
+                        return None;
+                    }
+                    head = Some(FxLinear::quantize(
+                        q,
+                        &weight,
+                        &bias,
+                        out_features,
+                        in_features,
+                    ));
+                }
+                _ => return None,
+            }
+        }
+        if cells.is_empty() {
+            return None;
+        }
+        for pair in cells.windows(2) {
+            if pair[1].in_features() != pair[0].hidden() {
+                return None;
+            }
+        }
+        if let Some(h) = &head {
+            if h.in_features() != cells.last().expect("non-empty").hidden() {
+                return None;
+            }
+        }
+        Some(FxSeqRunner { q, cells, head })
+    }
+
+    /// The Q-format the stepper was quantized for.
+    pub fn qformat(&self) -> QFormat {
+        self.q
+    }
+
+    /// Per-step input width in i16 words.
+    pub fn input_len(&self) -> usize {
+        self.cells[0].in_features()
+    }
+
+    /// Per-step output width in i16 words.
+    pub fn output_len(&self) -> usize {
+        match &self.head {
+            Some(h) => h.out_features(),
+            None => self.cells.last().expect("non-empty").hidden(),
+        }
+    }
+
+    /// Zeroes all hidden state, starting a fresh sequence.
+    pub fn reset(&mut self) {
+        for c in &mut self.cells {
+            c.reset();
+        }
+    }
+
+    /// Advances one timestep and returns the per-step output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_len()` (the shard validates
+    /// lengths before stepping).
+    pub fn step(&mut self, x: &[i16]) -> Vec<i16> {
+        assert_eq!(x.len(), self.input_len(), "fx step input length");
+        let mut cur = x.to_vec();
+        for cell in &mut self.cells {
+            cur = cell.step(&cur);
+        }
+        match &self.head {
+            Some(h) => h.apply(&cur),
+            None => cur,
+        }
+    }
+}
+
+/// The streaming capability of one published model version: zero-state
+/// float and (when buildable) fixed-point stepper templates, cloned per
+/// session at `session_open`.
+pub struct SeqModel {
+    runner: SeqRunner,
+    fx: Option<FxSeqRunner>,
+}
+
+impl SeqModel {
+    /// Builds the templates, or `None` when the stack has no streaming
+    /// form (e.g. a conv stack, or a non-causal attention layer).
+    pub(crate) fn build(net: &Network, meta: &CheckpointMeta) -> Option<SeqModel> {
+        let runner = SeqRunner::from_network(net).ok()?;
+        let fx = FxSeqRunner::build(net, meta);
+        Some(SeqModel { runner, fx })
+    }
+
+    /// Per-step float input width.
+    pub fn input_len(&self) -> usize {
+        self.runner.input_len()
+    }
+
+    /// Per-step float output width.
+    pub fn output_len(&self) -> usize {
+        self.runner.output_len()
+    }
+
+    /// Whether fixed-point sessions are available on this model.
+    pub fn has_fx(&self) -> bool {
+        self.fx.is_some()
+    }
+
+    /// A fresh zero-state float session stepper.
+    pub fn new_f32(&self) -> SeqRunner {
+        let mut r = self.runner.clone();
+        r.reset();
+        r
+    }
+
+    /// A fresh zero-state fixed-point session stepper, when available.
+    pub fn new_fx(&self) -> Option<FxSeqRunner> {
+        self.fx.as_ref().map(|t| {
+            let mut r = t.clone();
+            r.reset();
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::models::{gru_classifier, lstm_classifier, vgg_tiny, ConvMode};
+
+    fn meta() -> CheckpointMeta {
+        CheckpointMeta {
+            input_dims: vec![8, 6, 1],
+            frac_bits: 12,
+        }
+    }
+
+    #[test]
+    fn recurrent_stacks_get_both_steppers() {
+        let net = lstm_classifier(8, 8, 4, 4, 3);
+        let seq = SeqModel::build(&net, &meta()).expect("streamable");
+        assert_eq!(seq.input_len(), 8);
+        assert_eq!(seq.output_len(), 4);
+        assert!(seq.has_fx());
+        let fx = seq.new_fx().unwrap();
+        assert_eq!(fx.input_len(), 8);
+        assert_eq!(fx.output_len(), 4);
+        assert_eq!(fx.qformat(), QFormat::new(12));
+    }
+
+    #[test]
+    fn conv_stacks_have_no_streaming_form() {
+        let net = vgg_tiny(ConvMode::Bcm { block_size: 4 }, 10, 4);
+        assert!(SeqModel::build(&net, &meta()).is_none());
+    }
+
+    #[test]
+    fn fresh_sessions_start_from_zero_state() {
+        let net = gru_classifier(4, 8, 3, 4, 5);
+        let seq = SeqModel::build(
+            &net,
+            &CheckpointMeta {
+                input_dims: vec![4, 5, 1],
+                frac_bits: 12,
+            },
+        )
+        .unwrap();
+        let x = [0.25f32, -0.5, 0.125, 0.0625];
+        let mut a = seq.new_f32();
+        let first: Vec<u32> = a.step(&x).iter().map(|v| v.to_bits()).collect();
+        a.step(&x);
+        // A second fresh clone reproduces the first step exactly, and a
+        // reset of a used stepper does too.
+        let mut b = seq.new_f32();
+        assert_eq!(
+            b.step(&x).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            first
+        );
+        a.reset();
+        assert_eq!(
+            a.step(&x).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            first
+        );
+
+        let xq: Vec<i16> = seq.new_fx().unwrap().qformat().quantize_slice(&x);
+        let mut fa = seq.new_fx().unwrap();
+        let ffirst = fa.step(&xq);
+        fa.step(&xq);
+        fa.reset();
+        assert_eq!(fa.step(&xq), ffirst);
+        assert_eq!(seq.new_fx().unwrap().step(&xq), ffirst);
+    }
+
+    #[test]
+    fn fx_streamed_replay_is_bit_identical_to_an_offline_fold() {
+        let net = lstm_classifier(4, 8, 3, 4, 6);
+        let m = CheckpointMeta {
+            input_dims: vec![4, 9, 1],
+            frac_bits: 12,
+        };
+        let seq = SeqModel::build(&net, &m).unwrap();
+        let q = seq.new_fx().unwrap().qformat();
+        let steps: Vec<Vec<i16>> = (0..9)
+            .map(|t| {
+                let row: Vec<f32> = (0..4).map(|j| ((t * 4 + j) as f32).sin() * 0.5).collect();
+                q.quantize_slice(&row)
+            })
+            .collect();
+        // "Offline": one stepper consumes the whole sequence in a fold.
+        let mut offline = seq.new_fx().unwrap();
+        let offline_outs: Vec<Vec<i16>> = steps.iter().map(|x| offline.step(x)).collect();
+        // "Streamed": a second session replays the same steps one at a
+        // time (between other work, here interleaved with a third).
+        let mut streamed = seq.new_fx().unwrap();
+        let mut decoy = seq.new_fx().unwrap();
+        for (t, x) in steps.iter().enumerate() {
+            decoy.step(&steps[(t + 1) % steps.len()]);
+            assert_eq!(streamed.step(x), offline_outs[t], "step {t}");
+        }
+    }
+}

@@ -33,13 +33,17 @@ use std::time::{Duration, Instant};
 
 use telemetry::flight::{FlightRecord, FlightRing, STAMP_ADMIT, STAMP_PARSE};
 
+use nn::seq::SeqRunner;
+
 use crate::batcher::{encode_for_wire, Batcher, ReplySink, SubmitError};
 use crate::conn::{ConnShared, Notifier};
 use crate::metrics;
 use crate::protocol::{self, Payload, Request, Response, Status, HANDSHAKE, MAX_FRAME};
+use crate::quota::QuotaGuard;
 use crate::reactor::{self, Event, Interest, Poller, WAKER_TOKEN};
-use crate::registry::Mode;
+use crate::registry::{Mode, ModelEntry};
 use crate::server::ServerShared;
+use crate::session::FxSeqRunner;
 
 /// How long a shard blocks in the poller before re-checking stop state.
 const TICK: Duration = Duration::from_millis(50);
@@ -89,6 +93,63 @@ struct Conn {
     wants_write: bool,
     /// Peer sent EOF; close once the output backlog flushes.
     eof: bool,
+    /// Open streaming sessions, keyed by connection-scoped id. Sessions
+    /// live and die with the connection — the shard that owns the
+    /// connection owns every session opened on it, so session state
+    /// needs no cross-thread synchronization at all.
+    sessions: HashMap<u64, Session>,
+    /// Next session id handed out on this connection (ids are scoped to
+    /// the connection; 0 is never issued).
+    next_session: u64,
+}
+
+/// The per-session stepper, one of the two engine datapaths.
+enum SessionRunner {
+    F32(SeqRunner),
+    Fx(FxSeqRunner),
+}
+
+/// One open streaming session: the stepper holding the server-side
+/// hidden state, pinned to the exact model version resolved at open.
+struct Session {
+    runner: SessionRunner,
+    /// The entry the session resolved at `session_open`. Holding the
+    /// `Arc` pins the version: a hot swap republishes the name but this
+    /// session keeps stepping the weights it opened against.
+    entry: Arc<ModelEntry>,
+    /// Refreshed on every step; the idle-TTL sweep expires stale ones.
+    last_used: Instant,
+    /// Server-wide session-cap slot (RAII: released on close, expiry,
+    /// or connection teardown).
+    _slot: SessionSlot,
+    /// Tenant quota slot held for the whole session lifetime, so open
+    /// sessions count against the tenant's in-flight cap.
+    _quota: QuotaGuard,
+}
+
+/// RAII slot in the server-wide open-session count.
+struct SessionSlot {
+    server: Arc<ServerShared>,
+}
+
+impl SessionSlot {
+    /// Claims a slot, or `None` at the cap.
+    fn acquire(server: &Arc<ServerShared>) -> Option<SessionSlot> {
+        let cap = server.cfg.session_cap as u64;
+        if server.active_sessions.fetch_add(1, Ordering::SeqCst) >= cap {
+            server.active_sessions.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(SessionSlot {
+            server: Arc::clone(server),
+        })
+    }
+}
+
+impl Drop for SessionSlot {
+    fn drop(&mut self) {
+        self.server.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Why a connection must be torn down.
@@ -162,6 +223,8 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
                     tenant: String::new(),
                     wants_write: false,
                     eof: false,
+                    sessions: HashMap::new(),
+                    next_session: 1,
                 },
             );
         }
@@ -195,6 +258,24 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
             }
         }
         probes.conns.set(conns.len() as f64);
+
+        // Idle-session expiry: every loop iteration (at most one TICK
+        // apart) drops sessions whose last step is older than the TTL.
+        // Dropping the `Session` releases its cap slot and quota guard.
+        let ttl = server.cfg.session_ttl;
+        if !ttl.is_zero() {
+            for conn in conns.values_mut() {
+                let before = conn.sessions.len();
+                if before == 0 {
+                    continue;
+                }
+                conn.sessions.retain(|_, s| s.last_used.elapsed() <= ttl);
+                let expired = before - conn.sessions.len();
+                if expired > 0 {
+                    metrics::SESSIONS_EXPIRED.add(expired as u64);
+                }
+            }
+        }
 
         // Shutdown and drain.
         if server.stop.load(Ordering::SeqCst) {
@@ -436,12 +517,7 @@ fn begin_trace(shard: usize) -> Option<FlightRecord> {
 /// FNV-1a hash of a tenant name — a stable, allocation-free tag small
 /// enough for a flight-record word.
 fn tenant_hash(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
+    telemetry::fnv::fnv1a(name.as_bytes())
 }
 
 /// Validates and routes one decoded request.
@@ -537,6 +613,147 @@ fn process_request(
                     &Response::Error(Status::ShuttingDown, "server is draining".into()),
                     json,
                 ),
+            }
+        }
+        Request::SessionOpen { model, fx } => {
+            if server.stop.load(Ordering::SeqCst) {
+                let resp = Response::Error(Status::ShuttingDown, "server is draining".into());
+                return reply_now(conn, seq, &resp, json);
+            }
+            let Some(entry) = server.registry.resolve(&model) else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(Status::UnknownModel, format!("no model {model:?}"));
+                return reply_now(conn, seq, &resp, json);
+            };
+            let Some(seqm) = entry.seq() else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::BadRequest,
+                    format!("model {model:?} has no streaming form"),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            let runner = if fx {
+                match seqm.new_fx() {
+                    Some(r) => SessionRunner::Fx(r),
+                    None => {
+                        metrics::REJECTED.add(1);
+                        let resp = Response::Error(
+                            Status::BadRequest,
+                            format!("model {model:?} has no fixed-point streaming form"),
+                        );
+                        return reply_now(conn, seq, &resp, json);
+                    }
+                }
+            } else {
+                SessionRunner::F32(seqm.new_f32())
+            };
+            let Some(slot) = SessionSlot::acquire(server) else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::Overloaded,
+                    format!("server at its session cap ({})", server.cfg.session_cap),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            let Some(guard) = server.quotas.try_acquire(&conn.tenant) else {
+                metrics::QUOTA_DENIED.add(1);
+                let resp = Response::Error(
+                    Status::QuotaExceeded,
+                    format!(
+                        "tenant {:?} at its in-flight quota ({})",
+                        conn.tenant,
+                        server.quotas.limit()
+                    ),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            let id = conn.next_session;
+            conn.next_session += 1;
+            let version = entry.version();
+            conn.sessions.insert(
+                id,
+                Session {
+                    runner,
+                    entry,
+                    last_used: Instant::now(),
+                    _slot: slot,
+                    _quota: guard,
+                },
+            );
+            metrics::SESSIONS_OPENED.add(1);
+            reply_now(
+                conn,
+                seq,
+                &Response::Session {
+                    session: id,
+                    version,
+                },
+                json,
+            );
+        }
+        Request::SessionStep { session, input } => {
+            let Some(s) = conn.sessions.get_mut(&session) else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::BadRequest,
+                    format!("no open session {session} (unknown, expired, or closed)"),
+                );
+                return reply_now(conn, seq, &resp, json);
+            };
+            if let Some(rec) = trace.as_mut() {
+                rec.tenant_hash = tenant_hash(&conn.tenant);
+                rec.model_version = s.entry.version();
+                rec.stamps_ns[STAMP_ADMIT] = telemetry::flight::now_ns();
+            }
+            // The step runs inline on the shard thread: one timestep of a
+            // pruned recurrent cell is far below batching granularity, and
+            // inline execution keeps the state single-threaded by design.
+            let resp = match (&mut s.runner, &input) {
+                (SessionRunner::F32(r), Payload::F32(x)) => {
+                    if x.len() != r.input_len() {
+                        Response::Error(
+                            Status::BadRequest,
+                            format!("step length {} != expected {}", x.len(), r.input_len()),
+                        )
+                    } else {
+                        Response::Output(Payload::F32(r.step(x)))
+                    }
+                }
+                (SessionRunner::Fx(r), Payload::Fx(x)) => {
+                    if x.len() != r.input_len() {
+                        Response::Error(
+                            Status::BadRequest,
+                            format!("step length {} != expected {}", x.len(), r.input_len()),
+                        )
+                    } else {
+                        Response::Output(Payload::Fx(r.step(x)))
+                    }
+                }
+                _ => Response::Error(
+                    Status::BadRequest,
+                    format!("step payload type disagrees with session {session}'s mode"),
+                ),
+            };
+            if matches!(resp, Response::Output(_)) {
+                s.last_used = Instant::now();
+                metrics::SESSION_STEPS.add(1);
+            } else {
+                metrics::REJECTED.add(1);
+            }
+            reply_now(conn, seq, &resp, json);
+        }
+        Request::SessionClose { session } => {
+            if conn.sessions.remove(&session).is_some() {
+                metrics::SESSIONS_CLOSED.add(1);
+                reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
+            } else {
+                metrics::REJECTED.add(1);
+                let resp = Response::Error(
+                    Status::BadRequest,
+                    format!("no open session {session} (unknown, expired, or closed)"),
+                );
+                reply_now(conn, seq, &resp, json);
             }
         }
     }

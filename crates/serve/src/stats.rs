@@ -107,7 +107,8 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
     doc.push_str(&format!("  \"stats_version\": {STATS_VERSION},\n"));
     doc.push_str(&format!(
         "  \"config\": {{\"batch_size\": {}, \"max_wait_us\": {}, \"queue_cap\": {}, \
-         \"shards\": {}, \"tenant_quota\": {}, \"slo_p99_us\": {}, \"slo_shed_pct\": {}}},\n",
+         \"shards\": {}, \"tenant_quota\": {}, \"slo_p99_us\": {}, \"slo_shed_pct\": {}, \
+         \"session_ttl_ms\": {}, \"session_cap\": {}}},\n",
         cfg.batch_size,
         cfg.max_wait.as_micros(),
         cfg.queue_cap,
@@ -115,6 +116,8 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
         cfg.tenant_quota,
         cfg.slo_p99_us,
         cfg.slo_shed_pct,
+        cfg.session_ttl.as_millis(),
+        cfg.session_cap,
     ));
 
     let mut models = server.registry.catalog();
@@ -123,11 +126,13 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
         .iter()
         .map(|m| {
             format!(
-                "{{\"name\": \"{}\", \"version\": {}, \"input_len\": {}, \"output_len\": {}}}",
+                "{{\"name\": \"{}\", \"version\": {}, \"input_len\": {}, \"output_len\": {}, \
+                 \"streamable\": {}}}",
                 esc(&m.name),
                 m.version,
                 m.input_len,
                 m.output_len,
+                m.streamable,
             )
         })
         .collect();
@@ -143,6 +148,17 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
         "  \"quota\": {{\"limit\": {}, \"in_flight\": {{{}}}}},\n",
         server.quotas.limit(),
         quota_rows.join(", "),
+    ));
+    doc.push_str(&format!(
+        "  \"sessions\": {{\"active\": {}, \"opened\": {}, \"closed\": {}, \
+         \"expired\": {}, \"steps\": {}}},\n",
+        server
+            .active_sessions
+            .load(std::sync::atomic::Ordering::SeqCst),
+        metrics::SESSIONS_OPENED.value(),
+        metrics::SESSIONS_CLOSED.value(),
+        metrics::SESSIONS_EXPIRED.value(),
+        metrics::SESSION_STEPS.value(),
     ));
     doc.push_str(&format!(
         "  \"protocol_errors\": {},\n",

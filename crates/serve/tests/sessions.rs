@@ -1,0 +1,371 @@
+//! Streaming-session end-to-end tests: real loopback sessions against
+//! the sharded server, with per-step outputs compared bit for bit
+//! against the offline full-sequence forward, hot-swap version pinning,
+//! idle-TTL expiry, and the session cap / tenant quota interactions.
+
+use nn::layers::checkpoint::LayerSnapshot;
+use nn::layers::{BcmConv2d, Layer, ReLU};
+use nn::models::lstm_classifier;
+use nn::{CheckpointMeta, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{Client, ClientError, Model, Registry, ServeConfig, Server, Status};
+use std::time::Duration;
+use tensor::Tensor;
+
+const F: usize = 6; // per-step input features
+const T: usize = 7; // sequence length
+
+/// A pruned BCM-LSTM classifier (Algorithm 1 style: drop the
+/// least-important quarter of blocks) and the checkpoint metadata that
+/// keys its fixed-point mirror.
+fn pruned_lstm(seed: u64) -> (Network, CheckpointMeta) {
+    let mut net = lstm_classifier(F, 8, 4, 2, seed);
+    let importances = net.bcm_importances();
+    let mut order: Vec<usize> = (0..importances.len()).collect();
+    order.sort_by(|&a, &b| importances[a].total_cmp(&importances[b]));
+    net.bcm_eliminate(&order[..importances.len() / 4]);
+    assert!(net.bcm_sparsity() > 0.0);
+    let meta = CheckpointMeta {
+        input_dims: vec![F, T, 1],
+        frac_bits: 12,
+    };
+    (net, meta)
+}
+
+/// A deterministic `[1, F, T, 1]` input sequence, distinct per seed.
+fn sequence(seed: u64) -> Tensor<f32> {
+    let vals: Vec<f32> = (0..F * T)
+        .map(|i| ((i as f32 + seed as f32 * 0.37) * 0.81).sin() * 0.5)
+        .collect();
+    Tensor::from_vec(vals, &[1, F, T, 1])
+}
+
+/// Timestep `t` of a `[1, F, T, 1]` tensor as a flat step input.
+fn step_input(x: &Tensor<f32>, t: usize) -> Vec<f32> {
+    let xs = x.as_slice();
+    (0..F).map(|j| xs[j * T + t]).collect()
+}
+
+/// Offline reference: the recurrent stack's full-sequence eval forward,
+/// then the dense head applied to every timestep's hidden state — the
+/// exact arithmetic a batched (non-streaming) deployment runs.
+fn offline_per_step(net: &Network, x: &Tensor<f32>) -> Vec<Vec<f32>> {
+    let mut cur = x.clone();
+    let mut layers: Vec<Box<dyn Layer>> = net.layers().to_vec();
+    for layer in &mut layers {
+        if matches!(
+            layer.snapshot(),
+            Some(LayerSnapshot::BcmLstm { .. }) | Some(LayerSnapshot::BcmGru { .. })
+        ) {
+            cur = layer.forward(&cur, false);
+        }
+    }
+    let hd = cur.dims()[1];
+    let head = layers
+        .iter()
+        .position(|l| matches!(l.snapshot(), Some(LayerSnapshot::Linear { .. })))
+        .expect("classifier head");
+    (0..T)
+        .map(|t| {
+            let hs = cur.as_slice();
+            let h: Vec<f32> = (0..hd).map(|j| hs[j * T + t]).collect();
+            layers[head]
+                .forward(&Tensor::from_vec(h, &[1, hd]), false)
+                .as_slice()
+                .to_vec()
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn serve_one(net: Network, meta: CheckpointMeta, cfg: ServeConfig) -> (Server, String) {
+    let name = net.name().to_string();
+    let registry = Registry::new();
+    registry.publish(Model::from_network(&name, net, meta));
+    let server = Server::bind("127.0.0.1:0", cfg, registry).expect("bind");
+    (server, name)
+}
+
+#[test]
+fn float_session_steps_are_bit_identical_to_the_offline_forward() {
+    let (net, meta) = pruned_lstm(41);
+    let x = sequence(1);
+    let want = offline_per_step(&net, &x);
+    let (server, name) = serve_one(net, meta, ServeConfig::default());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (sid, version) = client.open_session(&name, false).expect("open");
+    assert!(version > 0, "open reply carries the pinned version");
+    assert_eq!(server.active_sessions(), 1);
+
+    for (t, want_t) in want.iter().enumerate() {
+        let got = client
+            .session_step_f32(sid, &step_input(&x, t))
+            .expect("step");
+        assert_eq!(bits(&got), bits(want_t), "step {t} diverged from offline");
+    }
+    client.close_session(sid).expect("close");
+    assert_eq!(server.active_sessions(), 0);
+
+    // A closed session is gone: stepping it is an explicit bad_request.
+    match client.session_step_f32(sid, &step_input(&x, 0)) {
+        Err(ClientError::Rejected(Status::BadRequest, msg)) => {
+            assert!(msg.contains("no open session"), "got {msg}")
+        }
+        other => panic!("expected bad_request after close, got {other:?}"),
+    }
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn fx_session_steps_are_bit_identical_to_the_offline_fold() {
+    let (net, meta) = pruned_lstm(42);
+    let reference = Model::from_network("ref", net.clone(), meta.clone());
+    let seq = reference.seq().expect("streamable");
+    let mut offline = seq.new_fx().expect("fx streaming form");
+    let q = offline.qformat();
+
+    let x = sequence(2);
+    let steps: Vec<Vec<i16>> = (0..T)
+        .map(|t| q.quantize_slice(&step_input(&x, t)))
+        .collect();
+    let want: Vec<Vec<i16>> = steps.iter().map(|s| offline.step(s)).collect();
+
+    let (server, name) = serve_one(net, meta, ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (sid, _version) = client.open_session(&name, true).expect("open fx");
+    for (t, s) in steps.iter().enumerate() {
+        let got = client.session_step_fx(sid, s).expect("fx step");
+        assert_eq!(got, want[t], "fx step {t} diverged from the offline fold");
+    }
+    client.close_session(sid).expect("close");
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn mid_session_hot_swap_keeps_the_pinned_version() {
+    let (v1, meta) = pruned_lstm(51);
+    let (v2, _) = pruned_lstm(52);
+    let x = sequence(3);
+    let want1 = offline_per_step(&v1, &x);
+    let want2 = offline_per_step(&v2, &x);
+    assert_ne!(
+        bits(&want1[0]),
+        bits(&want2[0]),
+        "versions must be distinguishable"
+    );
+
+    let registry = Registry::new();
+    let e1 = registry.publish(Model::from_network("cls", v1, meta.clone()));
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default(), registry).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let (sid, pinned) = client.open_session("cls", false).expect("open on v1");
+    assert_eq!(pinned, e1.version());
+
+    // A couple of steps on v1, then flip the registry mid-session.
+    for (t, want_t) in want1.iter().enumerate().take(3) {
+        let got = client
+            .session_step_f32(sid, &step_input(&x, t))
+            .expect("step");
+        assert_eq!(bits(&got), bits(want_t), "pre-swap step {t}");
+    }
+    let e2 = server
+        .registry()
+        .publish(Model::from_network("cls", pruned_lstm(52).0, meta));
+    assert!(e2.version() > e1.version());
+
+    // The open session stays pinned to v1 — its remaining steps continue
+    // the v1 sequence bit for bit, never mixing versions mid-stream.
+    for (t, want_t) in want1.iter().enumerate().skip(3) {
+        let got = client
+            .session_step_f32(sid, &step_input(&x, t))
+            .expect("step");
+        assert_eq!(bits(&got), bits(want_t), "post-swap step {t} left v1");
+    }
+    client.close_session(sid).expect("close");
+
+    // A session opened after the flip pins v2 and serves v2's math.
+    let (sid2, pinned2) = client.open_session("cls", false).expect("open on v2");
+    assert_eq!(pinned2, e2.version());
+    let got = client
+        .session_step_f32(sid2, &step_input(&x, 0))
+        .expect("step");
+    assert_eq!(bits(&got), bits(&want2[0]), "new session serves v2");
+
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn idle_sessions_expire_via_ttl_and_release_their_slots() {
+    let (net, meta) = pruned_lstm(61);
+    let x = sequence(4);
+    let cfg = ServeConfig {
+        session_ttl: Duration::from_millis(50),
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let (server, name) = serve_one(net, meta, cfg);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let (sid, _) = client.open_session(&name, false).expect("open");
+    client
+        .session_step_f32(sid, &step_input(&x, 0))
+        .expect("step before idling");
+
+    // Idle well past the TTL plus the shard's sweep tick.
+    std::thread::sleep(Duration::from_millis(300));
+    match client.session_step_f32(sid, &step_input(&x, 1)) {
+        Err(ClientError::Rejected(Status::BadRequest, msg)) => {
+            assert!(msg.contains("no open session"), "got {msg}")
+        }
+        other => panic!("expected the expired session to reject, got {other:?}"),
+    }
+    assert_eq!(server.active_sessions(), 0, "expiry released the slot");
+
+    // The connection survives and a fresh session starts from zero state.
+    let (sid2, _) = client.open_session(&name, false).expect("reopen");
+    client
+        .session_step_f32(sid2, &step_input(&x, 0))
+        .expect("fresh session serves");
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn session_cap_refuses_excess_opens_until_a_close_frees_a_slot() {
+    let (net, meta) = pruned_lstm(71);
+    let cfg = ServeConfig {
+        session_cap: 1,
+        ..ServeConfig::default()
+    };
+    let (server, name) = serve_one(net, meta, cfg);
+    let addr = server.local_addr();
+
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    let (sid, _) = a.open_session(&name, false).expect("first open");
+    match b.open_session(&name, false) {
+        Err(ClientError::Rejected(Status::Overloaded, msg)) => {
+            assert!(msg.contains("session cap"), "got {msg}")
+        }
+        other => panic!("expected overloaded at the cap, got {other:?}"),
+    }
+    a.close_session(sid).expect("close");
+    b.open_session(&name, false)
+        .expect("slot freed by the close");
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn open_sessions_hold_a_tenant_quota_slot() {
+    let (net, meta) = pruned_lstm(81);
+    let cfg = ServeConfig {
+        tenant_quota: 1,
+        ..ServeConfig::default()
+    };
+    let (server, name) = serve_one(net, meta, cfg);
+    let addr = server.local_addr();
+
+    let mut a = Client::connect(addr).expect("connect a");
+    a.hello("team-a").expect("hello");
+    let (sid, _) = a.open_session(&name, false).expect("open");
+
+    // The open session occupies team-a's only slot for its lifetime.
+    let mut a2 = Client::connect(addr).expect("connect a2");
+    a2.hello("team-a").expect("hello");
+    match a2.open_session(&name, false) {
+        Err(ClientError::Rejected(Status::QuotaExceeded, msg)) => {
+            assert!(msg.contains("team-a"), "diagnostic names the tenant: {msg}")
+        }
+        other => panic!("expected quota_exceeded, got {other:?}"),
+    }
+    // Other tenants are unaffected.
+    let mut b = Client::connect(addr).expect("connect b");
+    b.hello("team-b").expect("hello");
+    let (sid_b, _) = b.open_session(&name, false).expect("team-b open");
+    b.close_session(sid_b).expect("close b");
+
+    // Closing releases the slot.
+    a.close_session(sid).expect("close");
+    a2.open_session(&name, false).expect("slot freed");
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn session_misuse_gets_explicit_replies_not_hangups() {
+    let (net, meta) = pruned_lstm(91);
+    let x = sequence(5);
+    let want = offline_per_step(&net, &x);
+    let (server, name) = serve_one(net, meta.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // No streaming form: a conv stack refuses session_open outright.
+    let mut rng = StdRng::seed_from_u64(7);
+    let conv = Network::new(
+        "conv",
+        vec![
+            Box::new(BcmConv2d::new(&mut rng, 4, 8, 3, 1, 1, 4)) as Box<dyn Layer>,
+            Box::new(ReLU::new()),
+        ],
+    );
+    server.registry().publish(Model::from_network(
+        "conv",
+        conv,
+        CheckpointMeta {
+            input_dims: vec![4, 6, 6],
+            frac_bits: 8,
+        },
+    ));
+    match client.open_session("conv", false) {
+        Err(ClientError::Rejected(Status::BadRequest, msg)) => {
+            assert!(msg.contains("streaming"), "got {msg}")
+        }
+        other => panic!("expected bad_request for a conv stack, got {other:?}"),
+    }
+    // Unknown model.
+    match client.open_session("missing", false) {
+        Err(ClientError::Rejected(Status::UnknownModel, _)) => {}
+        other => panic!("expected unknown_model, got {other:?}"),
+    }
+    // Stepping a session that was never opened.
+    match client.session_step_f32(99, &step_input(&x, 0)) {
+        Err(ClientError::Rejected(Status::BadRequest, _)) => {}
+        other => panic!("expected bad_request for an unknown id, got {other:?}"),
+    }
+
+    // A wrong-length step is rejected without corrupting session state:
+    // the stream continues bit-identically afterwards.
+    let (sid, _) = client.open_session(&name, false).expect("open");
+    let got = client
+        .session_step_f32(sid, &step_input(&x, 0))
+        .expect("step 0");
+    assert_eq!(bits(&got), bits(&want[0]));
+    match client.session_step_f32(sid, &[1.0, 2.0]) {
+        Err(ClientError::Rejected(Status::BadRequest, msg)) => {
+            assert!(msg.contains("length"), "got {msg}")
+        }
+        other => panic!("expected bad_request for a short step, got {other:?}"),
+    }
+    // A float session refuses fx-typed steps (mode disagreement).
+    match client.session_step_fx(sid, &[0i16; F]) {
+        Err(ClientError::Rejected(Status::BadRequest, _)) => {}
+        other => panic!("expected bad_request for a mode mismatch, got {other:?}"),
+    }
+    let got = client
+        .session_step_f32(sid, &step_input(&x, 1))
+        .expect("step 1");
+    assert_eq!(bits(&got), bits(&want[1]), "state survived the rejections");
+    client.close_session(sid).expect("close");
+    server.shutdown();
+}

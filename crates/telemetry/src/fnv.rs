@@ -1,0 +1,105 @@
+//! Shared FNV-1a hashing.
+//!
+//! Several workspace components need a small, stable, allocation-free
+//! 64-bit fingerprint: the serving tier tags tenants in flight records,
+//! and the bench harness fingerprints weight bits and datapath outputs
+//! for cross-host byte-identity checks. They all use FNV-1a with the
+//! standard 64-bit offset basis and prime; this module is the single
+//! implementation so the constants cannot drift apart.
+//!
+//! FNV-1a is *not* cryptographic — it is used only as a cheap stable
+//! tag/fingerprint.
+
+/// The 64-bit FNV offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The 64-bit FNV prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher over arbitrary byte/word feeds.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::fnv::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"tenant-a");
+/// assert_eq!(h.finish(), telemetry::fnv::fnv1a(b"tenant-a"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one 16-bit word, little-endian byte order.
+    pub fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds one 32-bit word, little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (Noll's tables).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+
+        let mut w = Fnv1a::new();
+        w.write_u32(0x0403_0201);
+        w.write_u16(0x0605);
+        assert_eq!(w.finish(), fnv1a(&[1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn distinct_inputs_produce_distinct_tags() {
+        assert_ne!(fnv1a(b"tenant-a"), fnv1a(b"tenant-b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

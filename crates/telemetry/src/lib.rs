@@ -105,6 +105,7 @@
 #![deny(missing_docs)]
 
 pub mod env;
+pub mod fnv;
 
 #[cfg(feature = "capture")]
 pub mod flight;

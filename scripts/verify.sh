@@ -28,9 +28,20 @@ echo "== serve smoke (loopback load test + 10k-connection open loop) =="
 # throughput, zero protocol errors, shedding only under overload, and —
 # via a child-process driver — that 10,000 concurrent connections are
 # served with bounded p99, zero lost replies and per-shard connection
-# imbalance <= 1. Does not overwrite the committed
+# imbalance <= 1. Also runs the streaming-session scenario: concurrent
+# float + fx sessions whose per-step replies must be bit-identical to
+# offline full-sequence references. Does not overwrite the committed
 # results/BENCH_serve.json artifact.
 cargo run -q --release -p bench --bin exp_serve -- --smoke
+
+echo "== seq smoke (BCM-LSTM train + prune + streaming parity) =="
+# Trains a block-circulant LSTM on the delayed-recall task at a reduced
+# budget, prunes it with Algorithm 1, then serves the pruned checkpoint
+# over real streaming sessions: asserts above-chance accuracy, blocks
+# actually pruned, bounded accuracy loss, and bit-identical float + fx
+# per-step replies vs the offline forward. Does not overwrite the
+# committed results/BENCH_seq.json artifact.
+cargo run -q --release -p bench --bin exp_seq -- --smoke
 
 echo "== kernel smoke (lane bit-identity + datapath fingerprint) =="
 # Quick scalar-vs-lane run of every vectorized spectral kernel: asserts
@@ -53,8 +64,10 @@ echo "== telemetry-enabled experiment run + regression gate =="
 # exp_report parses every results/BENCH_*/TELEMETRY_* artifact (exiting
 # non-zero on malformed JSON) and diffs them against results/BASELINE.json,
 # failing on any out-of-tolerance metric (--check). The committed
-# BENCH_serve.json is covered: protocol_errors/shed invariants at zero
-# tolerance, the batch-scaling ratio with a host-variance allowance.
+# BENCH_serve.json is covered (protocol_errors/shed/session-parity
+# invariants at zero tolerance, the batch-scaling ratio with a
+# host-variance allowance), as is BENCH_seq.json (accuracy/sparsity
+# with training-variance allowances, parity bits exact).
 RPBCM_TELEMETRY=1 RPBCM_TRACE=target/verify_trace.json \
     cargo run -q --release -p bench --bin exp_fig10
 cargo run -q --release -p bench --bin exp_report -- --check
