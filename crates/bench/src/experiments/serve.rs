@@ -27,35 +27,49 @@
 //!    zero protocol errors, bounded p99, and per-shard connection
 //!    imbalance ≤ 1 (round-robin dealing makes that structural). The
 //!    driver is itself event-driven over [`serve::reactor`].
-//! 5. **Streaming sessions** — eight concurrent stateful sessions (half
-//!    float, half fixed-point) against a pruned BCM-LSTM, each stepped
-//!    closed-loop with every per-step reply compared bit for bit against
-//!    the offline reference of the same checkpoint. Measures the
-//!    per-step round-trip floor of the session path (steps run inline on
-//!    the pinned shard, below batching granularity) and asserts the
-//!    stateful tier's bit-identity contract under concurrency.
+//! 5. **Streaming sessions** — sixty-four concurrent stateful sessions
+//!    (half float, half fixed-point) against a pruned BCM-LSTM, each
+//!    stepped closed-loop with every per-step reply compared bit for bit
+//!    against the offline reference of the same checkpoint. The burst of
+//!    same-model sessions keeps the shard's session gang scheduler busy
+//!    (readiness wakeups deliver many sessions' steps at once), so this
+//!    asserts the stateful tier's bit-identity contract under real
+//!    gang-formed concurrency.
 //!
-//! A fourth, engine-level record (`engine_fx_lane`) times the demo
-//! model's fx stack directly — the scalar-scheduled batch oracle
-//! ([`serve::FxModel::forward_batch_scalar`]) against the packed SoA
-//! lane path the batcher dispatches ([`serve::FxModel::forward_batch`])
-//! — with outputs asserted bit-identical before timing is trusted. This
-//! isolates the kernel win from the networking and queueing around it.
+//! Two engine-level records time kernels outside the server loop, with
+//! outputs asserted bit-identical before any timing is trusted:
+//!
+//! - `engine_fx_lane` — the demo model's fx stack: the scalar-scheduled
+//!   batch oracle ([`serve::FxModel::forward_batch_scalar`]) against the
+//!   packed SoA lane path the batcher dispatches
+//!   ([`serve::FxModel::forward_batch`]).
+//! - `session_lane` — the streaming demo stepped by 8 concurrent
+//!   sessions through a join/leave schedule, once as independent scalar
+//!   runners and once gang-stepped through the lane batch steppers
+//!   ([`nn::seq::SeqRunnerBatch`] / [`serve::FxSeqRunnerBatch`]), on
+//!   both datapaths. This isolates the gang scheduler's kernel win from
+//!   the networking around it.
 //!
 //! Writes `results/BENCH_serve.json`: one record per scenario
 //! (`requests`, `served`, `shed`, `protocol_errors`, `throughput_rps`,
 //! `p50_us`, `p99_us`), a `batch_scaling` record carrying the
-//! B = 8 / B = 1 throughput ratio, and the `engine_fx_lane` record
-//! (`scalar_ns`, `lane_ns`, `speedup`).
+//! B = 8 / B = 1 throughput ratio, the `engine_fx_lane` record
+//! (`scalar_ns`, `lane_ns`, `speedup`), and the `session_lane` record
+//! (per-datapath scalar/lane wall clocks, aggregate `speedup`,
+//! `bit_identical`).
 
 use crate::table::Table;
 use nn::layers::{BcmConv2d, ReLU};
+use nn::seq::{SeqRunner, SeqRunnerBatch};
 use nn::{CheckpointMeta, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serve::protocol::{encode_request, Payload, Request, HANDSHAKE};
 use serve::reactor::{stream_fd, Event, Interest, Poller};
-use serve::{Client, ClientError, Model, Registry, ServeConfig, Server, Status};
+use serve::{
+    Client, ClientError, FxSeqRunner, FxSeqRunnerBatch, Model, Registry, ServeConfig, Server,
+    Status,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -91,6 +105,36 @@ pub struct EngineMeasurement {
     pub lane_ns: u64,
     /// `scalar_ns / lane_ns`.
     pub speedup: f64,
+}
+
+/// The engine-level gang-vs-scalar session-stepping comparison
+/// (`session_lane`): concurrent sessions of the streaming demo model
+/// driven through a join/leave schedule, once as independent scalar
+/// runners and once gang-stepped through the lane batch steppers, on
+/// both datapaths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionLaneMeasurement {
+    /// Concurrent sessions in the schedule (the lane-gang width cap).
+    pub sessions: u64,
+    /// Rounds in the schedule (max steps any one session runs).
+    pub rounds: u64,
+    /// Member-steps executed per pass (the schedule is ragged: sessions
+    /// join late and leave early, so this is below `sessions × rounds`).
+    pub steps: u64,
+    /// Median wall time of one full scalar float pass, ns.
+    pub float_scalar_ns: u64,
+    /// Median wall time of one full gang-stepped float pass, ns.
+    pub float_lane_ns: u64,
+    /// Median wall time of one full scalar fixed-point pass, ns.
+    pub fx_scalar_ns: u64,
+    /// Median wall time of one full gang-stepped fixed-point pass, ns.
+    pub fx_lane_ns: u64,
+    /// Aggregate step-throughput win:
+    /// `(float_scalar_ns + fx_scalar_ns) / (float_lane_ns + fx_lane_ns)`.
+    pub speedup: f64,
+    /// 1 when every session's gang-stepped output stream was
+    /// bit-identical to its solo scalar run, on both datapaths.
+    pub bit_identical: u64,
 }
 
 /// The streaming-session scenario's outcome (scenario 5).
@@ -157,6 +201,8 @@ pub struct ServeResult {
     pub ten_k: TenKMeasurement,
     /// The streaming-session scenario.
     pub streaming: StreamingMeasurement,
+    /// The gang-vs-scalar session-stepping comparison.
+    pub session_lane: SessionLaneMeasurement,
 }
 
 impl ServeResult {
@@ -220,8 +266,24 @@ impl ServeResult {
         ));
         s.push_str(&format!(
             "  {{\"config\": \"engine_fx_lane\", \"scalar_ns\": {}, \"lane_ns\": {}, \
-             \"speedup\": {:.3}}}\n]",
+             \"speedup\": {:.3}}},\n",
             self.engine.scalar_ns, self.engine.lane_ns, self.engine.speedup,
+        ));
+        let l = &self.session_lane;
+        s.push_str(&format!(
+            "  {{\"config\": \"session_lane\", \"sessions\": {}, \"rounds\": {}, \
+             \"steps\": {}, \"float_scalar_ns\": {}, \"float_lane_ns\": {}, \
+             \"fx_scalar_ns\": {}, \"fx_lane_ns\": {}, \"speedup\": {:.3}, \
+             \"bit_identical\": {}}}\n]",
+            l.sessions,
+            l.rounds,
+            l.steps,
+            l.float_scalar_ns,
+            l.float_lane_ns,
+            l.fx_scalar_ns,
+            l.fx_lane_ns,
+            l.speedup,
+            l.bit_identical,
         ));
         s
     }
@@ -447,12 +509,14 @@ fn open_loop(
 /// float, odd threads fixed-point), step it `steps` times closed-loop,
 /// and compare every per-step reply bit for bit against the offline
 /// reference of the same checkpoint (the float full-sequence forward's
-/// per-step head outputs; the fx fold of the same step inputs). Steps
-/// run inline on the session's shard — this measures the per-step
-/// round-trip floor of the stateful path, below batching granularity.
+/// per-step head outputs; the fx fold of the same step inputs). With 64
+/// same-model sessions stepping concurrently, shard readiness wakeups
+/// routinely deliver many sessions' steps at once, so the session gang
+/// scheduler executes most of this load as lane gangs — every reply must
+/// still be the session's own solo arithmetic, bit for bit.
 fn run_streaming(quick: bool) -> StreamingMeasurement {
-    let clients = 8usize;
-    let steps = if quick { 16 } else { 64 };
+    let clients = 64usize;
+    let steps = if quick { 8 } else { 64 };
     let (net, meta) = seq_demo_model(77);
     let reference = Model::from_network("seq-ref", net.clone(), meta.clone());
     let seq = reference.seq().expect("streaming demo is streamable");
@@ -1000,6 +1064,168 @@ fn measure_engine(reps: usize) -> EngineMeasurement {
     }
 }
 
+/// Times the session gang scheduler's kernels directly: 8 concurrent
+/// sessions of the streaming demo stepped through a staggered join/leave
+/// schedule (late joins, early leaves, ragged occupancy every round),
+/// once as 8 independent scalar runners and once gang-stepped through
+/// the lane batch steppers, on both datapaths. Asserts every session's
+/// gang output stream bit-identical to its solo scalar run before
+/// trusting either timing.
+#[allow(clippy::needless_range_loop)] // `r` indexes two parallel (lane, round) tables
+fn measure_session_lane(reps: usize, quick: bool) -> SessionLaneMeasurement {
+    const W: usize = 8;
+    let rounds = if quick { 32 } else { 256 };
+    let (net, meta) = seq_demo_model(77);
+    let model = Model::from_network("seq", net, meta);
+    let seq = model.seq().expect("streaming demo is streamable");
+
+    // Lane `i` is live for rounds `[from, to)`: staggered joins and
+    // early leaves keep gang occupancy ragged through the run.
+    let sched: Vec<(usize, usize)> = (0..W)
+        .map(|i| ((i % 4) * rounds / 16, rounds - (i % 3) * rounds / 16))
+        .collect();
+    let active = |i: usize, r: usize| sched[i].0 <= r && r < sched[i].1;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let xf: Vec<Vec<Vec<f32>>> = (0..W)
+        .map(|_| {
+            (0..rounds)
+                .map(|_| {
+                    (0..SEQ_DEMO_INPUT_LEN)
+                        .map(|_| rng.gen_range(-1.0f32..1.0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let q = seq.new_fx().expect("fx streaming form").qformat();
+    let xq: Vec<Vec<Vec<i16>>> = xf
+        .iter()
+        .map(|lane| lane.iter().map(|x| q.quantize_slice(x)).collect())
+        .collect();
+
+    let float_scalar = || -> Vec<Vec<f32>> {
+        let mut rs: Vec<SeqRunner> = (0..W).map(|_| seq.new_f32()).collect();
+        let mut outs = Vec::new();
+        for r in 0..rounds {
+            for (i, runner) in rs.iter_mut().enumerate() {
+                if active(i, r) {
+                    outs.push(runner.step(&xf[i][r]));
+                }
+            }
+        }
+        outs
+    };
+    let float_lane = || -> Vec<Vec<f32>> {
+        let mut rs: Vec<SeqRunner> = (0..W).map(|_| seq.new_f32()).collect();
+        let mut outs = Vec::new();
+        for r in 0..rounds {
+            let xs: Vec<&[f32]> = (0..W)
+                .filter(|&i| active(i, r))
+                .map(|i| xf[i][r].as_slice())
+                .collect();
+            let mut members: Vec<&mut SeqRunner> = rs
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| active(*i, r))
+                .map(|(_, m)| m)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            outs.extend(SeqRunnerBatch::step(&mut members, &xs));
+        }
+        outs
+    };
+    let fx_scalar = || -> Vec<Vec<i16>> {
+        let mut rs: Vec<FxSeqRunner> = (0..W)
+            .map(|_| seq.new_fx().expect("fx streaming form"))
+            .collect();
+        let mut outs = Vec::new();
+        for r in 0..rounds {
+            for (i, runner) in rs.iter_mut().enumerate() {
+                if active(i, r) {
+                    outs.push(runner.step(&xq[i][r]));
+                }
+            }
+        }
+        outs
+    };
+    let fx_lane = || -> Vec<Vec<i16>> {
+        let mut rs: Vec<FxSeqRunner> = (0..W)
+            .map(|_| seq.new_fx().expect("fx streaming form"))
+            .collect();
+        let mut outs = Vec::new();
+        for r in 0..rounds {
+            let xs: Vec<&[i16]> = (0..W)
+                .filter(|&i| active(i, r))
+                .map(|i| xq[i][r].as_slice())
+                .collect();
+            let mut members: Vec<&mut FxSeqRunner> = rs
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| active(*i, r))
+                .map(|(_, m)| m)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            outs.extend(FxSeqRunnerBatch::step(&mut members, &xs));
+        }
+        outs
+    };
+
+    // Both passes visit active lanes in the same (round, lane) order, so
+    // the output streams line up positionally.
+    let f_scalar = float_scalar();
+    let f_lane = float_lane();
+    let float_ok = f_scalar.len() == f_lane.len()
+        && f_scalar.iter().zip(&f_lane).all(|(a, b)| {
+            a.iter()
+                .map(|v| v.to_bits())
+                .eq(b.iter().map(|v| v.to_bits()))
+        });
+    let fx_ok = fx_scalar() == fx_lane();
+    let steps = f_scalar.len() as u64;
+
+    let float_scalar_ns = super::median_ns(
+        || {
+            std::hint::black_box(float_scalar());
+        },
+        reps,
+    );
+    let float_lane_ns = super::median_ns(
+        || {
+            std::hint::black_box(float_lane());
+        },
+        reps,
+    );
+    let fx_scalar_ns = super::median_ns(
+        || {
+            std::hint::black_box(fx_scalar());
+        },
+        reps,
+    );
+    let fx_lane_ns = super::median_ns(
+        || {
+            std::hint::black_box(fx_lane());
+        },
+        reps,
+    );
+    SessionLaneMeasurement {
+        sessions: W as u64,
+        rounds: rounds as u64,
+        steps,
+        float_scalar_ns,
+        float_lane_ns,
+        fx_scalar_ns,
+        fx_lane_ns,
+        speedup: (float_scalar_ns + fx_scalar_ns) as f64
+            / (float_lane_ns + fx_lane_ns).max(1) as f64,
+        bit_identical: u64::from(float_ok && fx_ok),
+    }
+}
+
 /// Runs one closed-loop scenario on a fresh server.
 fn run_closed(
     config: &str,
@@ -1063,6 +1289,7 @@ pub fn run(quick: bool) -> ServeResult {
     let overload = aggregate("open_loop_overload_2x", outcomes, wall, errors);
 
     let engine = measure_engine(if quick { 5 } else { 15 });
+    let session_lane = measure_session_lane(if quick { 5 } else { 15 }, quick);
     let ten_k = run_open_10k(quick);
     let streaming = run_streaming(quick);
 
@@ -1072,6 +1299,7 @@ pub fn run(quick: bool) -> ServeResult {
         engine,
         ten_k,
         streaming,
+        session_lane,
     }
 }
 
@@ -1149,6 +1377,20 @@ pub fn print(r: &ServeResult) {
         s.p99_us,
         s.float_bit_identical,
         s.fx_bit_identical,
+    );
+    let l = &r.session_lane;
+    println!(
+        "session lane gangs ({} sessions, {} rounds, {} steps): float {} ns vs {} ns, \
+         fx {} ns vs {} ns, aggregate {:.2}x, parity {}",
+        l.sessions,
+        l.rounds,
+        l.steps,
+        l.float_scalar_ns,
+        l.float_lane_ns,
+        l.fx_scalar_ns,
+        l.fx_lane_ns,
+        l.speedup,
+        l.bit_identical,
     );
 }
 
@@ -1247,6 +1489,19 @@ pub fn smoke_failures(r: &ServeResult) -> Vec<String> {
     }
     if s.fx_bit_identical != 1 {
         fails.push("streaming_sessions: fx session diverged from the offline fold".into());
+    }
+    let l = &r.session_lane;
+    if l.float_scalar_ns == 0 || l.float_lane_ns == 0 || l.fx_scalar_ns == 0 || l.fx_lane_ns == 0 {
+        fails.push("session_lane: zero wall time".into());
+    }
+    if l.bit_identical != 1 {
+        fails.push("session_lane: gang-stepped stream diverged from the solo scalar runs".into());
+    }
+    if l.speedup < 1.0 {
+        fails.push(format!(
+            "session_lane: gang stepping slower than scalar ({:.2}x)",
+            l.speedup
+        ));
     }
     fails
 }
@@ -1444,12 +1699,27 @@ fn check_dump_traces(dump: &crate::json::Json, n: usize, fails: &mut Vec<String>
 mod tests {
     use super::*;
 
+    /// A passing session-lane measurement for result-literal tests.
+    fn good_session_lane() -> SessionLaneMeasurement {
+        SessionLaneMeasurement {
+            sessions: 8,
+            rounds: 32,
+            steps: 224,
+            float_scalar_ns: 4000,
+            float_lane_ns: 3000,
+            fx_scalar_ns: 4000,
+            fx_lane_ns: 2500,
+            speedup: 1.45,
+            bit_identical: 1,
+        }
+    }
+
     /// A passing streaming-scenario measurement for result-literal tests.
     fn good_streaming() -> StreamingMeasurement {
         StreamingMeasurement {
-            sessions: 8,
-            steps: 512,
-            served: 512,
+            sessions: 64,
+            steps: 4096,
+            served: 4096,
             protocol_errors: 0,
             throughput_sps: 4000.0,
             p50_us: 200.0,
@@ -1507,6 +1777,7 @@ mod tests {
             },
             ten_k: good_ten_k(),
             streaming: good_streaming(),
+            session_lane: good_session_lane(),
         };
         let j = r.to_json();
         assert!(j.contains("\"config\": \"x\""));
@@ -1520,6 +1791,9 @@ mod tests {
         assert!(j.contains("\"throughput_ratio_b8_over_b1\": 2.500"));
         assert!(j.contains("\"config\": \"engine_fx_lane\""));
         assert!(j.contains("\"lane_ns\": 500"));
+        assert!(j.contains("\"config\": \"session_lane\""));
+        assert!(j.contains("\"speedup\": 1.450"));
+        assert!(j.contains("\"bit_identical\": 1"));
         assert!(j.starts_with('[') && j.ends_with(']'));
         // The artifact must parse with the workspace JSON reader.
         crate::json::parse(&j).expect("artifact is valid JSON");
@@ -1560,6 +1834,7 @@ mod tests {
             },
             ten_k: good_ten_k(),
             streaming: good_streaming(),
+            session_lane: good_session_lane(),
         };
         assert!(smoke_failures(&r).is_empty());
 
@@ -1570,6 +1845,13 @@ mod tests {
         bad.engine.speedup = 0.8;
         let fails = smoke_failures(&bad);
         assert_eq!(fails.len(), 4, "{fails:?}");
+
+        let mut badlane = r.clone();
+        badlane.session_lane.float_lane_ns = 0;
+        badlane.session_lane.bit_identical = 0;
+        badlane.session_lane.speedup = 0.7;
+        let fails = smoke_failures(&badlane);
+        assert_eq!(fails.len(), 3, "{fails:?}");
 
         let mut bad10k = r.clone();
         bad10k.ten_k.connections = 9_000;

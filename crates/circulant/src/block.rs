@@ -506,6 +506,122 @@ impl<T: Scalar> BlockCirculant<T> {
         y
     }
 
+    /// Lane-batched matrix–vector product: up to a PE-array's worth of
+    /// independent input vectors (the gang width, typically ≤ 8) advance
+    /// through **one** pass over the cached weight spectra, with the
+    /// sample dimension innermost.
+    ///
+    /// Layout mirrors the fixed-point lane kernels in `hwsim`: each
+    /// lane's input chunks are forward-FFT'd with the same scalar
+    /// transform as [`Self::matvec`] and scattered into
+    /// `[col_block][bin][lane]` split re/im planes; the eMAC accumulate
+    /// then runs bin-outer / lane-inner, so one weight-bin load serves
+    /// every lane and the inner loop is a contiguous stream the
+    /// autovectorizer widens — the software analogue of independent
+    /// recurrent streams sharing one frequency-domain weight stream.
+    /// Each output row is recovered with the same per-lane scalar IFFT
+    /// as the scalar path.
+    ///
+    /// Per lane, the expression tree is exactly the scalar row kernel's
+    /// (`acc += w·x` per bin, col-blocks in ascending order, identical
+    /// forward/inverse transforms), so every lane's output is
+    /// **bit-identical** to a separate [`Self::matvec`] call on that
+    /// lane's input — gang-mates never perturb each other. The serving
+    /// tier's session gang scheduler relies on this contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `xs[s].len()` differs from the dense column count or
+    /// `BS` is not a power of two.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use circulant::BlockCirculant;
+    /// use tensor::Tensor;
+    ///
+    /// let dense = Tensor::from_fn(&[4, 4], |i| i as f64);
+    /// let bc = BlockCirculant::project_from_dense(&dense, 4);
+    /// let a = [1.0, 0.0, 0.0, 0.0];
+    /// let b = [0.0, 1.0, 0.0, 0.0];
+    /// let lanes = bc.matvec_lanes(&[&a, &b]);
+    /// assert_eq!(lanes[0], bc.matvec(&a));
+    /// assert_eq!(lanes[1], bc.matvec(&b));
+    /// ```
+    pub fn matvec_lanes(&self, xs: &[&[T]]) -> Vec<Vec<T>> {
+        let (rows, cols) = self.dense_dims();
+        let n = xs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let bs = self.block_size;
+        let bins = bs / 2 + 1;
+        let spectra = self.cached_spectra();
+        // Per-lane scalar forward FFTs, scattered into lane planes.
+        let mut xre = vec![T::ZERO; self.col_blocks * bins * n];
+        let mut xim = vec![T::ZERO; self.col_blocks * bins * n];
+        for (s, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), cols, "matvec dimension mismatch");
+            for bj in 0..self.col_blocks {
+                let spec = HalfSpectrum::forward(&x[bj * bs..(bj + 1) * bs]);
+                for (k, z) in spec.bins().iter().enumerate() {
+                    xre[(bj * bins + k) * n + s] = z.re;
+                    xim[(bj * bins + k) * n + s] = z.im;
+                }
+            }
+        }
+        let mut outs: Vec<Vec<T>> = (0..n).map(|_| vec![T::ZERO; rows]).collect();
+        // Accumulator planes `[bin][lane]`, reused across output rows.
+        let mut are = vec![T::ZERO; bins * n];
+        let mut aim = vec![T::ZERO; bins * n];
+        fft::workspace::with_split_scratch::<T, _>(|lre, lim| {
+            lre.resize(bins, T::ZERO);
+            lim.resize(bins, T::ZERO);
+            for bi in 0..self.row_blocks {
+                let _lat = ROW_MATVEC_NS.span();
+                are.fill(T::ZERO);
+                aim.fill(T::ZERO);
+                let mut computed = 0u64;
+                for bj in 0..self.col_blocks {
+                    let blk = bi * self.col_blocks + bj;
+                    if !spectra.live[blk] {
+                        continue; // skip-index hit
+                    }
+                    let wre = &spectra.wre[blk * bins..(blk + 1) * bins];
+                    let wim = &spectra.wim[blk * bins..(blk + 1) * bins];
+                    for k in 0..bins {
+                        let (wr, wi) = (wre[k], wim[k]);
+                        let off = (bj * bins + k) * n;
+                        let (br, bm) = (&xre[off..off + n], &xim[off..off + n]);
+                        let ar = &mut are[k * n..(k + 1) * n];
+                        let ai = &mut aim[k * n..(k + 1) * n];
+                        for s in 0..n {
+                            ar[s] += wr * br[s] - wi * bm[s];
+                            ai[s] += wr * bm[s] + wi * br[s];
+                        }
+                    }
+                    computed += 1;
+                }
+                EMAC_COMPUTED.add(computed);
+                EMAC_SKIPPED.add(self.col_blocks as u64 - computed);
+                // Per-lane scalar IFFT out of the lane planes.
+                for (s, out) in outs.iter_mut().enumerate() {
+                    for k in 0..bins {
+                        lre[k] = are[k * n + s];
+                        lim[k] = aim[k * n + s];
+                    }
+                    fft::real::inverse_half_split_into(
+                        bs,
+                        lre,
+                        lim,
+                        &mut out[bi * bs..(bi + 1) * bs],
+                    );
+                }
+            }
+        });
+        outs
+    }
+
     /// Batched matrix–matrix product: `batch` input vectors, each of dense
     /// column length, packed row-major in `xs` (`xs[s·cols .. (s+1)·cols]`
     /// is sample `s`). Returns the outputs packed the same way
@@ -765,6 +881,62 @@ mod tests {
             assert!((naive[i] - want.as_slice()[i]).abs() < 1e-10);
             assert!((fast[i] - want.as_slice()[i]).abs() < 1e-9);
         }
+    }
+
+    fn random_bc_f32(seed: u64, bs: usize, rb: usize, cb: usize) -> BlockCirculant<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..rb * cb)
+            .map(|_| {
+                CirculantMatrix::new(init::gaussian::<f32>(&mut rng, &[bs], 0.0, 1.0).into_vec())
+            })
+            .collect();
+        BlockCirculant::from_blocks(bs, rb, cb, blocks)
+    }
+
+    #[test]
+    fn matvec_lanes_bit_identical_to_scalar_f64() {
+        let mut bc = random_bc(11, 8, 3, 2);
+        *bc.block_mut(1, 0) = CirculantMatrix::zeros(8);
+        for width in 1..=8usize {
+            let xs: Vec<Vec<f64>> = (0..width)
+                .map(|s| (0..16).map(|i| ((i + 3 * s) as f64 * 0.31).cos()).collect())
+                .collect();
+            let refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+            let lanes = bc.matvec_lanes(&refs);
+            for (s, x) in xs.iter().enumerate() {
+                let solo = bc.matvec(x);
+                let got: Vec<u64> = lanes[s].iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = solo.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "lane {s} of width {width} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_lanes_bit_identical_to_scalar_f32() {
+        let mut bc = random_bc_f32(13, 4, 2, 3);
+        *bc.block_mut(0, 2) = CirculantMatrix::zeros(4);
+        *bc.block_mut(1, 1) = CirculantMatrix::zeros(4);
+        for width in 1..=8usize {
+            let xs: Vec<Vec<f32>> = (0..width)
+                .map(|s| (0..12).map(|i| ((i * 7 + s) as f32 * 0.17).sin()).collect())
+                .collect();
+            let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+            let lanes = bc.matvec_lanes(&refs);
+            for (s, x) in xs.iter().enumerate() {
+                let solo = bc.matvec(x);
+                let got: Vec<u32> = lanes[s].iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = solo.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "lane {s} of width {width} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_lanes_empty_input() {
+        let bc = random_bc(7, 4, 2, 2);
+        let refs: Vec<&[f64]> = Vec::new();
+        assert!(bc.matvec_lanes(&refs).is_empty());
     }
 
     #[test]

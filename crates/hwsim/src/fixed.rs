@@ -367,6 +367,29 @@ impl FxBatch {
         }
     }
 
+    /// Packs already-quantized borrowed rows into one contiguous batch —
+    /// the zero-copy sibling of [`FxBatch::from_rows`] for callers (the
+    /// session gang scheduler) whose lanes live in separate state planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn from_borrowed_rows(q: QFormat, rows: &[&[i16]]) -> Self {
+        let sample_len = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * sample_len);
+        for row in rows {
+            assert_eq!(row.len(), sample_len, "all rows must be the same length");
+            data.extend_from_slice(row);
+        }
+        FX_BATCH_SAMPLES.add(rows.len() as u64);
+        FxBatch {
+            q,
+            n: rows.len(),
+            sample_len,
+            data,
+        }
+    }
+
     /// Quantizes float rows into a packed batch — the single ingress
     /// conversion of the fast path.
     ///

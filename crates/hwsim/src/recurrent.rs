@@ -14,8 +14,8 @@
 //! sequence, which is what lets the serving tier stream sessions without
 //! an accuracy story separate from batch inference.
 
-use crate::fixed::QFormat;
-use crate::inference::{conv_forward_fx, FxWeights};
+use crate::fixed::{FxBatch, QFormat};
+use crate::inference::{conv_forward_fx, conv_forward_fx_batch_packed, FxWeights};
 
 /// Per-step state words carried by a streaming session.
 static FX_CELL_STEPS: telemetry::Counter = telemetry::Counter::new("hwsim.fx.cell.steps");
@@ -108,6 +108,69 @@ impl FxLstmCell {
             self.h[j] = q.mul(o_g, q.hard_tanh(c));
         }
         &self.h
+    }
+
+    /// Advances a lane gang of same-shape cells one step with a single
+    /// packed pass over the fixed-point lane kernels
+    /// ([`conv_forward_fx_batch_packed`] on the concatenated `[x; h]`
+    /// rows), then finishes bias and gates per lane with the exact
+    /// [`FxLstmCell::step`] word arithmetic. Returns one new hidden state
+    /// per member, in member order.
+    ///
+    /// The gate matvec routes through member 0's weight words; members
+    /// must be clones of the same quantized cell (same grid, `Q`-format
+    /// and shape — the serving tier groups sessions by registry entry
+    /// before ganging). Because the packed batch path is per-sample
+    /// bit-identical to [`conv_forward_fx`] and the gate math is the
+    /// scalar code verbatim, **every member's `h`/`c` after a gang step is
+    /// bit-identical to a solo [`FxLstmCell::step`]**, regardless of
+    /// gang-mates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != cells.len()`, if members disagree on
+    /// `Q`-format or shape, or any input length is not `F`.
+    pub fn step_gang(cells: &mut [&mut FxLstmCell], xs: &[&[i16]]) -> Vec<Vec<i16>> {
+        let n = cells.len();
+        assert_eq!(xs.len(), n, "one input per gang member");
+        if n == 0 {
+            return Vec::new();
+        }
+        let q = cells[0].q;
+        let f = cells[0].in_features;
+        let hd = cells[0].hidden;
+        for (cell, x) in cells.iter().zip(xs) {
+            assert_eq!(cell.q, q, "gang members must share a Q-format");
+            assert_eq!(cell.in_features, f, "gang members must share a shape");
+            assert_eq!(cell.hidden, hd, "gang members must share a shape");
+            assert_eq!(x.len(), f, "step input length");
+        }
+        FX_CELL_STEPS.add(n as u64);
+        let mut flat = Vec::with_capacity(n * (f + hd));
+        for (cell, x) in cells.iter().zip(xs) {
+            flat.extend_from_slice(x);
+            flat.extend_from_slice(&cell.h);
+        }
+        let batch = FxBatch::from_flat(q, n, f + hd, flat);
+        let pre = conv_forward_fx_batch_packed(&cells[0].weights, &batch, 1, 1);
+        let mut outs = Vec::with_capacity(n);
+        for (s, cell) in cells.iter_mut().enumerate() {
+            let mut row = pre.row(s).to_vec();
+            for (p, &b) in row.iter_mut().zip(&cell.bias) {
+                *p = q.add(*p, b);
+            }
+            for j in 0..hd {
+                let i_g = q.hard_sigmoid(row[j]);
+                let f_g = q.hard_sigmoid(row[hd + j]);
+                let g_g = q.hard_tanh(row[2 * hd + j]);
+                let o_g = q.hard_sigmoid(row[3 * hd + j]);
+                let c = q.add(q.mul(f_g, cell.c[j]), q.mul(i_g, g_g));
+                cell.c[j] = c;
+                cell.h[j] = q.mul(o_g, q.hard_tanh(c));
+            }
+            outs.push(cell.h.clone());
+        }
+        outs
     }
 }
 
@@ -204,6 +267,60 @@ impl FxGruCell {
             self.h[j] = q.add(q.mul(one_minus_z, n), q.mul(z, self.h[j]));
         }
         &self.h
+    }
+
+    /// GRU sibling of [`FxLstmCell::step_gang`]: two packed lane passes
+    /// (input stack over the lane inputs, recurrent stack over the lane
+    /// hidden states), then per-lane bias and gates with the exact
+    /// [`FxGruCell::step`] word arithmetic. Same contract: member 0's
+    /// weight words, same-shape clones only, and every member's post-step
+    /// `h` is bit-identical to a solo scalar step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != cells.len()`, if members disagree on
+    /// `Q`-format or shape, or any input length is not `F`.
+    pub fn step_gang(cells: &mut [&mut FxGruCell], xs: &[&[i16]]) -> Vec<Vec<i16>> {
+        let n = cells.len();
+        assert_eq!(xs.len(), n, "one input per gang member");
+        if n == 0 {
+            return Vec::new();
+        }
+        let q = cells[0].q;
+        let f = cells[0].in_features;
+        let hd = cells[0].hidden;
+        for (cell, x) in cells.iter().zip(xs) {
+            assert_eq!(cell.q, q, "gang members must share a Q-format");
+            assert_eq!(cell.in_features, f, "gang members must share a shape");
+            assert_eq!(cell.hidden, hd, "gang members must share a shape");
+            assert_eq!(x.len(), f, "step input length");
+        }
+        FX_CELL_STEPS.add(n as u64);
+        let xb = FxBatch::from_borrowed_rows(q, xs);
+        let h_refs: Vec<&[i16]> = cells.iter().map(|c| c.h.as_slice()).collect();
+        let hb = FxBatch::from_borrowed_rows(q, &h_refs);
+        let pre_w = conv_forward_fx_batch_packed(&cells[0].w, &xb, 1, 1);
+        let pre_u = conv_forward_fx_batch_packed(&cells[0].u, &hb, 1, 1);
+        let mut outs = Vec::with_capacity(n);
+        for (s, cell) in cells.iter_mut().enumerate() {
+            let mut pw = pre_w.row(s).to_vec();
+            let mut pu = pre_u.row(s).to_vec();
+            for (p, &b) in pw.iter_mut().zip(&cell.bias_w) {
+                *p = q.add(*p, b);
+            }
+            for (p, &b) in pu.iter_mut().zip(&cell.bias_u) {
+                *p = q.add(*p, b);
+            }
+            for j in 0..hd {
+                let r = q.hard_sigmoid(q.add(pw[j], pu[j]));
+                let z = q.hard_sigmoid(q.add(pw[hd + j], pu[hd + j]));
+                let nv = q.hard_tanh(q.add(pw[2 * hd + j], q.mul(r, pu[2 * hd + j])));
+                let one_minus_z = q.sub(q.one(), z);
+                cell.h[j] = q.add(q.mul(one_minus_z, nv), q.mul(z, cell.h[j]));
+            }
+            outs.push(cell.h.clone());
+        }
+        outs
     }
 }
 
@@ -385,6 +502,70 @@ mod tests {
         let x2 = vec![0i16; f];
         for _ in 0..3 {
             assert_eq!(a.step(&x1), b.step(&x2));
+        }
+    }
+
+    #[test]
+    fn gang_step_bit_identical_to_solo_scalar() {
+        let q = QFormat::q8();
+        let (f, h, bs) = (4, 8, 4);
+        let lstm_w = FxWeights::from_folded(q, &grid_1x1(bs, 4 * h, f + h, 7));
+        let lstm_bias: Vec<i16> = (0..4 * h)
+            .map(|i| q.from_f64(0.02 * i as f64 - 0.3))
+            .collect();
+        let gru_w = FxWeights::from_folded(q, &grid_1x1(bs, 3 * h, f, 8));
+        let gru_u = FxWeights::from_folded(q, &grid_1x1(bs, 3 * h, h, 9));
+        let gru_bw: Vec<i16> = (0..3 * h).map(|i| q.from_f64(0.01 * i as f64)).collect();
+        let gru_bu: Vec<i16> = (0..3 * h).map(|i| q.from_f64(-0.01 * i as f64)).collect();
+        for width in [1usize, 2, 5, 8] {
+            let mut lstm_gang: Vec<FxLstmCell> = (0..width)
+                .map(|_| FxLstmCell::new(q, lstm_w.clone(), lstm_bias.clone(), f))
+                .collect();
+            let mut lstm_solo = lstm_gang.clone();
+            let mut gru_gang: Vec<FxGruCell> = (0..width)
+                .map(|_| {
+                    FxGruCell::new(
+                        q,
+                        gru_w.clone(),
+                        gru_u.clone(),
+                        gru_bw.clone(),
+                        gru_bu.clone(),
+                    )
+                })
+                .collect();
+            let mut gru_solo = gru_gang.clone();
+            for t in 0..5 {
+                let xs: Vec<Vec<i16>> = (0..width)
+                    .map(|s| {
+                        (0..f)
+                            .map(|j| q.from_f64(0.2 * ((t * 11 + s * 5 + j) % 13) as f64 - 1.0))
+                            .collect()
+                    })
+                    .collect();
+                let x_refs: Vec<&[i16]> = xs.iter().map(|x| x.as_slice()).collect();
+                let mut lrefs: Vec<&mut FxLstmCell> = lstm_gang.iter_mut().collect();
+                let louts = FxLstmCell::step_gang(&mut lrefs, &x_refs);
+                let mut grefs: Vec<&mut FxGruCell> = gru_gang.iter_mut().collect();
+                let gouts = FxGruCell::step_gang(&mut grefs, &x_refs);
+                for s in 0..width {
+                    assert_eq!(
+                        louts[s],
+                        lstm_solo[s].step(&xs[s]).to_vec(),
+                        "lstm width {width} lane {s} step {t}"
+                    );
+                    assert_eq!(
+                        gouts[s],
+                        gru_solo[s].step(&xs[s]).to_vec(),
+                        "gru width {width} lane {s} step {t}"
+                    );
+                }
+            }
+            // Extraction back to scalar: one more solo step must agree.
+            let x = vec![q.from_f64(0.5); f];
+            for s in 0..width {
+                assert_eq!(lstm_gang[s].step(&x), lstm_solo[s].step(&x));
+                assert_eq!(gru_gang[s].step(&x), gru_solo[s].step(&x));
+            }
         }
     }
 

@@ -447,6 +447,133 @@ impl SeqRunner {
     }
 }
 
+/// Lane-batched stepping over independent [`SeqRunner`]s of the **same
+/// model**: one frequency-domain pass over the shared gate grids advances
+/// every member a timestep, the software analogue of C-LSTM's FPGA trick
+/// of streaming independent recurrent sequences through one block-circulant
+/// FFT pipeline.
+///
+/// Gate matvecs route through [`BlockCirculant::matvec_lanes`] (sample
+/// dimension innermost over the split spectral planes); everything
+/// non-linear — `add_bias`, [`lstm_cell`], [`gru_cell`], the head — runs
+/// per lane with the exact scalar code, so **every member's output and
+/// hidden state is bit-identical to what its own [`SeqRunner::step`] would
+/// have produced**, regardless of gang width or gang-mates. The serving
+/// tier's session gang scheduler depends on this: a session can be pulled
+/// out of a gang back to scalar stepping (or re-ganged with different
+/// mates) at any step boundary with no observable difference on the wire.
+///
+/// Members must all be runners of the same checkpoint (the shard groups
+/// sessions by registry entry before forming a gang); the gang steps
+/// through member 0's grids, which are clones of the same template.
+pub struct SeqRunnerBatch;
+
+impl SeqRunnerBatch {
+    /// Advances every member one timestep; returns one per-step output per
+    /// member, in member order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != members.len()`, if any input length differs
+    /// from its member's [`SeqRunner::input_len`], or if members disagree
+    /// on stack shape (cell count, kinds, widths).
+    pub fn step(members: &mut [&mut SeqRunner], xs: &[&[f32]]) -> Vec<Vec<f32>> {
+        let n = members.len();
+        assert_eq!(xs.len(), n, "one input per gang member");
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_cells = members[0].cells.len();
+        for (m, x) in members.iter().zip(xs) {
+            assert_eq!(
+                m.cells.len(),
+                n_cells,
+                "gang members must share a stack shape"
+            );
+            assert_eq!(x.len(), m.input_len(), "step input length");
+        }
+        let mut curs: Vec<Vec<f32>> = xs.iter().map(|x| x.to_vec()).collect();
+        for ci in 0..n_cells {
+            match &members[0].cells[ci] {
+                Cell::Lstm { .. } => {
+                    // Concatenate each lane's [x; h] under a shared borrow,
+                    // run the lane matvec off member 0's grid, then finish
+                    // the gates per lane with the scalar cell code.
+                    let zs: Vec<Vec<f32>> = members
+                        .iter()
+                        .zip(&curs)
+                        .map(|(m, cur)| {
+                            let Cell::Lstm { h, .. } = &m.cells[ci] else {
+                                panic!("gang members must agree on cell kinds");
+                            };
+                            let mut z = Vec::with_capacity(cur.len() + h.len());
+                            z.extend_from_slice(cur);
+                            z.extend_from_slice(h);
+                            z
+                        })
+                        .collect();
+                    let z_refs: Vec<&[f32]> = zs.iter().map(|z| z.as_slice()).collect();
+                    let pres = {
+                        let Cell::Lstm { grid, .. } = &members[0].cells[ci] else {
+                            unreachable!()
+                        };
+                        grid.matvec_lanes(&z_refs)
+                    };
+                    for (s, mut pre) in pres.into_iter().enumerate() {
+                        let Cell::Lstm { bias, h, c, .. } = &mut members[s].cells[ci] else {
+                            unreachable!()
+                        };
+                        add_bias(&mut pre, bias);
+                        lstm_cell(&mut pre, h, c);
+                        curs[s] = h.clone();
+                    }
+                }
+                Cell::Gru { .. } => {
+                    let x_refs: Vec<&[f32]> = curs.iter().map(|c| c.as_slice()).collect();
+                    let h_refs: Vec<&[f32]> = members
+                        .iter()
+                        .map(|m| {
+                            let Cell::Gru { h, .. } = &m.cells[ci] else {
+                                panic!("gang members must agree on cell kinds");
+                            };
+                            h.as_slice()
+                        })
+                        .collect();
+                    let (pre_ws, pre_us) = {
+                        let Cell::Gru { w, u, .. } = &members[0].cells[ci] else {
+                            unreachable!()
+                        };
+                        (w.matvec_lanes(&x_refs), u.matvec_lanes(&h_refs))
+                    };
+                    for (s, (mut pre_w, mut pre_u)) in pre_ws.into_iter().zip(pre_us).enumerate() {
+                        let Cell::Gru {
+                            bias_w, bias_u, h, ..
+                        } = &mut members[s].cells[ci]
+                        else {
+                            unreachable!()
+                        };
+                        add_bias(&mut pre_w, bias_w);
+                        add_bias(&mut pre_u, bias_u);
+                        gru_cell(&mut pre_w, &mut pre_u, h);
+                        curs[s] = h.clone();
+                    }
+                }
+            }
+        }
+        members
+            .iter_mut()
+            .zip(curs)
+            .map(|(m, cur)| {
+                m.steps += 1;
+                match &m.head {
+                    Some(head) => head.apply(&cur),
+                    None => cur,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +670,57 @@ mod tests {
         // index exactly.
         net.bcm_eliminate(&[0, 7, 30]);
         assert_streaming_matches(&net, 2);
+    }
+
+    #[test]
+    fn gang_step_bit_identical_to_solo_scalar() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Network::new(
+            "stack",
+            vec![
+                Box::new(BcmLstm::new(&mut rng, 4, 8, 2)) as Box<dyn Layer>,
+                Box::new(BcmGru::new(&mut rng, 8, 8, 4)),
+                Box::new(GlobalAvgPool::new()),
+                Box::new(Linear::new(&mut rng, 8, 3)),
+            ],
+        );
+        net.bcm_eliminate(&[1, 5, 28]);
+        let template = SeqRunner::from_network(&net).expect("streamable");
+        for width in [1usize, 2, 3, 8] {
+            let mut gang: Vec<SeqRunner> = (0..width).map(|_| template.clone()).collect();
+            let mut solo: Vec<SeqRunner> = (0..width).map(|_| template.clone()).collect();
+            for t in 0..6 {
+                let xs: Vec<Vec<f32>> = (0..width)
+                    .map(|s| {
+                        (0..4)
+                            .map(|i| ((t * 13 + s * 7 + i) as f32 * 0.19).sin())
+                            .collect()
+                    })
+                    .collect();
+                let mut refs: Vec<&mut SeqRunner> = gang.iter_mut().collect();
+                let x_refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+                let outs = SeqRunnerBatch::step(&mut refs, &x_refs);
+                for s in 0..width {
+                    let want = solo[s].step(&xs[s]);
+                    assert_eq!(
+                        outs[s].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "width {width} lane {s} step {t}"
+                    );
+                }
+            }
+            // Post-gang state must be scalar-identical too: one more solo
+            // step on every (ex-)member must agree.
+            for s in 0..width {
+                let x = vec![0.125f32; 4];
+                let a = gang[s].step(&x);
+                let b = solo[s].step(&x);
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -115,4 +115,4 @@ pub use protocol::{Payload, Request, Response, Status};
 pub use quota::{QuotaGuard, QuotaTable};
 pub use registry::{FxModel, Mode, Model, ModelEntry, ModelInfo, Registry};
 pub use server::Server;
-pub use session::{FxSeqRunner, SeqModel};
+pub use session::{FxSeqRunner, FxSeqRunnerBatch, SeqModel};

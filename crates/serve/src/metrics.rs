@@ -63,6 +63,29 @@ pub(crate) static SESSIONS_EXPIRED: telemetry::Counter =
 pub(crate) static SESSION_STEPS: telemetry::Counter =
     telemetry::Counter::new("serve.sessions.steps");
 
+/// Wall time of one session-step execution (nanoseconds). A gang-formed
+/// step records once for the whole gang — divide by the paired
+/// `serve.session.gang_width` sample for a per-session figure.
+pub(crate) static SESSION_STEP_NS: telemetry::Histogram =
+    telemetry::Histogram::new("serve.session.step_ns");
+
+/// Lane occupancy of executed session steps: width 1 is a scalar step,
+/// 2..=gang is a lane gang.
+pub(crate) static SESSION_GANG_WIDTH: telemetry::Histogram =
+    telemetry::Histogram::new("serve.session.gang_width");
+
+/// Lane gangs executed (width ≥ 2 only).
+pub(crate) static SESSION_GANGS: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.gangs");
+
+/// Timesteps that rode a lane gang (width ≥ 2).
+pub(crate) static SESSION_STEPS_GANGED: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.steps_ganged");
+
+/// Timesteps executed scalar (gang disabled, or a gang of one).
+pub(crate) static SESSION_STEPS_SCALAR: telemetry::Counter =
+    telemetry::Counter::new("serve.sessions.steps_scalar");
+
 // ---------------------------------------------------------------------
 // Per-stage lifecycle latency (fed from completed flight records; see
 // `telemetry::flight` and the stamping sites in shard/batcher/conn).

@@ -134,6 +134,7 @@ impl Server {
                 batcher: Batcher::start(cfg),
                 stats: ShardStats::default(),
                 ring: Arc::new(telemetry::flight::FlightRing::new(FLIGHT_CAPACITY)),
+                gang_seq: std::sync::atomic::AtomicU32::new(0),
             });
             shards.push(handle);
             pollers.push(poller);

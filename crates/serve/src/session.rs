@@ -243,6 +243,82 @@ impl FxSeqRunner {
     }
 }
 
+/// Lane-batched stepping over independent [`FxSeqRunner`]s of the same
+/// model version: the fixed-point twin of [`nn::seq::SeqRunnerBatch`].
+///
+/// Each cell level dispatches to [`FxLstmCell::step_gang`] /
+/// [`FxGruCell::step_gang`], which pack the lanes' state into an
+/// `FxBatch` and run one pass over the packed eMAC lane kernels; bias,
+/// gates and the head stay per-lane scalar word arithmetic. Every
+/// member's output and hidden state after a gang step is **bit-identical
+/// to a solo [`FxSeqRunner::step`]**, so the shard can gang and un-gang
+/// sessions freely between steps with no observable difference on the
+/// wire.
+///
+/// Members must be clones of the same model version's template (the
+/// shard groups sessions by registry entry before ganging); the gang
+/// steps through member 0's quantized weights.
+pub struct FxSeqRunnerBatch;
+
+impl FxSeqRunnerBatch {
+    /// Advances every member one timestep; returns one per-step output
+    /// per member, in member order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != members.len()`, if any input length differs
+    /// from its member's [`FxSeqRunner::input_len`], or if members
+    /// disagree on stack shape (cell count, kinds, widths, `Q`-format).
+    pub fn step(members: &mut [&mut FxSeqRunner], xs: &[&[i16]]) -> Vec<Vec<i16>> {
+        let n = members.len();
+        assert_eq!(xs.len(), n, "one input per gang member");
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_cells = members[0].cells.len();
+        for (m, x) in members.iter().zip(xs) {
+            assert_eq!(
+                m.cells.len(),
+                n_cells,
+                "gang members must share a stack shape"
+            );
+            assert_eq!(x.len(), m.input_len(), "fx step input length");
+        }
+        let mut curs: Vec<Vec<i16>> = xs.iter().map(|x| x.to_vec()).collect();
+        for ci in 0..n_cells {
+            let x_refs: Vec<&[i16]> = curs.iter().map(|c| c.as_slice()).collect();
+            let is_lstm = matches!(members[0].cells[ci], FxCell::Lstm(_));
+            curs = if is_lstm {
+                let mut cells: Vec<&mut FxLstmCell> = members
+                    .iter_mut()
+                    .map(|m| match &mut m.cells[ci] {
+                        FxCell::Lstm(c) => c,
+                        FxCell::Gru(_) => panic!("gang members must agree on cell kinds"),
+                    })
+                    .collect();
+                FxLstmCell::step_gang(&mut cells, &x_refs)
+            } else {
+                let mut cells: Vec<&mut FxGruCell> = members
+                    .iter_mut()
+                    .map(|m| match &mut m.cells[ci] {
+                        FxCell::Gru(c) => c,
+                        FxCell::Lstm(_) => panic!("gang members must agree on cell kinds"),
+                    })
+                    .collect();
+                FxGruCell::step_gang(&mut cells, &x_refs)
+            };
+        }
+        members
+            .iter()
+            .zip(curs)
+            .map(|(m, cur)| match &m.head {
+                Some(h) => h.apply(&cur),
+                None => cur,
+            })
+            .collect()
+    }
+}
+
 /// The streaming capability of one published model version: zero-state
 /// float and (when buildable) fixed-point stepper templates, cloned per
 /// session at `session_open`.
@@ -358,6 +434,46 @@ mod tests {
         fa.reset();
         assert_eq!(fa.step(&xq), ffirst);
         assert_eq!(seq.new_fx().unwrap().step(&xq), ffirst);
+    }
+
+    #[test]
+    fn fx_gang_step_bit_identical_to_solo_scalar() {
+        let net = lstm_classifier(4, 8, 3, 4, 9);
+        let m = CheckpointMeta {
+            input_dims: vec![4, 6, 1],
+            frac_bits: 12,
+        };
+        let seq = SeqModel::build(&net, &m).unwrap();
+        let q = seq.new_fx().unwrap().qformat();
+        for width in [1usize, 3, 8] {
+            let mut gang: Vec<FxSeqRunner> = (0..width).map(|_| seq.new_fx().unwrap()).collect();
+            let mut solo: Vec<FxSeqRunner> = (0..width).map(|_| seq.new_fx().unwrap()).collect();
+            for t in 0..6 {
+                let xs: Vec<Vec<i16>> = (0..width)
+                    .map(|s| {
+                        let row: Vec<f32> = (0..4)
+                            .map(|j| ((t * 17 + s * 3 + j) as f32 * 0.23).sin())
+                            .collect();
+                        q.quantize_slice(&row)
+                    })
+                    .collect();
+                let x_refs: Vec<&[i16]> = xs.iter().map(|x| x.as_slice()).collect();
+                let mut refs: Vec<&mut FxSeqRunner> = gang.iter_mut().collect();
+                let outs = FxSeqRunnerBatch::step(&mut refs, &x_refs);
+                for s in 0..width {
+                    assert_eq!(
+                        outs[s],
+                        solo[s].step(&xs[s]),
+                        "width {width} lane {s} step {t}"
+                    );
+                }
+            }
+            // Extraction back to scalar stepping must be seamless.
+            let x = vec![q.from_f64(0.25); 4];
+            for s in 0..width {
+                assert_eq!(gang[s].step(&x), solo[s].step(&x));
+            }
+        }
     }
 
     #[test]

@@ -24,16 +24,19 @@
 //! exits once the batcher is drained and no connection has backlog
 //! (with a hard deadline against peers that stop reading).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use telemetry::flight::{FlightRecord, FlightRing, STAMP_ADMIT, STAMP_PARSE};
+use telemetry::flight::{
+    FlightRecord, FlightRing, STAMP_ADMIT, STAMP_BATCH, STAMP_ENQUEUE, STAMP_INFER_END,
+    STAMP_INFER_START, STAMP_PARSE,
+};
 
-use nn::seq::SeqRunner;
+use nn::seq::{SeqRunner, SeqRunnerBatch};
 
 use crate::batcher::{encode_for_wire, Batcher, ReplySink, SubmitError};
 use crate::conn::{ConnShared, Notifier};
@@ -43,7 +46,7 @@ use crate::quota::QuotaGuard;
 use crate::reactor::{self, Event, Interest, Poller, WAKER_TOKEN};
 use crate::registry::{Mode, ModelEntry};
 use crate::server::ServerShared;
-use crate::session::FxSeqRunner;
+use crate::session::{FxSeqRunner, FxSeqRunnerBatch};
 
 /// How long a shard blocks in the poller before re-checking stop state.
 const TICK: Duration = Duration::from_millis(50);
@@ -72,6 +75,10 @@ pub(crate) struct ShardHandle {
     pub stats: ShardStats,
     /// Flight-recorder ring holding this shard's completed traces.
     pub ring: Arc<FlightRing>,
+    /// Shard-scoped session-gang id source; a gang-formed step carries
+    /// its gang id in the flight record's `batch` word, exactly like a
+    /// batcher-formed batch carries its batch id.
+    pub gang_seq: AtomicU32,
 }
 
 enum ConnMode {
@@ -112,7 +119,11 @@ enum SessionRunner {
 /// One open streaming session: the stepper holding the server-side
 /// hidden state, pinned to the exact model version resolved at open.
 struct Session {
-    runner: SessionRunner,
+    /// The stepper holding this session's hidden state. `None` only
+    /// transiently while the runner is checked out into a lane gang
+    /// inside `execute_gang` — it is always checked back in (bit-exact)
+    /// before the flush returns.
+    runner: Option<SessionRunner>,
     /// The entry the session resolved at `session_open`. Holding the
     /// `Arc` pins the version: a hot swap republishes the name but this
     /// session keeps stepping the weights it opened against.
@@ -152,6 +163,61 @@ impl Drop for SessionSlot {
     }
 }
 
+/// A session operation parsed during the current loop iteration and
+/// deferred to the end-of-iteration gang flush (only when
+/// `session_gang >= 2`). Deferral is what lets one readiness burst's
+/// `session_step` frames from *different* sessions meet in a lane gang;
+/// it never delays a reply past the iteration that parsed it.
+enum SessionOp {
+    Step {
+        token: usize,
+        session: u64,
+        seq: u64,
+        json: bool,
+        input: Payload,
+        trace: Option<FlightRecord>,
+    },
+    Close {
+        token: usize,
+        session: u64,
+        seq: u64,
+        json: bool,
+    },
+}
+
+impl SessionOp {
+    fn token(&self) -> usize {
+        match self {
+            SessionOp::Step { token, .. } | SessionOp::Close { token, .. } => *token,
+        }
+    }
+
+    /// Wave-partition key: pipelined ops on one session execute strictly
+    /// in arrival order, one per wave.
+    fn key(&self) -> (usize, u64) {
+        match self {
+            SessionOp::Step { token, session, .. } | SessionOp::Close { token, session, .. } => {
+                (*token, *session)
+            }
+        }
+    }
+}
+
+/// A validated `session_step` awaiting gang execution.
+struct ReadyStep {
+    token: usize,
+    session: u64,
+    seq: u64,
+    json: bool,
+    input: Payload,
+    trace: Option<FlightRecord>,
+    /// Gang-formation key: the exact `ModelEntry` the session pinned
+    /// (pointer identity ⇒ same version ⇒ same weights) …
+    entry_key: usize,
+    /// … and the engine mode. Only same-entry same-mode steps share lanes.
+    fx: bool,
+}
+
 /// Why a connection must be torn down.
 enum ConnFate {
     /// Keep serving.
@@ -181,6 +247,9 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
     let mut scratch = vec![0u8; 64 << 10];
     let mut draining = false;
     let mut drain_started = Instant::now();
+    // Session ops deferred within one loop iteration for gang formation;
+    // always drained to empty by `flush_session_ops` below.
+    let mut pending: Vec<SessionOp> = Vec::new();
 
     loop {
         events.clear();
@@ -239,13 +308,23 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
             };
             let mut fate = ConnFate::Alive;
             if ev.readable || ev.hangup {
-                fate = on_readable(conn, &mut scratch, handle, server, &probes);
+                fate = on_readable(conn, &mut scratch, handle, server, &probes, &mut pending);
             }
             if matches!(fate, ConnFate::Alive) && (ev.writable || ev.hangup) {
-                fate = settle_output(conn, &mut poller);
+                // A deferred session op still owes this connection a
+                // reply: hold it open past EOF until the gang flush runs.
+                let hold = pending.iter().any(|op| op.token() == ev.token);
+                fate = settle_output(conn, &mut poller, hold);
             }
             finish_event(&mut conns, &mut poller, ev.token, fate);
         }
+
+        // Execute the iteration's deferred session steps as lane gangs
+        // (and their interleaved closes, in per-session arrival order).
+        // Replies land in the sequenced output buffers and mark their
+        // connections dirty, so the settle pass right below flushes them
+        // within this same iteration.
+        flush_session_ops(&mut conns, &mut pending, handle, server);
 
         // Cross-thread completions (batch workers deposited replies).
         let mut dirty = handle.notifier.take_dirty();
@@ -253,7 +332,7 @@ pub(crate) fn run(handle: &Arc<ShardHandle>, server: &Arc<ServerShared>, mut pol
         dirty.dedup();
         for token in dirty {
             if let Some(conn) = conns.get_mut(&token) {
-                let fate = settle_output(conn, &mut poller);
+                let fate = settle_output(conn, &mut poller, false);
                 finish_event(&mut conns, &mut poller, token, fate);
             }
         }
@@ -329,6 +408,7 @@ fn on_readable(
     handle: &Arc<ShardHandle>,
     server: &Arc<ServerShared>,
     probes: &ShardProbes,
+    pending: &mut Vec<SessionOp>,
 ) -> ConnFate {
     loop {
         match conn.stream.read(scratch) {
@@ -345,7 +425,7 @@ fn on_readable(
             }
         }
     }
-    let fate = parse_ready(conn, handle, server, probes);
+    let fate = parse_ready(conn, handle, server, probes, pending);
     if !matches!(fate, ConnFate::Alive) {
         return fate;
     }
@@ -356,7 +436,8 @@ fn on_readable(
             server.protocol_errors.fetch_add(1, Ordering::SeqCst);
             return ConnFate::Violation;
         }
-        if !conn.shared.has_backlog() {
+        let owes_session_reply = pending.iter().any(|op| op.token() == conn.shared.token());
+        if !conn.shared.has_backlog() && !owes_session_reply {
             return ConnFate::Closed;
         }
         // Replies are still owed or buffered: linger write-only until the
@@ -371,6 +452,7 @@ fn parse_ready(
     handle: &Arc<ShardHandle>,
     server: &Arc<ServerShared>,
     probes: &ShardProbes,
+    pending: &mut Vec<SessionOp>,
 ) -> ConnFate {
     loop {
         match conn.mode {
@@ -413,7 +495,9 @@ fn parse_ready(
                     match decoded {
                         Ok(req) => {
                             let trace = begin_trace(handle.index);
-                            process_request(conn, req, false, seq, handle, server, probes, trace);
+                            process_request(
+                                conn, req, false, seq, handle, server, probes, trace, pending,
+                            );
                         }
                         Err(e) => {
                             // Malformed request: explicit reply, count it,
@@ -439,13 +523,13 @@ fn parse_ready(
                         if conn.eof && conn.rpos < conn.rbuf.len() {
                             let line = conn.rbuf[conn.rpos..].to_vec();
                             conn.rpos = conn.rbuf.len();
-                            handle_json_line(conn, &line, handle, server, probes);
+                            handle_json_line(conn, &line, handle, server, probes, pending);
                         }
                         break;
                     };
                     let line = conn.rbuf[conn.rpos..conn.rpos + nl].to_vec();
                     conn.rpos += nl + 1;
-                    handle_json_line(conn, &line, handle, server, probes);
+                    handle_json_line(conn, &line, handle, server, probes, pending);
                 }
                 compact(conn);
                 return ConnFate::Alive;
@@ -468,6 +552,7 @@ fn handle_json_line(
     handle: &Arc<ShardHandle>,
     server: &Arc<ServerShared>,
     probes: &ShardProbes,
+    pending: &mut Vec<SessionOp>,
 ) {
     let text = String::from_utf8_lossy(line);
     if text.trim().is_empty() {
@@ -477,7 +562,7 @@ fn handle_json_line(
     match protocol::parse_json_request(&text) {
         Ok(req) => {
             let trace = begin_trace(handle.index);
-            process_request(conn, req, true, seq, handle, server, probes, trace);
+            process_request(conn, req, true, seq, handle, server, probes, trace, pending);
         }
         Err(e) => {
             server.protocol_errors.fetch_add(1, Ordering::SeqCst);
@@ -531,6 +616,7 @@ fn process_request(
     server: &Arc<ServerShared>,
     probes: &ShardProbes,
     mut trace: Option<FlightRecord>,
+    pending: &mut Vec<SessionOp>,
 ) {
     handle.stats.requests.fetch_add(1, Ordering::Relaxed);
     probes.requests.inc();
@@ -674,7 +760,7 @@ fn process_request(
             conn.sessions.insert(
                 id,
                 Session {
-                    runner,
+                    runner: Some(runner),
                     entry,
                     last_used: Instant::now(),
                     _slot: slot,
@@ -706,10 +792,37 @@ fn process_request(
                 rec.model_version = s.entry.version();
                 rec.stamps_ns[STAMP_ADMIT] = telemetry::flight::now_ns();
             }
-            // The step runs inline on the shard thread: one timestep of a
-            // pruned recurrent cell is far below batching granularity, and
-            // inline execution keeps the state single-threaded by design.
-            let resp = match (&mut s.runner, &input) {
+            if server.cfg.session_gang >= 2 {
+                // Defer into this iteration's gang flush: steps for
+                // different sessions parsed in the same readiness burst
+                // meet there and share one lane-form step. Wave
+                // partitioning in the flush keeps pipelined steps on one
+                // session strictly ordered.
+                if let Some(rec) = trace.as_mut() {
+                    rec.stamps_ns[STAMP_ENQUEUE] = telemetry::flight::now_ns();
+                }
+                pending.push(SessionOp::Step {
+                    token: conn.shared.token(),
+                    session,
+                    seq,
+                    json,
+                    input,
+                    trace,
+                });
+                return;
+            }
+            // Gang disabled: the step runs inline on the shard thread —
+            // one timestep of a pruned recurrent cell is far below
+            // batching granularity, and inline execution keeps the state
+            // single-threaded by design.
+            if let Some(rec) = trace.as_mut() {
+                let now = telemetry::flight::now_ns();
+                rec.stamps_ns[STAMP_ENQUEUE] = now;
+                rec.stamps_ns[STAMP_BATCH] = now;
+            }
+            let runner = s.runner.as_mut().expect("runner checked in");
+            let t0 = telemetry::flight::now_ns();
+            let resp = match (runner, &input) {
                 (SessionRunner::F32(r), Payload::F32(x)) => {
                     if x.len() != r.input_len() {
                         Response::Error(
@@ -735,15 +848,38 @@ fn process_request(
                     format!("step payload type disagrees with session {session}'s mode"),
                 ),
             };
+            let t1 = telemetry::flight::now_ns();
             if matches!(resp, Response::Output(_)) {
-                s.last_used = Instant::now();
+                if let Some(rec) = trace.as_mut() {
+                    rec.stamps_ns[STAMP_INFER_START] = t0;
+                    rec.stamps_ns[STAMP_INFER_END] = t1;
+                }
+                metrics::SESSION_STEP_NS.record(t1.saturating_sub(t0));
+                metrics::SESSION_GANG_WIDTH.record(1);
+                metrics::SESSION_STEPS_SCALAR.add(1);
                 metrics::SESSION_STEPS.add(1);
+                s.last_used = Instant::now();
+                conn.shared
+                    .push_reply(seq, encode_for_wire(&resp, json), trace);
             } else {
                 metrics::REJECTED.add(1);
+                reply_now(conn, seq, &resp, json);
             }
-            reply_now(conn, seq, &resp, json);
         }
         Request::SessionClose { session } => {
+            if server.cfg.session_gang >= 2 {
+                // Defer behind any same-session steps parsed this burst:
+                // a close is a barrier in its session's wave order, so
+                // `step, step, close` pipelined in one burst answers
+                // `ok, ok, ok` exactly as inline execution would.
+                pending.push(SessionOp::Close {
+                    token: conn.shared.token(),
+                    session,
+                    seq,
+                    json,
+                });
+                return;
+            }
             if conn.sessions.remove(&session).is_some() {
                 metrics::SESSIONS_CLOSED.add(1);
                 reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
@@ -760,8 +896,10 @@ fn process_request(
 }
 
 /// Flushes buffered output and reconciles writable interest. Closes the
-/// connection when the peer already sent EOF and nothing is owed.
-fn settle_output(conn: &mut Conn, poller: &mut Poller) -> ConnFate {
+/// connection when the peer already sent EOF and nothing is owed —
+/// `hold_open` marks a connection that a deferred session op still owes
+/// a reply, which counts as owed even with an empty output buffer.
+fn settle_output(conn: &mut Conn, poller: &mut Poller, hold_open: bool) -> ConnFate {
     match conn.shared.flush(&mut conn.stream) {
         Ok(emptied) => {
             let want = !emptied;
@@ -782,12 +920,249 @@ fn settle_output(conn: &mut Conn, poller: &mut Poller) -> ConnFate {
                     conn.wants_write = want;
                 }
             }
-            if conn.eof && !conn.shared.has_backlog() {
+            if conn.eof && !conn.shared.has_backlog() && !hold_open {
                 ConnFate::Closed
             } else {
                 ConnFate::Alive
             }
         }
         Err(_) => ConnFate::Closed, // peer gone; replies are undeliverable
+    }
+}
+
+/// Drains the iteration's deferred session ops: wave-partitions them to
+/// at most one op per session (pipelined same-session traffic executes
+/// strictly in arrival order, and a close is a barrier), executes each
+/// wave's closes in arrival order, groups the wave's validated steps by
+/// (pinned model entry, engine mode), and runs each group in lane gangs
+/// of at most `session_gang` sessions.
+fn flush_session_ops(
+    conns: &mut HashMap<usize, Conn>,
+    pending: &mut Vec<SessionOp>,
+    handle: &Arc<ShardHandle>,
+    server: &Arc<ServerShared>,
+) {
+    let gang_width = server.cfg.session_gang.max(1);
+    while !pending.is_empty() {
+        let mut seen: HashSet<(usize, u64)> = HashSet::new();
+        let mut wave: Vec<SessionOp> = Vec::new();
+        let mut rest: Vec<SessionOp> = Vec::new();
+        for op in pending.drain(..) {
+            if seen.insert(op.key()) {
+                wave.push(op);
+            } else {
+                rest.push(op);
+            }
+        }
+        *pending = rest;
+        let mut steps: Vec<ReadyStep> = Vec::new();
+        for op in wave {
+            match op {
+                SessionOp::Close {
+                    token,
+                    session,
+                    seq,
+                    json,
+                } => {
+                    // Connection torn down since parse: nowhere to reply.
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    if conn.sessions.remove(&session).is_some() {
+                        metrics::SESSIONS_CLOSED.add(1);
+                        reply_now(conn, seq, &Response::Output(Payload::F32(Vec::new())), json);
+                    } else {
+                        metrics::REJECTED.add(1);
+                        let resp = Response::Error(
+                            Status::BadRequest,
+                            format!("no open session {session} (unknown, expired, or closed)"),
+                        );
+                        reply_now(conn, seq, &resp, json);
+                    }
+                }
+                SessionOp::Step {
+                    token,
+                    session,
+                    seq,
+                    json,
+                    input,
+                    trace,
+                } => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    // Re-validate at execution time: an earlier wave's
+                    // close (or a violation teardown) may have raced the
+                    // parse-time check.
+                    let Some(s) = conn.sessions.get(&session) else {
+                        metrics::REJECTED.add(1);
+                        let resp = Response::Error(
+                            Status::BadRequest,
+                            format!("no open session {session} (unknown, expired, or closed)"),
+                        );
+                        reply_now(conn, seq, &resp, json);
+                        continue;
+                    };
+                    let runner = s.runner.as_ref().expect("runner checked in");
+                    let err = match (runner, &input) {
+                        (SessionRunner::F32(r), Payload::F32(x)) => (x.len() != r.input_len())
+                            .then(|| {
+                                format!("step length {} != expected {}", x.len(), r.input_len())
+                            }),
+                        (SessionRunner::Fx(r), Payload::Fx(x)) => {
+                            (x.len() != r.input_len()).then(|| {
+                                format!("step length {} != expected {}", x.len(), r.input_len())
+                            })
+                        }
+                        _ => Some(format!(
+                            "step payload type disagrees with session {session}'s mode"
+                        )),
+                    };
+                    if let Some(msg) = err {
+                        metrics::REJECTED.add(1);
+                        reply_now(conn, seq, &Response::Error(Status::BadRequest, msg), json);
+                        continue;
+                    }
+                    steps.push(ReadyStep {
+                        token,
+                        session,
+                        seq,
+                        json,
+                        input,
+                        trace,
+                        entry_key: Arc::as_ptr(&s.entry) as usize,
+                        fx: matches!(runner, SessionRunner::Fx(_)),
+                    });
+                }
+            }
+        }
+        // Gang formation: group by (entry, mode) preserving arrival
+        // order, then chunk each group to the lane width (ragged tails
+        // run as narrower gangs; a tail of one runs scalar).
+        let mut groups: Vec<((usize, bool), Vec<ReadyStep>)> = Vec::new();
+        for st in steps {
+            let key = (st.entry_key, st.fx);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(st),
+                None => groups.push((key, vec![st])),
+            }
+        }
+        for (_, mut group) in groups {
+            while !group.is_empty() {
+                let tail = group.split_off(group.len().min(gang_width));
+                execute_gang(conns, group, handle);
+                group = tail;
+            }
+        }
+    }
+}
+
+/// Executes one lane gang: checks every member's runner out of its
+/// session, advances all of them with a single lane-form step (a gang of
+/// one steps scalar), and checks the runners back in bit-exactly. Every
+/// member's reply is byte-identical to a solo scalar step — the lane
+/// kernels' per-lane bit-identity contract — so gang membership is
+/// invisible on the wire.
+fn execute_gang(
+    conns: &mut HashMap<usize, Conn>,
+    mut gang: Vec<ReadyStep>,
+    handle: &Arc<ShardHandle>,
+) {
+    let width = gang.len();
+    debug_assert!(width >= 1);
+    let gid = handle.gang_seq.fetch_add(1, Ordering::Relaxed);
+    if gang.iter().any(|st| st.trace.is_some()) {
+        let now = telemetry::flight::now_ns();
+        for st in gang.iter_mut() {
+            if let Some(rec) = st.trace.as_mut() {
+                rec.batch = gid;
+                rec.stamps_ns[STAMP_BATCH] = now;
+            }
+        }
+    }
+    // Check the runners out (each session transiently holds `None`).
+    let mut runners: Vec<SessionRunner> = Vec::with_capacity(width);
+    for st in &gang {
+        let s = conns
+            .get_mut(&st.token)
+            .expect("validated this wave")
+            .sessions
+            .get_mut(&st.session)
+            .expect("validated this wave");
+        runners.push(s.runner.take().expect("runner checked in"));
+    }
+    let t0 = telemetry::flight::now_ns();
+    let outputs: Vec<Payload> = if gang[0].fx {
+        let mut members: Vec<&mut FxSeqRunner> = runners
+            .iter_mut()
+            .map(|r| match r {
+                SessionRunner::Fx(r) => r,
+                SessionRunner::F32(_) => unreachable!("gang grouped by mode"),
+            })
+            .collect();
+        let xs: Vec<&[i16]> = gang
+            .iter()
+            .map(|st| match &st.input {
+                Payload::Fx(x) => x.as_slice(),
+                Payload::F32(_) => unreachable!("gang grouped by mode"),
+            })
+            .collect();
+        let outs = if width == 1 {
+            vec![members[0].step(xs[0])]
+        } else {
+            FxSeqRunnerBatch::step(&mut members, &xs)
+        };
+        outs.into_iter().map(Payload::Fx).collect()
+    } else {
+        let mut members: Vec<&mut SeqRunner> = runners
+            .iter_mut()
+            .map(|r| match r {
+                SessionRunner::F32(r) => r,
+                SessionRunner::Fx(_) => unreachable!("gang grouped by mode"),
+            })
+            .collect();
+        let xs: Vec<&[f32]> = gang
+            .iter()
+            .map(|st| match &st.input {
+                Payload::F32(x) => x.as_slice(),
+                Payload::Fx(_) => unreachable!("gang grouped by mode"),
+            })
+            .collect();
+        let outs = if width == 1 {
+            vec![members[0].step(xs[0])]
+        } else {
+            SeqRunnerBatch::step(&mut members, &xs)
+        };
+        outs.into_iter().map(Payload::F32).collect()
+    };
+    let t1 = telemetry::flight::now_ns();
+    metrics::SESSION_STEP_NS.record(t1.saturating_sub(t0));
+    metrics::SESSION_GANG_WIDTH.record(width as u64);
+    metrics::SESSION_STEPS.add(width as u64);
+    if width >= 2 {
+        metrics::SESSION_GANGS.add(1);
+        metrics::SESSION_STEPS_GANGED.add(width as u64);
+    } else {
+        metrics::SESSION_STEPS_SCALAR.add(1);
+    }
+    // Check the runners back in and deliver, in member order.
+    let stepped_at = Instant::now();
+    for (mut st, (runner, out)) in gang.into_iter().zip(runners.into_iter().zip(outputs)) {
+        if let Some(rec) = st.trace.as_mut() {
+            rec.stamps_ns[STAMP_INFER_START] = t0;
+            rec.stamps_ns[STAMP_INFER_END] = t1;
+        }
+        let conn = conns.get_mut(&st.token).expect("validated this wave");
+        let s = conn
+            .sessions
+            .get_mut(&st.session)
+            .expect("validated this wave");
+        s.runner = Some(runner);
+        s.last_used = stepped_at;
+        conn.shared.push_reply(
+            st.seq,
+            encode_for_wire(&Response::Output(out), st.json),
+            st.trace,
+        );
     }
 }

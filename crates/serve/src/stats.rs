@@ -108,7 +108,7 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
     doc.push_str(&format!(
         "  \"config\": {{\"batch_size\": {}, \"max_wait_us\": {}, \"queue_cap\": {}, \
          \"shards\": {}, \"tenant_quota\": {}, \"slo_p99_us\": {}, \"slo_shed_pct\": {}, \
-         \"session_ttl_ms\": {}, \"session_cap\": {}}},\n",
+         \"session_ttl_ms\": {}, \"session_cap\": {}, \"session_gang\": {}}},\n",
         cfg.batch_size,
         cfg.max_wait.as_micros(),
         cfg.queue_cap,
@@ -118,6 +118,7 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
         cfg.slo_shed_pct,
         cfg.session_ttl.as_millis(),
         cfg.session_cap,
+        cfg.session_gang,
     ));
 
     let mut models = server.registry.catalog();
@@ -151,7 +152,8 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
     ));
     doc.push_str(&format!(
         "  \"sessions\": {{\"active\": {}, \"opened\": {}, \"closed\": {}, \
-         \"expired\": {}, \"steps\": {}}},\n",
+         \"expired\": {}, \"steps\": {}, \"steps_ganged\": {}, \"steps_scalar\": {}, \
+         \"gangs\": {}}},\n",
         server
             .active_sessions
             .load(std::sync::atomic::Ordering::SeqCst),
@@ -159,6 +161,9 @@ pub(crate) fn stats_json(server: &Arc<ServerShared>) -> String {
         metrics::SESSIONS_CLOSED.value(),
         metrics::SESSIONS_EXPIRED.value(),
         metrics::SESSION_STEPS.value(),
+        metrics::SESSION_STEPS_GANGED.value(),
+        metrics::SESSION_STEPS_SCALAR.value(),
+        metrics::SESSION_GANGS.value(),
     ));
     doc.push_str(&format!(
         "  \"protocol_errors\": {},\n",

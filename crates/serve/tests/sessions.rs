@@ -9,7 +9,10 @@ use nn::models::lstm_classifier;
 use nn::{CheckpointMeta, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serve::{protocol, Payload, Request, Response};
 use serve::{Client, ClientError, Model, Registry, ServeConfig, Server, Status};
+use std::io::Write;
+use std::net::TcpStream;
 use std::time::Duration;
 use tensor::Tensor;
 
@@ -90,12 +93,96 @@ fn serve_one(net: Network, meta: CheckpointMeta, cfg: ServeConfig) -> (Server, S
     (server, name)
 }
 
+/// The config the suite runs under: the defaults, with the session-gang
+/// lane width overridden by `RPBCM_SERVE_SESSION_GANG` when set. CI runs
+/// this file twice — gang forced off (`0`) and forced on (`8`) — and
+/// every assertion must hold identically in both legs.
+fn test_config() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    if let Ok(v) = std::env::var("RPBCM_SERVE_SESSION_GANG") {
+        if let Ok(n) = v.trim().parse() {
+            cfg.session_gang = n;
+        }
+    }
+    cfg
+}
+
+/// Offline fixed-point reference for one session: the quantized step
+/// inputs and the solo scalar fold's per-step outputs.
+type FxStepRef = (Vec<Vec<i16>>, Vec<Vec<i16>>);
+
+fn offline_fx_steps(net: &Network, meta: &CheckpointMeta, x: &Tensor<f32>) -> FxStepRef {
+    let reference = Model::from_network("ref", net.clone(), meta.clone());
+    let seq = reference.seq().expect("streamable");
+    let mut runner = seq.new_fx().expect("fx streaming form");
+    let q = runner.qformat();
+    let steps: Vec<Vec<i16>> = (0..T)
+        .map(|t| q.quantize_slice(&step_input(x, t)))
+        .collect();
+    let outs = steps.iter().map(|s| runner.step(s)).collect();
+    (steps, outs)
+}
+
+/// A raw binary-mode connection that pipelines many frames before
+/// reading any reply — the only way to put several `session_step`s in
+/// front of a shard in one readiness burst, which is what forms lane
+/// gangs. [`Client`] is strictly request-reply and never gangs wider
+/// than one.
+struct Pipelined {
+    stream: TcpStream,
+}
+
+impl Pipelined {
+    fn connect(addr: std::net::SocketAddr) -> Pipelined {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream.write_all(&protocol::HANDSHAKE).expect("handshake");
+        stream.flush().expect("flush");
+        Pipelined { stream }
+    }
+
+    fn send(&mut self, req: &Request) {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(req)).expect("send");
+    }
+
+    fn open(&mut self, model: &str, fx: bool) -> u64 {
+        self.send(&Request::SessionOpen {
+            model: model.to_string(),
+            fx,
+        });
+        let frame = protocol::read_frame(&mut self.stream).expect("open reply");
+        match protocol::decode_session_response(&frame).expect("decode open") {
+            Response::Session { session, .. } => session,
+            other => panic!("session_open rejected: {other:?}"),
+        }
+    }
+
+    fn recv(&mut self, fx: bool) -> Response {
+        let frame = protocol::read_frame(&mut self.stream).expect("reply frame");
+        protocol::decode_response(&frame, fx).expect("decode reply")
+    }
+
+    fn recv_f32(&mut self) -> Vec<f32> {
+        match self.recv(false) {
+            Response::Output(Payload::F32(v)) => v,
+            other => panic!("expected f32 output, got {other:?}"),
+        }
+    }
+
+    fn recv_fx(&mut self) -> Vec<i16> {
+        match self.recv(true) {
+            Response::Output(Payload::Fx(v)) => v,
+            other => panic!("expected fx output, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn float_session_steps_are_bit_identical_to_the_offline_forward() {
     let (net, meta) = pruned_lstm(41);
     let x = sequence(1);
     let want = offline_per_step(&net, &x);
-    let (server, name) = serve_one(net, meta, ServeConfig::default());
+    let (server, name) = serve_one(net, meta, test_config());
 
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let (sid, version) = client.open_session(&name, false).expect("open");
@@ -136,7 +223,7 @@ fn fx_session_steps_are_bit_identical_to_the_offline_fold() {
         .collect();
     let want: Vec<Vec<i16>> = steps.iter().map(|s| offline.step(s)).collect();
 
-    let (server, name) = serve_one(net, meta, ServeConfig::default());
+    let (server, name) = serve_one(net, meta, test_config());
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let (sid, _version) = client.open_session(&name, true).expect("open fx");
     for (t, s) in steps.iter().enumerate() {
@@ -163,7 +250,7 @@ fn mid_session_hot_swap_keeps_the_pinned_version() {
 
     let registry = Registry::new();
     let e1 = registry.publish(Model::from_network("cls", v1, meta.clone()));
-    let server = Server::bind("127.0.0.1:0", ServeConfig::default(), registry).expect("bind");
+    let server = Server::bind("127.0.0.1:0", test_config(), registry).expect("bind");
     let addr = server.local_addr();
 
     let mut client = Client::connect(addr).expect("connect");
@@ -211,7 +298,7 @@ fn idle_sessions_expire_via_ttl_and_release_their_slots() {
     let cfg = ServeConfig {
         session_ttl: Duration::from_millis(50),
         shards: 1,
-        ..ServeConfig::default()
+        ..test_config()
     };
     let (server, name) = serve_one(net, meta, cfg);
 
@@ -245,7 +332,7 @@ fn session_cap_refuses_excess_opens_until_a_close_frees_a_slot() {
     let (net, meta) = pruned_lstm(71);
     let cfg = ServeConfig {
         session_cap: 1,
-        ..ServeConfig::default()
+        ..test_config()
     };
     let (server, name) = serve_one(net, meta, cfg);
     let addr = server.local_addr();
@@ -271,7 +358,7 @@ fn open_sessions_hold_a_tenant_quota_slot() {
     let (net, meta) = pruned_lstm(81);
     let cfg = ServeConfig {
         tenant_quota: 1,
-        ..ServeConfig::default()
+        ..test_config()
     };
     let (server, name) = serve_one(net, meta, cfg);
     let addr = server.local_addr();
@@ -307,7 +394,7 @@ fn session_misuse_gets_explicit_replies_not_hangups() {
     let (net, meta) = pruned_lstm(91);
     let x = sequence(5);
     let want = offline_per_step(&net, &x);
-    let (server, name) = serve_one(net, meta.clone(), ServeConfig::default());
+    let (server, name) = serve_one(net, meta.clone(), test_config());
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
     // No streaming form: a conv stack refuses session_open outright.
@@ -368,4 +455,236 @@ fn session_misuse_gets_explicit_replies_not_hangups() {
     assert_eq!(bits(&got), bits(&want[1]), "state survived the rejections");
     client.close_session(sid).expect("close");
     server.shutdown();
+}
+
+#[test]
+fn pipelined_multi_session_bursts_stay_bit_identical_per_session() {
+    let (net, meta) = pruned_lstm(101);
+    let cfg = ServeConfig {
+        shards: 1,
+        ..test_config()
+    };
+    let (server, name) = serve_one(net.clone(), meta, cfg);
+    let mut conn = Pipelined::connect(server.local_addr());
+
+    // Six same-model float sessions on one connection, each streaming a
+    // distinct sequence. Every round bursts all six steps in one write
+    // train, so the shard sees them in one readiness wakeup and (gang
+    // enabled) lane-gangs them — replies must still be exactly what each
+    // session's solo offline forward produces.
+    const W: usize = 6;
+    let inputs: Vec<Tensor<f32>> = (0..W as u64).map(|s| sequence(10 + s)).collect();
+    let want: Vec<Vec<Vec<f32>>> = inputs.iter().map(|x| offline_per_step(&net, x)).collect();
+    let sids: Vec<u64> = (0..W).map(|_| conn.open(&name, false)).collect();
+
+    for t in 0..T {
+        for (w, sid) in sids.iter().enumerate() {
+            conn.send(&Request::SessionStep {
+                session: *sid,
+                input: Payload::F32(step_input(&inputs[w], t)),
+            });
+        }
+        for (w, want_w) in want.iter().enumerate() {
+            let got = conn.recv_f32();
+            assert_eq!(
+                bits(&got),
+                bits(&want_w[t]),
+                "session {w} step {t} diverged from its solo forward"
+            );
+        }
+    }
+    for sid in &sids {
+        conn.send(&Request::SessionClose { session: *sid });
+    }
+    for _ in 0..W {
+        match conn.recv(false) {
+            Response::Output(Payload::F32(v)) => assert!(v.is_empty(), "close acks empty"),
+            other => panic!("expected close ack, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn mixed_mode_gangs_survive_mid_stream_joins_and_leaves() {
+    let (net, meta) = pruned_lstm(103);
+    let cfg = ServeConfig {
+        shards: 1,
+        ..test_config()
+    };
+    let (server, name) = serve_one(net.clone(), meta.clone(), cfg);
+    let mut conn = Pipelined::connect(server.local_addr());
+
+    // Three float and two fx sessions stream together; after round 1 one
+    // session of each mode leaves, after round 2 a fresh float session
+    // joins with zero state. Gang-mates must never perturb each other:
+    // every reply is the member's own solo fold, bit for bit.
+    let float_x: Vec<Tensor<f32>> = (0..4).map(|s| sequence(20 + s)).collect();
+    let float_want: Vec<Vec<Vec<f32>>> =
+        float_x.iter().map(|x| offline_per_step(&net, x)).collect();
+    let fx_x: Vec<Tensor<f32>> = (0..2).map(|s| sequence(30 + s)).collect();
+    let fx_ref: Vec<FxStepRef> = fx_x
+        .iter()
+        .map(|x| offline_fx_steps(&net, &meta, x))
+        .collect();
+
+    struct Member {
+        sid: u64,
+        fx: bool,
+        idx: usize,
+        t: usize,
+    }
+    let mut live: Vec<Member> = Vec::new();
+    for idx in 0..3 {
+        live.push(Member {
+            sid: conn.open(&name, false),
+            fx: false,
+            idx,
+            t: 0,
+        });
+    }
+    for idx in 0..2 {
+        live.push(Member {
+            sid: conn.open(&name, true),
+            fx: true,
+            idx,
+            t: 0,
+        });
+    }
+
+    for round in 0..T {
+        for m in &live {
+            let input = if m.fx {
+                Payload::Fx(fx_ref[m.idx].0[m.t].clone())
+            } else {
+                Payload::F32(step_input(&float_x[m.idx], m.t))
+            };
+            conn.send(&Request::SessionStep {
+                session: m.sid,
+                input,
+            });
+        }
+        for m in &mut live {
+            if m.fx {
+                let got = conn.recv_fx();
+                assert_eq!(
+                    got, fx_ref[m.idx].1[m.t],
+                    "fx session {} step {} diverged",
+                    m.idx, m.t
+                );
+            } else {
+                let got = conn.recv_f32();
+                assert_eq!(
+                    bits(&got),
+                    bits(&float_want[m.idx][m.t]),
+                    "float session {} step {} diverged",
+                    m.idx,
+                    m.t
+                );
+            }
+            m.t += 1;
+        }
+        if round == 1 {
+            // One leave per mode: the dissolving gang's survivors must
+            // carry exact state forward.
+            let gone_float = live.remove(0);
+            conn.send(&Request::SessionClose {
+                session: gone_float.sid,
+            });
+            let fx_pos = live.iter().position(|m| m.fx).expect("an fx member");
+            let gone_fx = live.remove(fx_pos);
+            conn.send(&Request::SessionClose {
+                session: gone_fx.sid,
+            });
+            let _ = conn.recv(false);
+            let _ = conn.recv(false);
+        }
+        if round == 2 {
+            live.push(Member {
+                sid: conn.open(&name, false),
+                fx: false,
+                idx: 3,
+                t: 0,
+            });
+        }
+    }
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn pipelined_steps_on_one_session_execute_in_order() {
+    let (net, meta) = pruned_lstm(107);
+    let x = sequence(6);
+    let want = offline_per_step(&net, &x);
+    let cfg = ServeConfig {
+        shards: 1,
+        ..test_config()
+    };
+    let (server, name) = serve_one(net, meta, cfg);
+    let mut conn = Pipelined::connect(server.local_addr());
+    let sid = conn.open(&name, false);
+
+    // All T steps of one session in a single burst: the gang scheduler
+    // must run them strictly in order (one per execution wave) — a
+    // session never lane-mates with itself.
+    for t in 0..T {
+        conn.send(&Request::SessionStep {
+            session: sid,
+            input: Payload::F32(step_input(&x, t)),
+        });
+    }
+    for (t, want_t) in want.iter().enumerate() {
+        let got = conn.recv_f32();
+        assert_eq!(bits(&got), bits(want_t), "pipelined step {t} out of order");
+    }
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
+}
+
+#[test]
+fn a_pipelined_close_is_a_barrier_for_later_steps() {
+    let (net, meta) = pruned_lstm(109);
+    let x = sequence(7);
+    let want = offline_per_step(&net, &x);
+    let cfg = ServeConfig {
+        shards: 1,
+        ..test_config()
+    };
+    let (server, name) = serve_one(net, meta, cfg);
+    let mut conn = Pipelined::connect(server.local_addr());
+    let sid = conn.open(&name, false);
+
+    // step, step, close, step — pipelined. The close is a barrier: the
+    // steps before it execute in order, the step after it finds the
+    // session gone, exactly as if each frame had been sent alone.
+    conn.send(&Request::SessionStep {
+        session: sid,
+        input: Payload::F32(step_input(&x, 0)),
+    });
+    conn.send(&Request::SessionStep {
+        session: sid,
+        input: Payload::F32(step_input(&x, 1)),
+    });
+    conn.send(&Request::SessionClose { session: sid });
+    conn.send(&Request::SessionStep {
+        session: sid,
+        input: Payload::F32(step_input(&x, 2)),
+    });
+
+    assert_eq!(bits(&conn.recv_f32()), bits(&want[0]), "pre-close step 0");
+    assert_eq!(bits(&conn.recv_f32()), bits(&want[1]), "pre-close step 1");
+    match conn.recv(false) {
+        Response::Output(Payload::F32(v)) => assert!(v.is_empty(), "close acks empty"),
+        other => panic!("expected close ack, got {other:?}"),
+    }
+    match conn.recv(false) {
+        Response::Error(Status::BadRequest, msg) => {
+            assert!(msg.contains("no open session"), "got {msg}")
+        }
+        other => panic!("expected bad_request after pipelined close, got {other:?}"),
+    }
+    server.shutdown();
+    assert_eq!(server.protocol_errors(), 0);
 }

@@ -23,6 +23,16 @@ echo "== serve tests with telemetry enabled (flight tracing live) =="
 # with RPBCM_TELEMETRY unset they compile to near-no-ops.
 RPBCM_TELEMETRY=1 cargo test -q -p serve
 
+echo "== session suite with lane gangs forced off and forced wide =="
+# The gang scheduler must be behaviourally invisible: every session test
+# (bit-identity vs offline forwards, pipelined bursts, mid-stream
+# join/leave, close-as-barrier) must pass identically with ganging
+# disabled (every step scalar) and forced to full width. Catches any
+# scalar-vs-gang divergence or ordering difference the default config
+# would mask.
+RPBCM_SERVE_SESSION_GANG=0 cargo test -q -p serve --test sessions
+RPBCM_SERVE_SESSION_GANG=8 cargo test -q -p serve --test sessions
+
 echo "== serve smoke (loopback load test + 10k-connection open loop) =="
 # Quick burst against an in-process sharded server: asserts non-zero
 # throughput, zero protocol errors, shedding only under overload, and —
